@@ -1,0 +1,66 @@
+//! Fig. 10 as a Criterion bench: BFS per exchange strategy per graph
+//! family at fixed scale (the weak-scaling sweep lives in the `fig10_bfs`
+//! bin).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping_bench::time_world_custom;
+use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
+use kamping_graphs::gen::{gnm, rgg2d, rhg, rhg_radius};
+use kamping_graphs::DistGraph;
+
+const P: usize = 8;
+const PER_RANK: u64 = 512;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn make(comm: &kamping::Communicator, family: &str) -> DistGraph {
+    let n = PER_RANK * comm.size() as u64;
+    match family {
+        "gnm" => gnm(comm, n, 4 * n, 1).unwrap(),
+        "rgg2d" => rgg2d(comm, n, (16.0 / n as f64).sqrt(), 2).unwrap(),
+        "rhg" => rhg(comm, n, rhg_radius(n, 8.0), 3).unwrap(),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    for family in ["gnm", "rgg2d", "rhg"] {
+        let mut g = c.benchmark_group(format!("bfs_{family}"));
+        for strategy in ExchangeStrategy::ALL {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(strategy.label()),
+                &strategy,
+                |b, &strategy| {
+                    b.iter_custom(|iters| {
+                        time_world_custom(P, |comm| {
+                            let graph = make(comm, family);
+                            comm.barrier().unwrap();
+                            let start = std::time::Instant::now();
+                            for _ in 0..iters {
+                                let d = bfs_with_strategy(comm, &graph, 0, strategy).unwrap();
+                                std::hint::black_box(&d);
+                            }
+                            comm.barrier().unwrap();
+                            start.elapsed()
+                        })
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_bfs
+}
+criterion_main!(benches);

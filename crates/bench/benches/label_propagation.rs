@@ -1,0 +1,49 @@
+//! §IV-B as a Criterion bench: the dKaMinPar label-propagation component
+//! with the plain and the kamping ghost-exchange ("we observed the same
+//! running times for all variants").
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping_bench::time_world_custom;
+use kamping_graphs::gen::gnm;
+use kamping_graphs::label_propagation::{label_propagation, LpImpl};
+
+const P: usize = 4;
+const N: u64 = 2048;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_propagation");
+    for (name, imp) in [("plain", LpImpl::Plain), ("kamping", LpImpl::Kamping)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &imp, |b, &imp| {
+            b.iter_custom(|iters| {
+                time_world_custom(P, |comm| {
+                    let graph = gnm(comm, N, 4 * N, 11).unwrap();
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let labels = label_propagation(comm, &graph, 64, 4, imp).unwrap();
+                        std::hint::black_box(&labels);
+                    }
+                    comm.barrier().unwrap();
+                    start.elapsed()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_lp
+}
+criterion_main!(benches);

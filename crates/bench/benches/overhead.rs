@@ -1,0 +1,218 @@
+//! The "(near) zero overhead" microbenchmark (paper §III, §IV): the same
+//! operation issued through the kamping binding layer and directly against
+//! the substrate ("plain MPI"). The claim under test: the fully-specified
+//! binding call compiles to the same communication behaviour as the
+//! hand-rolled one, and the convenience form only adds the documented
+//! extra communication (the counts exchange).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping::prelude::*;
+use kamping_bench::time_world;
+use kamping_mpi::coll::excl_prefix_sum;
+
+const P: usize = 4;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    // Typed payloads (u64): plain code over the byte substrate must decode
+    // too, exactly like the binding layer — an apples-to-apples comparison.
+    let mut g = c.benchmark_group("bcast");
+    for &len in &[16usize, 1024, 65536] {
+        let elems = len / 8;
+        g.bench_with_input(BenchmarkId::new("plain", len), &elems, |b, &elems| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let template: Vec<u64> = (0..elems as u64).collect();
+                    for _ in 0..iters {
+                        if comm.rank() == 0 {
+                            let out = comm
+                                .raw()
+                                .bcast_from(kamping::types::pod_as_bytes(&template), 0)
+                                .unwrap();
+                            std::hint::black_box(&out);
+                        } else {
+                            let bytes = comm.raw().bcast_from(&[], 0).unwrap().unwrap();
+                            let out: Vec<u64> = kamping::types::bytes_to_pods(&bytes).unwrap();
+                            std::hint::black_box(&out);
+                        }
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kamping", len), &elems, |b, &elems| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let template: Vec<u64> = (0..elems as u64).collect();
+                    let mut buf: Vec<u64> = Vec::new();
+                    for _ in 0..iters {
+                        if comm.rank() == 0 {
+                            buf.clear();
+                            buf.extend_from_slice(&template);
+                        }
+                        comm.bcast(send_recv_buf(&mut buf)).call().unwrap();
+                        std::hint::black_box(&buf);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgatherv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgatherv");
+    for &len in &[16usize, 1024, 65536] {
+        // plain: counts already known (the tuned case)
+        g.bench_with_input(BenchmarkId::new("plain_counts_known", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let data = vec![comm.rank() as u64; len / 8];
+                    let counts = vec![len / 8 * 8; P];
+                    for _ in 0..iters {
+                        let bytes = comm
+                            .raw()
+                            .allgatherv(kamping::types::pod_as_bytes(&data), &counts)
+                            .unwrap();
+                        // like any plain-MPI user, end with typed data
+                        let out: Vec<u64> = kamping::types::bytes_to_pods(&bytes).unwrap();
+                        std::hint::black_box(&out);
+                    }
+                })
+            })
+        });
+        // kamping with counts provided: must match plain
+        g.bench_with_input(BenchmarkId::new("kamping_counts_known", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let data = vec![comm.rank() as u64; len / 8];
+                    let counts = vec![len / 8; P];
+                    for _ in 0..iters {
+                        let out = comm
+                            .allgatherv(send_buf(&data))
+                            .recv_counts(&counts)
+                            .call()
+                            .unwrap()
+                            .into_recv_buf();
+                        std::hint::black_box(&out);
+                    }
+                })
+            })
+        });
+        // kamping convenience: pays the documented counts exchange
+        g.bench_with_input(BenchmarkId::new("kamping_counts_inferred", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let data = vec![comm.rank() as u64; len / 8];
+                    for _ in 0..iters {
+                        let out = comm.allgatherv_vec(&data).unwrap();
+                        std::hint::black_box(&out);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    for &elems in &[4usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::new("plain", elems), &elems, |b, &elems| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let data = vec![comm.rank() as u64; elems * P];
+                    let counts = vec![elems * 8; P];
+                    let displs = excl_prefix_sum(&counts);
+                    for _ in 0..iters {
+                        let bytes = comm
+                            .raw()
+                            .alltoallv(
+                                kamping::types::pod_as_bytes(&data),
+                                &counts,
+                                &displs,
+                                &counts,
+                                &displs,
+                            )
+                            .unwrap();
+                        let out: Vec<u64> = kamping::types::bytes_to_pods(&bytes).unwrap();
+                        std::hint::black_box(&out);
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kamping", elems), &elems, |b, &elems| {
+            b.iter_custom(|iters| {
+                time_world(P, iters, |comm, iters| {
+                    let data = vec![comm.rank() as u64; elems * P];
+                    let counts = vec![elems; P];
+                    for _ in 0..iters {
+                        let out = comm
+                            .alltoallv(send_buf(&data), send_counts(&counts))
+                            .recv_counts(&counts)
+                            .call()
+                            .unwrap()
+                            .into_recv_buf();
+                        std::hint::black_box(&out);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong");
+    for &len in &[8usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("plain", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                time_world(2, iters, |comm, iters| {
+                    let payload = vec![1u8; len];
+                    for _ in 0..iters {
+                        if comm.rank() == 0 {
+                            comm.raw().send(1, 0, &payload).unwrap();
+                            let (r, _) = comm.raw().recv(1, 0).unwrap();
+                            std::hint::black_box(&r);
+                        } else {
+                            let (r, _) = comm.raw().recv(0, 0).unwrap();
+                            comm.raw().send(0, 0, &r).unwrap();
+                        }
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kamping", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                time_world(2, iters, |comm, iters| {
+                    let payload = vec![1u8; len];
+                    for _ in 0..iters {
+                        if comm.rank() == 0 {
+                            comm.send(send_buf(&payload), destination(1)).call().unwrap();
+                            let (r, _) = comm.recv::<u8>(source(1)).call().unwrap();
+                            std::hint::black_box(&r);
+                        } else {
+                            let (r, _) = comm.recv::<u8>(source(0)).call().unwrap();
+                            comm.send(send_buf(&r), destination(0)).call().unwrap();
+                        }
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_bcast, bench_allgatherv, bench_alltoallv, bench_pingpong
+}
+criterion_main!(benches);

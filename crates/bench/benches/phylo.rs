@@ -1,0 +1,46 @@
+//! §IV-C as a Criterion bench: the inference kernel under both
+//! abstraction layers (overhead parity at a high call rate).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping_bench::time_world_custom;
+use kamping_phylo::{run_inference, Layer};
+
+const P: usize = 4;
+const ITERS_PER_CALL: u64 = 200;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_phylo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phylo");
+    for (name, layer) in [("plain", Layer::Plain), ("kamping", Layer::Kamping)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &layer, |b, &layer| {
+            b.iter_custom(|iters| {
+                time_world_custom(P, |comm| {
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let s = run_inference(comm, layer, ITERS_PER_CALL, 100, 4, 10).unwrap();
+                        std::hint::black_box(s);
+                    }
+                    comm.barrier().unwrap();
+                    start.elapsed()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_phylo
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! §V-C as a Criterion bench: reproducible reduce vs. the
+//! gather + local-reduce + broadcast baseline vs. the (non-reproducible)
+//! naive allreduce.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping_bench::time_world_custom;
+use kamping_plugins::ReproducibleReduce;
+
+const P: usize = 4;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn local_data(rank: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((rank * n + i) as f64).sin() * 10f64.powi((i % 17) as i32 - 8)).collect()
+}
+
+fn bench_repro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro_reduce");
+    for &n in &[1024usize, 16384] {
+        g.bench_with_input(BenchmarkId::new("reproducible", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                time_world_custom(P, |comm| {
+                    let data = local_data(comm.rank(), n);
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let v = comm.reproducible_allreduce(&data, |a, b| a + b).unwrap();
+                        std::hint::black_box(v);
+                    }
+                    comm.barrier().unwrap();
+                    start.elapsed()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gather_reduce_bcast", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                time_world_custom(P, |comm| {
+                    let data = local_data(comm.rank(), n);
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let v = comm.gather_reduce_bcast(&data, |a, b| a + b).unwrap();
+                        std::hint::black_box(v);
+                    }
+                    comm.barrier().unwrap();
+                    start.elapsed()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive_allreduce", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                time_world_custom(P, |comm| {
+                    let data = local_data(comm.rank(), n);
+                    comm.barrier().unwrap();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let s: f64 = data.iter().sum();
+                        let v = comm.allreduce_single(s, |a, b| a + b).unwrap();
+                        std::hint::black_box(v);
+                    }
+                    comm.barrier().unwrap();
+                    start.elapsed()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_repro
+}
+criterion_main!(benches);

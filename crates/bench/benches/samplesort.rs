@@ -1,0 +1,71 @@
+//! Fig. 8 as a Criterion bench: sample sort per binding variant at fixed
+//! scale (the full weak-scaling sweep lives in the `fig8_samplesort` bin).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamping_bench::time_world;
+use kamping_sort::{sample_sort_kamping, sample_sort_mpl_like, sample_sort_plain};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+const N_PER_RANK: usize = 20_000;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn data_for(rank: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(0xBE9C + rank as u64);
+    (0..N_PER_RANK).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_samplesort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplesort");
+    for &p in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("plain", p), &p, |b, &p| {
+            b.iter_custom(|iters| {
+                time_world(p, iters, |comm, iters| {
+                    for _ in 0..iters {
+                        let mut d = data_for(comm.rank());
+                        sample_sort_plain(comm.raw(), &mut d, 7);
+                        std::hint::black_box(&d);
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kamping", p), &p, |b, &p| {
+            b.iter_custom(|iters| {
+                time_world(p, iters, |comm, iters| {
+                    for _ in 0..iters {
+                        let mut d = data_for(comm.rank());
+                        sample_sort_kamping(comm, &mut d, 7).unwrap();
+                        std::hint::black_box(&d);
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mpl_like", p), &p, |b, &p| {
+            b.iter_custom(|iters| {
+                time_world(p, iters, |comm, iters| {
+                    for _ in 0..iters {
+                        let mut d = data_for(comm.rank());
+                        sample_sort_mpl_like(comm, &mut d, 7).unwrap();
+                        std::hint::black_box(&d);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_samplesort
+}
+criterion_main!(benches);

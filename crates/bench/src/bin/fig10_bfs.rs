@@ -1,0 +1,78 @@
+//! Regenerates Fig. 10: weak-scaling BFS over GNM / RGG-2D / RHG with the
+//! different all-to-all strategies.
+//!
+//! Paper setting: 2^12 vertices and 2^15 edges per rank, up to 2^14 cores.
+//! Default here: 2^10 vertices per rank and p up to 16 on one machine
+//! (override via CLI). Two kinds of evidence are printed per cell:
+//! measured wall time and the per-rank message count of the exchange (the
+//! LogGP-style model input) — the paper's shape claims are about the
+//! latter's asymptotics: the dense alltoallv posts Θ(p) envelopes per
+//! rank and level, grid Θ(√p), sparse Θ(partner count), and the
+//! neighborhood collective with per-level topology rebuilds pays an extra
+//! collective per level.
+//!
+//! Run with
+//! `cargo run --release -p kamping-bench --bin fig10_bfs -- [max_p] [verts_per_rank]`.
+
+use kamping_bench::ms;
+use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
+use kamping_graphs::gen::{gnm, rgg2d, rhg, rhg_radius};
+use kamping_graphs::DistGraph;
+
+fn families(comm: &kamping::Communicator, n: u64) -> Vec<(&'static str, DistGraph)> {
+    // Edge densities mirror the paper's 2^15 edges per 2^12 vertices = 8/vertex.
+    vec![
+        ("GNM", gnm(comm, n, 4 * n, 1).expect("gnm")),
+        ("RGG-2D", rgg2d(comm, n, (16.0 / n as f64).sqrt(), 2).expect("rgg")),
+        ("RHG", rhg(comm, n, rhg_radius(n, 8.0), 3).expect("rhg")),
+    ]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let per_rank: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 10);
+
+    println!("Fig. 10 analog — BFS weak scaling, {per_rank} vertices/rank");
+    println!(
+        "{:>8} {:>3} {:>22} {:>12} {:>12} {:>12}",
+        "family", "p", "strategy", "time ms", "msgs/rank", "bytes total"
+    );
+
+    let mut p = 2;
+    while p <= max_p {
+        let rows = kamping::run(p, |comm| {
+            let mut rows = Vec::new();
+            for (name, g) in families(&comm, per_rank * p as u64) {
+                for strategy in ExchangeStrategy::ALL {
+                    comm.barrier().unwrap();
+                    let before = comm.profile();
+                    let t = std::time::Instant::now();
+                    let dist = bfs_with_strategy(&comm, &g, 0, strategy).unwrap();
+                    std::hint::black_box(&dist);
+                    comm.barrier().unwrap();
+                    let elapsed = t.elapsed();
+                    let delta = comm.profile().since(&before);
+                    if comm.rank() == 0 {
+                        rows.push((
+                            name,
+                            strategy.label(),
+                            elapsed,
+                            delta.max_messages_per_rank(),
+                            delta.total_bytes(),
+                        ));
+                    }
+                }
+            }
+            rows
+        });
+        for (family, strategy, t, msgs, bytes) in rows.into_iter().flatten() {
+            println!("{family:>8} {p:>3} {strategy:>22} {} {msgs:>12} {bytes:>12}", ms(t));
+        }
+        println!();
+        p *= 2;
+    }
+    println!("expected shape: msgs/rank grows ~linearly in p for the dense strategies,");
+    println!("~sqrt(p) for grid, ~constant (partner count) for sparse; neighbor-with-");
+    println!("rebuild pays extra messages per level (the non-scaling curve of Fig. 10).");
+}

@@ -1,0 +1,130 @@
+//! # kamping-bench — harness utilities for regenerating the paper's
+//! tables and figures.
+//!
+//! The binaries in `src/bin/` print one paper artifact each (see
+//! DESIGN.md's experiment index and EXPERIMENTS.md for recorded runs);
+//! the Criterion benches in `benches/` provide statistically sound
+//! microbenchmarks of the same kernels.
+
+use std::time::{Duration, Instant};
+
+use kamping::Communicator;
+
+/// Runs `f(comm, iters)` on `p` rank-threads and returns the wall time
+/// measured on rank 0 (all ranks synchronize before and after, so the
+/// measurement covers the slowest rank).
+///
+/// Benchmarks loop *inside* the universe: thread spawn/join cost is paid
+/// once per measurement, not once per iteration.
+pub fn time_world<F>(p: usize, iters: u64, f: F) -> Duration
+where
+    F: Fn(&Communicator, u64) + Sync,
+{
+    let times = kamping::run(p, |comm| {
+        comm.barrier().expect("warmup barrier");
+        let start = Instant::now();
+        f(&comm, iters);
+        comm.barrier().expect("closing barrier");
+        start.elapsed()
+    });
+    times[0]
+}
+
+/// Runs `f` on `p` rank-threads; `f` does its own setup and returns the
+/// duration of just the measured region. Rank 0's measurement is returned
+/// (ranks should barrier around the measured region themselves).
+pub fn time_world_custom<F>(p: usize, f: F) -> Duration
+where
+    F: Fn(&Communicator) -> Duration + Sync,
+{
+    kamping::run(p, |comm| f(&comm))[0]
+}
+
+/// Counts the effective lines of code between `// LOC-BEGIN <name>` and
+/// `// LOC-END <name>` in `source`: non-blank lines that are not pure
+/// comments (the counting rule for our Table I analog; the paper
+/// clang-formats all variants identically and counts lines the same way).
+pub fn count_loc_region(source: &str, name: &str) -> Option<usize> {
+    let begin = format!("LOC-BEGIN {name}");
+    let end = format!("LOC-END {name}");
+    let mut counting = false;
+    let mut count = 0usize;
+    let mut found = false;
+    for line in source.lines() {
+        if line.contains(&begin) {
+            counting = true;
+            found = true;
+            continue;
+        }
+        if line.contains(&end) {
+            counting = false;
+            continue;
+        }
+        if counting {
+            let t = line.trim();
+            if !t.is_empty() && !t.starts_with("//") && !t.starts_with("///") {
+                count += 1;
+            }
+        }
+    }
+    found.then_some(count)
+}
+
+/// Reads a workspace file relative to the repository root.
+pub fn read_workspace_file(rel: &str) -> String {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives two levels below the workspace root");
+    std::fs::read_to_string(root.join(rel))
+        .unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:9.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counter_skips_blanks_and_comments() {
+        let src = "\
+// LOC-BEGIN demo
+fn f() {
+    // a comment
+
+    let x = 1; // trailing comments still count the line
+}
+// LOC-END demo
+ignored";
+        assert_eq!(count_loc_region(src, "demo"), Some(3));
+        assert_eq!(count_loc_region(src, "missing"), None);
+    }
+
+    #[test]
+    fn time_world_measures_something() {
+        let d = time_world(2, 3, |comm, iters| {
+            for _ in 0..iters {
+                comm.barrier().unwrap();
+            }
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn workspace_files_are_reachable() {
+        let src = read_workspace_file("crates/sort/src/sample_sort.rs");
+        assert!(count_loc_region(&src, "samplesort_kamping").is_some());
+        assert!(count_loc_region(&src, "samplesort_plain").is_some());
+        assert!(count_loc_region(&src, "samplesort_mpl_like").is_some());
+        let src = read_workspace_file("crates/graphs/src/bfs.rs");
+        assert!(count_loc_region(&src, "bfs_plain").is_some());
+        assert!(count_loc_region(&src, "bfs_kamping").is_some());
+        let src = read_workspace_file("examples/vector_allgather.rs");
+        assert!(count_loc_region(&src, "allgather_plain").is_some());
+        assert!(count_loc_region(&src, "allgather_kamping").is_some());
+    }
+}

@@ -1,0 +1,84 @@
+//! Runtime assertion levels (paper §III-G).
+//!
+//! KaMPIng groups its runtime checks into levels that can be disabled
+//! one by one, from lightweight local checks up to assertions that require
+//! *additional communication* (e.g. verifying that all ranks passed
+//! consistent counts). The level is a process-global setting:
+//!
+//! * [`AssertionLevel::Off`] — no optional checks (hard safety checks like
+//!   `NoResize` bounds are never disabled — this is Rust);
+//! * [`AssertionLevel::Light`] — cheap local invariant checks (default);
+//! * [`AssertionLevel::Communication`] — additionally run collective
+//!   consistency checks inside operations that support them.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::error::{KResult, KampingError};
+
+/// How much runtime checking the library performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AssertionLevel {
+    /// Optional checks disabled.
+    Off = 0,
+    /// Cheap local checks (default).
+    Light = 1,
+    /// Local checks plus checks requiring extra communication.
+    Communication = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(AssertionLevel::Light as u8);
+
+/// Sets the process-global assertion level.
+pub fn set_assertion_level(level: AssertionLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current assertion level.
+pub fn assertion_level() -> AssertionLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => AssertionLevel::Off,
+        1 => AssertionLevel::Light,
+        _ => AssertionLevel::Communication,
+    }
+}
+
+/// Checks a light (local) invariant if the level allows.
+pub fn check_light(condition: bool, what: &'static str) -> KResult<()> {
+    if assertion_level() >= AssertionLevel::Light && !condition {
+        return Err(KampingError::AssertionFailed(what));
+    }
+    Ok(())
+}
+
+/// True when communication-level assertions should run; operations guard
+/// their collective consistency checks with this.
+pub fn communication_assertions_enabled() -> bool {
+    assertion_level() >= AssertionLevel::Communication
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the level is process-global; this test restores it to keep the
+    // suite order-independent.
+    #[test]
+    fn levels_gate_checks() {
+        let original = assertion_level();
+
+        set_assertion_level(AssertionLevel::Light);
+        assert!(check_light(true, "fine").is_ok());
+        assert!(check_light(false, "broken").is_err());
+        assert!(!communication_assertions_enabled());
+
+        set_assertion_level(AssertionLevel::Off);
+        assert!(check_light(false, "ignored").is_ok());
+
+        set_assertion_level(AssertionLevel::Communication);
+        assert!(communication_assertions_enabled());
+        assert!(check_light(false, "broken").is_err());
+
+        set_assertion_level(original);
+    }
+}

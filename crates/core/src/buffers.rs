@@ -1,0 +1,34 @@
+//! Internal wire helpers for count-like metadata.
+//!
+//! Counts and displacements travel between ranks as little-endian `u64`
+//! sequences (e.g. when `recv_counts` is omitted and must be exchanged).
+//! Centralizing the encoding here keeps every call site consistent.
+
+/// Encodes element counts for the wire.
+pub(crate) fn encode_counts(counts: &[usize]) -> Vec<u8> {
+    counts.iter().flat_map(|&c| (c as u64).to_le_bytes()).collect()
+}
+
+/// Decodes element counts from the wire.
+pub(crate) fn decode_counts(bytes: &[u8]) -> Vec<usize> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let counts = vec![0usize, 1, usize::from(u16::MAX), 1 << 40];
+        assert_eq!(decode_counts(&encode_counts(&counts)), counts);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(decode_counts(&encode_counts(&[])).is_empty());
+    }
+}

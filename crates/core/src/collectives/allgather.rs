@@ -1,0 +1,442 @@
+//! `allgather` / `allgatherv` builders — the paper's flagship example
+//! (Fig. 1, Fig. 2, Fig. 3).
+
+use crate::collectives::{excl_prefix_sum, place_by_displs, to_byte_counts};
+use crate::communicator::Communicator;
+use crate::error::{KResult, KampingError};
+use crate::params::{
+    recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
+    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot,
+    RecvCounts, RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot,
+    SendBuf, SendBufSlot, SendRecvBufSlot, Unset,
+};
+use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
+use crate::result::CallResult;
+use crate::types::{pod_as_bytes, PodType};
+
+/// Builder for a fixed-size `allgather`: every rank contributes the same
+/// number of elements; the rank-ordered concatenation is received
+/// everywhere.
+#[must_use = "builders do nothing until .call()"]
+pub struct Allgather<'c, S, R> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+}
+
+/// Builder for a variable-size `allgatherv`; omitted receive counts are
+/// exchanged internally, omitted displacements computed by prefix sum.
+#[must_use = "builders do nothing until .call()"]
+pub struct Allgatherv<'c, S, R, C, D> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+    counts: C,
+    displs: D,
+}
+
+/// Builder for the in-place `allgather` (`send_recv_buf`, §III-G): the
+/// buffer holds `size * n` elements of which this rank's block is at
+/// `rank * n`; after the call it holds everyone's blocks.
+#[must_use = "builders do nothing until .call()"]
+pub struct AllgatherInplace<'c, B> {
+    comm: &'c Communicator,
+    buf: B,
+}
+
+impl Communicator {
+    /// Starts a fixed-size `allgather` of `send_buf`.
+    pub fn allgather<X>(&self, send_buf: SendBuf<X>) -> Allgather<'_, SendBuf<X>, Unset> {
+        Allgather { comm: self, send: send_buf, recv: Unset }
+    }
+
+    /// Starts a variable-size `allgatherv` of `send_buf`.
+    pub fn allgatherv<X>(
+        &self,
+        send_buf: SendBuf<X>,
+    ) -> Allgatherv<'_, SendBuf<X>, Unset, Unset, Unset> {
+        Allgatherv { comm: self, send: send_buf, recv: Unset, counts: Unset, displs: Unset }
+    }
+
+    /// Starts an in-place `allgather` on `send_recv_buf`.
+    pub fn allgather_inplace<B>(&self, send_recv_buf: B) -> AllgatherInplace<'_, B> {
+        AllgatherInplace { comm: self, buf: send_recv_buf }
+    }
+}
+
+// --- named-parameter methods -------------------------------------------------
+
+impl<'c, S, R> Allgather<'c, S, R> {
+    /// Writes the result into `buf` (checking [`NoResize`] policy).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Allgather<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
+        Allgather { comm: self.comm, send: self.send, recv: recv_buf_param(buf) }
+    }
+
+    /// Writes the result into `buf` under resize policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Allgather<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
+        Allgather { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf) }
+    }
+
+    /// Moves `buf` in to be reused as the (returned-by-value) result.
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Allgather<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Allgather { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf) }
+    }
+}
+
+impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
+    /// Writes the result into `buf` (checking [`NoResize`] policy).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Allgatherv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, C, D> {
+        let Allgatherv { comm, send, counts, displs, .. } = self;
+        Allgatherv { comm, send, recv: recv_buf_param(buf), counts, displs }
+    }
+
+    /// Writes the result into `buf` under resize policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Allgatherv<'c, S, RecvBuf<&'b mut Vec<T>, P>, C, D> {
+        let Allgatherv { comm, send, counts, displs, .. } = self;
+        Allgatherv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), counts, displs }
+    }
+
+    /// Moves `buf` in to be reused as the (returned-by-value) result.
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Allgatherv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C, D> {
+        let Allgatherv { comm, send, counts, displs, .. } = self;
+        Allgatherv { comm, send, recv: recv_buf_owned_param(buf), counts, displs }
+    }
+
+    /// Supplies the per-rank receive counts (elements).
+    pub fn recv_counts<'v>(
+        self,
+        counts: &'v [usize],
+    ) -> Allgatherv<'c, S, R, RecvCounts<&'v [usize]>, D> {
+        let Allgatherv { comm, send, recv, displs, .. } = self;
+        Allgatherv { comm, send, recv, counts: crate::params::recv_counts(counts), displs }
+    }
+
+    /// Requests the receive counts as an out-value.
+    pub fn recv_counts_out(self) -> Allgatherv<'c, S, R, RecvCountsOut, D> {
+        let Allgatherv { comm, send, recv, displs, .. } = self;
+        Allgatherv { comm, send, recv, counts: crate::params::recv_counts_out(), displs }
+    }
+
+    /// Supplies the per-rank receive displacements (elements).
+    pub fn recv_displs<'v>(
+        self,
+        displs: &'v [usize],
+    ) -> Allgatherv<'c, S, R, C, RecvDispls<&'v [usize]>> {
+        let Allgatherv { comm, send, recv, counts, .. } = self;
+        Allgatherv { comm, send, recv, counts, displs: crate::params::recv_displs(displs) }
+    }
+
+    /// Requests the receive displacements as an out-value.
+    pub fn recv_displs_out(self) -> Allgatherv<'c, S, R, C, RecvDisplsOut> {
+        let Allgatherv { comm, send, recv, counts, .. } = self;
+        Allgatherv { comm, send, recv, counts, displs: crate::params::recv_displs_out() }
+    }
+}
+
+// --- call() -------------------------------------------------------------------
+
+impl<'c, S, R> Allgather<'c, S, R> {
+    /// Executes the allgather.
+    pub fn call<T>(self) -> KResult<CallResult<R::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+    {
+        let Allgather { comm, send, recv } = self;
+        let bytes = comm.raw().allgather(pod_as_bytes(send.slice()))?;
+        let out = recv.place(&bytes)?;
+        Ok(CallResult::new(out, Absent, Absent, Absent))
+    }
+}
+
+impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
+    /// Executes the allgatherv. Omitted counts cost one internal
+    /// `allgather`; omitted displacements cost a local prefix sum — exactly
+    /// the boilerplate of paper Fig. 2, generated only when needed.
+    pub fn call<T>(
+        self,
+    ) -> KResult<CallResult<R::Out, <C as OutRequest>::Out, <D as OutRequest>::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+        C: RecvCountsSlot + OutRequest,
+        D: RecvDisplsSlot + OutRequest,
+    {
+        let Allgatherv { comm, send, recv, counts, displs } = self;
+        let send_slice = send.slice();
+
+        let computed_counts: Vec<usize>;
+        let counts_ref: &[usize] = if C::PROVIDED {
+            let c = counts.provided();
+            if c.len() != comm.size() || c[comm.rank()] != send_slice.len() {
+                return Err(KampingError::InvalidArgument(
+                    "allgatherv: provided recv_counts inconsistent with send_buf",
+                ));
+            }
+            // Communication-level assertion (§III-G): verify the provided
+            // counts against what every rank actually sends. Costs one
+            // allgather; disabled below AssertionLevel::Communication.
+            if crate::assertions::communication_assertions_enabled() {
+                let actual = comm.exchange_counts(send_slice.len())?;
+                crate::assertions::check_light(
+                    actual == c,
+                    "allgatherv: recv_counts disagree with peers' send sizes",
+                )?;
+            }
+            c
+        } else {
+            computed_counts = comm.exchange_counts(send_slice.len())?;
+            &computed_counts
+        };
+
+        let computed_displs: Vec<usize>;
+        let displs_ref: &[usize] = if D::PROVIDED {
+            let d = displs.provided();
+            if d.len() != comm.size() {
+                return Err(KampingError::InvalidArgument("allgatherv: recv_displs length"));
+            }
+            d
+        } else {
+            computed_displs = excl_prefix_sum(counts_ref);
+            &computed_displs
+        };
+
+        let byte_counts = to_byte_counts(counts_ref, T::SIZE);
+        let concat = comm.raw().allgatherv(pod_as_bytes(send_slice), &byte_counts)?;
+
+        // Canonical displacements need no re-placement; custom ones do.
+        let out = if D::PROVIDED {
+            let placed = place_by_displs(&concat, counts_ref, displs_ref, T::SIZE)?;
+            recv.place(&placed)?
+        } else {
+            recv.place(&concat)?
+        };
+
+        let counts_out = <C as OutRequest>::wrap(if <C as OutRequest>::REQUESTED {
+            counts_ref.to_vec()
+        } else {
+            Vec::new()
+        });
+        let displs_out = <D as OutRequest>::wrap(if <D as OutRequest>::REQUESTED {
+            displs_ref.to_vec()
+        } else {
+            Vec::new()
+        });
+        Ok(CallResult::new(out, counts_out, displs_out, Absent))
+    }
+}
+
+impl<'c, B> AllgatherInplace<'c, B> {
+    /// Executes the in-place allgather: the buffer must hold
+    /// `size * block` elements with this rank's block at `rank * block`.
+    pub fn call<T>(self) -> KResult<CallResult<B::Out>>
+    where
+        T: PodType,
+        B: SendRecvBufSlot<T>,
+    {
+        let AllgatherInplace { comm, buf } = self;
+        let p = comm.size();
+        let total = buf.slice().len();
+        if !total.is_multiple_of(p) {
+            return Err(KampingError::InvalidArgument(
+                "in-place allgather: buffer length not divisible by comm size",
+            ));
+        }
+        let block = total / p;
+        let mine = &buf.slice()[comm.rank() * block..(comm.rank() + 1) * block];
+        let bytes = comm.raw().allgather(pod_as_bytes(mine))?;
+        let out = buf.replace(&bytes)?;
+        Ok(CallResult::new(out, Absent, Absent, Absent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::resize::GrowOnly;
+
+    #[test]
+    fn one_liner_matches_manual_reference() {
+        crate::run(4, |comm| {
+            let mine = vec![comm.rank() as u32; comm.rank() + 1];
+            let all = comm.allgatherv_vec(&mine).unwrap();
+            let want: Vec<u32> = (0..4).flat_map(|r| vec![r as u32; r as usize + 1]).collect();
+            assert_eq!(all, want);
+        });
+    }
+
+    #[test]
+    fn counts_and_displs_out() {
+        crate::run(3, |comm| {
+            let mine = vec![comm.rank() as u64; 2 * comm.rank()];
+            let (buf, counts, displs) = comm
+                .allgatherv(send_buf(&mine))
+                .recv_counts_out()
+                .recv_displs_out()
+                .call()
+                .unwrap()
+                .into_parts3();
+            assert_eq!(counts, vec![0, 2, 4]);
+            assert_eq!(displs, vec![0, 0, 2]);
+            assert_eq!(buf.len(), 6);
+        });
+    }
+
+    #[test]
+    fn provided_counts_skip_exchange() {
+        let (_, profile) = crate::run_profiled(4, |comm| {
+            let mine = vec![comm.rank() as u16; 3];
+            let counts = vec![3usize; 4];
+            let out = comm
+                .allgatherv(send_buf(&mine))
+                .recv_counts(&counts)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out.len(), 12);
+        });
+        // With counts provided, no internal allgather happens (§III-H).
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Allgather), 0);
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Allgatherv), 4);
+    }
+
+    #[test]
+    fn omitted_counts_cost_exactly_one_allgather() {
+        let (_, profile) = crate::run_profiled(4, |comm| {
+            let mine = vec![1u8; comm.rank()];
+            comm.allgatherv(send_buf(&mine)).call().unwrap().into_recv_buf();
+        });
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Allgather), 4);
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Allgatherv), 4);
+    }
+
+    #[test]
+    fn recv_buf_policies() {
+        crate::run(2, |comm| {
+            let mine = [comm.rank() as u32];
+
+            // NoResize with sufficient space: ok, no allocation.
+            let mut exact = vec![0u32; 2];
+            comm.allgather(send_buf(&mine)).recv_buf(&mut exact).call().unwrap();
+            assert_eq!(exact, vec![0, 1]);
+
+            // NoResize too small: error names the policy fix.
+            let mut small = vec![0u32; 1];
+            let err = comm
+                .allgatherv(send_buf(&mine))
+                .recv_buf(&mut small)
+                .call()
+                .unwrap_err();
+            assert!(matches!(err, KampingError::BufferTooSmall { needed: 2, available: 1 }));
+
+            // GrowOnly grows.
+            let mut grow = Vec::new();
+            comm.allgatherv(send_buf(&mine))
+                .recv_buf_resize::<GrowOnly, u32>(&mut grow)
+                .call()
+                .unwrap();
+            assert_eq!(grow, vec![0, 1]);
+
+            // Owned buffer: allocation reused, data returned by value.
+            let spare = Vec::with_capacity(64);
+            let out = comm
+                .allgatherv(send_buf(&mine))
+                .recv_buf_owned(spare)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out, vec![0, 1]);
+            assert!(out.capacity() >= 64);
+        });
+    }
+
+    #[test]
+    fn custom_displacements_place_blocks() {
+        crate::run(2, |comm| {
+            let mine = [comm.rank() as u8 + 1];
+            // Reverse placement: rank 0's block at element 1, rank 1's at 0.
+            let displs = [1usize, 0];
+            let counts = [1usize, 1];
+            let out = comm
+                .allgatherv(send_buf(&mine))
+                .recv_counts(&counts)
+                .recv_displs(&displs)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out, vec![2, 1]);
+        });
+    }
+
+    #[test]
+    fn inplace_allgather_fig_3_version_1() {
+        crate::run(4, |comm| {
+            // The counts-exchange idiom of paper Fig. 3 / §III-G.
+            let mut rc = vec![0usize; comm.size()];
+            rc[comm.rank()] = comm.rank() + 10;
+            comm.allgather_inplace(send_recv_buf(&mut rc)).call().unwrap();
+            assert_eq!(rc, vec![10, 11, 12, 13]);
+        });
+    }
+
+    #[test]
+    fn inplace_allgather_owned_move_style() {
+        crate::run(3, |comm| {
+            let mut data = vec![0u64; comm.size()];
+            data[comm.rank()] = comm.rank() as u64;
+            // `data = comm.allgather(send_recv_buf(std::move(data)))` — §III-G.
+            let data = comm
+                .allgather_inplace(send_recv_buf_owned(data))
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(data, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn send_buf_owned_is_accepted() {
+        crate::run(2, |comm| {
+            let out = comm
+                .allgatherv(crate::params::send_buf_owned(vec![comm.rank() as u32]))
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out, vec![0, 1]);
+        });
+    }
+
+    #[test]
+    fn mismatched_provided_counts_rejected() {
+        crate::run(2, |comm| {
+            let mine = [1u8, 2];
+            let wrong = [1usize, 1];
+            let err = comm
+                .allgatherv(send_buf(&mine))
+                .recv_counts(&wrong)
+                .call()
+                .unwrap_err();
+            assert!(matches!(err, KampingError::InvalidArgument(_)));
+        });
+    }
+}

@@ -1,0 +1,385 @@
+//! `alltoall` / `alltoallv` builders (personalized all-to-all exchange).
+//!
+//! `alltoallv` is the paper's running example of an error-prone MPI call
+//! (§III): eight parameters in C, of which kamping requires two
+//! (`send_buf`, `send_counts`) and infers the rest — receive counts through
+//! one internal `alltoall` of the send counts, displacements by prefix
+//! sums. Note that Boost.MPI ships *no* `alltoallv` binding at all (§II).
+
+use crate::collectives::{excl_prefix_sum, place_by_displs, to_byte_counts};
+use crate::communicator::Communicator;
+use crate::error::{KResult, KampingError};
+use crate::params::{
+    recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
+    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot,
+    RecvCounts, RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot,
+    SendBuf, SendBufSlot, SendCounts, SendCountsSlot, SendDispls, SendDisplsSlot, Unset,
+};
+use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
+use crate::result::CallResult;
+use crate::types::{pod_as_bytes, PodType};
+
+/// Builder for a fixed-size `alltoall`: the send buffer is `size` equal
+/// blocks, block `i` goes to rank `i`; the result is the received blocks in
+/// rank order.
+#[must_use = "builders do nothing until .call()"]
+pub struct Alltoall<'c, S, R> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+}
+
+/// Builder for a variable-size `alltoallv`.
+#[must_use = "builders do nothing until .call()"]
+pub struct Alltoallv<'c, S, R, SC, SD, C, D> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+    send_counts: SC,
+    send_displs: SD,
+    recv_counts: C,
+    recv_displs: D,
+}
+
+impl Communicator {
+    /// Starts a fixed-size `alltoall` of `send_buf`.
+    pub fn alltoall<X>(&self, send_buf: SendBuf<X>) -> Alltoall<'_, SendBuf<X>, Unset> {
+        Alltoall { comm: self, send: send_buf, recv: Unset }
+    }
+
+    /// Starts a variable-size `alltoallv`: `send_counts[d]` elements of
+    /// `send_buf` go to rank `d` (blocks back-to-back unless `send_displs`
+    /// is added).
+    pub fn alltoallv<X, Y>(
+        &self,
+        send_buf: SendBuf<X>,
+        send_counts: SendCounts<Y>,
+    ) -> Alltoallv<'_, SendBuf<X>, Unset, SendCounts<Y>, Unset, Unset, Unset> {
+        Alltoallv {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            send_counts,
+            send_displs: Unset,
+            recv_counts: Unset,
+            recv_displs: Unset,
+        }
+    }
+}
+
+impl<'c, S, R> Alltoall<'c, S, R> {
+    /// Writes the result into `buf` (checking [`NoResize`]).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Alltoall<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
+        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_param(buf) }
+    }
+
+    /// Writes the result into `buf` under policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Alltoall<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
+        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf) }
+    }
+
+    /// Moves `buf` in to be reused as the returned result.
+    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Alltoall<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf) }
+    }
+
+    /// Executes the alltoall.
+    pub fn call<T>(self) -> KResult<CallResult<R::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+    {
+        let Alltoall { comm, send, recv } = self;
+        let data = send.slice();
+        if !data.len().is_multiple_of(comm.size()) {
+            return Err(KampingError::InvalidArgument(
+                "alltoall: send buffer length not divisible by comm size",
+            ));
+        }
+        let bytes = comm.raw().alltoall(pod_as_bytes(data))?;
+        let out = recv.place(&bytes)?;
+        Ok(CallResult::new(out, Absent, Absent, Absent))
+    }
+}
+
+impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
+    /// Writes the result into `buf` (checking [`NoResize`]).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Alltoallv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, SC, SD, C, D> {
+        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv: recv_buf_param(buf), send_counts, send_displs, recv_counts, recv_displs }
+    }
+
+    /// Writes the result into `buf` under policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Alltoallv<'c, S, RecvBuf<&'b mut Vec<T>, P>, SC, SD, C, D> {
+        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), send_counts, send_displs, recv_counts, recv_displs }
+    }
+
+    /// Moves `buf` in to be reused as the returned result.
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Alltoallv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, SC, SD, C, D> {
+        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv: recv_buf_owned_param(buf), send_counts, send_displs, recv_counts, recv_displs }
+    }
+
+    /// Supplies explicit send displacements (elements).
+    pub fn send_displs<'v>(
+        self,
+        displs: &'v [usize],
+    ) -> Alltoallv<'c, S, R, SC, SendDispls<&'v [usize]>, C, D> {
+        let Alltoallv { comm, send, recv, send_counts, recv_counts, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv, send_counts, send_displs: crate::params::send_displs(displs), recv_counts, recv_displs }
+    }
+
+    /// Supplies the per-source receive counts (elements).
+    pub fn recv_counts<'v>(
+        self,
+        counts: &'v [usize],
+    ) -> Alltoallv<'c, S, R, SC, SD, RecvCounts<&'v [usize]>, D> {
+        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts: crate::params::recv_counts(counts), recv_displs }
+    }
+
+    /// Requests the receive counts as an out-value.
+    pub fn recv_counts_out(self) -> Alltoallv<'c, S, R, SC, SD, RecvCountsOut, D> {
+        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_displs, .. } = self;
+        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts: crate::params::recv_counts_out(), recv_displs }
+    }
+
+    /// Supplies explicit receive displacements (elements).
+    pub fn recv_displs<'v>(
+        self,
+        displs: &'v [usize],
+    ) -> Alltoallv<'c, S, R, SC, SD, C, RecvDispls<&'v [usize]>> {
+        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, .. } = self;
+        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs: crate::params::recv_displs(displs) }
+    }
+
+    /// Requests the receive displacements as an out-value.
+    pub fn recv_displs_out(self) -> Alltoallv<'c, S, R, SC, SD, C, RecvDisplsOut> {
+        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, .. } = self;
+        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs: crate::params::recv_displs_out() }
+    }
+
+    /// Executes the alltoallv.
+    pub fn call<T>(
+        self,
+    ) -> KResult<CallResult<R::Out, <C as OutRequest>::Out, <D as OutRequest>::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+        SC: SendCountsSlot,
+        SD: SendDisplsSlot,
+        C: RecvCountsSlot + OutRequest,
+        D: RecvDisplsSlot + OutRequest,
+    {
+        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs } = self;
+        let p = comm.size();
+        let data = send.slice();
+        let sc = send_counts.provided();
+        if sc.len() != p {
+            return Err(KampingError::InvalidArgument("alltoallv: send_counts length"));
+        }
+
+        let computed_sd: Vec<usize>;
+        let sd: &[usize] = if SD::PROVIDED {
+            let d = send_displs.provided();
+            if d.len() != p {
+                return Err(KampingError::InvalidArgument("alltoallv: send_displs length"));
+            }
+            d
+        } else {
+            if sc.iter().sum::<usize>() != data.len() {
+                return Err(KampingError::InvalidArgument(
+                    "alltoallv: send_counts do not sum to send buffer length",
+                ));
+            }
+            computed_sd = excl_prefix_sum(sc);
+            &computed_sd
+        };
+
+        // Receive counts: exchanged with one alltoall when omitted.
+        let computed_rc: Vec<usize>;
+        let rc: &[usize] = if C::PROVIDED {
+            let c = recv_counts.provided();
+            if c.len() != p {
+                return Err(KampingError::InvalidArgument("alltoallv: recv_counts length"));
+            }
+            c
+        } else {
+            let wire = crate::buffers::encode_counts(sc);
+            let exchanged = comm.raw().alltoall(&wire)?;
+            computed_rc = crate::buffers::decode_counts(&exchanged);
+            &computed_rc
+        };
+
+        let computed_rd: Vec<usize>;
+        let rd: &[usize] = if D::PROVIDED {
+            let d = recv_displs.provided();
+            if d.len() != p {
+                return Err(KampingError::InvalidArgument("alltoallv: recv_displs length"));
+            }
+            d
+        } else {
+            computed_rd = excl_prefix_sum(rc);
+            &computed_rd
+        };
+
+        // Byte-level exchange with canonical receive placement; custom
+        // receive displacements are applied afterwards.
+        let sc_bytes = to_byte_counts(sc, T::SIZE);
+        let sd_bytes = to_byte_counts(sd, T::SIZE);
+        let rc_bytes = to_byte_counts(rc, T::SIZE);
+        let rd_canonical = excl_prefix_sum(&rc_bytes);
+        let concat = comm.raw().alltoallv(
+            pod_as_bytes(data),
+            &sc_bytes,
+            &sd_bytes,
+            &rc_bytes,
+            &rd_canonical,
+        )?;
+
+        let out = if D::PROVIDED {
+            let placed = place_by_displs(&concat, rc, rd, T::SIZE)?;
+            recv.place(&placed)?
+        } else {
+            recv.place(&concat)?
+        };
+
+        let counts_out = <C as OutRequest>::wrap(if <C as OutRequest>::REQUESTED {
+            rc.to_vec()
+        } else {
+            Vec::new()
+        });
+        let displs_out = <D as OutRequest>::wrap(if <D as OutRequest>::REQUESTED {
+            rd.to_vec()
+        } else {
+            Vec::new()
+        });
+        Ok(CallResult::new(out, counts_out, displs_out, Absent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn alltoall_transposes() {
+        crate::run(3, |comm| {
+            let me = comm.rank() as u32;
+            let send: Vec<u32> = (0..3).map(|d| me * 10 + d).collect();
+            let out = comm.alltoall(send_buf(&send)).call().unwrap().into_recv_buf();
+            let want: Vec<u32> = (0..3).map(|s| s * 10 + me).collect();
+            assert_eq!(out, want);
+        });
+    }
+
+    #[test]
+    fn alltoallv_two_required_params_only() {
+        crate::run(3, |comm| {
+            let me = comm.rank();
+            // Send (me + d + 1) copies of my rank id to rank d.
+            let counts: Vec<usize> = (0..3).map(|d| me + d + 1).collect();
+            let data: Vec<u64> = (0..3).flat_map(|d| vec![me as u64; me + d + 1]).collect();
+            let out = comm.alltoallv_vec(&data, &counts).unwrap();
+            let want: Vec<u64> = (0..3).flat_map(|s| vec![s as u64; s + me + 1]).collect();
+            assert_eq!(out, want);
+        });
+    }
+
+    #[test]
+    fn alltoallv_counts_exchange_is_one_alltoall() {
+        let (_, profile) = crate::run_profiled(4, |comm| {
+            let counts = vec![1usize; 4];
+            let data = vec![comm.rank() as u8; 4];
+            comm.alltoallv_vec(&data, &counts).unwrap();
+        });
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Alltoall), 4);
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Alltoallv), 4);
+    }
+
+    #[test]
+    fn alltoallv_with_recv_counts_skips_exchange() {
+        let (_, profile) = crate::run_profiled(2, |comm| {
+            let counts = [2usize, 2];
+            let data = vec![comm.rank() as u16; 4];
+            let out = comm
+                .alltoallv(send_buf(&data), send_counts(&counts))
+                .recv_counts(&counts)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out, vec![0, 0, 1, 1]);
+        });
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Alltoall), 0);
+    }
+
+    #[test]
+    fn alltoallv_recv_counts_and_displs_out() {
+        crate::run(2, |comm| {
+            let me = comm.rank();
+            let counts: Vec<usize> = vec![me + 1, me + 1];
+            let data = vec![me as u8; 2 * (me + 1)];
+            let (buf, rc, rd) = comm
+                .alltoallv(send_buf(&data), send_counts(&counts))
+                .recv_counts_out()
+                .recv_displs_out()
+                .call()
+                .unwrap()
+                .into_parts3();
+            assert_eq!(rc, vec![1, 2]);
+            assert_eq!(rd, vec![0, 1]);
+            assert_eq!(buf, vec![0, 1, 1]);
+        });
+    }
+
+    #[test]
+    fn alltoallv_explicit_displacements() {
+        crate::run(2, |comm| {
+            // Send buffer has a junk gap; displacements pick the real blocks.
+            let me = comm.rank() as u32;
+            let data = vec![me, 999, me + 10];
+            let counts = [1usize, 1];
+            let displs = [0usize, 2];
+            let out = comm
+                .alltoallv(send_buf(&data), send_counts(&counts))
+                .send_displs(&displs)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            // From rank 0: element at displ of my column; from rank 1 same.
+            let want: Vec<u32> = (0..2u32).map(|s| s + 10 * me).collect();
+            assert_eq!(out, want);
+        });
+    }
+
+    #[test]
+    fn alltoallv_bad_counts_rejected() {
+        crate::run(1, |comm| {
+            let data = [1u8, 2];
+            let counts = [1usize]; // sums to 1, data has 2
+            let err = comm
+                .alltoallv(send_buf(&data), send_counts(&counts))
+                .call()
+                .unwrap_err();
+            assert!(matches!(err, KampingError::InvalidArgument(_)));
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! Named-parameter builders for the collective operations.
+//!
+//! Each collective gets a builder struct whose type parameters encode which
+//! named parameters were supplied; `call()` is implemented once, with the
+//! per-slot behaviour (use the provided value / compute the default /
+//! return by value) resolved statically through the slot traits of
+//! [`crate::params`]. See the module docs there for the design rationale.
+
+pub mod allgather;
+pub mod alltoall;
+pub mod bcast;
+pub mod gather;
+pub mod reduce;
+pub mod scatter;
+
+use crate::error::{KResult, KampingError};
+
+/// Exclusive prefix sum — the canonical displacements of `counts`.
+pub(crate) fn excl_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    kamping_mpi::coll::excl_prefix_sum(counts)
+}
+
+/// Scales element counts to byte counts.
+pub(crate) fn to_byte_counts(counts: &[usize], elem_size: usize) -> Vec<usize> {
+    counts.iter().map(|&c| c * elem_size).collect()
+}
+
+/// Re-places rank blocks that arrive concatenated in rank order into a
+/// buffer laid out according to caller-provided element displacements.
+/// Returns the displaced byte image.
+pub(crate) fn place_by_displs(
+    concat: &[u8],
+    counts: &[usize],
+    displs: &[usize],
+    elem_size: usize,
+) -> KResult<Vec<u8>> {
+    if counts.len() != displs.len() {
+        return Err(KampingError::InvalidArgument("counts/displs length mismatch"));
+    }
+    let total_elems = counts
+        .iter()
+        .zip(displs)
+        .map(|(&c, &d)| d + c)
+        .max()
+        .unwrap_or(0);
+    let mut out = vec![0u8; total_elems * elem_size];
+    let mut src = 0usize;
+    for (&c, &d) in counts.iter().zip(displs) {
+        let nbytes = c * elem_size;
+        if src + nbytes > concat.len() || (d * elem_size) + nbytes > out.len() {
+            return Err(KampingError::InvalidArgument("displacement out of bounds"));
+        }
+        out[d * elem_size..d * elem_size + nbytes].copy_from_slice(&concat[src..src + nbytes]);
+        src += nbytes;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_by_displs_reorders_blocks() {
+        // Two ranks, 1 and 2 elements of 2 bytes, displaced with a gap.
+        let concat = [1u8, 1, 2, 2, 3, 3];
+        let placed = place_by_displs(&concat, &[1, 2], &[2, 0], 2).unwrap();
+        // rank 1's block at element 0, rank 0's at element 2
+        assert_eq!(placed, vec![2, 2, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn place_by_displs_bounds_checked() {
+        let concat = [0u8; 4];
+        assert!(place_by_displs(&concat, &[2], &[0], 2).is_ok());
+        assert!(place_by_displs(&concat, &[3], &[0], 2).is_err());
+        assert!(place_by_displs(&concat, &[2], &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn byte_count_scaling() {
+        assert_eq!(to_byte_counts(&[1, 2, 3], 8), vec![8, 16, 24]);
+    }
+}

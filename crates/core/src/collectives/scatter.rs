@@ -1,0 +1,248 @@
+//! `scatter` / `scatterv` builders (root distributes blocks).
+
+use crate::collectives::{excl_prefix_sum, to_byte_counts};
+use crate::communicator::Communicator;
+use crate::error::{KResult, KampingError};
+use crate::params::{
+    recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
+    recv_buf_resize as recv_buf_resize_param, Absent, RecvBuf, RecvBufSlot, SendBuf,
+    SendBufSlot, SendCounts, SendCountsSlot, Unset,
+};
+use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
+use crate::result::CallResult;
+use crate::types::{pod_as_bytes, PodType};
+
+/// Builder for a fixed-size `scatter`: the root's buffer is split into
+/// `size` equal blocks; rank `i` receives block `i`.
+#[must_use = "builders do nothing until .call()"]
+pub struct Scatter<'c, S, R> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+    root: usize,
+}
+
+/// Builder for a variable-size `scatterv`; the root must supply
+/// `send_counts` (one block length per destination).
+#[must_use = "builders do nothing until .call()"]
+pub struct Scatterv<'c, S, R, C> {
+    comm: &'c Communicator,
+    send: S,
+    recv: R,
+    counts: C,
+    root: usize,
+}
+
+impl Communicator {
+    /// Starts a fixed-size `scatter` of the root's `send_buf` (non-roots
+    /// pass an empty buffer). Default root 0.
+    pub fn scatter<X>(&self, send_buf: SendBuf<X>) -> Scatter<'_, SendBuf<X>, Unset> {
+        Scatter { comm: self, send: send_buf, recv: Unset, root: 0 }
+    }
+
+    /// Starts a variable-size `scatterv` of the root's `send_buf`.
+    pub fn scatterv<X>(&self, send_buf: SendBuf<X>) -> Scatterv<'_, SendBuf<X>, Unset, Unset> {
+        Scatterv { comm: self, send: send_buf, recv: Unset, counts: Unset, root: 0 }
+    }
+}
+
+impl<'c, S, R> Scatter<'c, S, R> {
+    /// Names the root rank.
+    pub fn root(mut self, rank: usize) -> Self {
+        self.root = rank;
+        self
+    }
+
+    /// Writes this rank's block into `buf` (checking [`NoResize`]).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Scatter<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
+        Scatter { comm: self.comm, send: self.send, recv: recv_buf_param(buf), root: self.root }
+    }
+
+    /// Writes this rank's block into `buf` under policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Scatter<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
+        Scatter { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf), root: self.root }
+    }
+
+    /// Moves `buf` in to be reused as the returned block.
+    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Scatter<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Scatter { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf), root: self.root }
+    }
+
+    /// Executes the scatter.
+    pub fn call<T>(self) -> KResult<CallResult<R::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+    {
+        let Scatter { comm, send, recv, root } = self;
+        let p = comm.size();
+        let parts: Option<Vec<Vec<u8>>> = if comm.rank() == root {
+            let data = send.slice();
+            if !data.len().is_multiple_of(p) {
+                return Err(KampingError::InvalidArgument(
+                    "scatter: send buffer length not divisible by comm size",
+                ));
+            }
+            let block = data.len() / p;
+            Some((0..p).map(|i| pod_as_bytes(&data[i * block..(i + 1) * block]).to_vec()).collect())
+        } else {
+            None
+        };
+        let bytes = comm.raw().scatter(parts.as_deref(), root)?;
+        let out = recv.place(&bytes)?;
+        Ok(CallResult::new(out, Absent, Absent, Absent))
+    }
+}
+
+impl<'c, S, R, C> Scatterv<'c, S, R, C> {
+    /// Names the root rank.
+    pub fn root(mut self, rank: usize) -> Self {
+        self.root = rank;
+        self
+    }
+
+    /// Writes this rank's block into `buf` (checking [`NoResize`]).
+    pub fn recv_buf<'b, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Scatterv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, C> {
+        let Scatterv { comm, send, counts, root, .. } = self;
+        Scatterv { comm, send, recv: recv_buf_param(buf), counts, root }
+    }
+
+    /// Writes this rank's block into `buf` under policy `P`.
+    pub fn recv_buf_resize<'b, P: ResizePolicy, T: PodType>(
+        self,
+        buf: &'b mut Vec<T>,
+    ) -> Scatterv<'c, S, RecvBuf<&'b mut Vec<T>, P>, C> {
+        let Scatterv { comm, send, counts, root, .. } = self;
+        Scatterv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), counts, root }
+    }
+
+    /// Moves `buf` in to be reused as the returned block.
+    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Scatterv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C> {
+        let Scatterv { comm, send, counts, root, .. } = self;
+        Scatterv { comm, send, recv: recv_buf_owned_param(buf), counts, root }
+    }
+
+    /// Supplies the per-destination block lengths (required at the root).
+    pub fn send_counts<'v>(self, counts: &'v [usize]) -> Scatterv<'c, S, R, SendCounts<&'v [usize]>> {
+        let Scatterv { comm, send, recv, root, .. } = self;
+        Scatterv { comm, send, recv, counts: crate::params::send_counts(counts), root }
+    }
+
+    /// Executes the scatterv.
+    pub fn call<T>(self) -> KResult<CallResult<R::Out>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+        R: RecvBufSlot<T>,
+        C: SendCountsSlot,
+    {
+        let Scatterv { comm, send, recv, counts, root } = self;
+        let p = comm.size();
+        let parts: Option<Vec<Vec<u8>>> = if comm.rank() == root {
+            if !C::PROVIDED {
+                return Err(KampingError::InvalidArgument(
+                    "scatterv: root must supply send_counts",
+                ));
+            }
+            let c = counts.provided();
+            if c.len() != p {
+                return Err(KampingError::InvalidArgument("scatterv: send_counts length"));
+            }
+            let data = send.slice();
+            if c.iter().sum::<usize>() != data.len() {
+                return Err(KampingError::InvalidArgument(
+                    "scatterv: send_counts do not sum to send buffer length",
+                ));
+            }
+            let byte_counts = to_byte_counts(c, T::SIZE);
+            let displs = excl_prefix_sum(&byte_counts);
+            let raw = pod_as_bytes(data);
+            Some(
+                byte_counts
+                    .iter()
+                    .zip(&displs)
+                    .map(|(&n, &d)| raw[d..d + n].to_vec())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let bytes = comm.raw().scatterv(parts.as_deref(), root)?;
+        let out = recv.place(&bytes)?;
+        Ok(CallResult::new(out, Absent, Absent, Absent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn scatter_equal_blocks() {
+        crate::run(3, |comm| {
+            let data: Vec<u32> = if comm.rank() == 0 { (0..6).collect() } else { Vec::new() };
+            let out = comm.scatter(send_buf(&data)).call().unwrap().into_recv_buf();
+            let r = comm.rank() as u32;
+            assert_eq!(out, vec![2 * r, 2 * r + 1]);
+        });
+    }
+
+    #[test]
+    fn scatterv_variable_blocks() {
+        crate::run(3, |comm| {
+            let (data, counts): (Vec<u8>, Vec<usize>) = if comm.rank() == 1 {
+                (vec![0, 1, 1, 2, 2, 2], vec![1, 2, 3])
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let out = comm
+                .scatterv(send_buf(&data))
+                .send_counts(&counts)
+                .root(1)
+                .call()
+                .unwrap()
+                .into_recv_buf();
+            assert_eq!(out, vec![comm.rank() as u8; comm.rank() + 1]);
+        });
+    }
+
+    #[test]
+    fn scatterv_without_counts_rejected_at_root() {
+        crate::run(1, |comm| {
+            let data = [1u8];
+            let err = comm.scatterv(send_buf(&data)).call().unwrap_err();
+            assert!(matches!(err, KampingError::InvalidArgument(_)));
+        });
+    }
+
+    #[test]
+    fn scatter_into_preallocated_buffer() {
+        crate::run(2, |comm| {
+            let data: Vec<u16> = if comm.rank() == 0 { vec![7, 8] } else { Vec::new() };
+            let mut out = vec![0u16; 1];
+            comm.scatter(send_buf(&data)).recv_buf(&mut out).call().unwrap();
+            assert_eq!(out, vec![7 + comm.rank() as u16]);
+        });
+    }
+
+    #[test]
+    fn scatter_indivisible_rejected() {
+        crate::run(2, |comm| {
+            if comm.rank() == 0 {
+                let data = [1u8, 2, 3];
+                let err = comm.scatter(send_buf(&data)).call().unwrap_err();
+                assert!(matches!(err, KampingError::InvalidArgument(_)));
+            }
+        });
+    }
+}

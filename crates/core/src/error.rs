@@ -1,0 +1,112 @@
+//! Error handling (paper §III-G).
+//!
+//! MPI reports everything through return codes, without separating
+//! recoverable *failures* from *usage errors*. KaMPIng's policy, which we
+//! follow: failures become values of a proper error type (C++ exceptions
+//! there, `Result` here), usage errors are caught at compile time wherever
+//! possible (missing parameters are trait-bound errors), and the rest are
+//! checked by configurable runtime assertions ([`crate::assertions`]).
+
+use std::fmt;
+
+use kamping_mpi::MpiError;
+use kamping_serial::SerialError;
+
+/// Result alias of the binding layer.
+pub type KResult<T> = Result<T, KampingError>;
+
+/// Errors surfaced by kamping operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KampingError {
+    /// The underlying message-passing layer failed (peer death, revoked
+    /// communicator, truncation, …).
+    Mpi(MpiError),
+    /// A receive buffer with the checking [`crate::NoResize`] policy was too
+    /// small for the incoming data.
+    BufferTooSmall {
+        /// Elements required.
+        needed: usize,
+        /// Elements the buffer could hold.
+        available: usize,
+    },
+    /// A payload could not be (de)serialized.
+    Serial(SerialError),
+    /// A runtime assertion (see [`crate::assertions`]) was violated.
+    AssertionFailed(&'static str),
+    /// Count/displacement parameters were inconsistent with the data.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for KampingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KampingError::Mpi(e) => write!(f, "message-passing failure: {e}"),
+            KampingError::BufferTooSmall { needed, available } => write!(
+                f,
+                "receive buffer too small under NoResize policy: needed {needed} elements, \
+                 have {available} (use recv_buf_resize::<ResizeToFit>/<GrowOnly> to allow resizing)"
+            ),
+            KampingError::Serial(e) => write!(f, "serialization failure: {e}"),
+            KampingError::AssertionFailed(what) => write!(f, "kamping assertion failed: {what}"),
+            KampingError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KampingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KampingError::Mpi(e) => Some(e),
+            KampingError::Serial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpiError> for KampingError {
+    fn from(e: MpiError) -> Self {
+        KampingError::Mpi(e)
+    }
+}
+
+impl From<SerialError> for KampingError {
+    fn from(e: SerialError) -> Self {
+        KampingError::Serial(e)
+    }
+}
+
+impl KampingError {
+    /// True for errors that ULFM-style recovery can handle (a peer died or
+    /// the communicator was revoked) — the distinction §III-G and the ULFM
+    /// plugin rely on.
+    pub fn is_process_failure(&self) -> bool {
+        matches!(self, KampingError::Mpi(e) if e.is_failure())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: KampingError = MpiError::Revoked.into();
+        assert!(e.is_process_failure());
+        assert!(e.to_string().contains("revoked"));
+
+        let e: KampingError = SerialError::Invalid("bad").into();
+        assert!(!e.is_process_failure());
+        assert!(e.to_string().contains("serialization"));
+
+        let e = KampingError::BufferTooSmall { needed: 10, available: 4 };
+        assert!(e.to_string().contains("needed 10"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: KampingError = MpiError::Revoked.into();
+        assert!(e.source().is_some());
+        assert!(KampingError::AssertionFailed("x").source().is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Point-to-point builders: `send`, `recv`, `isend`, `irecv`.
+//!
+//! The named parameters here are [`crate::destination`], [`crate::source`],
+//! [`crate::tag`] and [`crate::recv_count`]; buffers work exactly as in the
+//! collectives. Non-blocking variants return the ownership-safe
+//! [`NonBlockingResult`] of §III-E.
+
+use kamping_mpi::Status;
+
+use crate::communicator::Communicator;
+use crate::error::KResult;
+use crate::nonblocking::NonBlockingResult;
+use crate::params::{Destination, RecvCount, SendBuf, SendBufSlot, Source, TagParam};
+use crate::types::{bytes_to_pods, pod_as_bytes, PodType};
+
+/// Default tag of point-to-point operations when none is named.
+pub const DEFAULT_TAG: kamping_mpi::Tag = 0;
+
+/// Builder for a blocking send.
+#[must_use = "builders do nothing until .call()"]
+pub struct Send<'c, S> {
+    comm: &'c Communicator,
+    send: S,
+    dest: usize,
+    tag: kamping_mpi::Tag,
+}
+
+/// Builder for a blocking receive of elements of type `T`.
+#[must_use = "builders do nothing until .call()"]
+pub struct Recv<'c, T> {
+    comm: &'c Communicator,
+    src: usize,
+    tag: kamping_mpi::Tag,
+    expected: Option<usize>,
+    _t: std::marker::PhantomData<T>,
+}
+
+/// Builder for a non-blocking send.
+#[must_use = "builders do nothing until .call()"]
+pub struct Isend<'c, S> {
+    comm: &'c Communicator,
+    send: S,
+    dest: usize,
+    tag: kamping_mpi::Tag,
+    synchronous: bool,
+}
+
+/// Builder for a non-blocking receive of elements of type `T`.
+#[must_use = "builders do nothing until .call()"]
+pub struct Irecv<'c, T> {
+    comm: &'c Communicator,
+    src: usize,
+    tag: kamping_mpi::Tag,
+    expected: Option<usize>,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl Communicator {
+    /// Starts a blocking send of `send_buf` to `destination`.
+    pub fn send<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Send<'_, SendBuf<X>> {
+        Send { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG }
+    }
+
+    /// Starts a blocking receive from `source`.
+    pub fn recv<T: PodType>(&self, source: Source) -> Recv<'_, T> {
+        Recv { comm: self, src: source.0, tag: DEFAULT_TAG, expected: None, _t: std::marker::PhantomData }
+    }
+
+    /// Starts a non-blocking send; the buffer is moved in and handed back
+    /// by `wait()` (§III-E).
+    pub fn isend<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Isend<'_, SendBuf<X>> {
+        Isend { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG, synchronous: false }
+    }
+
+    /// Starts a non-blocking *synchronous-mode* send (completes only once
+    /// matched — the NBX building block).
+    pub fn issend<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Isend<'_, SendBuf<X>> {
+        Isend { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG, synchronous: true }
+    }
+
+    /// Starts a non-blocking receive.
+    pub fn irecv<T: PodType>(&self, source: Source) -> Irecv<'_, T> {
+        Irecv { comm: self, src: source.0, tag: DEFAULT_TAG, expected: None, _t: std::marker::PhantomData }
+    }
+
+    /// Non-blocking probe: status of a matching pending message, if any.
+    pub fn iprobe<T: PodType>(&self, source: Source, tag_param: TagParam) -> KResult<Option<Status>> {
+        Ok(self.raw().iprobe(source.0, tag_param.0)?)
+    }
+}
+
+impl<'c, S> Send<'c, S> {
+    /// Names the message tag.
+    pub fn tag(mut self, t: kamping_mpi::Tag) -> Self {
+        self.tag = t;
+        self
+    }
+
+    /// Accepts the [`TagParam`] object form.
+    pub fn tag_param(mut self, t: TagParam) -> Self {
+        self.tag = t.0;
+        self
+    }
+
+    /// Executes the send.
+    pub fn call<T>(self) -> KResult<()>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+    {
+        let Send { comm, send, dest, tag } = self;
+        // One encode copy either way; the wire buffer is moved (not
+        // re-copied) into the transport.
+        let wire = pod_as_bytes(send.slice()).to_vec();
+        comm.raw().send_owned(dest, tag, wire)?;
+        Ok(())
+    }
+}
+
+impl<'c, T: PodType> Recv<'c, T> {
+    /// Names the message tag.
+    pub fn tag(mut self, t: kamping_mpi::Tag) -> Self {
+        self.tag = t;
+        self
+    }
+
+    /// Declares the expected element count (validated on delivery).
+    pub fn recv_count(mut self, n: usize) -> Self {
+        self.expected = Some(n);
+        self
+    }
+
+    /// Accepts the [`RecvCount`] object form.
+    pub fn recv_count_param(mut self, n: RecvCount) -> Self {
+        self.expected = Some(n.0);
+        self
+    }
+
+    /// Executes the receive; returns the elements and the delivery status.
+    pub fn call(self) -> KResult<(Vec<T>, Status)> {
+        let Recv { comm, src, tag, expected, .. } = self;
+        let (bytes, status) = comm.raw().recv(src, tag)?;
+        let data = bytes_to_pods::<T>(&bytes)?;
+        if let Some(n) = expected {
+            if data.len() != n {
+                return Err(crate::KampingError::InvalidArgument(
+                    "received element count differs from recv_count",
+                ));
+            }
+        }
+        Ok((data, status))
+    }
+}
+
+impl<'c, S> Isend<'c, S> {
+    /// Names the message tag.
+    pub fn tag(mut self, t: kamping_mpi::Tag) -> Self {
+        self.tag = t;
+        self
+    }
+
+    /// Executes the non-blocking send; the returned result owns the buffer
+    /// until completion.
+    pub fn call<T>(self) -> KResult<NonBlockingResult<T>>
+    where
+        T: PodType,
+        S: SendBufSlot<T>,
+    {
+        let Isend { comm, send, dest, tag, synchronous } = self;
+        let wire = pod_as_bytes(send.slice()).to_vec();
+        let req = if synchronous {
+            comm.raw().issend(dest, tag, wire)?
+        } else {
+            comm.raw().isend(dest, tag, wire)?
+        };
+        let buf = send.reclaim().unwrap_or_default();
+        Ok(NonBlockingResult::send(req, buf))
+    }
+}
+
+impl<'c, T: PodType> Irecv<'c, T> {
+    /// Names the message tag.
+    pub fn tag(mut self, t: kamping_mpi::Tag) -> Self {
+        self.tag = t;
+        self
+    }
+
+    /// Declares the expected element count (validated on delivery) —
+    /// paper Fig. 6's `recv_count(42)`.
+    pub fn recv_count(mut self, n: usize) -> Self {
+        self.expected = Some(n);
+        self
+    }
+
+    /// Executes the non-blocking receive.
+    pub fn call(self) -> KResult<NonBlockingResult<T>> {
+        let Irecv { comm, src, tag, expected, .. } = self;
+        let req = comm.raw().irecv(src, tag)?;
+        Ok(NonBlockingResult::recv(req, expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn typed_ping_pong_with_tags() {
+        crate::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(send_buf(&[1.5f64, 2.5]), destination(1)).tag(4).call().unwrap();
+                let (got, st) = comm.recv::<i32>(source(1)).tag(5).call().unwrap();
+                assert_eq!(got, vec![-1, -2]);
+                assert_eq!(st.source, 1);
+            } else {
+                let (got, _) = comm.recv::<f64>(source(0)).tag(4).call().unwrap();
+                assert_eq!(got, vec![1.5, 2.5]);
+                comm.send(send_buf(&[-1i32, -2]), destination(0)).tag(5).call().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_receive() {
+        crate::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (data, st) = comm.recv::<u8>(any_source()).call().unwrap();
+                    seen.push((st.source, data[0]));
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![(1, 10), (2, 20)]);
+            } else {
+                comm.send(send_buf(&[comm.rank() as u8 * 10]), destination(0)).call().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_count_validation_on_blocking_recv() {
+        crate::run(2, |comm| {
+            if comm.rank() == 0 {
+                assert!(comm.recv::<u8>(source(1)).recv_count(3).call().is_ok());
+                assert!(comm.recv::<u8>(source(1)).recv_count(3).call().is_err());
+            } else {
+                comm.send(send_buf(&[1u8, 2, 3]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[1u8]), destination(0)).call().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn iprobe_sees_pending_message() {
+        crate::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(send_buf(&[1u32]), destination(1)).tag(3).call().unwrap();
+                comm.barrier().unwrap();
+            } else {
+                comm.barrier().unwrap();
+                let st = comm.iprobe::<u32>(source(0), tag(3)).unwrap().unwrap();
+                assert_eq!(st.bytes, 4);
+                assert!(comm.iprobe::<u32>(source(0), tag(7)).unwrap().is_none());
+                comm.recv::<u32>(source(0)).tag(3).call().unwrap();
+            }
+        });
+    }
+}

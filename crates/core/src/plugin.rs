@@ -1,0 +1,69 @@
+//! The plugin architecture (paper §III-F).
+//!
+//! KaMPIng keeps its core small and lets extensions add operations to the
+//! communicator without touching application code. In C++ this is done
+//! with CRTP mixins; the idiomatic Rust mechanism is the **extension
+//! trait**: a plugin defines a trait with the new operations and a blanket
+//! implementation for [`Communicator`] (or for anything exposing one).
+//! Importing the trait "installs" the plugin — existing code is untouched,
+//! and plugins can define their own named parameters.
+//!
+//! The plugins shipped with this reproduction live in `kamping-plugins`:
+//! grid all-to-all, sparse (NBX) all-to-all, ULFM fault tolerance, and
+//! reproducible reduce — the same set §V of the paper describes.
+//!
+//! ```
+//! use kamping::plugin::CommunicatorPlugin;
+//! use kamping::prelude::*;
+//!
+//! /// A toy plugin adding a `hello` collective.
+//! trait HelloPlugin: CommunicatorPlugin {
+//!     fn hello(&self) -> KResult<Vec<u64>> {
+//!         self.comm().allgather_vec(&[self.comm().rank() as u64])
+//!     }
+//! }
+//! impl HelloPlugin for Communicator {}
+//!
+//! kamping::run(3, |comm| {
+//!     assert_eq!(comm.hello().unwrap(), vec![0, 1, 2]);
+//! });
+//! ```
+
+use crate::communicator::Communicator;
+
+/// Base trait every plugin extends: anything that can produce the
+/// communicator it operates on. Implemented by [`Communicator`] itself, so
+/// `impl MyPlugin for Communicator {}` is all a plugin needs.
+pub trait CommunicatorPlugin {
+    /// The communicator the plugin's operations run on.
+    fn comm(&self) -> &Communicator;
+}
+
+impl CommunicatorPlugin for Communicator {
+    fn comm(&self) -> &Communicator {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    trait DoublingPlugin: CommunicatorPlugin {
+        /// Plugins can override/extend collectives (§III-F): this one sums
+        /// twice the local value.
+        fn allreduce_doubled(&self, v: u64) -> KResult<u64> {
+            self.comm().allreduce_single(2 * v, |a, b| a + b)
+        }
+    }
+    impl DoublingPlugin for Communicator {}
+
+    #[test]
+    fn extension_trait_plugin_works_without_changing_core() {
+        crate::run(3, |comm| {
+            let s = comm.allreduce_doubled(comm.rank() as u64).unwrap();
+            assert_eq!(s, 2 * (1 + 2));
+        });
+    }
+}

@@ -1,0 +1,194 @@
+//! Transparent, opt-in serialization (paper §III-D3).
+//!
+//! Heap-backed, non-contiguous data (`HashMap<String, String>`-like) cannot
+//! be described by a flat datatype; it must be packed. KaMPIng's position:
+//! serialization is *never implicit* (Boost.MPI's silent fallback hides
+//! real costs), but once the user writes `as_serialized(...)` it is fully
+//! transparent — the wire bytes never surface.
+//!
+//! ```
+//! use kamping::prelude::*;
+//! use std::collections::HashMap;
+//!
+//! kamping::run(2, |comm| {
+//!     let mut dict: HashMap<String, String> = HashMap::new();
+//!     if comm.rank() == 0 {
+//!         dict.insert("model".into(), "GTR+G".into());
+//!     }
+//!     // The RAxML-NG one-liner (paper Fig. 11).
+//!     comm.bcast_object(&mut dict, 0).unwrap();
+//!     assert_eq!(dict["model"], "GTR+G");
+//! });
+//! ```
+
+use kamping_serial::{from_bytes, to_bytes, Deserialize, Serialize};
+
+use crate::communicator::Communicator;
+use crate::error::KResult;
+use crate::params::{Destination, Source};
+
+/// In-parameter: serialize `value` into the message (paper's
+/// `as_serialized`).
+pub struct Serialized<'a, V: Serialize + ?Sized> {
+    value: &'a V,
+}
+
+/// Wraps a value for serialized transmission.
+pub fn as_serialized<V: Serialize + ?Sized>(value: &V) -> Serialized<'_, V> {
+    Serialized { value }
+}
+
+/// Out-parameter: deserialize the received message into a `V` (paper's
+/// `as_deserializable<T>()`).
+pub struct DeserializeInto<V> {
+    _v: std::marker::PhantomData<V>,
+}
+
+/// Requests deserialization of the received payload.
+pub fn as_deserializable<V: Deserialize>() -> DeserializeInto<V> {
+    DeserializeInto { _v: std::marker::PhantomData }
+}
+
+impl Communicator {
+    /// Sends a serialized object (blocking).
+    pub fn send_object<V: Serialize + ?Sized>(
+        &self,
+        obj: Serialized<'_, V>,
+        destination: Destination,
+    ) -> KResult<()> {
+        self.send_object_tagged(obj, destination, crate::p2p::DEFAULT_TAG)
+    }
+
+    /// Sends a serialized object with an explicit tag.
+    pub fn send_object_tagged<V: Serialize + ?Sized>(
+        &self,
+        obj: Serialized<'_, V>,
+        destination: Destination,
+        tag: kamping_mpi::Tag,
+    ) -> KResult<()> {
+        let wire = to_bytes(obj.value);
+        self.raw().send_owned(destination.0, tag, wire)?;
+        Ok(())
+    }
+
+    /// Receives and deserializes an object (blocking).
+    pub fn recv_object<V: Deserialize>(
+        &self,
+        _how: DeserializeInto<V>,
+        source: Source,
+    ) -> KResult<V> {
+        self.recv_object_tagged(_how, source, crate::p2p::DEFAULT_TAG)
+    }
+
+    /// Receives and deserializes an object with an explicit tag.
+    pub fn recv_object_tagged<V: Deserialize>(
+        &self,
+        _how: DeserializeInto<V>,
+        source: Source,
+        tag: kamping_mpi::Tag,
+    ) -> KResult<V> {
+        let (wire, _status) = self.raw().recv(source.0, tag)?;
+        Ok(from_bytes::<V>(&wire)?)
+    }
+
+    /// Broadcasts `obj` from `root` through serialization, replacing the
+    /// other ranks' `obj` — the one-line replacement for RAxML-NG's
+    /// hand-written serialize+size-broadcast+payload-broadcast helper
+    /// (paper Fig. 11).
+    pub fn bcast_object<V: Serialize + Deserialize>(&self, obj: &mut V, root: usize) -> KResult<()> {
+        let mut wire = if self.rank() == root { to_bytes(&*obj) } else { Vec::new() };
+        self.raw().bcast(&mut wire, root)?;
+        if self.rank() != root {
+            *obj = from_bytes::<V>(&wire)?;
+        }
+        Ok(())
+    }
+
+    /// Gathers serialized objects at `root`: returns everyone's object in
+    /// rank order there, an empty vector elsewhere.
+    pub fn gather_objects<V: Serialize + Deserialize>(&self, obj: &V, root: usize) -> KResult<Vec<V>> {
+        let wire = to_bytes(obj);
+        // Variable-size payloads: lengths first, then a byte gatherv.
+        let lens_wire = crate::buffers::encode_counts(&[wire.len()]);
+        let len_counts = self.raw().gather(&lens_wire, root)?;
+        let counts: Option<Vec<usize>> = len_counts.map(|bytes| crate::buffers::decode_counts(&bytes));
+        let gathered = self.raw().gatherv(&wire, counts.as_deref(), root)?;
+        match (gathered, counts) {
+            (Some(bytes), Some(counts)) => {
+                let mut out = Vec::with_capacity(counts.len());
+                let mut offset = 0;
+                for c in counts {
+                    out.push(from_bytes::<V>(&bytes[offset..offset + c])?);
+                    offset += c;
+                }
+                Ok(out)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn send_recv_serialized_dict_fig_5() {
+        crate::run(2, |comm| {
+            type Dict = HashMap<String, String>;
+            if comm.rank() == 0 {
+                let mut data: Dict = HashMap::new();
+                data.insert("taxon".into(), "pan troglodytes".into());
+                data.insert("len".into(), "1337".into());
+                comm.send_object(as_serialized(&data), destination(1)).unwrap();
+            } else {
+                let dict = comm.recv_object(as_deserializable::<Dict>(), source(0)).unwrap();
+                assert_eq!(dict["taxon"], "pan troglodytes");
+                assert_eq!(dict.len(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_object_replaces_nonroot_values() {
+        crate::run(4, |comm| {
+            let mut v: Vec<String> = if comm.rank() == 2 {
+                vec!["alpha".into(), "beta".into()]
+            } else {
+                vec!["junk".into()]
+            };
+            comm.bcast_object(&mut v, 2).unwrap();
+            assert_eq!(v, vec!["alpha".to_string(), "beta".to_string()]);
+        });
+    }
+
+    #[test]
+    fn gather_objects_in_rank_order() {
+        crate::run(3, |comm| {
+            let mine = vec![format!("rank-{}", comm.rank()); comm.rank() + 1];
+            let all = comm.gather_objects(&mine, 0).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all.len(), 3);
+                assert_eq!(all[2], vec!["rank-2".to_string(); 3]);
+            } else {
+                assert!(all.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn serialization_roundtrips_nested_structures() {
+        crate::run(2, |comm| {
+            type Nested = HashMap<String, Vec<(u64, String)>>;
+            if comm.rank() == 0 {
+                let mut n: Nested = HashMap::new();
+                n.insert("edges".into(), vec![(1, "a".into()), (2, "b".into())]);
+                comm.send_object(as_serialized(&n), destination(1)).unwrap();
+            } else {
+                let n = comm.recv_object(as_deserializable::<Nested>(), source(0)).unwrap();
+                assert_eq!(n["edges"][1].1, "b");
+            }
+        });
+    }
+}

@@ -1,0 +1,105 @@
+//! Utilities for unstructured send data.
+//!
+//! The MPI forum wish-list (§II) includes "support for unstructured send
+//! data, i.e. a mapping of communication partners to data buffers". The
+//! paper's `with_flattened(...)` helper turns a container of
+//! destination→messages pairs into the contiguous buffer + send counts an
+//! `alltoallv` needs; this is its Rust counterpart (used by the BFS
+//! example exactly as in paper Fig. 9).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A flattened destination-keyed message set, ready for `alltoallv`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flattened<T> {
+    /// All messages back-to-back, grouped by destination rank.
+    pub data: Vec<T>,
+    /// `counts[d]` = number of elements destined for rank `d`.
+    pub counts: Vec<usize>,
+}
+
+/// Flattens `dest → messages` into a contiguous buffer plus send counts
+/// for a communicator of `size` ranks. Destinations out of range panic
+/// (they are programming errors, like an invalid rank in MPI).
+pub fn with_flattened<T>(buckets: HashMap<usize, Vec<T>>, size: usize) -> Flattened<T> {
+    // Deterministic destination order regardless of hash order.
+    let ordered: BTreeMap<usize, Vec<T>> = buckets.into_iter().collect();
+    let mut counts = vec![0usize; size];
+    let mut total = 0usize;
+    for (&dest, msgs) in &ordered {
+        assert!(dest < size, "with_flattened: destination {dest} out of range for size {size}");
+        counts[dest] = msgs.len();
+        total += msgs.len();
+    }
+    let mut data = Vec::with_capacity(total);
+    for (_, mut msgs) in ordered {
+        data.append(&mut msgs);
+    }
+    Flattened { data, counts }
+}
+
+/// Inverse helper: splits a received concatenation into per-source slices
+/// according to `counts`.
+pub fn split_by_counts<'a, T>(data: &'a [T], counts: &[usize]) -> Vec<&'a [T]> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut offset = 0;
+    for &c in counts {
+        out.push(&data[offset..offset + c]);
+        offset += c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_orders_by_destination() {
+        let mut buckets = HashMap::new();
+        buckets.insert(2, vec![20, 21]);
+        buckets.insert(0, vec![1]);
+        let f = with_flattened(buckets, 4);
+        assert_eq!(f.data, vec![1, 20, 21]);
+        assert_eq!(f.counts, vec![1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn flatten_empty() {
+        let f = with_flattened(HashMap::<usize, Vec<u8>>::new(), 3);
+        assert!(f.data.is_empty());
+        assert_eq!(f.counts, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flatten_rejects_bad_destination() {
+        let mut buckets = HashMap::new();
+        buckets.insert(9, vec![1u8]);
+        with_flattened(buckets, 2);
+    }
+
+    #[test]
+    fn split_by_counts_roundtrips() {
+        let data = [1, 2, 3, 4, 5];
+        let parts = split_by_counts(&data, &[2, 0, 3]);
+        assert_eq!(parts, vec![&data[0..2], &data[2..2], &data[2..5]]);
+    }
+
+    #[test]
+    fn flatten_then_exchange() {
+        crate::run(2, |comm| {
+            use crate::prelude::*;
+            let mut buckets = HashMap::new();
+            buckets.insert(0, vec![comm.rank() as u64]);
+            buckets.insert(1, vec![comm.rank() as u64 + 100]);
+            let f = with_flattened(buckets, comm.size());
+            let got = comm.alltoallv_vec(&f.data, &f.counts).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(got, vec![0, 1]);
+            } else {
+                assert_eq!(got, vec![100, 101]);
+            }
+        });
+    }
+}

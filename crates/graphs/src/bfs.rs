@@ -1,0 +1,442 @@
+//! Distributed breadth-first search (paper §IV-B, Fig. 9, Fig. 10).
+//!
+//! The graph is distributed by contiguous vertex ranges; each BFS level
+//! expands the local frontier and exchanges the discovered remote vertices
+//! with their owners. That *frontier exchange* is exactly the irregular,
+//! dynamically-changing personalized communication §V-A is about, so the
+//! exchange is pluggable ([`ExchangeStrategy`]): built-in dense
+//! `alltoallv`, neighborhood collectives (static topology, or rebuilt
+//! every level to model dynamic patterns), NBX sparse all-to-all, and 2D
+//! grid all-to-all — the curves of Fig. 10.
+//!
+//! Two additional self-contained implementations exist for the Table I
+//! lines-of-code comparison, delimited by `LOC-BEGIN`/`LOC-END` markers
+//! counted by the `table1_loc` harness:
+//! [`bfs_plain`] uses only the low-level substrate API (the "plain MPI"
+//! column: hand-rolled count exchange, displacement computation and byte
+//! packing), while [`bfs_kamping`] is the paper's Fig. 9.
+
+use std::collections::HashMap;
+
+use kamping::prelude::*;
+use kamping_mpi::RawComm;
+use kamping_plugins::{GridAlltoall, GridCommunicator, SparseAlltoall};
+
+use crate::dist_graph::{DistGraph, VertexId, UNREACHED};
+
+/// How the per-level frontier exchange is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// Dense `alltoallv` through the kamping binding layer.
+    BuiltinAlltoallv,
+    /// `neighbor_alltoallv` on a graph topology built **once** from the
+    /// graph's static rank adjacency.
+    Neighbor,
+    /// `neighbor_alltoallv` with the topology **rebuilt before every
+    /// exchange** — the paper's model of dynamic communication patterns
+    /// ("MPI_Neighbor_alltoallv does not scale" under rebuilds, §V-A).
+    NeighborRebuild,
+    /// NBX sparse all-to-all (kamping-plugins).
+    Sparse,
+    /// Two-dimensional grid all-to-all (kamping-plugins).
+    Grid,
+}
+
+impl ExchangeStrategy {
+    /// All strategies, for sweep harnesses.
+    pub const ALL: [ExchangeStrategy; 5] = [
+        ExchangeStrategy::BuiltinAlltoallv,
+        ExchangeStrategy::Neighbor,
+        ExchangeStrategy::NeighborRebuild,
+        ExchangeStrategy::Sparse,
+        ExchangeStrategy::Grid,
+    ];
+
+    /// Label used in benchmark output (matches the Fig. 10 legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExchangeStrategy::BuiltinAlltoallv => "kamping",
+            ExchangeStrategy::Neighbor => "mpi_neighbor",
+            ExchangeStrategy::NeighborRebuild => "mpi_neighbor_rebuild",
+            ExchangeStrategy::Sparse => "kamping_sparse",
+            ExchangeStrategy::Grid => "kamping_grid",
+        }
+    }
+}
+
+/// Prepared exchange state (grid/topology built once where applicable).
+pub struct Exchanger {
+    strategy: ExchangeStrategy,
+    grid: Option<GridCommunicator>,
+    neighbor_comm: Option<RawComm>,
+    neighbor_ranks: Vec<usize>,
+}
+
+impl Exchanger {
+    /// Builds the exchanger for `strategy` (collective).
+    pub fn new(comm: &Communicator, g: &DistGraph, strategy: ExchangeStrategy) -> KResult<Self> {
+        let mut ex = Exchanger { strategy, grid: None, neighbor_comm: None, neighbor_ranks: Vec::new() };
+        match strategy {
+            ExchangeStrategy::Grid => ex.grid = Some(comm.make_grid()?),
+            ExchangeStrategy::Neighbor | ExchangeStrategy::NeighborRebuild => {
+                ex.neighbor_ranks = g.neighbor_ranks();
+                if strategy == ExchangeStrategy::Neighbor {
+                    ex.neighbor_comm = Some(
+                        comm.raw()
+                            .dist_graph_create_adjacent(ex.neighbor_ranks.clone(), ex.neighbor_ranks.clone())?,
+                    );
+                }
+            }
+            _ => {}
+        }
+        Ok(ex)
+    }
+
+    /// Delivers `buckets` (destination rank → vertex ids) and returns every
+    /// received id. Collective.
+    pub fn exchange(
+        &mut self,
+        comm: &Communicator,
+        mut buckets: HashMap<usize, Vec<VertexId>>,
+    ) -> KResult<Vec<VertexId>> {
+        match self.strategy {
+            ExchangeStrategy::BuiltinAlltoallv => {
+                let flat = with_flattened(buckets, comm.size());
+                comm.alltoallv_vec(&flat.data, &flat.counts)
+            }
+            ExchangeStrategy::Sparse => Ok(self
+                .comm_sparse(comm, buckets)?
+                .into_iter()
+                .flatten()
+                .collect()),
+            ExchangeStrategy::Grid => {
+                let flat = with_flattened(buckets, comm.size());
+                let grid = self.grid.as_ref().expect("grid built in new()");
+                Ok(grid.alltoallv(&flat.data, &flat.counts)?.0)
+            }
+            ExchangeStrategy::Neighbor | ExchangeStrategy::NeighborRebuild => {
+                // Messages may only target statically-adjacent ranks.
+                let parts: Vec<Vec<u8>> = self
+                    .neighbor_ranks
+                    .iter()
+                    .map(|&r| {
+                        let vs = buckets.remove(&r).unwrap_or_default();
+                        kamping::types::pod_as_bytes(&vs).to_vec()
+                    })
+                    .collect();
+                debug_assert!(buckets.is_empty(), "frontier left the static topology");
+                let rebuilt;
+                let ncomm = if self.strategy == ExchangeStrategy::NeighborRebuild {
+                    // Dynamic pattern: pay the topology (re)construction.
+                    rebuilt = comm
+                        .raw()
+                        .dist_graph_create_adjacent(self.neighbor_ranks.clone(), self.neighbor_ranks.clone())?;
+                    &rebuilt
+                } else {
+                    self.neighbor_comm.as_ref().expect("static topology built in new()")
+                };
+                let recv = ncomm.neighbor_alltoallv(&parts)?;
+                let mut out = Vec::new();
+                for bytes in recv {
+                    out.extend(kamping::types::bytes_to_pods::<VertexId>(&bytes)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn comm_sparse(
+        &self,
+        comm: &Communicator,
+        buckets: HashMap<usize, Vec<VertexId>>,
+    ) -> KResult<Vec<Vec<VertexId>>> {
+        Ok(comm.sparse_alltoall(buckets)?.into_iter().map(|m| m.data).collect())
+    }
+}
+
+/// Expands the current frontier: marks newly discovered local vertices,
+/// buckets remote ones by owner. Shared by all implementations (the paper
+/// extracts shared logic the same way for its LoC comparison).
+pub fn expand_frontier(
+    g: &DistGraph,
+    frontier: &[VertexId],
+    dist: &mut [u64],
+    level: u64,
+) -> HashMap<usize, Vec<VertexId>> {
+    let mut buckets: HashMap<usize, Vec<VertexId>> = HashMap::new();
+    for &v in frontier {
+        for &w in g.neighbors(v) {
+            if g.is_local(w) {
+                let i = g.local_index(w);
+                if dist[i] == UNREACHED {
+                    // Pre-mark and route through the self bucket so every
+                    // exchange strategy shares one code path.
+                    dist[i] = level + 1;
+                    buckets.entry(g.owner_of(w)).or_default().push(w);
+                }
+            } else {
+                buckets.entry(g.owner_of(w)).or_default().push(w);
+            }
+        }
+    }
+    buckets
+}
+
+/// Filters received candidates into the next frontier, setting distances.
+pub fn absorb_candidates(
+    g: &DistGraph,
+    candidates: &[VertexId],
+    dist: &mut [u64],
+    level: u64,
+) -> Vec<VertexId> {
+    let mut next = Vec::new();
+    for &w in candidates {
+        let i = g.local_index(w);
+        if dist[i] == UNREACHED || dist[i] == level + 1 {
+            if dist[i] == UNREACHED {
+                dist[i] = level + 1;
+            }
+            next.push(w);
+        }
+    }
+    next.sort_unstable();
+    next.dedup();
+    next
+}
+
+/// BFS with a pluggable frontier exchange (the Fig. 10 benchmark kernel).
+/// Returns the hop distance from `source` for every local vertex.
+pub fn bfs_with_strategy(
+    comm: &Communicator,
+    g: &DistGraph,
+    source: VertexId,
+    strategy: ExchangeStrategy,
+) -> KResult<Vec<u64>> {
+    let mut ex = Exchanger::new(comm, g, strategy)?;
+    let mut dist = vec![UNREACHED; g.local_size()];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    if g.is_local(source) {
+        dist[g.local_index(source)] = 0;
+        frontier.push(source);
+    }
+    let mut level = 0u64;
+    loop {
+        let empty = comm.allreduce_single(frontier.is_empty() as u8, |a, b| a & b)? == 1;
+        if empty {
+            break;
+        }
+        let buckets = expand_frontier(g, &frontier, &mut dist, level);
+        let candidates = ex.exchange(comm, buckets)?;
+        frontier = absorb_candidates(g, &candidates, &mut dist, level);
+        level += 1;
+    }
+    Ok(dist)
+}
+
+// LOC-BEGIN bfs_kamping
+/// Distributed BFS exactly as in paper Fig. 9: emptiness via
+/// `allreduce_single`, frontier exchange via `with_flattened` +
+/// `alltoallv` with all counts inferred.
+pub fn bfs_kamping(comm: &Communicator, g: &DistGraph, source: VertexId) -> KResult<Vec<u64>> {
+    fn is_empty(frontier: &[VertexId], comm: &Communicator) -> KResult<bool> {
+        Ok(comm.allreduce_single(frontier.is_empty() as u8, |a, b| a & b)? == 1)
+    }
+    fn exchange(
+        frontier: HashMap<usize, Vec<VertexId>>,
+        comm: &Communicator,
+    ) -> KResult<Vec<VertexId>> {
+        let flat = with_flattened(frontier, comm.size());
+        comm.alltoallv_vec(&flat.data, &flat.counts)
+    }
+    let mut dist = vec![UNREACHED; g.local_size()];
+    let mut frontier = Vec::new();
+    if g.is_local(source) {
+        dist[g.local_index(source)] = 0;
+        frontier.push(source);
+    }
+    let mut level = 0;
+    while !is_empty(&frontier, comm)? {
+        let next_frontier = expand_frontier(g, &frontier, &mut dist, level);
+        frontier = absorb_candidates(g, &exchange(next_frontier, comm)?, &mut dist, level);
+        level += 1;
+    }
+    Ok(dist)
+}
+// LOC-END bfs_kamping
+
+// LOC-BEGIN bfs_plain
+/// Distributed BFS against the raw substrate only — the "plain MPI"
+/// column of Table I: the counts exchange, displacement computation and
+/// byte packing that kamping infers are all spelled out by hand.
+pub fn bfs_plain(comm: &RawComm, g: &DistGraph, source: VertexId) -> Vec<u64> {
+    fn is_empty(frontier: &[VertexId], comm: &RawComm) -> bool {
+        let mut buf = vec![frontier.is_empty() as u8];
+        let and = |a: &mut [u8], b: &[u8]| a[0] &= b[0];
+        comm.allreduce(&mut buf, &and, 1).expect("allreduce");
+        buf[0] == 1
+    }
+    fn exchange(frontier: HashMap<usize, Vec<VertexId>>, comm: &RawComm) -> Vec<VertexId> {
+        let p = comm.size();
+        // flatten the buckets into a contiguous send buffer by hand
+        let mut send_counts = vec![0usize; p];
+        for (&dest, msgs) in &frontier {
+            send_counts[dest] = msgs.len() * 8;
+        }
+        let mut send = Vec::new();
+        let mut ordered: Vec<_> = frontier.into_iter().collect();
+        ordered.sort_by_key(|&(d, _)| d);
+        for (_, msgs) in ordered {
+            for v in msgs {
+                send.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        // exchange the counts, then compute displacements by prefix sums
+        let mut count_wire = Vec::with_capacity(p * 8);
+        for &c in &send_counts {
+            count_wire.extend_from_slice(&(c as u64).to_le_bytes());
+        }
+        let recv_count_wire = comm.alltoall(&count_wire).expect("alltoall");
+        let recv_counts: Vec<usize> = recv_count_wire
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+            .collect();
+        let mut send_displs = vec![0usize; p];
+        let mut recv_displs = vec![0usize; p];
+        for i in 1..p {
+            send_displs[i] = send_displs[i - 1] + send_counts[i - 1];
+            recv_displs[i] = recv_displs[i - 1] + recv_counts[i - 1];
+        }
+        let recv = comm
+            .alltoallv(&send, &send_counts, &send_displs, &recv_counts, &recv_displs)
+            .expect("alltoallv");
+        recv.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+    let mut dist = vec![UNREACHED; g.local_size()];
+    let mut frontier = Vec::new();
+    if g.is_local(source) {
+        dist[g.local_index(source)] = 0;
+        frontier.push(source);
+    }
+    let mut level = 0;
+    while !is_empty(&frontier, comm) {
+        let next_frontier = expand_frontier(g, &frontier, &mut dist, level);
+        frontier = absorb_candidates(g, &exchange(next_frontier, comm), &mut dist, level);
+        level += 1;
+    }
+    dist
+}
+// LOC-END bfs_plain
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gnm, rgg2d, rhg};
+
+    /// Sequential reference BFS over the globally collected edge list.
+    fn reference_bfs(n: u64, edges: &[(u64, u64)], source: u64) -> Vec<u64> {
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+        }
+        let mut dist = vec![UNREACHED; n as usize];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source as usize] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v as usize] {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    fn collect_edges(comm: &kamping::Communicator, g: &DistGraph) -> Vec<(u64, u64)> {
+        let mut mine = Vec::new();
+        for v in g.first..g.last {
+            for &w in g.neighbors(v) {
+                mine.push(v);
+                mine.push(w);
+            }
+        }
+        let all = comm.allgatherv_vec(&mine).unwrap();
+        all.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+    }
+
+    fn check_all_strategies(
+        p: usize,
+        gen: impl Fn(&kamping::Communicator) -> DistGraph + Sync,
+    ) {
+        kamping::run(p, |comm| {
+            let g = gen(&comm);
+            let edges = collect_edges(&comm, &g);
+            let want_global = reference_bfs(g.n, &edges, 0);
+            let want_local = &want_global[g.first as usize..g.last as usize];
+
+            for strategy in ExchangeStrategy::ALL {
+                let got = bfs_with_strategy(&comm, &g, 0, strategy).unwrap();
+                assert_eq!(got, want_local, "strategy {strategy:?} p={p}");
+            }
+            let got = bfs_kamping(&comm, &g, 0).unwrap();
+            assert_eq!(got, want_local, "bfs_kamping");
+            let got = bfs_plain(comm.raw(), &g, 0);
+            assert_eq!(got, want_local, "bfs_plain");
+        });
+    }
+
+    #[test]
+    fn all_strategies_match_reference_on_gnm() {
+        check_all_strategies(4, |comm| gnm(comm, 120, 300, 3).unwrap());
+    }
+
+    #[test]
+    fn all_strategies_match_reference_on_rgg() {
+        check_all_strategies(3, |comm| rgg2d(comm, 150, 0.15, 5).unwrap());
+    }
+
+    #[test]
+    fn all_strategies_match_reference_on_rhg() {
+        check_all_strategies(4, |comm| {
+            let r = crate::gen::rhg_radius(150, 8.0);
+            rhg(comm, 150, r, 7).unwrap()
+        });
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        kamping::run(2, |comm| {
+            // Path 0-1; vertices 2,3 isolated.
+            let edges = vec![(0u64, 1u64), (1, 0)];
+            let g = DistGraph::from_scattered_edges(&comm, 4, edges).unwrap();
+            let dist = bfs_kamping(&comm, &g, 0).unwrap();
+            for v in g.first..g.last {
+                let d = dist[g.local_index(v)];
+                match v {
+                    0 => assert_eq!(d, 0),
+                    1 => assert_eq!(d, 1),
+                    _ => assert_eq!(d, UNREACHED),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn source_on_nonzero_rank() {
+        kamping::run(3, |comm| {
+            // Star centered at the last vertex.
+            let n = 9u64;
+            let center = n - 1;
+            let edges: Vec<(u64, u64)> = (0..n - 1).flat_map(|v| [(v, center), (center, v)]).collect();
+            let g = DistGraph::from_scattered_edges(&comm, n, edges).unwrap();
+            let dist = bfs_with_strategy(&comm, &g, center, ExchangeStrategy::Sparse).unwrap();
+            for v in g.first..g.last {
+                let want = if v == center { 0 } else { 1 };
+                assert_eq!(dist[g.local_index(v)], want);
+            }
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! Connected components — a further "algorithmic building block for
+//! distributed computing" in the spirit of §V: label propagation to the
+//! minimum reachable vertex id, converging in O(diameter) rounds, with the
+//! ghost exchange running over the sparse (NBX) all-to-all plugin.
+
+use std::collections::HashMap;
+
+use kamping::prelude::*;
+use kamping_plugins::SparseAlltoall;
+
+use crate::dist_graph::{DistGraph, VertexId};
+
+/// Computes connected components: returns, for every local vertex, the
+/// smallest vertex id of its component. Collective.
+pub fn connected_components(comm: &Communicator, g: &DistGraph) -> KResult<Vec<VertexId>> {
+    let mut label: Vec<VertexId> = (g.first..g.last).collect();
+    let mut ghost: HashMap<VertexId, VertexId> =
+        g.adjacency.iter().filter(|&&w| !g.is_local(w)).map(|&w| (w, w)).collect();
+
+    loop {
+        // Local relaxation to a fixed point (free of communication).
+        let mut changed_local: Vec<VertexId> = Vec::new();
+        loop {
+            let mut any = false;
+            for v in g.first..g.last {
+                let i = g.local_index(v);
+                let mut best = label[i];
+                for &w in g.neighbors(v) {
+                    let lw = if g.is_local(w) { label[g.local_index(w)] } else { ghost[&w] };
+                    best = best.min(lw);
+                }
+                if best < label[i] {
+                    label[i] = best;
+                    any = true;
+                    changed_local.push(v);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // Ship changed labels to every rank holding the vertex as a ghost.
+        changed_local.sort_unstable();
+        changed_local.dedup();
+        let mut buckets: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &v in &changed_local {
+            let l = label[g.local_index(v)];
+            let mut dests: Vec<usize> = g.neighbors(v).iter().map(|&w| g.owner_of(w)).collect();
+            dests.sort_unstable();
+            dests.dedup();
+            for d in dests.into_iter().filter(|&d| d != comm.rank()) {
+                buckets.entry(d).or_default().extend([v, l]);
+            }
+        }
+        let mut any_update = false;
+        for msg in comm.sparse_alltoall(buckets)? {
+            for pair in msg.data.chunks_exact(2) {
+                if let Some(slot) = ghost.get_mut(&pair[0]) {
+                    if pair[1] < *slot {
+                        *slot = pair[1];
+                        any_update = true;
+                    }
+                }
+            }
+        }
+
+        let progressed = !changed_local.is_empty() || any_update;
+        let global = comm.allreduce_single(progressed as u8, |a, b| a | b)?;
+        if global == 0 {
+            return Ok(label);
+        }
+    }
+}
+
+/// Number of distinct components (gathered on every rank; test/analysis
+/// helper).
+pub fn component_count(comm: &Communicator, labels: &[VertexId]) -> KResult<usize> {
+    let all = comm.allgatherv_vec(labels)?;
+    let set: std::collections::HashSet<VertexId> = all.into_iter().collect();
+    Ok(set.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_graph::DistGraph;
+    use crate::gen::gnm;
+
+    #[test]
+    fn two_paths_and_an_isolate() {
+        kamping::run(3, |comm| {
+            // Path 0-1-2, path 3-4, isolated 5.
+            let edges = vec![(0u64, 1u64), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)];
+            let g = DistGraph::from_scattered_edges(&comm, 6, edges).unwrap();
+            let labels = connected_components(&comm, &g).unwrap();
+            for v in g.first..g.last {
+                let want = match v {
+                    0..=2 => 0,
+                    3 | 4 => 3,
+                    _ => 5,
+                };
+                assert_eq!(labels[g.local_index(v)], want, "vertex {v}");
+            }
+            assert_eq!(component_count(&comm, &labels).unwrap(), 3);
+        });
+    }
+
+    #[test]
+    fn matches_sequential_union_find_on_random_graph() {
+        kamping::run(4, |comm| {
+            let n = 120u64;
+            let g = gnm(&comm, n, 80, 9).unwrap(); // sparse: many components
+            let labels = connected_components(&comm, &g).unwrap();
+
+            // Sequential reference via union-find over the gathered edges.
+            let mut mine = Vec::new();
+            for v in g.first..g.last {
+                for &w in g.neighbors(v) {
+                    mine.extend([v, w]);
+                }
+            }
+            let all = comm.allgatherv_vec(&mine).unwrap();
+            let mut parent: Vec<u64> = (0..n).collect();
+            fn find(parent: &mut [u64], x: u64) -> u64 {
+                let mut r = x;
+                while parent[r as usize] != r {
+                    parent[r as usize] = parent[parent[r as usize] as usize];
+                    r = parent[r as usize];
+                }
+                r
+            }
+            for e in all.chunks_exact(2) {
+                let (a, b) = (find(&mut parent, e[0]), find(&mut parent, e[1]));
+                if a != b {
+                    parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+            // Canonical label = min id of the component = find root when
+            // merging toward the smaller id.
+            for v in g.first..g.last {
+                let want = find(&mut parent, v);
+                assert_eq!(labels[g.local_index(v)], want, "vertex {v}");
+            }
+        });
+    }
+
+    #[test]
+    fn fully_connected_collapses_to_zero() {
+        kamping::run(2, |comm| {
+            let n = 20u64;
+            let edges: Vec<(u64, u64)> =
+                (0..n - 1).flat_map(|v| [(v, v + 1), (v + 1, v)]).collect();
+            let g = DistGraph::from_scattered_edges(&comm, n, edges).unwrap();
+            let labels = connected_components(&comm, &g).unwrap();
+            assert!(labels.iter().all(|&l| l == 0));
+        });
+    }
+}

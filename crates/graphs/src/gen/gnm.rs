@@ -1,0 +1,100 @@
+//! Erdős–Rényi G(n, m) generator.
+//!
+//! Each rank draws its share of the `m` undirected edges deterministically
+//! from the seed, then both directions are shipped to their owners. GNM
+//! graphs have essentially no locality — most edges cross rank boundaries
+//! — which makes every BFS level a near-dense exchange (the `GNM` panel of
+//! Fig. 10).
+
+use kamping::prelude::*;
+
+use crate::dist_graph::DistGraph;
+use crate::gen::splitmix64;
+
+/// Generates a distributed G(n, m) graph (undirected; self-loops and
+/// duplicate samples are dropped at the owners). Collective.
+pub fn gnm(comm: &Communicator, n: u64, m: u64, seed: u64) -> KResult<DistGraph> {
+    let p = comm.size() as u64;
+    let rank = comm.rank() as u64;
+    // Edge indices are partitioned contiguously over ranks.
+    let lo = rank * m / p;
+    let hi = (rank + 1) * m / p;
+    let mut edges = Vec::with_capacity(2 * (hi - lo) as usize);
+    for e in lo..hi {
+        let u = splitmix64(seed ^ splitmix64(2 * e)) % n;
+        let v = splitmix64(seed ^ splitmix64(2 * e + 1)) % n;
+        if u != v {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    DistGraph::from_scattered_edges(comm, n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_close_to_m() {
+        kamping::run(3, |comm| {
+            let g = gnm(&comm, 200, 600, 1).unwrap();
+            let local = g.local_edge_count() as u64;
+            let total = comm.allreduce_single(local, |a, b| a + b).unwrap();
+            // 2m directed minus self-loops/duplicates.
+            assert!(total > 1000 && total <= 1200, "total {total}");
+        });
+    }
+
+    #[test]
+    fn symmetric_adjacency() {
+        kamping::run(2, |comm| {
+            let g = gnm(&comm, 50, 120, 7).unwrap();
+            // Collect all directed edges globally and check symmetry.
+            let mut mine = Vec::new();
+            for v in g.first..g.last {
+                for &w in g.neighbors(v) {
+                    mine.push(v * 50 + w);
+                }
+            }
+            let all = comm.allgatherv_vec(&mine).unwrap();
+            let set: std::collections::HashSet<u64> = all.iter().copied().collect();
+            for &code in &set {
+                let (v, w) = (code / 50, code % 50);
+                assert!(set.contains(&(w * 50 + v)), "missing reverse of ({v},{w})");
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_across_rank_counts() {
+        let edges_p1 = kamping::run(1, |comm| {
+            let g = gnm(&comm, 40, 100, 9).unwrap();
+            let mut e = Vec::new();
+            for v in g.first..g.last {
+                for &w in g.neighbors(v) {
+                    e.push((v, w));
+                }
+            }
+            e
+        });
+        let edges_p4: Vec<(u64, u64)> = kamping::run(4, |comm| {
+            let g = gnm(&comm, 40, 100, 9).unwrap();
+            let mut e = Vec::new();
+            for v in g.first..g.last {
+                for &w in g.neighbors(v) {
+                    e.push((v, w));
+                }
+            }
+            e
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut a = edges_p1.into_iter().next().unwrap();
+        let mut b = edges_p4;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! Distributed random-graph generators (Fig. 10's graph families).
+//!
+//! All three generators are *communication-light* in the spirit of Funke
+//! et al.: point/edge randomness is derived from a deterministic hash of
+//! (seed, index), so any rank can recompute any entity without asking its
+//! owner; only boundary entities are exchanged.
+//!
+//! * [`gnm`] — Erdős–Rényi G(n, m): no locality, small diameter;
+//! * [`rgg2d`] — 2D random geometric: high locality, high diameter;
+//! * [`rhg`] — random hyperbolic: heavy-tailed degrees, small diameter,
+//!   locality in between (§V-A's characterization).
+
+mod gnm;
+mod rgg;
+mod rhg;
+
+pub use gnm::gnm;
+pub use rgg::rgg2d;
+pub use rhg::{radius_for_degree as rhg_radius, rhg};
+
+/// SplitMix64 — the deterministic per-index hash behind all generators.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from (seed, index, stream).
+pub(crate) fn unit_f64(seed: u64, index: u64, stream: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(index ^ splitmix64(stream)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_f64_in_range_and_deterministic() {
+        for i in 0..1000 {
+            let v = unit_f64(42, i, 0);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, unit_f64(42, i, 0));
+        }
+        assert_ne!(unit_f64(42, 1, 0), unit_f64(43, 1, 0));
+        assert_ne!(unit_f64(42, 1, 0), unit_f64(42, 1, 1));
+    }
+
+    #[test]
+    fn unit_f64_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| unit_f64(7, i, 3)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # kamping-graphs — distributed graphs on kamping-rs
+//!
+//! The paper's §IV-B evaluates KaMPIng on *data-intensive irregular
+//! workloads*: a distributed breadth-first search over three random-graph
+//! families, and the label-propagation clustering component of the
+//! dKaMinPar graph partitioner. This crate provides everything those
+//! experiments need:
+//!
+//! * [`gen`] — distributed generators for the graph families of Fig. 10
+//!   (after Funke et al., "Communication-free massively distributed graph
+//!   generation"): Erdős–Rényi ([`gen::gnm`]), 2D random geometric
+//!   ([`gen::rgg2d`]) and random hyperbolic graphs ([`gen::rhg`]);
+//! * [`DistGraph`] — a distributed adjacency array with contiguous
+//!   balanced vertex ranges;
+//! * [`bfs`] — distributed BFS with a pluggable frontier-exchange
+//!   strategy (built-in alltoallv, plain low-level alltoallv, neighborhood
+//!   collectives with static or per-step-rebuilt topology, NBX sparse, and
+//!   2D grid — the curves of Fig. 10), implemented twice (plain substrate
+//!   API vs. kamping) for the Table I lines-of-code comparison;
+//! * [`label_propagation`] — size-constrained label propagation (the
+//!   dKaMinPar component of §IV-B), also in plain and kamping variants;
+//! * [`components`] — connected components (min-label propagation over
+//!   the sparse all-to-all) and [`triangles`] — degree-ordered triangle
+//!   counting with NBX pair queries — further §V-style building blocks.
+
+pub mod bfs;
+pub mod components;
+pub mod dist_graph;
+pub mod gen;
+pub mod label_propagation;
+pub mod triangles;
+
+pub use bfs::{bfs_kamping, bfs_plain, ExchangeStrategy};
+pub use dist_graph::{DistGraph, VertexId, UNREACHED};

@@ -1,0 +1,929 @@
+//! Blocking collectives, implemented over point-to-point transport.
+//!
+//! Algorithms: dissemination barrier, binomial-tree broadcast and reduce,
+//! linear (rooted) gather/scatter, gather+bcast allgather, chain scan. The
+//! dense all-to-alls post one envelope per peer — including empty ones —
+//! which reproduces the linear-in-`p` startup cost of `MPI_Alltoallv` that
+//! §V-A of the paper contrasts with sparse and grid exchanges.
+//!
+//! Byte-level API: counts and displacements are in bytes; the typed layer
+//! (`kamping`) converts element counts. Variable-size collectives take
+//! explicit receive counts, exactly like their C counterparts — computing
+//! those counts when the user doesn't know them is the *binding layer's*
+//! job (paper §III-A), not the substrate's.
+
+use crate::error::{MpiError, MpiResult};
+use crate::profile::Op;
+use crate::tag::{coll_tag, Tag};
+use crate::transport::MatchKey;
+use crate::universe::wait_interrupt;
+use crate::{ByteOp, RawComm};
+
+/// Per-peer block size (bytes) below which [`RawComm::alltoall`] switches
+/// to Bruck's log-round algorithm, mirroring real MPI implementations'
+/// small-message strategy.
+pub const BRUCK_THRESHOLD_BYTES: usize = 256;
+
+/// Applies `op` elementwise: both buffers are sequences of `elem_size`-byte
+/// elements of equal length.
+pub(crate) fn combine(acc: &mut [u8], rhs: &[u8], op: ByteOp<'_>, elem_size: usize) {
+    debug_assert_eq!(acc.len(), rhs.len());
+    debug_assert!(elem_size > 0 && acc.len().is_multiple_of(elem_size));
+    for (a, r) in acc.chunks_mut(elem_size).zip(rhs.chunks(elem_size)) {
+        op(a, r);
+    }
+}
+
+/// Exclusive prefix sum of `counts`, i.e. canonical displacements.
+pub fn excl_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut displs = Vec::with_capacity(counts.len());
+    let mut acc = 0usize;
+    for &c in counts {
+        displs.push(acc);
+        acc += c;
+    }
+    displs
+}
+
+impl RawComm {
+    /// Internal receive on a collective tag (no op-counter recording).
+    pub(crate) fn recv_internal(&self, src: usize, tag: Tag) -> MpiResult<Vec<u8>> {
+        let src_global = self.global_rank(src)?;
+        let key = MatchKey { src: src_global, tag, ctx: self.ctx };
+        let interrupt = wait_interrupt(&self.state, src_global, self.ctx);
+        let d = self.state.mailboxes[self.my_global_rank()].take_blocking(key, &interrupt)?;
+        Ok(d.payload)
+    }
+
+    /// Internal send on a collective tag (no op-counter recording).
+    pub(crate) fn send_internal(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<()> {
+        if self.state.is_revoked(self.ctx) {
+            return Err(MpiError::Revoked);
+        }
+        let dest_global = self.global_rank(dest)?;
+        self.post_to(dest_global, tag, payload, None);
+        Ok(())
+    }
+
+    fn check_len(&self, v: &[usize], what: &'static str) -> MpiResult<()> {
+        if v.len() != self.size() {
+            return Err(MpiError::InvalidCounts { what });
+        }
+        Ok(())
+    }
+
+    /// Dissemination barrier.
+    pub fn barrier(&self) -> MpiResult<()> {
+        self.record(Op::Barrier);
+        let tag = coll_tag(self.next_coll_seq());
+        let p = self.size();
+        let r = self.rank();
+        let mut step = 1;
+        while step < p {
+            let dest = (r + step) % p;
+            let src = (r + p - step) % p;
+            self.send_internal(dest, tag, Vec::new())?;
+            self.recv_internal(src, tag)?;
+            step <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast: `buf` at `root` is distributed to all ranks,
+    /// replacing their `buf` contents.
+    pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> MpiResult<()> {
+        self.record(Op::Bcast);
+        let tag = coll_tag(self.next_coll_seq());
+        self.bcast_inner(buf, root, tag)
+    }
+
+    /// Broadcast variant whose root sends from a *borrowed* slice: the
+    /// root's data is never copied into an owned buffer first (the typed
+    /// layer's zero-overhead path). Returns the received bytes on
+    /// non-root ranks and `None` at the root.
+    pub fn bcast_from(&self, data_at_root: &[u8], root: usize) -> MpiResult<Option<Vec<u8>>> {
+        self.record(Op::Bcast);
+        let tag = coll_tag(self.next_coll_seq());
+        if self.rank() == root {
+            let p = self.size();
+            if root >= p {
+                return Err(MpiError::InvalidRank { rank: root, size: p });
+            }
+            // The root is relative rank 0: send to its binomial children.
+            let actual = |rel: usize| (rel + root) % p;
+            let mut mask = 1usize;
+            while mask < p {
+                mask <<= 1;
+            }
+            mask >>= 1;
+            while mask > 0 {
+                if mask < p {
+                    self.send_internal(actual(mask), tag, data_at_root.to_vec())?;
+                }
+                mask >>= 1;
+            }
+            Ok(None)
+        } else {
+            let mut buf = Vec::new();
+            self.bcast_relay(&mut buf, root, tag)?;
+            Ok(Some(buf))
+        }
+    }
+
+    /// Non-root part of the binomial broadcast (receive, then forward).
+    fn bcast_relay(&self, buf: &mut Vec<u8>, root: usize, tag: Tag) -> MpiResult<()> {
+        let p = self.size();
+        let relative = (self.rank() + p - root) % p;
+        let actual = |rel: usize| (rel + root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                *buf = self.recv_internal(actual(relative - mask), tag)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                self.send_internal(actual(relative + mask), tag, buf.clone())?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn bcast_inner(&self, buf: &mut Vec<u8>, root: usize, tag: Tag) -> MpiResult<()> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        let relative = (self.rank() + p - root) % p;
+        let actual = |rel: usize| (rel + root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                *buf = self.recv_internal(actual(relative - mask), tag)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        // After the loop, `mask` is the bit we received on (lowest set bit
+        // of `relative`), or the first power of two >= p at the root. All
+        // lower bits of `relative` are zero, so `relative + m` for each
+        // lower bit m enumerates this node's binomial-tree children.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                self.send_internal(actual(relative + mask), tag, buf.clone())?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Variable-size gather: every rank contributes `send`; `root` receives
+    /// the rank-ordered concatenation. `recv_counts` (byte counts per rank)
+    /// is required at the root and ignored elsewhere. Returns the
+    /// concatenation at the root, `None` elsewhere.
+    pub fn gatherv(&self, send: &[u8], recv_counts: Option<&[usize]>, root: usize) -> MpiResult<Option<Vec<u8>>> {
+        self.record(Op::Gatherv);
+        let tag = coll_tag(self.next_coll_seq());
+        self.gatherv_inner(send, recv_counts, root, tag)
+    }
+
+    pub(crate) fn gatherv_inner(
+        &self,
+        send: &[u8],
+        recv_counts: Option<&[usize]>,
+        root: usize,
+        tag: Tag,
+    ) -> MpiResult<Option<Vec<u8>>> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if self.rank() != root {
+            self.send_internal(root, tag, send.to_vec())?;
+            return Ok(None);
+        }
+        let counts = recv_counts.ok_or(MpiError::InvalidCounts { what: "root gatherv needs recv_counts" })?;
+        self.check_len(counts, "gatherv recv_counts length != comm size")?;
+        if counts[root] != send.len() {
+            return Err(MpiError::InvalidCounts { what: "gatherv: own recv_count != send length" });
+        }
+        let displs = excl_prefix_sum(counts);
+        let total: usize = counts.iter().sum();
+        let mut out = vec![0u8; total];
+        out[displs[root]..displs[root] + send.len()].copy_from_slice(send);
+        for src in 0..p {
+            if src == root {
+                continue;
+            }
+            let part = self.recv_internal(src, tag)?;
+            if part.len() != counts[src] {
+                return Err(MpiError::InvalidCounts { what: "gatherv: message length != recv_count" });
+            }
+            out[displs[src]..displs[src] + part.len()].copy_from_slice(&part);
+        }
+        Ok(Some(out))
+    }
+
+    /// Fixed-size gather: like [`gatherv`](Self::gatherv) with all counts
+    /// equal to `send.len()`.
+    pub fn gather(&self, send: &[u8], root: usize) -> MpiResult<Option<Vec<u8>>> {
+        self.record(Op::Gather);
+        let tag = coll_tag(self.next_coll_seq());
+        let counts = vec![send.len(); self.size()];
+        self.gatherv_inner(send, Some(&counts), root, tag)
+    }
+
+    /// Variable-size scatter: `root` provides one byte block per rank;
+    /// every rank receives its block.
+    pub fn scatterv(&self, parts: Option<&[Vec<u8>]>, root: usize) -> MpiResult<Vec<u8>> {
+        self.record(Op::Scatterv);
+        let tag = coll_tag(self.next_coll_seq());
+        self.scatterv_inner(parts, root, tag)
+    }
+
+    pub(crate) fn scatterv_inner(&self, parts: Option<&[Vec<u8>]>, root: usize, tag: Tag) -> MpiResult<Vec<u8>> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if self.rank() == root {
+            let parts = parts.ok_or(MpiError::InvalidCounts { what: "root scatterv needs parts" })?;
+            if parts.len() != p {
+                return Err(MpiError::InvalidCounts { what: "scatterv parts length != comm size" });
+            }
+            for (dest, part) in parts.iter().enumerate() {
+                if dest != root {
+                    self.send_internal(dest, tag, part.clone())?;
+                }
+            }
+            Ok(parts[root].clone())
+        } else {
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// Fixed-size scatter (equal block sizes enforced).
+    pub fn scatter(&self, parts: Option<&[Vec<u8>]>, root: usize) -> MpiResult<Vec<u8>> {
+        self.record(Op::Scatter);
+        if let Some(parts) = parts {
+            if parts.windows(2).any(|w| w[0].len() != w[1].len()) {
+                return Err(MpiError::InvalidCounts { what: "scatter requires equal block sizes" });
+            }
+        }
+        let tag = coll_tag(self.next_coll_seq());
+        self.scatterv_inner(parts, root, tag)
+    }
+
+    /// Fixed-size allgather: every rank contributes `send` (same length on
+    /// every rank); returns the rank-ordered concatenation on every rank.
+    /// Implemented as gather-to-0 plus binomial broadcast.
+    pub fn allgather(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
+        self.record(Op::Allgather);
+        let gather_tag = coll_tag(self.next_coll_seq());
+        let bcast_tag = coll_tag(self.next_coll_seq());
+        let counts = vec![send.len(); self.size()];
+        let gathered = self.gatherv_inner(send, Some(&counts), 0, gather_tag)?;
+        let mut buf = gathered.unwrap_or_default();
+        self.bcast_inner(&mut buf, 0, bcast_tag)?;
+        Ok(buf)
+    }
+
+    /// Variable-size allgather. `recv_counts[r]` is the byte count rank `r`
+    /// contributes — required on every rank, exactly like `MPI_Allgatherv`.
+    pub fn allgatherv(&self, send: &[u8], recv_counts: &[usize]) -> MpiResult<Vec<u8>> {
+        self.record(Op::Allgatherv);
+        self.check_len(recv_counts, "allgatherv recv_counts length != comm size")?;
+        if recv_counts[self.rank()] != send.len() {
+            return Err(MpiError::InvalidCounts { what: "allgatherv: own recv_count != send length" });
+        }
+        let gather_tag = coll_tag(self.next_coll_seq());
+        let bcast_tag = coll_tag(self.next_coll_seq());
+        let gathered = self.gatherv_inner(send, Some(recv_counts), 0, gather_tag)?;
+        let mut buf = gathered.unwrap_or_default();
+        self.bcast_inner(&mut buf, 0, bcast_tag)?;
+        Ok(buf)
+    }
+
+    /// Fixed-size all-to-all: `send` is `p` equal byte blocks; block `i`
+    /// goes to rank `i`. Returns the `p` received blocks concatenated in
+    /// rank order.
+    ///
+    /// Like real MPI implementations, small blocks take Bruck's algorithm
+    /// (⌈log₂ p⌉ rounds of combined messages instead of p − 1 direct
+    /// ones); large blocks use the direct linear exchange. Note that
+    /// *`alltoallv` never gets this optimization* — mirroring practice,
+    /// and the reason the paper's sparse/grid plugins exist (§V-A).
+    pub fn alltoall(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
+        self.record(Op::Alltoall);
+        let p = self.size();
+        if !send.len().is_multiple_of(p) {
+            return Err(MpiError::InvalidCounts { what: "alltoall send length not divisible by comm size" });
+        }
+        let block = send.len() / p;
+        if p > 4 && block <= BRUCK_THRESHOLD_BYTES {
+            return self.alltoall_bruck_inner(send, block);
+        }
+        let counts = vec![block; p];
+        let displs = excl_prefix_sum(&counts);
+        let tag = coll_tag(self.next_coll_seq());
+        self.alltoallv_inner(send, &counts, &displs, &counts, &displs, tag)
+    }
+
+    /// Fixed-size all-to-all with Bruck's algorithm, regardless of size
+    /// (exposed for tests and benchmarks; `alltoall` dispatches to it
+    /// automatically for small blocks).
+    pub fn alltoall_bruck(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
+        self.record(Op::Alltoall);
+        let p = self.size();
+        if !send.len().is_multiple_of(p) {
+            return Err(MpiError::InvalidCounts { what: "alltoall send length not divisible by comm size" });
+        }
+        self.alltoall_bruck_inner(send, send.len() / p)
+    }
+
+    /// Bruck (1997). Invariant: the block that starts in slot `j` of rank
+    /// `s` (destined to rank `s + j`) is forwarded exactly on the rounds
+    /// matching the set bits of `j`, always staying in slot `j`; the bit
+    /// values sum to `j`, so it lands at its destination — which therefore
+    /// finds the block *from* rank `me - j` in slot `j`. ⌈log₂ p⌉ combined
+    /// messages per rank instead of p − 1 direct ones.
+    fn alltoall_bruck_inner(&self, send: &[u8], block: usize) -> MpiResult<Vec<u8>> {
+        let p = self.size();
+        let me = self.rank();
+        // Phase 1 — local rotation: slot j holds the block for (me + j) % p.
+        let mut slots: Vec<Vec<u8>> = (0..p)
+            .map(|j| {
+                let dest = (me + j) % p;
+                send[dest * block..(dest + 1) * block].to_vec()
+            })
+            .collect();
+        // Phase 2 — log rounds of combined exchanges.
+        let mut k = 1usize;
+        while k < p {
+            // One sequence number per round keeps tags collision-free and
+            // rank-synchronized.
+            let tag = coll_tag(self.next_coll_seq());
+            let dest = (me + k) % p;
+            let src = (me + p - k) % p;
+            let mut wire = Vec::new();
+            for (j, payload) in slots.iter().enumerate() {
+                if j & k != 0 {
+                    wire.extend_from_slice(&(j as u64).to_le_bytes());
+                    wire.extend_from_slice(payload);
+                }
+            }
+            self.send_internal(dest, tag, wire)?;
+            let incoming = self.recv_internal(src, tag)?;
+            let rec = 8 + block;
+            if !incoming.len().is_multiple_of(rec) {
+                return Err(MpiError::Internal("bruck: malformed round payload"));
+            }
+            // Received blocks replace the same slots (every rank ships the
+            // identical slot set in a given round).
+            for chunk in incoming.chunks_exact(rec) {
+                let j = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")) as usize;
+                slots[j].clear();
+                slots[j].extend_from_slice(&chunk[8..]);
+            }
+            k <<= 1;
+        }
+        // Phase 3 — inverse rotation: slot j holds the block from
+        // (me - j) % p.
+        let mut out = vec![0u8; p * block];
+        for (j, payload) in slots.into_iter().enumerate() {
+            let src = (me + p - j) % p;
+            out[src * block..(src + 1) * block].copy_from_slice(&payload);
+        }
+        Ok(out)
+    }
+
+    /// Variable all-to-all with explicit byte counts and displacements, the
+    /// full `MPI_Alltoallv` surface. Every peer gets an envelope, including
+    /// zero-byte ones — the linear startup cost the sparse/grid plugins
+    /// exist to avoid.
+    pub fn alltoallv(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> MpiResult<Vec<u8>> {
+        self.record(Op::Alltoallv);
+        let tag = coll_tag(self.next_coll_seq());
+        self.alltoallv_inner(send, send_counts, send_displs, recv_counts, recv_displs, tag)
+    }
+
+    pub(crate) fn alltoallv_inner(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+        tag: Tag,
+    ) -> MpiResult<Vec<u8>> {
+        let p = self.size();
+        self.check_len(send_counts, "alltoallv send_counts length != comm size")?;
+        self.check_len(send_displs, "alltoallv send_displs length != comm size")?;
+        self.check_len(recv_counts, "alltoallv recv_counts length != comm size")?;
+        self.check_len(recv_displs, "alltoallv recv_displs length != comm size")?;
+        for dest in 0..p {
+            let (c, d) = (send_counts[dest], send_displs[dest]);
+            if d + c > send.len() {
+                return Err(MpiError::InvalidCounts { what: "alltoallv send block out of bounds" });
+            }
+        }
+        let total: usize = recv_counts
+            .iter()
+            .zip(recv_displs)
+            .map(|(&c, &d)| d + c)
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u8; total];
+        // Post every outgoing block (including empty ones) ...
+        for dest in 0..p {
+            let (c, d) = (send_counts[dest], send_displs[dest]);
+            if dest == self.rank() {
+                continue;
+            }
+            self.send_internal(dest, tag, send[d..d + c].to_vec())?;
+        }
+        // ... copy the self block locally ...
+        {
+            let (sc, sd) = (send_counts[self.rank()], send_displs[self.rank()]);
+            let (rc, rd) = (recv_counts[self.rank()], recv_displs[self.rank()]);
+            if sc != rc {
+                return Err(MpiError::InvalidCounts { what: "alltoallv self send/recv count mismatch" });
+            }
+            out[rd..rd + rc].copy_from_slice(&send[sd..sd + sc]);
+        }
+        // ... and collect everyone else's.
+        for src in 0..p {
+            if src == self.rank() {
+                continue;
+            }
+            let part = self.recv_internal(src, tag)?;
+            let (c, d) = (recv_counts[src], recv_displs[src]);
+            if part.len() != c {
+                return Err(MpiError::InvalidCounts { what: "alltoallv: message length != recv_count" });
+            }
+            out[d..d + c].copy_from_slice(&part);
+        }
+        Ok(out)
+    }
+
+    /// Binomial-tree reduce of equal-length buffers into `root`'s `buf`.
+    /// `op` combines `elem_size`-byte elements; the combine order is a
+    /// deterministic left-to-right tree over ranks (associative ops reduce
+    /// exactly; floating-point results depend on `p` — see the
+    /// reproducible-reduce plugin).
+    pub fn reduce(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize, root: usize) -> MpiResult<()> {
+        self.record(Op::Reduce);
+        let tag = coll_tag(self.next_coll_seq());
+        self.reduce_inner(buf, op, elem_size, root, tag)
+    }
+
+    pub(crate) fn reduce_inner(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+        root: usize,
+        tag: Tag,
+    ) -> MpiResult<()> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+            return Err(MpiError::InvalidCounts { what: "reduce buffer not a multiple of elem_size" });
+        }
+        let relative = (self.rank() + p - root) % p;
+        let actual = |rel: usize| (rel + root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask == 0 {
+                let child = relative + mask;
+                if child < p {
+                    let part = self.recv_internal(actual(child), tag)?;
+                    if part.len() != buf.len() {
+                        return Err(MpiError::InvalidCounts { what: "reduce buffers differ in length" });
+                    }
+                    combine(buf, &part, op, elem_size);
+                }
+            } else {
+                self.send_internal(actual(relative - mask), tag, std::mem::take(buf))?;
+                break;
+            }
+            mask <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Reduce-to-all: binomial reduce to rank 0 followed by a broadcast.
+    pub fn allreduce(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize) -> MpiResult<()> {
+        self.record(Op::Allreduce);
+        let reduce_tag = coll_tag(self.next_coll_seq());
+        let bcast_tag = coll_tag(self.next_coll_seq());
+        self.reduce_inner(buf, op, elem_size, 0, reduce_tag)?;
+        self.bcast_inner(buf, 0, bcast_tag)
+    }
+
+    /// Reduce-scatter with equal blocks (`MPI_Reduce_scatter_block`): the
+    /// elementwise reduction of everyone's buffer is computed and rank `r`
+    /// receives its `r`-th block. Buffer length must be `size * block`
+    /// bytes; returns this rank's reduced block.
+    pub fn reduce_scatter_block(
+        &self,
+        buf: &[u8],
+        op: ByteOp<'_>,
+        elem_size: usize,
+    ) -> MpiResult<Vec<u8>> {
+        self.record(Op::Reduce);
+        self.record(Op::Scatterv);
+        let p = self.size();
+        if !buf.len().is_multiple_of(p) || !(buf.len() / p).is_multiple_of(elem_size.max(1)) {
+            return Err(MpiError::InvalidCounts {
+                what: "reduce_scatter_block: buffer not divisible into p element blocks",
+            });
+        }
+        let reduce_tag = coll_tag(self.next_coll_seq());
+        let scatter_tag = coll_tag(self.next_coll_seq());
+        let mut acc = buf.to_vec();
+        self.reduce_inner(&mut acc, op, elem_size, 0, reduce_tag)?;
+        let parts: Option<Vec<Vec<u8>>> = (self.rank() == 0).then(|| {
+            let block = acc.len() / p;
+            (0..p).map(|r| acc[r * block..(r + 1) * block].to_vec()).collect()
+        });
+        self.scatterv_inner(parts.as_deref(), 0, scatter_tag)
+    }
+
+    /// Combined send + receive that reuses one buffer
+    /// (`MPI_Sendrecv_replace`): sends the current contents to `dest`,
+    /// replaces them with the message received from `source`.
+    pub fn sendrecv_replace(
+        &self,
+        buf: &mut Vec<u8>,
+        dest: usize,
+        send_tag: Tag,
+        source: usize,
+        recv_tag: Tag,
+    ) -> MpiResult<crate::Status> {
+        let outgoing = std::mem::take(buf);
+        self.record(Op::Send);
+        let dest_global = self.global_rank(dest)?;
+        if self.state.is_revoked(self.ctx) {
+            return Err(MpiError::Revoked);
+        }
+        self.post_to(dest_global, send_tag, outgoing, None);
+        let (incoming, status) = self.recv(source, recv_tag)?;
+        *buf = incoming;
+        Ok(status)
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `r`'s buffer becomes
+    /// the elementwise fold of ranks `0..=r`. Chain algorithm.
+    pub fn scan(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize) -> MpiResult<()> {
+        self.record(Op::Scan);
+        let tag = coll_tag(self.next_coll_seq());
+        if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+            return Err(MpiError::InvalidCounts { what: "scan buffer not a multiple of elem_size" });
+        }
+        let r = self.rank();
+        if r > 0 {
+            let mut prefix = self.recv_internal(r - 1, tag)?;
+            if prefix.len() != buf.len() {
+                return Err(MpiError::InvalidCounts { what: "scan buffers differ in length" });
+            }
+            combine(&mut prefix, buf, op, elem_size);
+            *buf = prefix;
+        }
+        if r + 1 < self.size() {
+            self.send_internal(r + 1, tag, buf.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`): rank `r` receives the fold
+    /// of ranks `0..r`; rank 0 receives `None` (its value is undefined in
+    /// MPI).
+    pub fn exscan(&self, buf: &[u8], op: ByteOp<'_>, elem_size: usize) -> MpiResult<Option<Vec<u8>>> {
+        self.record(Op::Exscan);
+        let tag = coll_tag(self.next_coll_seq());
+        if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+            return Err(MpiError::InvalidCounts { what: "exscan buffer not a multiple of elem_size" });
+        }
+        let r = self.rank();
+        let prefix = if r > 0 {
+            let p = self.recv_internal(r - 1, tag)?;
+            if p.len() != buf.len() {
+                return Err(MpiError::InvalidCounts { what: "exscan buffers differ in length" });
+            }
+            Some(p)
+        } else {
+            None
+        };
+        if r + 1 < self.size() {
+            let mut inclusive = match &prefix {
+                Some(p) => {
+                    let mut acc = p.clone();
+                    combine(&mut acc, buf, op, elem_size);
+                    acc
+                }
+                None => buf.to_vec(),
+            };
+            self.send_internal(r + 1, tag, std::mem::take(&mut inclusive))?;
+        }
+        Ok(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    fn u64_op() -> impl Fn(&mut [u8], &[u8]) + Sync {
+        |acc: &mut [u8], rhs: &[u8]| {
+            let a = u64::from_le_bytes(acc.try_into().unwrap());
+            let b = u64::from_le_bytes(rhs.try_into().unwrap());
+            acc.copy_from_slice(&(a + b).to_le_bytes());
+        }
+    }
+
+    fn encode(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn decode(bytes: &[u8]) -> Vec<u64> {
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn barrier_many_rounds() {
+        Universe::run(7, |comm| {
+            for _ in 0..10 {
+                comm.barrier().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_all_roots_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            Universe::run(p, |comm| {
+                for root in 0..comm.size() {
+                    let mut buf = if comm.rank() == root {
+                        format!("payload-from-{root}").into_bytes()
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast(&mut buf, root).unwrap();
+                    assert_eq!(buf, format!("payload-from-{root}").into_bytes());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn gatherv_concatenates_in_rank_order() {
+        Universe::run(4, |comm| {
+            let send = vec![comm.rank() as u8; comm.rank() + 1];
+            let counts: Vec<usize> = (1..=comm.size()).collect();
+            let got = comm.gatherv(&send, Some(&counts), 2).unwrap();
+            if comm.rank() == 2 {
+                assert_eq!(got.unwrap(), vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3]);
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn scatterv_roundtrips_gatherv() {
+        Universe::run(3, |comm| {
+            let parts: Option<Vec<Vec<u8>>> = (comm.rank() == 1)
+                .then(|| (0..3).map(|i| vec![i as u8; i + 2]).collect());
+            let mine = comm.scatterv(parts.as_deref(), 1).unwrap();
+            assert_eq!(mine, vec![comm.rank() as u8; comm.rank() + 2]);
+        });
+    }
+
+    #[test]
+    fn scatter_rejects_ragged_blocks() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let parts = vec![vec![1u8], vec![2u8, 3u8]];
+                assert!(matches!(
+                    comm.scatter(Some(&parts), 0),
+                    Err(MpiError::InvalidCounts { .. })
+                ));
+            }
+            // note: collective aborted on root only; other rank skips too
+        });
+    }
+
+    #[test]
+    fn allgather_equal_blocks() {
+        Universe::run(5, |comm| {
+            let mine = [comm.rank() as u8, 0xAB];
+            let all = comm.allgather(&mine).unwrap();
+            let want: Vec<u8> = (0..5).flat_map(|r| [r as u8, 0xAB]).collect();
+            assert_eq!(all, want);
+        });
+    }
+
+    #[test]
+    fn allgatherv_variable_blocks() {
+        Universe::run(4, |comm| {
+            let send = vec![comm.rank() as u8; 2 * comm.rank()];
+            let counts: Vec<usize> = (0..4).map(|r| 2 * r).collect();
+            let all = comm.allgatherv(&send, &counts).unwrap();
+            let want: Vec<u8> = (0..4).flat_map(|r| vec![r as u8; 2 * r]).collect();
+            assert_eq!(all, want);
+        });
+    }
+
+    #[test]
+    fn allgatherv_validates_own_count() {
+        Universe::run(1, |comm| {
+            let err = comm.allgatherv(&[1, 2, 3], &[2]).unwrap_err();
+            assert!(matches!(err, MpiError::InvalidCounts { .. }));
+        });
+    }
+
+    #[test]
+    fn alltoall_transpose() {
+        Universe::run(4, |comm| {
+            let me = comm.rank() as u8;
+            // block sent to rank d is [me, d]
+            let send: Vec<u8> = (0..4).flat_map(|d| [me, d as u8]).collect();
+            let recv = comm.alltoall(&send).unwrap();
+            let want: Vec<u8> = (0..4).flat_map(|s| [s as u8, me]).collect();
+            assert_eq!(recv, want);
+        });
+    }
+
+    #[test]
+    fn alltoallv_irregular() {
+        Universe::run(3, |comm| {
+            let me = comm.rank();
+            // rank r sends (r + d + 1) bytes of value r to rank d
+            let send_counts: Vec<usize> = (0..3).map(|d| me + d + 1).collect();
+            let send_displs = excl_prefix_sum(&send_counts);
+            let send: Vec<u8> = (0..3).flat_map(|d| vec![me as u8; me + d + 1]).collect();
+            let recv_counts: Vec<usize> = (0..3).map(|s| s + me + 1).collect();
+            let recv_displs = excl_prefix_sum(&recv_counts);
+            let out = comm
+                .alltoallv(&send, &send_counts, &send_displs, &recv_counts, &recv_displs)
+                .unwrap();
+            let want: Vec<u8> = (0..3).flat_map(|s| vec![s as u8; s + me + 1]).collect();
+            assert_eq!(out, want);
+        });
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        Universe::run(6, |comm| {
+            let op = u64_op();
+            let mut buf = encode(&[comm.rank() as u64, 100]);
+            comm.reduce(&mut buf, &op, 8, 3).unwrap();
+            if comm.rank() == 3 {
+                assert_eq!(decode(&buf), vec![15, 600]);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_everywhere() {
+        for p in [1, 2, 3, 4, 7] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                let mut buf = encode(&[1, comm.rank() as u64]);
+                comm.allreduce(&mut buf, &op, 8).unwrap();
+                let n = comm.size() as u64;
+                assert_eq!(decode(&buf), vec![n, n * (n - 1) / 2]);
+            });
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_prefix() {
+        Universe::run(5, |comm| {
+            let op = u64_op();
+            let mut buf = encode(&[comm.rank() as u64 + 1]);
+            comm.scan(&mut buf, &op, 8).unwrap();
+            let r = comm.rank() as u64 + 1;
+            assert_eq!(decode(&buf), vec![r * (r + 1) / 2]);
+        });
+    }
+
+    #[test]
+    fn exscan_exclusive_prefix() {
+        Universe::run(5, |comm| {
+            let op = u64_op();
+            let buf = encode(&[comm.rank() as u64 + 1]);
+            let got = comm.exscan(&buf, &op, 8).unwrap();
+            if comm.rank() == 0 {
+                assert!(got.is_none());
+            } else {
+                let r = comm.rank() as u64;
+                assert_eq!(decode(&got.unwrap()), vec![r * (r + 1) / 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn bruck_matches_linear_alltoall() {
+        for p in [2, 3, 5, 8, 13] {
+            Universe::run(p, |comm| {
+                let me = comm.rank() as u8;
+                let send: Vec<u8> = (0..comm.size()).flat_map(|d| [me, d as u8, 0xEE]).collect();
+                let linear = {
+                    let counts = vec![3usize; comm.size()];
+                    let displs = excl_prefix_sum(&counts);
+                    comm.alltoallv(&send, &counts, &displs, &counts, &displs).unwrap()
+                };
+                let bruck = comm.alltoall_bruck(&send).unwrap();
+                assert_eq!(bruck, linear, "p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn small_alltoall_uses_log_messages() {
+        let p = 16;
+        let (_, profile) = Universe::run_profiled(p, |comm| {
+            let send = vec![1u8; p]; // 1 byte per peer: Bruck path
+            comm.alltoall(&send).unwrap();
+        });
+        // Bruck: log2(16) = 4 envelopes per rank, vs 15 for linear.
+        assert_eq!(profile.max_messages_per_rank(), 4);
+    }
+
+    #[test]
+    fn large_alltoall_stays_linear() {
+        let p = 8;
+        let (_, profile) = Universe::run_profiled(p, |comm| {
+            let send = vec![1u8; p * 1024]; // 1 KiB per peer: direct path
+            comm.alltoall(&send).unwrap();
+        });
+        assert_eq!(profile.max_messages_per_rank(), (p - 1) as u64);
+    }
+
+    #[test]
+    fn reduce_scatter_block_distributes_reduction() {
+        Universe::run(4, |comm| {
+            let op = u64_op();
+            // Everyone contributes [r, r, r, r] per-block values 1..: block b
+            // value = rank + b.
+            let vals: Vec<u64> = (0..4).map(|b| comm.rank() as u64 + b).collect();
+            let buf = encode(&vals);
+            let got = comm.reduce_scatter_block(&buf, &op, 8).unwrap();
+            // Sum over ranks of (r + b) = 6 + 4b; rank r receives block r.
+            assert_eq!(decode(&got), vec![6 + 4 * comm.rank() as u64]);
+        });
+    }
+
+    #[test]
+    fn sendrecv_replace_rotates_ring() {
+        Universe::run(3, |comm| {
+            let p = comm.size();
+            let mut buf = vec![comm.rank() as u8; 4];
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let st = comm.sendrecv_replace(&mut buf, right, 5, left, 5).unwrap();
+            assert_eq!(buf, vec![left as u8; 4]);
+            assert_eq!(st.source, left);
+        });
+    }
+
+    #[test]
+    fn excl_prefix_sum_basic() {
+        assert_eq!(excl_prefix_sum(&[3, 1, 4]), vec![0, 3, 4]);
+        assert!(excl_prefix_sum(&[]).is_empty());
+    }
+
+    #[test]
+    fn collectives_count_messages_per_rank() {
+        let (_, profile) = Universe::run_profiled(4, |comm| {
+            let mut counts = vec![0usize; 4];
+            counts.iter_mut().for_each(|c| *c = 8);
+            let send = vec![0u8; 8 * 4];
+            let displs = excl_prefix_sum(&counts);
+            comm.alltoallv(&send, &counts, &displs, &counts, &displs).unwrap();
+        });
+        // Dense alltoallv: every rank posts p-1 envelopes.
+        assert_eq!(profile.max_messages_per_rank(), 3);
+        assert_eq!(profile.total_calls(Op::Alltoallv), 4);
+    }
+}

@@ -1,0 +1,249 @@
+//! User-Level Failure Mitigation (ULFM) core operations.
+//!
+//! The upcoming MPI 5.0 standard lets applications survive process failures
+//! (paper §V-B): a failed peer surfaces as `MPI_ERR_PROC_FAILED`, the
+//! application *revokes* the communicator to propagate the error, *shrinks*
+//! it to the survivors, and continues. This module provides those
+//! primitives on the substrate; the idiomatic `Result`-based wrapper the
+//! paper's plugin offers lives in `kamping-plugins::ulfm`.
+//!
+//! Failures are *injected*: a rank calls [`RawComm::simulate_failure`] and
+//! stops participating (returns from the SPMD closure). A rank that panics
+//! is marked failed automatically by the universe.
+
+use crate::comm::ContextKind;
+use crate::error::{MpiError, MpiResult};
+use crate::profile::Op;
+use crate::tag::coll_tag;
+use crate::transport::MatchKey;
+use crate::RawComm;
+
+impl RawComm {
+    /// Marks this rank as failed and wakes all peers. The caller should
+    /// return from the SPMD closure afterwards; any further operation by
+    /// this rank is undefined (like a half-dead MPI process).
+    pub fn simulate_failure(&self) {
+        self.state.mark_failed(self.my_global_rank());
+    }
+
+    /// Revokes this communicator on all ranks (`MPI_Comm_revoke`): every
+    /// pending and future operation on it fails with [`MpiError::Revoked`],
+    /// except [`RawComm::shrink`] and [`RawComm::agree`].
+    pub fn revoke(&self) {
+        self.state.mark_revoked(self.ctx);
+    }
+
+    /// True once the communicator has been revoked (by any rank).
+    pub fn is_revoked(&self) -> bool {
+        self.state.is_revoked(self.ctx)
+    }
+
+    /// Lowest-numbered failed member of this communicator, if any
+    /// (`MPI_Comm_failure_ack`/`get_acked` rolled into one query).
+    pub fn first_failed(&self) -> Option<usize> {
+        (0..self.size()).find(|&l| self.state.is_failed(self.group[l]))
+    }
+
+    /// Local ranks of all surviving members, in rank order.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&l| !self.state.is_failed(self.group[l])).collect()
+    }
+
+    /// Builds a new communicator containing only the surviving processes
+    /// (`MPI_Comm_shrink`). Works on revoked communicators. Collective over
+    /// the survivors.
+    pub fn shrink(&self) -> MpiResult<RawComm> {
+        self.record(Op::Shrink);
+        let seq = self.next_coll_seq();
+        let survivors = self.survivors();
+        let globals: Vec<usize> = survivors.iter().map(|&l| self.group[l]).collect();
+        if !globals.contains(&self.my_global_rank()) {
+            return Err(MpiError::Internal("a failed rank cannot shrink"));
+        }
+        let ctx = self.child_ctx(seq, 0, ContextKind::Shrink as u64);
+        let shrunk = self.derive(ctx, globals, self.my_global_rank(), None);
+        // Synchronize the survivors on the new context so that nobody races
+        // ahead with operations before everybody agrees the shrink happened.
+        shrunk.barrier()?;
+        Ok(shrunk)
+    }
+
+    /// Fault-tolerant agreement (`MPI_Comm_agree`): returns the logical AND
+    /// of `flag` over all *surviving* members. Works on revoked
+    /// communicators; failures of further ranks during the agreement
+    /// surface as [`MpiError::ProcFailed`].
+    pub fn agree(&self, flag: bool) -> MpiResult<bool> {
+        self.record(Op::Agree);
+        let tag = coll_tag(self.next_coll_seq());
+        let survivors = self.survivors();
+        let me_pos = survivors
+            .iter()
+            .position(|&l| l == self.rank())
+            .ok_or(MpiError::Internal("a failed rank cannot agree"))?;
+        let leader = survivors[0];
+        // Gather-to-leader, AND, broadcast back. Uses failure-aware
+        // receives that ignore revocation (agree must work when revoked).
+        if me_pos == 0 {
+            let mut acc = flag;
+            for &src in &survivors[1..] {
+                let payload = self.recv_ignoring_revocation(src, tag)?;
+                acc &= payload == [1u8];
+            }
+            for &dest in &survivors[1..] {
+                let g = self.global_rank(dest)?;
+                self.post_to(g, tag, vec![acc as u8], None);
+            }
+            Ok(acc)
+        } else {
+            let g = self.global_rank(leader)?;
+            self.post_to(g, tag, vec![flag as u8], None);
+            let payload = self.recv_ignoring_revocation(leader, tag)?;
+            Ok(payload == [1u8])
+        }
+    }
+
+    /// Receive that (unlike normal receives) keeps working on a revoked
+    /// communicator; only peer failure interrupts it.
+    fn recv_ignoring_revocation(&self, src: usize, tag: crate::Tag) -> MpiResult<Vec<u8>> {
+        let src_global = self.global_rank(src)?;
+        let key = MatchKey { src: src_global, tag, ctx: self.ctx };
+        let state = &self.state;
+        let interrupt = move || {
+            if state.is_gone(src_global) {
+                Some(MpiError::ProcFailed { rank: src_global })
+            } else {
+                None
+            }
+        };
+        let d = self.state.mailboxes[self.my_global_rank()].take_blocking(key, &interrupt)?;
+        Ok(d.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn failure_surfaces_at_receivers() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 2 {
+                comm.simulate_failure();
+                return;
+            }
+            if comm.rank() == 0 {
+                let err = comm.recv(2, 0).unwrap_err();
+                assert_eq!(err, MpiError::ProcFailed { rank: 2 });
+            }
+        });
+    }
+
+    #[test]
+    fn failure_breaks_collectives() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 3 {
+                comm.simulate_failure();
+                return;
+            }
+            // The barrier needs rank 3; survivors must get an error, not hang.
+            let err = comm.barrier().unwrap_err();
+            assert!(err.is_failure());
+        });
+    }
+
+    #[test]
+    fn revoke_interrupts_blocked_peers() {
+        Universe::run(3, |comm| {
+            match comm.rank() {
+                0 => {
+                    // Blocks forever unless the revocation wakes it.
+                    let err = comm.recv(1, 99).unwrap_err();
+                    assert_eq!(err, MpiError::Revoked);
+                }
+                1 => {
+                    comm.revoke();
+                    assert!(comm.is_revoked());
+                }
+                _ => {
+                    // New operations on a revoked communicator fail fast —
+                    // wait until the revocation is visible.
+                    while !comm.is_revoked() {
+                        std::thread::yield_now();
+                    }
+                    assert_eq!(comm.send(0, 0, b"x").unwrap_err(), MpiError::Revoked);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shrink_and_continue() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 1 {
+                comm.simulate_failure();
+                return 0u64;
+            }
+            // Survivors wait until the failure is visible, then shrink.
+            while comm.survivors().len() == 4 {
+                std::thread::yield_now();
+            }
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            // The shrunk communicator is fully operational.
+            let mut buf = (shrunk.rank() as u64).to_le_bytes().to_vec();
+            shrunk
+                .allreduce(&mut buf, &|a: &mut [u8], b: &[u8]| {
+                    let x = u64::from_le_bytes(a.try_into().unwrap());
+                    let y = u64::from_le_bytes(b.try_into().unwrap());
+                    a.copy_from_slice(&(x + y).to_le_bytes());
+                }, 8)
+                .unwrap();
+            u64::from_le_bytes(buf.try_into().unwrap())
+        });
+    }
+
+    #[test]
+    fn agree_ands_over_survivors() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 2 {
+                comm.simulate_failure();
+                return;
+            }
+            while comm.survivors().len() == 4 {
+                std::thread::yield_now();
+            }
+            // Rank 0 votes false; everyone must learn `false`.
+            let verdict = comm.agree(comm.rank() != 0).unwrap();
+            assert!(!verdict);
+        });
+    }
+
+    #[test]
+    fn agree_works_on_revoked_comm() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.revoke();
+            }
+            while !comm.is_revoked() {
+                std::thread::yield_now();
+            }
+            assert!(comm.agree(true).unwrap());
+        });
+    }
+
+    #[test]
+    fn first_failed_reports_lowest() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 1 {
+                comm.simulate_failure();
+                return;
+            }
+            while comm.first_failed().is_none() {
+                std::thread::yield_now();
+            }
+            assert_eq!(comm.first_failed(), Some(1));
+            assert_eq!(comm.survivors(), vec![0, 2]);
+        });
+    }
+}

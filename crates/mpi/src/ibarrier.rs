@@ -1,0 +1,169 @@
+//! Non-blocking barrier (`MPI_Ibarrier`).
+//!
+//! The NBX sparse all-to-all algorithm (Hoefler et al., reproduced in
+//! `kamping-plugins`) needs a barrier whose completion can be *polled* while
+//! the rank keeps receiving messages. We implement it with a small shared
+//! arrival set registered in the universe, keyed by (context id,
+//! collective sequence number): `enter` records the rank, a request
+//! completes once all members arrived, and the cell is garbage-collected
+//! when the last member has observed completion.
+//!
+//! Failure awareness: if a member dies (or returns from its SPMD closure)
+//! without entering the barrier, polls on the barrier report
+//! [`crate::MpiError::ProcFailed`] instead of spinning forever.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{MpiError, MpiResult};
+use crate::profile::Op;
+use crate::request::{RawRequest, RequestKind};
+use crate::universe::UniverseState;
+use crate::RawComm;
+
+/// Shared arrival/observation state of one non-blocking barrier.
+pub struct BarrierCell {
+    key: (u64, u32),
+    /// Global ranks of the members.
+    group: Arc<Vec<usize>>,
+    /// Global ranks that have entered.
+    arrived: Mutex<HashSet<usize>>,
+    observed: AtomicUsize,
+}
+
+impl BarrierCell {
+    /// Polls the barrier (crate-internal): `Ok(true)` when all members arrived, `Ok(false)`
+    /// while waiting, `Err(ProcFailed)` if a member died before entering.
+    pub(crate) fn poll(&self, state: &UniverseState) -> MpiResult<bool> {
+        let arrived = self.arrived.lock();
+        if arrived.len() >= self.group.len() {
+            return Ok(true);
+        }
+        for &g in self.group.iter() {
+            if !arrived.contains(&g) && state.is_gone(g) {
+                return Err(MpiError::ProcFailed { rank: g });
+            }
+        }
+        Ok(false)
+    }
+
+    /// Records that one member has seen completion; the last observer
+    /// removes the cell from the registry.
+    pub(crate) fn observe(&self, state: &UniverseState) {
+        if self.observed.fetch_add(1, Ordering::AcqRel) + 1 == self.group.len() {
+            state.barriers.lock().remove(&self.key);
+        }
+    }
+}
+
+impl RawComm {
+    /// Enters a non-blocking barrier; the returned request completes once
+    /// every rank of the communicator has entered it.
+    pub fn ibarrier(&self) -> MpiResult<RawRequest> {
+        self.record(Op::Ibarrier);
+        if self.state.is_revoked(self.ctx) {
+            return Err(crate::MpiError::Revoked);
+        }
+        let seq = self.next_coll_seq();
+        let key = (self.ctx, seq);
+        let group = Arc::clone(&self.group);
+        let cell = {
+            let mut reg = self.state.barriers.lock();
+            Arc::clone(reg.entry(key).or_insert_with(|| {
+                Arc::new(BarrierCell {
+                    key,
+                    group,
+                    arrived: Mutex::new(HashSet::new()),
+                    observed: AtomicUsize::new(0),
+                })
+            }))
+        };
+        cell.arrived.lock().insert(self.my_global_rank());
+        Ok(RawRequest::new(self.state.clone(), RequestKind::Barrier(cell)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn ibarrier_completes_only_after_all_enter() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.ibarrier().unwrap();
+                // Nobody else has entered yet (they wait for our go signal),
+                // so the barrier cannot be complete.
+                assert!(req.test().unwrap().is_none());
+                for dest in 1..comm.size() {
+                    comm.send(dest, 0, b"go").unwrap();
+                }
+                req.wait().unwrap();
+            } else {
+                comm.recv(0, 0).unwrap();
+                let mut req = comm.ibarrier().unwrap();
+                req.wait().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn successive_ibarriers_are_independent() {
+        Universe::run(2, |comm| {
+            for _ in 0..5 {
+                let mut req = comm.ibarrier().unwrap();
+                req.wait().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn ibarrier_detects_dead_member() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 2 {
+                comm.simulate_failure();
+                return;
+            }
+            let mut req = comm.ibarrier().unwrap();
+            let err = loop {
+                match req.test_any() {
+                    Ok(Some(_)) => panic!("barrier cannot complete with a dead member"),
+                    Ok(None) => std::thread::yield_now(),
+                    Err(e) => break e,
+                }
+            };
+            assert!(err.is_failure());
+        });
+    }
+
+    #[test]
+    fn ibarrier_ok_when_member_finished_after_entering() {
+        Universe::run(2, |comm| {
+            // Rank 1 enters and immediately returns (finishes); rank 0 must
+            // still see the barrier complete, not a failure.
+            let mut req = comm.ibarrier().unwrap();
+            if comm.rank() == 1 {
+                return;
+            }
+            req.wait().unwrap();
+        });
+    }
+
+    #[test]
+    fn barrier_registry_is_garbage_collected() {
+        Universe::run(4, |comm| {
+            let mut reqs: Vec<_> = (0..3).map(|_| comm.ibarrier().unwrap()).collect();
+            for r in &mut reqs {
+                r.wait().unwrap();
+            }
+            comm.barrier().unwrap();
+        });
+        Universe::run(4, |comm| {
+            let mut r = comm.ibarrier().unwrap();
+            r.wait().unwrap();
+        });
+    }
+}

@@ -1,0 +1,365 @@
+//! Point-to-point communication.
+//!
+//! All ranks are addressed with *communicator-local* ranks; payloads are
+//! packed byte buffers (the typed layer above packs and unpacks). Sends are
+//! eager and complete locally; synchronous-mode sends complete when matched.
+
+use std::sync::Arc;
+
+use crate::error::{MpiError, MpiResult};
+use crate::profile::Op;
+use crate::request::{RawRequest, RequestKind};
+use crate::tag::{Tag, ANY_SOURCE};
+use crate::transport::{AckCell, Envelope, MatchKey};
+use crate::universe::wait_interrupt;
+use crate::RawComm;
+
+/// Delivery metadata of a completed receive or probe (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator-local source rank.
+    pub source: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub bytes: usize,
+}
+
+impl RawComm {
+    /// Checks this communicator is usable and translates `dest`.
+    fn check_dest(&self, dest: usize) -> MpiResult<usize> {
+        if self.state.is_revoked(self.ctx) {
+            return Err(MpiError::Revoked);
+        }
+        self.global_rank(dest)
+    }
+
+    /// Deposits `payload` in `dest_global`'s mailbox, recording profile
+    /// counters. Messages to failed ranks are silently dropped (a send to a
+    /// dead process may complete in MPI; the failure surfaces at receives).
+    pub(crate) fn post_to(
+        &self,
+        dest_global: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        ack: Option<Arc<AckCell>>,
+    ) {
+        self.state.counters[self.my_global_rank()].record_message(payload.len());
+        if self.state.is_failed(dest_global) {
+            if let Some(ack) = ack {
+                // Never going to be matched; complete it so senders don't hang.
+                ack.set();
+            }
+            return;
+        }
+        self.state.mailboxes[dest_global].post(Envelope {
+            src: self.my_global_rank(),
+            tag,
+            ctx: self.ctx,
+            payload,
+            ack,
+        });
+    }
+
+    fn match_key(&self, source: usize, tag: Tag) -> MpiResult<MatchKey> {
+        if self.state.is_revoked(self.ctx) {
+            return Err(MpiError::Revoked);
+        }
+        let src_global = if source == ANY_SOURCE {
+            ANY_SOURCE
+        } else {
+            self.global_rank(source)?
+        };
+        Ok(MatchKey { src: src_global, tag, ctx: self.ctx })
+    }
+
+    fn status_of(&self, src_global: usize, tag: Tag, bytes: usize) -> Status {
+        let source = self.local_rank_of(src_global).unwrap_or(usize::MAX);
+        Status { source, tag, bytes }
+    }
+
+    /// Blocking standard-mode send of `payload` to local rank `dest`.
+    pub fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> MpiResult<()> {
+        self.record(Op::Send);
+        let dest_global = self.check_dest(dest)?;
+        self.post_to(dest_global, tag, payload.to_vec(), None);
+        Ok(())
+    }
+
+    /// Blocking send that *moves* the buffer (no copy) — the substrate
+    /// counterpart of KaMPIng's ownership-transferring `send_buf(move)`.
+    pub fn send_owned(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<()> {
+        self.record(Op::Send);
+        let dest_global = self.check_dest(dest)?;
+        self.post_to(dest_global, tag, payload, None);
+        Ok(())
+    }
+
+    /// Blocking receive from local rank `source` (or [`ANY_SOURCE`]).
+    pub fn recv(&self, source: usize, tag: Tag) -> MpiResult<(Vec<u8>, Status)> {
+        self.record(Op::Recv);
+        let key = self.match_key(source, tag)?;
+        let me = self.my_global_rank();
+        let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
+        let d = self.state.mailboxes[me].take_blocking(key, &interrupt)?;
+        let status = self.status_of(d.src, d.tag, d.payload.len());
+        Ok((d.payload, status))
+    }
+
+    /// Blocking receive with a size limit: errors with
+    /// [`MpiError::Truncation`] if the matched message exceeds `max_bytes`.
+    /// (The message is consumed either way, as in MPI.)
+    pub fn recv_bounded(&self, source: usize, tag: Tag, max_bytes: usize) -> MpiResult<(Vec<u8>, Status)> {
+        let (payload, status) = self.recv(source, tag)?;
+        if payload.len() > max_bytes {
+            return Err(MpiError::Truncation { expected: max_bytes, got: payload.len() });
+        }
+        Ok((payload, status))
+    }
+
+    /// Non-blocking standard-mode send. Completes immediately (eager
+    /// transport) but still returns a request for uniform completion code.
+    pub fn isend(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<RawRequest> {
+        self.record(Op::Isend);
+        let dest_global = self.check_dest(dest)?;
+        self.post_to(dest_global, tag, payload, None);
+        Ok(RawRequest::new(self.state.clone(), RequestKind::SendDone))
+    }
+
+    /// Non-blocking synchronous-mode send: the request completes only once a
+    /// matching receive has consumed the message (needed by NBX).
+    pub fn issend(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<RawRequest> {
+        self.record(Op::Issend);
+        let dest_global = self.check_dest(dest)?;
+        let ack = Arc::new(AckCell::default());
+        self.post_to(dest_global, tag, payload, Some(ack.clone()));
+        Ok(RawRequest::new(self.state.clone(), RequestKind::Ssend(ack)))
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&self, source: usize, tag: Tag) -> MpiResult<RawRequest> {
+        self.record(Op::Irecv);
+        let key = self.match_key(source, tag)?;
+        Ok(RawRequest::new(
+            self.state.clone(),
+            RequestKind::Recv { key, me: self.my_global_rank(), group: Arc::clone(&self.group) },
+        ))
+    }
+
+    /// Blocking probe: waits until a matching message is available and
+    /// returns its status without consuming it.
+    pub fn probe(&self, source: usize, tag: Tag) -> MpiResult<Status> {
+        self.record(Op::Probe);
+        let key = self.match_key(source, tag)?;
+        let me = self.my_global_rank();
+        let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
+        loop {
+            if let Some((src, t, n)) = self.state.mailboxes[me].try_peek(key) {
+                return Ok(self.status_of(src, t, n));
+            }
+            if let Some(err) = interrupt() {
+                return Err(err);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, source: usize, tag: Tag) -> MpiResult<Option<Status>> {
+        self.record(Op::Iprobe);
+        let key = self.match_key(source, tag)?;
+        let me = self.my_global_rank();
+        Ok(self.state.mailboxes[me].try_peek(key).map(|(s, t, n)| self.status_of(s, t, n)))
+    }
+
+    /// Combined send + receive (`MPI_Sendrecv`), deadlock-free.
+    pub fn sendrecv(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        payload: &[u8],
+        source: usize,
+        recv_tag: Tag,
+    ) -> MpiResult<(Vec<u8>, Status)> {
+        // The eager transport makes the send non-blocking, so the naive
+        // order is already deadlock-free.
+        self.send(dest, send_tag, payload)?;
+        self.recv(source, recv_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::ANY_TAG;
+    use crate::Universe;
+
+    #[test]
+    fn ping_pong() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"ping").unwrap();
+                let (msg, st) = comm.recv(1, 8).unwrap();
+                assert_eq!(msg, b"pong");
+                assert_eq!(st, Status { source: 1, tag: 8, bytes: 4 });
+            } else {
+                let (msg, _) = comm.recv(0, 7).unwrap();
+                assert_eq!(msg, b"ping");
+                comm.send(0, 8, b"pong").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..2 {
+                    let (msg, st) = comm.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                    assert_eq!(msg.len(), 1);
+                    seen.push((st.source, st.tag, msg[0]));
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![(1, 10, 1), (2, 20, 2)]);
+            } else {
+                let me = comm.rank() as u8;
+                comm.send(0, comm.rank() as Tag * 10, &[me]).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_channel() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50u8 {
+                    comm.send(1, 3, &[i]).unwrap();
+                }
+            } else {
+                for i in 0..50u8 {
+                    let (msg, _) = comm.recv(0, 3).unwrap();
+                    assert_eq!(msg, vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"one").unwrap();
+                comm.send(1, 2, b"two").unwrap();
+            } else {
+                // Receive out of send order via tags.
+                let (two, _) = comm.recv(0, 2).unwrap();
+                let (one, _) = comm.recv(0, 1).unwrap();
+                assert_eq!((one.as_slice(), two.as_slice()), (&b"one"[..], &b"two"[..]));
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_then_complete() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.irecv(1, 0).unwrap();
+                // Tell rank 1 we're ready, then spin on test().
+                comm.send(1, 1, b"go").unwrap();
+                loop {
+                    if let Some((payload, st)) = req.test().unwrap() {
+                        assert_eq!(payload, b"data");
+                        assert_eq!(st.tag, 0);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            } else {
+                comm.recv(0, 1).unwrap();
+                comm.send(0, 0, b"data").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn issend_completes_only_on_match() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.issend(1, 0, b"sync".to_vec()).unwrap();
+                assert!(req.test().unwrap().is_none(), "unmatched ssend must be incomplete");
+                comm.send(1, 1, b"now-recv").unwrap();
+                req.wait().unwrap();
+            } else {
+                comm.recv(0, 1).unwrap();
+                let (msg, _) = comm.recv(0, 0).unwrap();
+                assert_eq!(msg, b"sync");
+            }
+        });
+    }
+
+    #[test]
+    fn probe_then_recv() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, &[9; 17]).unwrap();
+            } else {
+                let st = comm.probe(0, 4).unwrap();
+                assert_eq!(st.bytes, 17);
+                let (msg, _) = comm.recv(st.source, st.tag).unwrap();
+                assert_eq!(msg.len(), 17);
+            }
+        });
+    }
+
+    #[test]
+    fn iprobe_none_when_empty() {
+        Universe::run(1, |comm| {
+            assert!(comm.iprobe(0, 0).unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn truncation_detected() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0; 100]).unwrap();
+            } else {
+                let err = comm.recv_bounded(0, 0, 10).unwrap_err();
+                assert_eq!(err, MpiError::Truncation { expected: 10, got: 100 });
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_rotation() {
+        Universe::run(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let (got, _) = comm
+                .sendrecv(right, 0, &[comm.rank() as u8], left, 0)
+                .unwrap();
+            assert_eq!(got, vec![left as u8]);
+        });
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        Universe::run(2, |comm| {
+            assert!(matches!(comm.send(5, 0, b"x"), Err(MpiError::InvalidRank { rank: 5, size: 2 })));
+        });
+    }
+
+    #[test]
+    fn send_owned_moves_buffer() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let buf = vec![1u8, 2, 3];
+                comm.send_owned(1, 0, buf).unwrap();
+            } else {
+                let (msg, _) = comm.recv(0, 0).unwrap();
+                assert_eq!(msg, vec![1, 2, 3]);
+            }
+        });
+    }
+}

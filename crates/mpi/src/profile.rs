@@ -1,0 +1,305 @@
+//! PMPI-analog profiling interface.
+//!
+//! The paper (§III-H) uses MPI's profiling interface to verify that the
+//! binding layer "only issues the expected MPI calls" when it computes
+//! default parameters. This module is our equivalent: every substrate
+//! operation increments a per-rank call counter, and the transport
+//! increments per-rank message/byte counters at every envelope post.
+//!
+//! Two consumers:
+//! * the test suites assert exact call patterns (e.g. an `allgatherv` with
+//!   omitted receive counts issues exactly one extra `allgather`);
+//! * the benchmark harness reads message/byte counts as a machine-independent
+//!   LogGP-style cost model (`alpha * messages + beta * bytes`), which is how
+//!   EXPERIMENTS.md verifies the *asymptotic shape* of Fig. 10 (linear
+//!   all-to-all vs. O(sqrt p) grid vs. degree-proportional sparse exchange)
+//!   independent of wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Substrate operations tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum Op {
+    Send,
+    Isend,
+    Issend,
+    Recv,
+    Irecv,
+    Probe,
+    Iprobe,
+    Barrier,
+    Ibarrier,
+    Bcast,
+    Gather,
+    Gatherv,
+    Scatter,
+    Scatterv,
+    Allgather,
+    Allgatherv,
+    Alltoall,
+    Alltoallv,
+    Alltoallw,
+    Reduce,
+    Allreduce,
+    Scan,
+    Exscan,
+    NeighborAlltoallv,
+    CommSplit,
+    CommDup,
+    Shrink,
+    Agree,
+}
+
+/// Number of distinct [`Op`] variants.
+pub const N_OPS: usize = Op::Agree as usize + 1;
+
+/// All operations, in discriminant order (for reporting).
+pub const ALL_OPS: [Op; N_OPS] = [
+    Op::Send,
+    Op::Isend,
+    Op::Issend,
+    Op::Recv,
+    Op::Irecv,
+    Op::Probe,
+    Op::Iprobe,
+    Op::Barrier,
+    Op::Ibarrier,
+    Op::Bcast,
+    Op::Gather,
+    Op::Gatherv,
+    Op::Scatter,
+    Op::Scatterv,
+    Op::Allgather,
+    Op::Allgatherv,
+    Op::Alltoall,
+    Op::Alltoallv,
+    Op::Alltoallw,
+    Op::Reduce,
+    Op::Allreduce,
+    Op::Scan,
+    Op::Exscan,
+    Op::NeighborAlltoallv,
+    Op::CommSplit,
+    Op::CommDup,
+    Op::Shrink,
+    Op::Agree,
+];
+
+impl Op {
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Send => "send",
+            Op::Isend => "isend",
+            Op::Issend => "issend",
+            Op::Recv => "recv",
+            Op::Irecv => "irecv",
+            Op::Probe => "probe",
+            Op::Iprobe => "iprobe",
+            Op::Barrier => "barrier",
+            Op::Ibarrier => "ibarrier",
+            Op::Bcast => "bcast",
+            Op::Gather => "gather",
+            Op::Gatherv => "gatherv",
+            Op::Scatter => "scatter",
+            Op::Scatterv => "scatterv",
+            Op::Allgather => "allgather",
+            Op::Allgatherv => "allgatherv",
+            Op::Alltoall => "alltoall",
+            Op::Alltoallv => "alltoallv",
+            Op::Alltoallw => "alltoallw",
+            Op::Reduce => "reduce",
+            Op::Allreduce => "allreduce",
+            Op::Scan => "scan",
+            Op::Exscan => "exscan",
+            Op::NeighborAlltoallv => "neighbor_alltoallv",
+            Op::CommSplit => "comm_split",
+            Op::CommDup => "comm_dup",
+            Op::Shrink => "shrink",
+            Op::Agree => "agree",
+        }
+    }
+}
+
+/// Live per-rank counters (atomics, written by the rank's thread).
+#[derive(Debug)]
+pub struct RankCounters {
+    op_calls: [AtomicU64; N_OPS],
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl Default for RankCounters {
+    fn default() -> Self {
+        Self {
+            op_calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            messages_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+}
+
+impl RankCounters {
+    /// Records one invocation of `op`.
+    pub fn record_op(&self, op: Op) {
+        self.op_calls[op as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one posted envelope of `bytes` payload bytes.
+    pub fn record_message(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> RankProfile {
+        RankProfile {
+            op_calls: std::array::from_fn(|i| self.op_calls[i].load(Ordering::Relaxed)),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen counters of one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankProfile {
+    /// Call count per [`Op`] (indexed by discriminant).
+    pub op_calls: [u64; N_OPS],
+    /// Envelopes posted by this rank.
+    pub messages_sent: u64,
+    /// Payload bytes posted by this rank.
+    pub bytes_sent: u64,
+}
+
+impl RankProfile {
+    /// Call count for one operation.
+    pub fn calls(&self, op: Op) -> u64 {
+        self.op_calls[op as usize]
+    }
+
+    fn saturating_sub(&self, earlier: &RankProfile) -> RankProfile {
+        RankProfile {
+            op_calls: std::array::from_fn(|i| self.op_calls[i].saturating_sub(earlier.op_calls[i])),
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+        }
+    }
+}
+
+/// Frozen counters of the whole universe at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// One entry per global rank.
+    pub ranks: Vec<RankProfile>,
+}
+
+impl ProfileSnapshot {
+    pub(crate) fn capture(counters: &[RankCounters]) -> Self {
+        Self { ranks: counters.iter().map(RankCounters::snapshot).collect() }
+    }
+
+    /// Counter deltas since `earlier` (elementwise saturating).
+    pub fn since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        ProfileSnapshot {
+            ranks: self
+                .ranks
+                .iter()
+                .zip(&earlier.ranks)
+                .map(|(now, then)| now.saturating_sub(then))
+                .collect(),
+        }
+    }
+
+    /// Total call count for one operation across all ranks.
+    pub fn total_calls(&self, op: Op) -> u64 {
+        self.ranks.iter().map(|r| r.calls(op)).sum()
+    }
+
+    /// Total envelopes posted across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Total payload bytes posted across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Maximum envelopes posted by any single rank (bottleneck startups).
+    pub fn max_messages_per_rank(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).max().unwrap_or(0)
+    }
+
+    /// LogGP-style modeled time: the bottleneck rank's
+    /// `alpha * messages + beta * bytes`.
+    ///
+    /// `alpha` is the per-message startup cost, `beta` the per-byte cost
+    /// (both in arbitrary time units). This captures exactly the trade-off
+    /// §V-A of the paper discusses: grid all-to-all pays more `beta`
+    /// (volume) to save `alpha * p` startups.
+    pub fn modeled_time(&self, alpha: f64, beta: f64) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| alpha * r.messages_sent as f64 + beta * r.bytes_sent as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = RankCounters::default();
+        c.record_op(Op::Bcast);
+        c.record_op(Op::Bcast);
+        c.record_op(Op::Allgatherv);
+        c.record_message(100);
+        c.record_message(28);
+        let snap = ProfileSnapshot::capture(std::slice::from_ref(&c));
+        assert_eq!(snap.total_calls(Op::Bcast), 2);
+        assert_eq!(snap.total_calls(Op::Allgatherv), 1);
+        assert_eq!(snap.total_calls(Op::Reduce), 0);
+        assert_eq!(snap.total_messages(), 2);
+        assert_eq!(snap.total_bytes(), 128);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let c = RankCounters::default();
+        c.record_op(Op::Send);
+        let before = ProfileSnapshot::capture(std::slice::from_ref(&c));
+        c.record_op(Op::Send);
+        c.record_message(10);
+        let after = ProfileSnapshot::capture(std::slice::from_ref(&c));
+        let d = after.since(&before);
+        assert_eq!(d.total_calls(Op::Send), 1);
+        assert_eq!(d.total_bytes(), 10);
+    }
+
+    #[test]
+    fn modeled_time_is_bottleneck_rank() {
+        let a = RankCounters::default();
+        let b = RankCounters::default();
+        a.record_message(8); // 1 msg, 8 bytes
+        for _ in 0..10 {
+            b.record_message(0); // 10 msgs, 0 bytes
+        }
+        let snap = ProfileSnapshot::capture(&[a, b]);
+        // alpha-dominated: rank b is the bottleneck
+        assert_eq!(snap.modeled_time(1.0, 0.0), 10.0);
+        // beta-dominated: rank a is the bottleneck
+        assert_eq!(snap.modeled_time(0.0, 1.0), 8.0);
+    }
+
+    #[test]
+    fn op_names_unique() {
+        let mut names: Vec<_> = ALL_OPS.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_OPS);
+    }
+}

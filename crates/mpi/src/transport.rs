@@ -1,0 +1,245 @@
+//! Shared-memory transport: one mailbox per rank.
+//!
+//! A mailbox is a mutex-protected queue of [`Envelope`]s plus a condition
+//! variable. Sends are *eager*: the sender packs its bytes into an envelope
+//! and deposits it in the receiver's mailbox, so a standard-mode send always
+//! completes locally (as buffered sends do in practice for small messages in
+//! real MPI). Synchronous-mode sends (`issend`) additionally carry an
+//! acknowledgement cell that the receiver flips when the message is
+//! *matched* — the completion semantics the NBX sparse all-to-all algorithm
+//! (Hoefler et al., reproduced in `kamping-plugins`) relies on.
+//!
+//! Matching is FIFO per (source, tag, context): the receiver scans the queue
+//! front-to-back and takes the first envelope that matches, which preserves
+//! MPI's non-overtaking guarantee.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MpiError, MpiResult};
+use crate::tag::{source_matches, tag_matches, Tag};
+
+/// How long a blocked receiver sleeps between checks of the failure /
+/// revocation state. Purely a liveness knob; correctness never depends on it.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Acknowledgement cell for synchronous-mode sends.
+#[derive(Debug, Default)]
+pub struct AckCell(AtomicBool);
+
+impl AckCell {
+    /// Marks the message as matched by a receiver.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+    /// True once a receiver has matched the message.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Global rank of the sender.
+    pub src: usize,
+    /// Message tag (user or internal collective space).
+    pub tag: Tag,
+    /// Context id of the communicator the message travels on.
+    pub ctx: u64,
+    /// Packed message bytes.
+    pub payload: Vec<u8>,
+    /// Present for synchronous-mode sends; flipped on match.
+    pub ack: Option<Arc<AckCell>>,
+}
+
+/// Matching key for receives and probes. Sources are *global* ranks; the
+/// communicator layer translates before calling into the transport.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchKey {
+    /// Wanted global source rank, or [`crate::ANY_SOURCE`].
+    pub src: usize,
+    /// Wanted tag, or [`crate::ANY_TAG`] (user space only).
+    pub tag: Tag,
+    /// Context id of the communicator.
+    pub ctx: u64,
+}
+
+impl MatchKey {
+    fn matches(&self, e: &Envelope) -> bool {
+        e.ctx == self.ctx && source_matches(self.src, e.src) && tag_matches(self.tag, e.tag)
+    }
+}
+
+/// Outcome of a successful match.
+#[derive(Debug)]
+pub struct Delivered {
+    /// Actual global source rank.
+    pub src: usize,
+    /// Actual tag.
+    pub tag: Tag,
+    /// The message bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-rank incoming message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits an envelope and wakes any waiting receiver.
+    pub fn post(&self, envelope: Envelope) {
+        let mut q = self.queue.lock();
+        q.push_back(envelope);
+        drop(q);
+        self.cond.notify_all();
+    }
+
+    /// Wakes all waiters so they can re-check failure/revocation state.
+    pub fn kick(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Removes and returns the first matching envelope, if any.
+    ///
+    /// Flips the `ack` cell of synchronous-mode messages.
+    pub fn try_take(&self, key: MatchKey) -> Option<Delivered> {
+        let mut q = self.queue.lock();
+        let idx = q.iter().position(|e| key.matches(e))?;
+        let e = q.remove(idx).expect("index valid under lock");
+        if let Some(ack) = &e.ack {
+            ack.set();
+        }
+        Some(Delivered { src: e.src, tag: e.tag, payload: e.payload })
+    }
+
+    /// Returns (source, tag, byte length) of the first matching envelope
+    /// without removing it (`MPI_Iprobe`).
+    pub fn try_peek(&self, key: MatchKey) -> Option<(usize, Tag, usize)> {
+        let q = self.queue.lock();
+        q.iter().find(|e| key.matches(e)).map(|e| (e.src, e.tag, e.payload.len()))
+    }
+
+    /// Blocks until a matching envelope arrives, periodically invoking
+    /// `interrupt` to learn about failures or revocation.
+    ///
+    /// `interrupt` returns `Some(err)` when the wait must be abandoned (the
+    /// awaited peer died, or the communicator was revoked).
+    pub fn take_blocking(
+        &self,
+        key: MatchKey,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+    ) -> MpiResult<Delivered> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|e| key.matches(e)) {
+                let e = q.remove(idx).expect("index valid under lock");
+                if let Some(ack) = &e.ack {
+                    ack.set();
+                }
+                return Ok(Delivered { src: e.src, tag: e.tag, payload: e.payload });
+            }
+            if let Some(err) = interrupt() {
+                return Err(err);
+            }
+            self.cond.wait_for(&mut q, POLL_INTERVAL);
+        }
+    }
+
+    /// Number of queued envelopes (diagnostics / tests only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True when no envelope is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{ANY_SOURCE, ANY_TAG};
+
+    fn env(src: usize, tag: Tag, ctx: u64, payload: &[u8]) -> Envelope {
+        Envelope { src, tag, ctx, payload: payload.to_vec(), ack: None }
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        let mb = Mailbox::new();
+        mb.post(env(0, 1, 0, b"first"));
+        mb.post(env(0, 1, 0, b"second"));
+        let key = MatchKey { src: 0, tag: 1, ctx: 0 };
+        assert_eq!(mb.try_take(key).unwrap().payload, b"first");
+        assert_eq!(mb.try_take(key).unwrap().payload, b"second");
+        assert!(mb.try_take(key).is_none());
+    }
+
+    #[test]
+    fn matching_respects_ctx_tag_src() {
+        let mb = Mailbox::new();
+        mb.post(env(0, 1, 7, b"a"));
+        assert!(mb.try_take(MatchKey { src: 0, tag: 1, ctx: 8 }).is_none());
+        assert!(mb.try_take(MatchKey { src: 1, tag: 1, ctx: 7 }).is_none());
+        assert!(mb.try_take(MatchKey { src: 0, tag: 2, ctx: 7 }).is_none());
+        assert!(mb.try_take(MatchKey { src: 0, tag: 1, ctx: 7 }).is_some());
+    }
+
+    #[test]
+    fn wildcards_match_and_report_actual_origin() {
+        let mb = Mailbox::new();
+        mb.post(env(3, 9, 0, b"x"));
+        let d = mb.try_take(MatchKey { src: ANY_SOURCE, tag: ANY_TAG, ctx: 0 }).unwrap();
+        assert_eq!((d.src, d.tag), (3, 9));
+    }
+
+    #[test]
+    fn peek_does_not_consume_or_ack() {
+        let mb = Mailbox::new();
+        let ack = Arc::new(AckCell::default());
+        mb.post(Envelope { src: 0, tag: 5, ctx: 0, payload: vec![1, 2, 3], ack: Some(ack.clone()) });
+        let key = MatchKey { src: 0, tag: 5, ctx: 0 };
+        assert_eq!(mb.try_peek(key), Some((0, 5, 3)));
+        assert!(!ack.is_set());
+        assert_eq!(mb.len(), 1);
+        mb.try_take(key).unwrap();
+        assert!(ack.is_set());
+    }
+
+    #[test]
+    fn blocking_take_interrupts() {
+        let mb = Mailbox::new();
+        let key = MatchKey { src: 2, tag: 0, ctx: 0 };
+        let err = mb
+            .take_blocking(key, &|| Some(MpiError::ProcFailed { rank: 2 }))
+            .unwrap_err();
+        assert_eq!(err, MpiError::ProcFailed { rank: 2 });
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_post() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let handle = std::thread::spawn(move || {
+            let key = MatchKey { src: 0, tag: 0, ctx: 0 };
+            mb2.take_blocking(key, &|| None).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.post(env(0, 0, 0, b"wake"));
+        assert_eq!(handle.join().unwrap().payload, b"wake");
+    }
+}

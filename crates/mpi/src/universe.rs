@@ -1,0 +1,251 @@
+//! The universe: process-global state and the SPMD entry point.
+//!
+//! [`Universe::run`] plays the role of `mpirun -n p`: it spawns `p` rank
+//! threads, hands each a world communicator, joins them, and returns their
+//! results ordered by rank. A rank that panics is treated like a crashed
+//! process: it is marked failed so that peers blocked on it observe
+//! [`MpiError::ProcFailed`] instead of deadlocking, and the panic is
+//! re-raised on the spawning thread after all ranks have finished.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::comm::RawComm;
+use crate::error::MpiError;
+use crate::ibarrier::BarrierCell;
+use crate::profile::{ProfileSnapshot, RankCounters};
+use crate::transport::Mailbox;
+
+/// Shared state of one simulated MPI job.
+pub(crate) struct UniverseState {
+    /// Number of ranks in the world.
+    pub size: usize,
+    /// One mailbox per global rank.
+    pub mailboxes: Vec<Mailbox>,
+    /// One profiling counter block per global rank.
+    pub counters: Vec<RankCounters>,
+    /// Global ranks that have failed (ULFM).
+    pub failed: RwLock<HashSet<usize>>,
+    /// Global ranks whose SPMD closure has returned. A finished rank will
+    /// never communicate again, so peers blocked on it must be interrupted
+    /// (in real MPI, completing `MPI_Finalize` with matching operations
+    /// still pending is erroneous; we surface it as a process failure).
+    pub finished: RwLock<HashSet<usize>>,
+    /// Context ids of revoked communicators (ULFM).
+    pub revoked: RwLock<HashSet<u64>>,
+    /// Registry of in-flight non-blocking barriers, keyed by
+    /// (context id, collective sequence number).
+    pub barriers: Mutex<HashMap<(u64, u32), Arc<BarrierCell>>>,
+}
+
+impl UniverseState {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            counters: (0..size).map(|_| RankCounters::default()).collect(),
+            failed: RwLock::new(HashSet::new()),
+            finished: RwLock::new(HashSet::new()),
+            revoked: RwLock::new(HashSet::new()),
+            barriers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Marks `rank` failed and wakes every blocked receiver so it can
+    /// observe the failure.
+    pub fn mark_failed(&self, rank: usize) {
+        self.failed.write().insert(rank);
+        for mb in &self.mailboxes {
+            mb.kick();
+        }
+    }
+
+    /// True if `rank` is marked failed.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        self.failed.read().contains(&rank)
+    }
+
+    /// Marks `rank` as finished (its SPMD closure returned) and wakes every
+    /// blocked receiver.
+    pub fn mark_finished(&self, rank: usize) {
+        self.finished.write().insert(rank);
+        for mb in &self.mailboxes {
+            mb.kick();
+        }
+    }
+
+    /// True if `rank` will never communicate again (failed or finished).
+    pub fn is_gone(&self, rank: usize) -> bool {
+        self.is_failed(rank) || self.finished.read().contains(&rank)
+    }
+
+    /// Marks the communicator context revoked and wakes all receivers.
+    pub fn mark_revoked(&self, ctx: u64) {
+        self.revoked.write().insert(ctx);
+        for mb in &self.mailboxes {
+            mb.kick();
+        }
+    }
+
+    /// True if the context has been revoked.
+    pub fn is_revoked(&self, ctx: u64) -> bool {
+        self.revoked.read().contains(&ctx)
+    }
+
+    /// Freezes the profiling counters.
+    pub fn profile(&self) -> ProfileSnapshot {
+        ProfileSnapshot::capture(&self.counters)
+    }
+}
+
+/// Handle to a simulated MPI job.
+///
+/// The common entry point is [`Universe::run`]; [`Universe::run_profiled`]
+/// additionally returns the profiling counters accumulated during the run.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `size` rank threads and returns the per-rank results,
+    /// ordered by rank.
+    ///
+    /// `f` receives the world communicator of its rank. Panics of rank
+    /// threads are re-raised here after all ranks have terminated (the
+    /// first panicking rank wins); surviving ranks observe the panicking
+    /// rank as *failed* rather than hanging.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or if any rank panics.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        Self::run_profiled(size, f).0
+    }
+
+    /// Like [`Universe::run`], also returning the final profile snapshot.
+    pub fn run_profiled<R, F>(size: usize, f: F) -> (Vec<R>, ProfileSnapshot)
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        assert!(size > 0, "a universe needs at least one rank");
+        let state = Arc::new(UniverseState::new(size));
+        let f = &f;
+
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let state = Arc::clone(&state);
+                    scope.spawn(move || {
+                        let comm = RawComm::world(state.clone(), rank);
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        if outcome.is_err() {
+                            // Treat a panicking rank as a crashed process so
+                            // that peers error out instead of deadlocking.
+                            state.mark_failed(rank);
+                        }
+                        state.mark_finished(rank);
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread itself never panics")).collect()
+        });
+
+        let profile = state.profile();
+        let mut values = Vec::with_capacity(size);
+        let mut first_panic = None;
+        for r in results {
+            match r {
+                Ok(v) => values.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        (values, profile)
+    }
+}
+
+/// Interrupt predicate builder shared by blocking operations: returns an
+/// error when `src` has failed or `ctx` has been revoked.
+pub(crate) fn wait_interrupt(
+    state: &UniverseState,
+    src: usize,
+    ctx: u64,
+) -> impl Fn() -> Option<MpiError> + '_ {
+    move || {
+        if state.is_revoked(ctx) {
+            return Some(MpiError::Revoked);
+        }
+        if src != crate::tag::ANY_SOURCE && state.is_gone(src) {
+            return Some(MpiError::ProcFailed { rank: src });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = Universe::run(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn world_has_expected_shape() {
+        Universe::run(3, |comm| {
+            assert_eq!(comm.size(), 3);
+            assert!(comm.rank() < 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Universe::run(0, |_| ());
+    }
+
+    #[test]
+    fn panicking_rank_propagates_and_unblocks_peers() {
+        let caught = std::panic::catch_unwind(|| {
+            Universe::run(2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                // Rank 0 waits for a message that will never come; it must
+                // observe the failure instead of hanging.
+                let err = comm.recv(1, 0).unwrap_err();
+                assert!(err.is_failure());
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn profiled_run_reports_counters() {
+        let (_, profile) = Universe::run_profiled(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, b"hello").unwrap();
+            } else {
+                comm.recv(0, 0).unwrap();
+            }
+        });
+        assert_eq!(profile.total_calls(crate::Op::Send), 1);
+        assert_eq!(profile.total_calls(crate::Op::Recv), 1);
+        assert_eq!(profile.total_messages(), 1);
+        assert_eq!(profile.total_bytes(), 5);
+    }
+}

@@ -1,0 +1,286 @@
+//! # kamping-phylo — a RAxML-NG-like phylogenetic inference kernel
+//!
+//! §IV-C of the paper integrates KaMPIng into RAxML-NG, a maximum-
+//! likelihood phylogenetic inference tool whose MPI abstraction layer
+//! (700+ lines over pthreads + MPI) shrinks dramatically — Fig. 11 shows
+//! the serialize + size-broadcast + payload-broadcast helper collapsing to
+//! a one-liner — with *no measurable overhead* at nearly 700 MPI calls per
+//! second and with the same results.
+//!
+//! RAxML-NG itself is a large C++ application we cannot port; what the
+//! experiment actually exercises is its **communication skeleton**:
+//!
+//! * sites of the alignment are distributed across ranks; every
+//!   evaluation reduces per-category local log-likelihood vectors with an
+//!   `allreduce` (the ~700 calls/s loop);
+//! * model updates (a struct of strings and float vectors) are broadcast
+//!   from rank 0 through serialization.
+//!
+//! This crate reproduces that skeleton with a synthetic likelihood
+//! function, implemented against both abstraction layers: [`plain`] is
+//! the hand-written helper of Fig. 11 (explicit serialization, separate
+//! size and payload broadcasts on the raw substrate), [`kamping_layer`]
+//! is the one-liner. The `raxml_phylo` harness in `kamping-bench`
+//! measures call rate and runtime parity (T-RAX in EXPERIMENTS.md).
+
+use kamping::prelude::*;
+use kamping_mpi::RawComm;
+use kamping_serial::serial_struct;
+
+/// An evolutionary model — the kind of heap-backed object RAxML-NG
+/// broadcasts between ranks (paper Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Substitution model name (e.g. "GTR+G").
+    pub name: String,
+    /// Substitution rates.
+    pub rates: Vec<f64>,
+    /// Base frequencies.
+    pub freqs: Vec<f64>,
+    /// Branch lengths of the current tree.
+    pub branch_lengths: Vec<f64>,
+}
+
+serial_struct!(Model { name, rates, freqs, branch_lengths });
+
+impl Model {
+    /// A deterministic starting model with `branches` branch lengths.
+    pub fn initial(branches: usize) -> Self {
+        Model {
+            name: "GTR+G".to_string(),
+            rates: vec![1.0, 0.5, 0.25, 0.125, 0.0625, 1.5],
+            freqs: vec![0.25; 4],
+            branch_lengths: (0..branches).map(|i| 0.1 + 0.01 * i as f64).collect(),
+        }
+    }
+
+    /// Deterministically perturbs the model (what an optimizer step does).
+    pub fn perturb(&mut self, step: u64) {
+        let f = 1.0 + ((step % 7) as f64 - 3.0) * 1e-3;
+        for r in &mut self.rates {
+            *r *= f;
+        }
+        for b in &mut self.branch_lengths {
+            *b = (*b * f).max(1e-6);
+        }
+    }
+}
+
+/// Synthetic per-site log-likelihood: smooth in the model parameters,
+/// deterministic in the site index — enough to make the reduction values
+/// depend on every input, so both layers can be checked for identical
+/// results.
+fn site_loglh(model: &Model, site: u64, category: usize) -> f64 {
+    let r = model.rates[category % model.rates.len()];
+    let b = model.branch_lengths[(site as usize) % model.branch_lengths.len()];
+    -((site as f64 + 1.0).ln() * r * b + model.freqs[(site as usize) % 4])
+}
+
+/// Evaluates the local partial log-likelihood vector (one entry per rate
+/// category) over this rank's site range.
+pub fn local_partial(model: &Model, sites: std::ops::Range<u64>, categories: usize) -> Vec<f64> {
+    let mut acc = vec![0.0f64; categories];
+    for site in sites {
+        for (c, slot) in acc.iter_mut().enumerate() {
+            *slot += site_loglh(model, site, c);
+        }
+    }
+    acc
+}
+
+/// The hand-written abstraction layer (paper Fig. 11, *before*).
+pub mod plain {
+    use super::*;
+
+    // LOC-BEGIN phylo_bcast_plain
+    /// Broadcast a model by hand: serialize at the master, broadcast the
+    /// size, broadcast the payload, deserialize everywhere else — the
+    /// structure of RAxML-NG's original `mpi_broadcast`.
+    pub fn mpi_broadcast_model(comm: &RawComm, model: &mut Model) {
+        if comm.size() > 1 {
+            let master = comm.rank() == 0;
+            let mut payload = if master {
+                kamping_serial::to_bytes(model)
+            } else {
+                Vec::new()
+            };
+            let mut size_buf = (payload.len() as u64).to_le_bytes().to_vec();
+            comm.bcast(&mut size_buf, 0).expect("size bcast");
+            let size = u64::from_le_bytes(size_buf.try_into().unwrap()) as usize;
+            if !master {
+                payload = vec![0u8; size];
+            }
+            comm.bcast(&mut payload, 0).expect("payload bcast");
+            if !master {
+                *model = kamping_serial::from_bytes(&payload).expect("deserialize");
+            }
+        }
+    }
+    // LOC-END phylo_bcast_plain
+
+    /// Reduce the partial log-likelihood vector by hand.
+    pub fn allreduce_partials(comm: &RawComm, partials: &mut Vec<f64>) {
+        let mut wire: Vec<u8> = partials.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let add = |a: &mut [u8], b: &[u8]| {
+            let x = f64::from_le_bytes(a.try_into().unwrap());
+            let y = f64::from_le_bytes(b.try_into().unwrap());
+            a.copy_from_slice(&(x + y).to_le_bytes());
+        };
+        comm.allreduce(&mut wire, &add, 8).expect("allreduce");
+        *partials = wire
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+    }
+}
+
+/// The kamping abstraction layer (paper Fig. 11, *after*).
+pub mod kamping_layer {
+    use super::*;
+
+    // LOC-BEGIN phylo_bcast_kamping
+    /// Broadcast a model: `bcast_object` serializes, sizes and
+    /// deserializes internally — the Fig. 11 one-liner.
+    pub fn mpi_broadcast_model(comm: &Communicator, model: &mut Model) -> KResult<()> {
+        if comm.size() > 1 {
+            comm.bcast_object(model, 0)?;
+        }
+        Ok(())
+    }
+    // LOC-END phylo_bcast_kamping
+
+    /// Reduce the partial log-likelihood vector.
+    pub fn allreduce_partials(comm: &Communicator, partials: &mut Vec<f64>) -> KResult<()> {
+        *partials = comm
+            .allreduce(send_buf(partials))
+            .op(|a: f64, b: f64| a + b)
+            .call()?
+            .into_recv_buf();
+        Ok(())
+    }
+}
+
+/// Which abstraction layer the inference loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Hand-written helpers on the raw substrate.
+    Plain,
+    /// kamping one-liners.
+    Kamping,
+}
+
+/// Outcome of an inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceStats {
+    /// Final global log-likelihood.
+    pub final_score: f64,
+    /// Communication calls issued by this rank (allreduces + broadcasts).
+    pub comm_calls: u64,
+}
+
+/// Runs `iterations` likelihood evaluations with a model broadcast every
+/// `bcast_interval` iterations — the RAxML-NG communication skeleton.
+/// Collective; every rank gets the same final score.
+pub fn run_inference(
+    comm: &Communicator,
+    layer: Layer,
+    iterations: u64,
+    sites_per_rank: u64,
+    categories: usize,
+    bcast_interval: u64,
+) -> KResult<InferenceStats> {
+    let first = comm.rank() as u64 * sites_per_rank;
+    let sites = first..first + sites_per_rank;
+    let mut model = Model::initial(16);
+    let mut score = 0.0;
+    let mut comm_calls = 0u64;
+    for it in 0..iterations {
+        if it % bcast_interval == 0 {
+            if comm.rank() == 0 {
+                model.perturb(it);
+            }
+            match layer {
+                Layer::Plain => plain::mpi_broadcast_model(comm.raw(), &mut model),
+                Layer::Kamping => kamping_layer::mpi_broadcast_model(comm, &mut model)?,
+            }
+            comm_calls += 1;
+        }
+        let mut partials = local_partial(&model, sites.clone(), categories);
+        match layer {
+            Layer::Plain => plain::allreduce_partials(comm.raw(), &mut partials),
+            Layer::Kamping => kamping_layer::allreduce_partials(comm, &mut partials)?,
+        }
+        comm_calls += 1;
+        score = partials.iter().sum::<f64>();
+    }
+    Ok(InferenceStats { final_score: score, comm_calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_serialization_roundtrips() {
+        let m = Model::initial(8);
+        let back: Model = kamping_serial::from_bytes(&kamping_serial::to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn broadcast_layers_agree() {
+        kamping::run(4, |comm| {
+            let mut a = if comm.rank() == 0 { Model::initial(8) } else { Model::initial(1) };
+            if comm.rank() == 0 {
+                a.perturb(3);
+            }
+            let mut b = a.clone();
+            plain::mpi_broadcast_model(comm.raw(), &mut a);
+            kamping_layer::mpi_broadcast_model(&comm, &mut b).unwrap();
+            assert_eq!(a, b);
+            // Everyone now holds the master's model.
+            let sig: f64 = a.rates.iter().sum();
+            let sigs = comm.allgather_vec(&[sig]).unwrap();
+            assert!(sigs.iter().all(|s| s == &sigs[0]));
+        });
+    }
+
+    #[test]
+    fn inference_layers_produce_identical_scores() {
+        kamping::run(3, |comm| {
+            let a = run_inference(&comm, Layer::Plain, 20, 50, 4, 5).unwrap();
+            let b = run_inference(&comm, Layer::Kamping, 20, 50, 4, 5).unwrap();
+            // Bitwise equality: both layers issue the same reductions in
+            // the same tree order (the "no measurable difference" claim
+            // includes identical numerics here).
+            assert_eq!(a.final_score.to_bits(), b.final_score.to_bits());
+            assert_eq!(a.comm_calls, b.comm_calls);
+        });
+    }
+
+    #[test]
+    fn scores_consistent_across_ranks() {
+        let outs = kamping::run(4, |comm| {
+            run_inference(&comm, Layer::Kamping, 10, 30, 4, 3).unwrap().final_score
+        });
+        assert!(outs.iter().all(|s| s.to_bits() == outs[0].to_bits()));
+    }
+
+    #[test]
+    fn single_rank_runs_without_broadcast_traffic() {
+        let (_, profile) = kamping::run_profiled(1, |comm| {
+            run_inference(&comm, Layer::Plain, 5, 10, 2, 2).unwrap()
+        });
+        // p = 1: the guarded broadcast helper must not issue bcasts.
+        assert_eq!(profile.total_calls(kamping_mpi::Op::Bcast), 0);
+    }
+
+    #[test]
+    fn perturbation_changes_the_score() {
+        kamping::run(2, |comm| {
+            let short = run_inference(&comm, Layer::Kamping, 1, 20, 2, 1).unwrap();
+            let long = run_inference(&comm, Layer::Kamping, 15, 20, 2, 1).unwrap();
+            assert_ne!(short.final_score.to_bits(), long.final_score.to_bits());
+        });
+    }
+}

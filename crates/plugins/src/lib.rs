@@ -1,0 +1,34 @@
+//! # kamping-plugins — the library extensions shipped with KaMPIng (§V)
+//!
+//! KaMPIng keeps its core small; functionality beyond the MPI feature set
+//! ships as plugins (paper §III-F, §V). This crate reproduces the four
+//! plugins the paper describes, each as an extension trait over
+//! [`kamping::Communicator`]:
+//!
+//! * [`sparse::SparseAlltoall`] — personalized all-to-all for *sparse,
+//!   dynamic* communication patterns using the NBX algorithm of Hoefler,
+//!   Siebert and Lumsdaine (§V-A). Takes destination→message pairs; only
+//!   actual communication partners exchange envelopes, so the cost is
+//!   proportional to the pattern's degree, not to the communicator size.
+//! * [`grid::GridAlltoall`] — two-dimensional grid routing (§V-A, after
+//!   Kalé et al.): messages take two (rarely three) hops across a virtual
+//!   √p × √p grid, trading communication volume for O(√p) message
+//!   startups per rank instead of O(p).
+//! * [`ulfm::UlfmPlugin`] — user-level failure mitigation (§V-B): process
+//!   failures surface as `Result`s, and `revoke`/`shrink`/`agree` rebuild
+//!   a working communicator from the survivors.
+//! * [`repro_reduce::ReproducibleReduce`] — a reduction whose
+//!   floating-point result is *bitwise identical for every communicator
+//!   size* (§V-C, after Stelz): the combine order is a fixed binary tree
+//!   over global element indices, decoupled from the process count, while
+//!   still communicating only O(log n) partial results per rank.
+
+pub mod grid;
+pub mod repro_reduce;
+pub mod sparse;
+pub mod ulfm;
+
+pub use grid::{GridAlltoall, GridCommunicator};
+pub use repro_reduce::ReproducibleReduce;
+pub use sparse::SparseAlltoall;
+pub use ulfm::UlfmPlugin;

@@ -1,0 +1,362 @@
+//! Reproducible reduction (paper §V-C, Fig. 13).
+//!
+//! IEEE-754 addition is not associative, and the combine tree of an
+//! ordinary `reduce`/`allreduce` depends on the number of ranks — so the
+//! same data reduced on 3 and on 4 ranks can differ in the last bits,
+//! breaking run-to-run reproducibility of scientific results.
+//!
+//! This plugin fixes the combine order to a **binary tree over global
+//! element indices**: conceptually the n elements (concatenated in rank
+//! order) are the leaves of a perfect binary tree, and the reduction value
+//! is defined by that tree alone. Each rank locally evaluates the maximal
+//! aligned subtrees inside its index range (no communication, and fully
+//! order-fixed), sends those O(log n) partial results to rank 0, which
+//! stitches them together along the very same tree edges and broadcasts
+//! the result. That is faster than a gather + local reduce + bcast — the
+//! gather moves O(log n) values per rank instead of O(n/p) — while being
+//! bitwise independent of p (after Stelz; performance-tuned variants use
+//! deeper message overlap, same order contract).
+
+use kamping::plugin::CommunicatorPlugin;
+use kamping::types::{bytes_to_pods, pod_as_bytes, PodType};
+use kamping::{Communicator, KResult, KampingError};
+
+/// The reproducible-reduce plugin (extension trait, §III-F).
+pub trait ReproducibleReduce: CommunicatorPlugin {
+    /// Reduces the distributed array (everyone's `local` concatenated in
+    /// rank order) to a single value whose combine order — and therefore
+    /// floating-point rounding — is **independent of the communicator
+    /// size**. The result lands on every rank.
+    ///
+    /// Returns `None` when the global array is empty.
+    fn reproducible_allreduce<T: PodType>(
+        &self,
+        local: &[T],
+        op: impl Fn(T, T) -> T + Sync + Copy,
+    ) -> KResult<Option<T>> {
+        let comm = self.comm();
+        // Global index range of my elements.
+        let my_len = local.len();
+        let offset = comm.exscan_single(my_len, 0, |a, b| a + b)?;
+        let total = comm.allreduce_single(my_len, |a, b| a + b)?;
+        if total == 0 {
+            return Ok(None);
+        }
+
+        // Local pass: evaluate the maximal aligned subtrees (blocks) of
+        // [offset, offset + my_len) with the fixed tree order.
+        let partials = aligned_partials(local, offset, op);
+
+        // Ship (start, size, value) triples to rank 0.
+        let mut wire = Vec::with_capacity(partials.len() * (16 + T::SIZE));
+        for &(start, size, ref value) in &partials {
+            wire.extend_from_slice(&(start as u64).to_le_bytes());
+            wire.extend_from_slice(&(size as u64).to_le_bytes());
+            wire.extend_from_slice(pod_as_bytes(std::slice::from_ref(value)));
+        }
+        let counts = if comm.rank() == 0 {
+            Some(gather_counts(comm, wire.len())?)
+        } else {
+            // Non-roots still participate in the counts gather.
+            let _ = comm.raw().gather(&(wire.len() as u64).to_le_bytes(), 0)?;
+            None
+        };
+        let gathered = comm.raw().gatherv(&wire, counts.as_deref(), 0)?;
+
+        // Rank 0: stitch the global tiling together along tree edges.
+        let mut result_wire = if let Some(bytes) = gathered {
+            let mut blocks = decode_blocks::<T>(&bytes)?;
+            blocks.sort_by_key(|b| b.0);
+            let root = stitch(blocks, op)?;
+            pod_as_bytes(std::slice::from_ref(&root)).to_vec()
+        } else {
+            Vec::new()
+        };
+        comm.raw().bcast(&mut result_wire, 0)?;
+        let vals: Vec<T> = bytes_to_pods(&result_wire)?;
+        Ok(Some(vals[0]))
+    }
+
+    /// Baseline for the benchmark comparison of §V-C: gather the whole
+    /// array at rank 0, reduce it there left-to-right, broadcast. Also
+    /// reproducible (single fixed order) but moves O(n) data.
+    fn gather_reduce_bcast<T: PodType>(
+        &self,
+        local: &[T],
+        op: impl Fn(T, T) -> T + Sync + Copy,
+    ) -> KResult<Option<T>> {
+        let comm = self.comm();
+        let all: Vec<T> = comm.gatherv_vec(local, 0)?;
+        let mut wire = if comm.rank() == 0 {
+            match all.into_iter().reduce(op) {
+                Some(v) => pod_as_bytes(std::slice::from_ref(&v)).to_vec(),
+                None => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        comm.raw().bcast(&mut wire, 0)?;
+        if wire.is_empty() {
+            return Ok(None);
+        }
+        let vals: Vec<T> = bytes_to_pods(&wire)?;
+        Ok(Some(vals[0]))
+    }
+}
+
+impl ReproducibleReduce for Communicator {}
+
+/// Exchanges the wire lengths so rank 0 can gatherv (one internal gather).
+fn gather_counts(comm: &Communicator, my_len: usize) -> KResult<Vec<usize>> {
+    let gathered = comm
+        .raw()
+        .gather(&(my_len as u64).to_le_bytes(), 0)?
+        .ok_or(KampingError::InvalidArgument("gather_counts called off-root"))?;
+    Ok(gathered
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+        .collect())
+}
+
+/// Decomposes `[offset, offset + len)` into maximal aligned power-of-two
+/// blocks and evaluates each block's value with the fixed tree order.
+fn aligned_partials<T: PodType>(
+    local: &[T],
+    offset: usize,
+    op: impl Fn(T, T) -> T + Copy,
+) -> Vec<(usize, usize, T)> {
+    let mut out = Vec::new();
+    let mut start = offset;
+    let end = offset + local.len();
+    while start < end {
+        // Largest power-of-two block aligned at `start` and inside range.
+        let align = if start == 0 { usize::MAX.count_ones() as usize } else { start.trailing_zeros() as usize };
+        let mut size = 1usize;
+        let mut level = 0usize;
+        while level < align && start + size * 2 <= end {
+            size *= 2;
+            level += 1;
+        }
+        let value = tree_fold(&local[start - offset..start - offset + size], op);
+        out.push((start, size, value));
+        start += size;
+    }
+    out
+}
+
+/// Evaluates a block (power-of-two length) with the canonical binary
+/// tree. Iterative pairwise fold: a stack of per-level partials realizes
+/// exactly the recursive halving order at a linear-scan constant factor.
+fn tree_fold<T: PodType>(block: &[T], op: impl Fn(T, T) -> T + Copy) -> T {
+    debug_assert!(!block.is_empty() && block.len().is_power_of_two());
+    // (level, value): a value at `level` is the fold of 2^level leaves.
+    let mut stack: Vec<(u32, T)> = Vec::with_capacity(64);
+    for &x in block {
+        let mut node = (0u32, x);
+        while let Some(&(level, value)) = stack.last() {
+            if level != node.0 {
+                break;
+            }
+            stack.pop();
+            node = (level + 1, op(value, node.1));
+        }
+        stack.push(node);
+    }
+    debug_assert_eq!(stack.len(), 1, "power-of-two block folds to one node");
+    stack.pop().expect("non-empty block").1
+}
+
+fn decode_blocks<T: PodType>(bytes: &[u8]) -> KResult<Vec<(usize, usize, T)>> {
+    let rec = 16 + T::SIZE;
+    if !bytes.len().is_multiple_of(rec) {
+        return Err(KampingError::InvalidArgument("repro reduce: malformed partials"));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / rec);
+    for chunk in bytes.chunks_exact(rec) {
+        let start = u64::from_le_bytes(chunk[..8].try_into().expect("8")) as usize;
+        let size = u64::from_le_bytes(chunk[8..16].try_into().expect("8")) as usize;
+        let vals: Vec<T> = bytes_to_pods(&chunk[16..])?;
+        out.push((start, size, vals[0]));
+    }
+    Ok(out)
+}
+
+/// Merges the sorted block tiling bottom-up along tree edges: two adjacent
+/// blocks of equal size whose union is aligned combine into their parent;
+/// the final ragged chain (sizes strictly decreasing, the unique maximal
+/// tiling of [0, n)) is folded left-to-right. Both steps are functions of
+/// n alone, never of the rank partition.
+fn stitch<T: PodType>(blocks: Vec<(usize, usize, T)>, op: impl Fn(T, T) -> T + Copy) -> KResult<T> {
+    let mut stack: Vec<(usize, usize, T)> = Vec::new();
+    for (start, size, value) in blocks {
+        stack.push((start, size, value));
+        // Combine while the two topmost blocks are sibling subtrees.
+        while stack.len() >= 2 {
+            let (s2, z2, v2) = stack[stack.len() - 1];
+            let (s1, z1, v1) = stack[stack.len() - 2];
+            let siblings = z1 == z2 && s1 + z1 == s2 && s1.is_multiple_of(2 * z1);
+            if !siblings {
+                break;
+            }
+            stack.truncate(stack.len() - 2);
+            stack.push((s1, 2 * z1, op(v1, v2)));
+        }
+    }
+    // Ragged right edge: left-to-right fold (canonical, p-independent).
+    let mut iter = stack.into_iter();
+    let (_, _, mut acc) = iter.next().ok_or(KampingError::InvalidArgument("repro reduce: no blocks"))?;
+    for (_, _, v) in iter {
+        acc = op(acc, v);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    /// Splits `data` into `p` chunks the way a distributed array would be.
+    fn chunks(data: &[f64], p: usize) -> Vec<Vec<f64>> {
+        let n = data.len();
+        let base = n / p;
+        let extra = n % p;
+        let mut out = Vec::new();
+        let mut off = 0;
+        for r in 0..p {
+            let len = base + usize::from(r < extra);
+            out.push(data[off..off + len].to_vec());
+            off += len;
+        }
+        out
+    }
+
+    fn run_repro(data: &[f64], p: usize) -> f64 {
+        let parts = chunks(data, p);
+        let results = kamping::run(p, |comm| {
+            comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b)
+                .unwrap()
+                .unwrap()
+        });
+        // All ranks agree.
+        assert!(results.iter().all(|r| r.to_bits() == results[0].to_bits()));
+        results[0]
+    }
+
+    #[test]
+    fn bitwise_identical_across_rank_counts() {
+        // Mixed magnitudes make float addition order-sensitive.
+        let data: Vec<f64> = (0..57)
+            .map(|i| if i % 3 == 0 { 1e16 } else { 3.25521 * (i as f64 + 1.0) })
+            .collect();
+        let reference = run_repro(&data, 1);
+        for p in [2, 3, 4, 5, 8] {
+            let r = run_repro(&data, p);
+            assert_eq!(
+                r.to_bits(),
+                reference.to_bits(),
+                "p={p}: {r:?} != {reference:?} — reduction order leaked the rank count"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_allreduce_is_order_sensitive_on_this_data() {
+        // Sanity check that the workload actually distinguishes orders:
+        // a plain left-to-right sum differs from the tree sum.
+        let data: Vec<f64> = (0..57)
+            .map(|i| if i % 3 == 0 { 1e16 } else { 3.25521 * (i as f64 + 1.0) })
+            .collect();
+        let linear: f64 = data.iter().sum();
+        let tree = run_repro(&data, 1);
+        // (Not a guarantee in general, but true for this data — documents
+        // why bitwise comparison above is a meaningful test.)
+        assert_ne!(linear.to_bits(), tree.to_bits());
+    }
+
+    #[test]
+    fn matches_exact_sum_on_integers() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        for p in [1, 3, 7] {
+            assert_eq!(run_repro(&data, p), 5050.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        kamping::run(3, |comm| {
+            let r = comm.reproducible_allreduce::<f64>(&[], |a, b| a + b).unwrap();
+            assert!(r.is_none());
+        });
+        kamping::run(2, |comm| {
+            let local = if comm.rank() == 0 { vec![42.0f64] } else { vec![] };
+            let r = comm.reproducible_allreduce(&local, |a, b| a + b).unwrap();
+            assert_eq!(r, Some(42.0));
+        });
+    }
+
+    #[test]
+    fn unbalanced_distribution() {
+        // All data on the last rank: partials cross no boundary, but the
+        // offsets must still line up with the global tree.
+        let data: Vec<f64> = (0..31).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reference = run_repro(&data, 1);
+        let results = kamping::run(4, |comm| {
+            let local: Vec<f64> = if comm.rank() == 3 { data.clone() } else { vec![] };
+            comm.reproducible_allreduce(&local, |a, b| a + b).unwrap().unwrap()
+        });
+        assert!(results.iter().all(|r| r.to_bits() == reference.to_bits()));
+    }
+
+    #[test]
+    fn gather_baseline_agrees_with_itself() {
+        let data: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let parts = chunks(&data, 4);
+        let results = kamping::run(4, |comm| {
+            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap().unwrap()
+        });
+        assert!(results.iter().all(|r| r.to_bits() == results[0].to_bits()));
+    }
+
+    #[test]
+    fn moves_less_data_than_gather_baseline() {
+        let n = 1 << 12;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let parts = chunks(&data, 4);
+        let (_, profile) = kamping::run_profiled(4, |comm| {
+            comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b).unwrap()
+        });
+        let repro_bytes = profile.total_bytes();
+        let (_, profile) = kamping::run_profiled(4, |comm| {
+            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap()
+        });
+        let gather_bytes = profile.total_bytes();
+        assert!(
+            repro_bytes * 4 < gather_bytes,
+            "repro moved {repro_bytes} bytes, gather {gather_bytes}"
+        );
+    }
+
+    #[test]
+    fn aligned_partials_tile_the_range() {
+        let local = vec![1.0f64; 13];
+        let parts = aligned_partials(&local, 5, |a, b| a + b);
+        // Blocks tile [5, 18), aligned, power-of-two sizes.
+        let mut pos = 5;
+        for &(start, size, _) in &parts {
+            assert_eq!(start, pos);
+            assert!(size.is_power_of_two());
+            assert!(start.is_multiple_of(size));
+            pos += size;
+        }
+        assert_eq!(pos, 18);
+    }
+
+    #[test]
+    fn stitch_reconstructs_tree_value() {
+        // Hand-built: 4 leaves as two sibling pairs -> one root.
+        let blocks = vec![(0usize, 2usize, 3.0f64), (2, 2, 7.0)];
+        let v = stitch(blocks, |a, b| a + b).unwrap();
+        assert_eq!(v, 10.0);
+    }
+}

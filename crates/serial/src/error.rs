@@ -1,0 +1,38 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+/// Errors raised while decoding an archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialError {
+    /// The archive ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder wanted.
+        wanted: usize,
+        /// Bytes that were left.
+        left: usize,
+    },
+    /// Decoding finished but bytes remained.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        left: usize,
+    },
+    /// The bytes were structurally invalid for the target type.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::UnexpectedEof { wanted, left } => {
+                write!(f, "unexpected end of archive: wanted {wanted} bytes, {left} left")
+            }
+            SerialError::TrailingBytes { left } => {
+                write!(f, "archive has {left} trailing bytes after the value")
+            }
+            SerialError::Invalid(what) => write!(f, "invalid archive contents: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}

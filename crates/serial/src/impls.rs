@@ -1,0 +1,475 @@
+//! [`Serialize`]/[`Deserialize`] implementations for standard types —
+//! the "STL coverage" Cereal ships and the paper relies on (strings, maps,
+//! vectors, options, tuples).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+use crate::{Deserialize, Reader, SerialError, Serialize, Writer};
+
+macro_rules! impl_num {
+    ($($ty:ty),+) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize(&self, w: &mut Writer) {
+                    w.put_bytes(&self.to_le_bytes());
+                }
+            }
+            impl Deserialize for $ty {
+                fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+                    let raw = r.take(std::mem::size_of::<$ty>())?;
+                    Ok(<$ty>::from_le_bytes(raw.try_into().expect("sized take")))
+                }
+            }
+        )+
+    };
+}
+
+impl_num!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Serialize for usize {
+    fn serialize(&self, w: &mut Writer) {
+        (*self as u64).serialize(w);
+    }
+}
+impl Deserialize for usize {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        Ok(u64::deserialize(r)? as usize)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, w: &mut Writer) {
+        (*self as i64).serialize(w);
+    }
+}
+impl Deserialize for isize {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        Ok(i64::deserialize(r)? as isize)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SerialError::Invalid("bool byte not 0/1")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, w: &mut Writer) {
+        (*self as u32).serialize(w);
+    }
+}
+impl Deserialize for char {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        char::from_u32(u32::deserialize(r)?).ok_or(SerialError::Invalid("invalid char scalar"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        w.put_bytes(self.as_bytes());
+    }
+}
+impl Serialize for str {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        w.put_bytes(self.as_bytes());
+    }
+}
+impl Deserialize for String {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(1)?;
+        let raw = r.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SerialError::Invalid("string not UTF-8"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut Writer) {
+        self.as_slice().serialize(w);
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(std::mem::size_of::<T>().min(1))?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Byte vectors take a bulk path: one length prefix plus one memcpy,
+/// instead of a per-element loop (the hot case for packed payloads).
+pub mod bytes_fast {
+    use super::*;
+
+    /// Serializes a byte slice in bulk.
+    pub fn put(w: &mut Writer, bytes: &[u8]) {
+        w.put_len(bytes.len());
+        w.put_bytes(bytes);
+    }
+
+    /// Deserializes a byte vector in bulk.
+    pub fn take(r: &mut Reader<'_>) -> Result<Vec<u8>, SerialError> {
+        let len = r.take_len(1)?;
+        Ok(r.take(len)?.to_vec())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(std::mem::size_of::<T>().min(1))?;
+        let mut out = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            Ok(v) => {
+                w.put_u8(0);
+                v.serialize(w);
+            }
+            Err(e) => {
+                w.put_u8(1);
+                e.serialize(w);
+            }
+        }
+    }
+}
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        match r.take_u8()? {
+            0 => Ok(Ok(T::deserialize(r)?)),
+            1 => Ok(Err(E::deserialize(r)?)),
+            _ => Err(SerialError::Invalid("result discriminant not 0/1")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut Writer) {
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        // Decode into a Vec first; arrays of non-Copy types cannot be
+        // built elementwise without unsafe.
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::deserialize(r)?);
+        }
+        items.try_into().map_err(|_| SerialError::Invalid("array length"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.serialize(w);
+            }
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            _ => Err(SerialError::Invalid("option discriminant not 0/1")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, w: &mut Writer) {
+                $(self.$idx.serialize(w);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+                Ok(($($name::deserialize(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl Serialize for () {
+    fn serialize(&self, _w: &mut Writer) {}
+}
+impl Deserialize for () {
+    fn deserialize(_r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        Ok(())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.serialize(w);
+            v.serialize(w);
+        }
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(1)?;
+        let mut out = HashMap::with_capacity_and_hasher(len, S::default());
+        for _ in 0..len {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.serialize(w);
+            v.serialize(w);
+        }
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(1)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(1)?;
+        let mut out = HashSet::with_capacity_and_hasher(len, S::default());
+        for _ in 0..len {
+            out.insert(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        let len = r.take_len(1)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut Writer) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, w: &mut Writer) {
+        (**self).serialize(w);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError> {
+        Ok(Box::new(T::deserialize(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let back: T = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(-5i32);
+        roundtrip(u64::MAX);
+        roundtrip(i128::MIN);
+        roundtrip(3.25f32);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(usize::MAX);
+        roundtrip(-1isize);
+    }
+
+    #[test]
+    fn float_nan_bits_preserved() {
+        let v = f64::from_bits(0x7ff8_dead_beef_0001);
+        let back: f64 = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn bool_char_string() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip('ß');
+        roundtrip(String::from("grüße from Karlsruhe 🎓"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+        roundtrip(Some(vec![1u64]));
+        roundtrip(Option::<u8>::None);
+        roundtrip((1u8, String::from("two"), 3.0f64));
+        roundtrip([1u16, 2, 3]);
+    }
+
+    #[test]
+    fn maps_and_sets_roundtrip() {
+        let mut hm = HashMap::new();
+        hm.insert("a".to_string(), vec![1u32]);
+        hm.insert("b".to_string(), vec![2, 3]);
+        roundtrip(hm);
+
+        let mut bt = BTreeMap::new();
+        bt.insert(1u8, "one".to_string());
+        roundtrip(bt);
+
+        let hs: HashSet<u32> = [5, 6, 7].into_iter().collect();
+        roundtrip(hs);
+
+        let bs: BTreeSet<String> = ["x".to_string()].into_iter().collect();
+        roundtrip(bs);
+    }
+
+    #[test]
+    fn boxed_values() {
+        roundtrip(Box::new(42u64));
+    }
+
+    #[test]
+    fn vecdeque_and_result() {
+        let dq: VecDeque<u32> = [1, 2, 3].into_iter().collect();
+        roundtrip(dq);
+        roundtrip(Result::<u8, String>::Ok(7));
+        roundtrip(Result::<u8, String>::Err("boom".into()));
+        assert!(from_bytes::<Result<u8, u8>>(&[9]).is_err());
+    }
+
+    #[test]
+    fn bytes_fast_path_roundtrips() {
+        let mut w = crate::Writer::new();
+        bytes_fast::put(&mut w, b"raw payload");
+        let wire = w.into_bytes();
+        let mut r = crate::Reader::new(&wire);
+        assert_eq!(bytes_fast::take(&mut r).unwrap(), b"raw payload");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn corrupt_inputs_error_not_panic() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<char>(&0xD800u32.to_le_bytes()).is_err());
+        assert!(from_bytes::<Option<u8>>(&[7]).is_err());
+        // Non-UTF8 string payload
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u64.to_le_bytes());
+        wire.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(from_bytes::<String>(&wire).is_err());
+    }
+
+    #[test]
+    fn vec_of_unit_cannot_allocation_bomb() {
+        // Vec<()> has zero-size elements: huge length prefixes are legal
+        // in principle but must not OOM the decoder via with_capacity.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        // Decoding either succeeds (all elements are ()) or errors; it must
+        // not crash or OOM. We only require termination here.
+        let _ = from_bytes::<Vec<()>>(&wire);
+    }
+}

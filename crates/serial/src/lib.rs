@@ -1,0 +1,143 @@
+//! # kamping-serial — binary archive serialization
+//!
+//! The KaMPIng paper (§III-D3) supports communicating non-contiguous,
+//! heap-backed data (`std::unordered_map<std::string, …>`-like payloads) via
+//! *opt-in, transparent* serialization built on the C++ Cereal library.
+//! This crate is the Rust substitute: a small, dependency-light binary
+//! archive with the same design goals —
+//!
+//! * **opt-in**: nothing is serialized implicitly; the binding layer only
+//!   engages this crate through the explicit `as_serialized` /
+//!   `as_deserializable` adapters, because hidden serialization means
+//!   hidden allocation and copy costs (the paper's critique of Boost.MPI);
+//! * **transparent**: the user never sees the wire bytes;
+//! * **extensible**: custom types implement [`Serialize`]/[`Deserialize`]
+//!   by hand or through the [`serial_struct!`] macro (the no-proc-macro
+//!   analog of Cereal's member-listing archives).
+//!
+//! The wire format is little-endian, fixed-width, length-prefixed — chosen
+//! for determinism and speed, not compactness (Cereal's binary archive
+//! makes the same trade).
+//!
+//! ```
+//! use kamping_serial::{from_bytes, to_bytes};
+//! use std::collections::HashMap;
+//!
+//! let mut dict = HashMap::new();
+//! dict.insert("model".to_string(), "GTR+G".to_string());
+//! let wire = to_bytes(&dict);
+//! let back: HashMap<String, String> = from_bytes(&wire).unwrap();
+//! assert_eq!(back, dict);
+//! ```
+
+mod error;
+mod impls;
+mod reader;
+mod writer;
+
+pub use impls::bytes_fast;
+
+pub use error::SerialError;
+pub use reader::Reader;
+pub use writer::Writer;
+
+/// Types that can be written to a binary archive.
+pub trait Serialize {
+    /// Appends this value's encoding to the writer.
+    fn serialize(&self, w: &mut Writer);
+}
+
+/// Types that can be read back from a binary archive.
+pub trait Deserialize: Sized {
+    /// Decodes one value from the reader.
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, SerialError>;
+}
+
+/// Serializes `value` into a fresh byte buffer.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.serialize(&mut w);
+    w.into_bytes()
+}
+
+/// Deserializes a `T` from `bytes`, requiring that all bytes are consumed.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, SerialError> {
+    let mut r = Reader::new(bytes);
+    let value = T::deserialize(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a struct by listing its
+/// fields — the moral equivalent of a Cereal `serialize(Archive&)` member
+/// that names every field.
+///
+/// ```
+/// use kamping_serial::{from_bytes, serial_struct, to_bytes};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Model {
+///     name: String,
+///     rates: Vec<f64>,
+/// }
+/// serial_struct!(Model { name, rates });
+///
+/// let m = Model { name: "GTR".into(), rates: vec![0.25; 4] };
+/// let back: Model = from_bytes(&to_bytes(&m)).unwrap();
+/// assert_eq!(back, m);
+/// ```
+#[macro_export]
+macro_rules! serial_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize(&self, w: &mut $crate::Writer) {
+                $($crate::Serialize::serialize(&self.$field, w);)+
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn deserialize(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::SerialError> {
+                Ok(Self {
+                    $($field: $crate::Deserialize::deserialize(r)?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_top_level_helpers() {
+        let v = vec![1u32, 2, 3];
+        let back: Vec<u32> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = to_bytes(&7u32);
+        wire.push(0xFF);
+        assert_eq!(from_bytes::<u32>(&wire), Err(SerialError::TrailingBytes { left: 1 }));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Nested {
+        id: u64,
+        tags: Vec<String>,
+        blob: Option<Vec<u8>>,
+    }
+    serial_struct!(Nested { id, tags, blob });
+
+    #[test]
+    fn serial_struct_macro_roundtrips() {
+        let n = Nested {
+            id: 42,
+            tags: vec!["a".into(), "bc".into()],
+            blob: Some(vec![9, 9, 9]),
+        };
+        let back: Nested = from_bytes(&to_bytes(&n)).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,95 @@
+//! Archive reader.
+
+use crate::SerialError;
+
+/// Cursor over an archive's bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        if self.remaining() < n {
+            return Err(SerialError::UnexpectedEof { wanted: n, left: self.remaining() });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Takes a `u64` length prefix, validating it against the remaining
+    /// bytes (`min_elem_size` guards against absurd lengths from corrupt
+    /// archives before any allocation happens).
+    pub fn take_len(&mut self, min_elem_size: usize) -> Result<usize, SerialError> {
+        let raw = self.take(8)?;
+        let len = u64::from_le_bytes(raw.try_into().expect("8 bytes")) as usize;
+        if min_elem_size > 0 && len > self.remaining() / min_elem_size {
+            return Err(SerialError::Invalid("length prefix exceeds archive size"));
+        }
+        Ok(len)
+    }
+
+    /// Takes one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Asserts that the archive has been fully consumed.
+    pub fn finish(&self) -> Result<(), SerialError> {
+        if self.remaining() != 0 {
+            return Err(SerialError::TrailingBytes { left: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_advances_cursor() {
+        let mut r = Reader::new(&[1, 2, 3, 4]);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.take_u8().unwrap(), 3);
+        assert!(r.finish().is_err());
+        r.take(1).unwrap();
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = Reader::new(&[1]);
+        assert_eq!(r.take(2), Err(SerialError::UnexpectedEof { wanted: 2, left: 1 }));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocation() {
+        // Claims 2^60 elements with only 0 bytes of payload behind it.
+        let wire = (1u64 << 60).to_le_bytes();
+        let mut r = Reader::new(&wire);
+        assert_eq!(r.take_len(1), Err(SerialError::Invalid("length prefix exceeds archive size")));
+    }
+
+    #[test]
+    fn zero_min_elem_size_skips_plausibility_check() {
+        // Zero-sized element types can legitimately claim huge lengths.
+        let wire = 10u64.to_le_bytes();
+        let mut r = Reader::new(&wire);
+        assert_eq!(r.take_len(0).unwrap(), 10);
+    }
+}

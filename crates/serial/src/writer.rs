@@ -1,0 +1,74 @@
+//! Archive writer.
+
+use bytes::{BufMut, BytesMut};
+
+/// Append-only binary archive writer (little-endian, fixed-width).
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(capacity) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Appends a `u64` length prefix (collection sizes).
+    pub fn put_len(&mut self, len: usize) {
+        self.buf.put_u64_le(len as u64);
+    }
+
+    /// Appends one `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Finalizes the archive.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.freeze().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_appends_in_order() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_bytes(&[2, 3]);
+        w.put_len(4);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..3], &[1, 2, 3]);
+        assert_eq!(&bytes[3..], &4u64.to_le_bytes());
+    }
+
+    #[test]
+    fn with_capacity_is_empty() {
+        let w = Writer::with_capacity(128);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Distributed sample sort (paper §IV-A, Fig. 7, Fig. 8, Table I).
+//!
+//! Textbook algorithm (Sanders et al.): every rank samples
+//! `16 log2(p) + 1` local elements, the samples are allgathered and
+//! sorted, `p - 1` splitters partition the data into per-destination
+//! buckets, one `alltoallv` redistributes, and a local sort finishes.
+//!
+//! The three variants here differ **only** in how they talk to the
+//! message-passing layer — the algorithmic code is shared — which is
+//! exactly the setup of the paper's Fig. 8 comparison. The `LOC` markers
+//! delimit the communication code counted by the `table1_loc` harness.
+
+use kamping::prelude::*;
+use kamping_mpi::coll::excl_prefix_sum;
+use kamping_mpi::dtype::TypeDesc;
+use kamping_mpi::RawComm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of local samples for a communicator of `p` ranks (paper Fig. 7).
+fn num_samples(p: usize) -> usize {
+    16 * (usize::BITS - p.leading_zeros() - 1) as usize + 1
+}
+
+/// Draws `k` samples (with replacement) from `data`; empty input yields no
+/// samples. Deterministic per (seed, rank).
+fn local_samples<T: Copy>(data: &[T], k: usize, seed: u64, rank: usize) -> Vec<T> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    (0..k).map(|_| data[rng.gen_range(0..data.len())]).collect()
+}
+
+/// Chooses `p - 1` splitters from the sorted global sample.
+fn splitters<T: Copy>(gsamples: &[T], p: usize) -> Vec<T> {
+    (1..p).map(|i| gsamples[i * gsamples.len() / p]).collect()
+}
+
+/// Partitions `data` (sorted) into `p` buckets by `splitters`; returns the
+/// bucket sizes. `data` is sorted in place first so buckets are ranges.
+fn partition<T: PodType + Ord>(data: &mut [T], splits: &[T]) -> Vec<usize> {
+    data.sort_unstable();
+    let mut counts = Vec::with_capacity(splits.len() + 1);
+    let mut prev = 0usize;
+    for s in splits {
+        let idx = data.partition_point(|x| x <= s);
+        counts.push(idx - prev);
+        prev = idx;
+    }
+    counts.push(data.len() - prev);
+    counts
+}
+
+// LOC-BEGIN samplesort_kamping
+/// Sample sort through the kamping binding layer (paper Fig. 7).
+pub fn sample_sort_kamping<T: PodType + Ord>(
+    comm: &Communicator,
+    data: &mut Vec<T>,
+    seed: u64,
+) -> KResult<()> {
+    let p = comm.size();
+    if p == 1 {
+        data.sort_unstable();
+        return Ok(());
+    }
+    let lsamples = local_samples(data, num_samples(p), seed, comm.rank());
+    let mut gsamples = comm.allgatherv_vec(&lsamples)?;
+    gsamples.sort_unstable();
+    let splits = splitters(&gsamples, p);
+    let scounts = partition(data, &splits);
+    *data = comm.alltoallv_vec(data, &scounts)?;
+    data.sort_unstable();
+    Ok(())
+}
+// LOC-END samplesort_kamping
+
+// LOC-BEGIN samplesort_plain
+/// Sample sort against the raw substrate: every count exchange,
+/// displacement computation and byte conversion by hand (the paper's
+/// "plain MPI" implementation, 32 LoC of communication there).
+pub fn sample_sort_plain<T: PodType + Ord>(comm: &RawComm, data: &mut Vec<T>, seed: u64) {
+    let p = comm.size();
+    if p == 1 {
+        data.sort_unstable();
+        return;
+    }
+    // allgatherv of the samples: exchange counts, then payload
+    let lsamples = local_samples(data, num_samples(p), seed, comm.rank());
+    let mut sample_count_wire = vec![0u8; 8];
+    sample_count_wire.copy_from_slice(&(lsamples.len() as u64 * T::SIZE as u64).to_le_bytes());
+    let counts_wire = comm.allgather(&sample_count_wire).expect("allgather");
+    let recv_counts: Vec<usize> = counts_wire
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+        .collect();
+    let gathered = comm
+        .allgatherv(kamping::types::pod_as_bytes(&lsamples), &recv_counts)
+        .expect("allgatherv");
+    let mut gsamples: Vec<T> = kamping::types::bytes_to_pods(&gathered).expect("decode");
+    gsamples.sort_unstable();
+    let splits = splitters(&gsamples, p);
+    // alltoallv of the buckets: counts, displacements, then payload
+    let scounts_elems = partition(data, &splits);
+    let scounts: Vec<usize> = scounts_elems.iter().map(|&c| c * T::SIZE).collect();
+    let mut scount_wire = Vec::with_capacity(p * 8);
+    for &c in &scounts {
+        scount_wire.extend_from_slice(&(c as u64).to_le_bytes());
+    }
+    let rcount_wire = comm.alltoall(&scount_wire).expect("alltoall");
+    let rcounts: Vec<usize> = rcount_wire
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+        .collect();
+    let sdispls = excl_prefix_sum(&scounts);
+    let rdispls = excl_prefix_sum(&rcounts);
+    let recv = comm
+        .alltoallv(kamping::types::pod_as_bytes(data), &scounts, &sdispls, &rcounts, &rdispls)
+        .expect("alltoallv");
+    *data = kamping::types::bytes_to_pods(&recv).expect("decode");
+    data.sort_unstable();
+}
+// LOC-END samplesort_plain
+
+// LOC-BEGIN samplesort_mpl_like
+/// Sample sort with the MPL-style lowering (§II): the bucket exchange goes
+/// through `alltoallw` with one *derived datatype per peer* instead of a
+/// plain `alltoallv` — per-peer type construction plus type-driven
+/// pack/unpack loops on both sides. Same result, measurably slower; this
+/// is the ablation behind the MPL curve of Fig. 8.
+pub fn sample_sort_mpl_like<T: PodType + Ord>(
+    comm: &Communicator,
+    data: &mut Vec<T>,
+    seed: u64,
+) -> KResult<()> {
+    let p = comm.size();
+    if p == 1 {
+        data.sort_unstable();
+        return Ok(());
+    }
+    let lsamples = local_samples(data, num_samples(p), seed, comm.rank());
+    let mut gsamples = comm.allgatherv_vec(&lsamples)?;
+    gsamples.sort_unstable();
+    let splits = splitters(&gsamples, p);
+    let scounts = partition(data, &splits);
+    // counts still travel ahead of time (MPL exchanges them too) ...
+    let rcounts = comm.alltoallv_vec(
+        &scounts.iter().map(|&c| c as u64).collect::<Vec<_>>(),
+        &vec![1usize; p],
+    )?;
+    // ... but the payload is lowered to alltoallw with per-peer
+    // single-block indexed datatypes over the send/recv buffers.
+    let sdispls = excl_prefix_sum(&scounts);
+    let send_types: Vec<TypeDesc> = (0..p)
+        .map(|i| TypeDesc::Indexed {
+            blocks: vec![(sdispls[i] * T::SIZE, scounts[i] * T::SIZE)],
+            extent: data.len() * T::SIZE,
+        })
+        .collect();
+    let rcounts: Vec<usize> = rcounts.iter().map(|&c| c as usize).collect();
+    let rdispls = excl_prefix_sum(&rcounts);
+    let total: usize = rcounts.iter().sum();
+    let recv_types: Vec<TypeDesc> = (0..p)
+        .map(|i| TypeDesc::Indexed {
+            blocks: vec![(rdispls[i] * T::SIZE, rcounts[i] * T::SIZE)],
+            extent: total * T::SIZE,
+        })
+        .collect();
+    let mut recv_bytes = vec![0u8; total * T::SIZE];
+    comm.raw()
+        .alltoallw(kamping::types::pod_as_bytes(data), &send_types, &mut recv_bytes, &recv_types)?;
+    *data = kamping::types::bytes_to_pods(&recv_bytes)?;
+    data.sort_unstable();
+    Ok(())
+}
+// LOC-END samplesort_mpl_like
+
+/// Checks global sortedness: locally sorted and boundary order across
+/// ranks (used by tests and the Fig. 8 harness).
+pub fn is_globally_sorted<T: PodType + Ord>(comm: &Communicator, data: &[T]) -> KResult<bool> {
+    let locally = data.windows(2).all(|w| w[0] <= w[1]);
+    // Boundary check: allgather (first, last, len) triples.
+    let mine: Vec<T> = match (data.first(), data.last()) {
+        (Some(&f), Some(&l)) => vec![f, l],
+        _ => vec![],
+    };
+    let borders = comm.allgatherv_vec(&mine)?;
+    let cross = borders.windows(2).all(|w| w[0] <= w[1]);
+    Ok(comm.allreduce_single((locally && cross) as u8, |a, b| a & b)? == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn random_data(rank: usize, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(rank as u64 * 77));
+        (0..n).map(|_| rng.next_u64() % 10_000).collect()
+    }
+
+    fn check_variant(
+        p: usize,
+        n: usize,
+        f: impl Fn(&Communicator, &mut Vec<u64>) + Sync,
+    ) {
+        let outputs = kamping::run(p, |comm| {
+            let mut data = random_data(comm.rank(), n, 42);
+            let reference_input = comm.allgatherv_vec(&data).unwrap();
+            f(&comm, &mut data);
+            assert!(is_globally_sorted(&comm, &data).unwrap());
+            (data, reference_input)
+        });
+        // Concatenated outputs must be a permutation-preserving sort of
+        // the concatenated inputs.
+        let mut want = outputs[0].1.clone();
+        want.sort_unstable();
+        let got: Vec<u64> = outputs.into_iter().flat_map(|(d, _)| d).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kamping_variant_sorts() {
+        for p in [1, 2, 4, 5] {
+            check_variant(p, 200, |comm, data| {
+                sample_sort_kamping(comm, data, 1).unwrap();
+            });
+        }
+    }
+
+    #[test]
+    fn plain_variant_sorts() {
+        for p in [1, 3, 4] {
+            check_variant(p, 150, |comm, data| {
+                sample_sort_plain(comm.raw(), data, 1);
+            });
+        }
+    }
+
+    #[test]
+    fn mpl_like_variant_sorts() {
+        for p in [1, 2, 4] {
+            check_variant(p, 150, |comm, data| {
+                sample_sort_mpl_like(comm, data, 1).unwrap();
+            });
+        }
+    }
+
+    #[test]
+    fn variants_agree_elementwise() {
+        kamping::run(4, |comm| {
+            let mut a = random_data(comm.rank(), 300, 9);
+            let mut b = a.clone();
+            let mut c = a.clone();
+            sample_sort_kamping(&comm, &mut a, 5).unwrap();
+            sample_sort_plain(comm.raw(), &mut b, 5);
+            sample_sort_mpl_like(&comm, &mut c, 5).unwrap();
+            assert_eq!(a, b, "kamping vs plain");
+            assert_eq!(a, c, "kamping vs mpl-like");
+        });
+    }
+
+    #[test]
+    fn skewed_and_duplicate_heavy_input() {
+        kamping::run(4, |comm| {
+            // All ranks hold mostly the same value: splitter degeneracy.
+            let mut data = vec![7u64; 100];
+            if comm.rank() == 0 {
+                data.extend(0..50u64);
+            }
+            sample_sort_kamping(&comm, &mut data, 3).unwrap();
+            assert!(is_globally_sorted(&comm, &data).unwrap());
+            let total: u64 = comm
+                .allreduce_single(data.len() as u64, |a, b| a + b)
+                .unwrap();
+            assert_eq!(total, 4 * 100 + 50);
+        });
+    }
+
+    #[test]
+    fn empty_rank_input() {
+        kamping::run(3, |comm| {
+            let mut data: Vec<u64> = if comm.rank() == 1 { vec![5, 3, 1] } else { vec![] };
+            sample_sort_kamping(&comm, &mut data, 2).unwrap();
+            assert!(is_globally_sorted(&comm, &data).unwrap());
+        });
+    }
+
+    #[test]
+    fn single_rank_is_local_sort() {
+        kamping::run(1, |comm| {
+            let mut data = vec![3u64, 1, 2];
+            sample_sort_kamping(&comm, &mut data, 0).unwrap();
+            assert_eq!(data, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn num_samples_matches_paper_formula() {
+        assert_eq!(num_samples(2), 17); // 16 * log2(2) + 1
+        assert_eq!(num_samples(4), 33);
+        assert_eq!(num_samples(256), 129);
+    }
+}

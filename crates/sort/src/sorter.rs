@@ -1,0 +1,72 @@
+//! The STL-like distributed sorter plugin (paper §V: "With KaMPIng we
+//! ship multiple library extensions (plugins) including an STL-like
+//! distributed sorter").
+//!
+//! ```
+//! use kamping_sort::DistributedSorter;
+//!
+//! kamping::run(4, |comm| {
+//!     let mut data = vec![comm.rank() as u64 * 7 % 5, 3, 1];
+//!     comm.sort_distributed(&mut data).unwrap();
+//! });
+//! ```
+
+use kamping::plugin::CommunicatorPlugin;
+use kamping::{Communicator, KResult, PodType};
+
+use crate::sample_sort::sample_sort_kamping;
+
+/// Extension trait adding `sort_distributed` to the communicator
+/// (§III-F plugin architecture, applied to §V's sorter).
+pub trait DistributedSorter: CommunicatorPlugin {
+    /// Globally sorts the distributed array formed by everyone's `data`:
+    /// afterwards each rank's block is sorted and block boundaries respect
+    /// the order (rank r's largest element <= rank r+1's smallest).
+    /// Element counts per rank may change (they follow the partition).
+    fn sort_distributed<T: PodType + Ord>(&self, data: &mut Vec<T>) -> KResult<()> {
+        sample_sort_kamping(self.comm(), data, 0x50FF)
+    }
+
+    /// Like [`sort_distributed`](Self::sort_distributed) with a caller
+    /// seed for the splitter sampling (reproducible partitions).
+    fn sort_distributed_seeded<T: PodType + Ord>(
+        &self,
+        data: &mut Vec<T>,
+        seed: u64,
+    ) -> KResult<()> {
+        sample_sort_kamping(self.comm(), data, seed)
+    }
+}
+
+impl DistributedSorter for Communicator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_sort::is_globally_sorted;
+
+    #[test]
+    fn plugin_sorts_through_the_communicator() {
+        kamping::run(4, |comm| {
+            let mut data: Vec<u64> =
+                (0..100).map(|i| (i * 2654435761u64 + comm.rank() as u64) % 1000).collect();
+            comm.sort_distributed(&mut data).unwrap();
+            assert!(is_globally_sorted(&comm, &data).unwrap());
+        });
+    }
+
+    #[test]
+    fn seeded_variant_is_deterministic() {
+        let a = kamping::run(3, |comm| {
+            let mut data = vec![comm.rank() as u32 * 11 % 7; 20];
+            comm.sort_distributed_seeded(&mut data, 42).unwrap();
+            data
+        });
+        let b = kamping::run(3, |comm| {
+            let mut data = vec![comm.rank() as u32 * 11 % 7; 20];
+            comm.sort_distributed_seeded(&mut data, 42).unwrap();
+            data
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Distributed BFS over the three graph families of Fig. 10, comparing
+//! all frontier-exchange strategies (paper §IV-B, §V-A).
+//!
+//! Run with `cargo run --release --example bfs -- [ranks] [vertices_per_rank]`.
+
+use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
+use kamping_graphs::gen::{gnm, rgg2d, rhg, rhg_radius};
+use kamping_graphs::UNREACHED;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_rank: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 10);
+    let n = per_rank * ranks as u64;
+
+    kamping::run(ranks, |comm| {
+        let families: Vec<(&str, kamping_graphs::DistGraph)> = vec![
+            ("GNM", gnm(&comm, n, 8 * n, 1).unwrap()),
+            ("RGG-2D", rgg2d(&comm, n, (16.0 / n as f64).sqrt(), 2).unwrap()),
+            ("RHG", rhg(&comm, n, rhg_radius(n, 16.0), 3).unwrap()),
+        ];
+        for (name, g) in &families {
+            for strategy in ExchangeStrategy::ALL {
+                let before = comm.profile();
+                let t = std::time::Instant::now();
+                let dist = bfs_with_strategy(&comm, g, 0, strategy).unwrap();
+                let elapsed = t.elapsed();
+                let delta = comm.profile().since(&before);
+                let reached = dist.iter().filter(|&&d| d != UNREACHED).count() as u64;
+                let total = comm.allreduce_single(reached, |a, b| a + b).unwrap();
+                let depth = comm
+                    .allreduce_single(
+                        dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0),
+                        |a, b| a.max(b),
+                    )
+                    .unwrap();
+                if comm.rank() == 0 {
+                    println!(
+                        "{name:7} {:22} reached {total:6} depth {depth:3} time {elapsed:9.3?} msgs/rank {}",
+                        strategy.label(),
+                        delta.max_messages_per_rank(),
+                    );
+                }
+            }
+            if comm.rank() == 0 {
+                println!();
+            }
+        }
+    });
+}

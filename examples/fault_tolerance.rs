@@ -1,0 +1,52 @@
+//! User-level failure mitigation (paper §V-B, Fig. 12): a rank dies in
+//! the middle of an iterative computation; the survivors catch the
+//! failure as a `Result`, revoke the communicator, shrink it, and keep
+//! computing.
+//!
+//! Run with `cargo run --example fault_tolerance`.
+
+
+use kamping_plugins::UlfmPlugin;
+
+fn main() {
+    let results = kamping::run(6, |mut comm| {
+        let me = comm.rank();
+        // Iteratively sum "work contributions"; rank 4 crashes at step 3.
+        let mut total = 0u64;
+        let mut step = 0u64;
+        while step < 8 {
+            if me == 4 && step == 3 {
+                eprintln!("rank 4: simulating hardware failure");
+                comm.simulate_failure();
+                return (me, total, comm.size());
+            }
+            match comm.allreduce_single(step + me as u64, |a, b| a + b) {
+                Ok(v) => {
+                    total += v;
+                    step += 1;
+                }
+                // Fig. 12's recovery block, with Results instead of
+                // exceptions:
+                Err(e) if e.is_process_failure() => {
+                    if !comm.is_revoked() {
+                        comm.revoke();
+                    }
+                    let survivors = comm.survivors().len();
+                    comm = comm.shrink().unwrap();
+                    eprintln!("rank {me}: recovered, {survivors} survivors, retrying step {step}");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        (me, total, comm.size())
+    });
+
+    // All five survivors completed 8 steps on the shrunk communicator.
+    let survivors: Vec<_> = results.iter().filter(|&&(r, _, _)| r != 4).collect();
+    assert_eq!(survivors.len(), 5);
+    for &&(rank, total, final_size) in &survivors {
+        assert_eq!(final_size, 5, "rank {rank} ended on the shrunk communicator");
+        assert!(total > 0);
+    }
+    println!("fault_tolerance OK: 5 survivors completed after losing rank 4");
+}

@@ -1,0 +1,61 @@
+//! Graph clustering with size-constrained label propagation — the
+//! dKaMinPar component of paper §IV-B, run end-to-end: generate a graph
+//! with planted communities, cluster it with both abstraction-layer
+//! variants, and report agreement and quality.
+//!
+//! Run with `cargo run --release --example partition -- [ranks]`.
+
+use std::collections::HashMap;
+
+use kamping_graphs::label_propagation::{label_propagation, LpImpl};
+use kamping_graphs::DistGraph;
+
+/// A ring of dense 16-vertex communities with sparse bridges.
+fn community_graph(comm: &kamping::Communicator, communities: u64) -> DistGraph {
+    let size = 16u64;
+    let n = communities * size;
+    let mut edges = Vec::new();
+    for c in 0..communities {
+        let base = c * size;
+        for a in 0..size {
+            for b in 0..size {
+                if a != b && (a + b) % 3 != 0 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        // one bridge to the next community
+        let next = ((c + 1) % communities) * size;
+        edges.push((base, next));
+        edges.push((next, base));
+    }
+    DistGraph::from_scattered_edges(comm, n, edges).expect("graph build")
+}
+
+fn main() {
+    let ranks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    kamping::run(ranks, |comm| {
+        let g = community_graph(&comm, 8);
+        let t = std::time::Instant::now();
+        let plain = label_propagation(&comm, &g, 20, 8, LpImpl::Plain).unwrap();
+        let t_plain = t.elapsed();
+        let t = std::time::Instant::now();
+        let kamp = label_propagation(&comm, &g, 20, 8, LpImpl::Kamping).unwrap();
+        let t_kamping = t.elapsed();
+        assert_eq!(plain, kamp, "both layers must produce identical clusterings");
+
+        // Quality: most vertices should share a label with their community.
+        let all = comm.allgatherv_vec(&kamp).unwrap();
+        let mut clusters: HashMap<u64, u64> = HashMap::new();
+        for &l in &all {
+            *clusters.entry(l).or_insert(0) += 1;
+        }
+        if comm.rank() == 0 {
+            let biggest = clusters.values().max().copied().unwrap_or(0);
+            println!("partition OK: {} clusters over {} vertices (largest {biggest})", clusters.len(), all.len());
+            println!("  plain layer  : {t_plain:?}");
+            println!("  kamping layer: {t_kamping:?}");
+            assert!(clusters.len() <= 16, "communities should collapse");
+        }
+    });
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the three abstraction levels of kamping-rs (paper Fig. 1).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kamping::prelude::*;
+
+fn main() {
+    // `kamping::run` plays the role of `mpirun -n 4`: four ranks execute
+    // the closure, each with its own communicator.
+    kamping::run(4, |comm| {
+        let me = comm.rank();
+        let v: Vec<f64> = vec![me as f64; me + 1];
+
+        // ----- Level 1: concise code with sensible defaults (Fig. 1 (1)).
+        // Receive counts are exchanged internally, displacements computed,
+        // the result is returned by value.
+        let v_global = comm.allgatherv_vec(&v).unwrap();
+        assert_eq!(v_global.len(), 1 + 2 + 3 + 4);
+
+        // ----- Level 2: detailed control of each parameter (Fig. 1 (2)).
+        // Named parameters in any order; out-parameters change the result
+        // type; resize policies control the memory management.
+        let mut rc: Vec<usize> = Vec::new();
+        comm.allgatherv(send_buf(&v))
+            .recv_buf_resize::<ResizeToFit, f64>(&mut Vec::new())
+            .recv_counts_out()
+            .call()
+            .map(|mut r| rc = r.extract_recv_counts())
+            .unwrap();
+        assert_eq!(rc, vec![1, 2, 3, 4]);
+
+        // Or with everything pre-allocated and checked (no hidden allocation):
+        let mut out = vec![0.0f64; 10];
+        let counts = [1usize, 2, 3, 4];
+        comm.allgatherv(send_buf(&v))
+            .recv_buf(&mut out) // NoResize: errors instead of allocating
+            .recv_counts(&counts) // no counts exchange happens
+            .call()
+            .unwrap();
+        assert_eq!(out, v_global);
+
+        // ----- Level 3: the raw substrate, for plain-MPI-style code.
+        let mut bytes = if me == 0 { b"hello".to_vec() } else { Vec::new() };
+        comm.raw().bcast(&mut bytes, 0).unwrap();
+        assert_eq!(bytes, b"hello");
+
+        // A reduction with a lambda, and one with a standard functor.
+        let sum = comm.allreduce_single(me as u64 + 1, |a, b| a + b).unwrap();
+        assert_eq!(sum, 10);
+
+        if me == 0 {
+            println!("quickstart OK: gathered {} elements on {} ranks", v_global.len(), comm.size());
+        }
+    });
+}

@@ -1,0 +1,59 @@
+//! Distributed suffix-array construction by prefix doubling
+//! (paper §IV-A).
+//!
+//! Run with `cargo run --release --example suffix_array -- [ranks] [text_len]`.
+
+use kamping_sort::suffix::{naive_suffix_array, suffix_array_prefix_doubling, text_block};
+use kamping_sort::suffix_array_dc3;
+use kamping_sort::suffix_plain::suffix_array_prefix_doubling_plain;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let len: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+
+    // A DNA-like text with repetitions (suffix sorting's hard case).
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let mut text: Vec<u8> = Vec::with_capacity(len);
+    while text.len() < len {
+        if rng.gen_bool(0.3) {
+            text.extend_from_slice(b"ACGTACGT"); // planted repeats
+        } else {
+            text.push(*b"ACGT".get(rng.gen_range(0..4)).unwrap());
+        }
+    }
+    text.truncate(len);
+
+    let sa_distributed: Vec<u64> = kamping::run(ranks, |comm| {
+        let local = text_block(&text, comm.size(), comm.rank());
+        let t = std::time::Instant::now();
+        let sa = suffix_array_prefix_doubling(&comm, &local, text.len() as u64).unwrap();
+        let t_pd = t.elapsed();
+        let t = std::time::Instant::now();
+        let sa_plain = suffix_array_prefix_doubling_plain(comm.raw(), &local, text.len() as u64);
+        let t_plain = t.elapsed();
+        let t = std::time::Instant::now();
+        let sa_dc3 = suffix_array_dc3(&comm, &local, text.len() as u64).unwrap();
+        let t_dc3 = t.elapsed();
+        assert_eq!(sa, sa_plain, "plain agrees");
+        assert_eq!(sa, sa_dc3, "DC3 agrees");
+        if comm.rank() == 0 {
+            println!("prefix doubling (kamping): {t_pd:?} on {ranks} ranks");
+            println!("prefix doubling (plain)  : {t_plain:?}");
+            println!("DC3 (kamping)            : {t_dc3:?}");
+        }
+        sa
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let t = std::time::Instant::now();
+    let sa_naive = naive_suffix_array(&text);
+    println!("sequential reference       : {:?}", t.elapsed());
+
+    assert_eq!(sa_distributed, sa_naive, "suffix arrays agree");
+    println!("suffix_array OK: n = {len}, SA starts with {:?}", &sa_distributed[..8.min(len)]);
+}

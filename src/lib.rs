@@ -1,0 +1,22 @@
+//! # kamping-repro — umbrella crate of the kamping-rs workspace
+//!
+//! Re-exports the public surface of every workspace crate so that the
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`)
+//! can use a single dependency. Library users should depend on the
+//! individual crates instead:
+//!
+//! * [`kamping`] — the binding layer (the paper's contribution)
+//! * [`kamping_mpi`] — the message-passing substrate
+//! * [`kamping_plugins`] — grid/sparse all-to-all, ULFM, reproducible reduce
+//! * [`kamping_serial`] — binary serialization
+//! * [`kamping_graphs`] — graph generators, BFS, label propagation
+//! * [`kamping_sort`] — sample sort and suffix arrays
+//! * [`kamping_phylo`] — the RAxML-NG-like mini application
+
+pub use kamping;
+pub use kamping_graphs;
+pub use kamping_mpi;
+pub use kamping_phylo;
+pub use kamping_plugins;
+pub use kamping_serial;
+pub use kamping_sort;

@@ -1,0 +1,274 @@
+//! Cross-crate integration tests: scenarios that exercise several layers
+//! of the stack together through the public API only.
+
+use std::collections::HashMap;
+
+use kamping::prelude::*;
+use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
+use kamping_graphs::gen::{gnm, rhg, rhg_radius};
+use kamping_graphs::UNREACHED;
+use kamping_plugins::{GridAlltoall, ReproducibleReduce, SparseAlltoall, UlfmPlugin};
+use kamping_serial::serial_struct;
+use kamping_sort::{sample_sort_kamping, suffix_array_prefix_doubling};
+
+#[test]
+fn bfs_through_every_plugin_on_generated_graph() {
+    kamping::run(4, |comm| {
+        let g = gnm(&comm, 256, 1024, 5).unwrap();
+        let baseline = bfs_with_strategy(&comm, &g, 0, ExchangeStrategy::BuiltinAlltoallv).unwrap();
+        for s in [ExchangeStrategy::Sparse, ExchangeStrategy::Grid, ExchangeStrategy::Neighbor] {
+            let d = bfs_with_strategy(&comm, &g, 0, s).unwrap();
+            assert_eq!(d, baseline, "{s:?}");
+        }
+    });
+}
+
+#[test]
+fn sort_then_suffix_pipeline() {
+    // Sample-sort a text's characters to build a histogram, then build the
+    // suffix array of the text — two different distributed algorithms over
+    // the same communicator.
+    kamping::run(3, |comm| {
+        let text = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let local = kamping_sort::suffix::text_block(&text, comm.size(), comm.rank());
+
+        let mut chars: Vec<u64> = local.iter().map(|&c| c as u64).collect();
+        sample_sort_kamping(&comm, &mut chars, 1).unwrap();
+        assert!(kamping_sort::sample_sort::is_globally_sorted(&comm, &chars).unwrap());
+
+        let sa = suffix_array_prefix_doubling(&comm, &local, text.len() as u64).unwrap();
+        let gathered: Vec<u64> = comm.allgatherv_vec(&sa).unwrap();
+        assert_eq!(gathered, kamping_sort::suffix::naive_suffix_array(&text));
+    });
+}
+
+#[test]
+fn ulfm_recovery_then_full_application_continues() {
+    kamping::run(5, |mut comm| {
+        if comm.rank() == 2 {
+            comm.simulate_failure();
+            return;
+        }
+        // Break the communicator, recover...
+        let err = loop {
+            match comm.allreduce_single(1u64, |a, b| a + b) {
+                Err(e) => break e,
+                Ok(_) => std::thread::yield_now(), // failure not yet visible
+            }
+        };
+        assert!(err.is_process_failure());
+        if !comm.is_revoked() {
+            comm.revoke();
+        }
+        comm = comm.shrink().unwrap();
+        assert_eq!(comm.size(), 4);
+        // ...then run a whole BFS on the shrunk communicator.
+        let g = gnm(&comm, 64, 256, 3).unwrap();
+        let d = bfs_with_strategy(&comm, &g, 0, ExchangeStrategy::Sparse).unwrap();
+        let reached = d.iter().filter(|&&x| x != UNREACHED).count() as u64;
+        let total = comm.allreduce_single(reached, |a, b| a + b).unwrap();
+        assert!(total > 0);
+    });
+}
+
+#[test]
+fn serialization_across_subcommunicators() {
+    #[derive(Debug, Clone, PartialEq)]
+    struct Payload {
+        tag: String,
+        values: Vec<i64>,
+    }
+    serial_struct!(Payload { tag, values });
+
+    kamping::run(6, |comm| {
+        let sub = comm.split((comm.rank() % 2) as u64, 0).unwrap();
+        let mut payload = if sub.rank() == 0 {
+            Payload { tag: format!("group-{}", comm.rank() % 2), values: vec![1, 2, 3] }
+        } else {
+            Payload { tag: String::new(), values: vec![] }
+        };
+        sub.bcast_object(&mut payload, 0).unwrap();
+        assert_eq!(payload.tag, format!("group-{}", comm.rank() % 2));
+        assert_eq!(payload.values, vec![1, 2, 3]);
+    });
+}
+
+#[test]
+fn grid_and_sparse_agree_with_dense_on_random_pattern() {
+    kamping::run(5, |comm| {
+        let p = comm.size();
+        let me = comm.rank() as u64;
+        let grid = comm.make_grid().unwrap();
+
+        // Sparse pattern: send to (rank*rank) % p only.
+        let dest = ((me * me) as usize) % p;
+        let msg = vec![me * 100, me * 100 + 1];
+
+        let mut counts = vec![0usize; p];
+        counts[dest] = msg.len();
+        let dense = comm.alltoallv_vec(&msg, &counts).unwrap();
+        let (gridded, _) = grid.alltoallv(&msg, &counts).unwrap();
+        let mut buckets = HashMap::new();
+        buckets.insert(dest, msg.clone());
+        let sparse: Vec<u64> = comm
+            .sparse_alltoall(buckets)
+            .unwrap()
+            .into_iter()
+            .flat_map(|m| m.data)
+            .collect();
+
+        assert_eq!(dense, gridded);
+        assert_eq!(dense, sparse);
+    });
+}
+
+#[test]
+fn reproducible_reduce_over_rhg_degrees() {
+    // Reduce a quantity computed from a generated graph: the average
+    // inverse degree, reproducibly.
+    let reference: Vec<f64> = kamping::run(1, |comm| {
+        let g = rhg(&comm, 200, rhg_radius(200, 8.0), 17).unwrap();
+        let vals: Vec<f64> = (0..g.local_size())
+            .map(|v| 1.0 / (1.0 + (g.offsets[v + 1] - g.offsets[v]) as f64))
+            .collect();
+        comm.reproducible_allreduce(&vals, |a, b| a + b).unwrap().unwrap()
+    });
+    for p in [2, 3, 4] {
+        let got = kamping::run(p, |comm| {
+            let g = rhg(&comm, 200, rhg_radius(200, 8.0), 17).unwrap();
+            let vals: Vec<f64> = (0..g.local_size())
+                .map(|v| 1.0 / (1.0 + (g.offsets[v + 1] - g.offsets[v]) as f64))
+                .collect();
+            comm.reproducible_allreduce(&vals, |a, b| a + b).unwrap().unwrap()
+        });
+        assert!(got.iter().all(|x| x.to_bits() == reference[0].to_bits()), "p={p}");
+    }
+}
+
+#[test]
+fn nonblocking_pipeline_with_request_pool() {
+    kamping::run(4, |comm| {
+        // Ring pipeline: isend to the right, irecv from the left, three
+        // rounds in flight simultaneously through a pool.
+        let right = (comm.rank() + 1) % comm.size();
+        let left = (comm.rank() + comm.size() - 1) % comm.size();
+        let mut pool = kamping::RequestPool::new();
+        let mut sends = Vec::new();
+        for round in 0..3u64 {
+            let payload = vec![comm.rank() as u64 * 10 + round];
+            sends.push(
+                comm.isend(send_buf_owned(payload), destination(right))
+                    .tag(round as u32)
+                    .call()
+                    .unwrap(),
+            );
+            pool.push(comm.irecv::<u64>(source(left)).tag(round as u32).call().unwrap());
+        }
+        let received = pool.wait_all().unwrap();
+        for (round, data) in received.iter().enumerate() {
+            assert_eq!(data, &vec![left as u64 * 10 + round as u64]);
+        }
+        for s in sends {
+            s.wait().unwrap();
+        }
+    });
+}
+
+#[test]
+fn profile_counters_span_the_whole_stack() {
+    let (_, profile) = kamping::run_profiled(4, |comm| {
+        let g = gnm(&comm, 64, 128, 2).unwrap();
+        bfs_with_strategy(&comm, &g, 0, ExchangeStrategy::Sparse).unwrap();
+    });
+    // The sparse BFS must have used issend + ibarrier, never alltoallv
+    // (the graph build uses one alltoallv per rank, though).
+    assert!(profile.total_calls(kamping_mpi::Op::Issend) > 0);
+    assert!(profile.total_calls(kamping_mpi::Op::Ibarrier) > 0);
+}
+
+#[test]
+fn communication_level_assertions_catch_bad_counts() {
+    use kamping::assertions::{set_assertion_level, AssertionLevel};
+    // NOTE: the level is process-global; restore it afterwards.
+    kamping::run(2, |comm| {
+        set_assertion_level(AssertionLevel::Communication);
+        // Counts consistent per-rank lengths but inconsistent across ranks:
+        // each rank claims *its own* length for everyone.
+        let mine = vec![1u8; comm.rank() + 1];
+        let bad = vec![comm.rank() + 1; 2];
+        let r = comm.allgatherv(send_buf(&mine)).recv_counts(&bad).call();
+        if comm.rank() == 0 {
+            // Rank 0's counts [1, 1] disagree with rank 1's actual 2 elems.
+            assert!(r.is_err(), "communication assertion must fire");
+        }
+        set_assertion_level(AssertionLevel::Light);
+    });
+}
+
+#[test]
+fn mixed_collective_stress_matches_reference() {
+    // A pseudo-random sequence of collectives over the same communicator,
+    // checked against locally computed references — guards against tag or
+    // sequence-number confusion between back-to-back operations.
+    kamping::run(4, |comm| {
+        let p = comm.size() as u64;
+        let me = comm.rank() as u64;
+        let mut state = 9u64;
+        for round in 0..30u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(round);
+            match state % 5 {
+                0 => {
+                    let v = comm.allreduce_single(me + round, |a, b| a + b).unwrap();
+                    assert_eq!(v, p * round + p * (p - 1) / 2);
+                }
+                1 => {
+                    let v = comm.allgather_single(me * 10 + round).unwrap();
+                    let want: Vec<u64> = (0..p).map(|r| r * 10 + round).collect();
+                    assert_eq!(v, want);
+                }
+                2 => {
+                    let data = vec![me + round; me as usize % 3];
+                    let all = comm.allgatherv_vec(&data).unwrap();
+                    let want: Vec<u64> =
+                        (0..p).flat_map(|r| vec![r + round; r as usize % 3]).collect();
+                    assert_eq!(all, want);
+                }
+                3 => {
+                    let v = comm.scan_single(1u64, |a, b| a + b).unwrap();
+                    assert_eq!(v, me + 1);
+                }
+                _ => {
+                    let root = (round % p) as usize;
+                    let v = comm.bcast_single(me + round, root).unwrap();
+                    assert_eq!(v, root as u64 + round);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn reduce_scatter_and_sendrecv_replace_roundtrip() {
+    kamping::run(3, |comm| {
+        // reduce_scatter_block through the raw layer with typed data
+        let vals: Vec<u64> = (0..3).map(|b| comm.rank() as u64 * 100 + b).collect();
+        let wire = kamping::types::pod_as_bytes(&vals);
+        let add = |a: &mut [u8], b: &[u8]| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            a.copy_from_slice(&(x + y).to_le_bytes());
+        };
+        let block = comm.raw().reduce_scatter_block(wire, &add, 8).unwrap();
+        let got: Vec<u64> = kamping::types::bytes_to_pods(&block).unwrap();
+        assert_eq!(got, vec![300 + 3 * comm.rank() as u64]);
+
+        // ring rotation with sendrecv_replace
+        let p = comm.size();
+        let mut buf = kamping::types::pod_as_bytes(&[comm.rank() as u64]).to_vec();
+        comm.raw()
+            .sendrecv_replace(&mut buf, (comm.rank() + 1) % p, 1, (comm.rank() + p - 1) % p, 1)
+            .unwrap();
+        let got: Vec<u64> = kamping::types::bytes_to_pods(&buf).unwrap();
+        assert_eq!(got, vec![((comm.rank() + p - 1) % p) as u64]);
+    });
+}

@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) on the core invariants of the stack:
+//! collectives against sequential references, serialization round-trips,
+//! sorting permutation/sortedness, reproducible-reduce p-independence and
+//! suffix arrays against the naive construction.
+//!
+//! Each case spins up its own universe, so case counts are kept moderate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use kamping_plugins::ReproducibleReduce;
+use kamping_sort::sample_sort_kamping;
+
+fn chunks<T: Clone>(data: &[T], p: usize) -> Vec<Vec<T>> {
+    let base = data.len() / p;
+    let extra = data.len() % p;
+    let mut out = Vec::new();
+    let mut off = 0;
+    for r in 0..p {
+        let len = base + usize::from(r < extra);
+        out.push(data[off..off + len].to_vec());
+        off += len;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allgatherv_is_concatenation(data in vec(vec(any::<u32>(), 0..8), 1..5)) {
+        let p = data.len();
+        let outs = kamping::run(p, |comm| {
+            comm.allgatherv_vec(&data[comm.rank()]).unwrap()
+        });
+        let want: Vec<u32> = data.concat();
+        for o in outs {
+            prop_assert_eq!(&o, &want);
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_fold(data in vec(any::<u32>(), 1..5)) {
+        let p = data.len();
+        let outs = kamping::run(p, |comm| {
+            comm.allreduce_single(data[comm.rank()] as u64, |a, b| a.wrapping_add(b)).unwrap()
+        });
+        let want: u64 = data.iter().map(|&x| x as u64).fold(0, |a, b| a.wrapping_add(b));
+        for o in outs {
+            prop_assert_eq!(o, want);
+        }
+    }
+
+    #[test]
+    fn scan_equals_prefix_fold(data in vec(any::<u16>(), 1..6)) {
+        let p = data.len();
+        let outs = kamping::run(p, |comm| {
+            comm.scan_single(data[comm.rank()] as u64, |a, b| a + b).unwrap()
+        });
+        let mut acc = 0u64;
+        for (r, &x) in data.iter().enumerate() {
+            acc += x as u64;
+            prop_assert_eq!(outs[r], acc, "rank {}", r);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_every_element(matrix in vec(vec(vec(any::<u16>(), 0..4), 3), 3)) {
+        // matrix[s][d] = elements rank s sends to rank d (p = 3 fixed).
+        let p = 3;
+        let outs = kamping::run(p, |comm| {
+            let me = comm.rank();
+            let counts: Vec<usize> = matrix[me].iter().map(Vec::len).collect();
+            let data: Vec<u16> = matrix[me].concat();
+            comm.alltoallv_vec(&data, &counts).unwrap()
+        });
+        for d in 0..p {
+            let want: Vec<u16> = (0..p).flat_map(|s| matrix[s][d].clone()).collect();
+            prop_assert_eq!(&outs[d], &want, "dest {}", d);
+        }
+    }
+
+    #[test]
+    fn sample_sort_sorts_any_distribution(data in vec(vec(any::<u64>(), 0..40), 1..5)) {
+        let p = data.len();
+        let outs = kamping::run(p, |comm| {
+            let mut local = data[comm.rank()].clone();
+            sample_sort_kamping(&comm, &mut local, 3).unwrap();
+            local
+        });
+        let got: Vec<u64> = outs.concat();
+        let mut want: Vec<u64> = data.concat();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reproducible_reduce_independent_of_p(data in vec(any::<f32>(), 1..64)) {
+        // f32 inputs promoted to f64 sums; NaN-free by filtering.
+        let data: Vec<f64> = data.into_iter()
+            .map(|x| if x.is_finite() { x as f64 } else { 1.0 })
+            .collect();
+        let mut bits = Vec::new();
+        for p in [1usize, 2, 3] {
+            let parts = chunks(&data, p);
+            let outs = kamping::run(p, |comm| {
+                comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b)
+                    .unwrap().unwrap()
+            });
+            for o in &outs {
+                prop_assert_eq!(o.to_bits(), outs[0].to_bits());
+            }
+            bits.push(outs[0].to_bits());
+        }
+        prop_assert!(bits.iter().all(|&b| b == bits[0]), "results differ across p: {:?}", bits);
+    }
+
+    #[test]
+    fn serialization_roundtrips(map in proptest::collection::hash_map(".{0,8}", vec(any::<i64>(), 0..5), 0..6)) {
+        let wire = kamping_serial::to_bytes(&map);
+        let back: std::collections::HashMap<String, Vec<i64>> =
+            kamping_serial::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back, map);
+    }
+
+    #[test]
+    fn serializer_never_panics_on_corrupt_input(wire in vec(any::<u8>(), 0..64)) {
+        // Decoding arbitrary bytes must fail gracefully, never panic/OOM.
+        let _ = kamping_serial::from_bytes::<std::collections::HashMap<String, Vec<u64>>>(&wire);
+        let _ = kamping_serial::from_bytes::<Vec<String>>(&wire);
+        let _ = kamping_serial::from_bytes::<(u64, Option<String>, bool)>(&wire);
+    }
+
+    #[test]
+    fn typedesc_pack_unpack_roundtrip(
+        blocks in vec((0usize..16, 1usize..4), 1..4),
+        count in 1usize..3,
+    ) {
+        use kamping_mpi::dtype::TypeDesc;
+        // Normalize to non-overlapping ascending blocks within the extent.
+        let mut displ = 0usize;
+        let mut norm = Vec::new();
+        for (gap, len) in blocks {
+            norm.push((displ + gap, len));
+            displ += gap + len;
+        }
+        let extent = displ + 3;
+        let desc = TypeDesc::Indexed { blocks: norm.clone(), extent };
+        let src: Vec<u8> = (0..extent * count).map(|i| i as u8).collect();
+        let wire = desc.pack_n(&src, count).unwrap();
+        prop_assert_eq!(wire.len(), desc.packed_size() * count);
+        let mut dst = vec![0xAAu8; extent * count];
+        desc.unpack_n(&wire, &mut dst, count).unwrap();
+        for e in 0..count {
+            for &(d, l) in &norm {
+                let a = &src[e * extent + d..e * extent + d + l];
+                let b = &dst[e * extent + d..e * extent + d + l];
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dc3_matches_naive(text in vec(97u8..100, 1..80), p in 1usize..4) {
+        let want = kamping_sort::suffix::naive_suffix_array(&text);
+        let got: Vec<u64> = kamping::run(p, |comm| {
+            let local = kamping_sort::suffix::text_block(&text, comm.size(), comm.rank());
+            kamping_sort::suffix_array_dc3(&comm, &local, text.len() as u64).unwrap()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_alltoall_matches_dense(pattern in vec(vec(0usize..4, 5), 5)) {
+        // pattern[s][d] = elements rank s sends to rank d; p = 5 (non-square).
+        use kamping_plugins::GridAlltoall;
+        let p = 5;
+        let outs = kamping::run(p, |comm| {
+            let me = comm.rank();
+            let counts = pattern[me].clone();
+            let data: Vec<u64> = (0..p)
+                .flat_map(|d| (0..counts[d]).map(move |k| (me * 1000 + d * 10 + k) as u64))
+                .collect();
+            let dense = comm.alltoallv_vec(&data, &counts).unwrap();
+            let grid = comm.make_grid().unwrap();
+            let (gridded, rc) = grid.alltoallv(&data, &counts).unwrap();
+            (dense, gridded, rc)
+        });
+        for (dense, gridded, rc) in outs {
+            prop_assert_eq!(&dense, &gridded);
+            let total: usize = rc.iter().sum();
+            prop_assert_eq!(total, dense.len());
+        }
+    }
+
+    #[test]
+    fn sparse_alltoall_matches_dense(pattern in vec(vec(0usize..3, 4), 4)) {
+        use kamping_plugins::SparseAlltoall;
+        use std::collections::HashMap;
+        let p = 4;
+        let outs = kamping::run(p, |comm| {
+            let me = comm.rank();
+            let counts = pattern[me].clone();
+            let data: Vec<u64> = (0..p)
+                .flat_map(|d| (0..counts[d]).map(move |k| (me * 1000 + d * 10 + k) as u64))
+                .collect();
+            let dense = comm.alltoallv_vec(&data, &counts).unwrap();
+            let mut buckets: HashMap<usize, Vec<u64>> = HashMap::new();
+            let mut off = 0;
+            for d in 0..p {
+                if counts[d] > 0 {
+                    buckets.insert(d, data[off..off + counts[d]].to_vec());
+                }
+                off += counts[d];
+            }
+            let sparse: Vec<u64> = comm
+                .sparse_alltoall(buckets)
+                .unwrap()
+                .into_iter()
+                .flat_map(|m| m.data)
+                .collect();
+            (dense, sparse)
+        });
+        for (dense, sparse) in outs {
+            prop_assert_eq!(dense, sparse);
+        }
+    }
+
+    #[test]
+    fn suffix_array_matches_naive(text in vec(97u8..102, 1..60), p in 1usize..4) {
+        let want = kamping_sort::suffix::naive_suffix_array(&text);
+        let got: Vec<u64> = kamping::run(p, |comm| {
+            let local = kamping_sort::suffix::text_block(&text, comm.size(), comm.rank());
+            kamping_sort::suffix::suffix_array_prefix_doubling(&comm, &local, text.len() as u64)
+                .unwrap()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn resize_policies_respect_contracts(
+        pre in 0usize..8,
+        incoming in 0usize..8,
+    ) {
+        use kamping::resize::{GrowOnly, NoResize, ResizePolicy, ResizeToFit};
+        let mut v = vec![0u8; pre];
+        ResizeToFit::prepare(&mut v, incoming, 0).unwrap();
+        prop_assert_eq!(v.len(), incoming);
+
+        let mut v = vec![0u8; pre];
+        GrowOnly::prepare(&mut v, incoming, 0).unwrap();
+        prop_assert_eq!(v.len(), pre.max(incoming));
+
+        let mut v = vec![0u8; pre];
+        let r = NoResize::prepare(&mut v, incoming, 0);
+        prop_assert_eq!(r.is_ok(), pre >= incoming);
+        prop_assert_eq!(v.len(), pre);
+    }
+}
+
+#[test]
+fn bcast_object_arbitrary_depth_smoke() {
+    // Not proptest (universe-heavy); a fixed nested payload.
+    kamping::run(3, |comm| {
+        let mut v: Vec<Option<(String, Vec<u8>)>> = if comm.rank() == 0 {
+            vec![Some(("x".into(), vec![1, 2])), None, Some((String::new(), vec![]))]
+        } else {
+            Vec::new()
+        };
+        comm.bcast_object(&mut v, 0).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], Some(("x".into(), vec![1, 2])));
+    });
+}
