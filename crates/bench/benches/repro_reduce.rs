@@ -18,7 +18,9 @@ fn configured() -> Criterion {
 }
 
 fn local_data(rank: usize, n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((rank * n + i) as f64).sin() * 10f64.powi((i % 17) as i32 - 8)).collect()
+    (0..n)
+        .map(|i| ((rank * n + i) as f64).sin() * 10f64.powi((i % 17) as i32 - 8))
+        .collect()
 }
 
 fn bench_repro(c: &mut Criterion) {

@@ -38,7 +38,13 @@ struct Gappy {
 serial_struct!(Gappy { tag, value, weight });
 
 fn packed_data(n: usize) -> Vec<Packed> {
-    (0..n).map(|i| Packed { id: i as u64, value: i as f64, weight: 1.0 / (i + 1) as f64 }).collect()
+    (0..n)
+        .map(|i| Packed {
+            id: i as u64,
+            value: i as f64,
+            weight: 1.0 / (i + 1) as f64,
+        })
+        .collect()
 }
 
 fn configured() -> Criterion {
@@ -76,9 +82,17 @@ fn bench_type_paths(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 time_world_custom(2, |comm| {
                     let data: Vec<Gappy> = (0..n)
-                        .map(|i| Gappy { tag: i as u8, value: i as f64, weight: 0.5 })
+                        .map(|i| Gappy {
+                            tag: i as u8,
+                            value: i as f64,
+                            weight: 0.5,
+                        })
                         .collect();
-                    let desc = kamping::struct_desc!(Gappy { tag: u8, value: f64, weight: f64 });
+                    let desc = kamping::struct_desc!(Gappy {
+                        tag: u8,
+                        value: f64,
+                        weight: f64
+                    });
                     comm.barrier().unwrap();
                     let start = Instant::now();
                     for _ in 0..iters {
@@ -113,7 +127,8 @@ fn bench_type_paths(c: &mut Criterion) {
                     let start = Instant::now();
                     for _ in 0..iters {
                         if comm.rank() == 0 {
-                            comm.send_object(as_serialized(&data), destination(1)).unwrap();
+                            comm.send_object(as_serialized(&data), destination(1))
+                                .unwrap();
                         } else {
                             let r = comm
                                 .recv_object(as_deserializable::<Vec<Packed>>(), source(0))

@@ -23,7 +23,10 @@ fn families(comm: &kamping::Communicator, n: u64) -> Vec<(&'static str, DistGrap
     // Edge densities mirror the paper's 2^15 edges per 2^12 vertices = 8/vertex.
     vec![
         ("GNM", gnm(comm, n, 4 * n, 1).expect("gnm")),
-        ("RGG-2D", rgg2d(comm, n, (16.0 / n as f64).sqrt(), 2).expect("rgg")),
+        (
+            "RGG-2D",
+            rgg2d(comm, n, (16.0 / n as f64).sqrt(), 2).expect("rgg"),
+        ),
         ("RHG", rhg(comm, n, rhg_radius(n, 8.0), 3).expect("rhg")),
     ]
 }
@@ -67,7 +70,10 @@ fn main() {
             rows
         });
         for (family, strategy, t, msgs, bytes) in rows.into_iter().flatten() {
-            println!("{family:>8} {p:>3} {strategy:>22} {} {msgs:>12} {bytes:>12}", ms(t));
+            println!(
+                "{family:>8} {p:>3} {strategy:>22} {} {msgs:>12} {bytes:>12}",
+                ms(t)
+            );
         }
         println!();
         p *= 2;

@@ -27,7 +27,10 @@ fn main() {
     let reps: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
 
     println!("Fig. 8 analog — sample sort weak scaling, {n} u64/rank, best of {reps}");
-    println!("{:>5} {:>12} {:>12} {:>12} {:>10}", "p", "plain ms", "kamping ms", "mpl-like ms", "k/p ratio");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10}",
+        "p", "plain ms", "kamping ms", "mpl-like ms", "k/p ratio"
+    );
 
     let mut p = 1;
     while p <= max_p {

@@ -49,11 +49,17 @@ fn main() {
             let local = &parts[comm.rank()];
             let ls: f64 = local.iter().sum();
             let naive = comm.allreduce_single(ls, |a, b| a + b).unwrap();
-            let repro = comm.reproducible_allreduce(local, |a, b| a + b).unwrap().unwrap();
+            let repro = comm
+                .reproducible_allreduce(local, |a, b| a + b)
+                .unwrap()
+                .unwrap();
             (naive, repro)
         })[0];
         let best = |f: &(dyn Fn(&kamping::Communicator, u64) + Sync)| {
-            (0..reps).map(|_| time_world(p, 1, f)).min().expect("reps > 0")
+            (0..reps)
+                .map(|_| time_world(p, 1, f))
+                .min()
+                .expect("reps > 0")
         };
         let t_repro = best(&|comm: &kamping::Communicator, _| {
             let v = comm
@@ -62,7 +68,9 @@ fn main() {
             std::hint::black_box(v);
         });
         let t_gather = best(&|comm: &kamping::Communicator, _| {
-            let v = comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap();
+            let v = comm
+                .gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b)
+                .unwrap();
             std::hint::black_box(v);
         });
         let t_naive = best(&|comm: &kamping::Communicator, _| {
@@ -100,11 +108,13 @@ fn main() {
     let p = 4;
     let parts = chunks(&data, p);
     let (_, prof) = kamping::run_profiled(p, |comm| {
-        comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b).unwrap()
+        comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b)
+            .unwrap()
     });
     let repro_bytes = prof.total_bytes();
     let (_, prof) = kamping::run_profiled(p, |comm| {
-        comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap()
+        comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b)
+            .unwrap()
     });
     let gather_bytes = prof.total_bytes();
     println!();

@@ -27,34 +27,21 @@ fn main() {
     println!("Table I analog — lines of code of the communication portions");
     println!("(our measured Rust LoC; paper's C++ numbers in parentheses)");
     println!();
-    println!("{:18} {:>18} {:>18} {:>14}", "", "plain (MPI)", "kamping", "mpl-like");
+    println!(
+        "{:18} {:>18} {:>18} {:>14}",
+        "", "plain (MPI)", "kamping", "mpl-like"
+    );
     println!(
         "{:18} {:>12} {:>5} {:>12} {:>5} {:>14}",
-        "vector allgather",
-        ag_plain,
-        "(14)",
-        ag_kamping,
-        "(1)",
-        "-"
+        "vector allgather", ag_plain, "(14)", ag_kamping, "(1)", "-"
     );
     println!(
         "{:18} {:>12} {:>5} {:>12} {:>5} {:>9} {:>4}",
-        "sample sort",
-        ss_plain,
-        "(32)",
-        ss_kamping,
-        "(16)",
-        ss_mpl,
-        "(37)"
+        "sample sort", ss_plain, "(32)", ss_kamping, "(16)", ss_mpl, "(37)"
     );
     println!(
         "{:18} {:>12} {:>5} {:>12} {:>5} {:>14}",
-        "BFS",
-        bfs_plain,
-        "(46)",
-        bfs_kamping,
-        "(22)",
-        "-"
+        "BFS", bfs_plain, "(46)", bfs_kamping, "(22)", "-"
     );
     println!();
     println!("paper context columns: Boost.MPI 5/30/42, RWTH-MPI 5/21/32, MPL 12/37/49");

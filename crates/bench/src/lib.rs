@@ -76,8 +76,7 @@ pub fn read_workspace_file(rel: &str) -> String {
         .parent()
         .and_then(std::path::Path::parent)
         .expect("bench crate lives two levels below the workspace root");
-    std::fs::read_to_string(root.join(rel))
-        .unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
+    std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
 }
 
 /// Formats a duration as fractional milliseconds.

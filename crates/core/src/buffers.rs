@@ -6,7 +6,10 @@
 
 /// Encodes element counts for the wire.
 pub(crate) fn encode_counts(counts: &[usize]) -> Vec<u8> {
-    counts.iter().flat_map(|&c| (c as u64).to_le_bytes()).collect()
+    counts
+        .iter()
+        .flat_map(|&c| (c as u64).to_le_bytes())
+        .collect()
 }
 
 /// Decodes element counts from the wire.

@@ -6,9 +6,9 @@ use crate::communicator::Communicator;
 use crate::error::{KResult, KampingError};
 use crate::params::{
     recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
-    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot,
-    RecvCounts, RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot,
-    SendBuf, SendBufSlot, SendRecvBufSlot, Unset,
+    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot, RecvCounts,
+    RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot, SendBuf, SendBufSlot,
+    SendRecvBufSlot, Unset,
 };
 use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
 use crate::result::CallResult;
@@ -47,7 +47,11 @@ pub struct AllgatherInplace<'c, B> {
 impl Communicator {
     /// Starts a fixed-size `allgather` of `send_buf`.
     pub fn allgather<X>(&self, send_buf: SendBuf<X>) -> Allgather<'_, SendBuf<X>, Unset> {
-        Allgather { comm: self, send: send_buf, recv: Unset }
+        Allgather {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+        }
     }
 
     /// Starts a variable-size `allgatherv` of `send_buf`.
@@ -55,12 +59,21 @@ impl Communicator {
         &self,
         send_buf: SendBuf<X>,
     ) -> Allgatherv<'_, SendBuf<X>, Unset, Unset, Unset> {
-        Allgatherv { comm: self, send: send_buf, recv: Unset, counts: Unset, displs: Unset }
+        Allgatherv {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            counts: Unset,
+            displs: Unset,
+        }
     }
 
     /// Starts an in-place `allgather` on `send_recv_buf`.
     pub fn allgather_inplace<B>(&self, send_recv_buf: B) -> AllgatherInplace<'_, B> {
-        AllgatherInplace { comm: self, buf: send_recv_buf }
+        AllgatherInplace {
+            comm: self,
+            buf: send_recv_buf,
+        }
     }
 }
 
@@ -72,7 +85,11 @@ impl<'c, S, R> Allgather<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Allgather<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
-        Allgather { comm: self.comm, send: self.send, recv: recv_buf_param(buf) }
+        Allgather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_param(buf),
+        }
     }
 
     /// Writes the result into `buf` under resize policy `P`.
@@ -80,7 +97,11 @@ impl<'c, S, R> Allgather<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Allgather<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
-        Allgather { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf) }
+        Allgather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+        }
     }
 
     /// Moves `buf` in to be reused as the (returned-by-value) result.
@@ -88,7 +109,11 @@ impl<'c, S, R> Allgather<'c, S, R> {
         self,
         buf: Vec<T>,
     ) -> Allgather<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
-        Allgather { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf) }
+        Allgather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_owned_param(buf),
+        }
     }
 }
 
@@ -98,8 +123,20 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Allgatherv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, C, D> {
-        let Allgatherv { comm, send, counts, displs, .. } = self;
-        Allgatherv { comm, send, recv: recv_buf_param(buf), counts, displs }
+        let Allgatherv {
+            comm,
+            send,
+            counts,
+            displs,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv: recv_buf_param(buf),
+            counts,
+            displs,
+        }
     }
 
     /// Writes the result into `buf` under resize policy `P`.
@@ -107,8 +144,20 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Allgatherv<'c, S, RecvBuf<&'b mut Vec<T>, P>, C, D> {
-        let Allgatherv { comm, send, counts, displs, .. } = self;
-        Allgatherv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), counts, displs }
+        let Allgatherv {
+            comm,
+            send,
+            counts,
+            displs,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            counts,
+            displs,
+        }
     }
 
     /// Moves `buf` in to be reused as the (returned-by-value) result.
@@ -116,8 +165,20 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         self,
         buf: Vec<T>,
     ) -> Allgatherv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C, D> {
-        let Allgatherv { comm, send, counts, displs, .. } = self;
-        Allgatherv { comm, send, recv: recv_buf_owned_param(buf), counts, displs }
+        let Allgatherv {
+            comm,
+            send,
+            counts,
+            displs,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv: recv_buf_owned_param(buf),
+            counts,
+            displs,
+        }
     }
 
     /// Supplies the per-rank receive counts (elements).
@@ -125,14 +186,38 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         self,
         counts: &'v [usize],
     ) -> Allgatherv<'c, S, R, RecvCounts<&'v [usize]>, D> {
-        let Allgatherv { comm, send, recv, displs, .. } = self;
-        Allgatherv { comm, send, recv, counts: crate::params::recv_counts(counts), displs }
+        let Allgatherv {
+            comm,
+            send,
+            recv,
+            displs,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv,
+            counts: crate::params::recv_counts(counts),
+            displs,
+        }
     }
 
     /// Requests the receive counts as an out-value.
     pub fn recv_counts_out(self) -> Allgatherv<'c, S, R, RecvCountsOut, D> {
-        let Allgatherv { comm, send, recv, displs, .. } = self;
-        Allgatherv { comm, send, recv, counts: crate::params::recv_counts_out(), displs }
+        let Allgatherv {
+            comm,
+            send,
+            recv,
+            displs,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv,
+            counts: crate::params::recv_counts_out(),
+            displs,
+        }
     }
 
     /// Supplies the per-rank receive displacements (elements).
@@ -140,14 +225,38 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         self,
         displs: &'v [usize],
     ) -> Allgatherv<'c, S, R, C, RecvDispls<&'v [usize]>> {
-        let Allgatherv { comm, send, recv, counts, .. } = self;
-        Allgatherv { comm, send, recv, counts, displs: crate::params::recv_displs(displs) }
+        let Allgatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            displs: crate::params::recv_displs(displs),
+        }
     }
 
     /// Requests the receive displacements as an out-value.
     pub fn recv_displs_out(self) -> Allgatherv<'c, S, R, C, RecvDisplsOut> {
-        let Allgatherv { comm, send, recv, counts, .. } = self;
-        Allgatherv { comm, send, recv, counts, displs: crate::params::recv_displs_out() }
+        let Allgatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            ..
+        } = self;
+        Allgatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            displs: crate::params::recv_displs_out(),
+        }
     }
 }
 
@@ -182,7 +291,13 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         C: RecvCountsSlot + OutRequest,
         D: RecvDisplsSlot + OutRequest,
     {
-        let Allgatherv { comm, send, recv, counts, displs } = self;
+        let Allgatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            displs,
+        } = self;
         let send_slice = send.slice();
 
         let computed_counts: Vec<usize>;
@@ -213,7 +328,9 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         let displs_ref: &[usize] = if D::PROVIDED {
             let d = displs.provided();
             if d.len() != comm.size() {
-                return Err(KampingError::InvalidArgument("allgatherv: recv_displs length"));
+                return Err(KampingError::InvalidArgument(
+                    "allgatherv: recv_displs length",
+                ));
             }
             d
         } else {
@@ -222,7 +339,9 @@ impl<'c, S, R, C, D> Allgatherv<'c, S, R, C, D> {
         };
 
         let byte_counts = to_byte_counts(counts_ref, T::SIZE);
-        let concat = comm.raw().allgatherv(pod_as_bytes(send_slice), &byte_counts)?;
+        let concat = comm
+            .raw()
+            .allgatherv(pod_as_bytes(send_slice), &byte_counts)?;
 
         // Canonical displacements need no re-placement; custom ones do.
         let out = if D::PROVIDED {
@@ -280,7 +399,9 @@ mod tests {
         crate::run(4, |comm| {
             let mine = vec![comm.rank() as u32; comm.rank() + 1];
             let all = comm.allgatherv_vec(&mine).unwrap();
-            let want: Vec<u32> = (0..4).flat_map(|r| vec![r as u32; r as usize + 1]).collect();
+            let want: Vec<u32> = (0..4)
+                .flat_map(|r| vec![r as u32; r as usize + 1])
+                .collect();
             assert_eq!(all, want);
         });
     }
@@ -324,7 +445,10 @@ mod tests {
     fn omitted_counts_cost_exactly_one_allgather() {
         let (_, profile) = crate::run_profiled(4, |comm| {
             let mine = vec![1u8; comm.rank()];
-            comm.allgatherv(send_buf(&mine)).call().unwrap().into_recv_buf();
+            comm.allgatherv(send_buf(&mine))
+                .call()
+                .unwrap()
+                .into_recv_buf();
         });
         assert_eq!(profile.total_calls(kamping_mpi::Op::Allgather), 4);
         assert_eq!(profile.total_calls(kamping_mpi::Op::Allgatherv), 4);
@@ -337,7 +461,10 @@ mod tests {
 
             // NoResize with sufficient space: ok, no allocation.
             let mut exact = vec![0u32; 2];
-            comm.allgather(send_buf(&mine)).recv_buf(&mut exact).call().unwrap();
+            comm.allgather(send_buf(&mine))
+                .recv_buf(&mut exact)
+                .call()
+                .unwrap();
             assert_eq!(exact, vec![0, 1]);
 
             // NoResize too small: error names the policy fix.
@@ -347,7 +474,13 @@ mod tests {
                 .recv_buf(&mut small)
                 .call()
                 .unwrap_err();
-            assert!(matches!(err, KampingError::BufferTooSmall { needed: 2, available: 1 }));
+            assert!(matches!(
+                err,
+                KampingError::BufferTooSmall {
+                    needed: 2,
+                    available: 1
+                }
+            ));
 
             // GrowOnly grows.
             let mut grow = Vec::new();
@@ -394,7 +527,9 @@ mod tests {
             // The counts-exchange idiom of paper Fig. 3 / §III-G.
             let mut rc = vec![0usize; comm.size()];
             rc[comm.rank()] = comm.rank() + 10;
-            comm.allgather_inplace(send_recv_buf(&mut rc)).call().unwrap();
+            comm.allgather_inplace(send_recv_buf(&mut rc))
+                .call()
+                .unwrap();
             assert_eq!(rc, vec![10, 11, 12, 13]);
         });
     }

@@ -11,9 +11,9 @@ use crate::communicator::Communicator;
 use crate::error::{KResult, KampingError};
 use crate::params::{
     recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
-    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot,
-    RecvCounts, RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot,
-    SendBuf, SendBufSlot, SendCounts, SendCountsSlot, SendDispls, SendDisplsSlot, Unset,
+    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot, RecvCounts,
+    RecvCountsOut, RecvCountsSlot, RecvDispls, RecvDisplsOut, RecvDisplsSlot, SendBuf, SendBufSlot,
+    SendCounts, SendCountsSlot, SendDispls, SendDisplsSlot, Unset,
 };
 use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
 use crate::result::CallResult;
@@ -44,7 +44,11 @@ pub struct Alltoallv<'c, S, R, SC, SD, C, D> {
 impl Communicator {
     /// Starts a fixed-size `alltoall` of `send_buf`.
     pub fn alltoall<X>(&self, send_buf: SendBuf<X>) -> Alltoall<'_, SendBuf<X>, Unset> {
-        Alltoall { comm: self, send: send_buf, recv: Unset }
+        Alltoall {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+        }
     }
 
     /// Starts a variable-size `alltoallv`: `send_counts[d]` elements of
@@ -73,7 +77,11 @@ impl<'c, S, R> Alltoall<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Alltoall<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
-        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_param(buf) }
+        Alltoall {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_param(buf),
+        }
     }
 
     /// Writes the result into `buf` under policy `P`.
@@ -81,12 +89,23 @@ impl<'c, S, R> Alltoall<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Alltoall<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
-        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf) }
+        Alltoall {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+        }
     }
 
     /// Moves `buf` in to be reused as the returned result.
-    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Alltoall<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
-        Alltoall { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf) }
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Alltoall<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Alltoall {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_owned_param(buf),
+        }
     }
 
     /// Executes the alltoall.
@@ -115,8 +134,24 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Alltoallv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, SC, SD, C, D> {
-        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv: recv_buf_param(buf), send_counts, send_displs, recv_counts, recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv: recv_buf_param(buf),
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+        }
     }
 
     /// Writes the result into `buf` under policy `P`.
@@ -124,8 +159,24 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Alltoallv<'c, S, RecvBuf<&'b mut Vec<T>, P>, SC, SD, C, D> {
-        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), send_counts, send_displs, recv_counts, recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+        }
     }
 
     /// Moves `buf` in to be reused as the returned result.
@@ -133,8 +184,24 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         buf: Vec<T>,
     ) -> Alltoallv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, SC, SD, C, D> {
-        let Alltoallv { comm, send, send_counts, send_displs, recv_counts, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv: recv_buf_owned_param(buf), send_counts, send_displs, recv_counts, recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv: recv_buf_owned_param(buf),
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+        }
     }
 
     /// Supplies explicit send displacements (elements).
@@ -142,8 +209,24 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         displs: &'v [usize],
     ) -> Alltoallv<'c, S, R, SC, SendDispls<&'v [usize]>, C, D> {
-        let Alltoallv { comm, send, recv, send_counts, recv_counts, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv, send_counts, send_displs: crate::params::send_displs(displs), recv_counts, recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            recv_counts,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs: crate::params::send_displs(displs),
+            recv_counts,
+            recv_displs,
+        }
     }
 
     /// Supplies the per-source receive counts (elements).
@@ -151,14 +234,46 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         counts: &'v [usize],
     ) -> Alltoallv<'c, S, R, SC, SD, RecvCounts<&'v [usize]>, D> {
-        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts: crate::params::recv_counts(counts), recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts: crate::params::recv_counts(counts),
+            recv_displs,
+        }
     }
 
     /// Requests the receive counts as an out-value.
     pub fn recv_counts_out(self) -> Alltoallv<'c, S, R, SC, SD, RecvCountsOut, D> {
-        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_displs, .. } = self;
-        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts: crate::params::recv_counts_out(), recv_displs }
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_displs,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts: crate::params::recv_counts_out(),
+            recv_displs,
+        }
     }
 
     /// Supplies explicit receive displacements (elements).
@@ -166,14 +281,46 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         self,
         displs: &'v [usize],
     ) -> Alltoallv<'c, S, R, SC, SD, C, RecvDispls<&'v [usize]>> {
-        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, .. } = self;
-        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs: crate::params::recv_displs(displs) }
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs: crate::params::recv_displs(displs),
+        }
     }
 
     /// Requests the receive displacements as an out-value.
     pub fn recv_displs_out(self) -> Alltoallv<'c, S, R, SC, SD, C, RecvDisplsOut> {
-        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, .. } = self;
-        Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs: crate::params::recv_displs_out() }
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts,
+            ..
+        } = self;
+        Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs: crate::params::recv_displs_out(),
+        }
     }
 
     /// Executes the alltoallv.
@@ -189,19 +336,31 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         C: RecvCountsSlot + OutRequest,
         D: RecvDisplsSlot + OutRequest,
     {
-        let Alltoallv { comm, send, recv, send_counts, send_displs, recv_counts, recv_displs } = self;
+        let Alltoallv {
+            comm,
+            send,
+            recv,
+            send_counts,
+            send_displs,
+            recv_counts,
+            recv_displs,
+        } = self;
         let p = comm.size();
         let data = send.slice();
         let sc = send_counts.provided();
         if sc.len() != p {
-            return Err(KampingError::InvalidArgument("alltoallv: send_counts length"));
+            return Err(KampingError::InvalidArgument(
+                "alltoallv: send_counts length",
+            ));
         }
 
         let computed_sd: Vec<usize>;
         let sd: &[usize] = if SD::PROVIDED {
             let d = send_displs.provided();
             if d.len() != p {
-                return Err(KampingError::InvalidArgument("alltoallv: send_displs length"));
+                return Err(KampingError::InvalidArgument(
+                    "alltoallv: send_displs length",
+                ));
             }
             d
         } else {
@@ -219,7 +378,9 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         let rc: &[usize] = if C::PROVIDED {
             let c = recv_counts.provided();
             if c.len() != p {
-                return Err(KampingError::InvalidArgument("alltoallv: recv_counts length"));
+                return Err(KampingError::InvalidArgument(
+                    "alltoallv: recv_counts length",
+                ));
             }
             c
         } else {
@@ -233,7 +394,9 @@ impl<'c, S, R, SC, SD, C, D> Alltoallv<'c, S, R, SC, SD, C, D> {
         let rd: &[usize] = if D::PROVIDED {
             let d = recv_displs.provided();
             if d.len() != p {
-                return Err(KampingError::InvalidArgument("alltoallv: recv_displs length"));
+                return Err(KampingError::InvalidArgument(
+                    "alltoallv: recv_displs length",
+                ));
             }
             d
         } else {
@@ -285,7 +448,11 @@ mod tests {
         crate::run(3, |comm| {
             let me = comm.rank() as u32;
             let send: Vec<u32> = (0..3).map(|d| me * 10 + d).collect();
-            let out = comm.alltoall(send_buf(&send)).call().unwrap().into_recv_buf();
+            let out = comm
+                .alltoall(send_buf(&send))
+                .call()
+                .unwrap()
+                .into_recv_buf();
             let want: Vec<u32> = (0..3).map(|s| s * 10 + me).collect();
             assert_eq!(out, want);
         });

@@ -23,7 +23,11 @@ impl Communicator {
     /// Starts a broadcast of `send_recv_buf` (default root 0): the root's
     /// contents replace everyone's.
     pub fn bcast<B>(&self, send_recv_buf: B) -> Bcast<'_, B> {
-        Bcast { comm: self, buf: send_recv_buf, root: 0 }
+        Bcast {
+            comm: self,
+            buf: send_recv_buf,
+            root: 0,
+        }
     }
 }
 
@@ -46,7 +50,12 @@ impl<'c, B> Bcast<'c, B> {
         // received bytes straight into their buffer.
         match comm.raw().bcast_from(pod_as_bytes(buf.slice()), root)? {
             None => Ok(CallResult::new(buf.keep(), Absent, Absent, Absent)),
-            Some(bytes) => Ok(CallResult::new(buf.replace(&bytes)?, Absent, Absent, Absent)),
+            Some(bytes) => Ok(CallResult::new(
+                buf.replace(&bytes)?,
+                Absent,
+                Absent,
+                Absent,
+            )),
         }
     }
 }
@@ -58,7 +67,11 @@ mod tests {
     #[test]
     fn bcast_replaces_everyones_buffer() {
         crate::run(4, |comm| {
-            let mut v: Vec<u32> = if comm.rank() == 1 { vec![7, 8, 9] } else { Vec::new() };
+            let mut v: Vec<u32> = if comm.rank() == 1 {
+                vec![7, 8, 9]
+            } else {
+                Vec::new()
+            };
             comm.bcast(send_recv_buf(&mut v)).root(1).call().unwrap();
             assert_eq!(v, vec![7, 8, 9]);
         });
@@ -67,7 +80,11 @@ mod tests {
     #[test]
     fn bcast_owned_move_style() {
         crate::run(3, |comm| {
-            let data: Vec<u64> = if comm.rank() == 0 { vec![42; 5] } else { Vec::new() };
+            let data: Vec<u64> = if comm.rank() == 0 {
+                vec![42; 5]
+            } else {
+                Vec::new()
+            };
             let data = comm
                 .bcast(send_recv_buf_owned(data))
                 .call()
@@ -88,7 +105,11 @@ mod tests {
     #[test]
     fn bcast_vec_convenience() {
         crate::run(2, |comm| {
-            let data = if comm.rank() == 0 { vec![1.5f64, 2.5] } else { Vec::new() };
+            let data = if comm.rank() == 0 {
+                vec![1.5f64, 2.5]
+            } else {
+                Vec::new()
+            };
             let data = comm.bcast_vec(data, 0).unwrap();
             assert_eq!(data, vec![1.5, 2.5]);
         });

@@ -11,8 +11,8 @@ use crate::communicator::Communicator;
 use crate::error::{KResult, KampingError};
 use crate::params::{
     recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
-    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot,
-    RecvCounts, RecvCountsOut, RecvCountsSlot, Root, SendBuf, SendBufSlot, Unset,
+    recv_buf_resize as recv_buf_resize_param, Absent, OutRequest, RecvBuf, RecvBufSlot, RecvCounts,
+    RecvCountsOut, RecvCountsSlot, Root, SendBuf, SendBufSlot, Unset,
 };
 use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
 use crate::result::CallResult;
@@ -40,12 +40,23 @@ pub struct Gatherv<'c, S, R, C> {
 impl Communicator {
     /// Starts a fixed-size `gather` of `send_buf` (default root 0).
     pub fn gather<X>(&self, send_buf: SendBuf<X>) -> Gather<'_, SendBuf<X>, Unset> {
-        Gather { comm: self, send: send_buf, recv: Unset, root: 0 }
+        Gather {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            root: 0,
+        }
     }
 
     /// Starts a variable-size `gatherv` of `send_buf` (default root 0).
     pub fn gatherv<X>(&self, send_buf: SendBuf<X>) -> Gatherv<'_, SendBuf<X>, Unset, Unset> {
-        Gatherv { comm: self, send: send_buf, recv: Unset, counts: Unset, root: 0 }
+        Gatherv {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            counts: Unset,
+            root: 0,
+        }
     }
 }
 
@@ -67,7 +78,12 @@ impl<'c, S, R> Gather<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Gather<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
-        Gather { comm: self.comm, send: self.send, recv: recv_buf_param(buf), root: self.root }
+        Gather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_param(buf),
+            root: self.root,
+        }
     }
 
     /// Writes the result into `buf` at the root under policy `P`.
@@ -75,12 +91,25 @@ impl<'c, S, R> Gather<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Gather<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
-        Gather { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf), root: self.root }
+        Gather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            root: self.root,
+        }
     }
 
     /// Moves `buf` in to be reused as the root's returned result.
-    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Gather<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
-        Gather { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf), root: self.root }
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Gather<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Gather {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_owned_param(buf),
+            root: self.root,
+        }
     }
 
     /// Executes the gather. Non-root ranks receive an empty buffer.
@@ -90,7 +119,12 @@ impl<'c, S, R> Gather<'c, S, R> {
         S: SendBufSlot<T>,
         R: RecvBufSlot<T>,
     {
-        let Gather { comm, send, recv, root } = self;
+        let Gather {
+            comm,
+            send,
+            recv,
+            root,
+        } = self;
         let bytes = comm.raw().gather(pod_as_bytes(send.slice()), root)?;
         let out = recv.place(bytes.as_deref().unwrap_or(&[]))?;
         Ok(CallResult::new(out, Absent, Absent, Absent))
@@ -109,8 +143,20 @@ impl<'c, S, R, C> Gatherv<'c, S, R, C> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Gatherv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, C> {
-        let Gatherv { comm, send, counts, root, .. } = self;
-        Gatherv { comm, send, recv: recv_buf_param(buf), counts, root }
+        let Gatherv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Gatherv {
+            comm,
+            send,
+            recv: recv_buf_param(buf),
+            counts,
+            root,
+        }
     }
 
     /// Writes the result into `buf` at the root under policy `P`.
@@ -118,27 +164,81 @@ impl<'c, S, R, C> Gatherv<'c, S, R, C> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Gatherv<'c, S, RecvBuf<&'b mut Vec<T>, P>, C> {
-        let Gatherv { comm, send, counts, root, .. } = self;
-        Gatherv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), counts, root }
+        let Gatherv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Gatherv {
+            comm,
+            send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            counts,
+            root,
+        }
     }
 
     /// Moves `buf` in to be reused as the root's returned result.
-    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Gatherv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C> {
-        let Gatherv { comm, send, counts, root, .. } = self;
-        Gatherv { comm, send, recv: recv_buf_owned_param(buf), counts, root }
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Gatherv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C> {
+        let Gatherv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Gatherv {
+            comm,
+            send,
+            recv: recv_buf_owned_param(buf),
+            counts,
+            root,
+        }
     }
 
     /// Supplies the per-rank receive counts (meaningful at the root).
-    pub fn recv_counts<'v>(self, counts: &'v [usize]) -> Gatherv<'c, S, R, RecvCounts<&'v [usize]>> {
-        let Gatherv { comm, send, recv, root, .. } = self;
-        Gatherv { comm, send, recv, counts: crate::params::recv_counts(counts), root }
+    pub fn recv_counts<'v>(
+        self,
+        counts: &'v [usize],
+    ) -> Gatherv<'c, S, R, RecvCounts<&'v [usize]>> {
+        let Gatherv {
+            comm,
+            send,
+            recv,
+            root,
+            ..
+        } = self;
+        Gatherv {
+            comm,
+            send,
+            recv,
+            counts: crate::params::recv_counts(counts),
+            root,
+        }
     }
 
     /// Requests the receive counts as an out-value (root only; other ranks
     /// get an empty vector).
     pub fn recv_counts_out(self) -> Gatherv<'c, S, R, RecvCountsOut> {
-        let Gatherv { comm, send, recv, root, .. } = self;
-        Gatherv { comm, send, recv, counts: crate::params::recv_counts_out(), root }
+        let Gatherv {
+            comm,
+            send,
+            recv,
+            root,
+            ..
+        } = self;
+        Gatherv {
+            comm,
+            send,
+            recv,
+            counts: crate::params::recv_counts_out(),
+            root,
+        }
     }
 
     /// Executes the gatherv. Non-root ranks receive an empty buffer.
@@ -149,7 +249,13 @@ impl<'c, S, R, C> Gatherv<'c, S, R, C> {
         R: RecvBufSlot<T>,
         C: RecvCountsSlot + OutRequest,
     {
-        let Gatherv { comm, send, recv, counts, root } = self;
+        let Gatherv {
+            comm,
+            send,
+            recv,
+            counts,
+            root,
+        } = self;
         let send_slice = send.slice();
         let is_root = comm.rank() == root;
 
@@ -174,7 +280,9 @@ impl<'c, S, R, C> Gatherv<'c, S, R, C> {
         };
 
         let byte_counts = counts_ref.map(|c| to_byte_counts(c, T::SIZE));
-        let bytes = comm.raw().gatherv(pod_as_bytes(send_slice), byte_counts.as_deref(), root)?;
+        let bytes = comm
+            .raw()
+            .gatherv(pod_as_bytes(send_slice), byte_counts.as_deref(), root)?;
         let out = recv.place(bytes.as_deref().unwrap_or(&[]))?;
         let counts_out = <C as OutRequest>::wrap(if <C as OutRequest>::REQUESTED {
             counts_ref.map(|c| c.to_vec()).unwrap_or_default()
@@ -193,7 +301,12 @@ mod tests {
     fn gather_concatenates_at_root() {
         crate::run(4, |comm| {
             let mine = [comm.rank() as u32, 100];
-            let out = comm.gather(send_buf(&mine)).root(2).call().unwrap().into_recv_buf();
+            let out = comm
+                .gather(send_buf(&mine))
+                .root(2)
+                .call()
+                .unwrap()
+                .into_recv_buf();
             if comm.rank() == 2 {
                 assert_eq!(out, vec![0, 100, 1, 100, 2, 100, 3, 100]);
             } else {
@@ -259,7 +372,10 @@ mod tests {
         crate::run(2, |comm| {
             let mine = [comm.rank() as u8];
             let mut buf = vec![0u8; if comm.rank() == 0 { 2 } else { 0 }];
-            comm.gather(send_buf(&mine)).recv_buf(&mut buf).call().unwrap();
+            comm.gather(send_buf(&mine))
+                .recv_buf(&mut buf)
+                .call()
+                .unwrap();
             if comm.rank() == 0 {
                 assert_eq!(buf, vec![0, 1]);
             }

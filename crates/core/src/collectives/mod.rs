@@ -35,7 +35,9 @@ pub(crate) fn place_by_displs(
     elem_size: usize,
 ) -> KResult<Vec<u8>> {
     if counts.len() != displs.len() {
-        return Err(KampingError::InvalidArgument("counts/displs length mismatch"));
+        return Err(KampingError::InvalidArgument(
+            "counts/displs length mismatch",
+        ));
     }
     let total_elems = counts
         .iter()

@@ -210,7 +210,8 @@ macro_rules! reduce_call_impls {
 }
 
 reduce_call_impls!(Reduce, ReduceInplace, |comm, bytes, bop, root| {
-    comm.raw().reduce(&mut bytes, &bop, elem_size::<T>()?, root)?;
+    comm.raw()
+        .reduce(&mut bytes, &bop, elem_size::<T>()?, root)?;
     if comm.rank() == root {
         bytes
     } else {
@@ -238,7 +239,9 @@ reduce_call_impls!(Exscan, ExscanInplace, |comm, bytes, bop, root| {
 
 fn elem_size<T: PodType>() -> KResult<usize> {
     if T::SIZE == 0 {
-        return Err(KampingError::InvalidArgument("cannot reduce zero-sized elements"));
+        return Err(KampingError::InvalidArgument(
+            "cannot reduce zero-sized elements",
+        ));
     }
     Ok(T::SIZE)
 }
@@ -313,9 +316,13 @@ mod tests {
     #[test]
     fn min_max_ops() {
         crate::run(5, |comm| {
-            let v = comm.allreduce_single(comm.rank() as i64 - 2, ops::min()).unwrap();
+            let v = comm
+                .allreduce_single(comm.rank() as i64 - 2, ops::min())
+                .unwrap();
             assert_eq!(v, -2);
-            let v = comm.allreduce_single(comm.rank() as f64, ops::max()).unwrap();
+            let v = comm
+                .allreduce_single(comm.rank() as f64, ops::max())
+                .unwrap();
             assert_eq!(v, 4.0);
         });
     }
@@ -323,9 +330,13 @@ mod tests {
     #[test]
     fn bitwise_ops() {
         crate::run(3, |comm| {
-            let v = comm.allreduce_single(1u8 << comm.rank(), ops::bit_or()).unwrap();
+            let v = comm
+                .allreduce_single(1u8 << comm.rank(), ops::bit_or())
+                .unwrap();
             assert_eq!(v, 0b111);
-            let v = comm.allreduce_single(0b110u8 | comm.rank() as u8, ops::bit_and()).unwrap();
+            let v = comm
+                .allreduce_single(0b110u8 | comm.rank() as u8, ops::bit_and())
+                .unwrap();
             assert_eq!(v, 0b110);
             let v = comm.allreduce_single(1u8, ops::bit_xor()).unwrap();
             assert_eq!(v, 1);
@@ -336,7 +347,10 @@ mod tests {
     fn allreduce_inplace_reuses_buffer() {
         crate::run(2, |comm| {
             let mut v = vec![comm.rank() as u32 + 1; 3];
-            comm.allreduce_inplace(send_recv_buf(&mut v)).op(ops::sum()).call().unwrap();
+            comm.allreduce_inplace(send_recv_buf(&mut v))
+                .op(ops::sum())
+                .call()
+                .unwrap();
             assert_eq!(v, vec![3; 3]);
         });
     }

@@ -5,8 +5,8 @@ use crate::communicator::Communicator;
 use crate::error::{KResult, KampingError};
 use crate::params::{
     recv_buf as recv_buf_param, recv_buf_owned as recv_buf_owned_param,
-    recv_buf_resize as recv_buf_resize_param, Absent, RecvBuf, RecvBufSlot, SendBuf,
-    SendBufSlot, SendCounts, SendCountsSlot, Unset,
+    recv_buf_resize as recv_buf_resize_param, Absent, RecvBuf, RecvBufSlot, SendBuf, SendBufSlot,
+    SendCounts, SendCountsSlot, Unset,
 };
 use crate::resize::{NoResize, ResizePolicy, ResizeToFit};
 use crate::result::CallResult;
@@ -37,12 +37,23 @@ impl Communicator {
     /// Starts a fixed-size `scatter` of the root's `send_buf` (non-roots
     /// pass an empty buffer). Default root 0.
     pub fn scatter<X>(&self, send_buf: SendBuf<X>) -> Scatter<'_, SendBuf<X>, Unset> {
-        Scatter { comm: self, send: send_buf, recv: Unset, root: 0 }
+        Scatter {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            root: 0,
+        }
     }
 
     /// Starts a variable-size `scatterv` of the root's `send_buf`.
     pub fn scatterv<X>(&self, send_buf: SendBuf<X>) -> Scatterv<'_, SendBuf<X>, Unset, Unset> {
-        Scatterv { comm: self, send: send_buf, recv: Unset, counts: Unset, root: 0 }
+        Scatterv {
+            comm: self,
+            send: send_buf,
+            recv: Unset,
+            counts: Unset,
+            root: 0,
+        }
     }
 }
 
@@ -58,7 +69,12 @@ impl<'c, S, R> Scatter<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Scatter<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>> {
-        Scatter { comm: self.comm, send: self.send, recv: recv_buf_param(buf), root: self.root }
+        Scatter {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_param(buf),
+            root: self.root,
+        }
     }
 
     /// Writes this rank's block into `buf` under policy `P`.
@@ -66,12 +82,25 @@ impl<'c, S, R> Scatter<'c, S, R> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Scatter<'c, S, RecvBuf<&'b mut Vec<T>, P>> {
-        Scatter { comm: self.comm, send: self.send, recv: recv_buf_resize_param::<P, T>(buf), root: self.root }
+        Scatter {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            root: self.root,
+        }
     }
 
     /// Moves `buf` in to be reused as the returned block.
-    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Scatter<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
-        Scatter { comm: self.comm, send: self.send, recv: recv_buf_owned_param(buf), root: self.root }
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Scatter<'c, S, RecvBuf<Vec<T>, ResizeToFit>> {
+        Scatter {
+            comm: self.comm,
+            send: self.send,
+            recv: recv_buf_owned_param(buf),
+            root: self.root,
+        }
     }
 
     /// Executes the scatter.
@@ -81,7 +110,12 @@ impl<'c, S, R> Scatter<'c, S, R> {
         S: SendBufSlot<T>,
         R: RecvBufSlot<T>,
     {
-        let Scatter { comm, send, recv, root } = self;
+        let Scatter {
+            comm,
+            send,
+            recv,
+            root,
+        } = self;
         let p = comm.size();
         let parts: Option<Vec<Vec<u8>>> = if comm.rank() == root {
             let data = send.slice();
@@ -91,7 +125,11 @@ impl<'c, S, R> Scatter<'c, S, R> {
                 ));
             }
             let block = data.len() / p;
-            Some((0..p).map(|i| pod_as_bytes(&data[i * block..(i + 1) * block]).to_vec()).collect())
+            Some(
+                (0..p)
+                    .map(|i| pod_as_bytes(&data[i * block..(i + 1) * block]).to_vec())
+                    .collect(),
+            )
         } else {
             None
         };
@@ -113,8 +151,20 @@ impl<'c, S, R, C> Scatterv<'c, S, R, C> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Scatterv<'c, S, RecvBuf<&'b mut Vec<T>, NoResize>, C> {
-        let Scatterv { comm, send, counts, root, .. } = self;
-        Scatterv { comm, send, recv: recv_buf_param(buf), counts, root }
+        let Scatterv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Scatterv {
+            comm,
+            send,
+            recv: recv_buf_param(buf),
+            counts,
+            root,
+        }
     }
 
     /// Writes this rank's block into `buf` under policy `P`.
@@ -122,20 +172,62 @@ impl<'c, S, R, C> Scatterv<'c, S, R, C> {
         self,
         buf: &'b mut Vec<T>,
     ) -> Scatterv<'c, S, RecvBuf<&'b mut Vec<T>, P>, C> {
-        let Scatterv { comm, send, counts, root, .. } = self;
-        Scatterv { comm, send, recv: recv_buf_resize_param::<P, T>(buf), counts, root }
+        let Scatterv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Scatterv {
+            comm,
+            send,
+            recv: recv_buf_resize_param::<P, T>(buf),
+            counts,
+            root,
+        }
     }
 
     /// Moves `buf` in to be reused as the returned block.
-    pub fn recv_buf_owned<T: PodType>(self, buf: Vec<T>) -> Scatterv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C> {
-        let Scatterv { comm, send, counts, root, .. } = self;
-        Scatterv { comm, send, recv: recv_buf_owned_param(buf), counts, root }
+    pub fn recv_buf_owned<T: PodType>(
+        self,
+        buf: Vec<T>,
+    ) -> Scatterv<'c, S, RecvBuf<Vec<T>, ResizeToFit>, C> {
+        let Scatterv {
+            comm,
+            send,
+            counts,
+            root,
+            ..
+        } = self;
+        Scatterv {
+            comm,
+            send,
+            recv: recv_buf_owned_param(buf),
+            counts,
+            root,
+        }
     }
 
     /// Supplies the per-destination block lengths (required at the root).
-    pub fn send_counts<'v>(self, counts: &'v [usize]) -> Scatterv<'c, S, R, SendCounts<&'v [usize]>> {
-        let Scatterv { comm, send, recv, root, .. } = self;
-        Scatterv { comm, send, recv, counts: crate::params::send_counts(counts), root }
+    pub fn send_counts<'v>(
+        self,
+        counts: &'v [usize],
+    ) -> Scatterv<'c, S, R, SendCounts<&'v [usize]>> {
+        let Scatterv {
+            comm,
+            send,
+            recv,
+            root,
+            ..
+        } = self;
+        Scatterv {
+            comm,
+            send,
+            recv,
+            counts: crate::params::send_counts(counts),
+            root,
+        }
     }
 
     /// Executes the scatterv.
@@ -146,7 +238,13 @@ impl<'c, S, R, C> Scatterv<'c, S, R, C> {
         R: RecvBufSlot<T>,
         C: SendCountsSlot,
     {
-        let Scatterv { comm, send, recv, counts, root } = self;
+        let Scatterv {
+            comm,
+            send,
+            recv,
+            counts,
+            root,
+        } = self;
         let p = comm.size();
         let parts: Option<Vec<Vec<u8>>> = if comm.rank() == root {
             if !C::PROVIDED {
@@ -156,7 +254,9 @@ impl<'c, S, R, C> Scatterv<'c, S, R, C> {
             }
             let c = counts.provided();
             if c.len() != p {
-                return Err(KampingError::InvalidArgument("scatterv: send_counts length"));
+                return Err(KampingError::InvalidArgument(
+                    "scatterv: send_counts length",
+                ));
             }
             let data = send.slice();
             if c.iter().sum::<usize>() != data.len() {
@@ -190,8 +290,16 @@ mod tests {
     #[test]
     fn scatter_equal_blocks() {
         crate::run(3, |comm| {
-            let data: Vec<u32> = if comm.rank() == 0 { (0..6).collect() } else { Vec::new() };
-            let out = comm.scatter(send_buf(&data)).call().unwrap().into_recv_buf();
+            let data: Vec<u32> = if comm.rank() == 0 {
+                (0..6).collect()
+            } else {
+                Vec::new()
+            };
+            let out = comm
+                .scatter(send_buf(&data))
+                .call()
+                .unwrap()
+                .into_recv_buf();
             let r = comm.rank() as u32;
             assert_eq!(out, vec![2 * r, 2 * r + 1]);
         });
@@ -228,9 +336,16 @@ mod tests {
     #[test]
     fn scatter_into_preallocated_buffer() {
         crate::run(2, |comm| {
-            let data: Vec<u16> = if comm.rank() == 0 { vec![7, 8] } else { Vec::new() };
+            let data: Vec<u16> = if comm.rank() == 0 {
+                vec![7, 8]
+            } else {
+                Vec::new()
+            };
             let mut out = vec![0u16; 1];
-            comm.scatter(send_buf(&data)).recv_buf(&mut out).call().unwrap();
+            comm.scatter(send_buf(&data))
+                .recv_buf(&mut out)
+                .call()
+                .unwrap();
             assert_eq!(out, vec![7 + comm.rank() as u16]);
         });
     }

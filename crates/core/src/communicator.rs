@@ -119,7 +119,10 @@ impl Communicator {
 
     /// Broadcasts `value` from `root_rank` to every rank.
     pub fn bcast_single<T: PodType>(&self, value: T, root_rank: usize) -> KResult<T> {
-        let out = self.bcast(send_recv_buf_single(self.rank() == root_rank, value)).root(root_rank).call()?;
+        let out = self
+            .bcast(send_recv_buf_single(self.rank() == root_rank, value))
+            .root(root_rank)
+            .call()?;
         Ok(out.into_recv_buf()[0])
     }
 
@@ -127,7 +130,11 @@ impl Communicator {
     /// an empty vector) and returns the broadcast data on every rank.
     pub fn bcast_vec<T: PodType>(&self, data: Vec<T>, root_rank: usize) -> KResult<Vec<T>> {
         use crate::params::send_recv_buf_owned;
-        Ok(self.bcast(send_recv_buf_owned(data)).root(root_rank).call()?.into_recv_buf())
+        Ok(self
+            .bcast(send_recv_buf_owned(data))
+            .root(root_rank)
+            .call()?
+            .into_recv_buf())
     }
 
     /// Element-wise all-reduction of one value per rank.
@@ -136,13 +143,19 @@ impl Communicator {
         value: T,
         op: impl Fn(T, T) -> T + Sync,
     ) -> KResult<T> {
-        let out = self.allreduce(send_buf(std::slice::from_ref(&value))).op(op).call()?;
+        let out = self
+            .allreduce(send_buf(std::slice::from_ref(&value)))
+            .op(op)
+            .call()?;
         Ok(out.into_recv_buf()[0])
     }
 
     /// Inclusive prefix reduction of one value per rank.
     pub fn scan_single<T: PodType>(&self, value: T, op: impl Fn(T, T) -> T + Sync) -> KResult<T> {
-        let out = self.scan(send_buf(std::slice::from_ref(&value))).op(op).call()?;
+        let out = self
+            .scan(send_buf(std::slice::from_ref(&value)))
+            .op(op)
+            .call()?;
         Ok(out.into_recv_buf()[0])
     }
 
@@ -154,7 +167,10 @@ impl Communicator {
         identity: T,
         op: impl Fn(T, T) -> T + Sync,
     ) -> KResult<T> {
-        let out = self.exscan(send_buf(std::slice::from_ref(&value))).op(op).call()?;
+        let out = self
+            .exscan(send_buf(std::slice::from_ref(&value)))
+            .op(op)
+            .call()?;
         let v = out.into_recv_buf();
         Ok(v.first().copied().unwrap_or(identity))
     }

@@ -98,7 +98,10 @@ mod tests {
         assert!(!e.is_process_failure());
         assert!(e.to_string().contains("serialization"));
 
-        let e = KampingError::BufferTooSmall { needed: 10, available: 4 };
+        let e = KampingError::BufferTooSmall {
+            needed: 10,
+            available: 4,
+        };
         assert!(e.to_string().contains("needed 10"));
     }
 

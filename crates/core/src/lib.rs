@@ -61,13 +61,13 @@ pub mod buffers;
 pub mod collectives;
 pub mod communicator;
 pub mod error;
+pub mod measurements;
 pub mod nonblocking;
 pub mod p2p;
 pub mod params;
 pub mod plugin;
 pub mod resize;
 pub mod result;
-pub mod measurements;
 pub mod serialize;
 pub mod topology;
 pub mod types;

@@ -72,7 +72,10 @@ impl Timer {
     /// # Panics
     /// Panics if the stopwatch is not running.
     pub fn stop(&mut self, name: &str) {
-        let started = self.running.remove(name).unwrap_or_else(|| panic!("timer '{name}' not running"));
+        let started = self
+            .running
+            .remove(name)
+            .unwrap_or_else(|| panic!("timer '{name}' not running"));
         *self.accumulated.entry(name.to_string()).or_default() += started.elapsed();
     }
 
@@ -97,7 +100,10 @@ impl Timer {
     pub fn aggregate(&self, comm: &Communicator) -> KResult<BTreeMap<String, Aggregate>> {
         // Agree on the name set (sorted — BTreeMap iteration order).
         let names: Vec<String> = self.accumulated.keys().cloned().collect();
-        let mine: Vec<f64> = names.iter().map(|n| self.elapsed(n).as_secs_f64()).collect();
+        let mine: Vec<f64> = names
+            .iter()
+            .map(|n| self.elapsed(n).as_secs_f64())
+            .collect();
         // Sanity: all ranks must time the same regions.
         let my_count = names.len();
         let max_count = comm.allreduce_single(my_count as u64, |a, b| a.max(b))?;
@@ -114,7 +120,15 @@ impl Timer {
             let min = per_rank.iter().copied().fold(f64::INFINITY, f64::min);
             let max = per_rank.iter().copied().fold(0.0f64, f64::max);
             let mean = per_rank.iter().sum::<f64>() / p as f64;
-            out.insert(name, Aggregate { min, max, mean, per_rank });
+            out.insert(
+                name,
+                Aggregate {
+                    min,
+                    max,
+                    mean,
+                    per_rank,
+                },
+            );
         }
         Ok(out)
     }
@@ -165,7 +179,9 @@ mod tests {
     fn aggregate_is_consistent_across_ranks() {
         crate::run(3, |comm| {
             let mut t = Timer::new();
-            t.time("work", || std::thread::sleep(Duration::from_millis(1 + comm.rank() as u64)));
+            t.time("work", || {
+                std::thread::sleep(Duration::from_millis(1 + comm.rank() as u64))
+            });
             t.time("idle", || ());
             let agg = t.aggregate(&comm).unwrap();
             assert_eq!(agg.len(), 2);

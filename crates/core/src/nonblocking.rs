@@ -28,7 +28,10 @@ enum NbState<T> {
     /// an eager send that completed immediately (`req.is_complete()`).
     Send { req: RawRequest, buf: Vec<T> },
     /// A receive in flight.
-    Recv { req: RawRequest, expected: Option<usize> },
+    Recv {
+        req: RawRequest,
+        expected: Option<usize>,
+    },
     /// Completed and extracted.
     Spent,
 }
@@ -41,11 +44,15 @@ pub struct NonBlockingResult<T> {
 
 impl<T: PodType> NonBlockingResult<T> {
     pub(crate) fn send(req: RawRequest, buf: Vec<T>) -> Self {
-        Self { state: NbState::Send { req, buf } }
+        Self {
+            state: NbState::Send { req, buf },
+        }
     }
 
     pub(crate) fn recv(req: RawRequest, expected: Option<usize>) -> Self {
-        Self { state: NbState::Recv { req, expected } }
+        Self {
+            state: NbState::Recv { req, expected },
+        }
     }
 
     /// Blocks until the operation completes; returns the data — the send
@@ -68,7 +75,14 @@ impl<T: PodType> NonBlockingResult<T> {
                 check_expected(&data, expected)?;
                 Ok((data, status))
             }
-            NbState::Spent => Ok((Vec::new(), Status { source: usize::MAX, tag: 0, bytes: 0 })),
+            NbState::Spent => Ok((
+                Vec::new(),
+                Status {
+                    source: usize::MAX,
+                    tag: 0,
+                    bytes: 0,
+                },
+            )),
         }
     }
 
@@ -132,7 +146,9 @@ impl<T: PodType> Default for RequestPool<T> {
 impl<T: PodType> RequestPool<T> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        Self { pending: Vec::new() }
+        Self {
+            pending: Vec::new(),
+        }
     }
 
     /// Submits a request to the pool.
@@ -174,7 +190,11 @@ impl<T: PodType> BoundedRequestPool<T> {
     /// Panics if `slots == 0`.
     pub fn new(slots: usize) -> Self {
         assert!(slots > 0, "a bounded pool needs at least one slot");
-        Self { slots, pending: std::collections::VecDeque::new(), harvested: Vec::new() }
+        Self {
+            slots,
+            pending: std::collections::VecDeque::new(),
+            harvested: Vec::new(),
+        }
     }
 
     /// Number of requests currently in flight.
@@ -186,7 +206,10 @@ impl<T: PodType> BoundedRequestPool<T> {
     /// in-flight request first (its data is kept for [`finish`](Self::finish)).
     pub fn push(&mut self, result: NonBlockingResult<T>) -> KResult<()> {
         if self.pending.len() == self.slots {
-            let oldest = self.pending.pop_front().expect("pool is full, so non-empty");
+            let oldest = self
+                .pending
+                .pop_front()
+                .expect("pool is full, so non-empty");
             self.harvested.push(oldest.wait()?);
         }
         self.pending.push_back(result);
@@ -214,7 +237,10 @@ mod tests {
             if comm.rank() == 0 {
                 let v = vec![1u64, 2, 3];
                 // Fig. 6: v is moved into the call...
-                let r1 = comm.isend(send_buf_owned(v), destination(1)).call().unwrap();
+                let r1 = comm
+                    .isend(send_buf_owned(v), destination(1))
+                    .call()
+                    .unwrap();
                 // ...and moved back after completion.
                 let v = r1.wait().unwrap();
                 assert_eq!(v, vec![1, 2, 3]);
@@ -231,7 +257,10 @@ mod tests {
             if comm.rank() == 0 {
                 let mut r = comm.irecv::<u32>(source(1)).call().unwrap();
                 assert!(r.test().unwrap().is_none(), "nothing sent yet");
-                comm.send(send_buf(&[0u8]), destination(1)).tag(9).call().unwrap();
+                comm.send(send_buf(&[0u8]), destination(1))
+                    .tag(9)
+                    .call()
+                    .unwrap();
                 let data = loop {
                     if let Some(d) = r.test().unwrap() {
                         break d;
@@ -243,7 +272,9 @@ mod tests {
                 assert!(r.test().unwrap().is_none(), "spent results stay spent");
             } else {
                 comm.recv::<u8>(source(0)).tag(9).call().unwrap();
-                comm.send(send_buf(&[77u32]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[77u32]), destination(0))
+                    .call()
+                    .unwrap();
             }
         });
     }
@@ -259,8 +290,12 @@ mod tests {
                 let r = comm.irecv::<u8>(source(1)).recv_count(5).call().unwrap();
                 assert!(r.wait().is_err(), "wrong count must error");
             } else {
-                comm.send(send_buf(&[9u8; 42]), destination(0)).call().unwrap();
-                comm.send(send_buf(&[9u8; 6]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[9u8; 42]), destination(0))
+                    .call()
+                    .unwrap();
+                comm.send(send_buf(&[9u8; 6]), destination(0))
+                    .call()
+                    .unwrap();
             }
         });
     }
@@ -278,7 +313,9 @@ mod tests {
                 assert!(pool.is_empty());
                 assert_eq!(data, vec![vec![1], vec![2], vec![3]]);
             } else {
-                comm.send(send_buf(&[comm.rank() as u64]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[comm.rank() as u64]), destination(0))
+                    .call()
+                    .unwrap();
             }
         });
     }
@@ -289,8 +326,12 @@ mod tests {
             if comm.rank() == 0 {
                 let mut pool = BoundedRequestPool::new(2);
                 for i in 0..5u64 {
-                    pool.push(comm.isend(send_buf_owned(vec![i]), destination(1)).call().unwrap())
-                        .unwrap();
+                    pool.push(
+                        comm.isend(send_buf_owned(vec![i]), destination(1))
+                            .call()
+                            .unwrap(),
+                    )
+                    .unwrap();
                     assert!(pool.in_flight() <= 2);
                 }
                 let bufs = pool.finish().unwrap();

@@ -58,33 +58,74 @@ pub struct Irecv<'c, T> {
 impl Communicator {
     /// Starts a blocking send of `send_buf` to `destination`.
     pub fn send<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Send<'_, SendBuf<X>> {
-        Send { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG }
+        Send {
+            comm: self,
+            send: send_buf,
+            dest: destination.0,
+            tag: DEFAULT_TAG,
+        }
     }
 
     /// Starts a blocking receive from `source`.
     pub fn recv<T: PodType>(&self, source: Source) -> Recv<'_, T> {
-        Recv { comm: self, src: source.0, tag: DEFAULT_TAG, expected: None, _t: std::marker::PhantomData }
+        Recv {
+            comm: self,
+            src: source.0,
+            tag: DEFAULT_TAG,
+            expected: None,
+            _t: std::marker::PhantomData,
+        }
     }
 
     /// Starts a non-blocking send; the buffer is moved in and handed back
     /// by `wait()` (§III-E).
-    pub fn isend<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Isend<'_, SendBuf<X>> {
-        Isend { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG, synchronous: false }
+    pub fn isend<X>(
+        &self,
+        send_buf: SendBuf<X>,
+        destination: Destination,
+    ) -> Isend<'_, SendBuf<X>> {
+        Isend {
+            comm: self,
+            send: send_buf,
+            dest: destination.0,
+            tag: DEFAULT_TAG,
+            synchronous: false,
+        }
     }
 
     /// Starts a non-blocking *synchronous-mode* send (completes only once
     /// matched — the NBX building block).
-    pub fn issend<X>(&self, send_buf: SendBuf<X>, destination: Destination) -> Isend<'_, SendBuf<X>> {
-        Isend { comm: self, send: send_buf, dest: destination.0, tag: DEFAULT_TAG, synchronous: true }
+    pub fn issend<X>(
+        &self,
+        send_buf: SendBuf<X>,
+        destination: Destination,
+    ) -> Isend<'_, SendBuf<X>> {
+        Isend {
+            comm: self,
+            send: send_buf,
+            dest: destination.0,
+            tag: DEFAULT_TAG,
+            synchronous: true,
+        }
     }
 
     /// Starts a non-blocking receive.
     pub fn irecv<T: PodType>(&self, source: Source) -> Irecv<'_, T> {
-        Irecv { comm: self, src: source.0, tag: DEFAULT_TAG, expected: None, _t: std::marker::PhantomData }
+        Irecv {
+            comm: self,
+            src: source.0,
+            tag: DEFAULT_TAG,
+            expected: None,
+            _t: std::marker::PhantomData,
+        }
     }
 
     /// Non-blocking probe: status of a matching pending message, if any.
-    pub fn iprobe<T: PodType>(&self, source: Source, tag_param: TagParam) -> KResult<Option<Status>> {
+    pub fn iprobe<T: PodType>(
+        &self,
+        source: Source,
+        tag_param: TagParam,
+    ) -> KResult<Option<Status>> {
         Ok(self.raw().iprobe(source.0, tag_param.0)?)
     }
 }
@@ -108,7 +149,12 @@ impl<'c, S> Send<'c, S> {
         T: PodType,
         S: SendBufSlot<T>,
     {
-        let Send { comm, send, dest, tag } = self;
+        let Send {
+            comm,
+            send,
+            dest,
+            tag,
+        } = self;
         // One encode copy either way; the wire buffer is moved (not
         // re-copied) into the transport.
         let wire = pod_as_bytes(send.slice()).to_vec();
@@ -138,7 +184,13 @@ impl<'c, T: PodType> Recv<'c, T> {
 
     /// Executes the receive; returns the elements and the delivery status.
     pub fn call(self) -> KResult<(Vec<T>, Status)> {
-        let Recv { comm, src, tag, expected, .. } = self;
+        let Recv {
+            comm,
+            src,
+            tag,
+            expected,
+            ..
+        } = self;
         let (bytes, status) = comm.raw().recv(src, tag)?;
         let data = bytes_to_pods::<T>(&bytes)?;
         if let Some(n) = expected {
@@ -166,7 +218,13 @@ impl<'c, S> Isend<'c, S> {
         T: PodType,
         S: SendBufSlot<T>,
     {
-        let Isend { comm, send, dest, tag, synchronous } = self;
+        let Isend {
+            comm,
+            send,
+            dest,
+            tag,
+            synchronous,
+        } = self;
         let wire = pod_as_bytes(send.slice()).to_vec();
         let req = if synchronous {
             comm.raw().issend(dest, tag, wire)?
@@ -194,7 +252,13 @@ impl<'c, T: PodType> Irecv<'c, T> {
 
     /// Executes the non-blocking receive.
     pub fn call(self) -> KResult<NonBlockingResult<T>> {
-        let Irecv { comm, src, tag, expected, .. } = self;
+        let Irecv {
+            comm,
+            src,
+            tag,
+            expected,
+            ..
+        } = self;
         let req = comm.raw().irecv(src, tag)?;
         Ok(NonBlockingResult::recv(req, expected))
     }
@@ -208,14 +272,20 @@ mod tests {
     fn typed_ping_pong_with_tags() {
         crate::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(send_buf(&[1.5f64, 2.5]), destination(1)).tag(4).call().unwrap();
+                comm.send(send_buf(&[1.5f64, 2.5]), destination(1))
+                    .tag(4)
+                    .call()
+                    .unwrap();
                 let (got, st) = comm.recv::<i32>(source(1)).tag(5).call().unwrap();
                 assert_eq!(got, vec![-1, -2]);
                 assert_eq!(st.source, 1);
             } else {
                 let (got, _) = comm.recv::<f64>(source(0)).tag(4).call().unwrap();
                 assert_eq!(got, vec![1.5, 2.5]);
-                comm.send(send_buf(&[-1i32, -2]), destination(0)).tag(5).call().unwrap();
+                comm.send(send_buf(&[-1i32, -2]), destination(0))
+                    .tag(5)
+                    .call()
+                    .unwrap();
             }
         });
     }
@@ -232,7 +302,9 @@ mod tests {
                 seen.sort_unstable();
                 assert_eq!(seen, vec![(1, 10), (2, 20)]);
             } else {
-                comm.send(send_buf(&[comm.rank() as u8 * 10]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[comm.rank() as u8 * 10]), destination(0))
+                    .call()
+                    .unwrap();
             }
         });
     }
@@ -244,7 +316,9 @@ mod tests {
                 assert!(comm.recv::<u8>(source(1)).recv_count(3).call().is_ok());
                 assert!(comm.recv::<u8>(source(1)).recv_count(3).call().is_err());
             } else {
-                comm.send(send_buf(&[1u8, 2, 3]), destination(0)).call().unwrap();
+                comm.send(send_buf(&[1u8, 2, 3]), destination(0))
+                    .call()
+                    .unwrap();
                 comm.send(send_buf(&[1u8]), destination(0)).call().unwrap();
             }
         });
@@ -254,7 +328,10 @@ mod tests {
     fn iprobe_sees_pending_message() {
         crate::run(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(send_buf(&[1u32]), destination(1)).tag(3).call().unwrap();
+                comm.send(send_buf(&[1u32]), destination(1))
+                    .tag(3)
+                    .call()
+                    .unwrap();
                 comm.barrier().unwrap();
             } else {
                 comm.barrier().unwrap();

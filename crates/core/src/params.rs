@@ -153,20 +153,29 @@ pub struct RecvBuf<B, P = NoResize> {
 /// Writes received data into `buf` under the checking [`NoResize`] policy
 /// (no hidden allocation; errors if `buf` is too short).
 pub fn recv_buf<T: PodType>(buf: &mut Vec<T>) -> RecvBuf<&mut Vec<T>, NoResize> {
-    RecvBuf { buf, _policy: PhantomData }
+    RecvBuf {
+        buf,
+        _policy: PhantomData,
+    }
 }
 
 /// Writes received data into `buf` under policy `P`
 /// (`recv_buf_resize::<ResizeToFit, _>(&mut v)`).
 pub fn recv_buf_resize<P: ResizePolicy, T: PodType>(buf: &mut Vec<T>) -> RecvBuf<&mut Vec<T>, P> {
-    RecvBuf { buf, _policy: PhantomData }
+    RecvBuf {
+        buf,
+        _policy: PhantomData,
+    }
 }
 
 /// Moves `buf` into the call so its allocation is *reused* for the result,
 /// which is then returned by value — the paper's answer to "returning by
 /// value costs a redundant allocation" (§III-B).
 pub fn recv_buf_owned<T: PodType>(buf: Vec<T>) -> RecvBuf<Vec<T>, ResizeToFit> {
-    RecvBuf { buf, _policy: PhantomData }
+    RecvBuf {
+        buf,
+        _policy: PhantomData,
+    }
 }
 
 fn decoded_len<T: PodType>(bytes: &[u8]) -> KResult<usize> {
@@ -174,7 +183,9 @@ fn decoded_len<T: PodType>(bytes: &[u8]) -> KResult<usize> {
         return Ok(0);
     }
     if !bytes.len().is_multiple_of(T::SIZE) {
-        return Err(crate::KampingError::InvalidArgument("byte length not a multiple of element size"));
+        return Err(crate::KampingError::InvalidArgument(
+            "byte length not a multiple of element size",
+        ));
     }
     Ok(bytes.len() / T::SIZE)
 }
@@ -444,7 +455,9 @@ mod tests {
 
         // Borrowed with ResizeToFit: grows.
         let mut buf = Vec::new();
-        recv_buf_resize::<ResizeToFit, u32>(&mut buf).place(&wire).unwrap();
+        recv_buf_resize::<ResizeToFit, u32>(&mut buf)
+            .place(&wire)
+            .unwrap();
         assert_eq!(buf, vec![7, 8]);
 
         // Owned: capacity reused, returned by value.
@@ -471,9 +484,9 @@ mod tests {
 
     #[test]
     fn out_request_wraps_or_discards() {
-        assert!(<RecvCountsOut as OutRequest>::REQUESTED);
+        const { assert!(<RecvCountsOut as OutRequest>::REQUESTED) };
         assert_eq!(<RecvCountsOut as OutRequest>::wrap(vec![1]), vec![1]);
-        assert!(!<Unset as OutRequest>::REQUESTED);
+        const { assert!(!<Unset as OutRequest>::REQUESTED) };
         let _: Absent = <Unset as OutRequest>::wrap(vec![1]);
     }
 

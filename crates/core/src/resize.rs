@@ -70,7 +70,10 @@ impl ResizePolicy for NoResize {
 
     fn prepare<T: Clone>(buf: &mut Vec<T>, needed: usize, _fill: T) -> KResult<()> {
         if buf.len() < needed {
-            return Err(KampingError::BufferTooSmall { needed, available: buf.len() });
+            return Err(KampingError::BufferTooSmall {
+                needed,
+                available: buf.len(),
+            });
         }
         Ok(())
     }
@@ -105,6 +108,12 @@ mod tests {
         NoResize::prepare(&mut v, 4, 0).unwrap();
         assert_eq!(v.capacity(), cap);
         let err = NoResize::prepare(&mut v, 5, 0).unwrap_err();
-        assert_eq!(err, KampingError::BufferTooSmall { needed: 5, available: 4 });
+        assert_eq!(
+            err,
+            KampingError::BufferTooSmall {
+                needed: 5,
+                available: 4
+            }
+        );
     }
 }

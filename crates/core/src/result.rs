@@ -30,7 +30,12 @@ pub struct CallResult<B, C = Absent, D = Absent, S = Absent> {
 
 impl<B, C, D, S> CallResult<B, C, D, S> {
     pub(crate) fn new(recv: B, counts: C, displs: D, send_displs: S) -> Self {
-        Self { recv: Some(recv), counts: Some(counts), displs: Some(displs), send_displs: Some(send_displs) }
+        Self {
+            recv: Some(recv),
+            counts: Some(counts),
+            displs: Some(displs),
+            send_displs: Some(send_displs),
+        }
     }
 
     /// Moves the receive buffer out of the result.
@@ -46,7 +51,9 @@ impl<B, C, D, S> CallResult<B, C, D, S> {
     /// # Panics
     /// Panics if they were already extracted.
     pub fn extract_recv_counts(&mut self) -> C {
-        self.counts.take().expect("receive counts already extracted")
+        self.counts
+            .take()
+            .expect("receive counts already extracted")
     }
 
     /// Moves the receive displacements out of the result.
@@ -54,7 +61,9 @@ impl<B, C, D, S> CallResult<B, C, D, S> {
     /// # Panics
     /// Panics if they were already extracted.
     pub fn extract_recv_displs(&mut self) -> D {
-        self.displs.take().expect("receive displacements already extracted")
+        self.displs
+            .take()
+            .expect("receive displacements already extracted")
     }
 
     /// Moves the send displacements out of the result.
@@ -62,7 +71,9 @@ impl<B, C, D, S> CallResult<B, C, D, S> {
     /// # Panics
     /// Panics if they were already extracted.
     pub fn extract_send_displs(&mut self) -> S {
-        self.send_displs.take().expect("send displacements already extracted")
+        self.send_displs
+            .take()
+            .expect("send displacements already extracted")
     }
 
     /// Decomposes into every slot (structured-bindings analog).
@@ -79,7 +90,11 @@ impl<B, C, D, S> CallResult<B, C, D, S> {
 impl<B, C, D> CallResult<B, C, D, Absent> {
     /// Decomposes into (recv buffer, counts, displacements).
     pub fn into_parts3(mut self) -> (B, C, D) {
-        (self.extract_recv_buf(), self.extract_recv_counts(), self.extract_recv_displs())
+        (
+            self.extract_recv_buf(),
+            self.extract_recv_counts(),
+            self.extract_recv_displs(),
+        )
     }
 }
 

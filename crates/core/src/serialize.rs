@@ -46,7 +46,9 @@ pub struct DeserializeInto<V> {
 
 /// Requests deserialization of the received payload.
 pub fn as_deserializable<V: Deserialize>() -> DeserializeInto<V> {
-    DeserializeInto { _v: std::marker::PhantomData }
+    DeserializeInto {
+        _v: std::marker::PhantomData,
+    }
 }
 
 impl Communicator {
@@ -95,8 +97,16 @@ impl Communicator {
     /// other ranks' `obj` — the one-line replacement for RAxML-NG's
     /// hand-written serialize+size-broadcast+payload-broadcast helper
     /// (paper Fig. 11).
-    pub fn bcast_object<V: Serialize + Deserialize>(&self, obj: &mut V, root: usize) -> KResult<()> {
-        let mut wire = if self.rank() == root { to_bytes(&*obj) } else { Vec::new() };
+    pub fn bcast_object<V: Serialize + Deserialize>(
+        &self,
+        obj: &mut V,
+        root: usize,
+    ) -> KResult<()> {
+        let mut wire = if self.rank() == root {
+            to_bytes(&*obj)
+        } else {
+            Vec::new()
+        };
         self.raw().bcast(&mut wire, root)?;
         if self.rank() != root {
             *obj = from_bytes::<V>(&wire)?;
@@ -106,12 +116,17 @@ impl Communicator {
 
     /// Gathers serialized objects at `root`: returns everyone's object in
     /// rank order there, an empty vector elsewhere.
-    pub fn gather_objects<V: Serialize + Deserialize>(&self, obj: &V, root: usize) -> KResult<Vec<V>> {
+    pub fn gather_objects<V: Serialize + Deserialize>(
+        &self,
+        obj: &V,
+        root: usize,
+    ) -> KResult<Vec<V>> {
         let wire = to_bytes(obj);
         // Variable-size payloads: lengths first, then a byte gatherv.
         let lens_wire = crate::buffers::encode_counts(&[wire.len()]);
         let len_counts = self.raw().gather(&lens_wire, root)?;
-        let counts: Option<Vec<usize>> = len_counts.map(|bytes| crate::buffers::decode_counts(&bytes));
+        let counts: Option<Vec<usize>> =
+            len_counts.map(|bytes| crate::buffers::decode_counts(&bytes));
         let gathered = self.raw().gatherv(&wire, counts.as_deref(), root)?;
         match (gathered, counts) {
             (Some(bytes), Some(counts)) => {
@@ -141,9 +156,12 @@ mod tests {
                 let mut data: Dict = HashMap::new();
                 data.insert("taxon".into(), "pan troglodytes".into());
                 data.insert("len".into(), "1337".into());
-                comm.send_object(as_serialized(&data), destination(1)).unwrap();
+                comm.send_object(as_serialized(&data), destination(1))
+                    .unwrap();
             } else {
-                let dict = comm.recv_object(as_deserializable::<Dict>(), source(0)).unwrap();
+                let dict = comm
+                    .recv_object(as_deserializable::<Dict>(), source(0))
+                    .unwrap();
                 assert_eq!(dict["taxon"], "pan troglodytes");
                 assert_eq!(dict.len(), 2);
             }
@@ -186,7 +204,9 @@ mod tests {
                 n.insert("edges".into(), vec![(1, "a".into()), (2, "b".into())]);
                 comm.send_object(as_serialized(&n), destination(1)).unwrap();
             } else {
-                let n = comm.recv_object(as_deserializable::<Nested>(), source(0)).unwrap();
+                let n = comm
+                    .recv_object(as_deserializable::<Nested>(), source(0))
+                    .unwrap();
                 assert_eq!(n["edges"][1].1, "b");
             }
         });

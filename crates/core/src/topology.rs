@@ -31,8 +31,14 @@ impl Communicator {
     ) -> KResult<TopoComm> {
         let out_degree = destinations.len();
         let in_degree = sources.len();
-        let raw = self.raw().dist_graph_create_adjacent(sources, destinations)?;
-        Ok(TopoComm { raw, out_degree, in_degree })
+        let raw = self
+            .raw()
+            .dist_graph_create_adjacent(sources, destinations)?;
+        Ok(TopoComm {
+            raw,
+            out_degree,
+            in_degree,
+        })
     }
 }
 
@@ -63,7 +69,10 @@ impl TopoComm {
         }
         let wire: Vec<Vec<u8>> = parts.iter().map(|p| pod_as_bytes(p).to_vec()).collect();
         let received = self.raw.neighbor_alltoallv(&wire)?;
-        received.into_iter().map(|bytes| bytes_to_pods(&bytes)).collect()
+        received
+            .into_iter()
+            .map(|bytes| bytes_to_pods(&bytes))
+            .collect()
     }
 
     /// Typed neighborhood allgather: broadcasts `data` to every declared
@@ -76,7 +85,6 @@ impl TopoComm {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
 
     #[test]
     fn typed_ring_exchange() {
@@ -99,7 +107,9 @@ mod tests {
         crate::run(3, |comm| {
             // Full triangle: everyone neighbours everyone else.
             let others: Vec<usize> = (0..comm.size()).filter(|&r| r != comm.rank()).collect();
-            let topo = comm.create_graph_topology(others.clone(), others.clone()).unwrap();
+            let topo = comm
+                .create_graph_topology(others.clone(), others.clone())
+                .unwrap();
             let got = topo.neighbor_allgather(&[comm.rank() as u32, 9]).unwrap();
             for (k, &src) in others.iter().enumerate() {
                 assert_eq!(got[k], vec![src as u32, 9]);
@@ -111,7 +121,9 @@ mod tests {
     fn wrong_part_count_rejected() {
         crate::run(2, |comm| {
             let other = 1 - comm.rank();
-            let topo = comm.create_graph_topology(vec![other], vec![other]).unwrap();
+            let topo = comm
+                .create_graph_topology(vec![other], vec![other])
+                .unwrap();
             assert!(topo.neighbor_alltoallv::<u8>(&[]).is_err());
             // Drain the topology properly so both ranks stay aligned.
             let _ = topo.neighbor_alltoallv(&[vec![1u8]]).unwrap();

@@ -143,7 +143,9 @@ pub fn bytes_to_pods<T: PodType>(bytes: &[u8]) -> KResult<Vec<T>> {
         };
     }
     if !bytes.len().is_multiple_of(T::SIZE) {
-        return Err(KampingError::InvalidArgument("byte length not a multiple of element size"));
+        return Err(KampingError::InvalidArgument(
+            "byte length not a multiple of element size",
+        ));
     }
     let n = bytes.len() / T::SIZE;
     let mut out = Vec::<T>::with_capacity(n);
@@ -163,11 +165,16 @@ pub fn bytes_into_pods<T: PodType>(bytes: &[u8], out: &mut [T]) -> KResult<usize
         return Ok(0);
     }
     if !bytes.len().is_multiple_of(T::SIZE) {
-        return Err(KampingError::InvalidArgument("byte length not a multiple of element size"));
+        return Err(KampingError::InvalidArgument(
+            "byte length not a multiple of element size",
+        ));
     }
     let n = bytes.len() / T::SIZE;
     if n > out.len() {
-        return Err(KampingError::BufferTooSmall { needed: n, available: out.len() });
+        return Err(KampingError::BufferTooSmall {
+            needed: n,
+            available: out.len(),
+        });
     }
     // SAFETY: bounds checked above; T accepts any bit pattern.
     unsafe {
@@ -185,7 +192,9 @@ pub fn fill_pod_vec_from_bytes<T: PodType>(buf: &mut Vec<T>, bytes: &[u8]) -> KR
         return Ok(());
     }
     if !bytes.len().is_multiple_of(T::SIZE) {
-        return Err(KampingError::InvalidArgument("byte length not a multiple of element size"));
+        return Err(KampingError::InvalidArgument(
+            "byte length not a multiple of element size",
+        ));
     }
     let n = bytes.len() / T::SIZE;
     buf.clear();
@@ -256,7 +265,11 @@ mod tests {
 
     #[test]
     fn user_struct_via_impl_pod() {
-        let v = vec![Vec3 { x: 1.0, y: 2.0, z: 3.0 }];
+        let v = vec![Vec3 {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+        }];
         let back: Vec<Vec3> = bytes_to_pods(pod_as_bytes(&v)).unwrap();
         assert_eq!(back, v);
         assert_eq!(Vec3::SIZE, 24);

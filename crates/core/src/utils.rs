@@ -27,7 +27,10 @@ pub fn with_flattened<T>(buckets: HashMap<usize, Vec<T>>, size: usize) -> Flatte
     let mut counts = vec![0usize; size];
     let mut total = 0usize;
     for (&dest, msgs) in &ordered {
-        assert!(dest < size, "with_flattened: destination {dest} out of range for size {size}");
+        assert!(
+            dest < size,
+            "with_flattened: destination {dest} out of range for size {size}"
+        );
         counts[dest] = msgs.len();
         total += msgs.len();
     }

@@ -75,16 +75,21 @@ pub struct Exchanger {
 impl Exchanger {
     /// Builds the exchanger for `strategy` (collective).
     pub fn new(comm: &Communicator, g: &DistGraph, strategy: ExchangeStrategy) -> KResult<Self> {
-        let mut ex = Exchanger { strategy, grid: None, neighbor_comm: None, neighbor_ranks: Vec::new() };
+        let mut ex = Exchanger {
+            strategy,
+            grid: None,
+            neighbor_comm: None,
+            neighbor_ranks: Vec::new(),
+        };
         match strategy {
             ExchangeStrategy::Grid => ex.grid = Some(comm.make_grid()?),
             ExchangeStrategy::Neighbor | ExchangeStrategy::NeighborRebuild => {
                 ex.neighbor_ranks = g.neighbor_ranks();
                 if strategy == ExchangeStrategy::Neighbor {
-                    ex.neighbor_comm = Some(
-                        comm.raw()
-                            .dist_graph_create_adjacent(ex.neighbor_ranks.clone(), ex.neighbor_ranks.clone())?,
-                    );
+                    ex.neighbor_comm = Some(comm.raw().dist_graph_create_adjacent(
+                        ex.neighbor_ranks.clone(),
+                        ex.neighbor_ranks.clone(),
+                    )?);
                 }
             }
             _ => {}
@@ -128,12 +133,15 @@ impl Exchanger {
                 let rebuilt;
                 let ncomm = if self.strategy == ExchangeStrategy::NeighborRebuild {
                     // Dynamic pattern: pay the topology (re)construction.
-                    rebuilt = comm
-                        .raw()
-                        .dist_graph_create_adjacent(self.neighbor_ranks.clone(), self.neighbor_ranks.clone())?;
+                    rebuilt = comm.raw().dist_graph_create_adjacent(
+                        self.neighbor_ranks.clone(),
+                        self.neighbor_ranks.clone(),
+                    )?;
                     &rebuilt
                 } else {
-                    self.neighbor_comm.as_ref().expect("static topology built in new()")
+                    self.neighbor_comm
+                        .as_ref()
+                        .expect("static topology built in new()")
                 };
                 let recv = ncomm.neighbor_alltoallv(&parts)?;
                 let mut out = Vec::new();
@@ -150,7 +158,11 @@ impl Exchanger {
         comm: &Communicator,
         buckets: HashMap<usize, Vec<VertexId>>,
     ) -> KResult<Vec<Vec<VertexId>>> {
-        Ok(comm.sparse_alltoall(buckets)?.into_iter().map(|m| m.data).collect())
+        Ok(comm
+            .sparse_alltoall(buckets)?
+            .into_iter()
+            .map(|m| m.data)
+            .collect())
     }
 }
 
@@ -307,7 +319,13 @@ pub fn bfs_plain(comm: &RawComm, g: &DistGraph, source: VertexId) -> Vec<u64> {
             recv_displs[i] = recv_displs[i - 1] + recv_counts[i - 1];
         }
         let recv = comm
-            .alltoallv(&send, &send_counts, &send_displs, &recv_counts, &recv_displs)
+            .alltoallv(
+                &send,
+                &send_counts,
+                &send_displs,
+                &recv_counts,
+                &recv_displs,
+            )
             .expect("alltoallv");
         recv.chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -367,10 +385,7 @@ mod tests {
         all.chunks_exact(2).map(|c| (c[0], c[1])).collect()
     }
 
-    fn check_all_strategies(
-        p: usize,
-        gen: impl Fn(&kamping::Communicator) -> DistGraph + Sync,
-    ) {
+    fn check_all_strategies(p: usize, gen: impl Fn(&kamping::Communicator) -> DistGraph + Sync) {
         kamping::run(p, |comm| {
             let g = gen(&comm);
             let edges = collect_edges(&comm, &g);
@@ -430,7 +445,9 @@ mod tests {
             // Star centered at the last vertex.
             let n = 9u64;
             let center = n - 1;
-            let edges: Vec<(u64, u64)> = (0..n - 1).flat_map(|v| [(v, center), (center, v)]).collect();
+            let edges: Vec<(u64, u64)> = (0..n - 1)
+                .flat_map(|v| [(v, center), (center, v)])
+                .collect();
             let g = DistGraph::from_scattered_edges(&comm, n, edges).unwrap();
             let dist = bfs_with_strategy(&comm, &g, center, ExchangeStrategy::Sparse).unwrap();
             for v in g.first..g.last {

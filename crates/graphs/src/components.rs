@@ -14,8 +14,12 @@ use crate::dist_graph::{DistGraph, VertexId};
 /// smallest vertex id of its component. Collective.
 pub fn connected_components(comm: &Communicator, g: &DistGraph) -> KResult<Vec<VertexId>> {
     let mut label: Vec<VertexId> = (g.first..g.last).collect();
-    let mut ghost: HashMap<VertexId, VertexId> =
-        g.adjacency.iter().filter(|&&w| !g.is_local(w)).map(|&w| (w, w)).collect();
+    let mut ghost: HashMap<VertexId, VertexId> = g
+        .adjacency
+        .iter()
+        .filter(|&&w| !g.is_local(w))
+        .map(|&w| (w, w))
+        .collect();
 
     loop {
         // Local relaxation to a fixed point (free of communication).
@@ -26,7 +30,11 @@ pub fn connected_components(comm: &Communicator, g: &DistGraph) -> KResult<Vec<V
                 let i = g.local_index(v);
                 let mut best = label[i];
                 for &w in g.neighbors(v) {
-                    let lw = if g.is_local(w) { label[g.local_index(w)] } else { ghost[&w] };
+                    let lw = if g.is_local(w) {
+                        label[g.local_index(w)]
+                    } else {
+                        ghost[&w]
+                    };
                     best = best.min(lw);
                 }
                 if best < label[i] {

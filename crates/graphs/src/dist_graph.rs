@@ -70,14 +70,24 @@ impl DistGraph {
         edges.dedup();
         let mut offsets = vec![0usize; local + 1];
         for &(u, _) in &edges {
-            debug_assert!(u >= first && u < last, "edge source {u} not owned by rank {rank}");
+            debug_assert!(
+                u >= first && u < last,
+                "edge source {u} not owned by rank {rank}"
+            );
             offsets[(u - first) as usize + 1] += 1;
         }
         for i in 0..local {
             offsets[i + 1] += offsets[i];
         }
         let adjacency = edges.iter().map(|&(_, v)| v).collect();
-        Self { n, ranks, first, last, offsets, adjacency }
+        Self {
+            n,
+            ranks,
+            first,
+            last,
+            offsets,
+            adjacency,
+        }
     }
 
     /// Redistributes an arbitrary edge list: each directed edge is shipped
@@ -88,7 +98,8 @@ impl DistGraph {
         edges: Vec<(VertexId, VertexId)>,
     ) -> KResult<Self> {
         let p = comm.size();
-        let mut buckets: std::collections::HashMap<usize, Vec<u64>> = std::collections::HashMap::new();
+        let mut buckets: std::collections::HashMap<usize, Vec<u64>> =
+            std::collections::HashMap::new();
         for (u, v) in edges {
             buckets.entry(owner(n, p, u)).or_default().extend([u, v]);
         }

@@ -76,7 +76,9 @@ pub fn rgg2d(comm: &Communicator, n: u64, radius: f64, seed: u64) -> KResult<Dis
     // Bucket grid over candidates for near-linear neighbor search.
     let cell = radius.max(1e-9);
     let cells = (1.0 / cell).ceil() as i64;
-    let key = |q: &Point| ((q.x / cell) as i64).min(cells - 1) * (cells + 1) + ((q.y / cell) as i64).min(cells - 1);
+    let key = |q: &Point| {
+        ((q.x / cell) as i64).min(cells - 1) * (cells + 1) + ((q.y / cell) as i64).min(cells - 1)
+    };
     let mut buckets: HashMap<i64, Vec<Point>> = HashMap::new();
     for q in mine.iter().chain(&foreign) {
         buckets.entry(key(q)).or_default().push(*q);

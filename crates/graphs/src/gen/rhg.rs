@@ -44,7 +44,11 @@ fn point(n: u64, big_r: f64, seed: u64, i: u64) -> HPoint {
     // Inverse CDF of sinh: F(r) = (cosh r - 1) / (cosh R - 1).
     let u = unit_f64(seed, i, 1);
     let radius = (1.0 + u * (big_r.cosh() - 1.0)).acosh();
-    HPoint { id: i, radius, theta }
+    HPoint {
+        id: i,
+        radius,
+        theta,
+    }
 }
 
 /// Hyperbolic distance between two points.

@@ -45,8 +45,12 @@ pub fn label_propagation(
 ) -> KResult<Vec<u64>> {
     let mut labels: Vec<u64> = (g.first..g.last).collect();
     // Ghost labels start as the ghost's own id (initial clustering).
-    let mut ghost_labels: HashMap<VertexId, u64> =
-        g.adjacency.iter().filter(|&&w| !g.is_local(w)).map(|&w| (w, w)).collect();
+    let mut ghost_labels: HashMap<VertexId, u64> = g
+        .adjacency
+        .iter()
+        .filter(|&&w| !g.is_local(w))
+        .map(|&w| (w, w))
+        .collect();
     // Cluster sizes, tracked approximately on every rank (refreshed below).
     let mut sizes: HashMap<u64, u64> = HashMap::new();
     for v in g.first..g.last {
@@ -76,8 +80,8 @@ pub fn label_propagation(
             let mut candidates: Vec<_> = counts.into_iter().collect();
             candidates.sort_unstable();
             for (l, c) in candidates {
-                let admissible = l == current
-                    || sizes.get(&l).copied().unwrap_or(0) < max_cluster_size;
+                let admissible =
+                    l == current || sizes.get(&l).copied().unwrap_or(0) < max_cluster_size;
                 if admissible && (c > best.1 || (c == best.1 && l < best.0)) {
                     best = (l, c);
                 }
@@ -132,7 +136,10 @@ fn refresh_sizes(
     }
     let mut buckets: HashMap<usize, Vec<u64>> = HashMap::new();
     for (l, c) in contrib {
-        buckets.entry(crate::dist_graph::owner(g.n, p, l)).or_default().extend([l, c]);
+        buckets
+            .entry(crate::dist_graph::owner(g.n, p, l))
+            .or_default()
+            .extend([l, c]);
     }
     let flat = with_flattened(buckets, p);
     let received = comm.alltoallv_vec(&flat.data, &flat.counts)?;
@@ -148,7 +155,10 @@ fn refresh_sizes(
     referenced.dedup();
     let mut queries: HashMap<usize, Vec<u64>> = HashMap::new();
     for &l in &referenced {
-        queries.entry(crate::dist_graph::owner(g.n, p, l)).or_default().push(l);
+        queries
+            .entry(crate::dist_graph::owner(g.n, p, l))
+            .or_default()
+            .push(l);
     }
     let qflat = with_flattened(queries, p);
     let (qdata, qcounts) = {
@@ -212,7 +222,13 @@ pub fn exchange_updates_plain(comm: &RawComm, g: &DistGraph, updates: &[Update])
         recv_displs[i] = recv_displs[i - 1] + recv_counts[i - 1];
     }
     let recv = comm
-        .alltoallv(&send, &send_counts, &send_displs, &recv_counts, &recv_displs)
+        .alltoallv(
+            &send,
+            &send_counts,
+            &send_displs,
+            &recv_counts,
+            &recv_displs,
+        )
         .expect("alltoallv");
     recv.chunks_exact(16)
         .map(|c| {

@@ -78,7 +78,10 @@ pub fn count_triangles(comm: &Communicator, g: &DistGraph) -> KResult<u64> {
         for i in 0..outs.len() {
             for j in i + 1..outs.len() {
                 let (a, b) = (outs[i], outs[j]);
-                pair_queries.entry(g.owner_of(a)).or_default().extend([a, b]);
+                pair_queries
+                    .entry(g.owner_of(a))
+                    .or_default()
+                    .extend([a, b]);
             }
         }
     }

@@ -78,10 +78,24 @@ impl RawComm {
     pub(crate) fn world(state: Arc<UniverseState>, rank: usize) -> Self {
         let group: Arc<Vec<usize>> = Arc::new((0..state.size).collect());
         let inverse = Arc::new(group.iter().enumerate().map(|(l, &g)| (g, l)).collect());
-        Self { state, ctx: 0, group, inverse, rank, coll_seq: Cell::new(0), topo: None }
+        Self {
+            state,
+            ctx: 0,
+            group,
+            inverse,
+            rank,
+            coll_seq: Cell::new(0),
+            topo: None,
+        }
     }
 
-    pub(crate) fn derive(&self, ctx: u64, members: Vec<usize>, my_global: usize, topo: Option<Arc<GraphTopo>>) -> Self {
+    pub(crate) fn derive(
+        &self,
+        ctx: u64,
+        members: Vec<usize>,
+        my_global: usize,
+        topo: Option<Arc<GraphTopo>>,
+    ) -> Self {
         let rank = members
             .iter()
             .position(|&g| g == my_global)
@@ -110,10 +124,10 @@ impl RawComm {
 
     /// Translates a communicator-local rank to a global (world) rank.
     pub fn global_rank(&self, local: usize) -> MpiResult<usize> {
-        self.group
-            .get(local)
-            .copied()
-            .ok_or(MpiError::InvalidRank { rank: local, size: self.size() })
+        self.group.get(local).copied().ok_or(MpiError::InvalidRank {
+            rank: local,
+            size: self.size(),
+        })
     }
 
     /// Translates a global rank back to this communicator's local rank.
@@ -164,7 +178,12 @@ impl RawComm {
         self.record(Op::CommDup);
         let seq = self.next_coll_seq();
         let ctx = self.child_ctx(seq, 0, ContextKind::Dup as u64);
-        Ok(self.derive(ctx, self.group.as_ref().clone(), self.my_global_rank(), None))
+        Ok(self.derive(
+            ctx,
+            self.group.as_ref().clone(),
+            self.my_global_rank(),
+            None,
+        ))
     }
 
     /// Splits the communicator by `color`, ordering members by
@@ -287,7 +306,10 @@ mod tests {
         Universe::run(2, |comm| {
             let a = comm.split(0, 0).unwrap();
             let b = comm.split(0, 0).unwrap();
-            assert_ne!(a.ctx, b.ctx, "distinct collective calls must derive distinct contexts");
+            assert_ne!(
+                a.ctx, b.ctx,
+                "distinct collective calls must derive distinct contexts"
+            );
         });
     }
 }

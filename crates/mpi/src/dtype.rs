@@ -61,7 +61,11 @@ impl TypeDesc {
     pub fn extent(&self) -> usize {
         match self {
             TypeDesc::Contiguous { len } => *len,
-            TypeDesc::Vector { count, block_len, stride } => {
+            TypeDesc::Vector {
+                count,
+                block_len,
+                stride,
+            } => {
                 if *count == 0 {
                     0
                 } else {
@@ -76,7 +80,9 @@ impl TypeDesc {
     pub fn packed_size(&self) -> usize {
         match self {
             TypeDesc::Contiguous { len } => *len,
-            TypeDesc::Vector { count, block_len, .. } => count * block_len,
+            TypeDesc::Vector {
+                count, block_len, ..
+            } => count * block_len,
             TypeDesc::Indexed { blocks, .. } => blocks.iter().map(|&(_, l)| l).sum(),
             TypeDesc::Struct { fields, .. } => fields.iter().map(|&(_, l)| l).sum(),
         }
@@ -86,14 +92,20 @@ impl TypeDesc {
     pub fn validate(&self) -> MpiResult<()> {
         let ok = match self {
             TypeDesc::Contiguous { .. } => true,
-            TypeDesc::Vector { count, block_len, stride } => *count == 0 || stride >= block_len,
+            TypeDesc::Vector {
+                count,
+                block_len,
+                stride,
+            } => *count == 0 || stride >= block_len,
             TypeDesc::Indexed { blocks, extent } => blocks.iter().all(|&(d, l)| d + l <= *extent),
             TypeDesc::Struct { fields, extent } => fields.iter().all(|&(d, l)| d + l <= *extent),
         };
         if ok {
             Ok(())
         } else {
-            Err(MpiError::InvalidCounts { what: "malformed TypeDesc" })
+            Err(MpiError::InvalidCounts {
+                what: "malformed TypeDesc",
+            })
         }
     }
 
@@ -105,7 +117,11 @@ impl TypeDesc {
                     f(0, *len)
                 }
             }
-            TypeDesc::Vector { count, block_len, stride } => {
+            TypeDesc::Vector {
+                count,
+                block_len,
+                stride,
+            } => {
                 for i in 0..*count {
                     f(i * stride, *block_len);
                 }
@@ -129,7 +145,9 @@ impl TypeDesc {
         self.validate()?;
         let extent = self.extent();
         if count > 0 && (count - 1) * extent + self.min_span() > src.len() {
-            return Err(MpiError::InvalidCounts { what: "pack: source buffer too small" });
+            return Err(MpiError::InvalidCounts {
+                what: "pack: source buffer too small",
+            });
         }
         let mut out = Vec::with_capacity(self.packed_size() * count);
         for i in 0..count {
@@ -144,11 +162,15 @@ impl TypeDesc {
     pub fn unpack_n(&self, wire: &[u8], dst: &mut [u8], count: usize) -> MpiResult<()> {
         self.validate()?;
         if wire.len() != self.packed_size() * count {
-            return Err(MpiError::InvalidCounts { what: "unpack: wire length mismatch" });
+            return Err(MpiError::InvalidCounts {
+                what: "unpack: wire length mismatch",
+            });
         }
         let extent = self.extent();
         if count > 0 && (count - 1) * extent + self.min_span() > dst.len() {
-            return Err(MpiError::InvalidCounts { what: "unpack: destination too small" });
+            return Err(MpiError::InvalidCounts {
+                what: "unpack: destination too small",
+            });
         }
         let mut offset = 0usize;
         for i in 0..count {
@@ -188,7 +210,9 @@ impl RawComm {
         self.record(Op::Alltoallw);
         let p = self.size();
         if send_types.len() != p || recv_types.len() != p {
-            return Err(MpiError::InvalidCounts { what: "alltoallw types length != comm size" });
+            return Err(MpiError::InvalidCounts {
+                what: "alltoallw types length != comm size",
+            });
         }
         let tag = coll_tag(self.next_coll_seq());
         for (dest, ty) in send_types.iter().enumerate() {
@@ -233,7 +257,11 @@ mod tests {
     #[test]
     fn vector_skips_stride_gaps() {
         // 3 blocks of 2 bytes, stride 4: picks bytes 0-1, 4-5, 8-9.
-        let t = TypeDesc::Vector { count: 3, block_len: 2, stride: 4 };
+        let t = TypeDesc::Vector {
+            count: 3,
+            block_len: 2,
+            stride: 4,
+        };
         assert_eq!(t.extent(), 10);
         assert_eq!(t.packed_size(), 6);
         let src: Vec<u8> = (0..10).collect();
@@ -247,7 +275,10 @@ mod tests {
     #[test]
     fn struct_gaps_not_transmitted() {
         // A struct { u8 a; <3 pad>; u32 b; } — 8-byte extent, 5 wire bytes.
-        let t = TypeDesc::Struct { fields: vec![(0, 1), (4, 4)], extent: 8 };
+        let t = TypeDesc::Struct {
+            fields: vec![(0, 1), (4, 4)],
+            extent: 8,
+        };
         assert_eq!(t.packed_size(), 5);
         let src = [7u8, 0xEE, 0xEE, 0xEE, 1, 2, 3, 4];
         let wire = t.pack_n(&src, 1).unwrap();
@@ -259,7 +290,10 @@ mod tests {
 
     #[test]
     fn indexed_blocks() {
-        let t = TypeDesc::Indexed { blocks: vec![(2, 2), (6, 1)], extent: 8 };
+        let t = TypeDesc::Indexed {
+            blocks: vec![(2, 2), (6, 1)],
+            extent: 8,
+        };
         let src: Vec<u8> = (10..18).collect();
         let wire = t.pack_n(&src, 1).unwrap();
         assert_eq!(wire, vec![12, 13, 16]);
@@ -267,7 +301,10 @@ mod tests {
 
     #[test]
     fn multi_element_struct_array() {
-        let t = TypeDesc::Struct { fields: vec![(0, 2), (4, 2)], extent: 8 };
+        let t = TypeDesc::Struct {
+            fields: vec![(0, 2), (4, 2)],
+            extent: 8,
+        };
         let src: Vec<u8> = (0..16).collect();
         let wire = t.pack_n(&src, 2).unwrap();
         assert_eq!(wire, vec![0, 1, 4, 5, 8, 9, 12, 13]);
@@ -279,9 +316,16 @@ mod tests {
 
     #[test]
     fn malformed_types_rejected() {
-        let t = TypeDesc::Vector { count: 2, block_len: 4, stride: 2 };
+        let t = TypeDesc::Vector {
+            count: 2,
+            block_len: 4,
+            stride: 2,
+        };
         assert!(t.validate().is_err());
-        let t = TypeDesc::Indexed { blocks: vec![(6, 4)], extent: 8 };
+        let t = TypeDesc::Indexed {
+            blocks: vec![(6, 4)],
+            extent: 8,
+        };
         assert!(t.pack_n(&[0u8; 8], 1).is_err());
     }
 
@@ -304,9 +348,13 @@ mod tests {
             let send_types = vec![TypeDesc::Contiguous { len: 2 }; 3];
             let mut recv = vec![0u8; 6];
             let recv_types: Vec<TypeDesc> = (0..3)
-                .map(|src| TypeDesc::Indexed { blocks: vec![(2 * src, 2)], extent: 6 })
+                .map(|src| TypeDesc::Indexed {
+                    blocks: vec![(2 * src, 2)],
+                    extent: 6,
+                })
                 .collect();
-            comm.alltoallw(&send, &send_types, &mut recv, &recv_types).unwrap();
+            comm.alltoallw(&send, &send_types, &mut recv, &recv_types)
+                .unwrap();
             assert_eq!(recv, vec![1, 1, 2, 2, 3, 3]);
         });
     }

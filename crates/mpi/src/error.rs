@@ -53,10 +53,15 @@ pub enum MpiError {
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpiError::ProcFailed { rank } => write!(f, "process failure detected (global rank {rank})"),
+            MpiError::ProcFailed { rank } => {
+                write!(f, "process failure detected (global rank {rank})")
+            }
             MpiError::Revoked => write!(f, "communicator has been revoked"),
             MpiError::Truncation { expected, got } => {
-                write!(f, "message truncated: receiver allowed {expected} bytes, message had {got}")
+                write!(
+                    f,
+                    "message truncated: receiver allowed {expected} bytes, message had {got}"
+                )
             }
             MpiError::InvalidRank { rank, size } => {
                 write!(f, "invalid rank {rank} for communicator of size {size}")
@@ -84,7 +89,10 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = MpiError::Truncation { expected: 8, got: 16 };
+        let e = MpiError::Truncation {
+            expected: 8,
+            got: 16,
+        };
         assert!(e.to_string().contains("truncated"));
         let e = MpiError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains("invalid rank 9"));
@@ -95,6 +103,10 @@ mod tests {
         assert!(MpiError::ProcFailed { rank: 0 }.is_failure());
         assert!(MpiError::Revoked.is_failure());
         assert!(!MpiError::InvalidRank { rank: 0, size: 1 }.is_failure());
-        assert!(!MpiError::Truncation { expected: 1, got: 2 }.is_failure());
+        assert!(!MpiError::Truncation {
+            expected: 1,
+            got: 2
+        }
+        .is_failure());
     }
 }

@@ -15,7 +15,7 @@ use crate::comm::ContextKind;
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
 use crate::tag::coll_tag;
-use crate::transport::MatchKey;
+use crate::transport::{MatchKey, Payload};
 use crate::RawComm;
 
 impl RawComm {
@@ -38,6 +38,21 @@ impl RawComm {
         self.state.is_revoked(self.ctx)
     }
 
+    /// Blocks (without polling) until this communicator is revoked.
+    /// Failure-handling code uses this to rendezvous on the revocation
+    /// instead of spinning on [`RawComm::is_revoked`].
+    pub fn await_revoked(&self) {
+        self.state
+            .hub
+            .wait_until(|| self.state.is_revoked(self.ctx).then_some(()));
+    }
+
+    /// Blocks (without polling) until at least one member of this
+    /// communicator is marked failed; returns the lowest failed local rank.
+    pub fn await_failure(&self) -> usize {
+        self.state.hub.wait_until(|| self.first_failed())
+    }
+
     /// Lowest-numbered failed member of this communicator, if any
     /// (`MPI_Comm_failure_ack`/`get_acked` rolled into one query).
     pub fn first_failed(&self) -> Option<usize> {
@@ -46,7 +61,9 @@ impl RawComm {
 
     /// Local ranks of all surviving members, in rank order.
     pub fn survivors(&self) -> Vec<usize> {
-        (0..self.size()).filter(|&l| !self.state.is_failed(self.group[l])).collect()
+        (0..self.size())
+            .filter(|&l| !self.state.is_failed(self.group[l]))
+            .collect()
     }
 
     /// Builds a new communicator containing only the surviving processes
@@ -91,12 +108,12 @@ impl RawComm {
             }
             for &dest in &survivors[1..] {
                 let g = self.global_rank(dest)?;
-                self.post_to(g, tag, vec![acc as u8], None);
+                self.post_to(g, tag, Payload::from_slice(&[acc as u8]), None);
             }
             Ok(acc)
         } else {
             let g = self.global_rank(leader)?;
-            self.post_to(g, tag, vec![flag as u8], None);
+            self.post_to(g, tag, Payload::from_slice(&[flag as u8]), None);
             let payload = self.recv_ignoring_revocation(leader, tag)?;
             Ok(payload == [1u8])
         }
@@ -106,7 +123,11 @@ impl RawComm {
     /// communicator; only peer failure interrupts it.
     fn recv_ignoring_revocation(&self, src: usize, tag: crate::Tag) -> MpiResult<Vec<u8>> {
         let src_global = self.global_rank(src)?;
-        let key = MatchKey { src: src_global, tag, ctx: self.ctx };
+        let key = MatchKey {
+            src: src_global,
+            tag,
+            ctx: self.ctx,
+        };
         let state = &self.state;
         let interrupt = move || {
             if state.is_gone(src_global) {
@@ -116,7 +137,7 @@ impl RawComm {
             }
         };
         let d = self.state.mailboxes[self.my_global_rank()].take_blocking(key, &interrupt)?;
-        Ok(d.payload)
+        Ok(d.payload.into_vec())
     }
 }
 
@@ -168,9 +189,7 @@ mod tests {
                 _ => {
                     // New operations on a revoked communicator fail fast —
                     // wait until the revocation is visible.
-                    while !comm.is_revoked() {
-                        std::thread::yield_now();
-                    }
+                    comm.await_revoked();
                     assert_eq!(comm.send(0, 0, b"x").unwrap_err(), MpiError::Revoked);
                 }
             }
@@ -185,19 +204,21 @@ mod tests {
                 return 0u64;
             }
             // Survivors wait until the failure is visible, then shrink.
-            while comm.survivors().len() == 4 {
-                std::thread::yield_now();
-            }
+            assert_eq!(comm.await_failure(), 1);
             let shrunk = comm.shrink().unwrap();
             assert_eq!(shrunk.size(), 3);
             // The shrunk communicator is fully operational.
             let mut buf = (shrunk.rank() as u64).to_le_bytes().to_vec();
             shrunk
-                .allreduce(&mut buf, &|a: &mut [u8], b: &[u8]| {
-                    let x = u64::from_le_bytes(a.try_into().unwrap());
-                    let y = u64::from_le_bytes(b.try_into().unwrap());
-                    a.copy_from_slice(&(x + y).to_le_bytes());
-                }, 8)
+                .allreduce(
+                    &mut buf,
+                    &|a: &mut [u8], b: &[u8]| {
+                        let x = u64::from_le_bytes(a.try_into().unwrap());
+                        let y = u64::from_le_bytes(b.try_into().unwrap());
+                        a.copy_from_slice(&(x + y).to_le_bytes());
+                    },
+                    8,
+                )
                 .unwrap();
             u64::from_le_bytes(buf.try_into().unwrap())
         });
@@ -210,9 +231,7 @@ mod tests {
                 comm.simulate_failure();
                 return;
             }
-            while comm.survivors().len() == 4 {
-                std::thread::yield_now();
-            }
+            comm.await_failure();
             // Rank 0 votes false; everyone must learn `false`.
             let verdict = comm.agree(comm.rank() != 0).unwrap();
             assert!(!verdict);
@@ -225,9 +244,7 @@ mod tests {
             if comm.rank() == 0 {
                 comm.revoke();
             }
-            while !comm.is_revoked() {
-                std::thread::yield_now();
-            }
+            comm.await_revoked();
             assert!(comm.agree(true).unwrap());
         });
     }
@@ -239,9 +256,7 @@ mod tests {
                 comm.simulate_failure();
                 return;
             }
-            while comm.first_failed().is_none() {
-                std::thread::yield_now();
-            }
+            assert_eq!(comm.await_failure(), 1);
             assert_eq!(comm.first_failed(), Some(1));
             assert_eq!(comm.survivors(), vec![0, 2]);
         });

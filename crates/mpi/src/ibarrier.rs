@@ -14,9 +14,7 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
@@ -38,7 +36,7 @@ impl BarrierCell {
     /// Polls the barrier (crate-internal): `Ok(true)` when all members arrived, `Ok(false)`
     /// while waiting, `Err(ProcFailed)` if a member died before entering.
     pub(crate) fn poll(&self, state: &UniverseState) -> MpiResult<bool> {
-        let arrived = self.arrived.lock();
+        let arrived = self.arrived.lock().expect("barrier cell poisoned");
         if arrived.len() >= self.group.len() {
             return Ok(true);
         }
@@ -54,7 +52,11 @@ impl BarrierCell {
     /// removes the cell from the registry.
     pub(crate) fn observe(&self, state: &UniverseState) {
         if self.observed.fetch_add(1, Ordering::AcqRel) + 1 == self.group.len() {
-            state.barriers.lock().remove(&self.key);
+            state
+                .barriers
+                .lock()
+                .expect("barrier registry poisoned")
+                .remove(&self.key);
         }
     }
 }
@@ -71,7 +73,11 @@ impl RawComm {
         let key = (self.ctx, seq);
         let group = Arc::clone(&self.group);
         let cell = {
-            let mut reg = self.state.barriers.lock();
+            let mut reg = self
+                .state
+                .barriers
+                .lock()
+                .expect("barrier registry poisoned");
             Arc::clone(reg.entry(key).or_insert_with(|| {
                 Arc::new(BarrierCell {
                     key,
@@ -81,8 +87,16 @@ impl RawComm {
                 })
             }))
         };
-        cell.arrived.lock().insert(self.my_global_rank());
-        Ok(RawRequest::new(self.state.clone(), RequestKind::Barrier(cell)))
+        cell.arrived
+            .lock()
+            .expect("barrier cell poisoned")
+            .insert(self.my_global_rank());
+        // Peers may be blocked in `wait()` on this barrier.
+        self.state.hub.notify();
+        Ok(RawRequest::new(
+            self.state.clone(),
+            RequestKind::Barrier(cell),
+        ))
     }
 }
 

@@ -3,6 +3,11 @@
 //! All ranks are addressed with *communicator-local* ranks; payloads are
 //! packed byte buffers (the typed layer above packs and unpacks). Sends are
 //! eager and complete locally; synchronous-mode sends complete when matched.
+//!
+//! Buffers travel as [`Payload`]s: messages of at most
+//! [`crate::transport::INLINE_CAP`] bytes are carried inline in the envelope
+//! (no allocation), larger ones as a refcounted heap buffer that fan-out
+//! senders (broadcast) share across all receivers.
 
 use std::sync::Arc;
 
@@ -10,7 +15,7 @@ use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
 use crate::request::{RawRequest, RequestKind};
 use crate::tag::{Tag, ANY_SOURCE};
-use crate::transport::{AckCell, Envelope, MatchKey};
+use crate::transport::{AckCell, Envelope, MatchKey, Payload};
 use crate::universe::wait_interrupt;
 use crate::RawComm;
 
@@ -41,7 +46,7 @@ impl RawComm {
         &self,
         dest_global: usize,
         tag: Tag,
-        payload: Vec<u8>,
+        payload: Payload,
         ack: Option<Arc<AckCell>>,
     ) {
         self.state.counters[self.my_global_rank()].record_message(payload.len());
@@ -49,6 +54,7 @@ impl RawComm {
             if let Some(ack) = ack {
                 // Never going to be matched; complete it so senders don't hang.
                 ack.set();
+                self.state.hub.notify();
             }
             return;
         }
@@ -70,7 +76,11 @@ impl RawComm {
         } else {
             self.global_rank(source)?
         };
-        Ok(MatchKey { src: src_global, tag, ctx: self.ctx })
+        Ok(MatchKey {
+            src: src_global,
+            tag,
+            ctx: self.ctx,
+        })
     }
 
     fn status_of(&self, src_global: usize, tag: Tag, bytes: usize) -> Status {
@@ -79,10 +89,13 @@ impl RawComm {
     }
 
     /// Blocking standard-mode send of `payload` to local rank `dest`.
+    ///
+    /// Payloads up to [`crate::transport::INLINE_CAP`] bytes travel inline
+    /// in the envelope and never touch the heap.
     pub fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> MpiResult<()> {
         self.record(Op::Send);
         let dest_global = self.check_dest(dest)?;
-        self.post_to(dest_global, tag, payload.to_vec(), None);
+        self.post_to(dest_global, tag, Payload::from_slice(payload), None);
         Ok(())
     }
 
@@ -91,12 +104,23 @@ impl RawComm {
     pub fn send_owned(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<()> {
         self.record(Op::Send);
         let dest_global = self.check_dest(dest)?;
-        self.post_to(dest_global, tag, payload, None);
+        self.post_to(dest_global, tag, Payload::from_vec(payload), None);
         Ok(())
     }
 
-    /// Blocking receive from local rank `source` (or [`ANY_SOURCE`]).
-    pub fn recv(&self, source: usize, tag: Tag) -> MpiResult<(Vec<u8>, Status)> {
+    /// Blocking send of an already-shared buffer: the receiver aliases the
+    /// same allocation. Fan-out senders (broadcast) post one `Arc` per child
+    /// instead of one copy per child.
+    pub fn send_shared(&self, dest: usize, tag: Tag, payload: Arc<Vec<u8>>) -> MpiResult<()> {
+        self.record(Op::Send);
+        let dest_global = self.check_dest(dest)?;
+        self.post_to(dest_global, tag, Payload::from_shared(payload), None);
+        Ok(())
+    }
+
+    /// Blocking receive returning the transport payload (zero-copy when the
+    /// payload is uniquely held).
+    pub(crate) fn recv_payload(&self, source: usize, tag: Tag) -> MpiResult<(Payload, Status)> {
         self.record(Op::Recv);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
@@ -106,13 +130,27 @@ impl RawComm {
         Ok((d.payload, status))
     }
 
+    /// Blocking receive from local rank `source` (or [`ANY_SOURCE`]).
+    pub fn recv(&self, source: usize, tag: Tag) -> MpiResult<(Vec<u8>, Status)> {
+        let (payload, status) = self.recv_payload(source, tag)?;
+        Ok((payload.into_vec(), status))
+    }
+
     /// Blocking receive with a size limit: errors with
     /// [`MpiError::Truncation`] if the matched message exceeds `max_bytes`.
     /// (The message is consumed either way, as in MPI.)
-    pub fn recv_bounded(&self, source: usize, tag: Tag, max_bytes: usize) -> MpiResult<(Vec<u8>, Status)> {
+    pub fn recv_bounded(
+        &self,
+        source: usize,
+        tag: Tag,
+        max_bytes: usize,
+    ) -> MpiResult<(Vec<u8>, Status)> {
         let (payload, status) = self.recv(source, tag)?;
         if payload.len() > max_bytes {
-            return Err(MpiError::Truncation { expected: max_bytes, got: payload.len() });
+            return Err(MpiError::Truncation {
+                expected: max_bytes,
+                got: payload.len(),
+            });
         }
         Ok((payload, status))
     }
@@ -122,7 +160,7 @@ impl RawComm {
     pub fn isend(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<RawRequest> {
         self.record(Op::Isend);
         let dest_global = self.check_dest(dest)?;
-        self.post_to(dest_global, tag, payload, None);
+        self.post_to(dest_global, tag, Payload::from_vec(payload), None);
         Ok(RawRequest::new(self.state.clone(), RequestKind::SendDone))
     }
 
@@ -132,8 +170,16 @@ impl RawComm {
         self.record(Op::Issend);
         let dest_global = self.check_dest(dest)?;
         let ack = Arc::new(AckCell::default());
-        self.post_to(dest_global, tag, payload, Some(ack.clone()));
-        Ok(RawRequest::new(self.state.clone(), RequestKind::Ssend(ack)))
+        self.post_to(
+            dest_global,
+            tag,
+            Payload::from_vec(payload),
+            Some(ack.clone()),
+        );
+        Ok(RawRequest::new(
+            self.state.clone(),
+            RequestKind::Ssend { ack, dest_global },
+        ))
     }
 
     /// Non-blocking receive.
@@ -142,26 +188,24 @@ impl RawComm {
         let key = self.match_key(source, tag)?;
         Ok(RawRequest::new(
             self.state.clone(),
-            RequestKind::Recv { key, me: self.my_global_rank(), group: Arc::clone(&self.group) },
+            RequestKind::Recv {
+                key,
+                me: self.my_global_rank(),
+                group: Arc::clone(&self.group),
+            },
         ))
     }
 
-    /// Blocking probe: waits until a matching message is available and
-    /// returns its status without consuming it.
+    /// Blocking probe: waits (on the mailbox condvar, no polling) until a
+    /// matching message is available and returns its status without
+    /// consuming it.
     pub fn probe(&self, source: usize, tag: Tag) -> MpiResult<Status> {
         self.record(Op::Probe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
-        loop {
-            if let Some((src, t, n)) = self.state.mailboxes[me].try_peek(key) {
-                return Ok(self.status_of(src, t, n));
-            }
-            if let Some(err) = interrupt() {
-                return Err(err);
-            }
-            std::thread::yield_now();
-        }
+        let (src, t, n) = self.state.mailboxes[me].peek_blocking(key, &interrupt)?;
+        Ok(self.status_of(src, t, n))
     }
 
     /// Non-blocking probe (`MPI_Iprobe`).
@@ -169,7 +213,9 @@ impl RawComm {
         self.record(Op::Iprobe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
-        Ok(self.state.mailboxes[me].try_peek(key).map(|(s, t, n)| self.status_of(s, t, n)))
+        Ok(self.state.mailboxes[me]
+            .try_peek(key)
+            .map(|(s, t, n)| self.status_of(s, t, n)))
     }
 
     /// Combined send + receive (`MPI_Sendrecv`), deadlock-free.
@@ -201,7 +247,14 @@ mod tests {
                 comm.send(1, 7, b"ping").unwrap();
                 let (msg, st) = comm.recv(1, 8).unwrap();
                 assert_eq!(msg, b"pong");
-                assert_eq!(st, Status { source: 1, tag: 8, bytes: 4 });
+                assert_eq!(
+                    st,
+                    Status {
+                        source: 1,
+                        tag: 8,
+                        bytes: 4
+                    }
+                );
             } else {
                 let (msg, _) = comm.recv(0, 7).unwrap();
                 assert_eq!(msg, b"ping");
@@ -287,7 +340,10 @@ mod tests {
         Universe::run(2, |comm| {
             if comm.rank() == 0 {
                 let mut req = comm.issend(1, 0, b"sync".to_vec()).unwrap();
-                assert!(req.test().unwrap().is_none(), "unmatched ssend must be incomplete");
+                assert!(
+                    req.test().unwrap().is_none(),
+                    "unmatched ssend must be incomplete"
+                );
                 comm.send(1, 1, b"now-recv").unwrap();
                 req.wait().unwrap();
             } else {
@@ -326,7 +382,13 @@ mod tests {
                 comm.send(1, 0, &[0; 100]).unwrap();
             } else {
                 let err = comm.recv_bounded(0, 0, 10).unwrap_err();
-                assert_eq!(err, MpiError::Truncation { expected: 10, got: 100 });
+                assert_eq!(
+                    err,
+                    MpiError::Truncation {
+                        expected: 10,
+                        got: 100
+                    }
+                );
             }
         });
     }
@@ -346,7 +408,10 @@ mod tests {
     #[test]
     fn invalid_rank_rejected() {
         Universe::run(2, |comm| {
-            assert!(matches!(comm.send(5, 0, b"x"), Err(MpiError::InvalidRank { rank: 5, size: 2 })));
+            assert!(matches!(
+                comm.send(5, 0, b"x"),
+                Err(MpiError::InvalidRank { rank: 5, size: 2 })
+            ));
         });
     }
 
@@ -359,6 +424,20 @@ mod tests {
             } else {
                 let (msg, _) = comm.recv(0, 0).unwrap();
                 assert_eq!(msg, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn send_shared_aliases_one_allocation() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let buf = Arc::new(vec![5u8; 1000]);
+                comm.send_shared(1, 0, buf.clone()).unwrap();
+                comm.send_shared(2, 0, buf).unwrap();
+            } else {
+                let (msg, _) = comm.recv(0, 0).unwrap();
+                assert_eq!(msg, vec![5u8; 1000]);
             }
         });
     }

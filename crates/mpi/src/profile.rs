@@ -197,7 +197,9 @@ pub struct ProfileSnapshot {
 
 impl ProfileSnapshot {
     pub(crate) fn capture(counters: &[RankCounters]) -> Self {
-        Self { ranks: counters.iter().map(RankCounters::snapshot).collect() }
+        Self {
+            ranks: counters.iter().map(RankCounters::snapshot).collect(),
+        }
     }
 
     /// Counter deltas since `earlier` (elementwise saturating).
@@ -229,7 +231,11 @@ impl ProfileSnapshot {
 
     /// Maximum envelopes posted by any single rank (bottleneck startups).
     pub fn max_messages_per_rank(&self) -> u64 {
-        self.ranks.iter().map(|r| r.messages_sent).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.messages_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// LogGP-style modeled time: the bottleneck rank's

@@ -22,8 +22,12 @@ use crate::universe::{wait_interrupt, UniverseState};
 pub(crate) enum RequestKind {
     /// Eager send: already complete.
     SendDone,
-    /// Synchronous-mode send: complete when the ack cell is set.
-    Ssend(Arc<AckCell>),
+    /// Synchronous-mode send: complete when the ack cell is set, error if
+    /// the destination dies before matching (avoids an unbounded wait).
+    Ssend {
+        ack: Arc<AckCell>,
+        dest_global: usize,
+    },
     /// Receive: complete when a matching envelope arrives.
     Recv {
         key: MatchKey,
@@ -51,7 +55,10 @@ pub struct RawRequest {
 
 impl RawRequest {
     pub(crate) fn new(state: Arc<UniverseState>, kind: RequestKind) -> Self {
-        Self { state, kind: Some(kind) }
+        Self {
+            state,
+            kind: Some(kind),
+        }
     }
 
     /// True once [`test`](Self::test)/[`wait`](Self::wait) has completed the
@@ -62,7 +69,10 @@ impl RawRequest {
     }
 
     fn local_status(group: &[usize], src_global: usize, tag: crate::Tag, bytes: usize) -> Status {
-        let source = group.iter().position(|&g| g == src_global).unwrap_or(usize::MAX);
+        let source = group
+            .iter()
+            .position(|&g| g == src_global)
+            .unwrap_or(usize::MAX);
         Status { source, tag, bytes }
     }
 
@@ -72,7 +82,14 @@ impl RawRequest {
     pub fn test(&mut self) -> MpiResult<Option<(Vec<u8>, Status)>> {
         match self.test_any()? {
             None => Ok(None),
-            Some(Completion::Done) => Ok(Some((Vec::new(), Status { source: usize::MAX, tag: 0, bytes: 0 }))),
+            Some(Completion::Done) => Ok(Some((
+                Vec::new(),
+                Status {
+                    source: usize::MAX,
+                    tag: 0,
+                    bytes: 0,
+                },
+            ))),
             Some(Completion::Message(payload, status)) => Ok(Some((payload, status))),
         }
     }
@@ -85,11 +102,14 @@ impl RawRequest {
         };
         match kind {
             RequestKind::SendDone => Ok(Some(Completion::Done)),
-            RequestKind::Ssend(ack) => {
+            RequestKind::Ssend { ack, dest_global } => {
                 if ack.is_set() {
                     Ok(Some(Completion::Done))
+                } else if self.state.is_gone(dest_global) {
+                    // The destination will never match this message.
+                    Err(crate::MpiError::ProcFailed { rank: dest_global })
                 } else {
-                    self.kind = Some(RequestKind::Ssend(ack));
+                    self.kind = Some(RequestKind::Ssend { ack, dest_global });
                     Ok(None)
                 }
             }
@@ -99,7 +119,7 @@ impl RawRequest {
                 match self.state.mailboxes[me].try_take(key) {
                     Some(d) => {
                         let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
-                        Ok(Some(Completion::Message(d.payload, status)))
+                        Ok(Some(Completion::Message(d.payload.into_vec(), status)))
                     }
                     None => {
                         if let Some(err) = interrupt() {
@@ -124,20 +144,52 @@ impl RawRequest {
         }
     }
 
-    /// Blocks until the request completes.
+    /// Blocks until the request completes. Never polls: receives block on
+    /// the owning mailbox's condvar, synchronous-send acks and barrier
+    /// arrivals block on the universe [`crate::transport::Hub`].
     pub fn wait(&mut self) -> MpiResult<(Vec<u8>, Status)> {
-        // Fast path for receives: block on the mailbox instead of spinning.
-        if let Some(RequestKind::Recv { key, me, group }) = self.kind.take() {
-            let interrupt = wait_interrupt(&self.state, key.src, key.ctx);
-            let d = self.state.mailboxes[me].take_blocking(key, &interrupt)?;
-            let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
-            return Ok((d.payload, status));
-        }
-        loop {
-            if let Some(done) = self.test()? {
-                return Ok(done);
+        let done_status = Status {
+            source: usize::MAX,
+            tag: 0,
+            bytes: 0,
+        };
+        match self.kind.take() {
+            None | Some(RequestKind::SendDone) => Ok((Vec::new(), done_status)),
+            Some(RequestKind::Recv { key, me, group }) => {
+                let interrupt = wait_interrupt(&self.state, key.src, key.ctx);
+                let d = self.state.mailboxes[me].take_blocking(key, &interrupt)?;
+                let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
+                Ok((d.payload.into_vec(), status))
             }
-            std::thread::yield_now();
+            Some(RequestKind::Ssend { ack, dest_global }) => {
+                let state = Arc::clone(&self.state);
+                state
+                    .hub
+                    .wait_until(|| {
+                        if ack.is_set() {
+                            Some(Ok(()))
+                        } else if state.is_gone(dest_global) {
+                            Some(Err(crate::MpiError::ProcFailed { rank: dest_global }))
+                        } else {
+                            None
+                        }
+                    })
+                    .map(|()| (Vec::new(), done_status))
+            }
+            Some(RequestKind::Barrier(cell)) => {
+                let state = Arc::clone(&self.state);
+                state
+                    .hub
+                    .wait_until(|| match cell.poll(&state) {
+                        Ok(true) => Some(Ok(())),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                    .map(|()| {
+                        cell.observe(&state);
+                        (Vec::new(), done_status)
+                    })
+            }
         }
     }
 

@@ -43,7 +43,10 @@ impl RawComm {
     ) -> MpiResult<RawComm> {
         for &r in sources.iter().chain(&destinations) {
             if r >= self.size() {
-                return Err(MpiError::InvalidRank { rank: r, size: self.size() });
+                return Err(MpiError::InvalidRank {
+                    rank: r,
+                    size: self.size(),
+                });
             }
         }
         let seq = self.next_coll_seq();
@@ -56,8 +59,16 @@ impl RawComm {
             .sum();
         let _ = total_out; // consistency info; MPI keeps it internally
         let ctx = self.child_ctx(seq, 0, ContextKind::Graph as u64);
-        let topo = GraphTopo { sources, destinations };
-        Ok(self.derive(ctx, self.group.as_ref().clone(), self.my_global_rank(), Some(Arc::new(topo))))
+        let topo = GraphTopo {
+            sources,
+            destinations,
+        };
+        Ok(self.derive(
+            ctx,
+            self.group.as_ref().clone(),
+            self.my_global_rank(),
+            Some(Arc::new(topo)),
+        ))
     }
 
     /// Neighborhood all-to-all (`MPI_Neighbor_alltoallv`): sends
@@ -68,7 +79,9 @@ impl RawComm {
         self.record(Op::NeighborAlltoallv);
         let topo = self.topo.clone().ok_or(MpiError::InvalidTopology)?;
         if parts.len() != topo.destinations.len() {
-            return Err(MpiError::InvalidCounts { what: "neighbor_alltoallv parts != out-degree" });
+            return Err(MpiError::InvalidCounts {
+                what: "neighbor_alltoallv parts != out-degree",
+            });
         }
         let tag = coll_tag(self.next_coll_seq());
         for (dest, part) in topo.destinations.iter().zip(parts) {
@@ -93,7 +106,9 @@ mod tests {
             let p = comm.size();
             let right = (comm.rank() + 1) % p;
             let left = (comm.rank() + p - 1) % p;
-            let g = comm.dist_graph_create_adjacent(vec![left], vec![right]).unwrap();
+            let g = comm
+                .dist_graph_create_adjacent(vec![left], vec![right])
+                .unwrap();
             let got = g.neighbor_alltoallv(&[vec![comm.rank() as u8]]).unwrap();
             assert_eq!(got, vec![vec![left as u8]]);
         });
@@ -103,7 +118,9 @@ mod tests {
     fn bidirectional_pair_exchange() {
         Universe::run(2, |comm| {
             let other = 1 - comm.rank();
-            let g = comm.dist_graph_create_adjacent(vec![other], vec![other]).unwrap();
+            let g = comm
+                .dist_graph_create_adjacent(vec![other], vec![other])
+                .unwrap();
             let got = g.neighbor_alltoallv(&[vec![comm.rank() as u8; 3]]).unwrap();
             assert_eq!(got, vec![vec![other as u8; 3]]);
         });
@@ -124,7 +141,9 @@ mod tests {
             let before = comm.profile();
             let right = (comm.rank() + 1) % comm.size();
             let left = (comm.rank() + comm.size() - 1) % comm.size();
-            let g = comm.dist_graph_create_adjacent(vec![left], vec![right]).unwrap();
+            let g = comm
+                .dist_graph_create_adjacent(vec![left], vec![right])
+                .unwrap();
             let setup = comm.profile().since(&before);
             g.neighbor_alltoallv(&[vec![0u8; 64]]).unwrap();
             let total = comm.profile().since(&before);
@@ -144,7 +163,10 @@ mod tests {
     #[test]
     fn missing_topology_rejected() {
         Universe::run(1, |comm| {
-            assert_eq!(comm.neighbor_alltoallv(&[]).unwrap_err(), MpiError::InvalidTopology);
+            assert_eq!(
+                comm.neighbor_alltoallv(&[]).unwrap_err(),
+                MpiError::InvalidTopology
+            );
         });
     }
 

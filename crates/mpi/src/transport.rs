@@ -1,31 +1,125 @@
-//! Shared-memory transport: one mailbox per rank.
+//! Shared-memory transport: per-(source → dest) lanes with wakeup signalling.
 //!
-//! A mailbox is a mutex-protected queue of [`Envelope`]s plus a condition
-//! variable. Sends are *eager*: the sender packs its bytes into an envelope
-//! and deposits it in the receiver's mailbox, so a standard-mode send always
+//! Each rank owns a [`Mailbox`] holding one FIFO *lane per sender*, so
+//! concurrent senders never contend on a shared queue lock. Sends are
+//! *eager*: the sender wraps its bytes in a [`Payload`] and deposits an
+//! [`Envelope`] in the receiver's lane, so a standard-mode send always
 //! completes locally (as buffered sends do in practice for small messages in
 //! real MPI). Synchronous-mode sends (`issend`) additionally carry an
 //! acknowledgement cell that the receiver flips when the message is
 //! *matched* — the completion semantics the NBX sparse all-to-all algorithm
 //! (Hoefler et al., reproduced in `kamping-plugins`) relies on.
 //!
-//! Matching is FIFO per (source, tag, context): the receiver scans the queue
-//! front-to-back and takes the first envelope that matches, which preserves
-//! MPI's non-overtaking guarantee.
+//! Payloads are zero-copy on the fan-out path: a broadcast posts one shared
+//! allocation (`Arc<Vec<u8>>`) to every child instead of copying per
+//! receiver, and messages of at most [`INLINE_CAP`] bytes ride inline in the
+//! envelope without touching the heap at all.
+//!
+//! Blocked receivers never poll: a deposit bumps the mailbox *gate* epoch
+//! under its mutex and signals the condvar, and failure/revocation events
+//! [`Mailbox::kick`] every mailbox, so waits carry no timeout. The
+//! [`Hub`] plays the same role for events that are not tied to one mailbox
+//! (ssend acknowledgements, non-blocking-barrier arrivals, failure marks).
+//!
+//! Matching is FIFO per (source, tag, context): the receiver scans the
+//! sender's lane front-to-back and takes the first envelope that matches,
+//! which preserves MPI's non-overtaking guarantee. `ANY_SOURCE` receives
+//! pick the matching envelope with the lowest arrival stamp across lanes,
+//! so cross-sender matching follows arrival order deterministically.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::{MpiError, MpiResult};
-use crate::tag::{source_matches, tag_matches, Tag};
+use crate::tag::{source_matches, tag_matches, Tag, ANY_SOURCE};
 
-/// How long a blocked receiver sleeps between checks of the failure /
-/// revocation state. Purely a liveness knob; correctness never depends on it.
-const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// Largest payload (bytes) carried inline in the envelope instead of on the
+/// heap. Sub-cacheline messages — barrier tokens, counts exchanges, single
+/// elements — never allocate.
+pub const INLINE_CAP: usize = 32;
+
+/// Message bytes in flight: inline for small messages, shared (refcounted)
+/// otherwise so fan-out posts alias one allocation.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// At most [`INLINE_CAP`] bytes stored in the envelope itself.
+    Inline {
+        /// Number of valid bytes in `data`.
+        len: u8,
+        /// Inline storage; only `data[..len]` is meaningful.
+        data: [u8; INLINE_CAP],
+    },
+    /// Heap bytes, shared across any number of envelopes.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Payload {
+    /// Packs `bytes`: inline if they fit, one shared allocation otherwise.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.len() <= INLINE_CAP {
+            let mut data = [0u8; INLINE_CAP];
+            data[..bytes.len()].copy_from_slice(bytes);
+            Payload::Inline {
+                len: bytes.len() as u8,
+                data,
+            }
+        } else {
+            Payload::Shared(Arc::new(bytes.to_vec()))
+        }
+    }
+
+    /// Packs an owned buffer without copying (unless it fits inline, in
+    /// which case the allocation is dropped).
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        if v.len() <= INLINE_CAP {
+            Payload::from_slice(&v)
+        } else {
+            Payload::Shared(Arc::new(v))
+        }
+    }
+
+    /// Wraps an already-shared buffer (fan-out senders clone the `Arc`).
+    pub fn from_shared(v: Arc<Vec<u8>>) -> Self {
+        Payload::Shared(v)
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Inline { len, data } => &data[..*len as usize],
+            Payload::Shared(v) => v,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Inline { len, .. } => *len as usize,
+            Payload::Shared(v) => v.len(),
+        }
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the bytes ride inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, Payload::Inline { .. })
+    }
+
+    /// Extracts owned bytes. A uniquely-held shared payload (the common
+    /// point-to-point case, and the *last* receiver of a fan-out) is
+    /// unwrapped without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Inline { len, data } => data[..len as usize].to_vec(),
+            Payload::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
 
 /// Acknowledgement cell for synchronous-mode sends.
 #[derive(Debug, Default)]
@@ -52,7 +146,7 @@ pub struct Envelope {
     /// Context id of the communicator the message travels on.
     pub ctx: u64,
     /// Packed message bytes.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Present for synchronous-mode sends; flipped on match.
     pub ack: Option<Arc<AckCell>>,
 }
@@ -83,84 +177,241 @@ pub struct Delivered {
     /// Actual tag.
     pub tag: Tag,
     /// The message bytes.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
-/// Per-rank incoming message queue.
-#[derive(Default)]
-pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+/// Process-wide wakeup channel for events that are not bound to a single
+/// mailbox: ssend acknowledgements, non-blocking-barrier arrivals and
+/// failure/revocation marks. Waiters re-evaluate a readiness predicate on
+/// every signal; there is no timeout and no polling.
+#[derive(Debug, Default)]
+pub struct Hub {
+    gate: Mutex<u64>,
     cond: Condvar,
 }
 
-impl Mailbox {
-    /// Creates an empty mailbox.
+impl Hub {
+    /// Creates an idle hub.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Signals every current waiter to re-check its predicate.
+    pub fn notify(&self) {
+        let mut epoch = self.gate.lock().expect("hub gate poisoned");
+        *epoch = epoch.wrapping_add(1);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until `ready` returns `Some`, re-evaluating whenever the hub
+    /// is notified. The predicate runs outside the gate lock.
+    pub fn wait_until<T>(&self, mut ready: impl FnMut() -> Option<T>) -> T {
+        loop {
+            // Read the epoch before evaluating the predicate: a state change
+            // strictly after this read also bumps the epoch, so the wait
+            // below cannot sleep through it.
+            let epoch = *self.gate.lock().expect("hub gate poisoned");
+            if let Some(v) = ready() {
+                return v;
+            }
+            let mut gate = self.gate.lock().expect("hub gate poisoned");
+            while *gate == epoch {
+                gate = self.cond.wait(gate).expect("hub gate poisoned");
+            }
+        }
+    }
+}
+
+/// One sender's FIFO of envelopes, stamped with mailbox arrival order.
+#[derive(Debug, Default)]
+struct Lane {
+    queue: Mutex<VecDeque<(u64, Envelope)>>,
+}
+
+/// Per-rank incoming message store: one lane per (source → this rank) pair.
+#[derive(Debug)]
+pub struct Mailbox {
+    lanes: Box<[Lane]>,
+    /// Arrival stamps; orders `ANY_SOURCE` matching across lanes.
+    next_stamp: AtomicU64,
+    /// Deposit/kick epoch, bumped under the mutex to make waits lossless.
+    gate: Mutex<u64>,
+    cond: Condvar,
+    /// Signalled when a take flips an ssend acknowledgement.
+    hub: Arc<Hub>,
+}
+
+impl Mailbox {
+    /// Creates a mailbox accepting envelopes from `n_sources` global ranks,
+    /// sharing `hub` for acknowledgement wakeups.
+    pub fn new(n_sources: usize, hub: Arc<Hub>) -> Self {
+        Self {
+            lanes: (0..n_sources).map(|_| Lane::default()).collect(),
+            next_stamp: AtomicU64::new(0),
+            gate: Mutex::new(0),
+            cond: Condvar::new(),
+            hub,
+        }
+    }
+
     /// Deposits an envelope and wakes any waiting receiver.
+    ///
+    /// # Panics
+    /// Panics if `envelope.src` is not a valid source for this mailbox.
     pub fn post(&self, envelope: Envelope) {
-        let mut q = self.queue.lock();
-        q.push_back(envelope);
-        drop(q);
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = self.lanes[envelope.src]
+                .queue
+                .lock()
+                .expect("lane poisoned");
+            q.push_back((stamp, envelope));
+        }
+        // Lane lock is released before the gate is taken: senders never hold
+        // both, so a receiver may scan lanes while holding the gate.
+        let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
+        *epoch = epoch.wrapping_add(1);
         self.cond.notify_all();
     }
 
     /// Wakes all waiters so they can re-check failure/revocation state.
     pub fn kick(&self) {
+        let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
+        *epoch = epoch.wrapping_add(1);
         self.cond.notify_all();
+    }
+
+    /// Takes the first matching envelope from one specific lane.
+    fn try_take_lane(&self, lane: usize, key: MatchKey) -> Option<Delivered> {
+        let mut q = self.lanes[lane].queue.lock().expect("lane poisoned");
+        let idx = q.iter().position(|(_, e)| key.matches(e))?;
+        let (_, e) = q.remove(idx).expect("index valid under lock");
+        drop(q);
+        if let Some(ack) = &e.ack {
+            ack.set();
+            self.hub.notify();
+        }
+        Some(Delivered {
+            src: e.src,
+            tag: e.tag,
+            payload: e.payload,
+        })
+    }
+
+    /// Lane holding the oldest matching envelope, by arrival stamp.
+    ///
+    /// Only the owning rank removes envelopes, so the chosen lane's first
+    /// match cannot be stolen between the scan and the take.
+    fn best_lane(&self, key: MatchKey) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (lane, l) in self.lanes.iter().enumerate() {
+            let q = l.queue.lock().expect("lane poisoned");
+            if let Some((stamp, _)) = q.iter().find(|(_, e)| key.matches(e)) {
+                if best.is_none_or(|(s, _)| *stamp < s) {
+                    best = Some((*stamp, lane));
+                }
+            }
+        }
+        best.map(|(_, lane)| lane)
     }
 
     /// Removes and returns the first matching envelope, if any.
     ///
     /// Flips the `ack` cell of synchronous-mode messages.
     pub fn try_take(&self, key: MatchKey) -> Option<Delivered> {
-        let mut q = self.queue.lock();
-        let idx = q.iter().position(|e| key.matches(e))?;
-        let e = q.remove(idx).expect("index valid under lock");
-        if let Some(ack) = &e.ack {
-            ack.set();
+        if key.src != ANY_SOURCE {
+            return self.try_take_lane(key.src, key);
         }
-        Some(Delivered { src: e.src, tag: e.tag, payload: e.payload })
+        let lane = self.best_lane(key)?;
+        self.try_take_lane(lane, key)
     }
 
     /// Returns (source, tag, byte length) of the first matching envelope
     /// without removing it (`MPI_Iprobe`).
     pub fn try_peek(&self, key: MatchKey) -> Option<(usize, Tag, usize)> {
-        let q = self.queue.lock();
-        q.iter().find(|e| key.matches(e)).map(|e| (e.src, e.tag, e.payload.len()))
+        let peek_lane = |lane: &Lane| {
+            let q = lane.queue.lock().expect("lane poisoned");
+            q.iter()
+                .find(|(_, e)| key.matches(e))
+                .map(|(_, e)| (e.src, e.tag, e.payload.len()))
+        };
+        if key.src != ANY_SOURCE {
+            return peek_lane(&self.lanes[key.src]);
+        }
+        let lane = self.best_lane(key)?;
+        peek_lane(&self.lanes[lane])
     }
 
-    /// Blocks until a matching envelope arrives, periodically invoking
-    /// `interrupt` to learn about failures or revocation.
+    /// Blocks until a matching envelope arrives, re-invoking `interrupt` on
+    /// every wakeup to learn about failures or revocation.
     ///
     /// `interrupt` returns `Some(err)` when the wait must be abandoned (the
-    /// awaited peer died, or the communicator was revoked).
+    /// awaited peer died, or the communicator was revoked). There is no
+    /// polling: deposits and [`Mailbox::kick`] are the only wake sources.
     pub fn take_blocking(
         &self,
         key: MatchKey,
         interrupt: &dyn Fn() -> Option<MpiError>,
     ) -> MpiResult<Delivered> {
-        let mut q = self.queue.lock();
+        self.wait_matching(key, interrupt, |mb| mb.try_take(key))
+    }
+
+    /// Blocks until a matching envelope is available and returns its
+    /// (source, tag, length) without consuming it (`MPI_Probe`).
+    pub fn peek_blocking(
+        &self,
+        key: MatchKey,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+    ) -> MpiResult<(usize, Tag, usize)> {
+        self.wait_matching(key, interrupt, |mb| mb.try_peek(key))
+    }
+
+    fn wait_matching<T>(
+        &self,
+        _key: MatchKey,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+        mut attempt: impl FnMut(&Self) -> Option<T>,
+    ) -> MpiResult<T> {
+        if let Some(hit) = attempt(self) {
+            return Ok(hit);
+        }
+        // A short burst of cooperative hand-offs before committing to the
+        // condvar: when rank-threads outnumber cores the matching send is
+        // usually posted by a peer that just needs the CPU, and taking the
+        // envelope after a scheduler yield saves the whole futex sleep/wake
+        // round-trip. The burst is a small constant (not interval polling —
+        // there is no sleep and no timeout); all actual waiting below is
+        // condvar-based and wake-driven.
+        for _ in 0..4 {
+            std::thread::yield_now();
+            if let Some(hit) = attempt(self) {
+                return Ok(hit);
+            }
+        }
         loop {
-            if let Some(idx) = q.iter().position(|e| key.matches(e)) {
-                let e = q.remove(idx).expect("index valid under lock");
-                if let Some(ack) = &e.ack {
-                    ack.set();
-                }
-                return Ok(Delivered { src: e.src, tag: e.tag, payload: e.payload });
+            let mut gate = self.gate.lock().expect("mailbox gate poisoned");
+            // Re-check with the gate held: a deposit bumps the epoch under
+            // this mutex *after* filling its lane, so either the retry sees
+            // the envelope or the wait sees the bumped epoch.
+            if let Some(hit) = attempt(self) {
+                return Ok(hit);
             }
             if let Some(err) = interrupt() {
                 return Err(err);
             }
-            self.cond.wait_for(&mut q, POLL_INTERVAL);
+            let epoch = *gate;
+            while *gate == epoch {
+                gate = self.cond.wait(gate).expect("mailbox gate poisoned");
+            }
         }
     }
 
     /// Number of queued envelopes (diagnostics / tests only).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.lanes
+            .iter()
+            .map(|l| l.queue.lock().expect("lane poisoned").len())
+            .sum()
     }
 
     /// True when no envelope is queued.
@@ -174,45 +425,114 @@ mod tests {
     use super::*;
     use crate::tag::{ANY_SOURCE, ANY_TAG};
 
+    fn mailbox(n: usize) -> Mailbox {
+        Mailbox::new(n, Arc::new(Hub::new()))
+    }
+
     fn env(src: usize, tag: Tag, ctx: u64, payload: &[u8]) -> Envelope {
-        Envelope { src, tag, ctx, payload: payload.to_vec(), ack: None }
+        Envelope {
+            src,
+            tag,
+            ctx,
+            payload: Payload::from_slice(payload),
+            ack: None,
+        }
     }
 
     #[test]
     fn fifo_per_channel() {
-        let mb = Mailbox::new();
+        let mb = mailbox(1);
         mb.post(env(0, 1, 0, b"first"));
         mb.post(env(0, 1, 0, b"second"));
-        let key = MatchKey { src: 0, tag: 1, ctx: 0 };
-        assert_eq!(mb.try_take(key).unwrap().payload, b"first");
-        assert_eq!(mb.try_take(key).unwrap().payload, b"second");
+        let key = MatchKey {
+            src: 0,
+            tag: 1,
+            ctx: 0,
+        };
+        assert_eq!(mb.try_take(key).unwrap().payload.as_slice(), b"first");
+        assert_eq!(mb.try_take(key).unwrap().payload.as_slice(), b"second");
         assert!(mb.try_take(key).is_none());
     }
 
     #[test]
     fn matching_respects_ctx_tag_src() {
-        let mb = Mailbox::new();
+        let mb = mailbox(2);
         mb.post(env(0, 1, 7, b"a"));
-        assert!(mb.try_take(MatchKey { src: 0, tag: 1, ctx: 8 }).is_none());
-        assert!(mb.try_take(MatchKey { src: 1, tag: 1, ctx: 7 }).is_none());
-        assert!(mb.try_take(MatchKey { src: 0, tag: 2, ctx: 7 }).is_none());
-        assert!(mb.try_take(MatchKey { src: 0, tag: 1, ctx: 7 }).is_some());
+        assert!(mb
+            .try_take(MatchKey {
+                src: 0,
+                tag: 1,
+                ctx: 8
+            })
+            .is_none());
+        assert!(mb
+            .try_take(MatchKey {
+                src: 1,
+                tag: 1,
+                ctx: 7
+            })
+            .is_none());
+        assert!(mb
+            .try_take(MatchKey {
+                src: 0,
+                tag: 2,
+                ctx: 7
+            })
+            .is_none());
+        assert!(mb
+            .try_take(MatchKey {
+                src: 0,
+                tag: 1,
+                ctx: 7
+            })
+            .is_some());
     }
 
     #[test]
     fn wildcards_match_and_report_actual_origin() {
-        let mb = Mailbox::new();
+        let mb = mailbox(4);
         mb.post(env(3, 9, 0, b"x"));
-        let d = mb.try_take(MatchKey { src: ANY_SOURCE, tag: ANY_TAG, ctx: 0 }).unwrap();
+        let d = mb
+            .try_take(MatchKey {
+                src: ANY_SOURCE,
+                tag: ANY_TAG,
+                ctx: 0,
+            })
+            .unwrap();
         assert_eq!((d.src, d.tag), (3, 9));
     }
 
     #[test]
+    fn any_source_takes_in_arrival_order_across_lanes() {
+        let mb = mailbox(3);
+        mb.post(env(2, 5, 0, b"second"));
+        mb.post(env(1, 5, 0, b"third"));
+        // Lane order (0, 1, 2) must not override arrival order (2 first).
+        let key = MatchKey {
+            src: ANY_SOURCE,
+            tag: 5,
+            ctx: 0,
+        };
+        assert_eq!(mb.try_take(key).unwrap().src, 2);
+        assert_eq!(mb.try_take(key).unwrap().src, 1);
+    }
+
+    #[test]
     fn peek_does_not_consume_or_ack() {
-        let mb = Mailbox::new();
+        let mb = mailbox(1);
         let ack = Arc::new(AckCell::default());
-        mb.post(Envelope { src: 0, tag: 5, ctx: 0, payload: vec![1, 2, 3], ack: Some(ack.clone()) });
-        let key = MatchKey { src: 0, tag: 5, ctx: 0 };
+        mb.post(Envelope {
+            src: 0,
+            tag: 5,
+            ctx: 0,
+            payload: Payload::from_slice(&[1, 2, 3]),
+            ack: Some(ack.clone()),
+        });
+        let key = MatchKey {
+            src: 0,
+            tag: 5,
+            ctx: 0,
+        };
         assert_eq!(mb.try_peek(key), Some((0, 5, 3)));
         assert!(!ack.is_set());
         assert_eq!(mb.len(), 1);
@@ -222,8 +542,12 @@ mod tests {
 
     #[test]
     fn blocking_take_interrupts() {
-        let mb = Mailbox::new();
-        let key = MatchKey { src: 2, tag: 0, ctx: 0 };
+        let mb = mailbox(4);
+        let key = MatchKey {
+            src: 2,
+            tag: 0,
+            ctx: 0,
+        };
         let err = mb
             .take_blocking(key, &|| Some(MpiError::ProcFailed { rank: 2 }))
             .unwrap_err();
@@ -232,14 +556,102 @@ mod tests {
 
     #[test]
     fn blocking_take_wakes_on_post() {
-        let mb = Arc::new(Mailbox::new());
+        let mb = Arc::new(mailbox(1));
         let mb2 = mb.clone();
         let handle = std::thread::spawn(move || {
-            let key = MatchKey { src: 0, tag: 0, ctx: 0 };
+            let key = MatchKey {
+                src: 0,
+                tag: 0,
+                ctx: 0,
+            };
             mb2.take_blocking(key, &|| None).unwrap()
         });
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(std::time::Duration::from_millis(20));
         mb.post(env(0, 0, 0, b"wake"));
-        assert_eq!(handle.join().unwrap().payload, b"wake");
+        assert_eq!(handle.join().unwrap().payload.as_slice(), b"wake");
+    }
+
+    #[test]
+    fn blocking_peek_wakes_on_post_and_preserves() {
+        let mb = Arc::new(mailbox(1));
+        let mb2 = mb.clone();
+        let handle = std::thread::spawn(move || {
+            let key = MatchKey {
+                src: 0,
+                tag: 3,
+                ctx: 0,
+            };
+            mb2.peek_blocking(key, &|| None).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.post(env(0, 3, 0, b"stay"));
+        assert_eq!(handle.join().unwrap(), (0, 3, 4));
+        assert_eq!(mb.len(), 1, "probe must not consume");
+    }
+
+    #[test]
+    fn kick_wakes_blocked_receiver_for_interrupt() {
+        let mb = Arc::new(mailbox(1));
+        let interrupted = Arc::new(AtomicBool::new(false));
+        let (mb2, flag) = (mb.clone(), interrupted.clone());
+        let handle = std::thread::spawn(move || {
+            let key = MatchKey {
+                src: 0,
+                tag: 0,
+                ctx: 0,
+            };
+            mb2.take_blocking(key, &|| {
+                flag.load(Ordering::Acquire).then_some(MpiError::Revoked)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        interrupted.store(true, Ordering::Release);
+        mb.kick();
+        assert_eq!(handle.join().unwrap().unwrap_err(), MpiError::Revoked);
+    }
+
+    #[test]
+    fn inline_payloads_stay_off_the_heap() {
+        let small = Payload::from_slice(&[7u8; INLINE_CAP]);
+        assert!(small.is_inline());
+        assert_eq!(small.len(), INLINE_CAP);
+        let big = Payload::from_slice(&[7u8; INLINE_CAP + 1]);
+        assert!(!big.is_inline());
+        assert_eq!(big.as_slice(), &[7u8; INLINE_CAP + 1]);
+    }
+
+    #[test]
+    fn from_vec_inlines_small_buffers() {
+        let p = Payload::from_vec(vec![1, 2, 3]);
+        assert!(p.is_inline());
+        assert_eq!(p.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_payload_aliases_one_allocation() {
+        let arc = Arc::new(vec![9u8; 100]);
+        let a = Payload::from_shared(arc.clone());
+        let b = a.clone();
+        assert_eq!(Arc::strong_count(&arc), 3);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        drop(a);
+        drop(b);
+        // Unique holder unwraps without copying.
+        let p = Payload::from_shared(arc);
+        let back = p.into_vec();
+        assert_eq!(back.len(), 100);
+    }
+
+    #[test]
+    fn hub_wait_sees_signal_raced_with_predicate() {
+        let hub = Arc::new(Hub::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (h2, f2) = (hub.clone(), flag.clone());
+        let waiter =
+            std::thread::spawn(move || h2.wait_until(|| f2.load(Ordering::Acquire).then_some(42)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        flag.store(true, Ordering::Release);
+        hub.notify();
+        assert_eq!(waiter.join().unwrap(), 42);
     }
 }

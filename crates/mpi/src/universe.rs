@@ -9,15 +9,14 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::comm::RawComm;
 use crate::error::MpiError;
 use crate::ibarrier::BarrierCell;
 use crate::profile::{ProfileSnapshot, RankCounters};
-use crate::transport::Mailbox;
+use crate::transport::{Hub, Mailbox};
 
 /// Shared state of one simulated MPI job.
 pub(crate) struct UniverseState {
@@ -27,6 +26,12 @@ pub(crate) struct UniverseState {
     pub mailboxes: Vec<Mailbox>,
     /// One profiling counter block per global rank.
     pub counters: Vec<RankCounters>,
+    /// Wakeup channel for events not tied to one mailbox: ssend acks,
+    /// non-blocking-barrier arrivals, failure/revocation marks.
+    pub hub: Arc<Hub>,
+    /// Bumped on every failure/finish/revocation mark. Blocking waits cache
+    /// their last verdict and re-scan the sets below only when this moves.
+    pub fault_epoch: AtomicU64,
     /// Global ranks that have failed (ULFM).
     pub failed: RwLock<HashSet<usize>>,
     /// Global ranks whose SPMD closure has returned. A finished rank will
@@ -43,10 +48,15 @@ pub(crate) struct UniverseState {
 
 impl UniverseState {
     fn new(size: usize) -> Self {
+        let hub = Arc::new(Hub::new());
         Self {
             size,
-            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..size)
+                .map(|_| Mailbox::new(size, Arc::clone(&hub)))
+                .collect(),
             counters: (0..size).map(|_| RankCounters::default()).collect(),
+            hub,
+            fault_epoch: AtomicU64::new(0),
             failed: RwLock::new(HashSet::new()),
             finished: RwLock::new(HashSet::new()),
             revoked: RwLock::new(HashSet::new()),
@@ -54,45 +64,69 @@ impl UniverseState {
         }
     }
 
-    /// Marks `rank` failed and wakes every blocked receiver so it can
-    /// observe the failure.
-    pub fn mark_failed(&self, rank: usize) {
-        self.failed.write().insert(rank);
+    /// Wakes everything that might be waiting on failure state: blocked
+    /// receivers in every mailbox and hub waiters (ssend/barrier waits).
+    fn broadcast_fault(&self) {
+        self.fault_epoch.fetch_add(1, Ordering::Release);
         for mb in &self.mailboxes {
             mb.kick();
         }
+        self.hub.notify();
+    }
+
+    /// Marks `rank` failed and wakes every blocked receiver so it can
+    /// observe the failure.
+    pub fn mark_failed(&self, rank: usize) {
+        self.failed
+            .write()
+            .expect("failed set poisoned")
+            .insert(rank);
+        self.broadcast_fault();
     }
 
     /// True if `rank` is marked failed.
     pub fn is_failed(&self, rank: usize) -> bool {
-        self.failed.read().contains(&rank)
+        self.failed
+            .read()
+            .expect("failed set poisoned")
+            .contains(&rank)
     }
 
     /// Marks `rank` as finished (its SPMD closure returned) and wakes every
     /// blocked receiver.
     pub fn mark_finished(&self, rank: usize) {
-        self.finished.write().insert(rank);
-        for mb in &self.mailboxes {
-            mb.kick();
-        }
+        self.finished
+            .write()
+            .expect("finished set poisoned")
+            .insert(rank);
+        self.broadcast_fault();
     }
 
     /// True if `rank` will never communicate again (failed or finished).
     pub fn is_gone(&self, rank: usize) -> bool {
-        self.is_failed(rank) || self.finished.read().contains(&rank)
+        self.is_failed(rank)
+            || self
+                .finished
+                .read()
+                .expect("finished set poisoned")
+                .contains(&rank)
     }
 
     /// Marks the communicator context revoked and wakes all receivers.
     pub fn mark_revoked(&self, ctx: u64) {
-        self.revoked.write().insert(ctx);
-        for mb in &self.mailboxes {
-            mb.kick();
-        }
+        self.revoked
+            .write()
+            .expect("revoked set poisoned")
+            .insert(ctx);
+        self.broadcast_fault();
     }
 
     /// True if the context has been revoked.
     pub fn is_revoked(&self, ctx: u64) -> bool {
-        self.revoked.read().contains(&ctx)
+        self.revoked
+            .read()
+            .expect("revoked set poisoned")
+            .contains(&ctx)
     }
 
     /// Freezes the profiling counters.
@@ -153,7 +187,10 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread itself never panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself never panics"))
+                .collect()
         });
 
         let profile = state.profile();
@@ -178,18 +215,30 @@ impl Universe {
 
 /// Interrupt predicate builder shared by blocking operations: returns an
 /// error when `src` has failed or `ctx` has been revoked.
+///
+/// The closure caches its verdict per fault epoch: the failure/finish/revoke
+/// sets are only re-read after a mark has bumped
+/// [`UniverseState::fault_epoch`], so the hot path of a blocking receive
+/// costs one atomic load per wakeup instead of two read-lock acquisitions.
 pub(crate) fn wait_interrupt(
     state: &UniverseState,
     src: usize,
     ctx: u64,
 ) -> impl Fn() -> Option<MpiError> + '_ {
+    let cached: std::cell::Cell<Option<u64>> = std::cell::Cell::new(None);
     move || {
+        let epoch = state.fault_epoch.load(Ordering::Acquire);
+        if cached.get() == Some(epoch) {
+            // No fault event since the last scan came up clean.
+            return None;
+        }
         if state.is_revoked(ctx) {
             return Some(MpiError::Revoked);
         }
         if src != crate::tag::ANY_SOURCE && state.is_gone(src) {
             return Some(MpiError::ProcFailed { rank: src });
         }
+        cached.set(Some(epoch));
         None
     }
 }
@@ -247,5 +296,26 @@ mod tests {
         assert_eq!(profile.total_calls(crate::Op::Recv), 1);
         assert_eq!(profile.total_messages(), 1);
         assert_eq!(profile.total_bytes(), 5);
+    }
+
+    #[test]
+    fn fault_epoch_moves_on_marks() {
+        let state = UniverseState::new(2);
+        let e0 = state.fault_epoch.load(Ordering::Acquire);
+        state.mark_failed(1);
+        let e1 = state.fault_epoch.load(Ordering::Acquire);
+        assert!(e1 > e0);
+        state.mark_revoked(42);
+        assert!(state.fault_epoch.load(Ordering::Acquire) > e1);
+    }
+
+    #[test]
+    fn wait_interrupt_caches_clean_verdict_per_epoch() {
+        let state = UniverseState::new(2);
+        let check = wait_interrupt(&state, 1, 0);
+        assert!(check().is_none());
+        assert!(check().is_none());
+        state.mark_failed(1);
+        assert_eq!(check(), Some(MpiError::ProcFailed { rank: 1 }));
     }
 }

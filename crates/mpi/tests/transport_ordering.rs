@@ -1,0 +1,199 @@
+//! Transport ordering invariants under the sharded per-sender lanes.
+//!
+//! The mailbox keeps one lane per sender plus a global arrival stamp, so
+//! three properties must survive any interleaving:
+//!
+//! 1. FIFO non-overtaking per (source, tag, context) — MPI's ordering rule;
+//! 2. `ANY_SOURCE` matches in *arrival* order across lanes (the stamp), so
+//!    causally ordered sends from different ranks are received in causal
+//!    order;
+//! 3. `issend` completes exactly when the envelope is matched (or the
+//!    destination is gone), never early.
+
+use kamping_mpi::{MpiError, Universe, ANY_SOURCE, ANY_TAG};
+
+const MSGS: u32 = 50;
+
+fn seq_payload(src: usize, seq: u32) -> Vec<u8> {
+    let mut v = (src as u32).to_le_bytes().to_vec();
+    v.extend_from_slice(&seq.to_le_bytes());
+    v
+}
+
+fn decode(payload: &[u8]) -> (u32, u32) {
+    (
+        u32::from_le_bytes(payload[..4].try_into().unwrap()),
+        u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+    )
+}
+
+#[test]
+fn fifo_per_source_and_tag_under_concurrent_senders() {
+    Universe::run(4, |comm| {
+        if comm.rank() == 0 {
+            // Drain source by source; each source's stream must be in order
+            // even though the three senders run concurrently.
+            for src in 1..comm.size() {
+                for expect in 0..MSGS {
+                    let (payload, status) = comm.recv(src, 7).unwrap();
+                    assert_eq!(status.source, src);
+                    assert_eq!(decode(&payload), (src as u32, expect));
+                }
+            }
+        } else {
+            for seq in 0..MSGS {
+                comm.send(0, 7, &seq_payload(comm.rank(), seq)).unwrap();
+            }
+        }
+    });
+}
+
+#[test]
+fn fifo_holds_per_tag_when_receiver_drains_out_of_order() {
+    Universe::run(2, |comm| {
+        if comm.rank() == 1 {
+            // Interleave two tags from one sender.
+            for seq in 0..MSGS {
+                comm.send(0, 10, &seq_payload(1, seq)).unwrap();
+                comm.send(0, 20, &seq_payload(1, seq)).unwrap();
+            }
+        } else {
+            // Receive the *second* tag first: tag-20 messages must overtake
+            // the queued tag-10 ones, while each tag stays FIFO.
+            for expect in 0..MSGS {
+                let (payload, _) = comm.recv(1, 20).unwrap();
+                assert_eq!(decode(&payload).1, expect);
+            }
+            for expect in 0..MSGS {
+                let (payload, _) = comm.recv(1, 10).unwrap();
+                assert_eq!(decode(&payload).1, expect);
+            }
+        }
+    });
+}
+
+#[test]
+fn any_source_respects_causal_arrival_order() {
+    // Ranks 1, 2, 3 deposit into distinct lanes of rank 0's mailbox, but a
+    // token chain makes the deposits causally ordered. The arrival stamps
+    // must make ANY_SOURCE yield them in that order, not lane order.
+    Universe::run(4, |comm| match comm.rank() {
+        0 => {
+            for expect in [1u32, 2, 3] {
+                let (payload, status) = comm.recv(ANY_SOURCE, 5).unwrap();
+                assert_eq!(decode(&payload).0, expect);
+                assert_eq!(status.source as u32, expect);
+            }
+        }
+        1 => {
+            comm.send(0, 5, &seq_payload(1, 0)).unwrap();
+            comm.send(2, 1, b"token").unwrap();
+        }
+        2 => {
+            comm.recv(1, 1).unwrap();
+            comm.send(0, 5, &seq_payload(2, 0)).unwrap();
+            comm.send(3, 1, b"token").unwrap();
+        }
+        _ => {
+            comm.recv(2, 1).unwrap();
+            comm.send(0, 5, &seq_payload(3, 0)).unwrap();
+        }
+    });
+}
+
+#[test]
+fn wildcard_recv_drains_all_lanes_without_loss() {
+    Universe::run(8, |comm| {
+        let p = comm.size();
+        if comm.rank() == 0 {
+            let mut next_seq = vec![0u32; p];
+            let mut total = 0usize;
+            while total < (p - 1) * MSGS as usize {
+                let (payload, status) = comm.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                let (src, seq) = decode(&payload);
+                assert_eq!(src as usize, status.source);
+                assert_eq!(status.tag, status.source as kamping_mpi::Tag);
+                // Per-source FIFO must hold even through wildcard receives.
+                assert_eq!(seq, next_seq[status.source]);
+                next_seq[status.source] += 1;
+                total += 1;
+            }
+        } else {
+            let tag = comm.rank() as kamping_mpi::Tag;
+            for seq in 0..MSGS {
+                comm.send(0, tag, &seq_payload(comm.rank(), seq)).unwrap();
+            }
+        }
+    });
+}
+
+#[test]
+fn issend_completes_only_when_matched() {
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            let mut req = comm.issend(1, 1, b"payload".to_vec()).unwrap();
+            // Rank 1 is blocked waiting for the go message, so the issend
+            // cannot have been matched yet.
+            assert!(req.test().unwrap().is_none());
+            comm.send(1, 0, b"go").unwrap();
+            req.wait().unwrap();
+        } else {
+            comm.recv(0, 0).unwrap();
+            let (payload, _) = comm.recv(0, 1).unwrap();
+            assert_eq!(payload, b"payload");
+        }
+    });
+}
+
+#[test]
+fn issend_unmatched_to_failing_rank_errors() {
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            // Post an envelope rank 1 will never receive, prove it is in
+            // rank 1's mailbox (the token is ordered behind nothing), then
+            // let rank 1 die. The pending issend must fail, not hang.
+            let mut req = comm.issend(1, 42, b"never read".to_vec()).unwrap();
+            comm.send(1, 0, b"posted").unwrap();
+            assert_eq!(req.wait().unwrap_err(), MpiError::ProcFailed { rank: 1 });
+        } else {
+            comm.recv(0, 0).unwrap();
+            comm.simulate_failure();
+        }
+    });
+}
+
+#[test]
+fn issend_to_already_failed_rank_completes_locally() {
+    // Like MPI, sends to an already-dead process may complete locally; the
+    // failure surfaces at operations that need the peer.
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            assert_eq!(comm.await_failure(), 1);
+            let mut req = comm.issend(1, 3, b"into the void".to_vec()).unwrap();
+            req.wait().unwrap();
+        } else {
+            comm.simulate_failure();
+        }
+    });
+}
+
+#[test]
+fn probe_then_recv_agree_on_wildcards() {
+    Universe::run(3, |comm| {
+        if comm.rank() == 0 {
+            for _ in 0..2 * MSGS {
+                let s = comm.probe(ANY_SOURCE, ANY_TAG).unwrap();
+                let (payload, status) = comm.recv(s.source, s.tag).unwrap();
+                // The probed envelope must be the one the receive takes:
+                // same source, tag and size.
+                assert_eq!(status, s);
+                assert_eq!(payload.len(), s.bytes);
+            }
+        } else {
+            let tag = comm.rank() as kamping_mpi::Tag;
+            for seq in 0..MSGS {
+                comm.send(0, tag, &seq_payload(comm.rank(), seq)).unwrap();
+            }
+        }
+    });
+}

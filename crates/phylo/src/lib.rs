@@ -41,7 +41,12 @@ pub struct Model {
     pub branch_lengths: Vec<f64>,
 }
 
-serial_struct!(Model { name, rates, freqs, branch_lengths });
+serial_struct!(Model {
+    name,
+    rates,
+    freqs,
+    branch_lengths
+});
 
 impl Model {
     /// A deterministic starting model with `branches` branch lengths.
@@ -213,7 +218,10 @@ pub fn run_inference(
         comm_calls += 1;
         score = partials.iter().sum::<f64>();
     }
-    Ok(InferenceStats { final_score: score, comm_calls })
+    Ok(InferenceStats {
+        final_score: score,
+        comm_calls,
+    })
 }
 
 #[cfg(test)]
@@ -230,7 +238,11 @@ mod tests {
     #[test]
     fn broadcast_layers_agree() {
         kamping::run(4, |comm| {
-            let mut a = if comm.rank() == 0 { Model::initial(8) } else { Model::initial(1) };
+            let mut a = if comm.rank() == 0 {
+                Model::initial(8)
+            } else {
+                Model::initial(1)
+            };
             if comm.rank() == 0 {
                 a.perturb(3);
             }
@@ -261,7 +273,9 @@ mod tests {
     #[test]
     fn scores_consistent_across_ranks() {
         let outs = kamping::run(4, |comm| {
-            run_inference(&comm, Layer::Kamping, 10, 30, 4, 3).unwrap().final_score
+            run_inference(&comm, Layer::Kamping, 10, 30, 4, 3)
+                .unwrap()
+                .final_score
         });
         assert!(outs.iter().all(|s| s.to_bits() == outs[0].to_bits()));
     }

@@ -41,7 +41,14 @@ pub trait GridAlltoall: CommunicatorPlugin {
         let my_col = comm.rank() % width;
         let row_comm = comm.split(my_row as u64, my_col as u64)?;
         let col_comm = comm.split(width as u64 + my_col as u64, my_row as u64)?;
-        Ok(GridCommunicator { size: p, width, my_row, my_col, row_comm, col_comm })
+        Ok(GridCommunicator {
+            size: p,
+            width,
+            my_row,
+            my_col,
+            row_comm,
+            col_comm,
+        })
     }
 }
 
@@ -61,14 +68,18 @@ fn for_each_block(wire: &[u8], mut f: impl FnMut(usize, usize, &[u8])) -> KResul
     let mut off = 0;
     while off < wire.len() {
         if off + 24 > wire.len() {
-            return Err(KampingError::InvalidArgument("grid: truncated block header"));
+            return Err(KampingError::InvalidArgument(
+                "grid: truncated block header",
+            ));
         }
         let dest = u64::from_le_bytes(wire[off..off + 8].try_into().expect("8")) as usize;
         let src = u64::from_le_bytes(wire[off + 8..off + 16].try_into().expect("8")) as usize;
         let len = u64::from_le_bytes(wire[off + 16..off + 24].try_into().expect("8")) as usize;
         off += 24;
         if off + len > wire.len() {
-            return Err(KampingError::InvalidArgument("grid: truncated block payload"));
+            return Err(KampingError::InvalidArgument(
+                "grid: truncated block payload",
+            ));
         }
         f(dest, src, &wire[off..off + len]);
         off += len;
@@ -124,7 +135,9 @@ impl GridCommunicator {
         send_counts: &[usize],
     ) -> KResult<(Vec<T>, Vec<usize>)> {
         if send_counts.len() != self.size {
-            return Err(KampingError::InvalidArgument("grid alltoallv: send_counts length"));
+            return Err(KampingError::InvalidArgument(
+                "grid alltoallv: send_counts length",
+            ));
         }
         if send_counts.iter().sum::<usize>() != data.len() {
             return Err(KampingError::InvalidArgument(
@@ -187,7 +200,6 @@ impl GridCommunicator {
 mod tests {
     use super::*;
 
-
     /// Reference: dense alltoallv through the core library.
     fn reference(comm: &Communicator, data: &[u64], counts: &[usize]) -> Vec<u64> {
         comm.alltoallv_vec(data, counts).unwrap()
@@ -213,8 +225,7 @@ mod tests {
                 let (got, recv_counts) = grid.alltoallv(&data, &counts).unwrap();
                 let want = reference(&comm, &data, &counts);
                 assert_eq!(got, want, "p={p} rank={}", comm.rank());
-                let expected_counts: Vec<usize> =
-                    (0..p).map(|s| (s + comm.rank()) % 3).collect();
+                let expected_counts: Vec<usize> = (0..p).map(|s| (s + comm.rank()) % 3).collect();
                 assert_eq!(recv_counts, expected_counts);
             });
         }
@@ -239,7 +250,10 @@ mod tests {
         // subcomm: <= 2 x 3 envelopes; 3 phases => <= 18... but crucially
         // the *world-size-linear* term is gone. Bound generously:
         let worst = *maxmsgs.iter().max().unwrap();
-        assert!(worst <= 2 * 3 * (4 - 1) + 6, "grid posted {worst} envelopes per rank");
+        assert!(
+            worst <= 2 * 3 * (4 - 1) + 6,
+            "grid posted {worst} envelopes per rank"
+        );
     }
 
     #[test]

@@ -111,7 +111,9 @@ fn gather_counts(comm: &Communicator, my_len: usize) -> KResult<Vec<usize>> {
     let gathered = comm
         .raw()
         .gather(&(my_len as u64).to_le_bytes(), 0)?
-        .ok_or(KampingError::InvalidArgument("gather_counts called off-root"))?;
+        .ok_or(KampingError::InvalidArgument(
+            "gather_counts called off-root",
+        ))?;
     Ok(gathered
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
@@ -130,7 +132,11 @@ fn aligned_partials<T: PodType>(
     let end = offset + local.len();
     while start < end {
         // Largest power-of-two block aligned at `start` and inside range.
-        let align = if start == 0 { usize::MAX.count_ones() as usize } else { start.trailing_zeros() as usize };
+        let align = if start == 0 {
+            usize::MAX.count_ones() as usize
+        } else {
+            start.trailing_zeros() as usize
+        };
         let mut size = 1usize;
         let mut level = 0usize;
         while level < align && start + size * 2 <= end {
@@ -169,7 +175,9 @@ fn tree_fold<T: PodType>(block: &[T], op: impl Fn(T, T) -> T + Copy) -> T {
 fn decode_blocks<T: PodType>(bytes: &[u8]) -> KResult<Vec<(usize, usize, T)>> {
     let rec = 16 + T::SIZE;
     if !bytes.len().is_multiple_of(rec) {
-        return Err(KampingError::InvalidArgument("repro reduce: malformed partials"));
+        return Err(KampingError::InvalidArgument(
+            "repro reduce: malformed partials",
+        ));
     }
     let mut out = Vec::with_capacity(bytes.len() / rec);
     for chunk in bytes.chunks_exact(rec) {
@@ -204,7 +212,9 @@ fn stitch<T: PodType>(blocks: Vec<(usize, usize, T)>, op: impl Fn(T, T) -> T + C
     }
     // Ragged right edge: left-to-right fold (canonical, p-independent).
     let mut iter = stack.into_iter();
-    let (_, _, mut acc) = iter.next().ok_or(KampingError::InvalidArgument("repro reduce: no blocks"))?;
+    let (_, _, mut acc) = iter
+        .next()
+        .ok_or(KampingError::InvalidArgument("repro reduce: no blocks"))?;
     for (_, _, v) in iter {
         acc = op(acc, v);
     }
@@ -214,7 +224,6 @@ fn stitch<T: PodType>(blocks: Vec<(usize, usize, T)>, op: impl Fn(T, T) -> T + C
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     /// Splits `data` into `p` chunks the way a distributed array would be.
     fn chunks(data: &[f64], p: usize) -> Vec<Vec<f64>> {
@@ -247,7 +256,13 @@ mod tests {
     fn bitwise_identical_across_rank_counts() {
         // Mixed magnitudes make float addition order-sensitive.
         let data: Vec<f64> = (0..57)
-            .map(|i| if i % 3 == 0 { 1e16 } else { 3.25521 * (i as f64 + 1.0) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    1e16
+                } else {
+                    3.25521 * (i as f64 + 1.0)
+                }
+            })
             .collect();
         let reference = run_repro(&data, 1);
         for p in [2, 3, 4, 5, 8] {
@@ -265,7 +280,13 @@ mod tests {
         // Sanity check that the workload actually distinguishes orders:
         // a plain left-to-right sum differs from the tree sum.
         let data: Vec<f64> = (0..57)
-            .map(|i| if i % 3 == 0 { 1e16 } else { 3.25521 * (i as f64 + 1.0) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    1e16
+                } else {
+                    3.25521 * (i as f64 + 1.0)
+                }
+            })
             .collect();
         let linear: f64 = data.iter().sum();
         let tree = run_repro(&data, 1);
@@ -285,11 +306,17 @@ mod tests {
     #[test]
     fn empty_and_singleton() {
         kamping::run(3, |comm| {
-            let r = comm.reproducible_allreduce::<f64>(&[], |a, b| a + b).unwrap();
+            let r = comm
+                .reproducible_allreduce::<f64>(&[], |a, b| a + b)
+                .unwrap();
             assert!(r.is_none());
         });
         kamping::run(2, |comm| {
-            let local = if comm.rank() == 0 { vec![42.0f64] } else { vec![] };
+            let local = if comm.rank() == 0 {
+                vec![42.0f64]
+            } else {
+                vec![]
+            };
             let r = comm.reproducible_allreduce(&local, |a, b| a + b).unwrap();
             assert_eq!(r, Some(42.0));
         });
@@ -302,8 +329,14 @@ mod tests {
         let data: Vec<f64> = (0..31).map(|i| 1.0 / (i as f64 + 1.0)).collect();
         let reference = run_repro(&data, 1);
         let results = kamping::run(4, |comm| {
-            let local: Vec<f64> = if comm.rank() == 3 { data.clone() } else { vec![] };
-            comm.reproducible_allreduce(&local, |a, b| a + b).unwrap().unwrap()
+            let local: Vec<f64> = if comm.rank() == 3 {
+                data.clone()
+            } else {
+                vec![]
+            };
+            comm.reproducible_allreduce(&local, |a, b| a + b)
+                .unwrap()
+                .unwrap()
         });
         assert!(results.iter().all(|r| r.to_bits() == reference.to_bits()));
     }
@@ -313,7 +346,9 @@ mod tests {
         let data: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
         let parts = chunks(&data, 4);
         let results = kamping::run(4, |comm| {
-            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap().unwrap()
+            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b)
+                .unwrap()
+                .unwrap()
         });
         assert!(results.iter().all(|r| r.to_bits() == results[0].to_bits()));
     }
@@ -324,11 +359,13 @@ mod tests {
         let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let parts = chunks(&data, 4);
         let (_, profile) = kamping::run_profiled(4, |comm| {
-            comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b).unwrap()
+            comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b)
+                .unwrap()
         });
         let repro_bytes = profile.total_bytes();
         let (_, profile) = kamping::run_profiled(4, |comm| {
-            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b).unwrap()
+            comm.gather_reduce_bcast(&parts[comm.rank()], |a, b| a + b)
+                .unwrap()
         });
         let gather_bytes = profile.total_bytes();
         assert!(

@@ -73,7 +73,10 @@ pub trait SparseAlltoall: CommunicatorPlugin {
             // Drain all currently visible messages.
             while let Some(status) = raw.iprobe(ANY_SOURCE, tag)? {
                 let (wire, st) = raw.recv(status.source, tag)?;
-                received.push(SparseMessage { source: st.source, data: bytes_to_pods(&wire)? });
+                received.push(SparseMessage {
+                    source: st.source,
+                    data: bytes_to_pods(&wire)?,
+                });
             }
 
             match &mut barrier {
@@ -135,7 +138,9 @@ mod tests {
     #[test]
     fn empty_pattern_terminates() {
         kamping::run(4, |comm| {
-            let got = comm.sparse_alltoall(HashMap::<usize, Vec<u8>>::new()).unwrap();
+            let got = comm
+                .sparse_alltoall(HashMap::<usize, Vec<u8>>::new())
+                .unwrap();
             assert!(got.is_empty());
         });
     }

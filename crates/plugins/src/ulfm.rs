@@ -81,7 +81,6 @@ impl UlfmPlugin for Communicator {}
 mod tests {
     use super::*;
 
-
     #[test]
     fn failure_surfaces_as_process_failure_error() {
         kamping::run(3, |comm| {

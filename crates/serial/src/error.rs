@@ -25,7 +25,10 @@ impl fmt::Display for SerialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SerialError::UnexpectedEof { wanted, left } => {
-                write!(f, "unexpected end of archive: wanted {wanted} bytes, {left} left")
+                write!(
+                    f,
+                    "unexpected end of archive: wanted {wanted} bytes, {left} left"
+                )
             }
             SerialError::TrailingBytes { left } => {
                 write!(f, "archive has {left} trailing bytes after the value")

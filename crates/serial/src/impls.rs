@@ -195,7 +195,9 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
         for _ in 0..N {
             items.push(T::deserialize(r)?);
         }
-        items.try_into().map_err(|_| SerialError::Invalid("array length"))
+        items
+            .try_into()
+            .map_err(|_| SerialError::Invalid("array length"))
     }
 }
 

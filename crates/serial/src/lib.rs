@@ -119,7 +119,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut wire = to_bytes(&7u32);
         wire.push(0xFF);
-        assert_eq!(from_bytes::<u32>(&wire), Err(SerialError::TrailingBytes { left: 1 }));
+        assert_eq!(
+            from_bytes::<u32>(&wire),
+            Err(SerialError::TrailingBytes { left: 1 })
+        );
     }
 
     #[derive(Debug, PartialEq)]

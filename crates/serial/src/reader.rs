@@ -23,7 +23,10 @@ impl<'a> Reader<'a> {
     /// Takes the next `n` bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
         if self.remaining() < n {
-            return Err(SerialError::UnexpectedEof { wanted: n, left: self.remaining() });
+            return Err(SerialError::UnexpectedEof {
+                wanted: n,
+                left: self.remaining(),
+            });
         }
         let slice = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -50,7 +53,9 @@ impl<'a> Reader<'a> {
     /// Asserts that the archive has been fully consumed.
     pub fn finish(&self) -> Result<(), SerialError> {
         if self.remaining() != 0 {
-            return Err(SerialError::TrailingBytes { left: self.remaining() });
+            return Err(SerialError::TrailingBytes {
+                left: self.remaining(),
+            });
         }
         Ok(())
     }
@@ -74,7 +79,10 @@ mod tests {
     #[test]
     fn eof_detected() {
         let mut r = Reader::new(&[1]);
-        assert_eq!(r.take(2), Err(SerialError::UnexpectedEof { wanted: 2, left: 1 }));
+        assert_eq!(
+            r.take(2),
+            Err(SerialError::UnexpectedEof { wanted: 2, left: 1 })
+        );
     }
 
     #[test]
@@ -82,7 +90,10 @@ mod tests {
         // Claims 2^60 elements with only 0 bytes of payload behind it.
         let wire = (1u64 << 60).to_le_bytes();
         let mut r = Reader::new(&wire);
-        assert_eq!(r.take_len(1), Err(SerialError::Invalid("length prefix exceeds archive size")));
+        assert_eq!(
+            r.take_len(1),
+            Err(SerialError::Invalid("length prefix exceeds archive size"))
+        );
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Archive writer.
 
-use bytes::{BufMut, BytesMut};
-
 /// Append-only binary archive writer (little-endian, fixed-width).
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
@@ -16,7 +14,9 @@ impl Writer {
 
     /// Creates a writer with `capacity` bytes preallocated.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(capacity) }
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
     }
 
     /// Bytes written so far.
@@ -31,22 +31,22 @@ impl Writer {
 
     /// Appends raw bytes verbatim.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a `u64` length prefix (collection sizes).
     pub fn put_len(&mut self, len: usize) {
-        self.buf.put_u64_le(len as u64);
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
     }
 
     /// Appends one `u8`.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Finalizes the archive.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.freeze().to_vec()
+        self.buf
     }
 }
 

@@ -132,7 +132,12 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
         .filter(|i| i % 3 != 0)
         .map(|i| {
             let k = (i - lo) as usize;
-            Triple { c0: vals[k], c1: t1[k], c2: t2[k], idx: i }
+            Triple {
+                c0: vals[k],
+                c1: t1[k],
+                c2: t2[k],
+                idx: i,
+            }
         })
         .collect();
     sample_sort_kamping(comm, &mut triples, 0xDC3 ^ n)?;
@@ -169,9 +174,21 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
     let m = n1_pad + n2;
 
     // R-position of sample position i (dummy occupies slot n1_pad - 1).
-    let r_pos = |i: u64| if i % 3 == 1 { (i - 1) / 3 } else { n1_pad + (i - 2) / 3 };
+    let r_pos = |i: u64| {
+        if i % 3 == 1 {
+            (i - 1) / 3
+        } else {
+            n1_pad + (i - 2) / 3
+        }
+    };
     // Original position of R-position q (the dummy maps to i = n).
-    let orig_pos = |q: u64| if q < n1_pad { 3 * q + 1 } else { 3 * (q - n1_pad) + 2 };
+    let orig_pos = |q: u64| {
+        if q < n1_pad {
+            3 * q + 1
+        } else {
+            3 * (q - n1_pad) + 2
+        }
+    };
 
     let sample_rank_by_rpos: Vec<u64>;
     let r_blocks;
@@ -183,7 +200,9 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
         let mut to_r: HashMap<usize, Vec<u64>> = HashMap::new();
         for (w, &f) in triples.iter().zip(&flags) {
             names_acc += f;
-            to_r.entry(r_blocks.owner(r_pos(w.idx))).or_default().extend([r_pos(w.idx), names_acc]);
+            to_r.entry(r_blocks.owner(r_pos(w.idx)))
+                .or_default()
+                .extend([r_pos(w.idx), names_acc]);
         }
         sample_rank_by_rpos = deliver_indexed(comm, to_r, r_blocks)?;
     } else {
@@ -202,7 +221,9 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
         if has_dummy && comm.rank() == 0 {
             // Exactly one rank contributes the sentinel (value 1).
             let q_d = n1_pad - 1;
-            to_r.entry(r_blocks.owner(q_d)).or_default().extend([q_d, 1]);
+            to_r.entry(r_blocks.owner(q_d))
+                .or_default()
+                .extend([q_d, 1]);
         }
         let r_local = deliver_indexed(comm, to_r, r_blocks)?;
         let sa_r = dc3_rec(comm, r_local, m)?;
@@ -212,7 +233,9 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
         let mut inv: HashMap<usize, Vec<u64>> = HashMap::new();
         for (off, &rpos) in sa_r.iter().enumerate() {
             let global_pos = r_lo + off as u64;
-            inv.entry(r_blocks.owner(rpos)).or_default().extend([rpos, global_pos + 1]);
+            inv.entry(r_blocks.owner(rpos))
+                .or_default()
+                .extend([rpos, global_pos + 1]);
         }
         sample_rank_by_rpos = deliver_indexed(comm, inv, r_blocks)?;
     }
@@ -226,7 +249,10 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
         if i >= n {
             continue; // the dummy position has no original suffix
         }
-        to_orig.entry(blocks.owner(i)).or_default().extend([i, rank]);
+        to_orig
+            .entry(blocks.owner(i))
+            .or_default()
+            .extend([i, rank]);
     }
     let s_local = deliver_indexed(comm, to_orig, blocks)?;
     let s1 = fetch_shifted(comm, &s_local, blocks, 1)?;
@@ -236,7 +262,14 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
     let mut records: Vec<MergeRec> = (lo..hi)
         .map(|i| {
             let k = (i - lo) as usize;
-            MergeRec { idx: i, c0: vals[k], c1: t1[k], r0: s_local[k], r1: s1[k], r2: s2[k] }
+            MergeRec {
+                idx: i,
+                c0: vals[k],
+                c1: t1[k],
+                r0: s_local[k],
+                r1: s1[k],
+                r2: s2[k],
+            }
         })
         .collect();
     sample_sort_kamping(comm, &mut records, 0xDC3F ^ n)?;
@@ -247,7 +280,9 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
     let mut out: HashMap<usize, Vec<u64>> = HashMap::new();
     for (off, w) in records.iter().enumerate() {
         let pos = pos_offset + off as u64;
-        out.entry(blocks.owner(pos)).or_default().extend([pos, w.idx]);
+        out.entry(blocks.owner(pos))
+            .or_default()
+            .extend([pos, w.idx]);
     }
     deliver_indexed(comm, out, blocks)
 }
@@ -255,12 +290,7 @@ fn dc3_rec(comm: &Communicator, vals: Vec<u64>, n: u64) -> KResult<Vec<u64>> {
 /// Values of the distributed array at positions `i + d` for this rank's
 /// `i` range (0 past the end): the owner of `j` ships `arr[j]` to the
 /// owner of `j - d`.
-fn fetch_shifted(
-    comm: &Communicator,
-    local: &[u64],
-    blocks: Blocks,
-    d: u64,
-) -> KResult<Vec<u64>> {
+fn fetch_shifted(comm: &Communicator, local: &[u64], blocks: Blocks, d: u64) -> KResult<Vec<u64>> {
     let lo = blocks.start(comm.rank());
     let hi = blocks.start(comm.rank() + 1);
     let mut buckets: HashMap<usize, Vec<u64>> = HashMap::new();
@@ -418,7 +448,9 @@ mod tests {
 
     /// Builds a text long enough to force at least one distributed level.
     fn long_text(len: usize, period: usize) -> Vec<u8> {
-        (0..len).map(|i| b'a' + ((i / period + i) % 4) as u8).collect()
+        (0..len)
+            .map(|i| b'a' + ((i / period + i) % 4) as u8)
+            .collect()
     }
 
     #[test]

@@ -115,7 +115,13 @@ pub fn sample_sort_plain<T: PodType + Ord>(comm: &RawComm, data: &mut Vec<T>, se
     let sdispls = excl_prefix_sum(&scounts);
     let rdispls = excl_prefix_sum(&rcounts);
     let recv = comm
-        .alltoallv(kamping::types::pod_as_bytes(data), &scounts, &sdispls, &rcounts, &rdispls)
+        .alltoallv(
+            kamping::types::pod_as_bytes(data),
+            &scounts,
+            &sdispls,
+            &rcounts,
+            &rdispls,
+        )
         .expect("alltoallv");
     *data = kamping::types::bytes_to_pods(&recv).expect("decode");
     data.sort_unstable();
@@ -167,8 +173,12 @@ pub fn sample_sort_mpl_like<T: PodType + Ord>(
         })
         .collect();
     let mut recv_bytes = vec![0u8; total * T::SIZE];
-    comm.raw()
-        .alltoallw(kamping::types::pod_as_bytes(data), &send_types, &mut recv_bytes, &recv_types)?;
+    comm.raw().alltoallw(
+        kamping::types::pod_as_bytes(data),
+        &send_types,
+        &mut recv_bytes,
+        &recv_types,
+    )?;
     *data = kamping::types::bytes_to_pods(&recv_bytes)?;
     data.sort_unstable();
     Ok(())
@@ -199,11 +209,7 @@ mod tests {
         (0..n).map(|_| rng.next_u64() % 10_000).collect()
     }
 
-    fn check_variant(
-        p: usize,
-        n: usize,
-        f: impl Fn(&Communicator, &mut Vec<u64>) + Sync,
-    ) {
+    fn check_variant(p: usize, n: usize, f: impl Fn(&Communicator, &mut Vec<u64>) + Sync) {
         let outputs = kamping::run(p, |comm| {
             let mut data = random_data(comm.rank(), n, 42);
             let reference_input = comm.allgatherv_vec(&data).unwrap();
@@ -280,7 +286,11 @@ mod tests {
     #[test]
     fn empty_rank_input() {
         kamping::run(3, |comm| {
-            let mut data: Vec<u64> = if comm.rank() == 1 { vec![5, 3, 1] } else { vec![] };
+            let mut data: Vec<u64> = if comm.rank() == 1 {
+                vec![5, 3, 1]
+            } else {
+                vec![]
+            };
             sample_sort_kamping(&comm, &mut data, 2).unwrap();
             assert!(is_globally_sorted(&comm, &data).unwrap());
         });

@@ -48,8 +48,9 @@ mod tests {
     #[test]
     fn plugin_sorts_through_the_communicator() {
         kamping::run(4, |comm| {
-            let mut data: Vec<u64> =
-                (0..100).map(|i| (i * 2654435761u64 + comm.rank() as u64) % 1000).collect();
+            let mut data: Vec<u64> = (0..100)
+                .map(|i| (i * 2654435761u64 + comm.rank() as u64) % 1000)
+                .collect();
             comm.sort_distributed(&mut data).unwrap();
             assert!(is_globally_sorted(&comm, &data).unwrap());
         });

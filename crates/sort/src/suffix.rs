@@ -82,7 +82,10 @@ pub fn suffix_array_prefix_doubling(
         let mut buckets: HashMap<usize, Vec<u64>> = HashMap::new();
         for j in lo.max(k)..hi {
             let dest = blocks.owner(j - k);
-            buckets.entry(dest).or_default().extend([j, rank_arr[(j - lo) as usize]]);
+            buckets
+                .entry(dest)
+                .or_default()
+                .extend([j, rank_arr[(j - lo) as usize]]);
         }
         let flat = with_flattened(buckets, p);
         let received = comm.alltoallv_vec(&flat.data, &flat.counts)?;
@@ -128,7 +131,9 @@ pub fn suffix_array_prefix_doubling(
         // Ship (index, new rank) back to the index's owner.
         let mut back: HashMap<usize, Vec<u64>> = HashMap::new();
         for (w, &r) in tuples.iter().zip(&new_ranks) {
-            back.entry(blocks.owner(w.idx)).or_default().extend([w.idx, r]);
+            back.entry(blocks.owner(w.idx))
+                .or_default()
+                .extend([w.idx, r]);
         }
         let flat = with_flattened(back, p);
         let received = comm.alltoallv_vec(&flat.data, &flat.counts)?;
@@ -148,7 +153,10 @@ pub fn suffix_array_prefix_doubling(
     let mut out_buckets: HashMap<usize, Vec<u64>> = HashMap::new();
     for i in lo..hi {
         let pos = rank_arr[(i - lo) as usize] - 1;
-        out_buckets.entry(blocks.owner(pos)).or_default().extend([pos, i]);
+        out_buckets
+            .entry(blocks.owner(pos))
+            .or_default()
+            .extend([pos, i]);
     }
     let flat = with_flattened(out_buckets, p);
     let received = comm.alltoallv_vec(&flat.data, &flat.counts)?;
@@ -187,7 +195,10 @@ pub fn naive_suffix_array(text: &[u8]) -> Vec<u64> {
 
 /// Splits a global text into this rank's block (test/harness helper).
 pub fn text_block(text: &[u8], p: usize, rank: usize) -> Vec<u8> {
-    let blocks = Blocks { n: text.len() as u64, p };
+    let blocks = Blocks {
+        n: text.len() as u64,
+        p,
+    };
     text[blocks.start(rank) as usize..blocks.start(rank + 1) as usize].to_vec()
 }
 

@@ -61,7 +61,13 @@ fn exchange_u64(comm: &RawComm, buckets: HashMap<usize, Vec<u64>>) -> Vec<u64> {
     let send_displs = excl_prefix_sum(&send_counts);
     let recv_displs = excl_prefix_sum(&recv_counts);
     let recv = comm
-        .alltoallv(&send, &send_counts, &send_displs, &recv_counts, &recv_displs)
+        .alltoallv(
+            &send,
+            &send_counts,
+            &send_displs,
+            &recv_counts,
+            &recv_displs,
+        )
         .expect("alltoallv");
     recv.chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -167,7 +173,9 @@ pub fn suffix_array_prefix_doubling_plain(comm: &RawComm, text_local: &[u8], n: 
         let mut back: HashMap<usize, Vec<u64>> = HashMap::new();
         for (w, &f) in tuples.iter().zip(&flags) {
             acc += f;
-            back.entry(block_owner(n, p, w.2)).or_default().extend([w.2, acc]);
+            back.entry(block_owner(n, p, w.2))
+                .or_default()
+                .extend([w.2, acc]);
         }
         let received = exchange_u64(comm, back);
         for pair in received.chunks_exact(2) {
@@ -182,7 +190,10 @@ pub fn suffix_array_prefix_doubling_plain(comm: &RawComm, text_local: &[u8], n: 
     let mut out_buckets: HashMap<usize, Vec<u64>> = HashMap::new();
     for i in lo..hi {
         let pos = rank_arr[(i - lo) as usize] - 1;
-        out_buckets.entry(block_owner(n, p, pos)).or_default().extend([pos, i]);
+        out_buckets
+            .entry(block_owner(n, p, pos))
+            .or_default()
+            .extend([pos, i]);
     }
     let received = exchange_u64(comm, out_buckets);
     let mut sa = vec![0u64; (hi - lo) as usize];
@@ -207,7 +218,9 @@ fn sample_sort_tuples_plain(comm: &RawComm, data: &mut Vec<(u64, u64, u64)>, see
     if !data.is_empty() {
         let mut state = seed ^ (comm.rank() as u64).wrapping_mul(0x9e3779b97f4a7c15);
         for _ in 0..want {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             samples.push(data[(state >> 33) as usize % data.len()]);
         }
     }

@@ -16,7 +16,10 @@ fn main() {
     kamping::run(ranks, |comm| {
         let families: Vec<(&str, kamping_graphs::DistGraph)> = vec![
             ("GNM", gnm(&comm, n, 8 * n, 1).unwrap()),
-            ("RGG-2D", rgg2d(&comm, n, (16.0 / n as f64).sqrt(), 2).unwrap()),
+            (
+                "RGG-2D",
+                rgg2d(&comm, n, (16.0 / n as f64).sqrt(), 2).unwrap(),
+            ),
             ("RHG", rhg(&comm, n, rhg_radius(n, 16.0), 3).unwrap()),
         ];
         for (name, g) in &families {
@@ -30,7 +33,11 @@ fn main() {
                 let total = comm.allreduce_single(reached, |a, b| a + b).unwrap();
                 let depth = comm
                     .allreduce_single(
-                        dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0),
+                        dist.iter()
+                            .copied()
+                            .filter(|&d| d != UNREACHED)
+                            .max()
+                            .unwrap_or(0),
                         |a, b| a.max(b),
                     )
                     .unwrap();

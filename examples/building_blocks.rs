@@ -12,7 +12,10 @@ use kamping_graphs::triangles::count_triangles;
 use kamping_sort::DistributedSorter;
 
 fn main() {
-    let ranks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     kamping::run(ranks, |comm| {
         let mut timer = Timer::new();
 
@@ -29,7 +32,9 @@ fn main() {
         let k = component_count(&comm, &labels).unwrap();
 
         // Triangles of a hyperbolic graph (hubs make them plentiful).
-        let h = timer.time("gen_rhg", || rhg(&comm, 1500, rhg_radius(1500, 10.0), 5).unwrap());
+        let h = timer.time("gen_rhg", || {
+            rhg(&comm, 1500, rhg_radius(1500, 10.0), 5).unwrap()
+        });
         let triangles = timer.time("triangles", || count_triangles(&comm, &h).unwrap());
 
         // Aggregate timings across ranks (the measurements module).
@@ -38,7 +43,10 @@ fn main() {
             println!("building_blocks OK on {ranks} ranks");
             println!("  components of G(4000, 3000): {k}");
             println!("  triangles of RHG(1500):      {triangles}");
-            println!("  {:<12} {:>10} {:>10} {:>10}", "region", "min ms", "mean ms", "max ms");
+            println!(
+                "  {:<12} {:>10} {:>10} {:>10}",
+                "region", "min ms", "mean ms", "max ms"
+            );
             for (name, a) in &agg {
                 println!(
                     "  {:<12} {:>10.3} {:>10.3} {:>10.3}",

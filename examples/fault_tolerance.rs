@@ -5,7 +5,6 @@
 //!
 //! Run with `cargo run --example fault_tolerance`.
 
-
 use kamping_plugins::UlfmPlugin;
 
 fn main() {
@@ -45,7 +44,10 @@ fn main() {
     let survivors: Vec<_> = results.iter().filter(|&&(r, _, _)| r != 4).collect();
     assert_eq!(survivors.len(), 5);
     for &&(rank, total, final_size) in &survivors {
-        assert_eq!(final_size, 5, "rank {rank} ended on the shrunk communicator");
+        assert_eq!(
+            final_size, 5,
+            "rank {rank} ended on the shrunk communicator"
+        );
         assert!(total > 0);
     }
     println!("fault_tolerance OK: 5 survivors completed after losing rank 4");

@@ -33,7 +33,10 @@ fn community_graph(comm: &kamping::Communicator, communities: u64) -> DistGraph 
 }
 
 fn main() {
-    let ranks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     kamping::run(ranks, |comm| {
         let g = community_graph(&comm, 8);
         let t = std::time::Instant::now();
@@ -42,7 +45,10 @@ fn main() {
         let t = std::time::Instant::now();
         let kamp = label_propagation(&comm, &g, 20, 8, LpImpl::Kamping).unwrap();
         let t_kamping = t.elapsed();
-        assert_eq!(plain, kamp, "both layers must produce identical clusterings");
+        assert_eq!(
+            plain, kamp,
+            "both layers must produce identical clusterings"
+        );
 
         // Quality: most vertices should share a label with their community.
         let all = comm.allgatherv_vec(&kamp).unwrap();
@@ -52,7 +58,11 @@ fn main() {
         }
         if comm.rank() == 0 {
             let biggest = clusters.values().max().copied().unwrap_or(0);
-            println!("partition OK: {} clusters over {} vertices (largest {biggest})", clusters.len(), all.len());
+            println!(
+                "partition OK: {} clusters over {} vertices (largest {biggest})",
+                clusters.len(),
+                all.len()
+            );
             println!("  plain layer  : {t_plain:?}");
             println!("  kamping layer: {t_kamping:?}");
             assert!(clusters.len() <= 16, "communities should collapse");

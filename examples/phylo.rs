@@ -25,7 +25,10 @@ fn main() {
         if comm.rank() == 0 {
             let rate_plain = plain.comm_calls as f64 / t_plain.as_secs_f64();
             let rate_kamp = kamp.comm_calls as f64 / t_kamping.as_secs_f64();
-            println!("phylo OK: identical final log-likelihood {:.6}", plain.final_score);
+            println!(
+                "phylo OK: identical final log-likelihood {:.6}",
+                plain.final_score
+            );
             println!("  plain layer  : {t_plain:9.3?} ({rate_plain:9.0} comm calls/s)");
             println!("  kamping layer: {t_kamping:9.3?} ({rate_kamp:9.0} comm calls/s)");
             println!(

@@ -40,7 +40,11 @@ fn main() {
         assert_eq!(out, v_global);
 
         // ----- Level 3: the raw substrate, for plain-MPI-style code.
-        let mut bytes = if me == 0 { b"hello".to_vec() } else { Vec::new() };
+        let mut bytes = if me == 0 {
+            b"hello".to_vec()
+        } else {
+            Vec::new()
+        };
         comm.raw().bcast(&mut bytes, 0).unwrap();
         assert_eq!(bytes, b"hello");
 
@@ -49,7 +53,11 @@ fn main() {
         assert_eq!(sum, 10);
 
         if me == 0 {
-            println!("quickstart OK: gathered {} elements on {} ranks", v_global.len(), comm.size());
+            println!(
+                "quickstart OK: gathered {} elements on {} ranks",
+                v_global.len(),
+                comm.size()
+            );
         }
     });
 }

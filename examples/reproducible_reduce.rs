@@ -22,10 +22,19 @@ fn chunks(data: &[f64], p: usize) -> Vec<Vec<f64>> {
 fn main() {
     // Mixed magnitudes: float addition order visibly matters.
     let data: Vec<f64> = (0..1013)
-        .map(|i| if i % 5 == 0 { 1e15 } else { (i as f64).sin() * 1e-3 })
+        .map(|i| {
+            if i % 5 == 0 {
+                1e15
+            } else {
+                (i as f64).sin() * 1e-3
+            }
+        })
         .collect();
 
-    println!("{:>6} {:>24} {:>24}", "ranks", "naive allreduce", "reproducible_allreduce");
+    println!(
+        "{:>6} {:>24} {:>24}",
+        "ranks", "naive allreduce", "reproducible_allreduce"
+    );
     let mut naive_results = Vec::new();
     let mut repro_results = Vec::new();
     for p in [1usize, 2, 3, 4, 6, 8] {
@@ -43,7 +52,11 @@ fn main() {
         .into_iter()
         .next()
         .unwrap();
-        println!("{p:>6} {:>24} {:>24}", format!("{naive:.6e}"), format!("{repro:.6e}"));
+        println!(
+            "{p:>6} {:>24} {:>24}",
+            format!("{naive:.6e}"),
+            format!("{repro:.6e}")
+        );
         naive_results.push(naive.to_bits());
         repro_results.push(repro.to_bits());
     }

@@ -14,7 +14,11 @@ struct Alignment {
     sites: Vec<Vec<u8>>,
     metadata: HashMap<String, String>,
 }
-serial_struct!(Alignment { taxa, sites, metadata });
+serial_struct!(Alignment {
+    taxa,
+    sites,
+    metadata
+});
 
 fn main() {
     kamping::run(3, |comm| {
@@ -25,9 +29,12 @@ fn main() {
             let mut data: Dict = HashMap::new();
             data.insert("species".into(), "Pan troglodytes".into());
             data.insert("gene".into(), "cytb".into());
-            comm.send_object(as_serialized(&data), destination(1)).unwrap();
+            comm.send_object(as_serialized(&data), destination(1))
+                .unwrap();
         } else if comm.rank() == 1 {
-            let dict = comm.recv_object(as_deserializable::<Dict>(), source(0)).unwrap();
+            let dict = comm
+                .recv_object(as_deserializable::<Dict>(), source(0))
+                .unwrap();
             assert_eq!(dict["gene"], "cytb");
         }
 
@@ -39,7 +46,11 @@ fn main() {
                 metadata: [("source".to_string(), "example".to_string())].into(),
             }
         } else {
-            Alignment { taxa: vec![], sites: vec![], metadata: HashMap::new() }
+            Alignment {
+                taxa: vec![],
+                sites: vec![],
+                metadata: HashMap::new(),
+            }
         };
         comm.bcast_object(&mut aln, 0).unwrap();
         assert_eq!(aln.taxa.len(), 2);
@@ -49,7 +60,10 @@ fn main() {
         // `v` before `wait()` hands it back.
         if comm.rank() == 0 {
             let v: Vec<u64> = (0..100).collect();
-            let r1 = comm.isend(send_buf_owned(v), destination(1)).call().unwrap();
+            let r1 = comm
+                .isend(send_buf_owned(v), destination(1))
+                .call()
+                .unwrap();
             // ... v is inaccessible here (moved) ...
             let v = r1.wait().unwrap(); // moved back after completion
             assert_eq!(v.len(), 100);

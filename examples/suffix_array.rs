@@ -55,5 +55,8 @@ fn main() {
     println!("sequential reference       : {:?}", t.elapsed());
 
     assert_eq!(sa_distributed, sa_naive, "suffix arrays agree");
-    println!("suffix_array OK: n = {len}, SA starts with {:?}", &sa_distributed[..8.min(len)]);
+    println!(
+        "suffix_array OK: n = {len}, SA starts with {:?}",
+        &sa_distributed[..8.min(len)]
+    );
 }

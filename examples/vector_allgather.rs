@@ -37,7 +37,10 @@ fn vector_allgather_plain(comm: &RawComm, v: &[u64]) -> Vec<u64> {
     }
     let bytes = comm.allgatherv(&send, &rc).expect("allgatherv");
     assert_eq!(bytes.len(), n_glob);
-    bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 // LOC-END allgather_plain
 

@@ -16,7 +16,11 @@ fn bfs_through_every_plugin_on_generated_graph() {
     kamping::run(4, |comm| {
         let g = gnm(&comm, 256, 1024, 5).unwrap();
         let baseline = bfs_with_strategy(&comm, &g, 0, ExchangeStrategy::BuiltinAlltoallv).unwrap();
-        for s in [ExchangeStrategy::Sparse, ExchangeStrategy::Grid, ExchangeStrategy::Neighbor] {
+        for s in [
+            ExchangeStrategy::Sparse,
+            ExchangeStrategy::Grid,
+            ExchangeStrategy::Neighbor,
+        ] {
             let d = bfs_with_strategy(&comm, &g, 0, s).unwrap();
             assert_eq!(d, baseline, "{s:?}");
         }
@@ -83,9 +87,15 @@ fn serialization_across_subcommunicators() {
     kamping::run(6, |comm| {
         let sub = comm.split((comm.rank() % 2) as u64, 0).unwrap();
         let mut payload = if sub.rank() == 0 {
-            Payload { tag: format!("group-{}", comm.rank() % 2), values: vec![1, 2, 3] }
+            Payload {
+                tag: format!("group-{}", comm.rank() % 2),
+                values: vec![1, 2, 3],
+            }
         } else {
-            Payload { tag: String::new(), values: vec![] }
+            Payload {
+                tag: String::new(),
+                values: vec![],
+            }
         };
         sub.bcast_object(&mut payload, 0).unwrap();
         assert_eq!(payload.tag, format!("group-{}", comm.rank() % 2));
@@ -131,7 +141,9 @@ fn reproducible_reduce_over_rhg_degrees() {
         let vals: Vec<f64> = (0..g.local_size())
             .map(|v| 1.0 / (1.0 + (g.offsets[v + 1] - g.offsets[v]) as f64))
             .collect();
-        comm.reproducible_allreduce(&vals, |a, b| a + b).unwrap().unwrap()
+        comm.reproducible_allreduce(&vals, |a, b| a + b)
+            .unwrap()
+            .unwrap()
     });
     for p in [2, 3, 4] {
         let got = kamping::run(p, |comm| {
@@ -139,9 +151,14 @@ fn reproducible_reduce_over_rhg_degrees() {
             let vals: Vec<f64> = (0..g.local_size())
                 .map(|v| 1.0 / (1.0 + (g.offsets[v + 1] - g.offsets[v]) as f64))
                 .collect();
-            comm.reproducible_allreduce(&vals, |a, b| a + b).unwrap().unwrap()
+            comm.reproducible_allreduce(&vals, |a, b| a + b)
+                .unwrap()
+                .unwrap()
         });
-        assert!(got.iter().all(|x| x.to_bits() == reference[0].to_bits()), "p={p}");
+        assert!(
+            got.iter().all(|x| x.to_bits() == reference[0].to_bits()),
+            "p={p}"
+        );
     }
 }
 
@@ -162,7 +179,12 @@ fn nonblocking_pipeline_with_request_pool() {
                     .call()
                     .unwrap(),
             );
-            pool.push(comm.irecv::<u64>(source(left)).tag(round as u32).call().unwrap());
+            pool.push(
+                comm.irecv::<u64>(source(left))
+                    .tag(round as u32)
+                    .call()
+                    .unwrap(),
+            );
         }
         let received = pool.wait_all().unwrap();
         for (round, data) in received.iter().enumerate() {
@@ -229,8 +251,9 @@ fn mixed_collective_stress_matches_reference() {
                 2 => {
                     let data = vec![me + round; me as usize % 3];
                     let all = comm.allgatherv_vec(&data).unwrap();
-                    let want: Vec<u64> =
-                        (0..p).flat_map(|r| vec![r + round; r as usize % 3]).collect();
+                    let want: Vec<u64> = (0..p)
+                        .flat_map(|r| vec![r + round; r as usize % 3])
+                        .collect();
                     assert_eq!(all, want);
                 }
                 3 => {
@@ -266,7 +289,13 @@ fn reduce_scatter_and_sendrecv_replace_roundtrip() {
         let p = comm.size();
         let mut buf = kamping::types::pod_as_bytes(&[comm.rank() as u64]).to_vec();
         comm.raw()
-            .sendrecv_replace(&mut buf, (comm.rank() + 1) % p, 1, (comm.rank() + p - 1) % p, 1)
+            .sendrecv_replace(
+                &mut buf,
+                (comm.rank() + 1) % p,
+                1,
+                (comm.rank() + p - 1) % p,
+                1,
+            )
             .unwrap();
         let got: Vec<u64> = kamping::types::bytes_to_pods(&buf).unwrap();
         assert_eq!(got, vec![((comm.rank() + p - 1) % p) as u64]);

@@ -1,15 +1,35 @@
-//! Property-based tests (proptest) on the core invariants of the stack:
+//! Randomized property tests on the core invariants of the stack:
 //! collectives against sequential references, serialization round-trips,
 //! sorting permutation/sortedness, reproducible-reduce p-independence and
 //! suffix arrays against the naive construction.
 //!
-//! Each case spins up its own universe, so case counts are kept moderate.
+//! Each property is driven by a deterministic seeded RNG loop (the vendored
+//! `rand` stand-in): every case derives its RNG from a fixed seed and the
+//! case index, so failures reproduce exactly. Each case spins up its own
+//! universe, so case counts are kept moderate.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use kamping_plugins::ReproducibleReduce;
 use kamping_sort::sample_sort_kamping;
+
+const CASES: u64 = 24;
+
+/// Per-case RNG: deterministic in (property seed, case index).
+fn case_rng(property_seed: u64, case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(property_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
+}
+
+fn gen_vec<T>(
+    rng: &mut SmallRng,
+    len_lo: usize,
+    len_hi: usize,
+    mut f: impl FnMut(&mut SmallRng) -> T,
+) -> Vec<T> {
+    let len = rng.gen_range(len_lo..len_hi);
+    (0..len).map(|_| f(rng)).collect()
+}
 
 fn chunks<T: Clone>(data: &[T], p: usize) -> Vec<Vec<T>> {
     let base = data.len() / p;
@@ -24,50 +44,71 @@ fn chunks<T: Clone>(data: &[T], p: usize) -> Vec<Vec<T>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn allgatherv_is_concatenation(data in vec(vec(any::<u32>(), 0..8), 1..5)) {
+#[test]
+fn allgatherv_is_concatenation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let data: Vec<Vec<u32>> = gen_vec(&mut rng, 1, 5, |r| gen_vec(r, 0, 8, |r| r.next_u32()));
         let p = data.len();
-        let outs = kamping::run(p, |comm| {
-            comm.allgatherv_vec(&data[comm.rank()]).unwrap()
-        });
+        let outs = kamping::run(p, |comm| comm.allgatherv_vec(&data[comm.rank()]).unwrap());
         let want: Vec<u32> = data.concat();
         for o in outs {
-            prop_assert_eq!(&o, &want);
+            assert_eq!(o, want, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn allreduce_equals_fold(data in vec(any::<u32>(), 1..5)) {
+#[test]
+fn allreduce_equals_fold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let data: Vec<u32> = gen_vec(&mut rng, 1, 5, |r| r.next_u32());
         let p = data.len();
         let outs = kamping::run(p, |comm| {
-            comm.allreduce_single(data[comm.rank()] as u64, |a, b| a.wrapping_add(b)).unwrap()
+            comm.allreduce_single(data[comm.rank()] as u64, |a, b| a.wrapping_add(b))
+                .unwrap()
         });
-        let want: u64 = data.iter().map(|&x| x as u64).fold(0, |a, b| a.wrapping_add(b));
+        let want: u64 = data
+            .iter()
+            .map(|&x| x as u64)
+            .fold(0, |a, b| a.wrapping_add(b));
         for o in outs {
-            prop_assert_eq!(o, want);
+            assert_eq!(o, want, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scan_equals_prefix_fold(data in vec(any::<u16>(), 1..6)) {
+#[test]
+fn scan_equals_prefix_fold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let data: Vec<u16> = gen_vec(&mut rng, 1, 6, |r| r.next_u32() as u16);
         let p = data.len();
         let outs = kamping::run(p, |comm| {
-            comm.scan_single(data[comm.rank()] as u64, |a, b| a + b).unwrap()
+            comm.scan_single(data[comm.rank()] as u64, |a, b| a + b)
+                .unwrap()
         });
         let mut acc = 0u64;
         for (r, &x) in data.iter().enumerate() {
             acc += x as u64;
-            prop_assert_eq!(outs[r], acc, "rank {}", r);
+            assert_eq!(outs[r], acc, "case {case} rank {r}");
         }
     }
+}
 
-    #[test]
-    fn alltoallv_routes_every_element(matrix in vec(vec(vec(any::<u16>(), 0..4), 3), 3)) {
+#[test]
+fn alltoallv_routes_every_element() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
         // matrix[s][d] = elements rank s sends to rank d (p = 3 fixed).
         let p = 3;
+        let matrix: Vec<Vec<Vec<u16>>> = (0..p)
+            .map(|_| {
+                (0..p)
+                    .map(|_| gen_vec(&mut rng, 0, 4, |r| r.next_u32() as u16))
+                    .collect()
+            })
+            .collect();
         let outs = kamping::run(p, |comm| {
             let me = comm.rank();
             let counts: Vec<usize> = matrix[me].iter().map(Vec::len).collect();
@@ -76,12 +117,16 @@ proptest! {
         });
         for d in 0..p {
             let want: Vec<u16> = (0..p).flat_map(|s| matrix[s][d].clone()).collect();
-            prop_assert_eq!(&outs[d], &want, "dest {}", d);
+            assert_eq!(outs[d], want, "case {case} dest {d}");
         }
     }
+}
 
-    #[test]
-    fn sample_sort_sorts_any_distribution(data in vec(vec(any::<u64>(), 0..40), 1..5)) {
+#[test]
+fn sample_sort_sorts_any_distribution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let data: Vec<Vec<u64>> = gen_vec(&mut rng, 1, 5, |r| gen_vec(r, 0, 40, |r| r.next_u64()));
         let p = data.len();
         let outs = kamping::run(p, |comm| {
             let mut local = data[comm.rank()].clone();
@@ -91,52 +136,83 @@ proptest! {
         let got: Vec<u64> = outs.concat();
         let mut want: Vec<u64> = data.concat();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn reproducible_reduce_independent_of_p(data in vec(any::<f32>(), 1..64)) {
-        // f32 inputs promoted to f64 sums; NaN-free by filtering.
-        let data: Vec<f64> = data.into_iter()
-            .map(|x| if x.is_finite() { x as f64 } else { 1.0 })
-            .collect();
+#[test]
+fn reproducible_reduce_independent_of_p() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        // Finite f64 inputs spanning magnitudes so summation order matters.
+        let data: Vec<f64> = gen_vec(&mut rng, 1, 64, |r| {
+            let mag = r.gen_range(0u32..49) as f64 - 24.0;
+            (r.next_u32() as f64 / u32::MAX as f64 - 0.5) * mag.exp2()
+        });
         let mut bits = Vec::new();
         for p in [1usize, 2, 3] {
             let parts = chunks(&data, p);
             let outs = kamping::run(p, |comm| {
                 comm.reproducible_allreduce(&parts[comm.rank()], |a, b| a + b)
-                    .unwrap().unwrap()
+                    .unwrap()
+                    .unwrap()
             });
             for o in &outs {
-                prop_assert_eq!(o.to_bits(), outs[0].to_bits());
+                assert_eq!(o.to_bits(), outs[0].to_bits(), "case {case}");
             }
             bits.push(outs[0].to_bits());
         }
-        prop_assert!(bits.iter().all(|&b| b == bits[0]), "results differ across p: {:?}", bits);
+        assert!(
+            bits.iter().all(|&b| b == bits[0]),
+            "case {case}: results differ across p: {bits:?}"
+        );
     }
+}
 
-    #[test]
-    fn serialization_roundtrips(map in proptest::collection::hash_map(".{0,8}", vec(any::<i64>(), 0..5), 0..6)) {
+#[test]
+fn serialization_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let entries = rng.gen_range(0usize..6);
+        let mut map = std::collections::HashMap::new();
+        for _ in 0..entries {
+            let key: String = {
+                let len = rng.gen_range(0usize..9);
+                (0..len)
+                    .map(|_| rng.gen_range(b' '..=b'~') as char)
+                    .collect()
+            };
+            let vals: Vec<i64> = gen_vec(&mut rng, 0, 5, |r| r.next_u64() as i64);
+            map.insert(key, vals);
+        }
         let wire = kamping_serial::to_bytes(&map);
         let back: std::collections::HashMap<String, Vec<i64>> =
             kamping_serial::from_bytes(&wire).unwrap();
-        prop_assert_eq!(back, map);
+        assert_eq!(back, map, "case {case}");
     }
+}
 
-    #[test]
-    fn serializer_never_panics_on_corrupt_input(wire in vec(any::<u8>(), 0..64)) {
+#[test]
+fn serializer_never_panics_on_corrupt_input() {
+    for case in 0..4 * CASES {
+        let mut rng = case_rng(8, case);
+        let wire: Vec<u8> = gen_vec(&mut rng, 0, 64, |r| r.next_u32() as u8);
         // Decoding arbitrary bytes must fail gracefully, never panic/OOM.
         let _ = kamping_serial::from_bytes::<std::collections::HashMap<String, Vec<u64>>>(&wire);
         let _ = kamping_serial::from_bytes::<Vec<String>>(&wire);
         let _ = kamping_serial::from_bytes::<(u64, Option<String>, bool)>(&wire);
     }
+}
 
-    #[test]
-    fn typedesc_pack_unpack_roundtrip(
-        blocks in vec((0usize..16, 1usize..4), 1..4),
-        count in 1usize..3,
-    ) {
-        use kamping_mpi::dtype::TypeDesc;
+#[test]
+fn typedesc_pack_unpack_roundtrip() {
+    use kamping_mpi::dtype::TypeDesc;
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let blocks: Vec<(usize, usize)> = gen_vec(&mut rng, 1, 4, |r| {
+            (r.gen_range(0usize..16), r.gen_range(1usize..4))
+        });
+        let count = rng.gen_range(1usize..3);
         // Normalize to non-overlapping ascending blocks within the extent.
         let mut displ = 0usize;
         let mut norm = Vec::new();
@@ -145,23 +221,31 @@ proptest! {
             displ += gap + len;
         }
         let extent = displ + 3;
-        let desc = TypeDesc::Indexed { blocks: norm.clone(), extent };
+        let desc = TypeDesc::Indexed {
+            blocks: norm.clone(),
+            extent,
+        };
         let src: Vec<u8> = (0..extent * count).map(|i| i as u8).collect();
         let wire = desc.pack_n(&src, count).unwrap();
-        prop_assert_eq!(wire.len(), desc.packed_size() * count);
+        assert_eq!(wire.len(), desc.packed_size() * count, "case {case}");
         let mut dst = vec![0xAAu8; extent * count];
         desc.unpack_n(&wire, &mut dst, count).unwrap();
         for e in 0..count {
             for &(d, l) in &norm {
                 let a = &src[e * extent + d..e * extent + d + l];
                 let b = &dst[e * extent + d..e * extent + d + l];
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn dc3_matches_naive(text in vec(97u8..100, 1..80), p in 1usize..4) {
+#[test]
+fn dc3_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let text: Vec<u8> = gen_vec(&mut rng, 1, 80, |r| r.gen_range(97u8..100));
+        let p = rng.gen_range(1usize..4);
         let want = kamping_sort::suffix::naive_suffix_array(&text);
         let got: Vec<u64> = kamping::run(p, |comm| {
             let local = kamping_sort::suffix::text_block(&text, comm.size(), comm.rank());
@@ -170,14 +254,20 @@ proptest! {
         .into_iter()
         .flatten()
         .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn grid_alltoall_matches_dense(pattern in vec(vec(0usize..4, 5), 5)) {
+#[test]
+fn grid_alltoall_matches_dense() {
+    use kamping_plugins::GridAlltoall;
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
         // pattern[s][d] = elements rank s sends to rank d; p = 5 (non-square).
-        use kamping_plugins::GridAlltoall;
         let p = 5;
+        let pattern: Vec<Vec<usize>> = (0..p)
+            .map(|_| (0..p).map(|_| rng.gen_range(0usize..4)).collect())
+            .collect();
         let outs = kamping::run(p, |comm| {
             let me = comm.rank();
             let counts = pattern[me].clone();
@@ -190,17 +280,23 @@ proptest! {
             (dense, gridded, rc)
         });
         for (dense, gridded, rc) in outs {
-            prop_assert_eq!(&dense, &gridded);
+            assert_eq!(dense, gridded, "case {case}");
             let total: usize = rc.iter().sum();
-            prop_assert_eq!(total, dense.len());
+            assert_eq!(total, dense.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sparse_alltoall_matches_dense(pattern in vec(vec(0usize..3, 4), 4)) {
-        use kamping_plugins::SparseAlltoall;
-        use std::collections::HashMap;
+#[test]
+fn sparse_alltoall_matches_dense() {
+    use kamping_plugins::SparseAlltoall;
+    use std::collections::HashMap;
+    for case in 0..CASES {
+        let mut rng = case_rng(12, case);
         let p = 4;
+        let pattern: Vec<Vec<usize>> = (0..p)
+            .map(|_| (0..p).map(|_| rng.gen_range(0usize..3)).collect())
+            .collect();
         let outs = kamping::run(p, |comm| {
             let me = comm.rank();
             let counts = pattern[me].clone();
@@ -225,12 +321,17 @@ proptest! {
             (dense, sparse)
         });
         for (dense, sparse) in outs {
-            prop_assert_eq!(dense, sparse);
+            assert_eq!(dense, sparse, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn suffix_array_matches_naive(text in vec(97u8..102, 1..60), p in 1usize..4) {
+#[test]
+fn suffix_array_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(13, case);
+        let text: Vec<u8> = gen_vec(&mut rng, 1, 60, |r| r.gen_range(97u8..102));
+        let p = rng.gen_range(1usize..4);
         let want = kamping_sort::suffix::naive_suffix_array(&text);
         let got: Vec<u64> = kamping::run(p, |comm| {
             let local = kamping_sort::suffix::text_block(&text, comm.size(), comm.rank());
@@ -240,36 +341,41 @@ proptest! {
         .into_iter()
         .flatten()
         .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn resize_policies_respect_contracts(
-        pre in 0usize..8,
-        incoming in 0usize..8,
-    ) {
-        use kamping::resize::{GrowOnly, NoResize, ResizePolicy, ResizeToFit};
-        let mut v = vec![0u8; pre];
-        ResizeToFit::prepare(&mut v, incoming, 0).unwrap();
-        prop_assert_eq!(v.len(), incoming);
+#[test]
+fn resize_policies_respect_contracts() {
+    use kamping::resize::{GrowOnly, NoResize, ResizePolicy, ResizeToFit};
+    for pre in 0usize..8 {
+        for incoming in 0usize..8 {
+            let mut v = vec![0u8; pre];
+            ResizeToFit::prepare(&mut v, incoming, 0).unwrap();
+            assert_eq!(v.len(), incoming);
 
-        let mut v = vec![0u8; pre];
-        GrowOnly::prepare(&mut v, incoming, 0).unwrap();
-        prop_assert_eq!(v.len(), pre.max(incoming));
+            let mut v = vec![0u8; pre];
+            GrowOnly::prepare(&mut v, incoming, 0).unwrap();
+            assert_eq!(v.len(), pre.max(incoming));
 
-        let mut v = vec![0u8; pre];
-        let r = NoResize::prepare(&mut v, incoming, 0);
-        prop_assert_eq!(r.is_ok(), pre >= incoming);
-        prop_assert_eq!(v.len(), pre);
+            let mut v = vec![0u8; pre];
+            let r = NoResize::prepare(&mut v, incoming, 0);
+            assert_eq!(r.is_ok(), pre >= incoming);
+            assert_eq!(v.len(), pre);
+        }
     }
 }
 
 #[test]
 fn bcast_object_arbitrary_depth_smoke() {
-    // Not proptest (universe-heavy); a fixed nested payload.
+    // Universe-heavy; a fixed nested payload.
     kamping::run(3, |comm| {
         let mut v: Vec<Option<(String, Vec<u8>)>> = if comm.rank() == 0 {
-            vec![Some(("x".into(), vec![1, 2])), None, Some((String::new(), vec![]))]
+            vec![
+                Some(("x".into(), vec![1, 2])),
+                None,
+                Some((String::new(), vec![])),
+            ]
         } else {
             Vec::new()
         };

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API subset the workspace's `harness = false` benches use:
+//! [`Criterion`] with `sample_size`/`warm_up_time`/`measurement_time`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`]/[`Bencher::iter_custom`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — per-sample timing with
+//! median/min/mean reporting — because the benches themselves do the
+//! interesting timing with `iter_custom` over whole simulated worlds.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let report = run_bench(self, &mut f);
+        report.print("", id);
+    }
+}
+
+/// Identifier shown for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` labelling.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only labelling.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A set of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input` passed through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        report.print(&self.group, &id.label);
+        self
+    }
+
+    /// Benchmarks `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.criterion, &mut |b: &mut Bencher| f(b));
+        report.print(&self.group, &id.label);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` repetitions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the total.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+struct Report {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Report {
+    fn print(&self, group: &str, label: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let full = if group.is_empty() {
+            label.to_string()
+        } else {
+            format!("{group}/{label}")
+        };
+        eprintln!(
+            "{full:<48} median {:>12}  mean {:>12}  min {:>12}",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Report {
+    // Warm up and estimate the per-iteration cost.
+    let mut per_iter = {
+        let warm_start = Instant::now();
+        let mut iters = 1u64;
+        let mut last = run_once(f, iters);
+        while warm_start.elapsed() < config.warm_up_time && last < Duration::from_millis(100) {
+            iters = iters.saturating_mul(2);
+            last = run_once(f, iters);
+        }
+        last.as_secs_f64() / iters as f64
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    // Size each sample so the whole measurement fits the time budget.
+    let budget = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters_per_sample = ((budget / per_iter).ceil() as u64).clamp(1, 1 << 24);
+    let samples = (0..config.sample_size)
+        .map(|_| {
+            let d = run_once(f, iters_per_sample);
+            d.as_secs_f64() * 1e9 / iters_per_sample as f64
+        })
+        .collect();
+    Report { samples }
+}
+
+/// Declares a function running the listed benchmark targets
+/// (`name`/`config`/`targets` form and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("count", 1), &(), |b, _| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_custom_reports_closure_duration() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("custom", |b| b.iter_custom(Duration::from_nanos));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

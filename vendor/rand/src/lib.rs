@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the subset of the `rand 0.8` API the workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`RngCore::next_u64`],
+//! [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`], with
+//! [`rngs::SmallRng`] (and [`rngs::StdRng`]) backed by xoshiro256++.
+//!
+//! Determinism matters more than statistical strength here: every consumer
+//! seeds explicitly, and the tests rely on reproducible streams.
+
+/// Low-level generator interface (`rand::RngCore` subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+/// Explicit-seed construction (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to u64 for arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows back after sampling (value is guaranteed in range).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformInt for $ty {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $ty }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range argument of [`Rng::gen_range`] (`rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Half-open bounds `[lo, hi)` of the range. Panics if empty.
+    fn bounds(self) -> (u64, u64);
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (u64, u64) {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        (lo, hi)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (u64, u64) {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        (lo, hi + 1)
+    }
+}
+
+/// Convenience sampling methods (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Uniform integer in `range` (half-open or inclusive).
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = hi - lo; // != 0 by SampleRange contract
+                            // Lemire-style widening multiply avoids modulo bias for the span
+                            // sizes used here without a rejection loop.
+        let hi64 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + hi64)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of [0, 1]"
+        );
+        // 53 uniform mantissa bits, exactly like rand's float conversion.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (`rand::rngs` subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same family real `SmallRng` uses on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    /// The workspace never needs a cryptographic stream; `StdRng` aliases
+    /// the small generator.
+    pub type StdRng = SmallRng;
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let b = rng.gen_range(b'a'..=b'z');
+            assert!(b.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!(
+            (4_000..6_000).contains(&hits),
+            "p=0.5 produced {hits}/10000"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
