@@ -1,0 +1,132 @@
+//! Point-to-point latency and throughput of both transport backends,
+//! written to `BENCH_net.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p kamping-bench --bin net_bench
+//! ```
+//!
+//! The driver measures the shared-memory backend in-process (2 rank
+//! threads), then relaunches itself as a 2-rank socket job through the
+//! `kampirun` library and merges both results. The same binary also runs
+//! standalone under `kampirun --ranks 2 -- net_bench`, printing the
+//! socket numbers directly.
+//!
+//! Two microbenchmarks, both measured on rank 0, best of `REPS`:
+//!
+//! * **latency** — round-trip time of an 8-byte ping-pong;
+//! * **throughput** — 512 eager 64 KiB messages one way, timed until the
+//!   receiver's 1-byte acknowledgement returns (so the clock covers
+//!   delivery, not just enqueueing).
+
+use std::time::Instant;
+
+use kamping_mpi::net::{launch, LaunchSpec};
+use kamping_mpi::{RawComm, Universe};
+
+const RTT_ROUNDS: usize = 2000;
+const TPUT_MSGS: usize = 512;
+const TPUT_BYTES: usize = 64 * 1024;
+const REPS: usize = 3;
+
+/// Returns rank 0's (round-trip latency in µs, throughput in MiB/s);
+/// rank 1's return value is meaningless.
+fn measure(comm: &RawComm) -> (f64, f64) {
+    assert_eq!(comm.size(), 2, "net_bench runs on exactly 2 ranks");
+    let me = comm.rank();
+
+    let mut best_rtt = f64::INFINITY;
+    for _ in 0..REPS {
+        // The first rep doubles as warmup: connections get established
+        // and caches warmed, and best-of folds it away.
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..RTT_ROUNDS {
+            if me == 0 {
+                comm.send(1, 1, &[0u8; 8]).unwrap();
+                comm.recv(1, 2).unwrap();
+            } else {
+                comm.recv(0, 1).unwrap();
+                comm.send(0, 2, &[0u8; 8]).unwrap();
+            }
+        }
+        let rtt_us = start.elapsed().as_secs_f64() / RTT_ROUNDS as f64 * 1e6;
+        best_rtt = best_rtt.min(rtt_us);
+    }
+
+    let payload = vec![0xA5u8; TPUT_BYTES];
+    let mut best_tput = 0.0f64;
+    for _ in 0..REPS {
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        if me == 0 {
+            for _ in 0..TPUT_MSGS {
+                comm.send(1, 3, &payload).unwrap();
+            }
+            comm.recv(1, 4).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            let mib_s = (TPUT_MSGS * TPUT_BYTES) as f64 / (1024.0 * 1024.0) / secs;
+            best_tput = best_tput.max(mib_s);
+        } else {
+            for _ in 0..TPUT_MSGS {
+                comm.recv(0, 3).unwrap();
+            }
+            comm.send(0, 4, b"!").unwrap();
+        }
+    }
+    (best_rtt, best_tput)
+}
+
+fn main() {
+    if std::env::var("KAMPING_TRANSPORT").is_ok_and(|v| v == "socket") {
+        // Rank body of a socket job — launched by the driver below or by
+        // hand via `kampirun --ranks 2 -- net_bench`.
+        Universe::run(2, |comm| {
+            let (rtt, tput) = measure(&comm);
+            if comm.rank() == 0 {
+                match std::env::var("KAMPING_NET_BENCH_OUT") {
+                    Ok(path) => std::fs::write(path, format!("{rtt} {tput}"))
+                        .expect("writing the socket result file"),
+                    Err(_) => println!("socket: rtt {rtt:.2} us, throughput {tput:.1} MiB/s"),
+                }
+            }
+        });
+        return;
+    }
+
+    eprintln!("== p2p backend comparison (2 ranks, best of {REPS})");
+    let (shm_rtt, shm_tput) = Universe::run(2, |comm| measure(&comm))[0];
+    eprintln!("shm:    rtt {shm_rtt:>7.2} us   throughput {shm_tput:>8.1} MiB/s");
+
+    let out = std::env::temp_dir().join(format!("kamping-net-bench-{}.txt", std::process::id()));
+    let mut spec = LaunchSpec::new(2, std::env::current_exe().expect("own executable path"));
+    spec.env = vec![("KAMPING_NET_BENCH_OUT".into(), out.display().to_string())];
+    let exits = launch(&spec).expect("launching the socket job");
+    for e in &exits {
+        assert!(
+            e.status.success(),
+            "rank {} exited with {}",
+            e.rank,
+            e.status
+        );
+    }
+    let text = std::fs::read_to_string(&out).expect("reading the socket result file");
+    let _ = std::fs::remove_file(&out);
+    let mut vals = text
+        .split_whitespace()
+        .map(|v| v.parse::<f64>().expect("socket result is two floats"));
+    let (net_rtt, net_tput) = (vals.next().unwrap(), vals.next().unwrap());
+    eprintln!("socket: rtt {net_rtt:>7.2} us   throughput {net_tput:>8.1} MiB/s");
+    eprintln!(
+        "socket/shm: {:.1}x rtt, {:.2}x throughput",
+        net_rtt / shm_rtt,
+        net_tput / shm_tput
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"net\",\n  \"ranks\": 2,\n  \"rtt_rounds\": {RTT_ROUNDS},\n  \"tput_msgs\": {TPUT_MSGS},\n  \"tput_bytes\": {TPUT_BYTES},\n  \"reps\": {REPS},\n  \"results\": [\n    {{\"backend\": \"shm\", \"p2p_rtt_us\": {shm_rtt:.3}, \"throughput_mib_s\": {shm_tput:.1}}},\n    {{\"backend\": \"socket\", \"p2p_rtt_us\": {net_rtt:.3}, \"throughput_mib_s\": {net_tput:.1}}}\n  ],\n  \"socket_over_shm_rtt\": {:.3}\n}}\n",
+        net_rtt / shm_rtt
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net.json");
+    std::fs::write(&path, json).expect("write BENCH_net.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! `kampirun` — the `mpirun` of the socket backend.
+//!
+//! ```text
+//! kampirun --ranks N [--tcp] -- <program> [args...]
+//! ```
+//!
+//! Spawns `N` copies of `<program>` wired together over the socket
+//! transport (Unix-domain sockets by default, TCP loopback with `--tcp`)
+//! and waits for all of them. The exit code is 0 if every rank exited 0,
+//! otherwise the first failing rank's code (or 1 for a signal death).
+
+use std::process::ExitCode;
+
+use kamping_mpi::net::{launch, LaunchSpec};
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("kampirun: {err}");
+    eprintln!("usage: kampirun --ranks N [--tcp] -- <program> [args...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut ranks: Option<usize> = None;
+    let mut tcp = false;
+    let mut program = None;
+    let mut prog_args = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" | "-n" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage("--ranks needs an integer argument");
+                };
+                ranks = Some(n);
+            }
+            "--tcp" => tcp = true,
+            "--" => {
+                program = args.next();
+                prog_args = args.collect();
+                break;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(ranks) = ranks else {
+        return usage("missing --ranks");
+    };
+    let Some(program) = program else {
+        return usage("missing -- <program>");
+    };
+
+    let mut spec = LaunchSpec::new(ranks, program);
+    spec.tcp = tcp;
+    spec.args = prog_args;
+
+    let exits = match launch(&spec) {
+        Ok(exits) => exits,
+        Err(e) => {
+            eprintln!("kampirun: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut code: Option<u8> = None;
+    for exit in &exits {
+        if !exit.status.success() {
+            eprintln!("kampirun: rank {} exited with {}", exit.rank, exit.status);
+            code.get_or_insert(exit.status.code().map_or(1, |c| (c & 0xff) as u8));
+        }
+    }
+    code.map_or(ExitCode::SUCCESS, ExitCode::from)
+}

@@ -66,7 +66,10 @@ impl RawComm {
             ctx: self.ctx,
         };
         let interrupt = wait_interrupt(&self.state, src_global, self.ctx);
-        let d = self.state.mailboxes[self.my_global_rank()].take_blocking(key, &interrupt)?;
+        let d = self
+            .state
+            .mailbox(self.my_global_rank())
+            .take_blocking(key, &interrupt)?;
         Ok(d.payload)
     }
 

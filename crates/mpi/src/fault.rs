@@ -136,7 +136,10 @@ impl RawComm {
                 None
             }
         };
-        let d = self.state.mailboxes[self.my_global_rank()].take_blocking(key, &interrupt)?;
+        let d = self
+            .state
+            .mailbox(self.my_global_rank())
+            .take_blocking(key, &interrupt)?;
         Ok(d.payload.into_vec())
     }
 }

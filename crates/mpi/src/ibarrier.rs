@@ -2,19 +2,21 @@
 //!
 //! The NBX sparse all-to-all algorithm (Hoefler et al., reproduced in
 //! `kamping-plugins`) needs a barrier whose completion can be *polled* while
-//! the rank keeps receiving messages. We implement it with a small shared
-//! arrival set registered in the universe, keyed by (context id,
-//! collective sequence number): `enter` records the rank, a request
-//! completes once all members arrived, and the cell is garbage-collected
-//! when the last member has observed completion.
+//! the rank keeps receiving messages. Arrivals live in a universe-level map
+//! keyed by (context id, collective sequence number) — see
+//! [`UniverseState::arrivals`] — so that on multi-process backends a remote
+//! rank's arrival (delivered as a [`crate::transport::ControlMsg::BarrierEnter`]
+//! control frame) can be recorded before this process has created its own
+//! [`BarrierCell`]. `ibarrier` records the rank and broadcasts it, a request
+//! completes once all members arrived, and the cell plus its arrival set are
+//! garbage-collected when the last *local* member has observed completion.
 //!
 //! Failure awareness: if a member dies (or returns from its SPMD closure)
 //! without entering the barrier, polls on the barrier report
 //! [`crate::MpiError::ProcFailed`] instead of spinning forever.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
@@ -22,13 +24,17 @@ use crate::request::{RawRequest, RequestKind};
 use crate::universe::UniverseState;
 use crate::RawComm;
 
-/// Shared arrival/observation state of one non-blocking barrier.
+/// Completion-tracking state of one non-blocking barrier, shared by the
+/// local members of the communicator. Arrival state itself lives in
+/// [`UniverseState::arrivals`].
 pub struct BarrierCell {
     key: (u64, u32),
     /// Global ranks of the members.
     group: Arc<Vec<usize>>,
-    /// Global ranks that have entered.
-    arrived: Mutex<HashSet<usize>>,
+    /// How many members run inside this process (all of them on the shm
+    /// backend, exactly one under a socket launch). Governs garbage
+    /// collection: only local observers can be counted.
+    local_members: usize,
     observed: AtomicUsize,
 }
 
@@ -36,26 +42,34 @@ impl BarrierCell {
     /// Polls the barrier (crate-internal): `Ok(true)` when all members arrived, `Ok(false)`
     /// while waiting, `Err(ProcFailed)` if a member died before entering.
     pub(crate) fn poll(&self, state: &UniverseState) -> MpiResult<bool> {
-        let arrived = self.arrived.lock().expect("barrier cell poisoned");
-        if arrived.len() >= self.group.len() {
+        let arrivals = state.arrivals.lock().expect("barrier arrivals poisoned");
+        let arrived = arrivals.get(&self.key);
+        if arrived.is_some_and(|s| s.len() >= self.group.len()) {
             return Ok(true);
         }
         for &g in self.group.iter() {
-            if !arrived.contains(&g) && state.is_gone(g) {
+            if !arrived.is_some_and(|s| s.contains(&g)) && state.is_gone(g) {
                 return Err(MpiError::ProcFailed { rank: g });
             }
         }
         Ok(false)
     }
 
-    /// Records that one member has seen completion; the last observer
-    /// removes the cell from the registry.
+    /// Records that one local member has seen completion; the last local
+    /// observer removes the cell and its arrival set from the registries.
     pub(crate) fn observe(&self, state: &UniverseState) {
-        if self.observed.fetch_add(1, Ordering::AcqRel) + 1 == self.group.len() {
+        if self.observed.fetch_add(1, Ordering::AcqRel) + 1 == self.local_members {
             state
                 .barriers
                 .lock()
                 .expect("barrier registry poisoned")
+                .remove(&self.key);
+            // All members have arrived by the time anyone observes
+            // completion, so no late BarrierEnter can resurrect this entry.
+            state
+                .arrivals
+                .lock()
+                .expect("barrier arrivals poisoned")
                 .remove(&self.key);
         }
     }
@@ -73,6 +87,7 @@ impl RawComm {
         let key = (self.ctx, seq);
         let group = Arc::clone(&self.group);
         let cell = {
+            let local_members = group.iter().filter(|&&g| self.state.is_local(g)).count();
             let mut reg = self
                 .state
                 .barriers
@@ -82,17 +97,15 @@ impl RawComm {
                 Arc::new(BarrierCell {
                     key,
                     group,
-                    arrived: Mutex::new(HashSet::new()),
+                    local_members,
                     observed: AtomicUsize::new(0),
                 })
             }))
         };
-        cell.arrived
-            .lock()
-            .expect("barrier cell poisoned")
-            .insert(self.my_global_rank());
-        // Peers may be blocked in `wait()` on this barrier.
-        self.state.hub.notify();
+        // Records locally, wakes hub waiters, and broadcasts a
+        // BarrierEnter control frame to remote processes.
+        self.state
+            .enter_barrier(self.ctx, seq, self.my_global_rank());
         Ok(RawRequest::new(
             self.state.clone(),
             RequestKind::Barrier(cell),

@@ -3,8 +3,12 @@
 //! This crate is the *substrate* of the kamping-rs reproduction of the
 //! KaMPIng paper. The paper's contribution is a binding layer over MPI; since
 //! a real MPI installation (and a supercomputer) is out of scope here, this
-//! crate implements the message-passing system itself: "ranks" are OS
-//! threads inside one process, and the transport is shared-memory mailboxes.
+//! crate implements the message-passing system itself. Two interchangeable
+//! backends sit behind the [`transport::Transport`] seam: the default
+//! shared-memory backend runs every "rank" as an OS thread inside one
+//! process, and the [`net`] socket backend runs each rank as its own OS
+//! process connected over Unix-domain or TCP sockets (launched with the
+//! `kampirun` binary, selected via `KAMPING_TRANSPORT=socket`).
 //!
 //! The public API is deliberately C-flavoured and low-level — explicit
 //! counts, displacements, byte buffers, tags, request handles — because it
@@ -61,6 +65,7 @@ pub mod dtype;
 pub mod error;
 pub mod fault;
 pub mod ibarrier;
+pub mod net;
 pub mod p2p;
 pub mod profile;
 pub mod request;

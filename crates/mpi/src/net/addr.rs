@@ -1,0 +1,192 @@
+//! Socket addresses, listeners and streams for the socket backend.
+//!
+//! Both Unix-domain sockets (the default under `kampirun`: no port
+//! allocation, automatic cleanup with the rendezvous directory) and TCP
+//! loopback sockets (`kampirun --tcp`, and the only option on platforms
+//! without Unix sockets) are supported behind one [`Addr`]/[`Listener`]/
+//! [`Stream`] facade. Addresses serialize as `unix:<path>` or
+//! `tcp:<host>:<port>` strings — the form they take in the
+//! `KAMPING_RENDEZVOUS` environment variable and in rendezvous `Table`
+//! frames.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A transport endpoint address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// Unix-domain socket at this filesystem path.
+    Unix(PathBuf),
+    /// TCP socket at this `host:port`.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses the `unix:<path>` / `tcp:<host>:<port>` string form.
+    pub fn parse(s: &str) -> io::Result<Self> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Ok(Addr::Unix(PathBuf::from(path)))
+        } else if let Some(hostport) = s.strip_prefix("tcp:") {
+            Ok(Addr::Tcp(hostport.to_string()))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("address must start with unix: or tcp: (got {s:?})"),
+            ))
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+            Addr::Tcp(hp) => write!(f, "tcp:{hp}"),
+        }
+    }
+}
+
+/// A bound, listening endpoint.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener and the path it is bound to.
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a listener at `addr`. A TCP port of 0 binds an ephemeral
+    /// port; read the actual address back with [`Listener::local_addr`].
+    pub fn bind(addr: &Addr) -> io::Result<Self> {
+        match addr {
+            Addr::Unix(path) => Ok(Listener::Unix(UnixListener::bind(path)?, path.clone())),
+            Addr::Tcp(hostport) => Ok(Listener::Tcp(TcpListener::bind(hostport.as_str())?)),
+        }
+    }
+
+    /// The address peers should connect to (ephemeral TCP ports resolved).
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Unix(_, path) => Ok(Addr::Unix(path.clone())),
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+
+    /// Blocks until a peer connects.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+/// A connected byte stream.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream (Nagle disabled — frames are latency-sensitive).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `addr`.
+    pub fn connect(addr: &Addr) -> io::Result<Self> {
+        match addr {
+            Addr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            Addr::Tcp(hostport) => {
+                let s = TcpStream::connect(hostport.as_str())?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+
+    /// Connects to `addr`, retrying until `timeout` elapses. Used against
+    /// the rendezvous endpoint, which a freshly-spawned rank 0 may not have
+    /// bound yet.
+    pub fn connect_retry(addr: &Addr, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(s) => return Ok(s),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("rendezvous at {addr} unreachable after {timeout:?}: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_string_roundtrip() {
+        for s in ["unix:/tmp/x.sock", "tcp:127.0.0.1:8080"] {
+            assert_eq!(Addr::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Addr::parse("pigeon:coop").is_err());
+    }
+
+    #[test]
+    fn tcp_listener_resolves_ephemeral_port() {
+        let l = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = l.local_addr().unwrap();
+        let Addr::Tcp(hp) = &addr else {
+            panic!("tcp listener must report a tcp addr")
+        };
+        assert!(!hp.ends_with(":0"), "port must be resolved, got {hp}");
+        // And the resolved address is connectable.
+        let mut c = Stream::connect(&addr).unwrap();
+        let mut s = l.accept().unwrap();
+        c.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+}

@@ -1,0 +1,125 @@
+//! Process launching for the socket backend (the `kampirun` library).
+//!
+//! [`launch`] plays the role of `mpirun`: it picks a rendezvous address,
+//! spawns `ranks` copies of the target program with the
+//! `KAMPING_TRANSPORT=socket` environment, waits for all of them, and
+//! reports per-rank exit statuses. The rendezvous *service* is not hosted
+//! here — rank 0 of the job runs it (see [`super`]) — so the launcher
+//! itself is nothing but `fork`/`exec`/`waitpid` plus environment plumbing,
+//! and a job can equally be assembled by hand with four shells and the
+//! right environment variables.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::addr::Addr;
+
+/// Distinguishes concurrent launches from one parent process (tests fire
+/// several jobs in parallel).
+static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One job to launch: the socket-backend analog of an `mpirun` invocation.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Number of ranks (= OS processes) to start.
+    pub ranks: usize,
+    /// Rendezvous over TCP loopback instead of Unix-domain sockets.
+    pub tcp: bool,
+    /// Program to run as every rank.
+    pub program: PathBuf,
+    /// Arguments passed to every rank.
+    pub args: Vec<String>,
+    /// Extra environment variables set for every rank.
+    pub env: Vec<(String, String)>,
+}
+
+impl LaunchSpec {
+    /// A spec with no extra arguments or environment.
+    pub fn new(ranks: usize, program: impl Into<PathBuf>) -> Self {
+        Self {
+            ranks,
+            tcp: false,
+            program: program.into(),
+            args: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+}
+
+/// How one rank's process ended.
+#[derive(Debug)]
+pub struct RankExit {
+    /// The global rank.
+    pub rank: usize,
+    /// Its process exit status.
+    pub status: ExitStatus,
+}
+
+/// Runs `spec` as a multi-process job and waits for every rank.
+///
+/// The spawned processes receive `KAMPING_TRANSPORT=socket`,
+/// `KAMPING_RANK`, `KAMPING_RANKS` and `KAMPING_RENDEZVOUS`; their
+/// [`crate::Universe::run`] call joins the job instead of spawning
+/// threads. Statuses come back in rank order; a crashed rank shows up as
+/// a non-success status here *and* as a ULFM failure inside the job.
+pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
+    if spec.ranks == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a job needs at least one rank",
+        ));
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "kampirun-{}-{}",
+        std::process::id(),
+        LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rendezvous = if spec.tcp {
+        // Reserve an ephemeral port, then hand it to rank 0. The port is
+        // released before rank 0 rebinds it — a small race, which is why
+        // Unix-domain sockets (collision-free paths) are the default.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0")?;
+        Addr::Tcp(format!("127.0.0.1:{}", probe.local_addr()?.port()))
+    } else {
+        Addr::Unix(dir.join("rendezvous.sock"))
+    };
+
+    let mut children: Vec<Child> = Vec::with_capacity(spec.ranks);
+    for rank in 0..spec.ranks {
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.args)
+            .env("KAMPING_TRANSPORT", "socket")
+            .env("KAMPING_RANK", rank.to_string())
+            .env("KAMPING_RANKS", spec.ranks.to_string())
+            .env("KAMPING_RENDEZVOUS", rendezvous.to_string())
+            .stdin(Stdio::null());
+        for (k, v) in &spec.env {
+            cmd.env(k, v);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("spawning rank {rank} ({}): {e}", spec.program.display()),
+                ));
+            }
+        }
+    }
+
+    let mut exits = Vec::with_capacity(spec.ranks);
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait()?;
+        exits.push(RankExit { rank, status });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(exits)
+}

@@ -1,0 +1,300 @@
+//! Cross-process socket backend and the `kampirun` launcher.
+//!
+//! Where the shared-memory backend runs ranks as threads of one process,
+//! this module runs each rank as its *own OS process*, connected by
+//! Unix-domain (default) or TCP loopback sockets. It is selected by the
+//! environment the `kampirun` binary sets up:
+//!
+//! ```text
+//! kampirun --ranks 4 -- ./target/release/examples/sample_sort
+//! ```
+//!
+//! which amounts to `KAMPING_TRANSPORT=socket` plus `KAMPING_RANK`,
+//! `KAMPING_RANKS`, and `KAMPING_RENDEZVOUS` for each spawned process.
+//! [`crate::Universe::run`] detects that environment ([`SocketConfig::from_env`])
+//! and joins the job as one rank instead of spawning threads.
+//!
+//! # Rendezvous
+//!
+//! Rank 0 binds a listener at the rendezvous address. Every other rank
+//! binds its own *data* listener, connects to the rendezvous (with retry —
+//! rank 0 may still be starting), and sends `Join { rank, data_addr }`.
+//! Once all ranks have joined, rank 0 answers each with
+//! `Table { addrs }`, the full data-plane address table. The mesh itself
+//! is established *lazily*: a connection from rank `s` to rank `d` is
+//! opened by `s`'s first send to `d`.
+//!
+//! The rendezvous connections then stay open as the *failure-detection
+//! plane*: each rank writes `Bye` there right before a clean exit, and a
+//! monitor thread on rank 0 treats EOF-without-`Bye` as a crash, marks the
+//! rank failed, and broadcasts `Failed` to all surviving ranks — which is
+//! how a `kill -9` surfaces as [`crate::MpiError::ProcFailed`] for the
+//! ULFM recovery path. (Crashes are *also* detected directly by any peer
+//! whose data connection to the victim breaks.)
+//!
+//! # Limitations (by design, documented here rather than hidden)
+//!
+//! * One socket-backend universe per process, ever: the world is the
+//!   process, so a second `Universe::run` cannot mean anything.
+//! * `Universe::run(size, f)` under `kampirun` ignores `size` — the
+//!   launcher's `--ranks` is authoritative, exactly like `mpirun -n`.
+//!   The returned vector holds only this rank's result.
+//! * If rank 0 exits before other ranks crash, launcher-plane failure
+//!   detection is gone; direct-connection detection still works.
+
+mod addr;
+pub mod launch;
+mod socket;
+pub mod wire;
+
+pub use addr::{Addr, Listener, Stream};
+pub use launch::{launch, LaunchSpec, RankExit};
+pub use socket::SocketTransport;
+
+use std::io;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crate::comm::RawComm;
+use crate::profile::ProfileSnapshot;
+use crate::transport::{ControlSink, Hub, Transport};
+use crate::universe::UniverseState;
+
+use wire::{read_frame, write_frame, Frame};
+
+/// How long a rank keeps retrying the rendezvous endpoint before giving
+/// up on the job.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The socket-backend environment of one rank, as set up by `kampirun`.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// This process's global rank.
+    pub rank: usize,
+    /// Total number of ranks in the job.
+    pub ranks: usize,
+    /// Rendezvous endpoint (rank 0 binds it, everyone else connects).
+    pub rendezvous: Addr,
+}
+
+impl SocketConfig {
+    /// Reads the launch environment. `None` unless
+    /// `KAMPING_TRANSPORT=socket`; panics (with the offending variable
+    /// named) if the socket environment is requested but incomplete,
+    /// because silently falling back to threads would mask launcher bugs.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("KAMPING_TRANSPORT") {
+            Ok(v) if v == "socket" => {}
+            Ok(v) if v == "shm" || v.is_empty() => return None,
+            Ok(v) => panic!("KAMPING_TRANSPORT must be shm or socket, got {v:?}"),
+            Err(_) => return None,
+        }
+        let get = |key: &str| {
+            std::env::var(key).unwrap_or_else(|_| {
+                panic!("KAMPING_TRANSPORT=socket requires {key} (set by kampirun)")
+            })
+        };
+        let rank: usize = get("KAMPING_RANK")
+            .parse()
+            .expect("KAMPING_RANK must be an integer");
+        let ranks: usize = get("KAMPING_RANKS")
+            .parse()
+            .expect("KAMPING_RANKS must be an integer");
+        let rendezvous = Addr::parse(&get("KAMPING_RENDEZVOUS"))
+            .expect("KAMPING_RENDEZVOUS must be unix:<path> or tcp:<host:port>");
+        assert!(
+            rank < ranks,
+            "KAMPING_RANK={rank} out of range for KAMPING_RANKS={ranks}"
+        );
+        Some(Self {
+            rank,
+            ranks,
+            rendezvous,
+        })
+    }
+}
+
+/// What the rendezvous leaves behind on each side.
+enum RendezvousHandle {
+    /// Rank 0: one open connection per other rank, to be monitored.
+    Server(Vec<(usize, Stream)>),
+    /// Other ranks: the open connection to rank 0, for the `Bye` notice.
+    Client(Stream),
+}
+
+/// Runs the rendezvous protocol. Returns the full data-plane address
+/// table and the persistent rendezvous connection(s).
+fn rendezvous(cfg: &SocketConfig, data_addr: &Addr) -> io::Result<(Vec<Addr>, RendezvousHandle)> {
+    if cfg.rank == 0 {
+        let listener = Listener::bind(&cfg.rendezvous)?;
+        let mut addrs: Vec<Option<Addr>> = vec![None; cfg.ranks];
+        addrs[0] = Some(data_addr.clone());
+        let mut conns: Vec<(usize, Stream)> = Vec::with_capacity(cfg.ranks.saturating_sub(1));
+        while conns.len() + 1 < cfg.ranks {
+            let mut s = listener.accept()?;
+            match read_frame(&mut s)? {
+                Frame::Join { rank, data_addr } if rank < cfg.ranks => {
+                    addrs[rank] = Some(Addr::parse(&data_addr)?);
+                    conns.push((rank, s));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected Join at rendezvous, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        let table: Vec<Addr> = addrs
+            .into_iter()
+            .map(|a| a.expect("every rank joined exactly once"))
+            .collect();
+        let strings: Vec<String> = table.iter().map(Addr::to_string).collect();
+        for (_, s) in &mut conns {
+            write_frame(
+                s,
+                &Frame::Table {
+                    addrs: strings.clone(),
+                },
+            )?;
+        }
+        Ok((table, RendezvousHandle::Server(conns)))
+    } else {
+        let mut s = Stream::connect_retry(&cfg.rendezvous, RENDEZVOUS_TIMEOUT)?;
+        write_frame(
+            &mut s,
+            &Frame::Join {
+                rank: cfg.rank,
+                data_addr: data_addr.to_string(),
+            },
+        )?;
+        match read_frame(&mut s)? {
+            Frame::Table { addrs } => {
+                let table = addrs
+                    .iter()
+                    .map(|a| Addr::parse(a))
+                    .collect::<io::Result<Vec<_>>>()?;
+                if table.len() != cfg.ranks {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "rank table size mismatch",
+                    ));
+                }
+                Ok((table, RendezvousHandle::Client(s)))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Table from rendezvous, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Rank 0's failure monitor: one thread per rendezvous connection. A
+/// `Bye` means a clean exit; EOF without one means the process died, so
+/// the rank is marked failed (which also broadcasts `Failed` to every
+/// surviving rank over the data plane).
+fn spawn_monitors(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
+    for (rank, mut stream) in conns {
+        let weak: Weak<UniverseState> = Arc::downgrade(state);
+        std::thread::Builder::new()
+            .name(format!("kamping-monitor-{rank}"))
+            .spawn(move || loop {
+                match read_frame(&mut stream) {
+                    Ok(Frame::Bye { .. }) => return,
+                    Ok(_) => continue,
+                    Err(_) => {
+                        if let Some(state) = weak.upgrade() {
+                            if !state.is_gone(rank) {
+                                state.mark_failed(rank);
+                            }
+                        }
+                        return;
+                    }
+                }
+            })
+            .expect("spawning monitor thread");
+    }
+}
+
+/// Guards against a second socket universe in the same process.
+static SOCKET_UNIVERSE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Joins a `kampirun` job as the rank named by `cfg` and runs `f` once.
+/// This is the socket-backend body of [`crate::Universe::run`].
+pub(crate) fn run_socket<R, F>(cfg: &SocketConfig, f: F) -> (Vec<R>, ProfileSnapshot)
+where
+    R: Send,
+    F: Fn(RawComm) -> R + Sync,
+{
+    assert!(
+        !SOCKET_UNIVERSE_ACTIVE.swap(true, Ordering::AcqRel),
+        "the socket backend supports one Universe::run per process: \
+         the process *is* the rank, so a second universe cannot exist"
+    );
+
+    // Bind the data listener before joining the rendezvous, so the
+    // address we publish is already accepting (the OS queues connections
+    // until the accept loop starts).
+    let preferred = match &cfg.rendezvous {
+        Addr::Unix(p) => Addr::Unix(p.with_file_name(format!("data-{}.sock", cfg.rank))),
+        Addr::Tcp(_) => Addr::Tcp("127.0.0.1:0".into()),
+    };
+    let listener = Listener::bind(&preferred).unwrap_or_else(|e| {
+        panic!(
+            "rank {}: binding data listener at {preferred}: {e}",
+            cfg.rank
+        )
+    });
+    let data_addr = listener.local_addr().expect("listener has an address");
+
+    let (addrs, rdv) = rendezvous(cfg, &data_addr)
+        .unwrap_or_else(|e| panic!("rank {}: rendezvous failed: {e}", cfg.rank));
+
+    let hub = Arc::new(Hub::new());
+    let transport = Arc::new(SocketTransport::new(
+        cfg.rank,
+        cfg.ranks,
+        Arc::clone(&hub),
+        addrs,
+        listener,
+    ));
+    let state = Arc::new(UniverseState::with_transport(
+        cfg.ranks,
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        hub,
+    ));
+    {
+        let weak: Weak<UniverseState> = Arc::downgrade(&state);
+        transport.bind_sink(weak as Weak<dyn ControlSink>);
+    }
+
+    let mut client_conn = None;
+    match rdv {
+        RendezvousHandle::Server(conns) => spawn_monitors(conns, &state),
+        RendezvousHandle::Client(s) => client_conn = Some(s),
+    }
+
+    let comm = RawComm::world(Arc::clone(&state), cfg.rank);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+    if outcome.is_err() {
+        state.mark_failed(cfg.rank);
+    }
+    // Broadcast Finished on the data plane: it travels FIFO *behind* any
+    // still-buffered envelopes, so peers never see the finish overtake
+    // data they are owed.
+    state.mark_finished(cfg.rank);
+    // Flush and join all writer threads before announcing the clean exit.
+    state.transport.shutdown();
+    if let Some(mut s) = client_conn {
+        let _ = write_frame(&mut s, &Frame::Bye { rank: cfg.rank });
+    }
+
+    let profile = state.profile();
+    match outcome {
+        Ok(v) => (vec![v], profile),
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}

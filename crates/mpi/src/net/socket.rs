@@ -1,0 +1,418 @@
+//! The cross-process socket backend.
+//!
+//! Each OS process hosts exactly one rank. Connections are
+//! *unidirectional*: to send to rank `d`, this process lazily connects to
+//! `d`'s data listener (address from the rendezvous table), announces
+//! itself with a `Hello` frame, and from then on a dedicated writer thread
+//! drains an unbounded channel into a buffered stream — one writer per
+//! peer, so per-(source → dest) FIFO order is the order frames enter the
+//! channel, which is the order [`SocketTransport::post`] was called in.
+//! Incoming connections are handled by an accept loop that spawns one
+//! receive thread per peer; received envelopes land in the local rank's
+//! [`Mailbox`], so matching semantics (FIFO per source lane, `ANY_SOURCE`
+//! arrival stamps) are *identical* to the shared-memory backend by
+//! construction.
+//!
+//! Synchronous-mode sends travel with a registry key (`ack_id`): the
+//! receiving side rebuilds the envelope with an [`AckCell`] whose hook
+//! sends an `Ack` frame back when the message is matched, and the origin
+//! flips the registered cell (and notifies the [`Hub`]) when that frame
+//! arrives.
+//!
+//! Failure detection is two-plane: a connect/write/read error on a data
+//! connection marks the peer failed *locally*, and the rendezvous monitor
+//! on rank 0 (see [`super::launch`]) catches crashed processes globally
+//! and broadcasts `Failed` to everyone. A peer whose `Finished` control
+//! frame was seen closes its connections *cleanly*; EOFs from it are not
+//! failures.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+
+use crate::transport::{
+    AckCell, ControlMsg, ControlSink, Envelope, Hub, Mailbox, Payload, Transport,
+};
+
+use super::addr::{Addr, Listener, Stream};
+use super::wire::{read_frame, write_frame, Frame};
+
+/// Where control frames go before/after the universe binds itself.
+enum SinkState {
+    /// No sink yet: queue events, replayed on bind.
+    Pending(Vec<ControlMsg>),
+    /// Bound to the universe (weakly — the universe owns the transport).
+    Bound(Weak<dyn ControlSink>),
+}
+
+/// Outgoing link to one peer.
+enum PeerSlot {
+    /// Never connected.
+    Idle,
+    /// Writer thread running.
+    Up {
+        tx: Sender<Frame>,
+        handle: JoinHandle<()>,
+    },
+    /// Unreachable or shut down; frames to it are dropped.
+    Gone,
+}
+
+/// State shared between the transport handle, writer threads, receive
+/// threads and ack hooks.
+struct Shared {
+    my_rank: usize,
+    size: usize,
+    hub: Arc<Hub>,
+    /// The one local rank's mailbox ([`Mailbox::post`] is the only entry
+    /// point for incoming envelopes, remote and loopback alike).
+    mailbox: Mailbox,
+    /// Data-plane address of every rank, from the rendezvous table.
+    addrs: Vec<Addr>,
+    peers: Vec<Mutex<PeerSlot>>,
+    sink: Mutex<SinkState>,
+    /// Ranks whose `Finished` control frame has been applied: EOF from
+    /// them is a clean close, not a failure.
+    finished_seen: Mutex<HashSet<usize>>,
+    /// In-flight synchronous-mode sends awaiting a wire ack, by ack id.
+    acks: Mutex<HashMap<u64, Arc<AckCell>>>,
+    next_ack_id: AtomicU64,
+    /// Set at shutdown: suppresses failure marks from teardown-induced
+    /// connection errors.
+    down: AtomicBool,
+}
+
+impl Shared {
+    /// Routes a control event into the universe state (or the pending
+    /// queue before the sink is bound). Never re-broadcasts.
+    fn deliver_control(&self, msg: ControlMsg) {
+        if let ControlMsg::Finished { rank } = msg {
+            self.finished_seen
+                .lock()
+                .expect("finished set poisoned")
+                .insert(rank);
+        }
+        let sink = {
+            let mut st = self.sink.lock().expect("sink poisoned");
+            match &mut *st {
+                SinkState::Pending(q) => {
+                    q.push(msg);
+                    return;
+                }
+                SinkState::Bound(w) => w.clone(),
+            }
+        };
+        if let Some(sink) = sink.upgrade() {
+            sink.apply(msg);
+        }
+    }
+
+    /// A data connection to/from `rank` broke. Outside of shutdown, and
+    /// unless the rank already announced a clean finish, that is evidence
+    /// of its death.
+    fn peer_lost(&self, rank: usize) {
+        if self.down.load(Ordering::Acquire) {
+            return;
+        }
+        if self
+            .finished_seen
+            .lock()
+            .expect("finished set poisoned")
+            .contains(&rank)
+        {
+            return;
+        }
+        self.deliver_control(ControlMsg::Failed { rank });
+    }
+
+    /// Enqueues `frame` for `dest`, connecting lazily on first use.
+    /// Returns false if the peer is unreachable (already marked failed).
+    fn send_frame(self: &Arc<Self>, dest: usize, frame: Frame) -> bool {
+        let mut slot = self.peers[dest].lock().expect("peer slot poisoned");
+        if let PeerSlot::Idle = *slot {
+            match Stream::connect(&self.addrs[dest]) {
+                Ok(stream) => {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    tx.send(Frame::Hello { rank: self.my_rank })
+                        .expect("fresh channel cannot be closed");
+                    let shared = Arc::clone(self);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("kamping-tx-{}-{}", self.my_rank, dest))
+                        .spawn(move || writer_loop(stream, rx, dest, shared))
+                        .expect("spawning writer thread");
+                    *slot = PeerSlot::Up { tx, handle };
+                }
+                Err(_) => {
+                    *slot = PeerSlot::Gone;
+                    drop(slot);
+                    self.peer_lost(dest);
+                    return false;
+                }
+            }
+        }
+        match &*slot {
+            PeerSlot::Up { tx, .. } => tx.send(frame).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Ack hook target: tells `origin` that its synchronous-mode send
+    /// `ack_id` has been matched.
+    fn send_ack(self: &Arc<Self>, origin: usize, ack_id: u64) {
+        self.send_frame(origin, Frame::Ack { ack_id });
+    }
+
+    /// Completes a registered ack locally (destination unreachable: the
+    /// send is dropped, but the sender must not wait forever — same
+    /// semantics as posting to a failed rank on the shm backend).
+    fn complete_ack_locally(&self, ack_id: u64) {
+        let cell = self
+            .acks
+            .lock()
+            .expect("ack registry poisoned")
+            .remove(&ack_id);
+        if let Some(cell) = cell {
+            cell.set();
+            self.hub.notify();
+        }
+    }
+}
+
+/// Drains one peer's frame channel into its stream, flushing when the
+/// channel runs dry (batches bursts, keeps latency low when idle).
+fn writer_loop(stream: Stream, rx: Receiver<Frame>, dest: usize, shared: Arc<Shared>) {
+    let mut w = BufWriter::new(stream);
+    loop {
+        let frame = match rx.try_recv() {
+            Ok(f) => f,
+            Err(TryRecvError::Empty) => {
+                if std::io::Write::flush(&mut w).is_err() {
+                    shared.peer_lost(dest);
+                    return;
+                }
+                match rx.recv() {
+                    Ok(f) => f,
+                    // Channel closed with nothing buffered: clean exit.
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                if std::io::Write::flush(&mut w).is_err() {
+                    shared.peer_lost(dest);
+                }
+                return;
+            }
+        };
+        if write_frame(&mut w, &frame).is_err() {
+            shared.peer_lost(dest);
+            return;
+        }
+    }
+}
+
+/// Reads one peer's frames, landing envelopes in the local mailbox and
+/// routing acks/control events.
+fn recv_loop(stream: Stream, shared: Arc<Shared>) {
+    let mut r = BufReader::new(stream);
+    let src = match read_frame(&mut r) {
+        Ok(Frame::Hello { rank }) if rank < shared.size => rank,
+        // A connection that cannot even identify itself is not attributed
+        // to any rank; the rendezvous monitor covers real crashes.
+        _ => return,
+    };
+    loop {
+        match read_frame(&mut r) {
+            Ok(Frame::Data {
+                src: env_src,
+                tag,
+                ctx,
+                ack_id,
+                payload,
+            }) => {
+                if env_src >= shared.size {
+                    return; // protocol violation
+                }
+                let ack = (ack_id != 0).then(|| {
+                    let origin = env_src;
+                    let sh = Arc::clone(&shared);
+                    Arc::new(AckCell::with_hook(move || sh.send_ack(origin, ack_id)))
+                });
+                shared.mailbox.post(Envelope {
+                    src: env_src,
+                    tag,
+                    ctx,
+                    payload: Payload::from_vec(payload),
+                    ack,
+                });
+            }
+            Ok(Frame::Ack { ack_id }) => shared.complete_ack_locally(ack_id),
+            Ok(Frame::Control(msg)) => shared.deliver_control(msg),
+            Ok(_) => return, // protocol violation
+            Err(_) => {
+                // EOF or reset. Clean if the peer finished (or we are
+                // tearing down), a failure otherwise.
+                shared.peer_lost(src);
+                return;
+            }
+        }
+    }
+}
+
+/// The [`Transport`] implementation over per-peer sockets. One per
+/// process; hosts exactly one rank.
+pub struct SocketTransport {
+    shared: Arc<Shared>,
+}
+
+impl SocketTransport {
+    /// Builds the transport for `my_rank` of `size` and starts accepting
+    /// data connections on `listener` (already bound; its address is
+    /// `addrs[my_rank]`).
+    pub(crate) fn new(
+        my_rank: usize,
+        size: usize,
+        hub: Arc<Hub>,
+        addrs: Vec<Addr>,
+        listener: Listener,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            my_rank,
+            size,
+            mailbox: Mailbox::new(size, Arc::clone(&hub)),
+            hub,
+            addrs,
+            peers: (0..size).map(|_| Mutex::new(PeerSlot::Idle)).collect(),
+            sink: Mutex::new(SinkState::Pending(Vec::new())),
+            finished_seen: Mutex::new(HashSet::new()),
+            acks: Mutex::new(HashMap::new()),
+            next_ack_id: AtomicU64::new(1),
+            down: AtomicBool::new(false),
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("kamping-accept-{my_rank}"))
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok(stream) => {
+                            let sh = Arc::clone(&shared);
+                            std::thread::Builder::new()
+                                .name(format!("kamping-rx-{}", shared.my_rank))
+                                .spawn(move || recv_loop(stream, sh))
+                                .expect("spawning receive thread");
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawning accept thread");
+        }
+        Self { shared }
+    }
+
+    /// Binds the universe state as the destination for incoming control
+    /// frames and replays any events that arrived before the bind.
+    pub(crate) fn bind_sink(&self, sink: Weak<dyn ControlSink>) {
+        let pending = {
+            let mut st = self.shared.sink.lock().expect("sink poisoned");
+            match std::mem::replace(&mut *st, SinkState::Bound(sink.clone())) {
+                SinkState::Pending(q) => q,
+                SinkState::Bound(_) => panic!("control sink bound twice"),
+            }
+        };
+        if let Some(s) = sink.upgrade() {
+            for msg in pending {
+                s.apply(msg);
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn post(&self, dest: usize, envelope: Envelope) {
+        if dest == self.shared.my_rank {
+            self.shared.mailbox.post(envelope);
+            return;
+        }
+        let ack_id = match &envelope.ack {
+            Some(ack) => {
+                let id = self.shared.next_ack_id.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .acks
+                    .lock()
+                    .expect("ack registry poisoned")
+                    .insert(id, Arc::clone(ack));
+                id
+            }
+            None => 0,
+        };
+        let frame = Frame::Data {
+            src: envelope.src,
+            tag: envelope.tag,
+            ctx: envelope.ctx,
+            ack_id,
+            payload: envelope.payload.as_slice().to_vec(),
+        };
+        if !self.shared.send_frame(dest, frame) && ack_id != 0 {
+            self.shared.complete_ack_locally(ack_id);
+        }
+    }
+
+    fn mailbox(&self, rank: usize) -> &Mailbox {
+        assert_eq!(
+            rank, self.shared.my_rank,
+            "socket backend hosts exactly one rank per process"
+        );
+        &self.shared.mailbox
+    }
+
+    fn is_local(&self, rank: usize) -> bool {
+        rank == self.shared.my_rank
+    }
+
+    fn control(&self, msg: ControlMsg) {
+        let finished = self
+            .shared
+            .finished_seen
+            .lock()
+            .expect("finished set poisoned")
+            .clone();
+        for dest in 0..self.shared.size {
+            if dest == self.shared.my_rank || finished.contains(&dest) {
+                continue;
+            }
+            self.shared.send_frame(dest, Frame::Control(msg));
+        }
+    }
+
+    fn kick_local(&self) {
+        self.shared.mailbox.kick();
+    }
+
+    fn shutdown(&self) {
+        self.shared.down.store(true, Ordering::Release);
+        // Closing each channel makes its writer flush and exit; joining
+        // guarantees all outgoing frames (including the Finished
+        // broadcast) are on the wire before the process may exit.
+        let mut handles = Vec::new();
+        for slot in self.shared.peers.iter() {
+            let mut slot = slot.lock().expect("peer slot poisoned");
+            if let PeerSlot::Up { handle, .. } = std::mem::replace(&mut *slot, PeerSlot::Gone) {
+                handles.push(handle);
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Accept/receive threads stay parked on their sockets; they hold
+        // only `Shared` weak-free state and die with the process. Peers
+        // that still send to this finished rank get their messages
+        // dropped, mirroring shm semantics for finished ranks.
+    }
+}

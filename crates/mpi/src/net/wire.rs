@@ -1,0 +1,370 @@
+//! Length-prefixed framed wire protocol for the socket backend.
+//!
+//! Every frame is `u32` little-endian body length followed by the body; the
+//! body is a `kamping-serial` archive starting with a one-byte frame kind.
+//! Integers travel as fixed-width little-endian words, byte strings as a
+//! `u64` length prefix plus the raw bytes — the same conventions as the
+//! serialization layer the bindings use for user payloads (Cereal-style,
+//! paper §III-D3), so the wire format needs no second codec.
+//!
+//! Frame inventory:
+//!
+//! | kind | frame      | plane       | direction                         |
+//! |------|------------|-------------|-----------------------------------|
+//! | 1    | `Hello`    | data        | first frame of every connection   |
+//! | 2    | `Data`     | data        | an [`crate::transport::Envelope`] |
+//! | 3    | `Ack`      | data        | ssend matched (wire ack)          |
+//! | 4    | `Control`  | data        | fault/barrier event broadcast     |
+//! | 5    | `Join`     | rendezvous  | rank → rank 0                     |
+//! | 6    | `Table`    | rendezvous  | rank 0 → rank                     |
+//! | 7    | `Bye`      | rendezvous  | clean-exit notice to the monitor  |
+//!
+//! `Data.ack_id` is 0 for standard-mode sends; synchronous-mode sends carry
+//! the sender's ack-registry key, and the receiver returns it in an `Ack`
+//! frame when the message is *matched* (not when it is received — NBX
+//! completion semantics).
+
+use std::io::{self, Read, Write};
+
+use kamping_serial::{Reader, SerialError, Writer};
+
+use crate::tag::Tag;
+use crate::transport::ControlMsg;
+
+/// Refuse frames larger than this (a corrupt length prefix must not
+/// trigger a giant allocation).
+const MAX_FRAME: usize = 1 << 30;
+
+const KIND_HELLO: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_ACK: u8 = 3;
+const KIND_CONTROL: u8 = 4;
+const KIND_JOIN: u8 = 5;
+const KIND_TABLE: u8 = 6;
+const KIND_BYE: u8 = 7;
+
+/// One unit of the socket backend's wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Identifies the connecting rank; first frame on every data
+    /// connection (connections are unidirectional: the connector writes,
+    /// the acceptor reads).
+    Hello {
+        /// Global rank of the connector.
+        rank: usize,
+    },
+    /// A message envelope.
+    Data {
+        /// Global source rank.
+        src: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context id.
+        ctx: u64,
+        /// Sender's ack-registry key for synchronous-mode sends; 0 = none.
+        ack_id: u64,
+        /// The payload bytes (re-packed into a
+        /// [`crate::transport::Payload`] on arrival).
+        payload: Vec<u8>,
+    },
+    /// A synchronous-mode send with this registry key has been matched.
+    Ack {
+        /// The `ack_id` the matching `Data` frame carried.
+        ack_id: u64,
+    },
+    /// A fault/barrier control event (applied, never re-broadcast).
+    Control(ControlMsg),
+    /// Rendezvous: `rank` is up and its data listener is at `data_addr`.
+    Join {
+        /// Global rank of the joiner.
+        rank: usize,
+        /// String form of the joiner's data-plane [`super::Addr`].
+        data_addr: String,
+    },
+    /// Rendezvous: the full rank table, indexed by global rank.
+    Table {
+        /// String forms of every rank's data-plane address.
+        addrs: Vec<String>,
+    },
+    /// Clean exit notice on the rendezvous plane; an EOF *without* a
+    /// preceding `Bye` is how the monitor detects a crashed rank.
+    Bye {
+        /// Global rank that is exiting cleanly.
+        rank: usize,
+    },
+}
+
+fn put_u64(w: &mut Writer, v: u64) {
+    w.put_bytes(&v.to_le_bytes());
+}
+
+fn put_str(w: &mut Writer, s: &str) {
+    w.put_len(s.len());
+    w.put_bytes(s.as_bytes());
+}
+
+fn take_u64(r: &mut Reader<'_>) -> Result<u64, SerialError> {
+    Ok(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+}
+
+fn take_str(r: &mut Reader<'_>) -> Result<String, SerialError> {
+    let n = r.take_len(1)?;
+    String::from_utf8(r.take(n)?.to_vec()).map_err(|_| SerialError::Invalid("address is not utf-8"))
+}
+
+impl Frame {
+    /// Serializes the frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Frame::Hello { rank } => {
+                w.put_u8(KIND_HELLO);
+                put_u64(&mut w, *rank as u64);
+            }
+            Frame::Data {
+                src,
+                tag,
+                ctx,
+                ack_id,
+                payload,
+            } => {
+                w.put_u8(KIND_DATA);
+                put_u64(&mut w, *src as u64);
+                put_u64(&mut w, *tag as u64);
+                put_u64(&mut w, *ctx);
+                put_u64(&mut w, *ack_id);
+                w.put_len(payload.len());
+                w.put_bytes(payload);
+            }
+            Frame::Ack { ack_id } => {
+                w.put_u8(KIND_ACK);
+                put_u64(&mut w, *ack_id);
+            }
+            Frame::Control(msg) => {
+                w.put_u8(KIND_CONTROL);
+                match msg {
+                    ControlMsg::Failed { rank } => {
+                        w.put_u8(0);
+                        put_u64(&mut w, *rank as u64);
+                    }
+                    ControlMsg::Finished { rank } => {
+                        w.put_u8(1);
+                        put_u64(&mut w, *rank as u64);
+                    }
+                    ControlMsg::Revoked { ctx } => {
+                        w.put_u8(2);
+                        put_u64(&mut w, *ctx);
+                    }
+                    ControlMsg::BarrierEnter { ctx, seq, rank } => {
+                        w.put_u8(3);
+                        put_u64(&mut w, *ctx);
+                        put_u64(&mut w, *seq as u64);
+                        put_u64(&mut w, *rank as u64);
+                    }
+                }
+            }
+            Frame::Join { rank, data_addr } => {
+                w.put_u8(KIND_JOIN);
+                put_u64(&mut w, *rank as u64);
+                put_str(&mut w, data_addr);
+            }
+            Frame::Table { addrs } => {
+                w.put_u8(KIND_TABLE);
+                w.put_len(addrs.len());
+                for a in addrs {
+                    put_str(&mut w, a);
+                }
+            }
+            Frame::Bye { rank } => {
+                w.put_u8(KIND_BYE);
+                put_u64(&mut w, *rank as u64);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a frame body produced by [`Frame::encode`].
+    pub fn decode(body: &[u8]) -> Result<Self, SerialError> {
+        let mut r = Reader::new(body);
+        let frame = match r.take_u8()? {
+            KIND_HELLO => Frame::Hello {
+                rank: take_u64(&mut r)? as usize,
+            },
+            KIND_DATA => {
+                let src = take_u64(&mut r)? as usize;
+                let tag = take_u64(&mut r)? as Tag;
+                let ctx = take_u64(&mut r)?;
+                let ack_id = take_u64(&mut r)?;
+                let n = r.take_len(1)?;
+                let payload = r.take(n)?.to_vec();
+                Frame::Data {
+                    src,
+                    tag,
+                    ctx,
+                    ack_id,
+                    payload,
+                }
+            }
+            KIND_ACK => Frame::Ack {
+                ack_id: take_u64(&mut r)?,
+            },
+            KIND_CONTROL => {
+                let msg = match r.take_u8()? {
+                    0 => ControlMsg::Failed {
+                        rank: take_u64(&mut r)? as usize,
+                    },
+                    1 => ControlMsg::Finished {
+                        rank: take_u64(&mut r)? as usize,
+                    },
+                    2 => ControlMsg::Revoked {
+                        ctx: take_u64(&mut r)?,
+                    },
+                    3 => ControlMsg::BarrierEnter {
+                        ctx: take_u64(&mut r)?,
+                        seq: take_u64(&mut r)? as u32,
+                        rank: take_u64(&mut r)? as usize,
+                    },
+                    _ => return Err(SerialError::Invalid("unknown control kind")),
+                };
+                Frame::Control(msg)
+            }
+            KIND_JOIN => Frame::Join {
+                rank: take_u64(&mut r)? as usize,
+                data_addr: take_str(&mut r)?,
+            },
+            KIND_TABLE => {
+                let n = r.take_len(8)?;
+                let addrs = (0..n).map(|_| take_str(&mut r)).collect::<Result<_, _>>()?;
+                Frame::Table { addrs }
+            }
+            KIND_BYE => Frame::Bye {
+                rank: take_u64(&mut r)? as usize,
+            },
+            _ => return Err(SerialError::Invalid("unknown frame kind")),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one length-prefixed frame. Does not flush — batching is the
+/// writer thread's call.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let body = frame.encode();
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one length-prefixed frame. EOF at a frame boundary surfaces as
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Frame::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let mut cursor = buf.as_slice();
+        assert_eq!(read_frame(&mut cursor).unwrap(), f);
+        assert!(cursor.is_empty(), "frame must consume exactly its bytes");
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        roundtrip(Frame::Hello { rank: 3 });
+        roundtrip(Frame::Data {
+            src: 1,
+            tag: 42,
+            ctx: 7,
+            ack_id: 0,
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Data {
+            src: 0,
+            tag: crate::tag::ANY_TAG,
+            ctx: u64::MAX,
+            ack_id: 99,
+            payload: vec![0xab; 100_000],
+        });
+        roundtrip(Frame::Ack { ack_id: 17 });
+        roundtrip(Frame::Control(ControlMsg::Failed { rank: 2 }));
+        roundtrip(Frame::Control(ControlMsg::Finished { rank: 0 }));
+        roundtrip(Frame::Control(ControlMsg::Revoked { ctx: 0xdead }));
+        roundtrip(Frame::Control(ControlMsg::BarrierEnter {
+            ctx: 5,
+            seq: 9,
+            rank: 1,
+        }));
+        roundtrip(Frame::Join {
+            rank: 2,
+            data_addr: "unix:/tmp/data-2.sock".into(),
+        });
+        roundtrip(Frame::Table {
+            addrs: vec!["unix:/a".into(), "tcp:127.0.0.1:1234".into()],
+        });
+        roundtrip(Frame::Bye { rank: 1 });
+    }
+
+    #[test]
+    fn frames_are_self_delimiting_in_a_stream() {
+        let frames = [
+            Frame::Hello { rank: 0 },
+            Frame::Data {
+                src: 0,
+                tag: 1,
+                ctx: 0,
+                ack_id: 0,
+                payload: b"hello".to_vec(),
+            },
+            Frame::Bye { rank: 0 },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = buf.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = bytes.as_slice();
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let body = Frame::Ack { ack_id: 1 }.encode();
+        assert!(Frame::decode(&body[..body.len() - 1]).is_err());
+        // Trailing garbage is also rejected.
+        let mut long = body.clone();
+        long.push(0);
+        assert!(Frame::decode(&long).is_err());
+    }
+}

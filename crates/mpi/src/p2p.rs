@@ -58,13 +58,16 @@ impl RawComm {
             }
             return;
         }
-        self.state.mailboxes[dest_global].post(Envelope {
-            src: self.my_global_rank(),
-            tag,
-            ctx: self.ctx,
-            payload,
-            ack,
-        });
+        self.state.transport.post(
+            dest_global,
+            Envelope {
+                src: self.my_global_rank(),
+                tag,
+                ctx: self.ctx,
+                payload,
+                ack,
+            },
+        );
     }
 
     fn match_key(&self, source: usize, tag: Tag) -> MpiResult<MatchKey> {
@@ -125,7 +128,7 @@ impl RawComm {
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
-        let d = self.state.mailboxes[me].take_blocking(key, &interrupt)?;
+        let d = self.state.mailbox(me).take_blocking(key, &interrupt)?;
         let status = self.status_of(d.src, d.tag, d.payload.len());
         Ok((d.payload, status))
     }
@@ -204,7 +207,7 @@ impl RawComm {
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
-        let (src, t, n) = self.state.mailboxes[me].peek_blocking(key, &interrupt)?;
+        let (src, t, n) = self.state.mailbox(me).peek_blocking(key, &interrupt)?;
         Ok(self.status_of(src, t, n))
     }
 
@@ -213,7 +216,9 @@ impl RawComm {
         self.record(Op::Iprobe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
-        Ok(self.state.mailboxes[me]
+        Ok(self
+            .state
+            .mailbox(me)
             .try_peek(key)
             .map(|(s, t, n)| self.status_of(s, t, n)))
     }

@@ -116,7 +116,7 @@ impl RawRequest {
             RequestKind::Recv { key, me, group } => {
                 // Surface failures/revocation even while polling.
                 let interrupt = wait_interrupt(&self.state, key.src, key.ctx);
-                match self.state.mailboxes[me].try_take(key) {
+                match self.state.mailbox(me).try_take(key) {
                     Some(d) => {
                         let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
                         Ok(Some(Completion::Message(d.payload.into_vec(), status)))
@@ -157,7 +157,7 @@ impl RawRequest {
             None | Some(RequestKind::SendDone) => Ok((Vec::new(), done_status)),
             Some(RequestKind::Recv { key, me, group }) => {
                 let interrupt = wait_interrupt(&self.state, key.src, key.ctx);
-                let d = self.state.mailboxes[me].take_blocking(key, &interrupt)?;
+                let d = self.state.mailbox(me).take_blocking(key, &interrupt)?;
                 let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
                 Ok((d.payload.into_vec(), status))
             }

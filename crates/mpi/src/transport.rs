@@ -1,4 +1,22 @@
-//! Shared-memory transport: per-(source → dest) lanes with wakeup signalling.
+//! The transport seam and the shared-memory backend.
+//!
+//! The substrate talks to the outside world through the [`Transport`]
+//! trait: depositing envelopes at a destination rank, propagating control
+//! events (failure, finish, revocation, barrier arrivals) to every peer,
+//! and flushing traffic at teardown. Two backends implement it:
+//!
+//! * [`ShmTransport`] (this module) — all ranks are threads of one process
+//!   and every mailbox is directly reachable; control propagation is a
+//!   no-op because the fault/barrier state is genuinely shared.
+//! * [`crate::net::SocketTransport`] — each rank is its own OS process;
+//!   envelopes travel as length-prefixed frames over per-peer sockets and
+//!   control events are broadcast as control frames (see `crate::net`).
+//!
+//! Either way the *receive side* is identical: envelopes land in the
+//! destination rank's [`Mailbox`], so matching semantics (FIFO per source,
+//! `ANY_SOURCE` arrival stamps, ack flipping) are defined once, here.
+//!
+//! # The shared-memory mailbox
 //!
 //! Each rank owns a [`Mailbox`] holding one FIFO *lane per sender*, so
 //! concurrent senders never contend on a shared queue lock. Sends are
@@ -122,17 +140,53 @@ impl Payload {
 }
 
 /// Acknowledgement cell for synchronous-mode sends.
-#[derive(Debug, Default)]
-pub struct AckCell(AtomicBool);
+///
+/// In-process the sender holds the same cell the receiver flips. For
+/// remote senders the receiving transport attaches a *hook* that runs on
+/// the first [`AckCell::set`] — the socket backend uses it to send the
+/// acknowledgement frame back to the origin rank.
+#[derive(Default)]
+pub struct AckCell {
+    matched: AtomicBool,
+    on_set: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl std::fmt::Debug for AckCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AckCell")
+            .field("matched", &self.is_set())
+            .finish_non_exhaustive()
+    }
+}
 
 impl AckCell {
+    /// Creates an unmatched cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unmatched cell whose first [`AckCell::set`] additionally
+    /// runs `hook` (used by transports to propagate the ack to a remote
+    /// sender).
+    pub fn with_hook(hook: impl FnOnce() + Send + 'static) -> Self {
+        Self {
+            matched: AtomicBool::new(false),
+            on_set: Mutex::new(Some(Box::new(hook))),
+        }
+    }
+
     /// Marks the message as matched by a receiver.
     pub fn set(&self) {
-        self.0.store(true, Ordering::Release);
+        self.matched.store(true, Ordering::Release);
+        let hook = self.on_set.lock().expect("ack hook poisoned").take();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
+
     /// True once a receiver has matched the message.
     pub fn is_set(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.matched.load(Ordering::Acquire)
     }
 }
 
@@ -420,6 +474,137 @@ impl Mailbox {
     }
 }
 
+/// A control event that every rank of the job must learn about. These are
+/// exactly the events the shared-memory backend communicates through
+/// genuinely shared state (failure sets, the barrier registry) and that a
+/// cross-process backend must therefore put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// `rank` has failed (crashed, panicked, or injected via ULFM).
+    Failed {
+        /// Global rank of the failed process.
+        rank: usize,
+    },
+    /// `rank`'s SPMD closure returned; it will never communicate again.
+    Finished {
+        /// Global rank of the finished process.
+        rank: usize,
+    },
+    /// The communicator context `ctx` has been revoked (ULFM).
+    Revoked {
+        /// Context id of the revoked communicator.
+        ctx: u64,
+    },
+    /// `rank` entered the non-blocking barrier keyed `(ctx, seq)`.
+    BarrierEnter {
+        /// Context id of the communicator the barrier runs on.
+        ctx: u64,
+        /// Collective sequence number of the barrier.
+        seq: u32,
+        /// Global rank that entered.
+        rank: usize,
+    },
+}
+
+/// Where incoming *remote* control events are applied. Implemented by the
+/// universe state: transports deliver control frames here without ever
+/// re-broadcasting them (only the originating rank broadcasts).
+pub trait ControlSink: Send + Sync {
+    /// Applies one control event to the local fault/barrier view.
+    fn apply(&self, msg: ControlMsg);
+}
+
+/// A message-passing backend: the seam between the rank-facing substrate
+/// (communicators, p2p, collectives, requests) and the machinery that
+/// moves bytes between ranks.
+///
+/// The receive path is shared by all backends — incoming envelopes land in
+/// a per-rank [`Mailbox`] — so the trait only abstracts the *send* path,
+/// control-event propagation, and teardown.
+pub trait Transport: Send + Sync {
+    /// Human-readable backend name (`"shm"`, `"socket"`), as selected by
+    /// `KAMPING_TRANSPORT`.
+    fn name(&self) -> &'static str;
+
+    /// Deposits `envelope` in global rank `dest`'s mailbox, wherever that
+    /// rank lives. Must preserve per-(source → dest) FIFO order.
+    fn post(&self, dest: usize, envelope: Envelope);
+
+    /// The mailbox of a rank hosted by *this* process.
+    ///
+    /// # Panics
+    /// May panic if `rank` is not local (see [`Transport::is_local`]).
+    fn mailbox(&self, rank: usize) -> &Mailbox;
+
+    /// True if `rank` runs inside this process (always, for shm; only for
+    /// the one own rank, for socket).
+    fn is_local(&self, rank: usize) -> bool;
+
+    /// Propagates a locally-originated control event to every *remote*
+    /// rank. The caller has already applied it to the local state, so the
+    /// shared-memory backend does nothing here.
+    fn control(&self, msg: ControlMsg);
+
+    /// Wakes every blocked receiver of every local mailbox so it can
+    /// re-check failure/revocation state.
+    fn kick_local(&self);
+
+    /// Flushes all outgoing traffic and tears the backend down. Called
+    /// once per local rank after its SPMD closure returned and its
+    /// `Finished` mark has been issued.
+    fn shutdown(&self);
+}
+
+/// The shared-memory backend: every rank is a thread of this process and
+/// every mailbox is directly addressable. This is the transport the seed
+/// system hard-wired; it remains the default (`KAMPING_TRANSPORT=shm`).
+#[derive(Debug)]
+pub struct ShmTransport {
+    mailboxes: Vec<Mailbox>,
+}
+
+impl ShmTransport {
+    /// Creates mailboxes for `size` in-process ranks sharing `hub`.
+    pub fn new(size: usize, hub: &Arc<Hub>) -> Self {
+        Self {
+            mailboxes: (0..size)
+                .map(|_| Mailbox::new(size, Arc::clone(hub)))
+                .collect(),
+        }
+    }
+}
+
+impl Transport for ShmTransport {
+    fn name(&self) -> &'static str {
+        "shm"
+    }
+
+    fn post(&self, dest: usize, envelope: Envelope) {
+        self.mailboxes[dest].post(envelope);
+    }
+
+    fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    fn is_local(&self, _rank: usize) -> bool {
+        true
+    }
+
+    fn control(&self, _msg: ControlMsg) {
+        // All ranks share one UniverseState: the caller's local application
+        // of the event *is* the global application.
+    }
+
+    fn kick_local(&self) {
+        for mb in &self.mailboxes {
+            mb.kick();
+        }
+    }
+
+    fn shutdown(&self) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,19 +739,39 @@ mod tests {
         assert_eq!(err, MpiError::ProcFailed { rank: 2 });
     }
 
+    /// Deterministic rendezvous used instead of `thread::sleep`: the
+    /// blocked side raises `flag` from inside its interrupt/predicate
+    /// closure (which the wait loop runs before every condvar sleep) and
+    /// signals `gate`; the driving side blocks on `gate` until then.
+    /// Either the waiter then sleeps and is woken, or the wake event was
+    /// already applied and the waiter's next re-check sees it — both
+    /// orders pass without any timing assumption.
+    fn await_flag(gate: &Hub, flag: &AtomicBool) {
+        gate.wait_until(|| flag.load(Ordering::Acquire).then_some(()));
+    }
+
     #[test]
     fn blocking_take_wakes_on_post() {
         let mb = Arc::new(mailbox(1));
-        let mb2 = mb.clone();
+        let gate = Arc::new(Hub::new());
+        let entered = Arc::new(AtomicBool::new(false));
+        let (mb2, gate2, entered2) = (mb.clone(), gate.clone(), entered.clone());
         let handle = std::thread::spawn(move || {
             let key = MatchKey {
                 src: 0,
                 tag: 0,
                 ctx: 0,
             };
-            mb2.take_blocking(key, &|| None).unwrap()
+            mb2.take_blocking(key, &|| {
+                entered2.store(true, Ordering::Release);
+                gate2.notify();
+                None
+            })
+            .unwrap()
         });
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Nothing is posted yet, so the take cannot have matched: it is
+        // inside the wait loop once the interrupt closure has run.
+        await_flag(&gate, &entered);
         mb.post(env(0, 0, 0, b"wake"));
         assert_eq!(handle.join().unwrap().payload.as_slice(), b"wake");
     }
@@ -574,16 +779,23 @@ mod tests {
     #[test]
     fn blocking_peek_wakes_on_post_and_preserves() {
         let mb = Arc::new(mailbox(1));
-        let mb2 = mb.clone();
+        let gate = Arc::new(Hub::new());
+        let entered = Arc::new(AtomicBool::new(false));
+        let (mb2, gate2, entered2) = (mb.clone(), gate.clone(), entered.clone());
         let handle = std::thread::spawn(move || {
             let key = MatchKey {
                 src: 0,
                 tag: 3,
                 ctx: 0,
             };
-            mb2.peek_blocking(key, &|| None).unwrap()
+            mb2.peek_blocking(key, &|| {
+                entered2.store(true, Ordering::Release);
+                gate2.notify();
+                None
+            })
+            .unwrap()
         });
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        await_flag(&gate, &entered);
         mb.post(env(0, 3, 0, b"stay"));
         assert_eq!(handle.join().unwrap(), (0, 3, 4));
         assert_eq!(mb.len(), 1, "probe must not consume");
@@ -592,8 +804,15 @@ mod tests {
     #[test]
     fn kick_wakes_blocked_receiver_for_interrupt() {
         let mb = Arc::new(mailbox(1));
+        let gate = Arc::new(Hub::new());
+        let entered = Arc::new(AtomicBool::new(false));
         let interrupted = Arc::new(AtomicBool::new(false));
-        let (mb2, flag) = (mb.clone(), interrupted.clone());
+        let (mb2, gate2, entered2, flag) = (
+            mb.clone(),
+            gate.clone(),
+            entered.clone(),
+            interrupted.clone(),
+        );
         let handle = std::thread::spawn(move || {
             let key = MatchKey {
                 src: 0,
@@ -601,11 +820,15 @@ mod tests {
                 ctx: 0,
             };
             mb2.take_blocking(key, &|| {
+                entered2.store(true, Ordering::Release);
+                gate2.notify();
                 flag.load(Ordering::Acquire).then_some(MpiError::Revoked)
             })
         });
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        await_flag(&gate, &entered);
         interrupted.store(true, Ordering::Release);
+        // The kick's epoch bump is ordered with the receiver's gate lock,
+        // so the receiver either re-runs the interrupt or wakes to run it.
         mb.kick();
         assert_eq!(handle.join().unwrap().unwrap_err(), MpiError::Revoked);
     }
@@ -645,13 +868,57 @@ mod tests {
     #[test]
     fn hub_wait_sees_signal_raced_with_predicate() {
         let hub = Arc::new(Hub::new());
+        // A *second* hub carries the handshake so the signal under test is
+        // the only notification `hub` ever sees.
+        let gate = Arc::new(Hub::new());
+        let entered = Arc::new(AtomicBool::new(false));
         let flag = Arc::new(AtomicBool::new(false));
-        let (h2, f2) = (hub.clone(), flag.clone());
-        let waiter =
-            std::thread::spawn(move || h2.wait_until(|| f2.load(Ordering::Acquire).then_some(42)));
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (h2, gate2, entered2, f2) = (hub.clone(), gate.clone(), entered.clone(), flag.clone());
+        let waiter = std::thread::spawn(move || {
+            h2.wait_until(|| {
+                entered2.store(true, Ordering::Release);
+                gate2.notify();
+                f2.load(Ordering::Acquire).then_some(42)
+            })
+        });
+        await_flag(&gate, &entered);
         flag.store(true, Ordering::Release);
         hub.notify();
         assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn ack_hook_runs_once_on_set() {
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let ack = AckCell::with_hook(move || f.store(true, Ordering::Release));
+        assert!(!ack.is_set());
+        ack.set();
+        assert!(ack.is_set());
+        assert!(fired.load(Ordering::Acquire));
+        // A second set keeps the cell matched and must not re-run the hook.
+        ack.set();
+        assert!(ack.is_set());
+    }
+
+    #[test]
+    fn shm_transport_posts_and_kicks() {
+        let hub = Arc::new(Hub::new());
+        let t = ShmTransport::new(2, &hub);
+        t.post(1, env(0, 4, 0, b"via-trait"));
+        assert!(t.is_local(1));
+        assert_eq!(t.name(), "shm");
+        let got = t
+            .mailbox(1)
+            .try_take(MatchKey {
+                src: 0,
+                tag: 4,
+                ctx: 0,
+            })
+            .unwrap();
+        assert_eq!(got.payload.as_slice(), b"via-trait");
+        t.control(ControlMsg::Failed { rank: 0 });
+        t.kick_local();
+        t.shutdown();
     }
 }

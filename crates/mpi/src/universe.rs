@@ -1,11 +1,22 @@
 //! The universe: process-global state and the SPMD entry point.
 //!
-//! [`Universe::run`] plays the role of `mpirun -n p`: it spawns `p` rank
-//! threads, hands each a world communicator, joins them, and returns their
-//! results ordered by rank. A rank that panics is treated like a crashed
-//! process: it is marked failed so that peers blocked on it observe
-//! [`MpiError::ProcFailed`] instead of deadlocking, and the panic is
+//! [`Universe::run`] plays the role of `mpirun -n p`. On the default
+//! shared-memory backend it spawns `p` rank threads, hands each a world
+//! communicator, joins them, and returns their results ordered by rank.
+//! Under a [`kampirun`](crate::net) launch (`KAMPING_TRANSPORT=socket`
+//! plus the rendezvous environment), the same call instead *joins* a
+//! multi-process job as one rank: the closure runs once for the rank this
+//! process hosts and the returned vector holds that single result.
+//!
+//! A rank that panics is treated like a crashed process: it is marked
+//! failed so that peers blocked on it observe [`MpiError::ProcFailed`]
+//! instead of deadlocking, and (on the thread backend) the panic is
 //! re-raised on the spawning thread after all ranks have finished.
+//!
+//! All fault and barrier bookkeeping lives here as a *per-process view*:
+//! on the shm backend the view is genuinely shared by all ranks, on the
+//! socket backend each process keeps its own copy synchronized through
+//! [`ControlMsg`] frames applied via the [`ControlSink`] impl below.
 
 use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
@@ -16,15 +27,16 @@ use crate::comm::RawComm;
 use crate::error::MpiError;
 use crate::ibarrier::BarrierCell;
 use crate::profile::{ProfileSnapshot, RankCounters};
-use crate::transport::{Hub, Mailbox};
+use crate::transport::{ControlMsg, ControlSink, Hub, Mailbox, ShmTransport, Transport};
 
-/// Shared state of one simulated MPI job.
+/// Shared state of one MPI job, as seen by one process.
 pub(crate) struct UniverseState {
     /// Number of ranks in the world.
     pub size: usize,
-    /// One mailbox per global rank.
-    pub mailboxes: Vec<Mailbox>,
-    /// One profiling counter block per global rank.
+    /// The backend moving envelopes and control events between ranks.
+    pub transport: Arc<dyn Transport>,
+    /// One profiling counter block per global rank (remote ranks' blocks
+    /// stay zero on multi-process backends; each process reports its own).
     pub counters: Vec<RankCounters>,
     /// Wakeup channel for events not tied to one mailbox: ssend acks,
     /// non-blocking-barrier arrivals, failure/revocation marks.
@@ -44,16 +56,29 @@ pub(crate) struct UniverseState {
     /// Registry of in-flight non-blocking barriers, keyed by
     /// (context id, collective sequence number).
     pub barriers: Mutex<HashMap<(u64, u32), Arc<BarrierCell>>>,
+    /// Global ranks known to have entered each non-blocking barrier. Kept
+    /// outside the cells so that remote arrivals can be recorded before
+    /// this process itself enters the barrier (and thus creates its cell).
+    pub arrivals: Mutex<HashMap<(u64, u32), HashSet<usize>>>,
 }
 
 impl UniverseState {
+    /// In-process universe over the shared-memory backend.
     fn new(size: usize) -> Self {
         let hub = Arc::new(Hub::new());
+        let transport: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub));
+        Self::with_transport(size, transport, hub)
+    }
+
+    /// Universe over an externally-constructed backend (the socket path).
+    pub(crate) fn with_transport(
+        size: usize,
+        transport: Arc<dyn Transport>,
+        hub: Arc<Hub>,
+    ) -> Self {
         Self {
             size,
-            mailboxes: (0..size)
-                .map(|_| Mailbox::new(size, Arc::clone(&hub)))
-                .collect(),
+            transport,
             counters: (0..size).map(|_| RankCounters::default()).collect(),
             hub,
             fault_epoch: AtomicU64::new(0),
@@ -61,27 +86,73 @@ impl UniverseState {
             finished: RwLock::new(HashSet::new()),
             revoked: RwLock::new(HashSet::new()),
             barriers: Mutex::new(HashMap::new()),
+            arrivals: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The mailbox of a locally-hosted rank.
+    pub fn mailbox(&self, rank: usize) -> &Mailbox {
+        self.transport.mailbox(rank)
+    }
+
+    /// True if `rank` runs inside this process.
+    pub fn is_local(&self, rank: usize) -> bool {
+        self.transport.is_local(rank)
     }
 
     /// Wakes everything that might be waiting on failure state: blocked
-    /// receivers in every mailbox and hub waiters (ssend/barrier waits).
+    /// receivers in every local mailbox and hub waiters (ssend/barrier
+    /// waits).
     fn broadcast_fault(&self) {
         self.fault_epoch.fetch_add(1, Ordering::Release);
-        for mb in &self.mailboxes {
-            mb.kick();
-        }
+        self.transport.kick_local();
         self.hub.notify();
     }
 
-    /// Marks `rank` failed and wakes every blocked receiver so it can
-    /// observe the failure.
-    pub fn mark_failed(&self, rank: usize) {
+    /// Applies a failure mark to the local view (no re-broadcast).
+    fn apply_failed(&self, rank: usize) {
         self.failed
             .write()
             .expect("failed set poisoned")
             .insert(rank);
         self.broadcast_fault();
+    }
+
+    /// Applies a finish mark to the local view (no re-broadcast).
+    fn apply_finished(&self, rank: usize) {
+        self.finished
+            .write()
+            .expect("finished set poisoned")
+            .insert(rank);
+        self.broadcast_fault();
+    }
+
+    /// Applies a revocation mark to the local view (no re-broadcast).
+    fn apply_revoked(&self, ctx: u64) {
+        self.revoked
+            .write()
+            .expect("revoked set poisoned")
+            .insert(ctx);
+        self.broadcast_fault();
+    }
+
+    /// Records a barrier arrival in the local view (no re-broadcast).
+    fn apply_barrier_enter(&self, ctx: u64, seq: u32, rank: usize) {
+        self.arrivals
+            .lock()
+            .expect("barrier arrivals poisoned")
+            .entry((ctx, seq))
+            .or_default()
+            .insert(rank);
+        // Peers may be blocked in `wait()` on this barrier.
+        self.hub.notify();
+    }
+
+    /// Marks `rank` failed, wakes every blocked local receiver, and tells
+    /// all remote ranks.
+    pub fn mark_failed(&self, rank: usize) {
+        self.apply_failed(rank);
+        self.transport.control(ControlMsg::Failed { rank });
     }
 
     /// True if `rank` is marked failed.
@@ -92,14 +163,11 @@ impl UniverseState {
             .contains(&rank)
     }
 
-    /// Marks `rank` as finished (its SPMD closure returned) and wakes every
-    /// blocked receiver.
+    /// Marks `rank` as finished (its SPMD closure returned), wakes every
+    /// blocked local receiver, and tells all remote ranks.
     pub fn mark_finished(&self, rank: usize) {
-        self.finished
-            .write()
-            .expect("finished set poisoned")
-            .insert(rank);
-        self.broadcast_fault();
+        self.apply_finished(rank);
+        self.transport.control(ControlMsg::Finished { rank });
     }
 
     /// True if `rank` will never communicate again (failed or finished).
@@ -112,13 +180,10 @@ impl UniverseState {
                 .contains(&rank)
     }
 
-    /// Marks the communicator context revoked and wakes all receivers.
+    /// Marks the communicator context revoked on all ranks.
     pub fn mark_revoked(&self, ctx: u64) {
-        self.revoked
-            .write()
-            .expect("revoked set poisoned")
-            .insert(ctx);
-        self.broadcast_fault();
+        self.apply_revoked(ctx);
+        self.transport.control(ControlMsg::Revoked { ctx });
     }
 
     /// True if the context has been revoked.
@@ -129,21 +194,48 @@ impl UniverseState {
             .contains(&ctx)
     }
 
+    /// Records that `rank` entered the barrier keyed `(ctx, seq)` and
+    /// tells all remote ranks.
+    pub fn enter_barrier(&self, ctx: u64, seq: u32, rank: usize) {
+        self.apply_barrier_enter(ctx, seq, rank);
+        self.transport
+            .control(ControlMsg::BarrierEnter { ctx, seq, rank });
+    }
+
     /// Freezes the profiling counters.
     pub fn profile(&self) -> ProfileSnapshot {
         ProfileSnapshot::capture(&self.counters)
     }
 }
 
-/// Handle to a simulated MPI job.
+impl ControlSink for UniverseState {
+    fn apply(&self, msg: ControlMsg) {
+        match msg {
+            ControlMsg::Failed { rank } => self.apply_failed(rank),
+            ControlMsg::Finished { rank } => self.apply_finished(rank),
+            ControlMsg::Revoked { ctx } => self.apply_revoked(ctx),
+            ControlMsg::BarrierEnter { ctx, seq, rank } => self.apply_barrier_enter(ctx, seq, rank),
+        }
+    }
+}
+
+/// Handle to an MPI job.
 ///
 /// The common entry point is [`Universe::run`]; [`Universe::run_profiled`]
 /// additionally returns the profiling counters accumulated during the run.
 pub struct Universe;
 
 impl Universe {
-    /// Runs `f` on `size` rank threads and returns the per-rank results,
-    /// ordered by rank.
+    /// Runs `f` as an SPMD job and returns the per-rank results.
+    ///
+    /// Backend selection: when the `KAMPING_TRANSPORT=socket` environment
+    /// (as set up by the [`kampirun`](crate::net) launcher) is present,
+    /// this process joins a multi-process job as the rank named by
+    /// `KAMPING_RANK` — `size` is ignored in favour of the launcher's
+    /// `--ranks`, the closure runs once, and the returned vector holds
+    /// this rank's single result. Otherwise `f` runs on `size` rank
+    /// threads over shared memory and the results come back ordered by
+    /// rank.
     ///
     /// `f` receives the world communicator of its rank. Panics of rank
     /// threads are re-raised here after all ranks have terminated (the
@@ -161,7 +253,20 @@ impl Universe {
     }
 
     /// Like [`Universe::run`], also returning the final profile snapshot.
+    /// On a multi-process backend the snapshot covers this rank only.
     pub fn run_profiled<R, F>(size: usize, f: F) -> (Vec<R>, ProfileSnapshot)
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        if let Some(cfg) = crate::net::SocketConfig::from_env() {
+            return crate::net::run_socket(&cfg, f);
+        }
+        Self::run_threads_profiled(size, f)
+    }
+
+    /// The shared-memory path: spawn `size` rank threads and join them.
+    fn run_threads_profiled<R, F>(size: usize, f: F) -> (Vec<R>, ProfileSnapshot)
     where
         R: Send,
         F: Fn(RawComm) -> R + Sync,
@@ -317,5 +422,23 @@ mod tests {
         assert!(check().is_none());
         state.mark_failed(1);
         assert_eq!(check(), Some(MpiError::ProcFailed { rank: 1 }));
+    }
+
+    #[test]
+    fn control_sink_applies_remote_events() {
+        let state = UniverseState::new(3);
+        state.apply(ControlMsg::Failed { rank: 2 });
+        assert!(state.is_failed(2));
+        state.apply(ControlMsg::Finished { rank: 1 });
+        assert!(state.is_gone(1));
+        state.apply(ControlMsg::Revoked { ctx: 9 });
+        assert!(state.is_revoked(9));
+        state.apply(ControlMsg::BarrierEnter {
+            ctx: 0,
+            seq: 4,
+            rank: 1,
+        });
+        let arrivals = state.arrivals.lock().unwrap();
+        assert!(arrivals.get(&(0, 4)).unwrap().contains(&1));
     }
 }

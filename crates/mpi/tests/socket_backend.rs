@@ -1,0 +1,440 @@
+//! Multi-process tests of the socket backend.
+//!
+//! Each `socket_*` test below launches N copies of *this test binary* via
+//! [`kamping_mpi::net::launch`] (the `kampirun` library), filtered down to
+//! the [`worker_entry`] test. Inside each child, `KAMPING_TRANSPORT=socket`
+//! makes `Universe::run` join the job as one rank, so the case functions
+//! here run unchanged code paths — the very ones the shared-memory tests
+//! (`transport_ordering.rs` and the unit suites) exercise in-process. A
+//! case asserts inside the child; the parent only checks exit statuses.
+//!
+//! The mirrored invariants:
+//!
+//! 1. FIFO non-overtaking per (source, tag, context) across the wire;
+//! 2. `ANY_SOURCE` matches follow mailbox arrival stamps (with arrival
+//!    order *enforced* through rank-0-mediated tokens — unlike shared
+//!    memory, sockets do not make cross-sender delivery causal on their
+//!    own, and MPI does not promise it either);
+//! 3. `issend` completes exactly on match (wire acks), or errors when the
+//!    destination is gone;
+//! 4. collectives, non-blocking barriers, revocation and — satellite of
+//!    this PR — rank-death recovery (a child killed mid-job surfaces as
+//!    `ProcFailed` and the survivors shrink and continue).
+
+use std::time::Duration;
+
+use kamping_mpi::net::{launch, LaunchSpec, RankExit};
+use kamping_mpi::{MpiError, RawComm, Universe, ANY_SOURCE, ANY_TAG};
+
+const MSGS: u32 = 50;
+const CASE_VAR: &str = "KAMPING_TEST_CASE";
+
+fn seq_payload(src: usize, seq: u32) -> Vec<u8> {
+    let mut v = (src as u32).to_le_bytes().to_vec();
+    v.extend_from_slice(&seq.to_le_bytes());
+    v
+}
+
+fn decode(payload: &[u8]) -> (u32, u32) {
+    (
+        u32::from_le_bytes(payload[..4].try_into().unwrap()),
+        u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+    )
+}
+
+/// Launches `ranks` copies of this test binary running `case`.
+fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
+    let mut spec = LaunchSpec::new(
+        ranks,
+        std::env::current_exe().expect("test binary path available"),
+    );
+    spec.tcp = tcp;
+    spec.args = vec!["worker_entry".into(), "--exact".into()];
+    spec.env = vec![(CASE_VAR.into(), case.into())];
+    launch(&spec).expect("launching the job")
+}
+
+fn assert_all_success(case: &str, exits: &[RankExit]) {
+    for e in exits {
+        assert!(
+            e.status.success(),
+            "case {case}: rank {} exited with {}",
+            e.rank,
+            e.status
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The case bodies, executed inside the child processes.
+// ---------------------------------------------------------------------
+
+fn case_fifo(comm: &RawComm) {
+    if comm.rank() == 0 {
+        for src in 1..comm.size() {
+            for expect in 0..MSGS {
+                let (payload, status) = comm.recv(src, 7).unwrap();
+                assert_eq!(status.source, src);
+                assert_eq!(decode(&payload), (src as u32, expect));
+            }
+        }
+    } else {
+        for seq in 0..MSGS {
+            comm.send(0, 7, &seq_payload(comm.rank(), seq)).unwrap();
+        }
+    }
+}
+
+fn case_fifo_tags(comm: &RawComm) {
+    if comm.rank() == 1 {
+        for seq in 0..MSGS {
+            comm.send(0, 10, &seq_payload(1, seq)).unwrap();
+            comm.send(0, 20, &seq_payload(1, seq)).unwrap();
+        }
+    } else {
+        // Drain the second tag first: tag-20 must overtake queued tag-10
+        // messages while each tag stays FIFO — across the wire.
+        for expect in 0..MSGS {
+            let (payload, _) = comm.recv(1, 20).unwrap();
+            assert_eq!(decode(&payload).1, expect);
+        }
+        for expect in 0..MSGS {
+            let (payload, _) = comm.recv(1, 10).unwrap();
+            assert_eq!(decode(&payload).1, expect);
+        }
+    }
+}
+
+fn case_any_source(comm: &RawComm) {
+    // Senders 1..3 deposit into rank 0's mailbox one at a time: rank 0
+    // acknowledges each deposit before unleashing the next sender, so the
+    // arrival order is forced and ANY_SOURCE must observe exactly it.
+    if comm.rank() == 0 {
+        for expect in 1..comm.size() {
+            let (payload, status) = comm.recv(ANY_SOURCE, 5).unwrap();
+            assert_eq!(decode(&payload).0, expect as u32);
+            assert_eq!(status.source, expect);
+            if expect + 1 < comm.size() {
+                comm.send(expect + 1, 1, b"go").unwrap();
+            }
+        }
+    } else {
+        if comm.rank() > 1 {
+            comm.recv(0, 1).unwrap();
+        }
+        comm.send(0, 5, &seq_payload(comm.rank(), 0)).unwrap();
+    }
+}
+
+fn case_wildcard_drain(comm: &RawComm) {
+    let p = comm.size();
+    if comm.rank() == 0 {
+        let mut next_seq = vec![0u32; p];
+        let mut total = 0usize;
+        while total < (p - 1) * MSGS as usize {
+            let (payload, status) = comm.recv(ANY_SOURCE, ANY_TAG).unwrap();
+            let (src, seq) = decode(&payload);
+            assert_eq!(src as usize, status.source);
+            assert_eq!(status.tag, status.source as kamping_mpi::Tag);
+            assert_eq!(seq, next_seq[status.source], "per-source FIFO broken");
+            next_seq[status.source] += 1;
+            total += 1;
+        }
+    } else {
+        let tag = comm.rank() as kamping_mpi::Tag;
+        for seq in 0..MSGS {
+            comm.send(0, tag, &seq_payload(comm.rank(), seq)).unwrap();
+        }
+    }
+}
+
+fn case_issend(comm: &RawComm) {
+    if comm.rank() == 0 {
+        let mut req = comm.issend(1, 1, b"payload".to_vec()).unwrap();
+        // Rank 1 is blocked waiting for the go message, so no Ack frame
+        // can have come back yet.
+        assert!(req.test().unwrap().is_none());
+        comm.send(1, 0, b"go").unwrap();
+        req.wait().unwrap();
+    } else {
+        comm.recv(0, 0).unwrap();
+        let (payload, _) = comm.recv(0, 1).unwrap();
+        assert_eq!(payload, b"payload");
+    }
+}
+
+fn case_issend_failed_rank(comm: &RawComm) {
+    if comm.rank() == 0 {
+        let mut req = comm.issend(1, 42, b"never read".to_vec()).unwrap();
+        comm.send(1, 0, b"posted").unwrap();
+        assert_eq!(req.wait().unwrap_err(), MpiError::ProcFailed { rank: 1 });
+        // Sends to an already-dead process complete locally.
+        let mut req2 = comm.issend(1, 3, b"into the void".to_vec()).unwrap();
+        req2.wait().unwrap();
+    } else {
+        comm.recv(0, 0).unwrap();
+        comm.simulate_failure();
+    }
+}
+
+fn case_probe(comm: &RawComm) {
+    if comm.rank() == 0 {
+        for _ in 0..2 * MSGS {
+            let s = comm.probe(ANY_SOURCE, ANY_TAG).unwrap();
+            let (payload, status) = comm.recv(s.source, s.tag).unwrap();
+            assert_eq!(status, s);
+            assert_eq!(payload.len(), s.bytes);
+        }
+    } else {
+        let tag = comm.rank() as kamping_mpi::Tag;
+        for seq in 0..MSGS {
+            comm.send(0, tag, &seq_payload(comm.rank(), seq)).unwrap();
+        }
+    }
+}
+
+fn case_collectives(comm: &RawComm) {
+    comm.barrier().unwrap();
+    // Broadcast from rank 1.
+    let mut buf = if comm.rank() == 1 {
+        b"root-data".to_vec()
+    } else {
+        vec![0; 9]
+    };
+    comm.bcast(&mut buf, 1).unwrap();
+    assert_eq!(buf, b"root-data");
+    // Allreduce a u64 sum.
+    let mut acc = (comm.rank() as u64).to_le_bytes().to_vec();
+    comm.allreduce(
+        &mut acc,
+        &|a: &mut [u8], b: &[u8]| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            a.copy_from_slice(&(x + y).to_le_bytes());
+        },
+        8,
+    )
+    .unwrap();
+    let n = comm.size() as u64;
+    assert_eq!(u64::from_le_bytes(acc.try_into().unwrap()), n * (n - 1) / 2);
+    // Allgather one byte per rank.
+    let gathered = comm.allgather(&[comm.rank() as u8]).unwrap();
+    assert_eq!(gathered, (0..comm.size() as u8).collect::<Vec<_>>());
+    // Sendrecv ring rotation (payload > INLINE_CAP to cover heap frames).
+    let right = (comm.rank() + 1) % comm.size();
+    let left = (comm.rank() + comm.size() - 1) % comm.size();
+    let (got, _) = comm
+        .sendrecv(right, 0, &[comm.rank() as u8; 100], left, 0)
+        .unwrap();
+    assert_eq!(got, vec![left as u8; 100]);
+    comm.barrier().unwrap();
+}
+
+fn case_ibarrier(comm: &RawComm) {
+    if comm.rank() == 0 {
+        let mut req = comm.ibarrier().unwrap();
+        // Nobody else entered yet (they wait for our go signal).
+        assert!(req.test().unwrap().is_none());
+        for dest in 1..comm.size() {
+            comm.send(dest, 0, b"go").unwrap();
+        }
+        req.wait().unwrap();
+    } else {
+        comm.recv(0, 0).unwrap();
+        let mut req = comm.ibarrier().unwrap();
+        req.wait().unwrap();
+    }
+    // Successive barriers stay independent across processes.
+    for _ in 0..5 {
+        let mut req = comm.ibarrier().unwrap();
+        req.wait().unwrap();
+    }
+}
+
+fn case_ibarrier_dead_member(comm: &RawComm) {
+    if comm.rank() == 2 {
+        comm.simulate_failure();
+        return;
+    }
+    let mut req = comm.ibarrier().unwrap();
+    let err = loop {
+        match req.test_any() {
+            Ok(Some(_)) => panic!("barrier cannot complete with a dead member"),
+            Ok(None) => std::thread::yield_now(),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.is_failure());
+}
+
+fn case_revoke(comm: &RawComm) {
+    match comm.rank() {
+        0 => {
+            // Blocks forever unless the remote revocation frame wakes it.
+            let err = comm.recv(1, 99).unwrap_err();
+            assert_eq!(err, MpiError::Revoked);
+        }
+        1 => {
+            comm.revoke();
+            assert!(comm.is_revoked());
+        }
+        _ => {
+            comm.await_revoked();
+            assert_eq!(comm.send(0, 0, b"x").unwrap_err(), MpiError::Revoked);
+        }
+    }
+}
+
+/// Satellite: a rank killed without warning (no panic path, no Finished
+/// frame) must surface as `ProcFailed` on the survivors via the rendezvous
+/// monitor, and the ULFM shrink-and-continue recovery must work across
+/// processes.
+fn case_kill_recovery(comm: &RawComm) {
+    if comm.rank() == 2 {
+        // Die abruptly: no unwinding, no goodbye of any kind.
+        std::process::exit(7);
+    }
+    let err = comm.recv(2, 9).unwrap_err();
+    assert_eq!(err, MpiError::ProcFailed { rank: 2 });
+    let shrunk = comm.shrink().unwrap();
+    assert_eq!(shrunk.size(), comm.size() - 1);
+    // The shrunk communicator is fully operational.
+    let mut acc = (shrunk.rank() as u64).to_le_bytes().to_vec();
+    shrunk
+        .allreduce(
+            &mut acc,
+            &|a: &mut [u8], b: &[u8]| {
+                let x = u64::from_le_bytes(a.try_into().unwrap());
+                let y = u64::from_le_bytes(b.try_into().unwrap());
+                a.copy_from_slice(&(x + y).to_le_bytes());
+            },
+            8,
+        )
+        .unwrap();
+    let n = shrunk.size() as u64;
+    assert_eq!(u64::from_le_bytes(acc.try_into().unwrap()), n * (n - 1) / 2);
+}
+
+/// The child-side entry point: a no-op under a plain `cargo test`, the
+/// rank body when launched by one of the `socket_*` tests below.
+#[test]
+fn worker_entry() {
+    let Ok(case) = std::env::var(CASE_VAR) else {
+        return;
+    };
+    // A deadlocked child must not hang CI: die loudly instead. (This is a
+    // watchdog, not synchronization — it never fires on the happy path.)
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(120));
+        eprintln!("worker_entry: watchdog fired, aborting rank");
+        std::process::exit(86);
+    });
+    // Size argument is ignored under KAMPING_TRANSPORT=socket — the
+    // launcher's --ranks is authoritative, as with mpirun -n.
+    Universe::run(1, |comm| match case.as_str() {
+        "fifo" => case_fifo(&comm),
+        "fifo_tags" => case_fifo_tags(&comm),
+        "any_source" => case_any_source(&comm),
+        "wildcard_drain" => case_wildcard_drain(&comm),
+        "issend" => case_issend(&comm),
+        "issend_failed_rank" => case_issend_failed_rank(&comm),
+        "probe" => case_probe(&comm),
+        "collectives" => case_collectives(&comm),
+        "ibarrier" => case_ibarrier(&comm),
+        "ibarrier_dead_member" => case_ibarrier_dead_member(&comm),
+        "revoke" => case_revoke(&comm),
+        "kill_recovery" => case_kill_recovery(&comm),
+        other => panic!("unknown case {other:?}"),
+    });
+}
+
+// ---------------------------------------------------------------------
+// The parent-side tests.
+// ---------------------------------------------------------------------
+
+#[test]
+fn socket_fifo_per_source_and_tag() {
+    assert_all_success("fifo", &run_job("fifo", 4, false));
+}
+
+#[test]
+fn socket_fifo_holds_per_tag_out_of_order_drain() {
+    assert_all_success("fifo_tags", &run_job("fifo_tags", 2, false));
+}
+
+#[test]
+fn socket_any_source_follows_arrival_stamps() {
+    assert_all_success("any_source", &run_job("any_source", 4, false));
+}
+
+#[test]
+fn socket_wildcard_drain_keeps_per_source_fifo() {
+    assert_all_success("wildcard_drain", &run_job("wildcard_drain", 4, false));
+}
+
+#[test]
+fn socket_issend_completes_only_on_match() {
+    assert_all_success("issend", &run_job("issend", 2, false));
+}
+
+#[test]
+fn socket_issend_to_failing_rank_errors() {
+    assert_all_success(
+        "issend_failed_rank",
+        &run_job("issend_failed_rank", 2, false),
+    );
+}
+
+#[test]
+fn socket_probe_and_recv_agree() {
+    assert_all_success("probe", &run_job("probe", 3, false));
+}
+
+#[test]
+fn socket_collectives_end_to_end() {
+    assert_all_success("collectives", &run_job("collectives", 4, false));
+}
+
+#[test]
+fn socket_collectives_over_tcp() {
+    assert_all_success("collectives", &run_job("collectives", 3, true));
+}
+
+#[test]
+fn socket_ibarrier_completes_after_all_enter() {
+    assert_all_success("ibarrier", &run_job("ibarrier", 3, false));
+}
+
+#[test]
+fn socket_ibarrier_detects_dead_member() {
+    assert_all_success(
+        "ibarrier_dead_member",
+        &run_job("ibarrier_dead_member", 3, false),
+    );
+}
+
+#[test]
+fn socket_revoke_interrupts_blocked_peers() {
+    assert_all_success("revoke", &run_job("revoke", 3, false));
+}
+
+#[test]
+fn socket_killed_rank_surfaces_and_survivors_recover() {
+    let exits = run_job("kill_recovery", 4, false);
+    for e in &exits {
+        if e.rank == 2 {
+            assert_eq!(
+                e.status.code(),
+                Some(7),
+                "killed rank must report its own exit code"
+            );
+        } else {
+            assert!(
+                e.status.success(),
+                "survivor rank {} exited with {}",
+                e.rank,
+                e.status
+            );
+        }
+    }
+}
