@@ -1,0 +1,156 @@
+//! Chaos soak: hammers the fault-injecting transport under fixed seeds and
+//! writes the injected-fault counters to `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run --release -p kamping-bench --bin chaos_soak
+//! ```
+//!
+//! Two layers, both run twice per seed to prove the schedule is a pure
+//! function of the seed:
+//!
+//! * **transport soak** — a bare [`ChaosTransport`] over the shared-memory
+//!   backend, every directed channel of a 4-rank universe carrying
+//!   `MSGS_PER_CHANNEL` envelopes under a mixed drop/dup/delay/reorder
+//!   schedule. Checks message conservation (`delivered = posted - dropped
+//!   + duplicated`) and that [`ChaosTransport::stats`] repeats exactly.
+//! * **end-to-end soak** — `Universe::run_with_chaos` under `drop=50`,
+//!   counting how many of rank 1's messages survive the full
+//!   `RawComm`/mailbox stack. The count must repeat across runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kamping_mpi::chaos::{ChaosSpec, ChaosStats, ChaosTransport};
+use kamping_mpi::transport::{Envelope, Hub, MatchKey, Payload, ShmTransport, Transport};
+use kamping_mpi::{Universe, ANY_TAG};
+
+const RANKS: usize = 4;
+const MSGS_PER_CHANNEL: u64 = 250;
+const SEEDS: [u64; 3] = [7, 42, 2024];
+
+/// One transport-level soak run: posts on every directed channel, drains
+/// every mailbox, returns (delivered count, fault counters).
+fn transport_soak(seed: u64) -> (u64, ChaosStats) {
+    let spec = ChaosSpec::parse(&format!("{seed}:drop=10,dup=10,delay=25@1,reorder=10"))
+        .expect("soak spec parses");
+    let inner: Arc<dyn Transport> = Arc::new(ShmTransport::new(RANKS, &Arc::new(Hub::new())));
+    let chaos = ChaosTransport::new(inner, RANKS, spec);
+    let mut posted = 0u64;
+    for seq in 0..MSGS_PER_CHANNEL {
+        for src in 0..RANKS {
+            for dest in 0..RANKS {
+                if src == dest {
+                    continue;
+                }
+                chaos.post(
+                    dest,
+                    Envelope {
+                        src,
+                        tag: 1,
+                        ctx: 0,
+                        payload: Payload::from_slice(&seq.to_le_bytes()),
+                        ack: None,
+                    },
+                );
+                posted += 1;
+            }
+        }
+    }
+    // Flushes holdbacks and joins the delay thread: nothing in flight.
+    chaos.shutdown();
+    let mut delivered = 0u64;
+    for dest in 0..RANKS {
+        let mb = chaos.mailbox(dest);
+        for src in 0..RANKS {
+            let key = MatchKey {
+                src,
+                tag: ANY_TAG,
+                ctx: 0,
+            };
+            while mb.try_take(key).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    let stats = chaos.stats();
+    assert_eq!(
+        delivered,
+        posted - stats.dropped + stats.duplicated,
+        "seed {seed}: message conservation violated"
+    );
+    (delivered, stats)
+}
+
+/// One end-to-end soak run: how many of rank 1's 64 messages survive a
+/// drop=50 schedule through the full Universe stack.
+fn e2e_soak(seed: u64) -> usize {
+    let spec = ChaosSpec::parse(&format!("{seed}:drop=50")).expect("soak spec parses");
+    let counts = Universe::run_with_chaos(2, spec, |comm| {
+        if comm.rank() == 1 {
+            for i in 0..64u8 {
+                comm.send(0, 7, &[i]).unwrap();
+            }
+            let mut req = comm.ibarrier().unwrap();
+            req.wait().unwrap();
+            0
+        } else {
+            let mut req = comm.ibarrier().unwrap();
+            req.wait().unwrap();
+            let mut n = 0;
+            while comm
+                .recv_timeout(1, 7, std::time::Duration::from_millis(100))
+                .is_ok()
+            {
+                n += 1;
+            }
+            n
+        }
+    })
+    .expect("chaos universe runs");
+    counts[0]
+}
+
+fn main() {
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    for seed in SEEDS {
+        let (delivered_a, stats_a) = transport_soak(seed);
+        let (delivered_b, stats_b) = transport_soak(seed);
+        assert_eq!(
+            (delivered_a, stats_a),
+            (delivered_b, stats_b),
+            "seed {seed}: transport schedule must be reproducible"
+        );
+        let e2e_a = e2e_soak(seed);
+        let e2e_b = e2e_soak(seed);
+        assert_eq!(
+            e2e_a, e2e_b,
+            "seed {seed}: e2e schedule must be reproducible"
+        );
+        eprintln!(
+            "seed {seed:>4}: delivered {delivered_a:>5}  dropped {:>4}  dup {:>4}  \
+             delayed {:>4}  reordered {:>4}  e2e {}/64",
+            stats_a.dropped, stats_a.duplicated, stats_a.delayed, stats_a.reordered, e2e_a
+        );
+        rows.push(format!(
+            "    {{\"seed\": {seed}, \"posted\": {}, \"delivered\": {delivered_a}, \
+             \"dropped\": {}, \"duplicated\": {}, \"delayed\": {}, \"reordered\": {}, \
+             \"e2e_delivered_of_64\": {e2e_a}, \"deterministic\": true}}",
+            MSGS_PER_CHANNEL * (RANKS * (RANKS - 1)) as u64,
+            stats_a.dropped,
+            stats_a.duplicated,
+            stats_a.delayed,
+            stats_a.reordered,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_soak\",\n  \"ranks\": {RANKS},\n  \
+         \"msgs_per_channel\": {MSGS_PER_CHANNEL},\n  \"elapsed_ms\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        start.elapsed().as_millis(),
+        rows.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");
+    std::fs::write(&path, &json).expect("write BENCH_chaos.json");
+    eprintln!("wrote {}", path.display());
+}

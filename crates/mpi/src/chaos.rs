@@ -1,0 +1,844 @@
+//! Deterministic fault injection at the transport seam.
+//!
+//! [`ChaosTransport`] wraps any [`Transport`] backend (shared-memory or
+//! socket) and applies a *seeded, reproducible* schedule of injected
+//! faults to the envelopes flowing through [`Transport::post`]:
+//!
+//! * **drop** — the envelope is silently discarded;
+//! * **dup** — the envelope is delivered twice;
+//! * **delay** — delivery is deferred by a fixed latency on a background
+//!   delivery thread. Delay preserves per-(source → dest) FIFO order — a
+//!   delayed message holds every later message on its channel behind it —
+//!   so it models a slow link, not a reordering one;
+//! * **reorder** — the envelope is held back and released only after the
+//!   *next* message on its channel, deliberately violating the
+//!   non-overtaking guarantee (the fault `ANY_SOURCE` arrival stamps make
+//!   observable);
+//! * **sever** — a directional link `src → dest` is cut after its first
+//!   `n` messages: later traffic vanishes without any failure mark, so the
+//!   only way a peer can notice is a *deadline* (`recv_timeout`,
+//!   [`crate::RawRequest::wait_timeout`]) — the hung-peer scenario;
+//! * **kill** — a rank dies after the first `n` messages that touch it:
+//!   all its traffic is cut *and* a [`ControlMsg::Failed`] mark is applied
+//!   locally and broadcast, so peers observe
+//!   [`crate::MpiError::ProcFailed`] — the crashed-peer scenario.
+//!
+//! Every per-message decision is a pure function of
+//! `(seed, source, dest, per-channel sequence number, fault kind)` — no
+//! wall clock, no thread scheduling — so the same seed produces the same
+//! schedule on every run and on every backend. That is what lets a test
+//! assert "under seed 7, rank 2's third message to rank 0 is dropped"
+//! instead of hoping a race shows up.
+//!
+//! Activation: `KAMPING_CHAOS=<seed>:<spec>` in the environment (parsed by
+//! [`ChaosSpec::from_env`], applied by [`crate::Universe::run`]), or
+//! programmatically via [`crate::Universe::run_with_chaos`]. The spec is a
+//! comma-separated directive list, e.g.
+//! `KAMPING_CHAOS=7:drop=20,delay=30@2,kill=2@40`. See
+//! [`ChaosSpec::parse`] for the grammar.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::{MpiError, MpiResult};
+use crate::transport::{ControlMsg, ControlSink, Envelope, Mailbox, Transport};
+
+/// Directional link cut: the first `after` messages from `src` to `dest`
+/// pass, everything later is silently discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sever {
+    /// Global source rank of the severed link.
+    pub src: usize,
+    /// Global destination rank of the severed link.
+    pub dest: usize,
+    /// Number of messages that pass before the cut.
+    pub after: u64,
+}
+
+/// Injected rank death: the first `after` messages touching `rank` (as
+/// source or destination) pass; the next one triggers the death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// Global rank of the victim.
+    pub rank: usize,
+    /// Number of messages touching the victim before it dies.
+    pub after: u64,
+}
+
+/// A seeded fault schedule. Percentages are per-message probabilities in
+/// `0..=100`, resolved deterministically from the seed (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Seed of the deterministic schedule.
+    pub seed: u64,
+    /// Percent of messages silently dropped.
+    pub drop_pct: u8,
+    /// Percent of messages delivered twice.
+    pub dup_pct: u8,
+    /// Percent of messages delayed by [`ChaosSpec::delay`].
+    pub delay_pct: u8,
+    /// Latency added to delayed messages (FIFO-preserving per channel).
+    pub delay: Duration,
+    /// Percent of messages held back past their channel successor.
+    pub reorder_pct: u8,
+    /// Directional link cut, if any.
+    pub sever: Option<Sever>,
+    /// Injected rank death, if any.
+    pub kill: Option<Kill>,
+}
+
+impl ChaosSpec {
+    /// A schedule that injects nothing (all faults at zero) — the identity
+    /// wrapper, useful as a parse base and for overhead measurements.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_pct: 0,
+            dup_pct: 0,
+            delay_pct: 0,
+            delay: Duration::from_millis(1),
+            reorder_pct: 0,
+            sever: None,
+            kill: None,
+        }
+    }
+
+    /// Parses the `<seed>:<spec>` form of `KAMPING_CHAOS`. The spec is a
+    /// comma-separated list of directives:
+    ///
+    /// * `drop=<pct>`, `dup=<pct>`, `reorder=<pct>`
+    /// * `delay=<pct>@<ms>` — delay `<pct>` of messages by `<ms>` ms
+    /// * `sever=<src>-><dest>@<n>` — cut the link after `n` messages
+    /// * `kill=<rank>@<n>` — kill the rank after `n` touching messages
+    ///
+    /// An empty spec (`"7:"`) is the identity schedule. Errors are typed
+    /// ([`MpiError::Config`]), never panics.
+    pub fn parse(s: &str) -> MpiResult<Self> {
+        let bad = |what: String| MpiError::Config(format!("KAMPING_CHAOS: {what}"));
+        let (seed, rest) = s
+            .split_once(':')
+            .ok_or_else(|| bad(format!("expected <seed>:<spec>, got {s:?}")))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| bad(format!("seed must be an integer, got {seed:?}")))?;
+        let mut spec = ChaosSpec::new(seed);
+        let pct = |v: &str| -> MpiResult<u8> {
+            match v.parse::<u8>() {
+                Ok(p) if p <= 100 => Ok(p),
+                _ => Err(bad(format!("percentage must be 0..=100, got {v:?}"))),
+            }
+        };
+        let count = |v: &str| -> MpiResult<u64> {
+            v.parse()
+                .map_err(|_| bad(format!("count must be an integer, got {v:?}")))
+        };
+        let rank = |v: &str| -> MpiResult<usize> {
+            v.parse()
+                .map_err(|_| bad(format!("rank must be an integer, got {v:?}")))
+        };
+        for directive in rest.split(',').filter(|d| !d.is_empty()) {
+            let (key, value) = directive
+                .split_once('=')
+                .ok_or_else(|| bad(format!("expected key=value, got {directive:?}")))?;
+            match key {
+                "drop" => spec.drop_pct = pct(value)?,
+                "dup" => spec.dup_pct = pct(value)?,
+                "reorder" => spec.reorder_pct = pct(value)?,
+                "delay" => {
+                    let (p, ms) = value
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("delay wants <pct>@<ms>, got {value:?}")))?;
+                    spec.delay_pct = pct(p)?;
+                    spec.delay = Duration::from_millis(count(ms)?);
+                }
+                "sever" => {
+                    let (link, n) = value.split_once('@').ok_or_else(|| {
+                        bad(format!("sever wants <src>-><dest>@<n>, got {value:?}"))
+                    })?;
+                    let (src, dest) = link.split_once("->").ok_or_else(|| {
+                        bad(format!("sever wants <src>-><dest>@<n>, got {value:?}"))
+                    })?;
+                    spec.sever = Some(Sever {
+                        src: rank(src)?,
+                        dest: rank(dest)?,
+                        after: count(n)?,
+                    });
+                }
+                "kill" => {
+                    let (r, n) = value
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("kill wants <rank>@<n>, got {value:?}")))?;
+                    spec.kill = Some(Kill {
+                        rank: rank(r)?,
+                        after: count(n)?,
+                    });
+                }
+                other => return Err(bad(format!("unknown directive {other:?}"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Reads `KAMPING_CHAOS` from the environment: `Ok(None)` when unset
+    /// or empty, a typed [`MpiError::Config`] when malformed.
+    pub fn from_env() -> MpiResult<Option<Self>> {
+        match std::env::var("KAMPING_CHAOS") {
+            Ok(v) if v.is_empty() => Ok(None),
+            Ok(v) => Self::parse(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic per-message decision hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Distinct decision streams per fault kind, so e.g. `drop=50,dup=50`
+/// drops and duplicates *independent* halves of the traffic.
+const FAULT_DROP: u64 = 1;
+const FAULT_DUP: u64 = 2;
+const FAULT_DELAY: u64 = 3;
+const FAULT_REORDER: u64 = 4;
+
+/// Counters of injected faults, for soak reports and assertions.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Envelopes silently discarded.
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Envelopes routed through the delay queue.
+    pub delayed: u64,
+    /// Envelopes held back past a successor.
+    pub reordered: u64,
+    /// Envelopes discarded by a severed link or dead rank.
+    pub severed: u64,
+    /// Rank deaths fired.
+    pub kills: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+    severed: AtomicU64,
+    kills: AtomicU64,
+}
+
+/// One entry of the delay queue, ordered by (release time, push order).
+struct Delayed {
+    at: Instant,
+    seq: u64,
+    chan: usize,
+    dest: usize,
+    env: Envelope,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: reverse to pop the earliest release
+        // first, breaking ties by push order (FIFO).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Shared state of the background delivery thread.
+struct DelayQueue {
+    heap: BinaryHeap<Delayed>,
+    /// Monotonic release stamp per channel: a later message on a channel
+    /// with queued predecessors is released no earlier than they are.
+    release: HashMap<usize, Instant>,
+    /// Queued (not yet delivered) envelopes per channel.
+    pending: HashMap<usize, usize>,
+    seq: u64,
+    /// Set at shutdown: flush everything immediately, then exit.
+    closing: bool,
+}
+
+struct Delayer {
+    queue: Mutex<DelayQueue>,
+    cond: Condvar,
+}
+
+impl Delayer {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(DelayQueue {
+                heap: BinaryHeap::new(),
+                release: HashMap::new(),
+                pending: HashMap::new(),
+                seq: 0,
+                closing: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Drains the queue in release order, posting into `inner`. Runs on a
+    /// dedicated thread until [`ChaosTransport::shutdown`] closes it.
+    fn run(&self, inner: &Arc<dyn Transport>) {
+        loop {
+            let item = {
+                let mut q = self.queue.lock().expect("delay queue poisoned");
+                loop {
+                    let now = Instant::now();
+                    match q.heap.peek() {
+                        None if q.closing => return,
+                        None => {
+                            q = self.cond.wait(q).expect("delay queue poisoned");
+                        }
+                        // On close, remaining traffic is flushed immediately:
+                        // shutdown must not lose in-flight messages.
+                        Some(d) if q.closing || d.at <= now => {
+                            break q.heap.pop().expect("peeked entry present");
+                        }
+                        Some(d) => {
+                            let wait = d.at - now;
+                            q = self
+                                .cond
+                                .wait_timeout(q, wait)
+                                .expect("delay queue poisoned")
+                                .0;
+                        }
+                    }
+                }
+            };
+            inner.post(item.dest, item.env);
+            // Decrement *after* the post: senders seeing pending > 0 keep
+            // routing through the queue, so a direct post can never
+            // overtake an envelope that is mid-delivery here.
+            let mut q = self.queue.lock().expect("delay queue poisoned");
+            if let Some(n) = q.pending.get_mut(&item.chan) {
+                *n -= 1;
+                if *n == 0 {
+                    q.pending.remove(&item.chan);
+                    q.release.remove(&item.chan);
+                }
+            }
+            // Wake quiesce() waiters watching for the queue to run dry.
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until every queued envelope has been handed to the inner
+    /// transport (used by [`ChaosTransport::quiesce`]).
+    fn drain(&self) {
+        let mut q = self.queue.lock().expect("delay queue poisoned");
+        while !(q.heap.is_empty() && q.pending.is_empty()) {
+            q = self.cond.wait(q).expect("delay queue poisoned");
+        }
+    }
+}
+
+/// The fault-injecting [`Transport`] wrapper. See the module docs for the
+/// fault taxonomy and the determinism contract.
+pub struct ChaosTransport {
+    inner: Arc<dyn Transport>,
+    spec: ChaosSpec,
+    size: usize,
+    /// Per-(src → dest) message counters; the determinism anchor.
+    chan_seq: Vec<AtomicU64>,
+    /// Messages seen touching the kill victim.
+    touches: AtomicU64,
+    /// Whether the kill has fired (the victim's traffic is cut).
+    killed: AtomicBool,
+    /// Held-back envelope per channel (reorder fault).
+    holdback: Vec<Mutex<Option<Envelope>>>,
+    /// Where an injected `Failed` mark is applied locally.
+    sink: Mutex<Option<Weak<dyn ControlSink>>>,
+    delayer: Option<Arc<Delayer>>,
+    delivery: Mutex<Option<JoinHandle<()>>>,
+    stats: StatCells,
+}
+
+/// Clones an envelope for duplication: payloads are refcounted or inline,
+/// and a shared ack cell means a duplicated ssend still acks exactly once.
+fn clone_envelope(e: &Envelope) -> Envelope {
+    Envelope {
+        src: e.src,
+        tag: e.tag,
+        ctx: e.ctx,
+        payload: e.payload.clone(),
+        ack: e.ack.clone(),
+    }
+}
+
+impl ChaosTransport {
+    /// Wraps `inner`, injecting faults per `spec`. `size` is the number of
+    /// global ranks (bounds the per-channel counter table).
+    pub fn new(inner: Arc<dyn Transport>, size: usize, spec: ChaosSpec) -> Self {
+        let delayer = (spec.delay_pct > 0).then(|| Arc::new(Delayer::new()));
+        let delivery = delayer.as_ref().map(|d| {
+            let d = Arc::clone(d);
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("kamping-chaos-delay".into())
+                .spawn(move || d.run(&inner))
+                .expect("spawning chaos delivery thread")
+        });
+        Self {
+            inner,
+            spec,
+            size,
+            chan_seq: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            touches: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
+            holdback: (0..size * size).map(|_| Mutex::new(None)).collect(),
+            sink: Mutex::new(None),
+            delayer,
+            delivery: Mutex::new(delivery),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Binds where an injected rank death is applied locally (the universe
+    /// state). Idempotent; without a sink the kill still cuts traffic and
+    /// broadcasts `Failed` to remote ranks.
+    pub fn bind_sink(&self, sink: Weak<dyn ControlSink>) {
+        *self.sink.lock().expect("chaos sink poisoned") = Some(sink);
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            duplicated: self.stats.duplicated.load(Ordering::Relaxed),
+            delayed: self.stats.delayed.load(Ordering::Relaxed),
+            reordered: self.stats.reordered.load(Ordering::Relaxed),
+            severed: self.stats.severed.load(Ordering::Relaxed),
+            kills: self.stats.kills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deterministic per-message percentage roll in `0..100`.
+    fn roll(&self, chan: usize, seq: u64, fault: u64) -> u8 {
+        let h = splitmix64(splitmix64(splitmix64(self.spec.seed ^ fault) ^ chan as u64) ^ seq);
+        (h % 100) as u8
+    }
+
+    /// True once the kill victim's traffic is cut. Counts this message
+    /// against the kill budget and fires the death when it is exhausted.
+    fn kill_cuts(&self, src: usize, dest: usize) -> bool {
+        let Some(kill) = self.spec.kill else {
+            return false;
+        };
+        if src != kill.rank && dest != kill.rank {
+            return false;
+        }
+        if self.killed.load(Ordering::Acquire) {
+            return true;
+        }
+        let n = self.touches.fetch_add(1, Ordering::AcqRel);
+        if n < kill.after {
+            return false;
+        }
+        if !self.killed.swap(true, Ordering::AcqRel) {
+            self.stats.kills.fetch_add(1, Ordering::Relaxed);
+            // Mirror UniverseState::mark_failed: apply locally through the
+            // sink (which kicks mailboxes and the hub), broadcast to remote
+            // ranks over the real backend.
+            let sink = self
+                .sink
+                .lock()
+                .expect("chaos sink poisoned")
+                .as_ref()
+                .and_then(Weak::upgrade);
+            if let Some(sink) = sink {
+                sink.apply(ControlMsg::Failed { rank: kill.rank });
+            }
+            self.inner.control(ControlMsg::Failed { rank: kill.rank });
+            self.inner.kick_local();
+        }
+        true
+    }
+
+    /// Delivers one envelope, routing through the delay queue when the
+    /// delay fault hit — or when the channel already has queued traffic,
+    /// which is what keeps delay FIFO-preserving per channel.
+    fn route(&self, chan: usize, dest: usize, env: Envelope, delayed: bool) {
+        if let Some(delayer) = &self.delayer {
+            let mut q = delayer.queue.lock().expect("delay queue poisoned");
+            let queued = q.pending.get(&chan).copied().unwrap_or(0) > 0;
+            if delayed || queued {
+                let floor = q.release.get(&chan).copied();
+                let at = if delayed {
+                    let target = Instant::now() + self.spec.delay;
+                    floor.map_or(target, |f| f.max(target))
+                } else {
+                    floor.unwrap_or_else(Instant::now)
+                };
+                q.release.insert(chan, at);
+                *q.pending.entry(chan).or_insert(0) += 1;
+                let seq = q.seq;
+                q.seq += 1;
+                q.heap.push(Delayed {
+                    at,
+                    seq,
+                    chan,
+                    dest,
+                    env,
+                });
+                delayer.cond.notify_all();
+                return;
+            }
+        }
+        self.inner.post(dest, env);
+    }
+
+    /// Releases every reorder-held envelope. Held messages are "overtaken
+    /// by the rest of the channel": on quiesce or shutdown there is no
+    /// successor left to release them, so they flush now.
+    fn flush_holdbacks(&self) {
+        for (chan, slot) in self.holdback.iter().enumerate() {
+            let held = slot.lock().expect("holdback poisoned").take();
+            if let Some(env) = held {
+                self.route(chan, chan % self.size, env, false);
+            }
+        }
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn post(&self, dest: usize, envelope: Envelope) {
+        let src = envelope.src;
+        if self.kill_cuts(src, dest) {
+            self.stats.severed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let chan = src * self.size + dest;
+        let seq = self.chan_seq[chan].fetch_add(1, Ordering::Relaxed);
+        if let Some(sv) = self.spec.sever {
+            if sv.src == src && sv.dest == dest && seq >= sv.after {
+                self.stats.severed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if self.roll(chan, seq, FAULT_DROP) < self.spec.drop_pct {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let delayed = self.roll(chan, seq, FAULT_DELAY) < self.spec.delay_pct;
+        if self.roll(chan, seq, FAULT_REORDER) < self.spec.reorder_pct {
+            let mut slot = self.holdback[chan].lock().expect("holdback poisoned");
+            if slot.is_none() {
+                *slot = Some(envelope);
+                self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Slot occupied: fall through, this message both delivers and
+            // releases the held one behind it.
+        }
+        if self.roll(chan, seq, FAULT_DUP) < self.spec.dup_pct {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.route(chan, dest, clone_envelope(&envelope), delayed);
+        }
+        if delayed {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.route(chan, dest, envelope, delayed);
+        // A held-back envelope is released by its channel successor: it was
+        // overtaken by exactly one message, the minimal FIFO violation.
+        let held = self.holdback[chan]
+            .lock()
+            .expect("holdback poisoned")
+            .take();
+        if let Some(held) = held {
+            self.route(chan, dest, held, delayed);
+        }
+    }
+
+    fn mailbox(&self, rank: usize) -> &Mailbox {
+        self.inner.mailbox(rank)
+    }
+
+    fn is_local(&self, rank: usize) -> bool {
+        self.inner.is_local(rank)
+    }
+
+    fn control(&self, msg: ControlMsg) {
+        // Control events (failure marks, barrier arrivals) pass through
+        // unharmed: chaos injects faults into *data*, the failure-detection
+        // plane itself must stay truthful for errors to be typed.
+        self.inner.control(msg);
+    }
+
+    fn kick_local(&self) {
+        self.inner.kick_local();
+    }
+
+    fn quiesce(&self) {
+        // Without this, a rank's Finished announcement (control plane,
+        // never delayed) could overtake its own data still sitting in the
+        // delay queue — peers would see the rank as gone while messages it
+        // owes them are milliseconds away, turning an injected *delay*
+        // into a spurious ProcFailed.
+        self.flush_holdbacks();
+        if let Some(delayer) = &self.delayer {
+            delayer.drain();
+        }
+        self.inner.quiesce();
+    }
+
+    fn shutdown(&self) {
+        // Flush holdbacks: a held envelope must not vanish just because no
+        // successor happened to release it.
+        self.flush_holdbacks();
+        if let Some(delayer) = &self.delayer {
+            {
+                let mut q = delayer.queue.lock().expect("delay queue poisoned");
+                q.closing = true;
+                delayer.cond.notify_all();
+            }
+            let handle = self
+                .delivery
+                .lock()
+                .expect("delivery handle poisoned")
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+        self.inner.shutdown();
+    }
+}
+
+impl Drop for ChaosTransport {
+    fn drop(&mut self) {
+        // A universe torn down without an explicit shutdown (the shm happy
+        // path) must still stop the delivery thread.
+        if let Some(delayer) = &self.delayer {
+            let mut q = delayer.queue.lock().expect("delay queue poisoned");
+            q.closing = true;
+            delayer.cond.notify_all();
+            drop(q);
+            let handle = self
+                .delivery
+                .lock()
+                .expect("delivery handle poisoned")
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Hub, MatchKey, Payload, ShmTransport};
+
+    fn spec(directives: &str) -> ChaosSpec {
+        ChaosSpec::parse(&format!("7:{directives}")).unwrap()
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let s = ChaosSpec::parse("42:drop=10,dup=5,delay=20@3,reorder=15,sever=0->1@2,kill=3@9")
+            .unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.drop_pct, 10);
+        assert_eq!(s.dup_pct, 5);
+        assert_eq!(s.delay_pct, 20);
+        assert_eq!(s.delay, Duration::from_millis(3));
+        assert_eq!(s.reorder_pct, 15);
+        assert_eq!(
+            s.sever,
+            Some(Sever {
+                src: 0,
+                dest: 1,
+                after: 2
+            })
+        );
+        assert_eq!(s.kill, Some(Kill { rank: 3, after: 9 }));
+        assert_eq!(ChaosSpec::parse("9:").unwrap(), ChaosSpec::new(9));
+    }
+
+    #[test]
+    fn parse_rejections_are_typed() {
+        for bad in [
+            "no-colon",
+            "x:drop=10",
+            "1:drop=101",
+            "1:drop",
+            "1:delay=10",
+            "1:sever=0@3",
+            "1:sever=a->b@3",
+            "1:kill=1",
+            "1:warp=9",
+        ] {
+            let err = ChaosSpec::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, MpiError::Config(_)),
+                "{bad:?} must yield a Config error, got {err:?}"
+            );
+        }
+    }
+
+    fn shm(size: usize) -> Arc<dyn Transport> {
+        Arc::new(ShmTransport::new(size, &Arc::new(Hub::new())))
+    }
+
+    fn env(src: usize, tag: crate::Tag, body: u8) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            ctx: 0,
+            payload: Payload::from_slice(&[body]),
+            ack: None,
+        }
+    }
+
+    fn drain(mb: &Mailbox, src: usize) -> Vec<u8> {
+        let key = MatchKey {
+            src,
+            tag: crate::ANY_TAG,
+            ctx: 0,
+        };
+        let mut out = Vec::new();
+        while let Some(d) = mb.try_take(key) {
+            out.push(d.payload.as_slice()[0]);
+        }
+        out
+    }
+
+    #[test]
+    fn identity_spec_is_transparent() {
+        let chaos = ChaosTransport::new(shm(2), 2, ChaosSpec::new(1));
+        for i in 0..20 {
+            chaos.post(1, env(0, 0, i));
+        }
+        chaos.shutdown();
+        assert_eq!(drain(chaos.mailbox(1), 0), (0..20).collect::<Vec<_>>());
+        assert_eq!(chaos.stats(), ChaosStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let deliver = |seed: u64| {
+            let chaos = ChaosTransport::new(
+                shm(2),
+                2,
+                ChaosSpec::parse(&format!("{seed}:drop=40")).unwrap(),
+            );
+            for i in 0..64 {
+                chaos.post(1, env(0, 0, i));
+            }
+            chaos.shutdown();
+            drain(chaos.mailbox(1), 0)
+        };
+        let a = deliver(12345);
+        let b = deliver(12345);
+        assert_eq!(a, b, "same seed must deliver the same message set");
+        assert!(
+            !a.is_empty() && a.len() < 64,
+            "drop=40 must thin the traffic"
+        );
+        let c = deliver(54321);
+        assert_ne!(a, c, "distinct seeds must produce distinct schedules");
+    }
+
+    #[test]
+    fn dup_duplicates_and_counts() {
+        let chaos = ChaosTransport::new(shm(2), 2, spec("dup=100"));
+        for i in 0..5 {
+            chaos.post(1, env(0, 0, i));
+        }
+        chaos.shutdown();
+        assert_eq!(
+            drain(chaos.mailbox(1), 0),
+            vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+        );
+        assert_eq!(chaos.stats().duplicated, 5);
+    }
+
+    #[test]
+    fn delay_preserves_channel_fifo() {
+        let chaos = ChaosTransport::new(shm(2), 2, spec("delay=50@5"));
+        for i in 0..32 {
+            chaos.post(1, env(0, 0, i));
+        }
+        chaos.shutdown();
+        assert_eq!(
+            drain(chaos.mailbox(1), 0),
+            (0..32).collect::<Vec<_>>(),
+            "delay models a slow link, not a reordering one"
+        );
+        assert!(chaos.stats().delayed > 0);
+    }
+
+    #[test]
+    fn reorder_violates_fifo_but_loses_nothing() {
+        let chaos = ChaosTransport::new(shm(2), 2, spec("reorder=50"));
+        for i in 0..32 {
+            chaos.post(1, env(0, 0, i));
+        }
+        chaos.shutdown();
+        let mut got = drain(chaos.mailbox(1), 0);
+        assert!(chaos.stats().reordered > 0);
+        assert_ne!(got, (0..32).collect::<Vec<_>>(), "reorder must break FIFO");
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>(), "no message may vanish");
+    }
+
+    #[test]
+    fn sever_is_directional_and_counted() {
+        let chaos = ChaosTransport::new(shm(2), 2, spec("sever=0->1@2"));
+        for i in 0..6 {
+            chaos.post(1, env(0, 0, i));
+            chaos.post(0, env(1, 0, i));
+        }
+        chaos.shutdown();
+        assert_eq!(drain(chaos.mailbox(1), 0), vec![0, 1], "cut after 2");
+        assert_eq!(
+            drain(chaos.mailbox(0), 1),
+            (0..6).collect::<Vec<_>>(),
+            "reverse direction unaffected"
+        );
+        assert_eq!(chaos.stats().severed, 4);
+    }
+
+    #[test]
+    fn kill_cuts_both_directions_and_broadcasts_once() {
+        let chaos = ChaosTransport::new(shm(3), 3, spec("kill=1@2"));
+        for i in 0..4 {
+            chaos.post(1, env(0, 0, i)); // touches rank 1
+            chaos.post(2, env(0, 0, i)); // does not
+        }
+        for i in 0..4 {
+            chaos.post(2, env(1, 0, i)); // victim sending: cut after death
+        }
+        chaos.shutdown();
+        assert_eq!(drain(chaos.mailbox(1), 0), vec![0, 1]);
+        assert_eq!(drain(chaos.mailbox(2), 0), (0..4).collect::<Vec<_>>());
+        assert_eq!(drain(chaos.mailbox(2), 1), Vec::<u8>::new());
+        let stats = chaos.stats();
+        assert_eq!(stats.kills, 1);
+        assert_eq!(stats.severed, 6);
+    }
+}

@@ -7,6 +7,7 @@
 //! maps it onto its own error-handling policy.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Result alias used throughout the substrate.
 pub type MpiResult<T> = Result<T, MpiError>;
@@ -22,6 +23,21 @@ pub enum MpiError {
     },
     /// The communicator has been revoked (ULFM `MPI_ERR_REVOKED`).
     Revoked,
+    /// A bounded wait (`recv_timeout`, `probe_timeout`,
+    /// [`crate::RawRequest::wait_timeout`]) hit its deadline before the
+    /// awaited event occurred. The peer may merely be slow — unlike
+    /// [`MpiError::ProcFailed`] this carries no evidence of death, only
+    /// that the operation did not complete within the budget.
+    Timeout {
+        /// How long the operation actually waited before giving up.
+        waited: Duration,
+    },
+    /// The launch/transport configuration is unusable: a malformed
+    /// `KAMPING_TRANSPORT`/`KAMPING_CHAOS` value, a missing rendezvous
+    /// variable, an unbindable listener address. Surfaced through
+    /// [`crate::Universe::try_run`] instead of panicking, so launcher bugs
+    /// are testable.
+    Config(String),
     /// An incoming message was larger than the posted receive buffer
     /// (`MPI_ERR_TRUNCATE`).
     Truncation {
@@ -57,6 +73,10 @@ impl fmt::Display for MpiError {
                 write!(f, "process failure detected (global rank {rank})")
             }
             MpiError::Revoked => write!(f, "communicator has been revoked"),
+            MpiError::Timeout { waited } => {
+                write!(f, "operation timed out after {waited:?}")
+            }
+            MpiError::Config(what) => write!(f, "invalid configuration: {what}"),
             MpiError::Truncation { expected, got } => {
                 write!(
                     f,
@@ -80,6 +100,13 @@ impl MpiError {
     /// recoverable, e.g. via ULFM) as opposed to a usage error.
     pub fn is_failure(&self) -> bool {
         matches!(self, MpiError::ProcFailed { .. } | MpiError::Revoked)
+    }
+
+    /// Whether this error means "the awaited event has not happened yet"
+    /// ([`MpiError::Timeout`]): the operation may be retried with a longer
+    /// deadline, unlike failures and usage errors.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, MpiError::Timeout { .. })
     }
 }
 
@@ -108,5 +135,15 @@ mod tests {
             got: 2
         }
         .is_failure());
+        let t = MpiError::Timeout {
+            waited: Duration::from_millis(5),
+        };
+        assert!(!t.is_failure());
+        assert!(t.is_timeout());
+        assert!(t.to_string().contains("timed out"));
+        let c = MpiError::Config("KAMPING_TRANSPORT must be shm or socket".into());
+        assert!(!c.is_failure());
+        assert!(!c.is_timeout());
+        assert!(c.to_string().contains("invalid configuration"));
     }
 }

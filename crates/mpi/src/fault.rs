@@ -11,6 +11,8 @@
 //! stops participating (returns from the SPMD closure). A rank that panics
 //! is marked failed automatically by the universe.
 
+use std::time::{Duration, Instant};
+
 use crate::comm::ContextKind;
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
@@ -47,10 +49,38 @@ impl RawComm {
             .wait_until(|| self.state.is_revoked(self.ctx).then_some(()));
     }
 
+    /// Like [`RawComm::await_revoked`], but gives up after `timeout` with
+    /// [`MpiError::Timeout`] — for recovery code that must not wedge when
+    /// the expected revocation never arrives.
+    pub fn await_revoked_timeout(&self, timeout: Duration) -> MpiResult<()> {
+        let start = Instant::now();
+        self.state
+            .hub
+            .wait_until_deadline(
+                || self.state.is_revoked(self.ctx).then_some(()),
+                Some(start + timeout),
+            )
+            .ok_or(MpiError::Timeout {
+                waited: start.elapsed(),
+            })
+    }
+
     /// Blocks (without polling) until at least one member of this
     /// communicator is marked failed; returns the lowest failed local rank.
     pub fn await_failure(&self) -> usize {
         self.state.hub.wait_until(|| self.first_failed())
+    }
+
+    /// Like [`RawComm::await_failure`], but gives up after `timeout` with
+    /// [`MpiError::Timeout`] if no member has been marked failed by then.
+    pub fn await_failure_timeout(&self, timeout: Duration) -> MpiResult<usize> {
+        let start = Instant::now();
+        self.state
+            .hub
+            .wait_until_deadline(|| self.first_failed(), Some(start + timeout))
+            .ok_or(MpiError::Timeout {
+                waited: start.elapsed(),
+            })
     }
 
     /// Lowest-numbered failed member of this communicator, if any

@@ -59,6 +59,7 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
+pub mod chaos;
 pub mod coll;
 pub mod comm;
 pub mod dtype;
@@ -74,6 +75,7 @@ pub mod topo;
 pub mod transport;
 pub mod universe;
 
+pub use chaos::{ChaosSpec, ChaosTransport};
 pub use comm::RawComm;
 pub use error::{MpiError, MpiResult};
 pub use p2p::Status;

@@ -114,22 +114,39 @@ impl Stream {
         }
     }
 
-    /// Connects to `addr`, retrying until `timeout` elapses. Used against
-    /// the rendezvous endpoint, which a freshly-spawned rank 0 may not have
-    /// bound yet.
+    /// Connects to `addr`, retrying with exponential backoff (plus jitter)
+    /// until `timeout` elapses. Used against endpoints that may not be up
+    /// yet — the rendezvous of a freshly-spawned rank 0, a peer's data
+    /// listener. The error returned at the deadline wraps the *last*
+    /// connect failure, so "connection refused" vs "no such file" is not
+    /// lost.
     pub fn connect_retry(addr: &Addr, timeout: Duration) -> io::Result<Self> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(1);
+        const BACKOFF_CAP: Duration = Duration::from_millis(100);
+        let mut attempt: u64 = 0;
         loop {
             match Self::connect(addr) {
                 Ok(s) => return Ok(s),
                 Err(e) => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(io::Error::new(
                             e.kind(),
-                            format!("rendezvous at {addr} unreachable after {timeout:?}: {e}"),
+                            format!("{addr} unreachable after {timeout:?}, last error: {e}"),
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    // Up to +50% jitter, derived from pid and attempt count
+                    // so concurrently-spawned ranks don't reconnect in
+                    // lockstep (no RNG dependency).
+                    let salt = (u64::from(std::process::id()) ^ attempt)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        >> 33;
+                    let step = backoff.as_micros() as u64;
+                    let sleep = Duration::from_micros(step + salt % (step / 2 + 1));
+                    std::thread::sleep(sleep.min(deadline - now));
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    attempt += 1;
                 }
             }
         }

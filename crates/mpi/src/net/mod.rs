@@ -57,7 +57,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
+use crate::error::{MpiError, MpiResult};
 use crate::profile::ProfileSnapshot;
 use crate::transport::{ControlSink, Hub, Transport};
 use crate::universe::UniverseState;
@@ -80,39 +82,57 @@ pub struct SocketConfig {
 }
 
 impl SocketConfig {
-    /// Reads the launch environment. `None` unless
-    /// `KAMPING_TRANSPORT=socket`; panics (with the offending variable
-    /// named) if the socket environment is requested but incomplete,
-    /// because silently falling back to threads would mask launcher bugs.
-    pub fn from_env() -> Option<Self> {
-        match std::env::var("KAMPING_TRANSPORT") {
-            Ok(v) if v == "socket" => {}
-            Ok(v) if v == "shm" || v.is_empty() => return None,
-            Ok(v) => panic!("KAMPING_TRANSPORT must be shm or socket, got {v:?}"),
-            Err(_) => return None,
+    /// Reads the launch environment. `Ok(None)` unless
+    /// `KAMPING_TRANSPORT=socket`; a typed [`MpiError::Config`] (naming
+    /// the offending variable) if the socket environment is requested but
+    /// malformed or incomplete, because silently falling back to threads
+    /// would mask launcher bugs.
+    pub fn from_env() -> MpiResult<Option<Self>> {
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// [`SocketConfig::from_env`] over an arbitrary variable lookup — the
+    /// pure core, so tests can exercise malformed environments without
+    /// racing on the process-global environment.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> MpiResult<Option<Self>> {
+        match get("KAMPING_TRANSPORT") {
+            Some(v) if v == "socket" => {}
+            Some(v) if v == "shm" || v.is_empty() => return Ok(None),
+            Some(v) => {
+                return Err(MpiError::Config(format!(
+                    "KAMPING_TRANSPORT must be shm or socket, got {v:?}"
+                )))
+            }
+            None => return Ok(None),
         }
-        let get = |key: &str| {
-            std::env::var(key).unwrap_or_else(|_| {
-                panic!("KAMPING_TRANSPORT=socket requires {key} (set by kampirun)")
+        let require = |key: &str| {
+            get(key).ok_or_else(|| {
+                MpiError::Config(format!(
+                    "KAMPING_TRANSPORT=socket requires {key} (set by kampirun)"
+                ))
             })
         };
-        let rank: usize = get("KAMPING_RANK")
+        let rank: usize = require("KAMPING_RANK")?
             .parse()
-            .expect("KAMPING_RANK must be an integer");
-        let ranks: usize = get("KAMPING_RANKS")
+            .map_err(|_| MpiError::Config("KAMPING_RANK must be an integer".into()))?;
+        let ranks: usize = require("KAMPING_RANKS")?
             .parse()
-            .expect("KAMPING_RANKS must be an integer");
-        let rendezvous = Addr::parse(&get("KAMPING_RENDEZVOUS"))
-            .expect("KAMPING_RENDEZVOUS must be unix:<path> or tcp:<host:port>");
-        assert!(
-            rank < ranks,
-            "KAMPING_RANK={rank} out of range for KAMPING_RANKS={ranks}"
-        );
-        Some(Self {
+            .map_err(|_| MpiError::Config("KAMPING_RANKS must be an integer".into()))?;
+        let rendezvous = Addr::parse(&require("KAMPING_RENDEZVOUS")?).map_err(|e| {
+            MpiError::Config(format!(
+                "KAMPING_RENDEZVOUS must be unix:<path> or tcp:<host:port>: {e}"
+            ))
+        })?;
+        if rank >= ranks {
+            return Err(MpiError::Config(format!(
+                "KAMPING_RANK={rank} out of range for KAMPING_RANKS={ranks}"
+            )));
+        }
+        Ok(Some(Self {
             rank,
             ranks,
             rendezvous,
-        })
+        }))
     }
 }
 
@@ -222,18 +242,35 @@ fn spawn_monitors(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
 /// Guards against a second socket universe in the same process.
 static SOCKET_UNIVERSE_ACTIVE: AtomicBool = AtomicBool::new(false);
 
-/// Joins a `kampirun` job as the rank named by `cfg` and runs `f` once.
-/// This is the socket-backend body of [`crate::Universe::run`].
-pub(crate) fn run_socket<R, F>(cfg: &SocketConfig, f: F) -> (Vec<R>, ProfileSnapshot)
+/// Joins a `kampirun` job as the rank named by `cfg` and runs `f` once
+/// (optionally under a chaos schedule). This is the socket-backend body of
+/// [`crate::Universe::run`].
+///
+/// Setup failures — an unbindable data listener, a broken rendezvous —
+/// come back as [`MpiError::Config`] with the single-universe guard
+/// released, so a launcher can correct the environment and retry.
+pub(crate) fn run_socket<R, F>(
+    cfg: &SocketConfig,
+    chaos: Option<ChaosSpec>,
+    f: F,
+) -> MpiResult<(Vec<R>, ProfileSnapshot)>
 where
     R: Send,
     F: Fn(RawComm) -> R + Sync,
 {
-    assert!(
-        !SOCKET_UNIVERSE_ACTIVE.swap(true, Ordering::AcqRel),
-        "the socket backend supports one Universe::run per process: \
-         the process *is* the rank, so a second universe cannot exist"
-    );
+    if SOCKET_UNIVERSE_ACTIVE.swap(true, Ordering::AcqRel) {
+        return Err(MpiError::Config(
+            "the socket backend supports one Universe::run per process: \
+             the process *is* the rank, so a second universe cannot exist"
+                .into(),
+        ));
+    }
+    // Until the transport is up, errors release the guard so a corrected
+    // environment can retry in the same process.
+    let fail = |what: String| {
+        SOCKET_UNIVERSE_ACTIVE.store(false, Ordering::Release);
+        Err(MpiError::Config(what))
+    };
 
     // Bind the data listener before joining the rendezvous, so the
     // address we publish is already accepting (the OS queues connections
@@ -242,33 +279,56 @@ where
         Addr::Unix(p) => Addr::Unix(p.with_file_name(format!("data-{}.sock", cfg.rank))),
         Addr::Tcp(_) => Addr::Tcp("127.0.0.1:0".into()),
     };
-    let listener = Listener::bind(&preferred).unwrap_or_else(|e| {
-        panic!(
-            "rank {}: binding data listener at {preferred}: {e}",
-            cfg.rank
-        )
-    });
-    let data_addr = listener.local_addr().expect("listener has an address");
+    let listener = match Listener::bind(&preferred) {
+        Ok(l) => l,
+        Err(e) => {
+            return fail(format!(
+                "rank {}: binding data listener at {preferred}: {e}",
+                cfg.rank
+            ))
+        }
+    };
+    let data_addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            return fail(format!(
+                "rank {}: data listener has no address: {e}",
+                cfg.rank
+            ))
+        }
+    };
 
-    let (addrs, rdv) = rendezvous(cfg, &data_addr)
-        .unwrap_or_else(|e| panic!("rank {}: rendezvous failed: {e}", cfg.rank));
+    let (addrs, rdv) = match rendezvous(cfg, &data_addr) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("rank {}: rendezvous failed: {e}", cfg.rank)),
+    };
 
     let hub = Arc::new(Hub::new());
-    let transport = Arc::new(SocketTransport::new(
+    let socket = Arc::new(SocketTransport::new(
         cfg.rank,
         cfg.ranks,
         Arc::clone(&hub),
         addrs,
         listener,
     ));
-    let state = Arc::new(UniverseState::with_transport(
-        cfg.ranks,
-        Arc::clone(&transport) as Arc<dyn Transport>,
-        hub,
-    ));
+    let (transport, chaos_layer) = match chaos {
+        None => (Arc::clone(&socket) as Arc<dyn Transport>, None),
+        Some(spec) => {
+            let layer = Arc::new(ChaosTransport::new(
+                Arc::clone(&socket) as Arc<dyn Transport>,
+                cfg.ranks,
+                spec,
+            ));
+            (Arc::clone(&layer) as Arc<dyn Transport>, Some(layer))
+        }
+    };
+    let state = Arc::new(UniverseState::with_transport(cfg.ranks, transport, hub));
     {
         let weak: Weak<UniverseState> = Arc::downgrade(&state);
-        transport.bind_sink(weak as Weak<dyn ControlSink>);
+        socket.bind_sink(weak.clone() as Weak<dyn ControlSink>);
+        if let Some(layer) = chaos_layer {
+            layer.bind_sink(weak as Weak<dyn ControlSink>);
+        }
     }
 
     let mut client_conn = None;
@@ -284,7 +344,9 @@ where
     }
     // Broadcast Finished on the data plane: it travels FIFO *behind* any
     // still-buffered envelopes, so peers never see the finish overtake
-    // data they are owed.
+    // data they are owed. Chaos delay queues sit *above* that FIFO, so
+    // they must drain first.
+    state.transport.quiesce();
     state.mark_finished(cfg.rank);
     // Flush and join all writer threads before announcing the clean exit.
     state.transport.shutdown();
@@ -294,7 +356,7 @@ where
 
     let profile = state.profile();
     match outcome {
-        Ok(v) => (vec![v], profile),
+        Ok(v) => Ok((vec![v], profile)),
         Err(p) => std::panic::resume_unwind(p),
     }
 }

@@ -29,9 +29,10 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::transport::{
     AckCell, ControlMsg, ControlSink, Envelope, Hub, Mailbox, Payload, Transport,
@@ -39,6 +40,17 @@ use crate::transport::{
 
 use super::addr::{Addr, Listener, Stream};
 use super::wire::{read_frame, write_frame, Frame};
+
+/// An idle writer emits a `Ping` this often, so a dead peer's socket fails
+/// the write (and the failure is marked) within roughly one interval even
+/// when the application has nothing to send.
+const HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// How long a lazy data-plane connect keeps retrying (with exponential
+/// backoff, see [`Stream::connect_retry`]) before the peer is declared
+/// unreachable. Short on purpose: post-rendezvous, every listener is
+/// already bound, so persistent refusal means the peer is gone.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Where control frames go before/after the universe binds itself.
 enum SinkState {
@@ -133,7 +145,7 @@ impl Shared {
     fn send_frame(self: &Arc<Self>, dest: usize, frame: Frame) -> bool {
         let mut slot = self.peers[dest].lock().expect("peer slot poisoned");
         if let PeerSlot::Idle = *slot {
-            match Stream::connect(&self.addrs[dest]) {
+            match Stream::connect_retry(&self.addrs[dest], CONNECT_TIMEOUT) {
                 Ok(stream) => {
                     let (tx, rx) = std::sync::mpsc::channel();
                     tx.send(Frame::Hello { rank: self.my_rank })
@@ -182,7 +194,10 @@ impl Shared {
 }
 
 /// Drains one peer's frame channel into its stream, flushing when the
-/// channel runs dry (batches bursts, keeps latency low when idle).
+/// channel runs dry (batches bursts, keeps latency low when idle). An idle
+/// channel emits a heartbeat `Ping` every [`HEARTBEAT`], so a broken
+/// connection is discovered — and the peer marked failed — without waiting
+/// for the application's next send.
 fn writer_loop(stream: Stream, rx: Receiver<Frame>, dest: usize, shared: Arc<Shared>) {
     let mut w = BufWriter::new(stream);
     loop {
@@ -193,10 +208,13 @@ fn writer_loop(stream: Stream, rx: Receiver<Frame>, dest: usize, shared: Arc<Sha
                     shared.peer_lost(dest);
                     return;
                 }
-                match rx.recv() {
+                match rx.recv_timeout(HEARTBEAT) {
                     Ok(f) => f,
+                    // Idle for a full interval: probe the connection. The
+                    // ping is flushed by the next iteration's dry-run flush.
+                    Err(RecvTimeoutError::Timeout) => Frame::Ping,
                     // Channel closed with nothing buffered: clean exit.
-                    Err(_) => return,
+                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             }
             Err(TryRecvError::Disconnected) => {
@@ -250,7 +268,8 @@ fn recv_loop(stream: Stream, shared: Arc<Shared>) {
             }
             Ok(Frame::Ack { ack_id }) => shared.complete_ack_locally(ack_id),
             Ok(Frame::Control(msg)) => shared.deliver_control(msg),
-            Ok(_) => return, // protocol violation
+            Ok(Frame::Ping) => continue, // heartbeat; liveness only
+            Ok(_) => return,             // protocol violation
             Err(_) => {
                 // EOF or reset. Clean if the peer finished (or we are
                 // tearing down), a failure otherwise.
@@ -314,12 +333,15 @@ impl SocketTransport {
 
     /// Binds the universe state as the destination for incoming control
     /// frames and replays any events that arrived before the bind.
+    /// Idempotent: binding again (e.g. both a chaos wrapper and the
+    /// universe pointing at the same state) replaces the sink — while
+    /// bound nothing queues, so there is never anything to replay twice.
     pub(crate) fn bind_sink(&self, sink: Weak<dyn ControlSink>) {
         let pending = {
             let mut st = self.shared.sink.lock().expect("sink poisoned");
             match std::mem::replace(&mut *st, SinkState::Bound(sink.clone())) {
                 SinkState::Pending(q) => q,
-                SinkState::Bound(_) => panic!("control sink bound twice"),
+                SinkState::Bound(_) => Vec::new(),
             }
         };
         if let Some(s) = sink.upgrade() {

@@ -18,6 +18,7 @@
 //! | 5    | `Join`     | rendezvous  | rank → rank 0                     |
 //! | 6    | `Table`    | rendezvous  | rank 0 → rank                     |
 //! | 7    | `Bye`      | rendezvous  | clean-exit notice to the monitor  |
+//! | 8    | `Ping`     | data        | heartbeat from an idle writer     |
 //!
 //! `Data.ack_id` is 0 for standard-mode sends; synchronous-mode sends carry
 //! the sender's ack-registry key, and the receiver returns it in an `Ack`
@@ -42,6 +43,7 @@ const KIND_CONTROL: u8 = 4;
 const KIND_JOIN: u8 = 5;
 const KIND_TABLE: u8 = 6;
 const KIND_BYE: u8 = 7;
+const KIND_PING: u8 = 8;
 
 /// One unit of the socket backend's wire protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +94,10 @@ pub enum Frame {
         /// Global rank that is exiting cleanly.
         rank: usize,
     },
+    /// Heartbeat written by an idle writer thread. Carries nothing; its
+    /// purpose is to make a dead peer's socket *fail the write* within one
+    /// heartbeat interval instead of staying silently wedged.
+    Ping,
 }
 
 fn put_u64(w: &mut Writer, v: u64) {
@@ -179,6 +185,9 @@ impl Frame {
                 w.put_u8(KIND_BYE);
                 put_u64(&mut w, *rank as u64);
             }
+            Frame::Ping => {
+                w.put_u8(KIND_PING);
+            }
         }
         w.into_bytes()
     }
@@ -240,6 +249,7 @@ impl Frame {
             KIND_BYE => Frame::Bye {
                 rank: take_u64(&mut r)? as usize,
             },
+            KIND_PING => Frame::Ping,
             _ => return Err(SerialError::Invalid("unknown frame kind")),
         };
         r.finish()?;
@@ -318,6 +328,7 @@ mod tests {
             addrs: vec!["unix:/a".into(), "tcp:127.0.0.1:1234".into()],
         });
         roundtrip(Frame::Bye { rank: 1 });
+        roundtrip(Frame::Ping);
     }
 
     #[test]

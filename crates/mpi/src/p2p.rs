@@ -10,6 +10,7 @@
 //! senders (broadcast) share across all receivers.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
@@ -139,6 +140,29 @@ impl RawComm {
         Ok((payload.into_vec(), status))
     }
 
+    /// Like [`RawComm::recv`], but gives up after `timeout` with
+    /// [`MpiError::Timeout`] — the bounded receive for failure paths where
+    /// the sender may be hung rather than provably dead (severed link,
+    /// undetected crash). No message is consumed on timeout.
+    pub fn recv_timeout(
+        &self,
+        source: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> MpiResult<(Vec<u8>, Status)> {
+        self.record(Op::Recv);
+        let key = self.match_key(source, tag)?;
+        let me = self.my_global_rank();
+        let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
+        let deadline = Some(Instant::now() + timeout);
+        let d = self
+            .state
+            .mailbox(me)
+            .take_blocking_deadline(key, &interrupt, deadline)?;
+        let status = self.status_of(d.src, d.tag, d.payload.len());
+        Ok((d.payload.into_vec(), status))
+    }
+
     /// Blocking receive with a size limit: errors with
     /// [`MpiError::Truncation`] if the matched message exceeds `max_bytes`.
     /// (The message is consumed either way, as in MPI.)
@@ -208,6 +232,21 @@ impl RawComm {
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
         let (src, t, n) = self.state.mailbox(me).peek_blocking(key, &interrupt)?;
+        Ok(self.status_of(src, t, n))
+    }
+
+    /// Like [`RawComm::probe`], but gives up after `timeout` with
+    /// [`MpiError::Timeout`].
+    pub fn probe_timeout(&self, source: usize, tag: Tag, timeout: Duration) -> MpiResult<Status> {
+        self.record(Op::Probe);
+        let key = self.match_key(source, tag)?;
+        let me = self.my_global_rank();
+        let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
+        let deadline = Some(Instant::now() + timeout);
+        let (src, t, n) = self
+            .state
+            .mailbox(me)
+            .peek_blocking_deadline(key, &interrupt, deadline)?;
         Ok(self.status_of(src, t, n))
     }
 

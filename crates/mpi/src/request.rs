@@ -11,8 +11,9 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::error::MpiResult;
+use crate::error::{MpiError, MpiResult};
 use crate::ibarrier::BarrierCell;
 use crate::p2p::Status;
 use crate::transport::{AckCell, MatchKey};
@@ -148,6 +149,22 @@ impl RawRequest {
     /// the owning mailbox's condvar, synchronous-send acks and barrier
     /// arrivals block on the universe [`crate::transport::Hub`].
     pub fn wait(&mut self) -> MpiResult<(Vec<u8>, Status)> {
+        self.wait_deadline(None)
+    }
+
+    /// Like [`RawRequest::wait`], but gives up after `timeout` with
+    /// [`MpiError::Timeout`]. The request stays *pending* on timeout (it
+    /// can be waited on again with a longer budget), so a hung peer —
+    /// severed link, silent death the failure detector has not caught yet
+    /// — surfaces as an error instead of blocking forever.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> MpiResult<(Vec<u8>, Status)> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// [`RawRequest::wait`] with an optional absolute deadline — the form
+    /// used when one budget spans several requests. `None` waits forever.
+    pub fn wait_deadline(&mut self, deadline: Option<Instant>) -> MpiResult<(Vec<u8>, Status)> {
+        let start = Instant::now();
         let done_status = Status {
             source: usize::MAX,
             tag: 0,
@@ -157,15 +174,27 @@ impl RawRequest {
             None | Some(RequestKind::SendDone) => Ok((Vec::new(), done_status)),
             Some(RequestKind::Recv { key, me, group }) => {
                 let interrupt = wait_interrupt(&self.state, key.src, key.ctx);
-                let d = self.state.mailbox(me).take_blocking(key, &interrupt)?;
-                let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
-                Ok((d.payload.into_vec(), status))
+                match self
+                    .state
+                    .mailbox(me)
+                    .take_blocking_deadline(key, &interrupt, deadline)
+                {
+                    Ok(d) => {
+                        let status = Self::local_status(&group, d.src, d.tag, d.payload.len());
+                        Ok((d.payload.into_vec(), status))
+                    }
+                    Err(e) => {
+                        if e.is_timeout() {
+                            self.kind = Some(RequestKind::Recv { key, me, group });
+                        }
+                        Err(e)
+                    }
+                }
             }
             Some(RequestKind::Ssend { ack, dest_global }) => {
                 let state = Arc::clone(&self.state);
-                state
-                    .hub
-                    .wait_until(|| {
+                let verdict = state.hub.wait_until_deadline(
+                    || {
                         if ack.is_set() {
                             Some(Ok(()))
                         } else if state.is_gone(dest_global) {
@@ -173,22 +202,43 @@ impl RawRequest {
                         } else {
                             None
                         }
-                    })
-                    .map(|()| (Vec::new(), done_status))
+                    },
+                    deadline,
+                );
+                match verdict {
+                    Some(Ok(())) => Ok((Vec::new(), done_status)),
+                    Some(Err(e)) => Err(e),
+                    None => {
+                        self.kind = Some(RequestKind::Ssend { ack, dest_global });
+                        Err(MpiError::Timeout {
+                            waited: start.elapsed(),
+                        })
+                    }
+                }
             }
             Some(RequestKind::Barrier(cell)) => {
                 let state = Arc::clone(&self.state);
-                state
-                    .hub
-                    .wait_until(|| match cell.poll(&state) {
+                let verdict = state.hub.wait_until_deadline(
+                    || match cell.poll(&state) {
                         Ok(true) => Some(Ok(())),
                         Ok(false) => None,
                         Err(e) => Some(Err(e)),
-                    })
-                    .map(|()| {
+                    },
+                    deadline,
+                );
+                match verdict {
+                    Some(Ok(())) => {
                         cell.observe(&state);
-                        (Vec::new(), done_status)
-                    })
+                        Ok((Vec::new(), done_status))
+                    }
+                    Some(Err(e)) => Err(e),
+                    None => {
+                        self.kind = Some(RequestKind::Barrier(cell));
+                        Err(MpiError::Timeout {
+                            waited: start.elapsed(),
+                        })
+                    }
+                }
             }
         }
     }

@@ -48,6 +48,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::error::{MpiError, MpiResult};
 use crate::tag::{source_matches, tag_matches, Tag, ANY_SOURCE};
@@ -259,18 +260,48 @@ impl Hub {
 
     /// Blocks until `ready` returns `Some`, re-evaluating whenever the hub
     /// is notified. The predicate runs outside the gate lock.
-    pub fn wait_until<T>(&self, mut ready: impl FnMut() -> Option<T>) -> T {
+    pub fn wait_until<T>(&self, ready: impl FnMut() -> Option<T>) -> T {
+        self.wait_until_deadline(ready, None)
+            .expect("deadline-free wait cannot time out")
+    }
+
+    /// Like [`Hub::wait_until`], but gives up at `deadline`: returns `None`
+    /// if the predicate still yields nothing once the deadline has passed
+    /// (the predicate is always re-checked one final time first, so a wake
+    /// racing the deadline is not lost). `deadline: None` waits forever.
+    pub fn wait_until_deadline<T>(
+        &self,
+        mut ready: impl FnMut() -> Option<T>,
+        deadline: Option<Instant>,
+    ) -> Option<T> {
         loop {
             // Read the epoch before evaluating the predicate: a state change
             // strictly after this read also bumps the epoch, so the wait
             // below cannot sleep through it.
             let epoch = *self.gate.lock().expect("hub gate poisoned");
             if let Some(v) = ready() {
-                return v;
+                return Some(v);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
             }
             let mut gate = self.gate.lock().expect("hub gate poisoned");
             while *gate == epoch {
-                gate = self.cond.wait(gate).expect("hub gate poisoned");
+                match deadline {
+                    None => gate = self.cond.wait(gate).expect("hub gate poisoned"),
+                    Some(d) => {
+                        let Some(left) = d.checked_duration_since(Instant::now()) else {
+                            // Deadline hit while parked: fall out to the
+                            // final predicate re-check above.
+                            break;
+                        };
+                        gate = self
+                            .cond
+                            .wait_timeout(gate, left)
+                            .expect("hub gate poisoned")
+                            .0;
+                    }
+                }
             }
         }
     }
@@ -407,7 +438,19 @@ impl Mailbox {
         key: MatchKey,
         interrupt: &dyn Fn() -> Option<MpiError>,
     ) -> MpiResult<Delivered> {
-        self.wait_matching(key, interrupt, |mb| mb.try_take(key))
+        self.wait_matching(interrupt, None, |mb| mb.try_take(key))
+    }
+
+    /// Like [`Mailbox::take_blocking`], but gives up at `deadline` with
+    /// [`MpiError::Timeout`] — the bounded receive that chaos testing and
+    /// hung-peer detection rely on. `deadline: None` waits forever.
+    pub fn take_blocking_deadline(
+        &self,
+        key: MatchKey,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+        deadline: Option<Instant>,
+    ) -> MpiResult<Delivered> {
+        self.wait_matching(interrupt, deadline, |mb| mb.try_take(key))
     }
 
     /// Blocks until a matching envelope is available and returns its
@@ -417,15 +460,27 @@ impl Mailbox {
         key: MatchKey,
         interrupt: &dyn Fn() -> Option<MpiError>,
     ) -> MpiResult<(usize, Tag, usize)> {
-        self.wait_matching(key, interrupt, |mb| mb.try_peek(key))
+        self.wait_matching(interrupt, None, |mb| mb.try_peek(key))
+    }
+
+    /// Like [`Mailbox::peek_blocking`], but gives up at `deadline` with
+    /// [`MpiError::Timeout`].
+    pub fn peek_blocking_deadline(
+        &self,
+        key: MatchKey,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+        deadline: Option<Instant>,
+    ) -> MpiResult<(usize, Tag, usize)> {
+        self.wait_matching(interrupt, deadline, |mb| mb.try_peek(key))
     }
 
     fn wait_matching<T>(
         &self,
-        _key: MatchKey,
         interrupt: &dyn Fn() -> Option<MpiError>,
+        deadline: Option<Instant>,
         mut attempt: impl FnMut(&Self) -> Option<T>,
     ) -> MpiResult<T> {
+        let start = Instant::now();
         if let Some(hit) = attempt(self) {
             return Ok(hit);
         }
@@ -453,9 +508,28 @@ impl Mailbox {
             if let Some(err) = interrupt() {
                 return Err(err);
             }
+            // The deadline is checked after one final match/interrupt pass,
+            // so an envelope racing the deadline is still delivered.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(MpiError::Timeout {
+                    waited: start.elapsed(),
+                });
+            }
             let epoch = *gate;
             while *gate == epoch {
-                gate = self.cond.wait(gate).expect("mailbox gate poisoned");
+                match deadline {
+                    None => gate = self.cond.wait(gate).expect("mailbox gate poisoned"),
+                    Some(d) => {
+                        let Some(left) = d.checked_duration_since(Instant::now()) else {
+                            break;
+                        };
+                        gate = self
+                            .cond
+                            .wait_timeout(gate, left)
+                            .expect("mailbox gate poisoned")
+                            .0;
+                    }
+                }
             }
         }
     }
@@ -548,6 +622,14 @@ pub trait Transport: Send + Sync {
     /// Wakes every blocked receiver of every local mailbox so it can
     /// re-check failure/revocation state.
     fn kick_local(&self);
+
+    /// Blocks until any envelope this transport is still *holding* (rather
+    /// than having handed to the delivery substrate) is on its way. Called
+    /// before a rank announces `Finished`, so that the announcement cannot
+    /// overtake data the rank still owes its peers. A no-op for backends
+    /// that never hold traffic back; the fault-injecting chaos wrapper
+    /// drains its delay queue and holdback slots here.
+    fn quiesce(&self) {}
 
     /// Flushes all outgoing traffic and tears the backend down. Called
     /// once per local rank after its SPMD closure returned and its

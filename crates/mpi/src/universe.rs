@@ -23,8 +23,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
-use crate::error::MpiError;
+use crate::error::{MpiError, MpiResult};
 use crate::ibarrier::BarrierCell;
 use crate::profile::{ProfileSnapshot, RankCounters};
 use crate::transport::{ControlMsg, ControlSink, Hub, Mailbox, ShmTransport, Transport};
@@ -63,11 +64,25 @@ pub(crate) struct UniverseState {
 }
 
 impl UniverseState {
-    /// In-process universe over the shared-memory backend.
-    fn new(size: usize) -> Self {
+    /// In-process universe over the shared-memory backend, with an optional
+    /// chaos wrapper around it. The chaos layer's control sink (where an
+    /// injected rank death is applied) is bound to the returned state.
+    fn new_shm(size: usize, chaos: Option<ChaosSpec>) -> Arc<Self> {
         let hub = Arc::new(Hub::new());
-        let transport: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub));
-        Self::with_transport(size, transport, hub)
+        let shm: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub));
+        let (transport, chaos_layer) = match chaos {
+            None => (shm, None),
+            Some(spec) => {
+                let layer = Arc::new(ChaosTransport::new(shm, size, spec));
+                (Arc::clone(&layer) as Arc<dyn Transport>, Some(layer))
+            }
+        };
+        let state = Arc::new(Self::with_transport(size, transport, hub));
+        if let Some(layer) = chaos_layer {
+            let sink: Arc<dyn ControlSink> = Arc::clone(&state) as Arc<dyn ControlSink>;
+            layer.bind_sink(Arc::downgrade(&sink));
+        }
+        state
     }
 
     /// Universe over an externally-constructed backend (the socket path).
@@ -243,36 +258,86 @@ impl Universe {
     /// rank as *failed* rather than hanging.
     ///
     /// # Panics
-    /// Panics if `size == 0` or if any rank panics.
+    /// Panics if the configuration is unusable (`size == 0`, malformed
+    /// `KAMPING_TRANSPORT`/`KAMPING_CHAOS`, broken rendezvous environment)
+    /// or if any rank panics. Use [`Universe::try_run`] to receive
+    /// configuration problems as [`MpiError::Config`] instead.
     pub fn run<R, F>(size: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        Self::run_profiled(size, f).0
+        Self::try_run(size, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Universe::run`], but configuration problems come back as
+    /// [`MpiError::Config`] instead of panicking — the entry point for
+    /// launchers and tests that must observe bad environments as values.
+    pub fn try_run<R, F>(size: usize, f: F) -> MpiResult<Vec<R>>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        Self::try_run_profiled(size, f).map(|(values, _)| values)
     }
 
     /// Like [`Universe::run`], also returning the final profile snapshot.
     /// On a multi-process backend the snapshot covers this rank only.
+    ///
+    /// # Panics
+    /// As [`Universe::run`].
     pub fn run_profiled<R, F>(size: usize, f: F) -> (Vec<R>, ProfileSnapshot)
     where
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        if let Some(cfg) = crate::net::SocketConfig::from_env() {
-            return crate::net::run_socket(&cfg, f);
-        }
-        Self::run_threads_profiled(size, f)
+        Self::try_run_profiled(size, f).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The shared-memory path: spawn `size` rank threads and join them.
-    fn run_threads_profiled<R, F>(size: usize, f: F) -> (Vec<R>, ProfileSnapshot)
+    /// The non-panicking entry point behind every `run_*` wrapper: selects
+    /// the backend from the environment, applies any `KAMPING_CHAOS`
+    /// schedule, and surfaces configuration problems as
+    /// [`MpiError::Config`].
+    pub fn try_run_profiled<R, F>(size: usize, f: F) -> MpiResult<(Vec<R>, ProfileSnapshot)>
     where
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        assert!(size > 0, "a universe needs at least one rank");
-        let state = Arc::new(UniverseState::new(size));
+        let chaos = ChaosSpec::from_env()?;
+        if let Some(cfg) = crate::net::SocketConfig::from_env()? {
+            return crate::net::run_socket(&cfg, chaos, f);
+        }
+        Self::run_threads_profiled(size, chaos, f)
+    }
+
+    /// Runs `f` on `size` shared-memory ranks under the given fault
+    /// schedule — the programmatic form of `KAMPING_CHAOS`. Deterministic:
+    /// the same `spec` (seed included) injects the same faults on every
+    /// run, so a test can assert the exact failure its ranks observe.
+    pub fn run_with_chaos<R, F>(size: usize, spec: ChaosSpec, f: F) -> MpiResult<Vec<R>>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        Self::run_threads_profiled(size, Some(spec), f).map(|(values, _)| values)
+    }
+
+    /// The shared-memory path: spawn `size` rank threads and join them.
+    fn run_threads_profiled<R, F>(
+        size: usize,
+        chaos: Option<ChaosSpec>,
+        f: F,
+    ) -> MpiResult<(Vec<R>, ProfileSnapshot)>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        if size == 0 {
+            return Err(MpiError::Config(
+                "a universe needs at least one rank".into(),
+            ));
+        }
+        let state = UniverseState::new_shm(size, chaos);
         let f = &f;
 
         let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
@@ -287,6 +352,9 @@ impl Universe {
                             // that peers error out instead of deadlocking.
                             state.mark_failed(rank);
                         }
+                        // Drain any fault-injection queues first: Finished
+                        // must not overtake data this rank still owes.
+                        state.transport.quiesce();
                         state.mark_finished(rank);
                         outcome
                     })
@@ -297,6 +365,11 @@ impl Universe {
                 .map(|h| h.join().expect("rank thread itself never panics"))
                 .collect()
         });
+
+        // All ranks have finished: flush and tear down the transport. For
+        // plain shm this is a no-op; a chaos wrapper joins its delivery
+        // thread and releases any held-back envelopes here.
+        state.transport.shutdown();
 
         let profile = state.profile();
         let mut values = Vec::with_capacity(size);
@@ -314,7 +387,7 @@ impl Universe {
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
-        (values, profile)
+        Ok((values, profile))
     }
 }
 
@@ -405,7 +478,7 @@ mod tests {
 
     #[test]
     fn fault_epoch_moves_on_marks() {
-        let state = UniverseState::new(2);
+        let state = UniverseState::new_shm(2, None);
         let e0 = state.fault_epoch.load(Ordering::Acquire);
         state.mark_failed(1);
         let e1 = state.fault_epoch.load(Ordering::Acquire);
@@ -416,7 +489,7 @@ mod tests {
 
     #[test]
     fn wait_interrupt_caches_clean_verdict_per_epoch() {
-        let state = UniverseState::new(2);
+        let state = UniverseState::new_shm(2, None);
         let check = wait_interrupt(&state, 1, 0);
         assert!(check().is_none());
         assert!(check().is_none());
@@ -426,7 +499,7 @@ mod tests {
 
     #[test]
     fn control_sink_applies_remote_events() {
-        let state = UniverseState::new(3);
+        let state = UniverseState::new_shm(3, None);
         state.apply(ControlMsg::Failed { rank: 2 });
         assert!(state.is_failed(2));
         state.apply(ControlMsg::Finished { rank: 1 });

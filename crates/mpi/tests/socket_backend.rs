@@ -44,6 +44,12 @@ fn decode(payload: &[u8]) -> (u32, u32) {
 
 /// Launches `ranks` copies of this test binary running `case`.
 fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
+    run_job_chaos(case, ranks, tcp, None)
+}
+
+/// Like [`run_job`], but with a `KAMPING_CHAOS` schedule exported to the
+/// children — the socket-backend variant of `Universe::run_with_chaos`.
+fn run_job_chaos(case: &str, ranks: usize, tcp: bool, chaos: Option<&str>) -> Vec<RankExit> {
     let mut spec = LaunchSpec::new(
         ranks,
         std::env::current_exe().expect("test binary path available"),
@@ -51,6 +57,9 @@ fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
     spec.tcp = tcp;
     spec.args = vec!["worker_entry".into(), "--exact".into()];
     spec.env = vec![(CASE_VAR.into(), case.into())];
+    if let Some(chaos) = chaos {
+        spec.env.push(("KAMPING_CHAOS".into(), chaos.into()));
+    }
     launch(&spec).expect("launching the job")
 }
 
@@ -256,15 +265,53 @@ fn case_ibarrier_dead_member(comm: &RawComm) {
         comm.simulate_failure();
         return;
     }
+    // A bounded wait, not a test_any spin: the remote Failed frame must
+    // surface as a typed failure well before the deadline.
     let mut req = comm.ibarrier().unwrap();
-    let err = loop {
-        match req.test_any() {
-            Ok(Some(_)) => panic!("barrier cannot complete with a dead member"),
-            Ok(None) => std::thread::yield_now(),
-            Err(e) => break e,
-        }
-    };
-    assert!(err.is_failure());
+    let err = req.wait_timeout(Duration::from_secs(30)).unwrap_err();
+    assert!(err.is_failure(), "expected a failure, got {err:?}");
+}
+
+/// Satellite: a severed link (chaos drops the data, no failure mark) must
+/// surface as `Timeout` on the starved receiver — on the socket backend,
+/// where the wait parks on the process-local hub, not a shared one.
+fn case_chaos_sever(comm: &RawComm) {
+    if comm.rank() == 0 {
+        comm.send(1, 3, b"vanishes").unwrap();
+        // Reverse direction is unaffected by the directional cut.
+        let (payload, _) = comm.recv(1, 4).unwrap();
+        assert_eq!(payload, b"alive");
+    } else {
+        let err = comm
+            .recv_timeout(0, 3, Duration::from_millis(500))
+            .unwrap_err();
+        assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+        comm.send(0, 4, b"alive").unwrap();
+    }
+}
+
+/// Satellite: a chaos-injected rank death in *one* process must broadcast
+/// the `Failed` control frame so every survivor gets `ProcFailed` — the
+/// cross-process version of the shm chaos-kill test.
+fn case_chaos_kill(comm: &RawComm) {
+    if comm.rank() == 2 {
+        // The first send passes the kill budget; the second triggers the
+        // death (in this process's chaos layer) and is discarded.
+        comm.send(0, 9, b"first").unwrap();
+        comm.send(0, 9, b"second").unwrap();
+        return;
+    }
+    if comm.rank() == 0 {
+        let (payload, _) = comm.recv(2, 9).unwrap();
+        assert_eq!(payload, b"first");
+        let err = comm
+            .recv_timeout(2, 9, Duration::from_secs(20))
+            .unwrap_err();
+        assert!(err.is_failure(), "expected ProcFailed, got {err:?}");
+    }
+    let mut req = comm.ibarrier().unwrap();
+    let err = req.wait_timeout(Duration::from_secs(30)).unwrap_err();
+    assert!(err.is_failure(), "expected a failure, got {err:?}");
 }
 
 fn case_revoke(comm: &RawComm) {
@@ -342,6 +389,8 @@ fn worker_entry() {
         "collectives" => case_collectives(&comm),
         "ibarrier" => case_ibarrier(&comm),
         "ibarrier_dead_member" => case_ibarrier_dead_member(&comm),
+        "chaos_sever" => case_chaos_sever(&comm),
+        "chaos_kill" => case_chaos_kill(&comm),
         "revoke" => case_revoke(&comm),
         "kill_recovery" => case_kill_recovery(&comm),
         other => panic!("unknown case {other:?}"),
@@ -410,6 +459,33 @@ fn socket_ibarrier_detects_dead_member() {
     assert_all_success(
         "ibarrier_dead_member",
         &run_job("ibarrier_dead_member", 3, false),
+    );
+}
+
+#[test]
+fn socket_chaos_severed_link_times_out() {
+    assert_all_success(
+        "chaos_sever",
+        &run_job_chaos("chaos_sever", 2, false, Some("11:sever=0->1@0")),
+    );
+}
+
+#[test]
+fn socket_chaos_kill_broadcasts_proc_failed() {
+    assert_all_success(
+        "chaos_kill",
+        &run_job_chaos("chaos_kill", 3, false, Some("7:kill=2@1")),
+    );
+}
+
+#[test]
+fn socket_collectives_survive_delay_chaos() {
+    // Delay chaos is semantics-preserving (per-channel FIFO), so the full
+    // collectives case must pass unchanged under it — the property the CI
+    // chaos-soak job leans on.
+    assert_all_success(
+        "collectives",
+        &run_job_chaos("collectives", 3, false, Some("3:delay=30@2")),
     );
 }
 
