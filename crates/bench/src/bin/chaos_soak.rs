@@ -17,10 +17,12 @@
 //!   counting how many of rank 1's messages survive the full
 //!   `RawComm`/mailbox stack. The count must repeat across runs.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use kamping_mpi::chaos::{ChaosSpec, ChaosStats, ChaosTransport};
+use kamping_mpi::measurements::TimerTree;
+use kamping_mpi::trace::TraceCtx;
 use kamping_mpi::transport::{Envelope, Hub, MatchKey, Payload, ShmTransport, Transport};
 use kamping_mpi::{Universe, ANY_TAG};
 
@@ -33,7 +35,11 @@ const SEEDS: [u64; 3] = [7, 42, 2024];
 fn transport_soak(seed: u64) -> (u64, ChaosStats) {
     let spec = ChaosSpec::parse(&format!("{seed}:drop=10,dup=10,delay=25@1,reorder=10"))
         .expect("soak spec parses");
-    let inner: Arc<dyn Transport> = Arc::new(ShmTransport::new(RANKS, &Arc::new(Hub::new())));
+    let inner: Arc<dyn Transport> = Arc::new(ShmTransport::new(
+        RANKS,
+        &Arc::new(Hub::new()),
+        &TraceCtx::disabled(RANKS),
+    ));
     let chaos = ChaosTransport::new(inner, RANKS, spec);
     let mut posted = 0u64;
     for seq in 0..MSGS_PER_CHANNEL {
@@ -113,16 +119,22 @@ fn e2e_soak(seed: u64) -> usize {
 fn main() {
     let start = Instant::now();
     let mut rows = Vec::new();
+    let mut timers = TimerTree::new();
     for seed in SEEDS {
+        timers.start("transport_soak");
         let (delivered_a, stats_a) = transport_soak(seed);
         let (delivered_b, stats_b) = transport_soak(seed);
+        timers.stop_and_append();
         assert_eq!(
             (delivered_a, stats_a),
             (delivered_b, stats_b),
             "seed {seed}: transport schedule must be reproducible"
         );
+        timers.start("e2e_soak");
         let e2e_a = e2e_soak(seed);
         let e2e_b = e2e_soak(seed);
+        timers.stop_and_append();
+        timers.counter_add("messages_delivered", delivered_a as f64);
         assert_eq!(
             e2e_a, e2e_b,
             "seed {seed}: e2e schedule must be reproducible"
@@ -153,4 +165,18 @@ fn main() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");
     std::fs::write(&path, &json).expect("write BENCH_chaos.json");
     eprintln!("wrote {}", path.display());
+
+    // Render the phase timings through the measurements aggregation path
+    // (a 1-rank universe: min = mean = max, but the wire protocol and the
+    // renderer are exactly what multi-rank jobs use).
+    let timers = Mutex::new(timers);
+    let rendered = Universe::run(1, |comm| {
+        timers
+            .lock()
+            .expect("timer tree lock")
+            .aggregate(&comm)
+            .expect("aggregating soak timers")
+            .render()
+    });
+    eprintln!("{}", rendered[0]);
 }

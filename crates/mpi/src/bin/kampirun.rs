@@ -1,13 +1,18 @@
 //! `kampirun` — the `mpirun` of the socket backend.
 //!
 //! ```text
-//! kampirun --ranks N [--tcp] -- <program> [args...]
+//! kampirun --ranks N [--tcp] [--trace out.json] -- <program> [args...]
 //! ```
 //!
 //! Spawns `N` copies of `<program>` wired together over the socket
 //! transport (Unix-domain sockets by default, TCP loopback with `--tcp`)
 //! and waits for all of them. The exit code is 0 if every rank exited 0,
 //! otherwise the first failing rank's code (or 1 for a signal death).
+//!
+//! With `--trace out.json`, every rank records transport events
+//! (`KAMPING_TRACE` pointed at a scratch directory) and the per-rank
+//! traces are merged, time-sorted, into one Chrome trace-event file that
+//! Perfetto / `chrome://tracing` can load directly.
 
 use std::process::ExitCode;
 
@@ -15,7 +20,7 @@ use kamping_mpi::net::{launch, LaunchSpec};
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("kampirun: {err}");
-    eprintln!("usage: kampirun --ranks N [--tcp] -- <program> [args...]");
+    eprintln!("usage: kampirun --ranks N [--tcp] [--trace out.json] -- <program> [args...]");
     ExitCode::from(2)
 }
 
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut ranks: Option<usize> = None;
     let mut tcp = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut program = None;
     let mut prog_args = Vec::new();
 
@@ -35,6 +41,12 @@ fn main() -> ExitCode {
                 ranks = Some(n);
             }
             "--tcp" => tcp = true,
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    return usage("--trace needs an output path argument");
+                };
+                trace_out = Some(path.into());
+            }
             "--" => {
                 program = args.next();
                 prog_args = args.collect();
@@ -54,6 +66,20 @@ fn main() -> ExitCode {
     spec.tcp = tcp;
     spec.args = prog_args;
 
+    // Each rank writes its own JSONL trace into a scratch directory;
+    // merged into a single Chrome trace after the job exits.
+    let trace_dir = trace_out
+        .as_ref()
+        .map(|_| std::env::temp_dir().join(format!("kampirun-trace-{}", std::process::id())));
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("kampirun: creating trace directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        spec.env
+            .push(("KAMPING_TRACE".to_string(), dir.display().to_string()));
+    }
+
     let exits = match launch(&spec) {
         Ok(exits) => exits,
         Err(e) => {
@@ -61,6 +87,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let (Some(dir), Some(out)) = (&trace_dir, &trace_out) {
+        match kamping_mpi::trace::merge_trace_dir(dir, out) {
+            Ok(n) => eprintln!("kampirun: wrote {n} trace events to {}", out.display()),
+            Err(e) => eprintln!("kampirun: merging traces from {}: {e}", dir.display()),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     let mut code: Option<u8> = None;
     for exit in &exits {

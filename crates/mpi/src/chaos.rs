@@ -39,11 +39,12 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::error::{MpiError, MpiResult};
+use crate::trace::{EventKind, TraceCtx};
 use crate::transport::{ControlMsg, ControlSink, Envelope, Mailbox, Transport};
 
 /// Directional link cut: the first `after` messages from `src` to `dest`
@@ -370,6 +371,9 @@ pub struct ChaosTransport {
     delayer: Option<Arc<Delayer>>,
     delivery: Mutex<Option<JoinHandle<()>>>,
     stats: StatCells,
+    /// Trace context for fault-injection events, bound post-construction
+    /// (the wrapper is built before the universe that owns the context).
+    trace: OnceLock<Arc<TraceCtx>>,
 }
 
 /// Clones an envelope for duplication: payloads are refcounted or inline,
@@ -409,6 +413,27 @@ impl ChaosTransport {
             delayer,
             delivery: Mutex::new(delivery),
             stats: StatCells::default(),
+            trace: OnceLock::new(),
+        }
+    }
+
+    /// Binds the universe's trace context so injected faults appear in the
+    /// event stream. Idempotent; the first binding wins.
+    pub fn bind_trace(&self, trace: Arc<TraceCtx>) {
+        let _ = self.trace.set(trace);
+    }
+
+    /// Records one injected fault as a trace event (no-op when tracing is
+    /// off or no context is bound).
+    fn trace_fault(&self, src: usize, dst: usize, fault: &'static str) {
+        if let Some(t) = self.trace.get() {
+            if t.tracing() {
+                t.record(EventKind::Chaos {
+                    src: src as u32,
+                    dst: dst as u32,
+                    fault,
+                });
+            }
         }
     }
 
@@ -528,6 +553,7 @@ impl Transport for ChaosTransport {
         let src = envelope.src;
         if self.kill_cuts(src, dest) {
             self.stats.severed.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, dest, "kill");
             return;
         }
         let chan = src * self.size + dest;
@@ -535,11 +561,13 @@ impl Transport for ChaosTransport {
         if let Some(sv) = self.spec.sever {
             if sv.src == src && sv.dest == dest && seq >= sv.after {
                 self.stats.severed.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(src, dest, "sever");
                 return;
             }
         }
         if self.roll(chan, seq, FAULT_DROP) < self.spec.drop_pct {
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, dest, "drop");
             return;
         }
         let delayed = self.roll(chan, seq, FAULT_DELAY) < self.spec.delay_pct;
@@ -548,6 +576,7 @@ impl Transport for ChaosTransport {
             if slot.is_none() {
                 *slot = Some(envelope);
                 self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(src, dest, "reorder");
                 return;
             }
             // Slot occupied: fall through, this message both delivers and
@@ -555,10 +584,12 @@ impl Transport for ChaosTransport {
         }
         if self.roll(chan, seq, FAULT_DUP) < self.spec.dup_pct {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, dest, "dup");
             self.route(chan, dest, clone_envelope(&envelope), delayed);
         }
         if delayed {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, dest, "delay");
         }
         self.route(chan, dest, envelope, delayed);
         // A held-back envelope is released by its channel successor: it was
@@ -701,7 +732,11 @@ mod tests {
     }
 
     fn shm(size: usize) -> Arc<dyn Transport> {
-        Arc::new(ShmTransport::new(size, &Arc::new(Hub::new())))
+        Arc::new(ShmTransport::new(
+            size,
+            &Arc::new(Hub::new()),
+            &crate::trace::TraceCtx::disabled(size),
+        ))
     }
 
     fn env(src: usize, tag: crate::Tag, body: u8) -> Envelope {

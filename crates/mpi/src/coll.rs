@@ -110,7 +110,7 @@ impl RawComm {
     /// Barrier. Dissemination algorithm (⌈log₂ p⌉ rounds) by default; the
     /// `naive` feature flips the default to [`RawComm::barrier_naive`].
     pub fn barrier(&self) -> MpiResult<()> {
-        self.record(Op::Barrier);
+        let _op = self.record(Op::Barrier);
         let tag = coll_tag(self.next_coll_seq());
         #[cfg(not(feature = "naive"))]
         return self.barrier_dissemination_inner(tag);
@@ -138,7 +138,7 @@ impl RawComm {
     /// Centralized linear barrier (everyone signals rank 0, rank 0 releases
     /// everyone): the A/B baseline for the dissemination barrier.
     pub fn barrier_naive(&self) -> MpiResult<()> {
-        self.record(Op::Barrier);
+        let _op = self.record(Op::Barrier);
         let tag = coll_tag(self.next_coll_seq());
         self.barrier_naive_inner(tag)
     }
@@ -164,7 +164,7 @@ impl RawComm {
     /// flips the default to [`RawComm::bcast_naive`]); all envelopes of one
     /// broadcast alias a single shared allocation.
     pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> MpiResult<()> {
-        self.record(Op::Bcast);
+        let _op = self.record(Op::Bcast);
         let tag = coll_tag(self.next_coll_seq());
         #[cfg(not(feature = "naive"))]
         return self.bcast_inner(buf, root, tag);
@@ -175,7 +175,7 @@ impl RawComm {
     /// Linear broadcast (root posts one copy per rank): the A/B baseline
     /// for the binomial tree.
     pub fn bcast_naive(&self, buf: &mut Vec<u8>, root: usize) -> MpiResult<()> {
-        self.record(Op::Bcast);
+        let _op = self.record(Op::Bcast);
         let tag = coll_tag(self.next_coll_seq());
         self.bcast_naive_inner(buf, root, tag)
     }
@@ -207,7 +207,7 @@ impl RawComm {
     /// for the entire fan-out), never copied per child. Returns the
     /// received bytes on non-root ranks and `None` at the root.
     pub fn bcast_from(&self, data_at_root: &[u8], root: usize) -> MpiResult<Option<Vec<u8>>> {
-        self.record(Op::Bcast);
+        let _op = self.record(Op::Bcast);
         let tag = coll_tag(self.next_coll_seq());
         let p = self.size();
         if root >= p {
@@ -294,7 +294,7 @@ impl RawComm {
         recv_counts: Option<&[usize]>,
         root: usize,
     ) -> MpiResult<Option<Vec<u8>>> {
-        self.record(Op::Gatherv);
+        let _op = self.record(Op::Gatherv);
         let tag = coll_tag(self.next_coll_seq());
         self.gatherv_inner(send, recv_counts, root, tag)
     }
@@ -348,7 +348,7 @@ impl RawComm {
     /// Fixed-size gather: like [`gatherv`](Self::gatherv) with all counts
     /// equal to `send.len()`.
     pub fn gather(&self, send: &[u8], root: usize) -> MpiResult<Option<Vec<u8>>> {
-        self.record(Op::Gather);
+        let _op = self.record(Op::Gather);
         let tag = coll_tag(self.next_coll_seq());
         let counts = vec![send.len(); self.size()];
         self.gatherv_inner(send, Some(&counts), root, tag)
@@ -357,7 +357,7 @@ impl RawComm {
     /// Variable-size scatter: `root` provides one byte block per rank;
     /// every rank receives its block.
     pub fn scatterv(&self, parts: Option<&[Vec<u8>]>, root: usize) -> MpiResult<Vec<u8>> {
-        self.record(Op::Scatterv);
+        let _op = self.record(Op::Scatterv);
         let tag = coll_tag(self.next_coll_seq());
         self.scatterv_inner(parts, root, tag)
     }
@@ -397,7 +397,7 @@ impl RawComm {
 
     /// Fixed-size scatter (equal block sizes enforced).
     pub fn scatter(&self, parts: Option<&[Vec<u8>]>, root: usize) -> MpiResult<Vec<u8>> {
-        self.record(Op::Scatter);
+        let _op = self.record(Op::Scatter);
         if let Some(parts) = parts {
             if parts.windows(2).any(|w| w[0].len() != w[1].len()) {
                 return Err(MpiError::InvalidCounts {
@@ -416,7 +416,7 @@ impl RawComm {
     /// power of two, Bruck's allgather otherwise; the `naive` feature flips
     /// the default to [`RawComm::allgather_naive`].
     pub fn allgather(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgather);
+        let _op = self.record(Op::Allgather);
         let counts = vec![send.len(); self.size()];
         #[cfg(not(feature = "naive"))]
         return self.allgatherv_log_inner(send, &counts);
@@ -428,7 +428,7 @@ impl RawComm {
     /// contributes — required on every rank, exactly like `MPI_Allgatherv`.
     /// Same algorithm selection as [`RawComm::allgather`].
     pub fn allgatherv(&self, send: &[u8], recv_counts: &[usize]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgatherv);
+        let _op = self.record(Op::Allgatherv);
         self.check_allgatherv_args(send, recv_counts)?;
         #[cfg(not(feature = "naive"))]
         return self.allgatherv_log_inner(send, recv_counts);
@@ -440,14 +440,14 @@ impl RawComm {
     /// the textbook O(p) algorithm and the A/B baseline for the log-round
     /// engine.
     pub fn allgather_naive(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgather);
+        let _op = self.record(Op::Allgather);
         let counts = vec![send.len(); self.size()];
         self.allgatherv_naive_inner(send, &counts)
     }
 
     /// Variable-size counterpart of [`RawComm::allgather_naive`].
     pub fn allgatherv_naive(&self, send: &[u8], recv_counts: &[usize]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgatherv);
+        let _op = self.record(Op::Allgatherv);
         self.check_allgatherv_args(send, recv_counts)?;
         self.allgatherv_naive_inner(send, recv_counts)
     }
@@ -511,7 +511,7 @@ impl RawComm {
     /// Recursive-doubling allgather (power-of-two `p` only; exposed for
     /// benchmarks and tests — the default dispatch uses Bruck's algorithm).
     pub fn allgather_rd(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgather);
+        let _op = self.record(Op::Allgather);
         let p = self.size();
         if !p.is_power_of_two() {
             return Err(MpiError::InvalidCounts {
@@ -529,7 +529,7 @@ impl RawComm {
     /// Tree-composite allgather: binomial gather + zero-copy binomial
     /// broadcast (exposed for benchmarks, like the other variants).
     pub fn allgather_tree(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgather);
+        let _op = self.record(Op::Allgather);
         let counts = vec![send.len(); self.size()];
         self.allgatherv_tree_inner(send, &counts)
     }
@@ -538,7 +538,7 @@ impl RawComm {
     /// default dispatch prefers recursive doubling when `p` is a power of
     /// two).
     pub fn allgather_bruck(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Allgather);
+        let _op = self.record(Op::Allgather);
         let counts = vec![send.len(); self.size()];
         let tag = coll_tag(self.next_coll_seq());
         self.allgatherv_bruck(send, &counts, tag)
@@ -703,7 +703,7 @@ impl RawComm {
     /// *`alltoallv` never gets this optimization* — mirroring practice,
     /// and the reason the paper's sparse/grid plugins exist (§V-A).
     pub fn alltoall(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Alltoall);
+        let _op = self.record(Op::Alltoall);
         let p = self.size();
         if !send.len().is_multiple_of(p) {
             return Err(MpiError::InvalidCounts {
@@ -721,7 +721,7 @@ impl RawComm {
     /// Fixed-size all-to-all via the direct linear exchange regardless of
     /// block size: the A/B baseline for Bruck's algorithm.
     pub fn alltoall_linear(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Alltoall);
+        let _op = self.record(Op::Alltoall);
         let p = self.size();
         if !send.len().is_multiple_of(p) {
             return Err(MpiError::InvalidCounts {
@@ -742,7 +742,7 @@ impl RawComm {
     /// (exposed for tests and benchmarks; `alltoall` dispatches to it
     /// automatically for small blocks).
     pub fn alltoall_bruck(&self, send: &[u8]) -> MpiResult<Vec<u8>> {
-        self.record(Op::Alltoall);
+        let _op = self.record(Op::Alltoall);
         let p = self.size();
         if !send.len().is_multiple_of(p) {
             return Err(MpiError::InvalidCounts {
@@ -820,7 +820,7 @@ impl RawComm {
         recv_counts: &[usize],
         recv_displs: &[usize],
     ) -> MpiResult<Vec<u8>> {
-        self.record(Op::Alltoallv);
+        let _op = self.record(Op::Alltoallv);
         let tag = coll_tag(self.next_coll_seq());
         self.alltoallv_inner(
             send,
@@ -909,7 +909,7 @@ impl RawComm {
         elem_size: usize,
         root: usize,
     ) -> MpiResult<()> {
-        self.record(Op::Reduce);
+        let _op = self.record(Op::Reduce);
         let tag = coll_tag(self.next_coll_seq());
         #[cfg(not(feature = "naive"))]
         return self.reduce_inner(buf, op, elem_size, root, tag);
@@ -929,7 +929,7 @@ impl RawComm {
         elem_size: usize,
         root: usize,
     ) -> MpiResult<()> {
-        self.record(Op::Reduce);
+        let _op = self.record(Op::Reduce);
         let tag = coll_tag(self.next_coll_seq());
         self.reduce_naive_inner(buf, op, elem_size, root, tag)
     }
@@ -1018,7 +1018,7 @@ impl RawComm {
 
     /// Reduce-to-all: binomial reduce to rank 0 followed by a broadcast.
     pub fn allreduce(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize) -> MpiResult<()> {
-        self.record(Op::Allreduce);
+        let _op = self.record(Op::Allreduce);
         let reduce_tag = coll_tag(self.next_coll_seq());
         let bcast_tag = coll_tag(self.next_coll_seq());
         self.reduce_inner(buf, op, elem_size, 0, reduce_tag)?;
@@ -1035,8 +1035,8 @@ impl RawComm {
         op: ByteOp<'_>,
         elem_size: usize,
     ) -> MpiResult<Vec<u8>> {
-        self.record(Op::Reduce);
-        self.record(Op::Scatterv);
+        let _op = self.record(Op::Reduce);
+        let _op = self.record(Op::Scatterv);
         let p = self.size();
         if !buf.len().is_multiple_of(p) || !(buf.len() / p).is_multiple_of(elem_size.max(1)) {
             return Err(MpiError::InvalidCounts {
@@ -1068,7 +1068,7 @@ impl RawComm {
         recv_tag: Tag,
     ) -> MpiResult<crate::Status> {
         let outgoing = std::mem::take(buf);
-        self.record(Op::Send);
+        let _op = self.record(Op::Send);
         let dest_global = self.global_rank(dest)?;
         if self.state.is_revoked(self.ctx) {
             return Err(MpiError::Revoked);
@@ -1082,7 +1082,7 @@ impl RawComm {
     /// Inclusive prefix reduction (`MPI_Scan`): rank `r`'s buffer becomes
     /// the elementwise fold of ranks `0..=r`. Chain algorithm.
     pub fn scan(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize) -> MpiResult<()> {
-        self.record(Op::Scan);
+        let _op = self.record(Op::Scan);
         let tag = coll_tag(self.next_coll_seq());
         if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
             return Err(MpiError::InvalidCounts {
@@ -1115,7 +1115,7 @@ impl RawComm {
         op: ByteOp<'_>,
         elem_size: usize,
     ) -> MpiResult<Option<Vec<u8>>> {
-        self.record(Op::Exscan);
+        let _op = self.record(Op::Exscan);
         let tag = coll_tag(self.next_coll_seq());
         if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
             return Err(MpiError::InvalidCounts {

@@ -163,8 +163,16 @@ impl RawComm {
         s
     }
 
-    pub(crate) fn record(&self, op: Op) {
-        self.state.counters[self.my_global_rank()].record_op(op);
+    /// Counts one invocation of `op` and returns an RAII scope that, while
+    /// measuring is active, attributes the op's latency (split into
+    /// blocked-wait vs local compute) to this rank on drop. Call sites
+    /// bind it (`let _op = self.record(..)`) so the scope spans the whole
+    /// operation; with tracing and measuring off it is a single relaxed
+    /// atomic load.
+    pub(crate) fn record(&self, op: Op) -> crate::trace::OpScope<'_> {
+        let global = self.my_global_rank();
+        self.state.counters[global].record_op(op);
+        self.state.trace.op_scope(op, global)
     }
 
     /// Derives the deterministic child context id for the current collective
@@ -175,7 +183,7 @@ impl RawComm {
 
     /// Duplicates the communicator: same group, fresh context (collective).
     pub fn dup(&self) -> MpiResult<Self> {
-        self.record(Op::CommDup);
+        let _op = self.record(Op::CommDup);
         let seq = self.next_coll_seq();
         let ctx = self.child_ctx(seq, 0, ContextKind::Dup as u64);
         Ok(self.derive(
@@ -193,7 +201,7 @@ impl RawComm {
     /// Unlike MPI there is no `MPI_UNDEFINED` color — every rank lands in
     /// exactly one child. (The binding layer never needs the undefined case.)
     pub fn split(&self, color: u64, key: u64) -> MpiResult<Self> {
-        self.record(Op::CommSplit);
+        let _op = self.record(Op::CommSplit);
         // Reserve this split's sequence number before the internal allgather
         // consumes further ones, so all ranks derive the same child context.
         let seq = self.next_coll_seq();

@@ -207,7 +207,7 @@ impl RawComm {
         recv: &mut [u8],
         recv_types: &[TypeDesc],
     ) -> MpiResult<()> {
-        self.record(Op::Alltoallw);
+        let _op = self.record(Op::Alltoallw);
         let p = self.size();
         if send_types.len() != p || recv_types.len() != p {
             return Err(MpiError::InvalidCounts {

@@ -100,7 +100,7 @@ impl RawComm {
     /// (`MPI_Comm_shrink`). Works on revoked communicators. Collective over
     /// the survivors.
     pub fn shrink(&self) -> MpiResult<RawComm> {
-        self.record(Op::Shrink);
+        let _op = self.record(Op::Shrink);
         let seq = self.next_coll_seq();
         let survivors = self.survivors();
         let globals: Vec<usize> = survivors.iter().map(|&l| self.group[l]).collect();
@@ -120,7 +120,7 @@ impl RawComm {
     /// communicators; failures of further ranks during the agreement
     /// surface as [`MpiError::ProcFailed`].
     pub fn agree(&self, flag: bool) -> MpiResult<bool> {
-        self.record(Op::Agree);
+        let _op = self.record(Op::Agree);
         let tag = coll_tag(self.next_coll_seq());
         let survivors = self.survivors();
         let me_pos = survivors

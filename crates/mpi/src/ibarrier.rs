@@ -79,7 +79,7 @@ impl RawComm {
     /// Enters a non-blocking barrier; the returned request completes once
     /// every rank of the communicator has entered it.
     pub fn ibarrier(&self) -> MpiResult<RawRequest> {
-        self.record(Op::Ibarrier);
+        let _op = self.record(Op::Ibarrier);
         if self.state.is_revoked(self.ctx) {
             return Err(crate::MpiError::Revoked);
         }

@@ -66,23 +66,27 @@ pub mod dtype;
 pub mod error;
 pub mod fault;
 pub mod ibarrier;
+pub mod measurements;
 pub mod net;
 pub mod p2p;
 pub mod profile;
 pub mod request;
 pub mod tag;
 pub mod topo;
+pub mod trace;
 pub mod transport;
 pub mod universe;
 
 pub use chaos::{ChaosSpec, ChaosTransport};
 pub use comm::RawComm;
 pub use error::{MpiError, MpiResult};
+pub use measurements::{TimerTree, TreeAggregate};
 pub use p2p::Status;
 pub use profile::{Op, ProfileSnapshot};
 pub use request::RawRequest;
 pub use tag::{Tag, ANY_SOURCE, ANY_TAG};
-pub use universe::Universe;
+pub use trace::{EventKind, TraceConfig, TraceEvent};
+pub use universe::{TraceReport, Universe};
 
 /// Reduction operator over packed byte buffers.
 ///

@@ -60,7 +60,8 @@ use std::time::Duration;
 use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
 use crate::error::{MpiError, MpiResult};
-use crate::profile::ProfileSnapshot;
+use crate::profile::{ProfileSnapshot, RankProfile, PROFILE_WIRE_BYTES};
+use crate::trace::{TraceConfig, TraceCtx};
 use crate::transport::{ControlSink, Hub, Transport};
 use crate::universe::UniverseState;
 
@@ -252,8 +253,9 @@ static SOCKET_UNIVERSE_ACTIVE: AtomicBool = AtomicBool::new(false);
 pub(crate) fn run_socket<R, F>(
     cfg: &SocketConfig,
     chaos: Option<ChaosSpec>,
+    trace_cfg: TraceConfig,
     f: F,
-) -> MpiResult<(Vec<R>, ProfileSnapshot)>
+) -> MpiResult<(Vec<R>, ProfileSnapshot, Arc<TraceCtx>)>
 where
     R: Send,
     F: Fn(RawComm) -> R + Sync,
@@ -303,6 +305,8 @@ where
         Err(e) => return fail(format!("rank {}: rendezvous failed: {e}", cfg.rank)),
     };
 
+    let trace = Arc::new(TraceCtx::new(cfg.ranks, &trace_cfg));
+    crate::trace::set_thread_rank(cfg.rank);
     let hub = Arc::new(Hub::new());
     let socket = Arc::new(SocketTransport::new(
         cfg.rank,
@@ -310,7 +314,9 @@ where
         Arc::clone(&hub),
         addrs,
         listener,
+        Arc::clone(&trace),
     ));
+    let chaos_active = chaos.is_some();
     let (transport, chaos_layer) = match chaos {
         None => (Arc::clone(&socket) as Arc<dyn Transport>, None),
         Some(spec) => {
@@ -319,10 +325,16 @@ where
                 cfg.ranks,
                 spec,
             ));
+            layer.bind_trace(Arc::clone(&trace));
             (Arc::clone(&layer) as Arc<dyn Transport>, Some(layer))
         }
     };
-    let state = Arc::new(UniverseState::with_transport(cfg.ranks, transport, hub));
+    let state = Arc::new(UniverseState::with_transport(
+        cfg.ranks,
+        transport,
+        hub,
+        Arc::clone(&trace),
+    ));
     {
         let weak: Weak<UniverseState> = Arc::downgrade(&state);
         socket.bind_sink(weak.clone() as Weak<dyn ControlSink>);
@@ -338,10 +350,19 @@ where
     }
 
     let comm = RawComm::world(Arc::clone(&state), cfg.rank);
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm.clone())));
     if outcome.is_err() {
         state.mark_failed(cfg.rank);
     }
+    // Exchange frozen per-rank counters while the mesh is still up, so the
+    // snapshot this process returns covers *every* rank, not just its own
+    // (remote columns used to read as all-zero). Skipped under chaos — a
+    // lossy transport could stall the collective — and after a local panic.
+    let profile = if outcome.is_ok() && !chaos_active {
+        gather_profiles(&comm)
+    } else {
+        state.profile()
+    };
     // Broadcast Finished on the data plane: it travels FIFO *behind* any
     // still-buffered envelopes, so peers never see the finish overtake
     // data they are owed. Chaos delay queues sit *above* that FIFO, so
@@ -354,9 +375,40 @@ where
         let _ = write_frame(&mut s, &Frame::Bye { rank: cfg.rank });
     }
 
-    let profile = state.profile();
+    if trace.tracing() {
+        if let Some(out) = &trace_cfg.out {
+            if let Err(e) = crate::trace::write_process_trace(&trace, out, Some(cfg.rank)) {
+                eprintln!("kamping: rank {}: writing trace: {e}", cfg.rank);
+            }
+        }
+    }
+
     match outcome {
-        Ok(v) => Ok((vec![v], profile)),
+        Ok(v) => Ok((vec![v], profile, trace)),
         Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// All-gathers every rank's frozen [`RankProfile`] over the world
+/// communicator on a reserved tag range, so a [`ProfileSnapshot`] captured
+/// by one process reflects the whole job. Falls back to the local-only
+/// snapshot if any peer cannot participate (e.g. it already failed).
+fn gather_profiles(comm: &RawComm) -> ProfileSnapshot {
+    // Freeze *before* the exchange so the gather's own allgather traffic
+    // does not inflate the counters being reported.
+    let local = comm.profile();
+    let mine = local.ranks[comm.my_global_rank()].to_bytes();
+    comm.coll_seq.set(crate::measurements::PROFILE_SEQ_BASE);
+    let all = match comm.allgather(&mine) {
+        Ok(bytes) if bytes.len() == comm.size() * PROFILE_WIRE_BYTES => bytes,
+        _ => return local,
+    };
+    let ranks: Option<Vec<RankProfile>> = all
+        .chunks_exact(PROFILE_WIRE_BYTES)
+        .map(RankProfile::from_bytes)
+        .collect();
+    match ranks {
+        Some(ranks) => ProfileSnapshot { ranks },
+        None => local,
     }
 }

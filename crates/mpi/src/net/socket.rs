@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::trace::{EventKind, TraceCtx};
 use crate::transport::{
     AckCell, ControlMsg, ControlSink, Envelope, Hub, Mailbox, Payload, Transport,
 };
@@ -95,6 +96,9 @@ struct Shared {
     /// Set at shutdown: suppresses failure marks from teardown-induced
     /// connection errors.
     down: AtomicBool,
+    /// Event ring of this universe; control-plane frames are recorded here
+    /// (and *only* here — they never touch the profiling counters).
+    trace: Arc<TraceCtx>,
 }
 
 impl Shared {
@@ -140,14 +144,33 @@ impl Shared {
         self.deliver_control(ControlMsg::Failed { rank });
     }
 
+    /// Records a non-data frame sent to `peer` in the event ring.
+    fn trace_control(&self, peer: usize, frame: &'static str) {
+        if self.trace.tracing() {
+            self.trace.record(EventKind::Control {
+                rank: self.my_rank as u32,
+                peer: peer as u32,
+                frame,
+            });
+        }
+    }
+
     /// Enqueues `frame` for `dest`, connecting lazily on first use.
     /// Returns false if the peer is unreachable (already marked failed).
     fn send_frame(self: &Arc<Self>, dest: usize, frame: Frame) -> bool {
+        match &frame {
+            Frame::Data { .. } => {}
+            Frame::Ack { .. } => self.trace_control(dest, "ack"),
+            Frame::Control(_) => self.trace_control(dest, "control"),
+            Frame::Ping => self.trace_control(dest, "ping"),
+            _ => self.trace_control(dest, "rendezvous"),
+        }
         let mut slot = self.peers[dest].lock().expect("peer slot poisoned");
         if let PeerSlot::Idle = *slot {
             match Stream::connect_retry(&self.addrs[dest], CONNECT_TIMEOUT) {
                 Ok(stream) => {
                     let (tx, rx) = std::sync::mpsc::channel();
+                    self.trace_control(dest, "hello");
                     tx.send(Frame::Hello { rank: self.my_rank })
                         .expect("fresh channel cannot be closed");
                     let shared = Arc::clone(self);
@@ -212,7 +235,10 @@ fn writer_loop(stream: Stream, rx: Receiver<Frame>, dest: usize, shared: Arc<Sha
                     Ok(f) => f,
                     // Idle for a full interval: probe the connection. The
                     // ping is flushed by the next iteration's dry-run flush.
-                    Err(RecvTimeoutError::Timeout) => Frame::Ping,
+                    Err(RecvTimeoutError::Timeout) => {
+                        shared.trace_control(dest, "ping");
+                        Frame::Ping
+                    }
                     // Channel closed with nothing buffered: clean exit.
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
@@ -296,12 +322,14 @@ impl SocketTransport {
         hub: Arc<Hub>,
         addrs: Vec<Addr>,
         listener: Listener,
+        trace: Arc<TraceCtx>,
     ) -> Self {
         let shared = Arc::new(Shared {
             my_rank,
             size,
-            mailbox: Mailbox::new(size, Arc::clone(&hub)),
+            mailbox: Mailbox::new(my_rank, size, Arc::clone(&hub), Arc::clone(&trace)),
             hub,
+            trace,
             addrs,
             peers: (0..size).map(|_| Mutex::new(PeerSlot::Idle)).collect(),
             sink: Mutex::new(SinkState::Pending(Vec::new())),

@@ -51,6 +51,15 @@ impl RawComm {
         ack: Option<Arc<AckCell>>,
     ) {
         self.state.counters[self.my_global_rank()].record_message(payload.len());
+        if self.state.trace.tracing() {
+            self.state.trace.record(crate::trace::EventKind::Post {
+                src: self.my_global_rank() as u32,
+                dst: dest_global as u32,
+                tag,
+                ctx: self.ctx,
+                bytes: payload.len() as u64,
+            });
+        }
         if self.state.is_failed(dest_global) {
             if let Some(ack) = ack {
                 // Never going to be matched; complete it so senders don't hang.
@@ -97,7 +106,7 @@ impl RawComm {
     /// Payloads up to [`crate::transport::INLINE_CAP`] bytes travel inline
     /// in the envelope and never touch the heap.
     pub fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> MpiResult<()> {
-        self.record(Op::Send);
+        let _op = self.record(Op::Send);
         let dest_global = self.check_dest(dest)?;
         self.post_to(dest_global, tag, Payload::from_slice(payload), None);
         Ok(())
@@ -106,7 +115,7 @@ impl RawComm {
     /// Blocking send that *moves* the buffer (no copy) — the substrate
     /// counterpart of KaMPIng's ownership-transferring `send_buf(move)`.
     pub fn send_owned(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<()> {
-        self.record(Op::Send);
+        let _op = self.record(Op::Send);
         let dest_global = self.check_dest(dest)?;
         self.post_to(dest_global, tag, Payload::from_vec(payload), None);
         Ok(())
@@ -116,7 +125,7 @@ impl RawComm {
     /// same allocation. Fan-out senders (broadcast) post one `Arc` per child
     /// instead of one copy per child.
     pub fn send_shared(&self, dest: usize, tag: Tag, payload: Arc<Vec<u8>>) -> MpiResult<()> {
-        self.record(Op::Send);
+        let _op = self.record(Op::Send);
         let dest_global = self.check_dest(dest)?;
         self.post_to(dest_global, tag, Payload::from_shared(payload), None);
         Ok(())
@@ -125,7 +134,7 @@ impl RawComm {
     /// Blocking receive returning the transport payload (zero-copy when the
     /// payload is uniquely held).
     pub(crate) fn recv_payload(&self, source: usize, tag: Tag) -> MpiResult<(Payload, Status)> {
-        self.record(Op::Recv);
+        let _op = self.record(Op::Recv);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
@@ -150,7 +159,7 @@ impl RawComm {
         tag: Tag,
         timeout: Duration,
     ) -> MpiResult<(Vec<u8>, Status)> {
-        self.record(Op::Recv);
+        let _op = self.record(Op::Recv);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
@@ -185,7 +194,7 @@ impl RawComm {
     /// Non-blocking standard-mode send. Completes immediately (eager
     /// transport) but still returns a request for uniform completion code.
     pub fn isend(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<RawRequest> {
-        self.record(Op::Isend);
+        let _op = self.record(Op::Isend);
         let dest_global = self.check_dest(dest)?;
         self.post_to(dest_global, tag, Payload::from_vec(payload), None);
         Ok(RawRequest::new(self.state.clone(), RequestKind::SendDone))
@@ -194,7 +203,7 @@ impl RawComm {
     /// Non-blocking synchronous-mode send: the request completes only once a
     /// matching receive has consumed the message (needed by NBX).
     pub fn issend(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> MpiResult<RawRequest> {
-        self.record(Op::Issend);
+        let _op = self.record(Op::Issend);
         let dest_global = self.check_dest(dest)?;
         let ack = Arc::new(AckCell::default());
         self.post_to(
@@ -211,7 +220,7 @@ impl RawComm {
 
     /// Non-blocking receive.
     pub fn irecv(&self, source: usize, tag: Tag) -> MpiResult<RawRequest> {
-        self.record(Op::Irecv);
+        let _op = self.record(Op::Irecv);
         let key = self.match_key(source, tag)?;
         Ok(RawRequest::new(
             self.state.clone(),
@@ -227,7 +236,7 @@ impl RawComm {
     /// matching message is available and returns its status without
     /// consuming it.
     pub fn probe(&self, source: usize, tag: Tag) -> MpiResult<Status> {
-        self.record(Op::Probe);
+        let _op = self.record(Op::Probe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
@@ -238,7 +247,7 @@ impl RawComm {
     /// Like [`RawComm::probe`], but gives up after `timeout` with
     /// [`MpiError::Timeout`].
     pub fn probe_timeout(&self, source: usize, tag: Tag, timeout: Duration) -> MpiResult<Status> {
-        self.record(Op::Probe);
+        let _op = self.record(Op::Probe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         let interrupt = wait_interrupt(&self.state, key.src, self.ctx);
@@ -252,7 +261,7 @@ impl RawComm {
 
     /// Non-blocking probe (`MPI_Iprobe`).
     pub fn iprobe(&self, source: usize, tag: Tag) -> MpiResult<Option<Status>> {
-        self.record(Op::Iprobe);
+        let _op = self.record(Op::Iprobe);
         let key = self.match_key(source, tag)?;
         let me = self.my_global_rank();
         Ok(self

@@ -173,10 +173,41 @@ pub struct RankProfile {
     pub bytes_sent: u64,
 }
 
+/// Wire size of one serialized [`RankProfile`]: all op counters plus the
+/// message/byte counters, 8 bytes each (little-endian `u64`).
+pub const PROFILE_WIRE_BYTES: usize = (N_OPS + 2) * 8;
+
 impl RankProfile {
     /// Call count for one operation.
     pub fn calls(&self, op: Op) -> u64 {
         self.op_calls[op as usize]
+    }
+
+    /// Fixed-size wire form ([`PROFILE_WIRE_BYTES`] bytes): op counters in
+    /// discriminant order, then messages, then bytes — exchanged by the
+    /// socket backend so cross-process snapshots cover every rank.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PROFILE_WIRE_BYTES);
+        for c in &self.op_calls {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.messages_sent.to_le_bytes());
+        out.extend_from_slice(&self.bytes_sent.to_le_bytes());
+        out
+    }
+
+    /// Parses the [`RankProfile::to_bytes`] form; `None` on a size
+    /// mismatch (e.g. a peer built with a different op set).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != PROFILE_WIRE_BYTES {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8"));
+        Some(Self {
+            op_calls: std::array::from_fn(word),
+            messages_sent: word(N_OPS),
+            bytes_sent: word(N_OPS + 1),
+        })
     }
 
     fn saturating_sub(&self, earlier: &RankProfile) -> RankProfile {

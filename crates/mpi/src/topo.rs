@@ -76,7 +76,7 @@ impl RawComm {
     /// `sources` (in source order). Only neighbour envelopes are posted —
     /// the sparse cost profile the dense all-to-all lacks.
     pub fn neighbor_alltoallv(&self, parts: &[Vec<u8>]) -> MpiResult<Vec<Vec<u8>>> {
-        self.record(Op::NeighborAlltoallv);
+        let _op = self.record(Op::NeighborAlltoallv);
         let topo = self.topo.clone().ok_or(MpiError::InvalidTopology)?;
         if parts.len() != topo.destinations.len() {
             return Err(MpiError::InvalidCounts {

@@ -1,0 +1,801 @@
+//! Low-overhead transport tracing and wait-time attribution.
+//!
+//! The paper verifies its zero-overhead claim through the MPI profiling
+//! interface (§III-H); this module extends that story to *timing*: where
+//! [`crate::profile`] counts calls, messages and bytes, the tracer records
+//! **when** things happened — per-envelope lifecycle events (post →
+//! deliver → take), blocking-wait spans in the mailbox/hub, chaos fault
+//! injections, socket control-plane frames — and splits every substrate
+//! operation's latency into *local compute* vs *blocked waiting*, so a
+//! straggler rank is identifiable per op.
+//!
+//! # Zero overhead when off
+//!
+//! All instrumentation hangs off a per-universe [`TraceCtx`]. When neither
+//! tracing nor measuring is enabled (the default), every hook compiles to
+//! a relaxed atomic load and a branch; no clock is read, no allocation
+//! happens, no lock is taken. Enabled, events go into a sharded bounded
+//! ring (oldest events overwritten, never blocking the hot path), and op
+//! timings into per-rank atomic cells.
+//!
+//! # Activation
+//!
+//! * `KAMPING_TRACE=<path|dir|1>` — full event tracing + measuring; the
+//!   trace is written at teardown (see [`TraceConfig`]).
+//! * `KAMPING_MEASURE=1` — wait-time measuring only (no event ring).
+//! * [`crate::Universe::run_traced`] — programmatic, env-independent.
+//!
+//! # Export
+//!
+//! Events export as Chrome trace-event JSON (the `traceEvents` array
+//! format), which loads directly in Perfetto / `chrome://tracing`:
+//! lifecycle events are instants on a per-peer track (`pid` = rank,
+//! `tid` = peer), waits and op spans are complete (`"ph":"X"`) slices.
+//! Multi-process runs write one JSONL file per rank (absolute-µs
+//! timestamps) that [`merge_trace_dir`] — used by `kampirun --trace` —
+//! sorts into a single Perfetto-loadable file. Timestamps within one
+//! process come from a single monotonic clock, so per-channel event order
+//! is exact; across processes they are anchored to the wall clock at
+//! process start, so cross-process skew is bounded by wall-clock agreement
+//! (sub-millisecond on one host).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::profile::{Op, ALL_OPS, N_OPS};
+use crate::tag::Tag;
+
+/// Ring shards; events from different threads usually hit different
+/// shards, so recording never contends in the common case.
+const SHARDS: usize = 8;
+
+/// Events retained per shard before the oldest are overwritten. Bounded so
+/// a long traced run cannot exhaust memory; `dropped_events` reports how
+/// many were lost.
+const SHARD_CAP: usize = 1 << 14;
+
+thread_local! {
+    /// Global rank hosted by this thread (rank threads on shm, the main
+    /// thread on socket); `u32::MAX` for helper threads.
+    static THREAD_RANK: Cell<u32> = const { Cell::new(u32::MAX) };
+    /// Nanoseconds this thread has spent blocked (mailbox/hub waits),
+    /// accumulated monotonically. Op scopes snapshot it on entry and
+    /// attribute the delta to the op on exit.
+    static THREAD_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+    /// This thread's ring shard, assigned round-robin on first use.
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Marks the current thread as hosting global rank `rank` (used to label
+/// wait events that occur outside any one mailbox, e.g. hub waits).
+pub fn set_thread_rank(rank: usize) {
+    THREAD_RANK.with(|r| r.set(rank as u32));
+}
+
+/// The global rank hosted by the current thread, or `u32::MAX`.
+pub fn thread_rank() -> u32 {
+    THREAD_RANK.with(Cell::get)
+}
+
+/// Total nanoseconds the current thread has spent blocked so far.
+pub fn thread_wait_ns() -> u64 {
+    THREAD_WAIT_NS.with(Cell::get)
+}
+
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    THREAD_SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// One recorded event. `ts_ns` is nanoseconds since the owning
+/// [`TraceCtx`]'s monotonic epoch; for span-like kinds it is the span
+/// *start*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace epoch (span start for span kinds).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Event taxonomy. Ranks are global; `tag`/`ctx` identify the channel the
+/// envelope travelled on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An envelope entered the transport at the sender.
+    Post {
+        /// Sending global rank.
+        src: u32,
+        /// Destination global rank.
+        dst: u32,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context id.
+        ctx: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// An envelope landed in the destination rank's mailbox.
+    Deliver {
+        /// Sending global rank.
+        src: u32,
+        /// Destination (mailbox owner) global rank.
+        dst: u32,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context id.
+        ctx: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A receive/probe matched and consumed an envelope.
+    Take {
+        /// Sending global rank.
+        src: u32,
+        /// Destination (mailbox owner) global rank.
+        dst: u32,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context id.
+        ctx: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A thread was blocked (mailbox or hub wait). `ts_ns` is the moment
+    /// the wait began.
+    Wait {
+        /// Global rank of the blocked thread (`u32::MAX` if unknown).
+        rank: u32,
+        /// How long the thread was parked.
+        dur_ns: u64,
+    },
+    /// One substrate operation completed. `ts_ns` is the op start.
+    OpSpan {
+        /// Global rank that ran the op.
+        rank: u32,
+        /// Which operation.
+        op: Op,
+        /// Wall-clock duration of the op.
+        dur_ns: u64,
+        /// Portion of `dur_ns` spent blocked waiting.
+        wait_ns: u64,
+    },
+    /// The chaos layer injected a fault on a channel.
+    Chaos {
+        /// Sending global rank of the affected envelope.
+        src: u32,
+        /// Destination global rank.
+        dst: u32,
+        /// Fault kind (`"drop"`, `"dup"`, `"delay"`, `"reorder"`,
+        /// `"sever"`, `"kill"`).
+        fault: &'static str,
+    },
+    /// A socket control-plane frame left this process (excluded from the
+    /// data-plane message counters; visible here so keepalive traffic can
+    /// be audited).
+    Control {
+        /// Global rank that sent the frame.
+        rank: u32,
+        /// Peer the frame went to.
+        peer: u32,
+        /// Frame kind (`"ping"`, `"hello"`, `"control"`, `"ack"`).
+        frame: &'static str,
+    },
+}
+
+/// Env-derived activation switches (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Record lifecycle events into the ring.
+    pub tracing: bool,
+    /// Measure per-op latency and wait attribution.
+    pub measuring: bool,
+    /// Where to write the trace at teardown (`KAMPING_TRACE` value when it
+    /// names a path; `None` for flag-only activation).
+    pub out: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Reads `KAMPING_TRACE` / `KAMPING_MEASURE`. A `KAMPING_TRACE` value
+    /// other than `0`/empty enables tracing *and* measuring; values other
+    /// than `1`/`true` are treated as the output path (a directory gets
+    /// one JSONL file per rank, anything else a Chrome JSON file).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("KAMPING_TRACE") {
+            if !v.is_empty() && v != "0" {
+                cfg.tracing = true;
+                cfg.measuring = true;
+                if v != "1" && v != "true" {
+                    cfg.out = Some(PathBuf::from(v));
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("KAMPING_MEASURE") {
+            if !v.is_empty() && v != "0" {
+                cfg.measuring = true;
+            }
+        }
+        cfg
+    }
+}
+
+/// Per-op timing cells of one rank (written by that rank's thread).
+#[derive(Debug)]
+pub struct RankOpTimings {
+    calls: [AtomicU64; N_OPS],
+    total_ns: [AtomicU64; N_OPS],
+    wait_ns: [AtomicU64; N_OPS],
+}
+
+impl Default for RankOpTimings {
+    fn default() -> Self {
+        Self {
+            calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            wait_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl RankOpTimings {
+    fn record(&self, op: Op, dur_ns: u64, wait_ns: u64) {
+        let i = op as usize;
+        self.calls[i].fetch_add(1, Ordering::Relaxed);
+        self.total_ns[i].fetch_add(dur_ns, Ordering::Relaxed);
+        self.wait_ns[i].fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Frozen `(op, calls, total_ns, wait_ns)` rows, all ops in
+    /// discriminant order (zero rows included, so every rank agrees on the
+    /// layout).
+    pub fn snapshot(&self) -> Vec<(Op, u64, u64, u64)> {
+        ALL_OPS
+            .iter()
+            .map(|&op| {
+                let i = op as usize;
+                (
+                    op,
+                    self.calls[i].load(Ordering::Relaxed),
+                    self.total_ns[i].load(Ordering::Relaxed),
+                    self.wait_ns[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-universe trace state: enable flags, the monotonic epoch, the event
+/// ring and the per-rank op timing cells. Cheap when disabled; every hook
+/// checks one relaxed atomic first.
+#[derive(Debug)]
+pub struct TraceCtx {
+    tracing: AtomicBool,
+    measuring: AtomicBool,
+    epoch: Instant,
+    /// Wall-clock nanoseconds (unix) at `epoch`; anchors cross-process
+    /// trace merging.
+    epoch_unix_ns: u64,
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+    dropped: AtomicU64,
+    /// Op timing cells, one per global rank.
+    timings: Vec<RankOpTimings>,
+}
+
+impl TraceCtx {
+    /// A context for `size` ranks with the given activation switches.
+    pub fn new(size: usize, cfg: &TraceConfig) -> Self {
+        let epoch = Instant::now();
+        let epoch_unix_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self {
+            tracing: AtomicBool::new(cfg.tracing),
+            measuring: AtomicBool::new(cfg.measuring || cfg.tracing),
+            epoch,
+            epoch_unix_ns,
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            dropped: AtomicU64::new(0),
+            timings: (0..size).map(|_| RankOpTimings::default()).collect(),
+        }
+    }
+
+    /// A fully-disabled context (standalone mailboxes, tests, benches).
+    pub fn disabled(size: usize) -> Arc<Self> {
+        Arc::new(Self::new(size, &TraceConfig::default()))
+    }
+
+    /// True when lifecycle events are being recorded.
+    ///
+    /// Under the `no-trace` feature this is a compile-time `false`, so the
+    /// optimizer removes every instrumentation site — the seed-equivalent
+    /// build the overhead guard compares the runtime-disabled path against.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        if cfg!(feature = "no-trace") {
+            return false;
+        }
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// True when op latency / wait attribution is being measured.
+    #[inline]
+    pub fn measuring(&self) -> bool {
+        if cfg!(feature = "no-trace") {
+            return false;
+        }
+        self.measuring.load(Ordering::Relaxed)
+    }
+
+    /// Flips event tracing (measuring is implied on).
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+        if on {
+            self.measuring.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Flips latency measuring.
+    pub fn set_measuring(&self, on: bool) {
+        self.measuring.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this context's monotonic epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Wall-clock (unix) nanoseconds at the epoch.
+    pub fn epoch_unix_ns(&self) -> u64 {
+        self.epoch_unix_ns
+    }
+
+    /// Records `kind` at the current time. Callers on hot paths must gate
+    /// on [`TraceCtx::tracing`] first.
+    pub fn record(&self, kind: EventKind) {
+        self.record_at(self.now_ns(), kind);
+    }
+
+    /// Records `kind` with an explicit timestamp (span starts).
+    pub fn record_at(&self, ts_ns: u64, kind: EventKind) {
+        let shard = &self.shards[thread_shard()];
+        let mut q = shard.lock().expect("trace shard poisoned");
+        if q.len() >= SHARD_CAP {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(TraceEvent { ts_ns, kind });
+    }
+
+    /// Events lost to ring overflow so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains all shards and returns the events sorted by timestamp.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("trace shard poisoned").drain(..));
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
+    /// The op timing cells of global rank `rank`.
+    pub fn timings(&self, rank: usize) -> &RankOpTimings {
+        &self.timings[rank]
+    }
+
+    /// Starts an op scope for `rank`. Inert (no clock read) unless
+    /// measuring is on.
+    pub(crate) fn op_scope(&self, op: Op, rank: usize) -> OpScope<'_> {
+        if !self.measuring() {
+            return OpScope { inner: None };
+        }
+        OpScope {
+            inner: Some(OpScopeInner {
+                ctx: self,
+                op,
+                rank,
+                start: Instant::now(),
+                start_ns: self.now_ns(),
+                wait_at_start: thread_wait_ns(),
+            }),
+        }
+    }
+
+    /// Starts a wait span attributed to `rank`. Inert unless measuring.
+    pub(crate) fn wait_span(&self, rank: u32) -> WaitSpan<'_> {
+        if !self.measuring() {
+            return WaitSpan { inner: None };
+        }
+        WaitSpan {
+            inner: Some(WaitSpanInner {
+                ctx: self,
+                rank,
+                start: Instant::now(),
+                start_ns: self.now_ns(),
+            }),
+        }
+    }
+}
+
+struct OpScopeInner<'a> {
+    ctx: &'a TraceCtx,
+    op: Op,
+    rank: usize,
+    start: Instant,
+    start_ns: u64,
+    wait_at_start: u64,
+}
+
+/// RAII guard timing one substrate operation; on drop it attributes the
+/// elapsed time (split into wait vs compute) to the op and, when tracing,
+/// emits an [`EventKind::OpSpan`].
+pub struct OpScope<'a> {
+    inner: Option<OpScopeInner<'a>>,
+}
+
+impl Drop for OpScope<'_> {
+    fn drop(&mut self) {
+        let Some(i) = self.inner.take() else { return };
+        let dur_ns = i.start.elapsed().as_nanos() as u64;
+        let wait_ns = thread_wait_ns().saturating_sub(i.wait_at_start);
+        i.ctx.timings[i.rank].record(i.op, dur_ns, wait_ns.min(dur_ns));
+        if i.ctx.tracing() {
+            i.ctx.record_at(
+                i.start_ns,
+                EventKind::OpSpan {
+                    rank: i.rank as u32,
+                    op: i.op,
+                    dur_ns,
+                    wait_ns: wait_ns.min(dur_ns),
+                },
+            );
+        }
+    }
+}
+
+struct WaitSpanInner<'a> {
+    ctx: &'a TraceCtx,
+    rank: u32,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// RAII guard around a blocking wait (mailbox/hub slow path); on drop it
+/// adds the parked time to the thread's wait accumulator and, when
+/// tracing, emits an [`EventKind::Wait`].
+pub struct WaitSpan<'a> {
+    inner: Option<WaitSpanInner<'a>>,
+}
+
+impl Drop for WaitSpan<'_> {
+    fn drop(&mut self) {
+        let Some(i) = self.inner.take() else { return };
+        let dur_ns = i.start.elapsed().as_nanos() as u64;
+        THREAD_WAIT_NS.with(|w| w.set(w.get().saturating_add(dur_ns)));
+        if i.ctx.tracing() {
+            i.ctx.record_at(
+                i.start_ns,
+                EventKind::Wait {
+                    rank: i.rank,
+                    dur_ns,
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// Microseconds with nanosecond resolution, as Chrome's `ts` field wants.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// One event as a Chrome trace-event JSON object. `base_unix_ns` shifts
+/// timestamps to absolute wall-clock µs (for cross-process merging); pass
+/// 0 for run-relative timestamps.
+fn chrome_event(ev: &TraceEvent, base_unix_ns: u64) -> String {
+    let ts = us(base_unix_ns.saturating_add(ev.ts_ns));
+    match &ev.kind {
+        EventKind::Post {
+            src,
+            dst,
+            tag,
+            ctx,
+            bytes,
+        } => format!(
+            r#"{{"name":"post {src}->{dst}","cat":"envelope","ph":"i","s":"t","ts":{ts},"pid":{src},"tid":{dst},"args":{{"kind":"post","src":{src},"dst":{dst},"tag":{tag},"ctx":{ctx},"bytes":{bytes}}}}}"#
+        ),
+        EventKind::Deliver {
+            src,
+            dst,
+            tag,
+            ctx,
+            bytes,
+        } => format!(
+            r#"{{"name":"deliver {src}->{dst}","cat":"envelope","ph":"i","s":"t","ts":{ts},"pid":{dst},"tid":{src},"args":{{"kind":"deliver","src":{src},"dst":{dst},"tag":{tag},"ctx":{ctx},"bytes":{bytes}}}}}"#
+        ),
+        EventKind::Take {
+            src,
+            dst,
+            tag,
+            ctx,
+            bytes,
+        } => format!(
+            r#"{{"name":"take {src}->{dst}","cat":"envelope","ph":"i","s":"t","ts":{ts},"pid":{dst},"tid":{src},"args":{{"kind":"take","src":{src},"dst":{dst},"tag":{tag},"ctx":{ctx},"bytes":{bytes}}}}}"#
+        ),
+        EventKind::Wait { rank, dur_ns } => format!(
+            r#"{{"name":"blocked","cat":"wait","ph":"X","ts":{ts},"dur":{},"pid":{rank},"tid":{rank},"args":{{"kind":"wait"}}}}"#,
+            us(*dur_ns)
+        ),
+        EventKind::OpSpan {
+            rank,
+            op,
+            dur_ns,
+            wait_ns,
+        } => format!(
+            r#"{{"name":"{}","cat":"op","ph":"X","ts":{ts},"dur":{},"pid":{rank},"tid":{rank},"args":{{"kind":"op","wait_ns":{wait_ns},"compute_ns":{}}}}}"#,
+            op.name(),
+            us(*dur_ns),
+            dur_ns.saturating_sub(*wait_ns)
+        ),
+        EventKind::Chaos { src, dst, fault } => format!(
+            r#"{{"name":"chaos {fault}","cat":"chaos","ph":"i","s":"g","ts":{ts},"pid":{src},"tid":{dst},"args":{{"kind":"chaos","fault":"{fault}","src":{src},"dst":{dst}}}}}"#
+        ),
+        EventKind::Control { rank, peer, frame } => format!(
+            r#"{{"name":"ctl {frame}","cat":"control","ph":"i","s":"t","ts":{ts},"pid":{rank},"tid":{peer},"args":{{"kind":"control","frame":"{frame}"}}}}"#
+        ),
+    }
+}
+
+/// Renders `events` as one Chrome trace JSON document (run-relative
+/// timestamps — the single-process export).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(&chrome_event(ev, 0));
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes `events` as JSONL (one Chrome event object per line, timestamps
+/// shifted to absolute wall-clock µs) — the per-rank format merged by
+/// [`merge_trace_dir`].
+pub fn write_trace_jsonl(path: &Path, events: &[TraceEvent], epoch_unix_ns: u64) -> io::Result<()> {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&chrome_event(ev, epoch_unix_ns));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Extracts the numeric `"ts"` value from one serialized event line.
+fn line_ts(line: &str) -> Option<f64> {
+    let at = line.find("\"ts\":")? + 5;
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Merges every `*.jsonl` per-rank trace in `dir` into one Chrome trace
+/// JSON file at `out`, sorted by timestamp. Returns the merged event
+/// count. Used by `kampirun --trace` and the multi-process tests.
+pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
+    let mut lines: Vec<(f64, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_none_or(|e| e != "jsonl") {
+            continue;
+        }
+        for line in std::fs::read_to_string(&path)?.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ts = line_ts(line).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line without ts in {}", path.display()),
+                )
+            })?;
+            lines.push((ts, line.to_string()));
+        }
+    }
+    lines.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut doc = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, (_, line)) in lines.iter().enumerate() {
+        doc.push_str(line);
+        if i + 1 < lines.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("]}\n");
+    std::fs::write(out, doc)?;
+    Ok(lines.len())
+}
+
+/// Writes this process's trace to the `KAMPING_TRACE` destination:
+/// a directory gets `trace-rank<R>.jsonl` (absolute timestamps, merge
+/// input), any other path gets a self-contained Chrome JSON file (with
+/// `-rank<R>` inserted before the extension on multi-process backends so
+/// ranks don't clobber each other).
+pub(crate) fn write_process_trace(
+    ctx: &TraceCtx,
+    out: &Path,
+    rank: Option<usize>,
+) -> io::Result<()> {
+    let events = ctx.take_events();
+    if out.is_dir() {
+        let name = match rank {
+            Some(r) => format!("trace-rank{r}.jsonl"),
+            None => "trace.jsonl".to_string(),
+        };
+        return write_trace_jsonl(&out.join(name), &events, ctx.epoch_unix_ns());
+    }
+    let path = match rank {
+        Some(r) => {
+            let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            let ext = out.extension().and_then(|s| s.to_str()).unwrap_or("json");
+            out.with_file_name(format!("{stem}-rank{r}.{ext}"))
+        }
+        None => out.to_path_buf(),
+    };
+    std::fs::write(path, chrome_trace_json(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            kind: EventKind::Post {
+                src: 0,
+                dst: 1,
+                tag: 7,
+                ctx: 0,
+                bytes: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing() {
+        let ctx = TraceCtx::disabled(2);
+        assert!(!ctx.tracing());
+        assert!(!ctx.measuring());
+        // Guards are inert: no wait accumulates, no event appears.
+        let before = thread_wait_ns();
+        drop(ctx.wait_span(0));
+        drop(ctx.op_scope(Op::Send, 0));
+        assert_eq!(thread_wait_ns(), before);
+        assert!(ctx.take_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_ctx_round_trips_events() {
+        let ctx = TraceCtx::new(
+            2,
+            &TraceConfig {
+                tracing: true,
+                measuring: true,
+                out: None,
+            },
+        );
+        ctx.record(EventKind::Post {
+            src: 0,
+            dst: 1,
+            tag: 3,
+            ctx: 0,
+            bytes: 5,
+        });
+        drop(ctx.op_scope(Op::Recv, 1));
+        let events = ctx.take_events();
+        assert_eq!(events.len(), 2);
+        // Timestamps come back sorted.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert!(ctx.take_events().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn wait_span_accumulates_thread_wait() {
+        let ctx = TraceCtx::new(
+            1,
+            &TraceConfig {
+                tracing: false,
+                measuring: true,
+                out: None,
+            },
+        );
+        let before = thread_wait_ns();
+        drop(ctx.wait_span(0));
+        assert!(thread_wait_ns() >= before);
+    }
+
+    #[test]
+    fn op_timings_record_calls_and_split() {
+        let t = RankOpTimings::default();
+        t.record(Op::Bcast, 1000, 400);
+        t.record(Op::Bcast, 500, 100);
+        let snap = t.snapshot();
+        let row = snap.iter().find(|r| r.0 == Op::Bcast).unwrap();
+        assert_eq!((row.1, row.2, row.3), (2, 1500, 500));
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_cap() {
+        let ctx = TraceCtx::new(
+            1,
+            &TraceConfig {
+                tracing: true,
+                measuring: true,
+                out: None,
+            },
+        );
+        // All from one thread = one shard; overflow it.
+        for i in 0..(SHARD_CAP + 10) as u64 {
+            ctx.record_at(i, ev(i).kind);
+        }
+        assert_eq!(ctx.dropped_events(), 10);
+        let events = ctx.take_events();
+        assert_eq!(events.len(), SHARD_CAP);
+        assert_eq!(events.first().unwrap().ts_ns, 10, "oldest were dropped");
+    }
+
+    #[test]
+    fn chrome_json_shape_and_ts() {
+        let events = vec![ev(1500), ev(2500)];
+        let doc = chrome_trace_json(&events);
+        assert!(doc.starts_with("{\"displayTimeUnit\""));
+        assert!(doc.contains("\"ts\":1.500"));
+        assert!(doc.contains("\"ts\":2.500"));
+        assert!(doc.trim_end().ends_with("]}"));
+        assert_eq!(line_ts("{\"ts\":12.034,\"x\":1}"), Some(12.034));
+    }
+
+    #[test]
+    fn merge_sorts_across_rank_files() {
+        let dir = std::env::temp_dir().join(format!("kamping-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_trace_jsonl(&dir.join("trace-rank0.jsonl"), &[ev(3000), ev(5000)], 0).unwrap();
+        write_trace_jsonl(&dir.join("trace-rank1.jsonl"), &[ev(4000)], 0).unwrap();
+        let out = dir.join("merged.json");
+        let n = merge_trace_dir(&dir, &out).unwrap();
+        assert_eq!(n, 3);
+        let doc = std::fs::read_to_string(&out).unwrap();
+        let pos3 = doc.find("\"ts\":3.000").unwrap();
+        let pos4 = doc.find("\"ts\":4.000").unwrap();
+        let pos5 = doc.find("\"ts\":5.000").unwrap();
+        assert!(pos3 < pos4 && pos4 < pos5, "merged events sorted by ts");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

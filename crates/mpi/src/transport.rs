@@ -47,11 +47,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::error::{MpiError, MpiResult};
 use crate::tag::{source_matches, tag_matches, Tag, ANY_SOURCE};
+use crate::trace::{EventKind, TraceCtx};
 
 /// Largest payload (bytes) carried inline in the envelope instead of on the
 /// heap. Sub-cacheline messages — barrier tokens, counts exchanges, single
@@ -243,12 +244,21 @@ pub struct Delivered {
 pub struct Hub {
     gate: Mutex<u64>,
     cond: Condvar,
+    /// Trace context for wait attribution, bound once at universe start
+    /// (hubs outlive/precede the universe, so this cannot be a ctor arg).
+    trace: OnceLock<Arc<TraceCtx>>,
 }
 
 impl Hub {
     /// Creates an idle hub.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Binds the universe's trace context so hub waits are attributed as
+    /// blocked time. Idempotent; the first binding wins.
+    pub fn bind_trace(&self, trace: Arc<TraceCtx>) {
+        let _ = self.trace.set(trace);
     }
 
     /// Signals every current waiter to re-check its predicate.
@@ -274,6 +284,19 @@ impl Hub {
         mut ready: impl FnMut() -> Option<T>,
         deadline: Option<Instant>,
     ) -> Option<T> {
+        {
+            // Fast path outside any wait span: a predicate that is already
+            // satisfied costs one epoch read and no clock access.
+            let epoch = *self.gate.lock().expect("hub gate poisoned");
+            let _ = epoch;
+            if let Some(v) = ready() {
+                return Some(v);
+            }
+        }
+        let _wait = self
+            .trace
+            .get()
+            .map(|t| t.wait_span(crate::trace::thread_rank()));
         loop {
             // Read the epoch before evaluating the predicate: a state change
             // strictly after this read also bumps the epoch, so the wait
@@ -316,6 +339,8 @@ struct Lane {
 /// Per-rank incoming message store: one lane per (source → this rank) pair.
 #[derive(Debug)]
 pub struct Mailbox {
+    /// Global rank owning this mailbox (labels its trace events).
+    owner: usize,
     lanes: Box<[Lane]>,
     /// Arrival stamps; orders `ANY_SOURCE` matching across lanes.
     next_stamp: AtomicU64,
@@ -324,18 +349,23 @@ pub struct Mailbox {
     cond: Condvar,
     /// Signalled when a take flips an ssend acknowledgement.
     hub: Arc<Hub>,
+    /// Lifecycle-event recorder (one relaxed load when disabled).
+    trace: Arc<TraceCtx>,
 }
 
 impl Mailbox {
-    /// Creates a mailbox accepting envelopes from `n_sources` global ranks,
-    /// sharing `hub` for acknowledgement wakeups.
-    pub fn new(n_sources: usize, hub: Arc<Hub>) -> Self {
+    /// Creates the mailbox of global rank `owner` accepting envelopes from
+    /// `n_sources` global ranks, sharing `hub` for acknowledgement wakeups
+    /// and recording lifecycle events into `trace`.
+    pub fn new(owner: usize, n_sources: usize, hub: Arc<Hub>, trace: Arc<TraceCtx>) -> Self {
         Self {
+            owner,
             lanes: (0..n_sources).map(|_| Lane::default()).collect(),
             next_stamp: AtomicU64::new(0),
             gate: Mutex::new(0),
             cond: Condvar::new(),
             hub,
+            trace,
         }
     }
 
@@ -344,6 +374,15 @@ impl Mailbox {
     /// # Panics
     /// Panics if `envelope.src` is not a valid source for this mailbox.
     pub fn post(&self, envelope: Envelope) {
+        if self.trace.tracing() {
+            self.trace.record(EventKind::Deliver {
+                src: envelope.src as u32,
+                dst: self.owner as u32,
+                tag: envelope.tag,
+                ctx: envelope.ctx,
+                bytes: envelope.payload.len() as u64,
+            });
+        }
         let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
         {
             let mut q = self.lanes[envelope.src]
@@ -375,6 +414,15 @@ impl Mailbox {
         if let Some(ack) = &e.ack {
             ack.set();
             self.hub.notify();
+        }
+        if self.trace.tracing() {
+            self.trace.record(EventKind::Take {
+                src: e.src as u32,
+                dst: self.owner as u32,
+                tag: e.tag,
+                ctx: e.ctx,
+                bytes: e.payload.len() as u64,
+            });
         }
         Some(Delivered {
             src: e.src,
@@ -484,6 +532,10 @@ impl Mailbox {
         if let Some(hit) = attempt(self) {
             return Ok(hit);
         }
+        // Everything past the fast path is blocked-waiting; the RAII span
+        // attributes it to the owning rank (inert when measuring is off)
+        // and covers every exit — match, interrupt, or timeout.
+        let _wait = self.trace.wait_span(self.owner as u32);
         // A short burst of cooperative hand-offs before committing to the
         // condvar: when rank-threads outnumber cores the matching send is
         // usually posted by a peer that just needs the CPU, and taking the
@@ -646,11 +698,12 @@ pub struct ShmTransport {
 }
 
 impl ShmTransport {
-    /// Creates mailboxes for `size` in-process ranks sharing `hub`.
-    pub fn new(size: usize, hub: &Arc<Hub>) -> Self {
+    /// Creates mailboxes for `size` in-process ranks sharing `hub`,
+    /// recording lifecycle events into `trace`.
+    pub fn new(size: usize, hub: &Arc<Hub>, trace: &Arc<TraceCtx>) -> Self {
         Self {
             mailboxes: (0..size)
-                .map(|_| Mailbox::new(size, Arc::clone(hub)))
+                .map(|owner| Mailbox::new(owner, size, Arc::clone(hub), Arc::clone(trace)))
                 .collect(),
         }
     }
@@ -693,7 +746,7 @@ mod tests {
     use crate::tag::{ANY_SOURCE, ANY_TAG};
 
     fn mailbox(n: usize) -> Mailbox {
-        Mailbox::new(n, Arc::new(Hub::new()))
+        Mailbox::new(0, n, Arc::new(Hub::new()), TraceCtx::disabled(n))
     }
 
     fn env(src: usize, tag: Tag, ctx: u64, payload: &[u8]) -> Envelope {
@@ -986,7 +1039,7 @@ mod tests {
     #[test]
     fn shm_transport_posts_and_kicks() {
         let hub = Arc::new(Hub::new());
-        let t = ShmTransport::new(2, &hub);
+        let t = ShmTransport::new(2, &hub, &TraceCtx::disabled(2));
         t.post(1, env(0, 4, 0, b"via-trait"));
         assert!(t.is_local(1));
         assert_eq!(t.name(), "shm");

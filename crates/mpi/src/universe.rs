@@ -27,7 +27,9 @@ use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
 use crate::error::{MpiError, MpiResult};
 use crate::ibarrier::BarrierCell;
+use crate::measurements::TreeAggregate;
 use crate::profile::{ProfileSnapshot, RankCounters};
+use crate::trace::{TraceConfig, TraceCtx, TraceEvent};
 use crate::transport::{ControlMsg, ControlSink, Hub, Mailbox, ShmTransport, Transport};
 
 /// Shared state of one MPI job, as seen by one process.
@@ -61,23 +63,28 @@ pub(crate) struct UniverseState {
     /// outside the cells so that remote arrivals can be recorded before
     /// this process itself enters the barrier (and thus creates its cell).
     pub arrivals: Mutex<HashMap<(u64, u32), HashSet<usize>>>,
+    /// Per-universe tracing/measuring context (disabled by default; one
+    /// relaxed atomic load per hook when off).
+    pub trace: Arc<TraceCtx>,
 }
 
 impl UniverseState {
     /// In-process universe over the shared-memory backend, with an optional
     /// chaos wrapper around it. The chaos layer's control sink (where an
     /// injected rank death is applied) is bound to the returned state.
-    fn new_shm(size: usize, chaos: Option<ChaosSpec>) -> Arc<Self> {
+    fn new_shm(size: usize, chaos: Option<ChaosSpec>, trace: Arc<TraceCtx>) -> Arc<Self> {
         let hub = Arc::new(Hub::new());
-        let shm: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub));
+        hub.bind_trace(Arc::clone(&trace));
+        let shm: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub, &trace));
         let (transport, chaos_layer) = match chaos {
             None => (shm, None),
             Some(spec) => {
                 let layer = Arc::new(ChaosTransport::new(shm, size, spec));
+                layer.bind_trace(Arc::clone(&trace));
                 (Arc::clone(&layer) as Arc<dyn Transport>, Some(layer))
             }
         };
-        let state = Arc::new(Self::with_transport(size, transport, hub));
+        let state = Arc::new(Self::with_transport(size, transport, hub, trace));
         if let Some(layer) = chaos_layer {
             let sink: Arc<dyn ControlSink> = Arc::clone(&state) as Arc<dyn ControlSink>;
             layer.bind_sink(Arc::downgrade(&sink));
@@ -90,7 +97,9 @@ impl UniverseState {
         size: usize,
         transport: Arc<dyn Transport>,
         hub: Arc<Hub>,
+        trace: Arc<TraceCtx>,
     ) -> Self {
+        hub.bind_trace(Arc::clone(&trace));
         Self {
             size,
             transport,
@@ -102,6 +111,7 @@ impl UniverseState {
             revoked: RwLock::new(HashSet::new()),
             barriers: Mutex::new(HashMap::new()),
             arrivals: Mutex::new(HashMap::new()),
+            trace,
         }
     }
 
@@ -303,11 +313,70 @@ impl Universe {
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
+        Self::run_dispatch(size, TraceConfig::from_env(), f)
+            .map(|(values, profile, _)| (values, profile))
+    }
+
+    /// Backend dispatch shared by every entry point: selects shm vs socket
+    /// from the environment and threads the trace configuration through,
+    /// returning the universe's trace context alongside the results.
+    fn run_dispatch<R, F>(
+        size: usize,
+        trace_cfg: TraceConfig,
+        f: F,
+    ) -> MpiResult<(Vec<R>, ProfileSnapshot, Arc<TraceCtx>)>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
         let chaos = ChaosSpec::from_env()?;
         if let Some(cfg) = crate::net::SocketConfig::from_env()? {
-            return crate::net::run_socket(&cfg, chaos, f);
+            return crate::net::run_socket(&cfg, chaos, trace_cfg, f);
         }
-        Self::run_threads_profiled(size, chaos, f)
+        Self::run_threads_profiled(size, chaos, trace_cfg, f)
+    }
+
+    /// Runs `f` with tracing and measuring force-enabled (on top of any
+    /// `KAMPING_TRACE` settings) and returns a [`TraceReport`]: the raw
+    /// lifecycle events, a Perfetto-loadable Chrome trace document, and an
+    /// aggregated per-op timer tree where every rank contributes its
+    /// call counts and wait/compute latency split.
+    ///
+    /// Works on both backends: the op-tree aggregation runs *inside* the
+    /// job (using the library's own collectives on a reserved tag range),
+    /// so on the socket backend each process reports the cross-rank
+    /// aggregate of its own universe.
+    pub fn run_traced<R, F>(size: usize, f: F) -> MpiResult<(Vec<R>, TraceReport)>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        let mut cfg = TraceConfig::from_env();
+        cfg.tracing = true;
+        cfg.measuring = true;
+        let agg: Mutex<Option<TreeAggregate>> = Mutex::new(None);
+        let wrapped = |comm: RawComm| {
+            let r = f(comm.clone());
+            // Post-run aggregation on a reserved collective sequence range
+            // so its tags cannot collide with anything `f` left in flight.
+            comm.coll_seq.set(crate::measurements::AGG_SEQ_BASE);
+            if let Ok(tree) = crate::measurements::aggregate_op_tree(&comm) {
+                *agg.lock().expect("op-tree slot poisoned") = Some(tree);
+            }
+            r
+        };
+        let (values, _, trace) = Self::run_dispatch(size, cfg, wrapped)?;
+        let events = trace.take_events();
+        let chrome_json = crate::trace::chrome_trace_json(&events);
+        Ok((
+            values,
+            TraceReport {
+                op_tree: agg.into_inner().expect("op-tree slot poisoned"),
+                dropped_events: trace.dropped_events(),
+                events,
+                chrome_json,
+            },
+        ))
     }
 
     /// Runs `f` on `size` shared-memory ranks under the given fault
@@ -319,15 +388,17 @@ impl Universe {
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        Self::run_threads_profiled(size, Some(spec), f).map(|(values, _)| values)
+        Self::run_threads_profiled(size, Some(spec), TraceConfig::from_env(), f)
+            .map(|(values, _, _)| values)
     }
 
     /// The shared-memory path: spawn `size` rank threads and join them.
     fn run_threads_profiled<R, F>(
         size: usize,
         chaos: Option<ChaosSpec>,
+        trace_cfg: TraceConfig,
         f: F,
-    ) -> MpiResult<(Vec<R>, ProfileSnapshot)>
+    ) -> MpiResult<(Vec<R>, ProfileSnapshot, Arc<TraceCtx>)>
     where
         R: Send,
         F: Fn(RawComm) -> R + Sync,
@@ -337,7 +408,8 @@ impl Universe {
                 "a universe needs at least one rank".into(),
             ));
         }
-        let state = UniverseState::new_shm(size, chaos);
+        let trace = Arc::new(TraceCtx::new(size, &trace_cfg));
+        let state = UniverseState::new_shm(size, chaos, Arc::clone(&trace));
         let f = &f;
 
         let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
@@ -345,6 +417,7 @@ impl Universe {
                 .map(|rank| {
                     let state = Arc::clone(&state);
                     scope.spawn(move || {
+                        crate::trace::set_thread_rank(rank);
                         let comm = RawComm::world(state.clone(), rank);
                         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                         if outcome.is_err() {
@@ -371,6 +444,16 @@ impl Universe {
         // thread and releases any held-back envelopes here.
         state.transport.shutdown();
 
+        // KAMPING_TRACE named a destination: all ranks share this process,
+        // so one self-contained Chrome trace file covers the whole job.
+        if trace.tracing() {
+            if let Some(out) = &trace_cfg.out {
+                if let Err(e) = crate::trace::write_process_trace(&trace, out, None) {
+                    eprintln!("kamping: failed to write trace to {}: {e}", out.display());
+                }
+            }
+        }
+
         let profile = state.profile();
         let mut values = Vec::with_capacity(size);
         let mut first_panic = None;
@@ -387,8 +470,22 @@ impl Universe {
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
-        Ok((values, profile))
+        Ok((values, profile, trace))
     }
+}
+
+/// Everything [`Universe::run_traced`] captured about a job.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// All recorded lifecycle events, sorted by timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Aggregated per-op timer tree (calls / wait / compute per rank), or
+    /// `None` if aggregation failed (e.g. a rank died mid-job).
+    pub op_tree: Option<TreeAggregate>,
+    /// The events as a Perfetto-loadable Chrome trace JSON document.
+    pub chrome_json: String,
+    /// Events lost to ring-buffer overflow (0 unless the job was huge).
+    pub dropped_events: u64,
 }
 
 /// Interrupt predicate builder shared by blocking operations: returns an
@@ -478,7 +575,7 @@ mod tests {
 
     #[test]
     fn fault_epoch_moves_on_marks() {
-        let state = UniverseState::new_shm(2, None);
+        let state = UniverseState::new_shm(2, None, TraceCtx::disabled(2));
         let e0 = state.fault_epoch.load(Ordering::Acquire);
         state.mark_failed(1);
         let e1 = state.fault_epoch.load(Ordering::Acquire);
@@ -489,7 +586,7 @@ mod tests {
 
     #[test]
     fn wait_interrupt_caches_clean_verdict_per_epoch() {
-        let state = UniverseState::new_shm(2, None);
+        let state = UniverseState::new_shm(2, None, TraceCtx::disabled(2));
         let check = wait_interrupt(&state, 1, 0);
         assert!(check().is_none());
         assert!(check().is_none());
@@ -499,7 +596,7 @@ mod tests {
 
     #[test]
     fn control_sink_applies_remote_events() {
-        let state = UniverseState::new_shm(3, None);
+        let state = UniverseState::new_shm(3, None, TraceCtx::disabled(3));
         state.apply(ControlMsg::Failed { rank: 2 });
         assert!(state.is_failed(2));
         state.apply(ControlMsg::Finished { rank: 1 });

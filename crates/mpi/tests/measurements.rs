@@ -1,0 +1,253 @@
+//! Integration tests of the measurements subsystem (timer trees,
+//! cross-rank aggregation) and the `Universe::run_traced` pipeline
+//! (envelope lifecycle events, wait-time attribution, Chrome export) on
+//! the shared-memory backend. The socket-backend counterparts live in
+//! `socket_backend.rs`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use kamping_mpi::measurements::TimerTree;
+use kamping_mpi::trace::EventKind;
+use kamping_mpi::{MpiError, Universe};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every rank contributes deterministic values; the aggregate must be
+/// byte-identical on every rank and reduce to the expected min/mean/max.
+#[test]
+fn aggregate_is_identical_on_every_rank() {
+    let results = Universe::run(4, |comm| {
+        let mut t = TimerTree::new();
+        t.append_seconds("phase_a", comm.rank() as f64);
+        t.start("outer");
+        t.append_seconds("inner", 10.0 + comm.rank() as f64);
+        t.stop();
+        t.counter_put("items", (comm.rank() * 100) as f64);
+        let agg = t.aggregate(&comm).unwrap();
+        (agg.to_json(), agg)
+    });
+    let (json0, agg0) = &results[0];
+    for (json, _) in &results {
+        assert_eq!(json, json0, "aggregate JSON must match across ranks");
+    }
+    let a = &agg0.root.children[0];
+    assert_eq!(a.name, "phase_a");
+    assert_eq!(a.measurements[0].per_rank, vec![0.0, 1.0, 2.0, 3.0]);
+    assert_eq!(a.measurements[0].min, 0.0);
+    assert_eq!(a.measurements[0].max, 3.0);
+    assert_eq!(a.measurements[0].mean, 1.5);
+    let outer = &agg0.root.children[1];
+    assert_eq!(outer.name, "outer");
+    assert_eq!(outer.children[0].name, "inner");
+    assert_eq!(outer.children[0].measurements[0].min, 10.0);
+    assert_eq!(outer.children[0].measurements[0].max, 13.0);
+    let items = &agg0.counters["items"];
+    assert_eq!(items.min, 0.0);
+    assert_eq!(items.max, 300.0);
+    assert_eq!(items.mean, 150.0);
+}
+
+/// Wall-clock phases: min <= mean <= max must hold for every slot, and a
+/// deliberately slow rank must dominate `max`.
+#[test]
+fn aggregate_orders_min_mean_max() {
+    let results = Universe::run(3, |comm| {
+        let mut t = TimerTree::new();
+        t.start("work");
+        if comm.rank() == 2 {
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        t.stop();
+        t.aggregate(&comm).unwrap()
+    });
+    let slot = &results[0].root.children[0].measurements[0];
+    assert!(slot.min <= slot.mean && slot.mean <= slot.max);
+    assert!(
+        slot.max >= 0.030,
+        "slow rank must dominate max, got {}",
+        slot.max
+    );
+    assert_eq!(slot.per_rank.len(), 3);
+    assert_eq!(slot.max, slot.per_rank[2]);
+}
+
+/// Seeded values through the full aggregation wire protocol: two separate
+/// universes with the same seeds must serialize to the identical JSON
+/// document.
+#[test]
+fn seeded_aggregation_is_deterministic() {
+    let run = || {
+        Universe::run(4, |comm| {
+            let mut rng = SmallRng::seed_from_u64(99 + comm.rank() as u64);
+            let mut t = TimerTree::new();
+            for _ in 0..5 {
+                t.append_seconds("step", rng.gen_range(0u64..1_000_000) as f64 * 1e-6);
+            }
+            t.counter_put("draws", rng.gen_range(0u64..1_000) as f64);
+            t.aggregate(&comm).unwrap().to_json()
+        })
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second);
+    assert_eq!(first[0], first[3]);
+}
+
+/// Ranks disagreeing on the tree shape must all observe a typed Config
+/// error instead of exchanging garbage.
+#[test]
+fn shape_mismatch_is_config_error() {
+    let results = Universe::run(2, |comm| {
+        let mut t = TimerTree::new();
+        if comm.rank() == 0 {
+            t.append_seconds("alpha", 1.0);
+        } else {
+            t.append_seconds("beta", 1.0);
+        }
+        t.aggregate(&comm)
+    });
+    for r in results {
+        match r {
+            Err(MpiError::Config(msg)) => assert!(msg.contains("shape mismatch")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+}
+
+/// `run_traced` on the shm backend: the envelope lifecycle must be
+/// causally ordered per channel (k-th post <= k-th deliver <= k-th take in
+/// timestamps), every rank must contribute to the op tree, and blocking
+/// time must be attributed as wait rather than compute.
+#[test]
+fn run_traced_envelope_lifecycle_and_op_tree() {
+    let (_, report) = Universe::run_traced(4, |comm| {
+        if comm.rank() == 0 {
+            for src in 1..comm.size() {
+                comm.recv(src, 7).unwrap();
+            }
+        } else {
+            // Stagger so rank 0 demonstrably blocks in recv.
+            std::thread::sleep(Duration::from_millis(10 * comm.rank() as u64));
+            comm.send(0, 7, &[comm.rank() as u8; 32]).unwrap();
+        }
+        comm.barrier().unwrap();
+        comm.allgather(&[comm.rank() as u8]).unwrap();
+    })
+    .unwrap();
+
+    assert_eq!(report.dropped_events, 0);
+    assert!(report.chrome_json.contains("\"traceEvents\""));
+
+    // Group the lifecycle events per directed channel.
+    type Channel = (u32, u32, kamping_mpi::Tag, u64);
+    let mut posts: BTreeMap<Channel, Vec<u64>> = BTreeMap::new();
+    let mut delivers: BTreeMap<Channel, Vec<u64>> = BTreeMap::new();
+    let mut takes: BTreeMap<Channel, Vec<u64>> = BTreeMap::new();
+    for ev in &report.events {
+        match ev.kind {
+            EventKind::Post {
+                src, dst, tag, ctx, ..
+            } => posts
+                .entry((src, dst, tag, ctx))
+                .or_default()
+                .push(ev.ts_ns),
+            EventKind::Deliver {
+                src, dst, tag, ctx, ..
+            } => delivers
+                .entry((src, dst, tag, ctx))
+                .or_default()
+                .push(ev.ts_ns),
+            EventKind::Take {
+                src, dst, tag, ctx, ..
+            } => takes
+                .entry((src, dst, tag, ctx))
+                .or_default()
+                .push(ev.ts_ns),
+            _ => {}
+        }
+    }
+    assert!(!posts.is_empty(), "application sends must be traced");
+    for (chan, take_ts) in &mut takes {
+        let post_ts = posts.get_mut(chan).expect("take without post");
+        let deliver_ts = delivers.get_mut(chan).expect("take without deliver");
+        post_ts.sort_unstable();
+        deliver_ts.sort_unstable();
+        take_ts.sort_unstable();
+        assert!(take_ts.len() <= deliver_ts.len());
+        assert!(deliver_ts.len() <= post_ts.len());
+        for i in 0..take_ts.len() {
+            assert!(
+                post_ts[i] <= deliver_ts[i] && deliver_ts[i] <= take_ts[i],
+                "channel {chan:?}: lifecycle out of order at message {i}"
+            );
+        }
+    }
+
+    // Every rank contributed to the aggregated op tree.
+    let tree = report
+        .op_tree
+        .expect("run_traced must aggregate the op tree");
+    assert_eq!(tree.root.name, "mpi_ops");
+    let allgather = tree
+        .root
+        .children
+        .iter()
+        .find(|n| n.name == "allgather")
+        .expect("allgather was called");
+    let calls = allgather
+        .children
+        .iter()
+        .find(|n| n.name == "calls")
+        .expect("calls child");
+    assert_eq!(calls.measurements[0].per_rank, vec![1.0; 4]);
+
+    // Rank 0 blocked in recv behind deliberately slow senders: most of its
+    // recv latency must be attributed to wait, not compute.
+    let recv = tree
+        .root
+        .children
+        .iter()
+        .find(|n| n.name == "recv")
+        .expect("recv was called");
+    let total = recv.measurements[0].per_rank[0];
+    let wait = recv
+        .children
+        .iter()
+        .find(|n| n.name == "wait")
+        .expect("wait child")
+        .measurements[0]
+        .per_rank[0];
+    assert!(
+        wait >= 0.010,
+        "rank 0 blocked >= 10ms in recv, attributed wait = {wait}s"
+    );
+    assert!(
+        wait <= total + 1e-9,
+        "wait cannot exceed total ({wait} > {total})"
+    );
+}
+
+/// The tree renderer and the OpSpan events agree that waits never exceed
+/// the op's own duration.
+#[test]
+fn op_spans_bound_wait_by_duration() {
+    let (_, report) = Universe::run_traced(2, |comm| {
+        if comm.rank() == 1 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        comm.barrier().unwrap();
+    })
+    .unwrap();
+    let mut saw_span = false;
+    for ev in &report.events {
+        if let EventKind::OpSpan {
+            dur_ns, wait_ns, ..
+        } = ev.kind
+        {
+            saw_span = true;
+            assert!(wait_ns <= dur_ns, "wait {wait_ns}ns > span {dur_ns}ns");
+        }
+    }
+    assert!(saw_span, "ops must emit spans under run_traced");
+}

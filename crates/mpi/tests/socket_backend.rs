@@ -50,6 +50,21 @@ fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
 /// Like [`run_job`], but with a `KAMPING_CHAOS` schedule exported to the
 /// children — the socket-backend variant of `Universe::run_with_chaos`.
 fn run_job_chaos(case: &str, ranks: usize, tcp: bool, chaos: Option<&str>) -> Vec<RankExit> {
+    run_job_env(
+        case,
+        ranks,
+        tcp,
+        chaos.map(|c| ("KAMPING_CHAOS", c.to_string())),
+    )
+}
+
+/// Like [`run_job`], with one extra environment variable for the children.
+fn run_job_env(
+    case: &str,
+    ranks: usize,
+    tcp: bool,
+    extra: Option<(&str, String)>,
+) -> Vec<RankExit> {
     let mut spec = LaunchSpec::new(
         ranks,
         std::env::current_exe().expect("test binary path available"),
@@ -57,8 +72,8 @@ fn run_job_chaos(case: &str, ranks: usize, tcp: bool, chaos: Option<&str>) -> Ve
     spec.tcp = tcp;
     spec.args = vec!["worker_entry".into(), "--exact".into()];
     spec.env = vec![(CASE_VAR.into(), case.into())];
-    if let Some(chaos) = chaos {
-        spec.env.push(("KAMPING_CHAOS".into(), chaos.into()));
+    if let Some((k, v)) = extra {
+        spec.env.push((k.into(), v));
     }
     launch(&spec).expect("launching the job")
 }
@@ -362,6 +377,82 @@ fn case_kill_recovery(comm: &RawComm) {
     assert_eq!(u64::from_le_bytes(acc.try_into().unwrap()), n * (n - 1) / 2);
 }
 
+/// Satellite: traffic run under `KAMPING_TRACE=<dir>` — the parent merges
+/// the per-rank traces afterwards. Every rank both sends and receives so
+/// every pid shows up in the merged Perfetto document.
+fn case_traced_work(comm: &RawComm) {
+    let right = (comm.rank() + 1) % comm.size();
+    let left = (comm.rank() + comm.size() - 1) % comm.size();
+    let (got, _) = comm
+        .sendrecv(right, 4, &[comm.rank() as u8; 16], left, 4)
+        .unwrap();
+    assert_eq!(got, vec![left as u8; 16]);
+    comm.barrier().unwrap();
+    comm.allgather(&[comm.rank() as u8]).unwrap();
+}
+
+/// Satellite: an idle-but-connected pair exchanges heartbeat `Ping`
+/// frames (every 500ms), and those must not move the data-plane
+/// message/byte counters the LogGP cost model reads.
+fn case_heartbeat_idle(comm: &RawComm) {
+    // Establish data connections in both directions first.
+    if comm.rank() == 0 {
+        comm.send(1, 1, b"hi").unwrap();
+        comm.recv(1, 2).unwrap();
+    } else {
+        comm.recv(0, 1).unwrap();
+        comm.send(0, 2, b"yo").unwrap();
+    }
+    let me = comm.my_global_rank();
+    let before = comm.profile().ranks[me].clone();
+    // Longer than two heartbeat intervals: pings are flowing.
+    std::thread::sleep(Duration::from_millis(1300));
+    let after = comm.profile().ranks[me].clone();
+    assert_eq!(
+        before.messages_sent, after.messages_sent,
+        "heartbeat pings must not count as data-plane messages"
+    );
+    assert_eq!(
+        before.bytes_sent, after.bytes_sent,
+        "heartbeat pings must not count as data-plane bytes"
+    );
+    comm.barrier().unwrap();
+}
+
+/// Satellite: the end-of-run profile exchange — the snapshot a process
+/// gets back covers *every* rank's counters, not just its own (remote
+/// rows used to read all-zero on the socket backend).
+fn profile_gather_entry() {
+    let ranks: usize = std::env::var("KAMPING_RANKS")
+        .expect("socket env")
+        .parse()
+        .expect("integer rank count");
+    let (_, profile) = Universe::run_profiled(1, |comm| {
+        comm.barrier().unwrap();
+        let gathered = comm.allgather(&[comm.rank() as u8]).unwrap();
+        assert_eq!(gathered.len(), comm.size());
+    });
+    if std::env::var("KAMPING_CHAOS").is_ok() {
+        // Under a chaos schedule the end-of-run exchange is skipped by
+        // design (a lossy transport could stall it), so only the local
+        // row is live — nothing cross-rank to assert.
+        return;
+    }
+    use kamping_mpi::profile::Op;
+    for r in 0..ranks {
+        assert_eq!(
+            profile.ranks[r].calls(Op::Barrier),
+            1,
+            "rank {r}'s barrier call missing from the gathered profile"
+        );
+        assert_eq!(profile.ranks[r].calls(Op::Allgather), 1);
+        assert!(
+            profile.ranks[r].messages_sent > 0,
+            "rank {r}'s transport counters missing from the gathered profile"
+        );
+    }
+}
+
 /// The child-side entry point: a no-op under a plain `cargo test`, the
 /// rank body when launched by one of the `socket_*` tests below.
 #[test]
@@ -376,6 +467,10 @@ fn worker_entry() {
         eprintln!("worker_entry: watchdog fired, aborting rank");
         std::process::exit(86);
     });
+    if case == "profile_gather" {
+        profile_gather_entry();
+        return;
+    }
     // Size argument is ignored under KAMPING_TRANSPORT=socket — the
     // launcher's --ranks is authoritative, as with mpirun -n.
     Universe::run(1, |comm| match case.as_str() {
@@ -393,6 +488,8 @@ fn worker_entry() {
         "chaos_kill" => case_chaos_kill(&comm),
         "revoke" => case_revoke(&comm),
         "kill_recovery" => case_kill_recovery(&comm),
+        "traced_work" => case_traced_work(&comm),
+        "heartbeat_idle" => case_heartbeat_idle(&comm),
         other => panic!("unknown case {other:?}"),
     });
 }
@@ -492,6 +589,67 @@ fn socket_collectives_survive_delay_chaos() {
 #[test]
 fn socket_revoke_interrupts_blocked_peers() {
     assert_all_success("revoke", &run_job("revoke", 3, false));
+}
+
+#[test]
+fn socket_trace_merges_time_sorted_across_processes() {
+    const RANKS: usize = 3;
+    let dir = std::env::temp_dir().join(format!("kamping-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating trace dir");
+    let exits = run_job_env(
+        "traced_work",
+        RANKS,
+        false,
+        Some(("KAMPING_TRACE", dir.display().to_string())),
+    );
+    assert_all_success("traced_work", &exits);
+
+    for r in 0..RANKS {
+        assert!(
+            dir.join(format!("trace-rank{r}.jsonl")).exists(),
+            "rank {r} must write its per-process trace"
+        );
+    }
+    let out = dir.join("merged.json");
+    let n = kamping_mpi::trace::merge_trace_dir(&dir, &out).expect("merging traces");
+    assert!(n > 0, "merged trace must contain events");
+    let doc = std::fs::read_to_string(&out).expect("reading merged trace");
+    assert!(doc.starts_with("{\"displayTimeUnit\""));
+
+    // Merged events are globally time-sorted and every rank contributed.
+    let mut last = f64::NEG_INFINITY;
+    let mut events = 0usize;
+    for line in doc.lines() {
+        let Some(at) = line.find("\"ts\":") else {
+            continue;
+        };
+        let rest = &line[at + 5..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let ts: f64 = rest[..end].parse().expect("numeric ts");
+        assert!(ts >= last, "merged trace out of order: {ts} after {last}");
+        last = ts;
+        events += 1;
+    }
+    assert_eq!(events, n);
+    for r in 0..RANKS {
+        assert!(
+            doc.contains(&format!("\"src\":{r}")),
+            "rank {r} posted no traced envelopes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn socket_profile_snapshot_covers_remote_ranks() {
+    assert_all_success("profile_gather", &run_job("profile_gather", 4, false));
+}
+
+#[test]
+fn socket_heartbeats_stay_out_of_message_counters() {
+    assert_all_success("heartbeat_idle", &run_job("heartbeat_idle", 2, false));
 }
 
 #[test]

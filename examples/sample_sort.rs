@@ -2,10 +2,13 @@
 //!
 //! Sorts a distributed array of random integers with all three
 //! implementations (kamping / plain / MPL-like lowering) and verifies they
-//! produce identical globally sorted output.
+//! produce identical globally sorted output. Per-implementation timings
+//! are collected in a [`TimerTree`] and printed as a cross-rank
+//! min/mean/max aggregate (the `kamping::measurements` workflow).
 //!
 //! Run with `cargo run --release --example sample_sort -- [ranks] [n_per_rank]`.
 
+use kamping_mpi::measurements::TimerTree;
 use kamping_sort::{sample_sort_kamping, sample_sort_mpl_like, sample_sort_plain};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -18,31 +21,34 @@ fn main() {
     kamping::run(ranks, |comm| {
         let mut rng = SmallRng::seed_from_u64(1234 + comm.rank() as u64);
         let data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let mut timers = TimerTree::new();
+        timers.counter_put("elements_per_rank", n as f64);
 
         let mut a = data.clone();
-        let t = std::time::Instant::now();
+        timers.start("kamping");
         sample_sort_kamping(&comm, &mut a, 7).unwrap();
-        let t_kamping = t.elapsed();
+        timers.synchronized_stop(comm.raw()).unwrap();
 
         let mut b = data.clone();
-        let t = std::time::Instant::now();
+        timers.start("plain");
         sample_sort_plain(comm.raw(), &mut b, 7);
-        let t_plain = t.elapsed();
+        timers.synchronized_stop(comm.raw()).unwrap();
 
         let mut c = data.clone();
-        let t = std::time::Instant::now();
+        timers.start("mpl_like");
         sample_sort_mpl_like(&comm, &mut c, 7).unwrap();
-        let t_mpl = t.elapsed();
+        timers.synchronized_stop(comm.raw()).unwrap();
 
         assert_eq!(a, b);
         assert_eq!(a, c);
         assert!(kamping_sort::sample_sort::is_globally_sorted(&comm, &a).unwrap());
 
+        // Every rank participates in the aggregation; rank 0 prints the
+        // min/mean/max tree (the slowest rank dominates `max`).
+        let agg = timers.aggregate(comm.raw()).unwrap();
         if comm.rank() == 0 {
             println!("sample_sort OK on {ranks} ranks x {n} elements");
-            println!("  kamping : {t_kamping:?}");
-            println!("  plain   : {t_plain:?}");
-            println!("  mpl-like: {t_mpl:?}");
+            print!("{}", agg.render());
         }
     });
 }
