@@ -1,26 +1,36 @@
-//! Point-to-point latency and throughput of both transport backends,
+//! Point-to-point latency and throughput of all three transport backends,
 //! written to `BENCH_net.json` at the workspace root.
 //!
 //! ```text
-//! cargo run --release -p kamping-bench --bin net_bench
+//! cargo run --release -p kamping-bench --bin net_bench            # measure
+//! cargo run --release -p kamping-bench --bin net_bench -- --guard # CI gate
 //! ```
 //!
 //! The driver measures the shared-memory backend in-process (2 rank
-//! threads), then relaunches itself as a 2-rank socket job through the
-//! `kampirun` library and merges both results. The same binary also runs
-//! standalone under `kampirun --ranks 2 -- net_bench`, printing the
-//! socket numbers directly.
+//! threads), then relaunches itself as a 2-rank job through the
+//! `kampirun` library twice — once over Unix-domain sockets, once over
+//! shm-xproc rings — and merges the results. The same binary also runs
+//! standalone under `kampirun --ranks 2 -- net_bench`, printing its
+//! numbers directly.
 //!
-//! Two microbenchmarks, both measured on rank 0, best of `REPS`:
+//! Per backend, measured on rank 0, best of [`REPS`]:
 //!
-//! * **latency** — round-trip time of an 8-byte ping-pong;
-//! * **throughput** — 512 eager 64 KiB messages one way, timed until the
-//!   receiver's 1-byte acknowledgement returns (so the clock covers
-//!   delivery, not just enqueueing).
+//! * **headline latency** — round-trip time of an 8-byte ping-pong;
+//! * **headline throughput** — 512 eager 64 KiB messages one way, timed
+//!   until the receiver's 1-byte acknowledgement returns (so the clock
+//!   covers delivery, not just enqueueing);
+//! * **size sweep** — the same two measurements at every size in
+//!   [`SWEEP_SIZES`] (64 B – 1 MiB), with round counts scaled down as
+//!   messages grow so the whole suite stays CI-sized.
+//!
+//! `--guard` (or `KAMPING_BENCH_GUARD=1`) re-measures and compares
+//! against the *committed* `BENCH_net.json` instead of overwriting it:
+//! the run fails if shm-xproc RTT exceeds [`GUARD_XPROC_RTT_US`] or the
+//! socket RTT regressed more than [`GUARD_REGRESSION`] over the baseline.
 
 use std::time::Instant;
 
-use kamping_mpi::net::{launch, LaunchSpec};
+use kamping_mpi::net::{launch, Backend, LaunchSpec};
 use kamping_mpi::{RawComm, Universe};
 
 const RTT_ROUNDS: usize = 2000;
@@ -28,79 +38,170 @@ const TPUT_MSGS: usize = 512;
 const TPUT_BYTES: usize = 64 * 1024;
 const REPS: usize = 3;
 
-/// Returns rank 0's (round-trip latency in µs, throughput in MiB/s);
-/// rank 1's return value is meaningless.
-fn measure(comm: &RawComm) -> (f64, f64) {
-    assert_eq!(comm.size(), 2, "net_bench runs on exactly 2 ranks");
-    let me = comm.rank();
+/// Message sizes of the sweep (the KaMPIng evaluation's range, trimmed to
+/// five points so three backends finish in CI time).
+const SWEEP_SIZES: &[usize] = &[64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024];
 
-    let mut best_rtt = f64::INFINITY;
+/// Absolute ceiling for shm-xproc 8-byte RTT under `--guard` (µs). The
+/// ISSUE target is < 5 µs on an idle machine; 8 µs absorbs CI noise.
+const GUARD_XPROC_RTT_US: f64 = 8.0;
+
+/// Allowed socket RTT growth over the committed baseline under `--guard`.
+const GUARD_REGRESSION: f64 = 1.20;
+
+fn rtt_rounds_for(bytes: usize) -> usize {
+    match bytes {
+        0..=4096 => 1200,
+        4097..=65536 => 400,
+        65537..=262144 => 120,
+        _ => 40,
+    }
+}
+
+fn tput_msgs_for(bytes: usize) -> usize {
+    ((32 << 20) / bytes).clamp(16, 512)
+}
+
+/// One backend's complete measurement.
+struct BackendResult {
+    /// Headline 8-byte round-trip, µs.
+    rtt_us: f64,
+    /// Headline 64 KiB one-way throughput, MiB/s.
+    tput_mib_s: f64,
+    /// Per-size (bytes, rtt_us, throughput_mib_s).
+    sweep: Vec<(usize, f64, f64)>,
+}
+
+impl BackendResult {
+    /// Flat float list for the child→parent result file.
+    fn serialize(&self) -> String {
+        let mut parts = vec![format!("{} {}", self.rtt_us, self.tput_mib_s)];
+        for (bytes, rtt, tput) in &self.sweep {
+            parts.push(format!("{bytes} {rtt} {tput}"));
+        }
+        parts.join(" ")
+    }
+
+    fn deserialize(text: &str) -> Self {
+        let mut vals = text
+            .split_whitespace()
+            .map(|v| v.parse::<f64>().expect("result file is a float list"));
+        let rtt_us = vals.next().expect("headline rtt");
+        let tput_mib_s = vals.next().expect("headline throughput");
+        let mut sweep = Vec::new();
+        while let Some(bytes) = vals.next() {
+            let rtt = vals.next().expect("sweep rtt");
+            let tput = vals.next().expect("sweep throughput");
+            sweep.push((bytes as usize, rtt, tput));
+        }
+        Self {
+            rtt_us,
+            tput_mib_s,
+            sweep,
+        }
+    }
+
+    fn json(&self, backend: &str) -> String {
+        let sweep: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|(bytes, rtt, tput)| {
+                format!(
+                    "{{\"bytes\": {bytes}, \"rtt_us\": {rtt:.3}, \"throughput_mib_s\": {tput:.1}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"backend\": \"{backend}\", \"p2p_rtt_us\": {:.3}, \"throughput_mib_s\": {:.1}, \"sweep\": [\n      {}\n    ]}}",
+            self.rtt_us,
+            self.tput_mib_s,
+            sweep.join(",\n      ")
+        )
+    }
+}
+
+/// Round-trip time of a `bytes`-sized ping-pong, µs, best of [`REPS`].
+fn ping_pong(comm: &RawComm, bytes: usize, rounds: usize) -> f64 {
+    let payload = vec![0x5Au8; bytes];
+    let mut best = f64::INFINITY;
     for _ in 0..REPS {
-        // The first rep doubles as warmup: connections get established
-        // and caches warmed, and best-of folds it away.
+        // The first rep doubles as warmup: connections/rings get
+        // established and caches warmed, and best-of folds it away.
         comm.barrier().unwrap();
         let start = Instant::now();
-        for _ in 0..RTT_ROUNDS {
-            if me == 0 {
-                comm.send(1, 1, &[0u8; 8]).unwrap();
+        for _ in 0..rounds {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &payload).unwrap();
                 comm.recv(1, 2).unwrap();
             } else {
                 comm.recv(0, 1).unwrap();
-                comm.send(0, 2, &[0u8; 8]).unwrap();
+                comm.send(0, 2, &payload).unwrap();
             }
         }
-        let rtt_us = start.elapsed().as_secs_f64() / RTT_ROUNDS as f64 * 1e6;
-        best_rtt = best_rtt.min(rtt_us);
+        best = best.min(start.elapsed().as_secs_f64() / rounds as f64 * 1e6);
     }
+    best
+}
 
-    let payload = vec![0xA5u8; TPUT_BYTES];
-    let mut best_tput = 0.0f64;
+/// One-way throughput of `msgs` × `bytes` messages, MiB/s, best of
+/// [`REPS`], clocked until the receiver's acknowledgement returns.
+fn one_way(comm: &RawComm, bytes: usize, msgs: usize) -> f64 {
+    let payload = vec![0xA5u8; bytes];
+    let mut best = 0.0f64;
     for _ in 0..REPS {
         comm.barrier().unwrap();
         let start = Instant::now();
-        if me == 0 {
-            for _ in 0..TPUT_MSGS {
+        if comm.rank() == 0 {
+            for _ in 0..msgs {
                 comm.send(1, 3, &payload).unwrap();
             }
             comm.recv(1, 4).unwrap();
             let secs = start.elapsed().as_secs_f64();
-            let mib_s = (TPUT_MSGS * TPUT_BYTES) as f64 / (1024.0 * 1024.0) / secs;
-            best_tput = best_tput.max(mib_s);
+            best = best.max((msgs * bytes) as f64 / (1024.0 * 1024.0) / secs);
         } else {
-            for _ in 0..TPUT_MSGS {
+            for _ in 0..msgs {
                 comm.recv(0, 3).unwrap();
             }
             comm.send(0, 4, b"!").unwrap();
         }
     }
-    (best_rtt, best_tput)
+    best
 }
 
-fn main() {
-    if std::env::var("KAMPING_TRANSPORT").is_ok_and(|v| v == "socket") {
-        // Rank body of a socket job — launched by the driver below or by
-        // hand via `kampirun --ranks 2 -- net_bench`.
-        Universe::run(2, |comm| {
-            let (rtt, tput) = measure(&comm);
-            if comm.rank() == 0 {
-                match std::env::var("KAMPING_NET_BENCH_OUT") {
-                    Ok(path) => std::fs::write(path, format!("{rtt} {tput}"))
-                        .expect("writing the socket result file"),
-                    Err(_) => println!("socket: rtt {rtt:.2} us, throughput {tput:.1} MiB/s"),
-                }
-            }
-        });
-        return;
+/// Runs the full suite. Rank 1's return value is meaningless.
+fn measure(comm: &RawComm) -> BackendResult {
+    assert_eq!(comm.size(), 2, "net_bench runs on exactly 2 ranks");
+    let rtt_us = ping_pong(comm, 8, RTT_ROUNDS);
+    let tput_mib_s = one_way(comm, TPUT_BYTES, TPUT_MSGS);
+    let sweep = SWEEP_SIZES
+        .iter()
+        .map(|&bytes| {
+            (
+                bytes,
+                ping_pong(comm, bytes, rtt_rounds_for(bytes)),
+                one_way(comm, bytes, tput_msgs_for(bytes)),
+            )
+        })
+        .collect();
+    BackendResult {
+        rtt_us,
+        tput_mib_s,
+        sweep,
     }
+}
 
-    eprintln!("== p2p backend comparison (2 ranks, best of {REPS})");
-    let (shm_rtt, shm_tput) = Universe::run(2, |comm| measure(&comm))[0];
-    eprintln!("shm:    rtt {shm_rtt:>7.2} us   throughput {shm_tput:>8.1} MiB/s");
-
-    let out = std::env::temp_dir().join(format!("kamping-net-bench-{}.txt", std::process::id()));
+/// Relaunches this binary as a 2-rank `backend` job and collects rank 0's
+/// measurement through a result file.
+fn measure_via_launch(backend: Backend) -> BackendResult {
+    let out = std::env::temp_dir().join(format!(
+        "kamping-net-bench-{}-{}.txt",
+        std::process::id(),
+        backend.transport_name()
+    ));
     let mut spec = LaunchSpec::new(2, std::env::current_exe().expect("own executable path"));
+    spec.backend = backend;
     spec.env = vec![("KAMPING_NET_BENCH_OUT".into(), out.display().to_string())];
-    let exits = launch(&spec).expect("launching the socket job");
+    let exits = launch(&spec).expect("launching the job");
     for e in &exits {
         assert!(
             e.status.success(),
@@ -109,24 +210,108 @@ fn main() {
             e.status
         );
     }
-    let text = std::fs::read_to_string(&out).expect("reading the socket result file");
+    let text = std::fs::read_to_string(&out).expect("reading the result file");
     let _ = std::fs::remove_file(&out);
-    let mut vals = text
-        .split_whitespace()
-        .map(|v| v.parse::<f64>().expect("socket result is two floats"));
-    let (net_rtt, net_tput) = (vals.next().unwrap(), vals.next().unwrap());
-    eprintln!("socket: rtt {net_rtt:>7.2} us   throughput {net_tput:>8.1} MiB/s");
+    BackendResult::deserialize(&text)
+}
+
+fn report(name: &str, r: &BackendResult) {
     eprintln!(
-        "socket/shm: {:.1}x rtt, {:.2}x throughput",
-        net_rtt / shm_rtt,
-        net_tput / shm_tput
+        "{name:>9}: rtt {:>7.2} us   throughput {:>8.1} MiB/s",
+        r.rtt_us, r.tput_mib_s
+    );
+    for (bytes, rtt, tput) in &r.sweep {
+        eprintln!("           {bytes:>8} B  rtt {rtt:>9.2} us  {tput:>8.1} MiB/s");
+    }
+}
+
+/// Pulls `"p2p_rtt_us"` for `backend` out of a committed `BENCH_net.json`
+/// (hand-rolled: the schema is ours and flat, no JSON parser needed).
+fn baseline_rtt(doc: &str, backend: &str) -> Option<f64> {
+    let at = doc.find(&format!("\"backend\": \"{backend}\""))?;
+    let rest = &doc[at..];
+    let at = rest.find("\"p2p_rtt_us\":")? + "\"p2p_rtt_us\":".len();
+    let rest = rest[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    if std::env::var("KAMPING_TRANSPORT").is_ok_and(|v| v == "socket" || v == "shm-xproc") {
+        // Rank body of a cross-process job — launched by the driver below
+        // or by hand via `kampirun --ranks 2 -- net_bench`.
+        Universe::run(2, |comm| {
+            let result = measure(&comm);
+            if comm.rank() == 0 {
+                match std::env::var("KAMPING_NET_BENCH_OUT") {
+                    Ok(path) => {
+                        std::fs::write(path, result.serialize()).expect("writing the result file")
+                    }
+                    Err(_) => report("job", &result),
+                }
+            }
+        });
+        return;
+    }
+
+    let guard = std::env::args().any(|a| a == "--guard")
+        || std::env::var("KAMPING_BENCH_GUARD").is_ok_and(|v| v == "1");
+
+    eprintln!("== p2p backend comparison (2 ranks, best of {REPS})");
+    let shm = Universe::run(2, |comm| measure(&comm)).remove(0);
+    report("shm", &shm);
+    let socket = measure_via_launch(Backend::Socket);
+    report("socket", &socket);
+    let xproc = measure_via_launch(Backend::ShmXproc);
+    report("shm-xproc", &xproc);
+    eprintln!(
+        "socket/shm: {:.1}x rtt   shm-xproc/shm: {:.1}x rtt",
+        socket.rtt_us / shm.rtt_us,
+        xproc.rtt_us / shm.rtt_us
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"net\",\n  \"ranks\": 2,\n  \"rtt_rounds\": {RTT_ROUNDS},\n  \"tput_msgs\": {TPUT_MSGS},\n  \"tput_bytes\": {TPUT_BYTES},\n  \"reps\": {REPS},\n  \"results\": [\n    {{\"backend\": \"shm\", \"p2p_rtt_us\": {shm_rtt:.3}, \"throughput_mib_s\": {shm_tput:.1}}},\n    {{\"backend\": \"socket\", \"p2p_rtt_us\": {net_rtt:.3}, \"throughput_mib_s\": {net_tput:.1}}}\n  ],\n  \"socket_over_shm_rtt\": {:.3}\n}}\n",
-        net_rtt / shm_rtt
-    );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net.json");
+    if guard {
+        // Compare the fresh run against the committed baseline; never
+        // overwrite it from CI.
+        let doc = std::fs::read_to_string(&path).expect("committed BENCH_net.json");
+        let base_socket = baseline_rtt(&doc, "socket").expect("baseline has a socket p2p_rtt_us");
+        let mut failed = false;
+        if xproc.rtt_us > GUARD_XPROC_RTT_US {
+            eprintln!(
+                "PERF GUARD: shm-xproc rtt {:.2} us exceeds the {GUARD_XPROC_RTT_US} us ceiling",
+                xproc.rtt_us
+            );
+            failed = true;
+        }
+        if socket.rtt_us > base_socket * GUARD_REGRESSION {
+            eprintln!(
+                "PERF GUARD: socket rtt {:.2} us regressed >{:.0}% over the {base_socket:.2} us baseline",
+                socket.rtt_us,
+                (GUARD_REGRESSION - 1.0) * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf guard ok: shm-xproc {:.2} us (ceiling {GUARD_XPROC_RTT_US}), socket {:.2} us (baseline {base_socket:.2})",
+            xproc.rtt_us, socket.rtt_us
+        );
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"net\",\n  \"ranks\": 2,\n  \"rtt_rounds\": {RTT_ROUNDS},\n  \"tput_msgs\": {TPUT_MSGS},\n  \"tput_bytes\": {TPUT_BYTES},\n  \"reps\": {REPS},\n  \"results\": [\n    {},\n    {},\n    {}\n  ],\n  \"socket_over_shm_rtt\": {:.3},\n  \"xproc_over_shm_rtt\": {:.3}\n}}\n",
+        shm.json("shm"),
+        socket.json("socket"),
+        xproc.json("shm-xproc"),
+        socket.rtt_us / shm.rtt_us,
+        xproc.rtt_us / shm.rtt_us
+    );
     std::fs::write(&path, json).expect("write BENCH_net.json");
     eprintln!("wrote {}", path.display());
 }

@@ -1,13 +1,22 @@
 //! `kampirun` — the `mpirun` of the socket backend.
 //!
 //! ```text
-//! kampirun --ranks N [--tcp] [--trace out.json] -- <program> [args...]
+//! kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp]
+//!          [--trace out.json] -- <program> [args...]
 //! ```
 //!
-//! Spawns `N` copies of `<program>` wired together over the socket
-//! transport (Unix-domain sockets by default, TCP loopback with `--tcp`)
-//! and waits for all of them. The exit code is 0 if every rank exited 0,
-//! otherwise the first failing rank's code (or 1 for a signal death).
+//! Spawns `N` copies of `<program>` wired together over the cross-process
+//! transport and waits for all of them. The exit code is 0 if every rank
+//! exited 0, otherwise the first failing rank's code (or 1 for a signal
+//! death).
+//!
+//! `--backend` picks the wire between ranks: `socket` is Unix-domain
+//! sockets (TCP loopback with `--tcp`); `shm-xproc` is shared-memory SPSC
+//! rings (with sockets kept for any pair split off via
+//! `KAMPING_LOCAL_RANKS`); `auto` — the default — resolves to `shm-xproc`,
+//! because everything this launcher starts is on one host. The
+//! environment variable `KAMPING_BACKEND` provides the same choice when
+//! the flag is absent.
 //!
 //! With `--trace out.json`, every rank records transport events
 //! (`KAMPING_TRACE` pointed at a scratch directory) and the per-rank
@@ -16,18 +25,32 @@
 
 use std::process::ExitCode;
 
-use kamping_mpi::net::{launch, LaunchSpec};
+use kamping_mpi::net::{launch, Backend, LaunchSpec};
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("kampirun: {err}");
-    eprintln!("usage: kampirun --ranks N [--tcp] [--trace out.json] -- <program> [args...]");
+    eprintln!(
+        "usage: kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp] \
+         [--trace out.json] -- <program> [args...]"
+    );
     ExitCode::from(2)
+}
+
+/// `auto` means "best wire for this topology" — and kampirun only ever
+/// launches single-host jobs, where that is shared memory.
+fn parse_backend(v: &str) -> Option<Backend> {
+    match v {
+        "auto" | "shm-xproc" => Some(Backend::ShmXproc),
+        "socket" => Some(Backend::Socket),
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut ranks: Option<usize> = None;
     let mut tcp = false;
+    let mut backend: Option<Backend> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut program = None;
     let mut prog_args = Vec::new();
@@ -41,6 +64,12 @@ fn main() -> ExitCode {
                 ranks = Some(n);
             }
             "--tcp" => tcp = true,
+            "--backend" => {
+                let Some(b) = args.next().as_deref().and_then(parse_backend) else {
+                    return usage("--backend must be auto, socket or shm-xproc");
+                };
+                backend = Some(b);
+            }
             "--trace" => {
                 let Some(path) = args.next() else {
                     return usage("--trace needs an output path argument");
@@ -62,8 +91,20 @@ fn main() -> ExitCode {
         return usage("missing -- <program>");
     };
 
+    let backend = match backend {
+        Some(b) => b,
+        None => match std::env::var("KAMPING_BACKEND") {
+            Ok(v) => match parse_backend(&v) {
+                Some(b) => b,
+                None => return usage("KAMPING_BACKEND must be auto, socket or shm-xproc"),
+            },
+            Err(_) => Backend::ShmXproc, // auto: single-host, use the rings
+        },
+    };
+
     let mut spec = LaunchSpec::new(ranks, program);
     spec.tcp = tcp;
+    spec.backend = backend;
     spec.args = prog_args;
 
     // Each rank writes its own JSONL trace into a scratch directory;

@@ -611,6 +611,10 @@ impl Transport for ChaosTransport {
         self.inner.is_local(rank)
     }
 
+    fn locality(&self, rank: usize) -> crate::transport::Locality {
+        self.inner.locality(rank)
+    }
+
     fn control(&self, msg: ControlMsg) {
         // Control events (failure marks, barrier arrivals) pass through
         // unharmed: chaos injects faults into *data*, the failure-detection

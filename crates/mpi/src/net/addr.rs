@@ -9,8 +9,9 @@
 //! `KAMPING_RENDEZVOUS` environment variable and in rendezvous `Table`
 //! frames.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -76,7 +77,8 @@ impl Listener {
         }
     }
 
-    /// Blocks until a peer connects.
+    /// Blocks until a peer connects (or returns `WouldBlock` when the
+    /// listener is nonblocking and no connection is queued).
     pub fn accept(&self) -> io::Result<Stream> {
         match self {
             Listener::Unix(l, _) => {
@@ -88,6 +90,23 @@ impl Listener {
                 s.set_nodelay(true)?;
                 Ok(Stream::Tcp(s))
             }
+        }
+    }
+
+    /// Switches the listener between blocking and nonblocking accepts
+    /// (the progress engine polls it through epoll).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw fd, for registration with a poller.
+    pub fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l, _) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
         }
     }
 }
@@ -120,6 +139,11 @@ impl Stream {
     /// listener. The error returned at the deadline wraps the *last*
     /// connect failure, so "connection refused" vs "no such file" is not
     /// lost.
+    ///
+    /// Deadline handling is exact: every sleep is clamped to the budget
+    /// still remaining (never past the deadline), a clamped final sleep
+    /// buys one last attempt *at* the deadline, and a zero `timeout`
+    /// degrades to exactly one attempt with no sleep at all.
     pub fn connect_retry(addr: &Addr, timeout: Duration) -> io::Result<Self> {
         let deadline = Instant::now() + timeout;
         let mut backoff = Duration::from_millis(1);
@@ -129,13 +153,19 @@ impl Stream {
             match Self::connect(addr) {
                 Ok(s) => return Ok(s),
                 Err(e) => {
-                    let now = Instant::now();
-                    if now >= deadline {
+                    // `checked_duration_since` instead of `deadline - now`:
+                    // the subtraction saturates to "budget exhausted"
+                    // rather than going negative once the deadline passed
+                    // mid-attempt.
+                    let remaining = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|r| !r.is_zero());
+                    let Some(remaining) = remaining else {
                         return Err(io::Error::new(
                             e.kind(),
                             format!("{addr} unreachable after {timeout:?}, last error: {e}"),
                         ));
-                    }
+                    };
                     // Up to +50% jitter, derived from pid and attempt count
                     // so concurrently-spawned ranks don't reconnect in
                     // lockstep (no RNG dependency).
@@ -144,11 +174,27 @@ impl Stream {
                         >> 33;
                     let step = backoff.as_micros() as u64;
                     let sleep = Duration::from_micros(step + salt % (step / 2 + 1));
-                    std::thread::sleep(sleep.min(deadline - now));
+                    std::thread::sleep(sleep.min(remaining));
                     backoff = (backoff * 2).min(BACKOFF_CAP);
                     attempt += 1;
                 }
             }
+        }
+    }
+
+    /// Switches the stream between blocking and nonblocking I/O.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw fd, for registration with a poller.
+    pub fn raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
         }
     }
 }
@@ -170,6 +216,15 @@ impl Write for Stream {
         }
     }
 
+    /// Forwarded to the socket's real `writev` (the trait default would
+    /// degrade to a single-slice write, defeating frame coalescing).
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write_vectored(bufs),
+            Stream::Tcp(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         match self {
             Stream::Unix(s) => s.flush(),
@@ -188,6 +243,77 @@ mod tests {
             assert_eq!(Addr::parse(s).unwrap().to_string(), s);
         }
         assert!(Addr::parse("pigeon:coop").is_err());
+    }
+
+    #[test]
+    fn connect_retry_never_sleeps_past_the_deadline() {
+        let addr = Addr::Unix(
+            std::env::temp_dir().join(format!("kamping-no-such-{}.sock", std::process::id())),
+        );
+        let timeout = Duration::from_millis(80);
+        let start = Instant::now();
+        let err = Stream::connect_retry(&addr, timeout).unwrap_err();
+        let elapsed = start.elapsed();
+        // The loop only gives up once the budget is spent...
+        assert!(elapsed >= timeout, "gave up early after {elapsed:?}");
+        // ...and the last sleep is clamped to the remaining budget, so the
+        // overshoot is one connect attempt plus scheduler noise — far less
+        // than the 1.5 ms minimum un-clamped backoff step would add on top
+        // of an unluckily-timed wakeup. Generous bound for loaded CI.
+        assert!(
+            elapsed < timeout + Duration::from_millis(60),
+            "overshot the deadline: {elapsed:?}"
+        );
+        assert!(err.to_string().contains("unreachable after"));
+    }
+
+    #[test]
+    fn connect_retry_zero_timeout_still_attempts_once() {
+        // Boundary case: a zero budget means "try once, never sleep".
+        let sock =
+            std::env::temp_dir().join(format!("kamping-zero-to-{}.sock", std::process::id()));
+        let addr = Addr::Unix(sock.clone());
+        let start = Instant::now();
+        assert!(Stream::connect_retry(&addr, Duration::ZERO).is_err());
+        assert!(start.elapsed() < Duration::from_millis(50));
+
+        // And the one attempt is real: a live listener succeeds even with
+        // a zero budget.
+        let _l = Listener::bind(&addr).unwrap();
+        assert!(Stream::connect_retry(&addr, Duration::ZERO).is_ok());
+        let _ = std::fs::remove_file(&sock);
+    }
+
+    #[test]
+    fn connect_retry_succeeds_when_listener_appears_mid_retry() {
+        let sock = std::env::temp_dir().join(format!("kamping-late-{}.sock", std::process::id()));
+        let addr = Addr::Unix(sock.clone());
+        let addr2 = addr.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            Listener::bind(&addr2).unwrap()
+        });
+        let start = Instant::now();
+        assert!(Stream::connect_retry(&addr, Duration::from_secs(10)).is_ok());
+        assert!(start.elapsed() < Duration::from_secs(5), "retried too long");
+        drop(binder.join().unwrap());
+        let _ = std::fs::remove_file(&sock);
+    }
+
+    #[test]
+    fn stream_exposes_pollable_fd_and_nonblocking_mode() {
+        let l = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
+        assert!(l.raw_fd() >= 0);
+        let c = Stream::connect(&l.local_addr().unwrap()).unwrap();
+        let mut s = l.accept().unwrap();
+        assert!(c.raw_fd() >= 0 && s.raw_fd() >= 0);
+        s.set_nonblocking(true).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        drop(c);
     }
 
     #[test]

@@ -20,6 +20,30 @@ use super::addr::Addr;
 /// several jobs in parallel).
 static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Which wire co-located ranks use. The launcher only ever starts
+/// same-host jobs, so `ShmXproc` puts *every* pair on shared-memory rings
+/// unless a `KAMPING_LOCAL_RANKS` override (see [`super::SocketConfig`])
+/// splits the set for testing mixed topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Sockets between all pairs (Unix-domain or TCP loopback).
+    #[default]
+    Socket,
+    /// Shared-memory SPSC rings between co-located pairs, sockets for the
+    /// rest.
+    ShmXproc,
+}
+
+impl Backend {
+    /// The `KAMPING_TRANSPORT` value selecting this backend.
+    pub fn transport_name(self) -> &'static str {
+        match self {
+            Backend::Socket => "socket",
+            Backend::ShmXproc => "shm-xproc",
+        }
+    }
+}
+
 /// One job to launch: the socket-backend analog of an `mpirun` invocation.
 #[derive(Debug, Clone)]
 pub struct LaunchSpec {
@@ -27,6 +51,8 @@ pub struct LaunchSpec {
     pub ranks: usize,
     /// Rendezvous over TCP loopback instead of Unix-domain sockets.
     pub tcp: bool,
+    /// Wire between co-located ranks.
+    pub backend: Backend,
     /// Program to run as every rank.
     pub program: PathBuf,
     /// Arguments passed to every rank.
@@ -41,10 +67,23 @@ impl LaunchSpec {
         Self {
             ranks,
             tcp: false,
+            backend: Backend::default(),
             program: program.into(),
             args: Vec::new(),
             env: Vec::new(),
         }
+    }
+}
+
+/// Picks the directory for shm-xproc ring files: `/dev/shm` (a real tmpfs,
+/// so ring traffic never touches a disk) when present, the system temp dir
+/// otherwise.
+fn shm_base() -> PathBuf {
+    let dev_shm = PathBuf::from("/dev/shm");
+    if dev_shm.is_dir() {
+        dev_shm
+    } else {
+        std::env::temp_dir()
     }
 }
 
@@ -87,15 +126,30 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
         Addr::Unix(dir.join("rendezvous.sock"))
     };
 
+    // Ring files live on a tmpfs, not in the (possibly disk-backed) job
+    // dir. Each job gets its own subdirectory so concurrent launches
+    // cannot collide, removed with the job.
+    let shm_dir = match spec.backend {
+        Backend::Socket => None,
+        Backend::ShmXproc => {
+            let d = shm_base().join(dir.file_name().expect("launch dir has a name"));
+            std::fs::create_dir_all(&d)?;
+            Some(d)
+        }
+    };
+
     let mut children: Vec<Child> = Vec::with_capacity(spec.ranks);
     for rank in 0..spec.ranks {
         let mut cmd = Command::new(&spec.program);
         cmd.args(&spec.args)
-            .env("KAMPING_TRANSPORT", "socket")
+            .env("KAMPING_TRANSPORT", spec.backend.transport_name())
             .env("KAMPING_RANK", rank.to_string())
             .env("KAMPING_RANKS", spec.ranks.to_string())
             .env("KAMPING_RENDEZVOUS", rendezvous.to_string())
             .stdin(Stdio::null());
+        if let Some(d) = &shm_dir {
+            cmd.env("KAMPING_SHM_DIR", d);
+        }
         for (k, v) in &spec.env {
             cmd.env(k, v);
         }
@@ -107,6 +161,9 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
                     let _ = c.wait();
                 }
                 let _ = std::fs::remove_dir_all(&dir);
+                if let Some(d) = &shm_dir {
+                    let _ = std::fs::remove_dir_all(d);
+                }
                 return Err(io::Error::new(
                     e.kind(),
                     format!("spawning rank {rank} ({}): {e}", spec.program.display()),
@@ -121,5 +178,8 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
         exits.push(RankExit { rank, status });
     }
     let _ = std::fs::remove_dir_all(&dir);
+    if let Some(d) = &shm_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
     Ok(exits)
 }

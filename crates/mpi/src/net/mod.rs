@@ -44,15 +44,19 @@
 
 mod addr;
 pub mod launch;
+mod progress;
+pub mod ring;
 mod socket;
+mod sys;
 pub mod wire;
 
 pub use addr::{Addr, Listener, Stream};
-pub use launch::{launch, LaunchSpec, RankExit};
+pub use launch::{launch, Backend, LaunchSpec, RankExit};
 pub use socket::SocketTransport;
 
 use std::io;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -80,6 +84,18 @@ pub struct SocketConfig {
     pub ranks: usize,
     /// Rendezvous endpoint (rank 0 binds it, everyone else connects).
     pub rendezvous: Addr,
+    /// Wire selection: sockets everywhere, or shared-memory rings between
+    /// co-located ranks with sockets only for remote pairs.
+    pub backend: Backend,
+    /// Directory holding the per-rank inbox ring files
+    /// (`KAMPING_SHM_DIR`; required for `shm-xproc`).
+    pub shm_dir: Option<PathBuf>,
+    /// The co-located rank set (`KAMPING_LOCAL_RANKS`, comma-separated).
+    /// `None` means every rank shares this host. A pair talks over rings
+    /// iff *both* ends are in the set; all other pairs use sockets.
+    pub local_ranks: Option<Vec<usize>>,
+    /// Per-channel ring capacity in bytes (`KAMPING_RING_KB`).
+    pub ring_bytes: usize,
 }
 
 impl SocketConfig {
@@ -96,20 +112,22 @@ impl SocketConfig {
     /// pure core, so tests can exercise malformed environments without
     /// racing on the process-global environment.
     pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> MpiResult<Option<Self>> {
-        match get("KAMPING_TRANSPORT") {
-            Some(v) if v == "socket" => {}
+        let backend = match get("KAMPING_TRANSPORT") {
+            Some(v) if v == "socket" => Backend::Socket,
+            Some(v) if v == "shm-xproc" => Backend::ShmXproc,
             Some(v) if v == "shm" || v.is_empty() => return Ok(None),
             Some(v) => {
                 return Err(MpiError::Config(format!(
-                    "KAMPING_TRANSPORT must be shm or socket, got {v:?}"
+                    "KAMPING_TRANSPORT must be shm, socket or shm-xproc, got {v:?}"
                 )))
             }
             None => return Ok(None),
-        }
+        };
+        let transport = backend.transport_name();
         let require = |key: &str| {
             get(key).ok_or_else(|| {
                 MpiError::Config(format!(
-                    "KAMPING_TRANSPORT=socket requires {key} (set by kampirun)"
+                    "KAMPING_TRANSPORT={transport} requires {key} (set by kampirun)"
                 ))
             })
         };
@@ -129,10 +147,52 @@ impl SocketConfig {
                 "KAMPING_RANK={rank} out of range for KAMPING_RANKS={ranks}"
             )));
         }
+        let shm_dir = match backend {
+            Backend::ShmXproc => Some(PathBuf::from(require("KAMPING_SHM_DIR")?)),
+            Backend::Socket => None,
+        };
+        let local_ranks = match get("KAMPING_LOCAL_RANKS") {
+            None => None,
+            Some(list) => {
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                let parsed = parsed.map_err(|_| {
+                    MpiError::Config(format!(
+                        "KAMPING_LOCAL_RANKS must be a comma-separated rank list, got {list:?}"
+                    ))
+                })?;
+                if let Some(&bad) = parsed.iter().find(|&&r| r >= ranks) {
+                    return Err(MpiError::Config(format!(
+                        "KAMPING_LOCAL_RANKS names rank {bad}, but KAMPING_RANKS={ranks}"
+                    )));
+                }
+                Some(parsed)
+            }
+        };
+        let ring_bytes = match get("KAMPING_RING_KB") {
+            None => ring::DEFAULT_RING_BYTES,
+            Some(kb) => {
+                let kb: usize = kb
+                    .parse()
+                    .map_err(|_| MpiError::Config("KAMPING_RING_KB must be an integer".into()))?;
+                let bytes = kb.saturating_mul(1024);
+                if !bytes.is_power_of_two() || !(4096..=(1 << 30)).contains(&bytes) {
+                    return Err(MpiError::Config(format!(
+                        "KAMPING_RING_KB must give a power-of-two ring in [4 KiB, 1 GiB], \
+                         got {kb} KiB"
+                    )));
+                }
+                bytes
+            }
+        };
         Ok(Some(Self {
             rank,
             ranks,
             rendezvous,
+            backend,
+            shm_dir,
+            local_ranks,
+            ring_bytes,
         }))
     }
 }
@@ -213,31 +273,63 @@ fn rendezvous(cfg: &SocketConfig, data_addr: &Addr) -> io::Result<(Vec<Addr>, Re
     }
 }
 
-/// Rank 0's failure monitor: one thread per rendezvous connection. A
-/// `Bye` means a clean exit; EOF without one means the process died, so
-/// the rank is marked failed (which also broadcasts `Failed` to every
-/// surviving rank over the data plane).
-fn spawn_monitors(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
-    for (rank, mut stream) in conns {
-        let weak: Weak<UniverseState> = Arc::downgrade(state);
-        std::thread::Builder::new()
-            .name(format!("kamping-monitor-{rank}"))
-            .spawn(move || loop {
-                match read_frame(&mut stream) {
-                    Ok(Frame::Bye { .. }) => return,
-                    Ok(_) => continue,
-                    Err(_) => {
-                        if let Some(state) = weak.upgrade() {
+/// Rank 0's failure monitor: ONE thread polling every rendezvous
+/// connection (the per-connection-thread design would make rank 0's
+/// thread count linear in job size). A `Bye` means a clean exit; EOF
+/// without one means the process died, so the rank is marked failed
+/// (which also broadcasts `Failed` to every surviving rank over the data
+/// plane). The thread retires once every rank has checked out, and the
+/// 500 ms poll timeout doubles as a liveness check on the universe.
+fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
+    if conns.is_empty() {
+        return;
+    }
+    let weak: Weak<UniverseState> = Arc::downgrade(state);
+    std::thread::Builder::new()
+        .name("kamping-monitor".into())
+        .spawn(move || {
+            let mut conns = conns;
+            while !conns.is_empty() {
+                let mut fds: Vec<sys::PollFd> = conns
+                    .iter()
+                    .map(|(_, s)| sys::PollFd {
+                        fd: s.raw_fd(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    })
+                    .collect();
+                let ready =
+                    sys::poll_fds(&mut fds, Some(Duration::from_millis(500))).unwrap_or_default();
+                let Some(state) = weak.upgrade() else {
+                    return; // universe torn down; nobody left to notify
+                };
+                if ready == 0 {
+                    continue;
+                }
+                // Reverse order so swap_remove never disturbs an
+                // unvisited index.
+                for i in (0..conns.len()).rev() {
+                    if fds[i].revents == 0 {
+                        continue;
+                    }
+                    let (rank, stream) = &mut conns[i];
+                    let rank = *rank;
+                    match read_frame(stream) {
+                        Ok(Frame::Bye { .. }) => {
+                            conns.swap_remove(i);
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
                             if !state.is_gone(rank) {
                                 state.mark_failed(rank);
                             }
+                            conns.swap_remove(i);
                         }
-                        return;
                     }
                 }
-            })
-            .expect("spawning monitor thread");
-    }
+            }
+        })
+        .expect("spawning monitor thread");
 }
 
 /// Guards against a second socket universe in the same process.
@@ -300,6 +392,40 @@ where
         }
     };
 
+    // shm-xproc: create our own inbox ring file *before* joining the
+    // rendezvous. The rendezvous is a barrier — rank 0 answers `Table`
+    // only after every rank joined — so once any rank holds the table,
+    // every co-located inbox is guaranteed to exist and peers can map it
+    // without polling the filesystem.
+    let xproc = match cfg.backend {
+        Backend::Socket => None,
+        Backend::ShmXproc => {
+            let Some(dir) = cfg.shm_dir.clone() else {
+                return fail(format!(
+                    "rank {}: shm-xproc backend needs shm_dir (KAMPING_SHM_DIR)",
+                    cfg.rank
+                ));
+            };
+            let local: Vec<usize> = match &cfg.local_ranks {
+                None => (0..cfg.ranks).collect(),
+                Some(set) => set.clone(),
+            };
+            if local.contains(&cfg.rank) && local.len() >= 2 {
+                match ring::Inbox::create(&dir, cfg.rank, cfg.ranks, cfg.ring_bytes) {
+                    Ok(inbox) => Some(socket::XprocSetup {
+                        inbox,
+                        dir,
+                        local,
+                        ring_bytes: cfg.ring_bytes,
+                    }),
+                    Err(e) => return fail(format!("rank {}: creating shm inbox: {e}", cfg.rank)),
+                }
+            } else {
+                None // this rank is alone on its "host": plain sockets
+            }
+        }
+    };
+
     let (addrs, rdv) = match rendezvous(cfg, &data_addr) {
         Ok(r) => r,
         Err(e) => return fail(format!("rank {}: rendezvous failed: {e}", cfg.rank)),
@@ -308,14 +434,18 @@ where
     let trace = Arc::new(TraceCtx::new(cfg.ranks, &trace_cfg));
     crate::trace::set_thread_rank(cfg.rank);
     let hub = Arc::new(Hub::new());
-    let socket = Arc::new(SocketTransport::new(
+    let socket = match SocketTransport::new(
         cfg.rank,
         cfg.ranks,
         Arc::clone(&hub),
         addrs,
         listener,
         Arc::clone(&trace),
-    ));
+        xproc,
+    ) {
+        Ok(t) => Arc::new(t),
+        Err(e) => return fail(format!("rank {}: starting transport: {e}", cfg.rank)),
+    };
     let chaos_active = chaos.is_some();
     let (transport, chaos_layer) = match chaos {
         None => (Arc::clone(&socket) as Arc<dyn Transport>, None),
@@ -345,7 +475,7 @@ where
 
     let mut client_conn = None;
     match rdv {
-        RendezvousHandle::Server(conns) => spawn_monitors(conns, &state),
+        RendezvousHandle::Server(conns) => spawn_monitor(conns, &state),
         RendezvousHandle::Client(s) => client_conn = Some(s),
     }
 
@@ -369,7 +499,8 @@ where
     // they must drain first.
     state.transport.quiesce();
     state.mark_finished(cfg.rank);
-    // Flush and join all writer threads before announcing the clean exit.
+    // Flush and join the progress engine (and ring consumer) before
+    // announcing the clean exit, so `Finished` is on the wire first.
     state.transport.shutdown();
     if let Some(mut s) = client_conn {
         let _ = write_frame(&mut s, &Frame::Bye { rank: cfg.rank });

@@ -1,57 +1,84 @@
-//! The cross-process socket backend.
+//! The cross-process transport: event-driven sockets, plus optional
+//! shared-memory rings (`shm-xproc`) for co-located peers.
 //!
-//! Each OS process hosts exactly one rank. Connections are
-//! *unidirectional*: to send to rank `d`, this process lazily connects to
-//! `d`'s data listener (address from the rendezvous table), announces
-//! itself with a `Hello` frame, and from then on a dedicated writer thread
-//! drains an unbounded channel into a buffered stream — one writer per
-//! peer, so per-(source → dest) FIFO order is the order frames enter the
-//! channel, which is the order [`SocketTransport::post`] was called in.
-//! Incoming connections are handled by an accept loop that spawns one
-//! receive thread per peer; received envelopes land in the local rank's
-//! [`Mailbox`], so matching semantics (FIFO per source lane, `ANY_SOURCE`
-//! arrival stamps) are *identical* to the shared-memory backend by
-//! construction.
+//! Each OS process hosts exactly one rank. All socket I/O — every inbound
+//! and outbound connection, the data listener, connect retries, the idle
+//! heartbeat — is owned by a single [`super::progress::Engine`] thread, so
+//! the per-rank thread count is *flat in job size* (the seed design spent
+//! a reader + writer thread pair per peer). [`SocketTransport::post`]
+//! never touches the wire: it encodes the frame, appends it to the peer's
+//! outbound queue and rings the engine's eventfd doorbell.
+//!
+//! Connections are *unidirectional*: to send to rank `d`, the engine
+//! lazily connects to `d`'s data listener (address from the rendezvous
+//! table) and announces itself with a `Hello` frame; per-(source → dest)
+//! FIFO order is queue order, which is `post` call order. Incoming
+//! envelopes land in the local rank's [`Mailbox`], so matching semantics
+//! (FIFO per source lane, `ANY_SOURCE` arrival stamps) are *identical* to
+//! the shared-memory backend by construction.
+//!
+//! # shm-xproc
+//!
+//! Under `KAMPING_TRANSPORT=shm-xproc`, rank pairs that are both in the
+//! co-located set exchange frames over mmap'd SPSC byte rings
+//! ([`super::ring`]) instead of sockets: `post` writes the frame straight
+//! into the destination's inbox ring (same wire format, two memcpy parts:
+//! header + payload) and a single ring-consumer thread per rank drains all
+//! inbound rings. Control frames travel the ring too, so `Finished` can
+//! never overtake data on the same channel. Pairs that are *not* both
+//! local fall back to the socket path per peer — mixed topologies share
+//! one transport.
 //!
 //! Synchronous-mode sends travel with a registry key (`ack_id`): the
 //! receiving side rebuilds the envelope with an [`AckCell`] whose hook
 //! sends an `Ack` frame back when the message is matched, and the origin
 //! flips the registered cell (and notifies the [`Hub`]) when that frame
-//! arrives.
+//! arrives. Frames dropped because a peer became unreachable settle their
+//! acks locally, so no sender waits on a frame that will never arrive.
 //!
 //! Failure detection is two-plane: a connect/write/read error on a data
 //! connection marks the peer failed *locally*, and the rendezvous monitor
 //! on rank 0 (see [`super::launch`]) catches crashed processes globally
 //! and broadcasts `Failed` to everyone. A peer whose `Finished` control
 //! frame was seen closes its connections *cleanly*; EOFs from it are not
-//! failures.
+//! failures. Ring producers poll the same verdicts while blocked on a
+//! full ring, so a crashed consumer cannot wedge a sender.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{BufReader, BufWriter};
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::trace::{EventKind, TraceCtx};
 use crate::transport::{
-    AckCell, ControlMsg, ControlSink, Envelope, Hub, Mailbox, Payload, Transport,
+    AckCell, ControlMsg, ControlSink, Envelope, Hub, Locality, Mailbox, Payload, Transport,
 };
 
-use super::addr::{Addr, Listener, Stream};
-use super::wire::{read_frame, write_frame, Frame};
+use super::addr::{Addr, Listener};
+use super::progress::{Engine, EngineHooks, OutFrame};
+use super::ring::{Inbox, RingTx};
+use super::wire::{data_frame_header, encode_prefixed, Frame, MAX_FRAME};
 
-/// An idle writer emits a `Ping` this often, so a dead peer's socket fails
-/// the write (and the failure is marked) within roughly one interval even
-/// when the application has nothing to send.
-const HEARTBEAT: Duration = Duration::from_millis(500);
+/// How often a parked ring consumer re-checks the shutdown flag.
+const CONSUMER_PARK_SLICE: Duration = Duration::from_millis(100);
 
-/// How long a lazy data-plane connect keeps retrying (with exponential
-/// backoff, see [`Stream::connect_retry`]) before the peer is declared
-/// unreachable. Short on purpose: post-rendezvous, every listener is
-/// already bound, so persistent refusal means the peer is gone.
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Empty-drain passes the ring consumer makes (yielding, so a co-scheduled
+/// producer can run) before parking on the doorbell futex. Deliberately
+/// generous: while the consumer spins, `CONSUMER_SLEEP` stays clear and
+/// producers skip the doorbell `futex_wake` syscall entirely — on the
+/// latency path a *waiting receiver* drains the rings itself (the mailbox
+/// progress poll), so the consumer's job is to yield cheaply, not to wake
+/// fast. `KAMPING_RING_SPIN` overrides for experiments.
+const CONSUMER_IDLE_PASSES: u32 = 256;
+
+fn consumer_idle_passes() -> u32 {
+    std::env::var("KAMPING_RING_SPIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CONSUMER_IDLE_PASSES)
+}
 
 /// Where control frames go before/after the universe binds itself.
 enum SinkState {
@@ -61,55 +88,93 @@ enum SinkState {
     Bound(Weak<dyn ControlSink>),
 }
 
-/// Outgoing link to one peer.
-enum PeerSlot {
-    /// Never connected.
-    Idle,
-    /// Writer thread running.
-    Up {
-        tx: Sender<Frame>,
-        handle: JoinHandle<()>,
-    },
-    /// Unreachable or shut down; frames to it are dropped.
-    Gone,
+/// Everything the ring consumer thread needs about the shm-xproc side.
+pub(crate) struct XprocSetup {
+    /// This rank's own inbox (created before the rendezvous join, so every
+    /// peer that holds the address table can already map it).
+    pub inbox: Inbox,
+    /// Directory holding all inbox files.
+    pub dir: std::path::PathBuf,
+    /// The co-located rank set (includes this rank). A pair uses rings iff
+    /// *both* ends are in the set.
+    pub local: Vec<usize>,
+    /// Per-channel ring capacity (bytes, power of two).
+    pub ring_bytes: usize,
 }
 
-/// State shared between the transport handle, writer threads, receive
-/// threads and ack hooks.
+/// Inbound-ring drain state: the per-source reassembly buffers plus the
+/// inbox they fill from. Behind a mutex in [`Shared`] because *two* kinds
+/// of thread drain: the dedicated ring consumer (always, so a computing
+/// rank cannot wedge its producers) and any receiver blocked in
+/// [`Mailbox::wait`]-style calls, which pulls its own frames via the
+/// mailbox progress poll to skip the consumer-thread handoff.
+struct RingRx {
+    inbox: Arc<Inbox>,
+    /// `(source rank, partial-frame reassembly buffer)` per inbound ring.
+    chans: Vec<(usize, Vec<u8>)>,
+}
+
+/// State shared between the transport handle, the progress engine, the
+/// ring consumer and ack hooks.
 struct Shared {
+    /// Back-reference to the owning `Arc` (set by `Arc::new_cyclic`), so
+    /// ack hooks — which must own the state they fire into — can be built
+    /// from `&self` contexts like the engine callbacks.
+    me: Weak<Shared>,
     my_rank: usize,
     size: usize,
     hub: Arc<Hub>,
     /// The one local rank's mailbox ([`Mailbox::post`] is the only entry
     /// point for incoming envelopes, remote and loopback alike).
     mailbox: Mailbox,
-    /// Data-plane address of every rank, from the rendezvous table.
-    addrs: Vec<Addr>,
-    peers: Vec<Mutex<PeerSlot>>,
+    /// Outbound ring per destination, for peers co-located with this rank
+    /// (`None` = socket path). The mutex serializes producers: the main
+    /// thread and the chaos delivery thread can both post.
+    rings: Vec<Option<Mutex<RingTx>>>,
+    /// Inbound-ring drain state (`None` on the pure-socket path).
+    rx: Option<Mutex<RingRx>>,
     sink: Mutex<SinkState>,
     /// Ranks whose `Finished` control frame has been applied: EOF from
     /// them is a clean close, not a failure.
     finished_seen: Mutex<HashSet<usize>>,
+    /// Ranks seen as failed — ring producers blocked on their inbox abort.
+    failed_seen: Mutex<HashSet<usize>>,
     /// In-flight synchronous-mode sends awaiting a wire ack, by ack id.
     acks: Mutex<HashMap<u64, Arc<AckCell>>>,
     next_ack_id: AtomicU64,
     /// Set at shutdown: suppresses failure marks from teardown-induced
-    /// connection errors.
+    /// connection errors and unblocks ring producers/consumer.
     down: AtomicBool,
     /// Event ring of this universe; control-plane frames are recorded here
     /// (and *only* here — they never touch the profiling counters).
     trace: Arc<TraceCtx>,
+    /// The socket progress engine (set once, right after construction —
+    /// the engine's hooks point back at this struct).
+    engine: OnceLock<Engine>,
 }
 
 impl Shared {
+    fn engine(&self) -> &Engine {
+        self.engine.get().expect("engine wired at construction")
+    }
+
     /// Routes a control event into the universe state (or the pending
     /// queue before the sink is bound). Never re-broadcasts.
     fn deliver_control(&self, msg: ControlMsg) {
-        if let ControlMsg::Finished { rank } = msg {
-            self.finished_seen
-                .lock()
-                .expect("finished set poisoned")
-                .insert(rank);
+        match msg {
+            ControlMsg::Finished { rank } => {
+                self.finished_seen
+                    .lock()
+                    .expect("finished set poisoned")
+                    .insert(rank);
+            }
+            ControlMsg::Failed { rank } => {
+                self.failed_seen
+                    .lock()
+                    .expect("failed set poisoned")
+                    .insert(rank);
+            }
+            _ => {}
         }
         let sink = {
             let mut st = self.sink.lock().expect("sink poisoned");
@@ -126,7 +191,7 @@ impl Shared {
         }
     }
 
-    /// A data connection to/from `rank` broke. Outside of shutdown, and
+    /// A data channel to/from `rank` broke. Outside of shutdown, and
     /// unless the rank already announced a clean finish, that is evidence
     /// of its death.
     fn peer_lost(&self, rank: usize) {
@@ -155,9 +220,10 @@ impl Shared {
         }
     }
 
-    /// Enqueues `frame` for `dest`, connecting lazily on first use.
-    /// Returns false if the peer is unreachable (already marked failed).
-    fn send_frame(self: &Arc<Self>, dest: usize, frame: Frame) -> bool {
+    /// Sends `frame` to `dest` over its ring (co-located peer) or the
+    /// socket engine. Returns false if the peer is unreachable — already
+    /// or about to be marked failed.
+    fn send_frame(&self, dest: usize, frame: Frame) -> bool {
         match &frame {
             Frame::Data { .. } => {}
             Frame::Ack { .. } => self.trace_control(dest, "ack"),
@@ -165,38 +231,68 @@ impl Shared {
             Frame::Ping => self.trace_control(dest, "ping"),
             _ => self.trace_control(dest, "rendezvous"),
         }
-        let mut slot = self.peers[dest].lock().expect("peer slot poisoned");
-        if let PeerSlot::Idle = *slot {
-            match Stream::connect_retry(&self.addrs[dest], CONNECT_TIMEOUT) {
-                Ok(stream) => {
-                    let (tx, rx) = std::sync::mpsc::channel();
-                    self.trace_control(dest, "hello");
-                    tx.send(Frame::Hello { rank: self.my_rank })
-                        .expect("fresh channel cannot be closed");
-                    let shared = Arc::clone(self);
-                    let handle = std::thread::Builder::new()
-                        .name(format!("kamping-tx-{}-{}", self.my_rank, dest))
-                        .spawn(move || writer_loop(stream, rx, dest, shared))
-                        .expect("spawning writer thread");
-                    *slot = PeerSlot::Up { tx, handle };
-                }
-                Err(_) => {
-                    *slot = PeerSlot::Gone;
-                    drop(slot);
-                    self.peer_lost(dest);
-                    return false;
-                }
-            }
+        if let Some(ring) = &self.rings[dest] {
+            return self.ring_send(dest, ring, &frame);
         }
-        match &*slot {
-            PeerSlot::Up { tx, .. } => tx.send(frame).is_ok(),
-            _ => false,
+        let ack_id = match &frame {
+            Frame::Data { ack_id, .. } => *ack_id,
+            _ => 0,
+        };
+        self.engine().enqueue(
+            dest,
+            OutFrame {
+                bytes: encode_prefixed(&frame),
+                ack_id,
+            },
+        )
+    }
+
+    /// Writes one frame into `dest`'s inbox ring, blocking (abortably) on
+    /// space. `Data` payloads skip the intermediate encode buffer: header
+    /// and payload go in as two parts of one frame.
+    fn ring_send(&self, dest: usize, ring: &Mutex<RingTx>, frame: &Frame) -> bool {
+        let abort = || {
+            self.down.load(Ordering::Acquire)
+                || self
+                    .failed_seen
+                    .lock()
+                    .expect("failed set poisoned")
+                    .contains(&dest)
+                || self
+                    .finished_seen
+                    .lock()
+                    .expect("finished set poisoned")
+                    .contains(&dest)
+        };
+        let wait_hint = |parked: Duration| {
+            if self.trace.tracing() {
+                self.trace.record(EventKind::RingWait {
+                    rank: self.my_rank as u32,
+                    peer: dest as u32,
+                    role: "send",
+                    dur_ns: parked.as_nanos() as u64,
+                });
+            }
+        };
+        let tx = ring.lock().expect("ring producer poisoned");
+        match frame {
+            Frame::Data {
+                src,
+                tag,
+                ctx,
+                ack_id,
+                payload,
+            } => {
+                let hdr = data_frame_header(*src, *tag, *ctx, *ack_id, payload.len());
+                tx.write(&[&hdr[..], payload.as_slice()], abort, wait_hint)
+            }
+            other => tx.write(&[&encode_prefixed(other)], abort, wait_hint),
         }
     }
 
     /// Ack hook target: tells `origin` that its synchronous-mode send
     /// `ack_id` has been matched.
-    fn send_ack(self: &Arc<Self>, origin: usize, ack_id: u64) {
+    fn send_ack(&self, origin: usize, ack_id: u64) {
         self.send_frame(origin, Frame::Ack { ack_id });
     }
 
@@ -214,77 +310,31 @@ impl Shared {
             self.hub.notify();
         }
     }
-}
 
-/// Drains one peer's frame channel into its stream, flushing when the
-/// channel runs dry (batches bursts, keeps latency low when idle). An idle
-/// channel emits a heartbeat `Ping` every [`HEARTBEAT`], so a broken
-/// connection is discovered — and the peer marked failed — without waiting
-/// for the application's next send.
-fn writer_loop(stream: Stream, rx: Receiver<Frame>, dest: usize, shared: Arc<Shared>) {
-    let mut w = BufWriter::new(stream);
-    loop {
-        let frame = match rx.try_recv() {
-            Ok(f) => f,
-            Err(TryRecvError::Empty) => {
-                if std::io::Write::flush(&mut w).is_err() {
-                    shared.peer_lost(dest);
-                    return;
-                }
-                match rx.recv_timeout(HEARTBEAT) {
-                    Ok(f) => f,
-                    // Idle for a full interval: probe the connection. The
-                    // ping is flushed by the next iteration's dry-run flush.
-                    Err(RecvTimeoutError::Timeout) => {
-                        shared.trace_control(dest, "ping");
-                        Frame::Ping
-                    }
-                    // Channel closed with nothing buffered: clean exit.
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            }
-            Err(TryRecvError::Disconnected) => {
-                if std::io::Write::flush(&mut w).is_err() {
-                    shared.peer_lost(dest);
-                }
-                return;
-            }
-        };
-        if write_frame(&mut w, &frame).is_err() {
-            shared.peer_lost(dest);
-            return;
-        }
-    }
-}
-
-/// Reads one peer's frames, landing envelopes in the local mailbox and
-/// routing acks/control events.
-fn recv_loop(stream: Stream, shared: Arc<Shared>) {
-    let mut r = BufReader::new(stream);
-    let src = match read_frame(&mut r) {
-        Ok(Frame::Hello { rank }) if rank < shared.size => rank,
-        // A connection that cannot even identify itself is not attributed
-        // to any rank; the rendezvous monitor covers real crashes.
-        _ => return,
-    };
-    loop {
-        match read_frame(&mut r) {
-            Ok(Frame::Data {
+    /// Routes one arrived data-plane frame — shared by the socket engine
+    /// and the ring consumer.
+    fn route_frame(&self, src: usize, frame: Frame) {
+        match frame {
+            Frame::Data {
                 src: env_src,
                 tag,
                 ctx,
                 ack_id,
                 payload,
-            }) => {
-                if env_src >= shared.size {
-                    return; // protocol violation
+            } => {
+                if env_src >= self.size {
+                    return; // protocol violation; drop
                 }
                 let ack = (ack_id != 0).then(|| {
                     let origin = env_src;
-                    let sh = Arc::clone(&shared);
-                    Arc::new(AckCell::with_hook(move || sh.send_ack(origin, ack_id)))
+                    let me = self.me.clone();
+                    Arc::new(AckCell::with_hook(move || {
+                        if let Some(sh) = me.upgrade() {
+                            sh.send_ack(origin, ack_id);
+                        }
+                    }))
                 });
-                shared.mailbox.post(Envelope {
+                self.mailbox.post(Envelope {
                     src: env_src,
                     tag,
                     ctx,
@@ -292,30 +342,110 @@ fn recv_loop(stream: Stream, shared: Arc<Shared>) {
                     ack,
                 });
             }
-            Ok(Frame::Ack { ack_id }) => shared.complete_ack_locally(ack_id),
-            Ok(Frame::Control(msg)) => shared.deliver_control(msg),
-            Ok(Frame::Ping) => continue, // heartbeat; liveness only
-            Ok(_) => return,             // protocol violation
-            Err(_) => {
-                // EOF or reset. Clean if the peer finished (or we are
-                // tearing down), a failure otherwise.
-                shared.peer_lost(src);
-                return;
+            Frame::Ack { ack_id } => self.complete_ack_locally(ack_id),
+            Frame::Control(msg) => self.deliver_control(msg),
+            Frame::Ping => {} // heartbeat; liveness only
+            _ => {
+                // Rendezvous-plane frame on the data plane: tolerated as a
+                // no-op (the engine already dropped truly unidentifiable
+                // connections).
+                let _ = src;
             }
+        }
+    }
+
+    /// Drains every inbound ring once, reassembling length-prefixed frames
+    /// (they may arrive in chunks — a frame larger than the ring streams
+    /// through it) and routing them exactly like socket arrivals. Returns
+    /// whether any bytes moved.
+    fn drain_rx(&self, rx: &mut RingRx) -> bool {
+        let RingRx { inbox, chans } = rx;
+        let mut progressed = false;
+        for (src, buf) in chans.iter_mut() {
+            if inbox.recv_into(*src, buf, usize::MAX) > 0 {
+                progressed = true;
+            }
+            let mut pos = 0;
+            while buf.len() - pos >= 4 {
+                let len =
+                    u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME {
+                    // Corrupt stream; skip everything buffered. The
+                    // failure planes cover a truly broken peer.
+                    pos = buf.len();
+                    break;
+                }
+                if buf.len() - pos - 4 < len {
+                    break;
+                }
+                if let Ok(frame) = Frame::decode(&buf[pos + 4..pos + 4 + len]) {
+                    self.route_frame(*src, frame);
+                }
+                pos += 4 + len;
+            }
+            if pos > 0 {
+                buf.drain(..pos);
+            }
+        }
+        progressed
+    }
+
+    /// Opportunistic drain from a *waiting receiver* (the mailbox progress
+    /// poll): skips the consumer-thread handoff entirely when the lock is
+    /// free, backs off (`false`) when the consumer is mid-drain.
+    fn try_drain_rx(&self) -> bool {
+        let Some(rx) = &self.rx else { return false };
+        let Ok(mut rx) = rx.try_lock() else {
+            return false;
+        };
+        self.drain_rx(&mut rx)
+    }
+}
+
+impl EngineHooks for Shared {
+    fn on_frame(&self, src: usize, frame: Frame) {
+        self.route_frame(src, frame);
+    }
+
+    fn on_peer_gone(&self, rank: usize, dropped_acks: Vec<u64>) {
+        for ack in dropped_acks {
+            self.complete_ack_locally(ack);
+        }
+        self.peer_lost(rank);
+    }
+
+    fn on_control_sent(&self, peer: usize, kind: &'static str) {
+        self.trace_control(peer, kind);
+    }
+
+    fn on_wakeup(&self, events: usize, frames: usize, busy: Duration) {
+        if self.trace.tracing() {
+            self.trace.record(EventKind::Progress {
+                rank: self.my_rank as u32,
+                events: events as u32,
+                frames: frames as u32,
+                dur_ns: busy.as_nanos() as u64,
+            });
         }
     }
 }
 
-/// The [`Transport`] implementation over per-peer sockets. One per
-/// process; hosts exactly one rank.
+/// The [`Transport`] implementation over the progress engine and optional
+/// shm-xproc rings. One per process; hosts exactly one rank.
 pub struct SocketTransport {
     shared: Arc<Shared>,
+    /// Whether any ring channels are configured (backend name).
+    xproc: bool,
+    /// Own inbox, shared with the consumer thread (for the shutdown wake).
+    inbox: Option<Arc<Inbox>>,
+    consumer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl SocketTransport {
-    /// Builds the transport for `my_rank` of `size` and starts accepting
-    /// data connections on `listener` (already bound; its address is
-    /// `addrs[my_rank]`).
+    /// Builds the transport for `my_rank` of `size`: starts the progress
+    /// engine on `listener` (already bound; its address is
+    /// `addrs[my_rank]`) and, given an [`XprocSetup`], opens ring channels
+    /// to every co-located peer and starts the ring consumer.
     pub(crate) fn new(
         my_rank: usize,
         size: usize,
@@ -323,40 +453,90 @@ impl SocketTransport {
         addrs: Vec<Addr>,
         listener: Listener,
         trace: Arc<TraceCtx>,
-    ) -> Self {
-        let shared = Arc::new(Shared {
+        xproc: Option<XprocSetup>,
+    ) -> io::Result<Self> {
+        let mut rings: Vec<Option<Mutex<RingTx>>> = (0..size).map(|_| None).collect();
+        if let Some(setup) = &xproc {
+            debug_assert!(setup.local.contains(&my_rank));
+            for &peer in &setup.local {
+                if peer == my_rank {
+                    continue;
+                }
+                let tx = RingTx::open(&setup.dir, peer, my_rank, size, setup.ring_bytes)?;
+                rings[peer] = Some(Mutex::new(tx));
+            }
+        }
+        let (inbox, rx) = match xproc {
+            None => (None, None),
+            Some(setup) => {
+                let chans = setup
+                    .local
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != my_rank)
+                    .map(|r| (r, Vec::new()))
+                    .collect();
+                let inbox = Arc::new(setup.inbox);
+                let rx = RingRx {
+                    inbox: Arc::clone(&inbox),
+                    chans,
+                };
+                (Some(inbox), Some(Mutex::new(rx)))
+            }
+        };
+        let shared = Arc::new_cyclic(|me| Shared {
+            me: me.clone(),
             my_rank,
             size,
             mailbox: Mailbox::new(my_rank, size, Arc::clone(&hub), Arc::clone(&trace)),
             hub,
             trace,
-            addrs,
-            peers: (0..size).map(|_| Mutex::new(PeerSlot::Idle)).collect(),
+            rings,
+            rx,
             sink: Mutex::new(SinkState::Pending(Vec::new())),
             finished_seen: Mutex::new(HashSet::new()),
+            failed_seen: Mutex::new(HashSet::new()),
             acks: Mutex::new(HashMap::new()),
             next_ack_id: AtomicU64::new(1),
             down: AtomicBool::new(false),
+            engine: OnceLock::new(),
         });
-        {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("kamping-accept-{my_rank}"))
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok(stream) => {
-                            let sh = Arc::clone(&shared);
-                            std::thread::Builder::new()
-                                .name(format!("kamping-rx-{}", shared.my_rank))
-                                .spawn(move || recv_loop(stream, sh))
-                                .expect("spawning receive thread");
-                        }
-                        Err(_) => return,
-                    }
-                })
-                .expect("spawning accept thread");
-        }
-        Self { shared }
+        let engine = Engine::start(
+            my_rank,
+            addrs,
+            listener,
+            Arc::clone(&shared) as Arc<dyn EngineHooks>,
+        )?;
+        shared
+            .engine
+            .set(engine)
+            .unwrap_or_else(|_| unreachable!("engine set exactly once"));
+
+        let consumer = match &inbox {
+            None => None,
+            Some(ib) => {
+                // Waiting receivers drain their own rings (weak ref: the
+                // mailbox lives inside `shared`, a strong ref would leak
+                // the cycle).
+                let me = shared.me.clone();
+                shared
+                    .mailbox
+                    .set_progress_poll(move || me.upgrade().is_some_and(|sh| sh.try_drain_rx()));
+                let sh = Arc::clone(&shared);
+                let ib = Arc::clone(ib);
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("kamping-ring-{my_rank}"))
+                        .spawn(move || ring_consumer(sh, ib))?,
+                )
+            }
+        };
+        Ok(Self {
+            shared,
+            xproc: inbox.is_some(),
+            inbox,
+            consumer: Mutex::new(consumer),
+        })
     }
 
     /// Binds the universe state as the destination for incoming control
@@ -380,9 +560,61 @@ impl SocketTransport {
     }
 }
 
+/// The per-rank ring consumer: the *guaranteed* drain of the inbound
+/// rings. A receiver blocked in the mailbox usually beats it to the frames
+/// through the progress poll; this thread's job is the case where the rank
+/// is off computing — producers must never wedge on a full ring because
+/// nobody is listening. Parks on the inbox doorbell futex when idle.
+fn ring_consumer(shared: Arc<Shared>, inbox: Arc<Inbox>) {
+    crate::trace::set_thread_rank(shared.my_rank);
+    let max_idle_passes = consumer_idle_passes();
+    let mut idle_passes = 0u32;
+    loop {
+        let snapshot = inbox.doorbell_value();
+        let progressed = {
+            let mut rx = shared
+                .rx
+                .as_ref()
+                .expect("consumer spawned only with rings")
+                .lock()
+                .expect("ring rx poisoned");
+            shared.drain_rx(&mut rx)
+        };
+        if shared.down.load(Ordering::Acquire) {
+            return;
+        }
+        if progressed {
+            idle_passes = 0;
+            continue;
+        }
+        if idle_passes < max_idle_passes {
+            idle_passes += 1;
+            // Yield rather than spin: on a busy (or single-core) host the
+            // producer needs the CPU to make the doorbell move at all.
+            std::thread::yield_now();
+            continue;
+        }
+        idle_passes = 0;
+        let start = std::time::Instant::now();
+        inbox.park(snapshot, CONSUMER_PARK_SLICE);
+        if shared.trace.tracing() {
+            shared.trace.record(EventKind::RingWait {
+                rank: shared.my_rank as u32,
+                peer: u32::MAX,
+                role: "recv",
+                dur_ns: start.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
 impl Transport for SocketTransport {
     fn name(&self) -> &'static str {
-        "socket"
+        if self.xproc {
+            "shm-xproc"
+        } else {
+            "socket"
+        }
     }
 
     fn post(&self, dest: usize, envelope: Envelope) {
@@ -426,6 +658,16 @@ impl Transport for SocketTransport {
         rank == self.shared.my_rank
     }
 
+    fn locality(&self, rank: usize) -> Locality {
+        if rank == self.shared.my_rank {
+            Locality::Process
+        } else if self.shared.rings[rank].is_some() {
+            Locality::Host
+        } else {
+            Locality::Remote
+        }
+    }
+
     fn control(&self, msg: ControlMsg) {
         let finished = self
             .shared
@@ -447,22 +689,19 @@ impl Transport for SocketTransport {
 
     fn shutdown(&self) {
         self.shared.down.store(true, Ordering::Release);
-        // Closing each channel makes its writer flush and exit; joining
-        // guarantees all outgoing frames (including the Finished
-        // broadcast) are on the wire before the process may exit.
-        let mut handles = Vec::new();
-        for slot in self.shared.peers.iter() {
-            let mut slot = slot.lock().expect("peer slot poisoned");
-            if let PeerSlot::Up { handle, .. } = std::mem::replace(&mut *slot, PeerSlot::Gone) {
-                handles.push(handle);
-            }
+        // Flush and join the progress engine: guarantees all outgoing
+        // socket frames (including the Finished broadcast) are on the wire
+        // before the process may exit. Ring frames were durable in shared
+        // memory the moment `post` returned — nothing to flush there.
+        self.shared.engine().shutdown();
+        if let Some(inbox) = &self.inbox {
+            inbox.wake_self();
         }
-        for h in handles {
+        if let Some(h) = self.consumer.lock().expect("consumer poisoned").take() {
             let _ = h.join();
         }
-        // Accept/receive threads stay parked on their sockets; they hold
-        // only `Shared` weak-free state and die with the process. Peers
-        // that still send to this finished rank get their messages
-        // dropped, mirroring shm semantics for finished ranks.
+        // Peers that still send to this finished rank get their frames
+        // dropped (socket) or their ring writes aborted, mirroring shm
+        // semantics for finished ranks.
     }
 }

@@ -34,7 +34,7 @@ use crate::transport::ControlMsg;
 
 /// Refuse frames larger than this (a corrupt length prefix must not
 /// trigger a giant allocation).
-const MAX_FRAME: usize = 1 << 30;
+pub(crate) const MAX_FRAME: usize = 1 << 30;
 
 const KIND_HELLO: u8 = 1;
 const KIND_DATA: u8 = 2;
@@ -265,6 +265,40 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&body)
 }
 
+/// Encodes one frame *with* its length prefix into a fresh buffer — the
+/// unit the progress engine stages for `writev`.
+pub(crate) fn encode_prefixed(frame: &Frame) -> Vec<u8> {
+    let body = frame.encode();
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&body);
+    buf
+}
+
+/// Length-prefix + body-header bytes of a `Data` frame, *excluding* the
+/// payload — so the ring producer can write header and payload as two
+/// parts of one frame without first copying the payload into an
+/// intermediate buffer. Byte-identical to
+/// `encode_prefixed(&Frame::Data { .. })`.
+pub(crate) fn data_frame_header(
+    src: usize,
+    tag: Tag,
+    ctx: u64,
+    ack_id: u64,
+    payload_len: usize,
+) -> [u8; 45] {
+    let mut h = [0u8; 45];
+    let body_len = (41 + payload_len) as u32;
+    h[0..4].copy_from_slice(&body_len.to_le_bytes());
+    h[4] = KIND_DATA;
+    h[5..13].copy_from_slice(&(src as u64).to_le_bytes());
+    h[13..21].copy_from_slice(&(tag as u64).to_le_bytes());
+    h[21..29].copy_from_slice(&ctx.to_le_bytes());
+    h[29..37].copy_from_slice(&ack_id.to_le_bytes());
+    h[37..45].copy_from_slice(&(payload_len as u64).to_le_bytes());
+    h
+}
+
 /// Reads one length-prefixed frame. EOF at a frame boundary surfaces as
 /// [`io::ErrorKind::UnexpectedEof`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
@@ -356,6 +390,25 @@ mod tests {
             read_frame(&mut cursor).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn data_frame_header_matches_the_encoder() {
+        for (src, tag, ctx, ack, payload) in [
+            (0usize, 0u32, 0u64, 0u64, &b""[..]),
+            (3, crate::tag::ANY_TAG, u64::MAX, 99, &b"some payload"[..]),
+        ] {
+            let frame = Frame::Data {
+                src,
+                tag,
+                ctx,
+                ack_id: ack,
+                payload: payload.to_vec(),
+            };
+            let mut hand = data_frame_header(src, tag, ctx, ack, payload.len()).to_vec();
+            hand.extend_from_slice(payload);
+            assert_eq!(hand, encode_prefixed(&frame));
+        }
     }
 
     #[test]

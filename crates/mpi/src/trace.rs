@@ -193,6 +193,32 @@ pub enum EventKind {
         /// Frame kind (`"ping"`, `"hello"`, `"control"`, `"ack"`).
         frame: &'static str,
     },
+    /// One wakeup of the socket progress-engine thread: how much readiness
+    /// it saw and how long servicing it took. `ts_ns` is the wakeup.
+    Progress {
+        /// Global rank whose engine woke.
+        rank: u32,
+        /// Ready epoll events handled in this wakeup.
+        events: u32,
+        /// Data-plane frames moved (sent + received) in this wakeup.
+        frames: u32,
+        /// Busy time from wakeup to going back to sleep.
+        dur_ns: u64,
+    },
+    /// A shm-xproc ring blocked: a producer on a full ring, or the
+    /// consumer parked on its inbox doorbell. `ts_ns` is when the wait
+    /// began.
+    RingWait {
+        /// Global rank that waited.
+        rank: u32,
+        /// Ring peer (`u32::MAX` for the consumer, which parks on the
+        /// whole inbox rather than one peer's ring).
+        peer: u32,
+        /// `"send"` (ring full) or `"recv"` (inbox idle).
+        role: &'static str,
+        /// How long the thread was parked.
+        dur_ns: u64,
+    },
 }
 
 /// Env-derived activation switches (see module docs).
@@ -564,6 +590,24 @@ fn chrome_event(ev: &TraceEvent, base_unix_ns: u64) -> String {
         ),
         EventKind::Control { rank, peer, frame } => format!(
             r#"{{"name":"ctl {frame}","cat":"control","ph":"i","s":"t","ts":{ts},"pid":{rank},"tid":{peer},"args":{{"kind":"control","frame":"{frame}"}}}}"#
+        ),
+        EventKind::Progress {
+            rank,
+            events,
+            frames,
+            dur_ns,
+        } => format!(
+            r#"{{"name":"progress","cat":"progress","ph":"X","ts":{ts},"dur":{},"pid":{rank},"tid":{rank},"args":{{"kind":"progress","events":{events},"frames":{frames}}}}}"#,
+            us(*dur_ns)
+        ),
+        EventKind::RingWait {
+            rank,
+            peer,
+            role,
+            dur_ns,
+        } => format!(
+            r#"{{"name":"ring {role}","cat":"wait","ph":"X","ts":{ts},"dur":{},"pid":{rank},"tid":{rank},"args":{{"kind":"ring_wait","role":"{role}","peer":{peer}}}}}"#,
+            us(*dur_ns)
         ),
     }
 }

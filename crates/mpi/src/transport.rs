@@ -336,6 +336,22 @@ struct Lane {
     queue: Mutex<VecDeque<(u64, Envelope)>>,
 }
 
+/// Empty polls a blocked receiver makes through the transport's
+/// [progress hook](Mailbox::set_progress_poll) before falling back to the
+/// condvar. Bounds the busy phase to tens of microseconds; anything longer
+/// is wake-driven as before.
+const PROGRESS_POLL_PASSES: u32 = 256;
+
+/// A transport-registered opportunistic progress poll (boxed closure with
+/// an inert `Debug`, so the mailbox stays derivable).
+struct ProgressPoll(Box<dyn Fn() -> bool + Send + Sync>);
+
+impl std::fmt::Debug for ProgressPoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressPoll")
+    }
+}
+
 /// Per-rank incoming message store: one lane per (source → this rank) pair.
 #[derive(Debug)]
 pub struct Mailbox {
@@ -351,6 +367,11 @@ pub struct Mailbox {
     hub: Arc<Hub>,
     /// Lifecycle-event recorder (one relaxed load when disabled).
     trace: Arc<TraceCtx>,
+    /// Optional transport progress poll, driven by *waiting* receivers so
+    /// a message's delivery need not ride through a helper thread (the
+    /// shm-xproc backend drains its inbound rings here). Returns whether
+    /// it moved any bytes.
+    progress: OnceLock<ProgressPoll>,
 }
 
 impl Mailbox {
@@ -366,7 +387,16 @@ impl Mailbox {
             cond: Condvar::new(),
             hub,
             trace,
+            progress: OnceLock::new(),
         }
+    }
+
+    /// Registers the transport's progress poll (at most once; later calls
+    /// are ignored). `poll` must be cheap when there is nothing to do, may
+    /// be invoked from any thread that blocks on this mailbox, and may
+    /// re-enter [`Mailbox::post`].
+    pub fn set_progress_poll(&self, poll: impl Fn() -> bool + Send + Sync + 'static) {
+        let _ = self.progress.set(ProgressPoll(Box::new(poll)));
     }
 
     /// Deposits an envelope and wakes any waiting receiver.
@@ -543,8 +573,26 @@ impl Mailbox {
         // round-trip. The burst is a small constant (not interval polling —
         // there is no sleep and no timeout); all actual waiting below is
         // condvar-based and wake-driven.
-        for _ in 0..4 {
-            std::thread::yield_now();
+        //
+        // With a transport progress poll registered the burst additionally
+        // *drains the wire from this thread*: the waiting receiver pulls
+        // its own rings instead of paying a helper-thread handoff, which
+        // is what keeps the shm-xproc round trip in single-digit
+        // microseconds. The poll is bounded; long waits still park below
+        // and rely on the transport's own threads for delivery.
+        let passes = if self.progress.get().is_some() {
+            PROGRESS_POLL_PASSES
+        } else {
+            4
+        };
+        for _ in 0..passes {
+            let pulled = match self.progress.get() {
+                Some(poll) => (poll.0)(),
+                None => false,
+            };
+            if !pulled {
+                std::thread::yield_now();
+            }
             if let Some(hit) = attempt(self) {
                 return Ok(hit);
             }
@@ -640,6 +688,19 @@ pub trait ControlSink: Send + Sync {
     fn apply(&self, msg: ControlMsg);
 }
 
+/// How close another rank is, as a hint for algorithm selection (e.g. a
+/// topology-aware collective wants intra-host trees below an inter-host
+/// tree). Ordered: `Process < Host < Remote` in increasing distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Locality {
+    /// Same address space (a thread of this process, or this rank itself).
+    Process,
+    /// Same host, different process — reachable through shared memory.
+    Host,
+    /// Different host (or no cheaper path than the network plane).
+    Remote,
+}
+
 /// A message-passing backend: the seam between the rank-facing substrate
 /// (communicators, p2p, collectives, requests) and the machinery that
 /// moves bytes between ranks.
@@ -665,6 +726,18 @@ pub trait Transport: Send + Sync {
     /// True if `rank` runs inside this process (always, for shm; only for
     /// the one own rank, for socket).
     fn is_local(&self, rank: usize) -> bool;
+
+    /// Distance class of `rank` from the calling process. The default
+    /// derives it from [`Transport::is_local`]: in-process or remote, with
+    /// no host tier — backends with a same-host fast path (shm-xproc
+    /// rings) override this.
+    fn locality(&self, rank: usize) -> Locality {
+        if self.is_local(rank) {
+            Locality::Process
+        } else {
+            Locality::Remote
+        }
+    }
 
     /// Propagates a locally-originated control event to every *remote*
     /// rank. The caller has already applied it to the local state, so the
@@ -757,6 +830,17 @@ mod tests {
             payload: Payload::from_slice(payload),
             ack: None,
         }
+    }
+
+    #[test]
+    fn locality_orders_by_distance_and_defaults_from_is_local() {
+        assert!(Locality::Process < Locality::Host);
+        assert!(Locality::Host < Locality::Remote);
+        let trace = TraceCtx::disabled(2);
+        let shm = ShmTransport::new(2, &Arc::new(Hub::new()), &trace);
+        // Every shm rank is a thread of this process.
+        assert_eq!(shm.locality(0), Locality::Process);
+        assert_eq!(shm.locality(1), Locality::Process);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Multi-process tests of the socket backend.
+//! Multi-process tests of the cross-process backends (sockets and
+//! shm-xproc rings).
 //!
 //! Each `socket_*` test below launches N copies of *this test binary* via
 //! [`kamping_mpi::net::launch`] (the `kampirun` library), filtered down to
@@ -7,6 +8,12 @@
 //! here run unchanged code paths — the very ones the shared-memory tests
 //! (`transport_ordering.rs` and the unit suites) exercise in-process. A
 //! case asserts inside the child; the parent only checks exit statuses.
+//!
+//! Every case also runs as a `ring_*` test under `Backend::ShmXproc`,
+//! where co-located ranks talk over mmap'd shared-memory rings instead of
+//! sockets — same `Transport` seam, same invariants, different wire. A
+//! `mixed_*` family splits the co-located set (`KAMPING_LOCAL_RANKS`) so
+//! some pairs ride rings while others keep sockets in one job.
 //!
 //! The mirrored invariants:
 //!
@@ -23,7 +30,7 @@
 
 use std::time::Duration;
 
-use kamping_mpi::net::{launch, LaunchSpec, RankExit};
+use kamping_mpi::net::{launch, Backend, LaunchSpec, RankExit};
 use kamping_mpi::{MpiError, RawComm, Universe, ANY_SOURCE, ANY_TAG};
 
 const MSGS: u32 = 50;
@@ -42,6 +49,29 @@ fn decode(payload: &[u8]) -> (u32, u32) {
     )
 }
 
+/// Launches `ranks` copies of this test binary running `case` over
+/// `backend`, with any extra environment for the children.
+fn run_job_full(
+    case: &str,
+    ranks: usize,
+    tcp: bool,
+    backend: Backend,
+    extra: &[(&str, String)],
+) -> Vec<RankExit> {
+    let mut spec = LaunchSpec::new(
+        ranks,
+        std::env::current_exe().expect("test binary path available"),
+    );
+    spec.tcp = tcp;
+    spec.backend = backend;
+    spec.args = vec!["worker_entry".into(), "--exact".into()];
+    spec.env = vec![(CASE_VAR.into(), case.into())];
+    for (k, v) in extra {
+        spec.env.push(((*k).into(), v.clone()));
+    }
+    launch(&spec).expect("launching the job")
+}
+
 /// Launches `ranks` copies of this test binary running `case`.
 fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
     run_job_chaos(case, ranks, tcp, None)
@@ -50,12 +80,11 @@ fn run_job(case: &str, ranks: usize, tcp: bool) -> Vec<RankExit> {
 /// Like [`run_job`], but with a `KAMPING_CHAOS` schedule exported to the
 /// children — the socket-backend variant of `Universe::run_with_chaos`.
 fn run_job_chaos(case: &str, ranks: usize, tcp: bool, chaos: Option<&str>) -> Vec<RankExit> {
-    run_job_env(
-        case,
-        ranks,
-        tcp,
-        chaos.map(|c| ("KAMPING_CHAOS", c.to_string())),
-    )
+    let extra: Vec<(&str, String)> = chaos
+        .map(|c| ("KAMPING_CHAOS", c.to_string()))
+        .into_iter()
+        .collect();
+    run_job_full(case, ranks, tcp, Backend::Socket, &extra)
 }
 
 /// Like [`run_job`], with one extra environment variable for the children.
@@ -65,17 +94,34 @@ fn run_job_env(
     tcp: bool,
     extra: Option<(&str, String)>,
 ) -> Vec<RankExit> {
-    let mut spec = LaunchSpec::new(
+    let extra: Vec<(&str, String)> = extra.into_iter().collect();
+    run_job_full(case, ranks, tcp, Backend::Socket, &extra)
+}
+
+/// [`run_job`] over shm-xproc rings (every pair co-located).
+fn run_ring_job(case: &str, ranks: usize) -> Vec<RankExit> {
+    run_ring_job_chaos(case, ranks, None)
+}
+
+/// [`run_job_chaos`] over shm-xproc rings.
+fn run_ring_job_chaos(case: &str, ranks: usize, chaos: Option<&str>) -> Vec<RankExit> {
+    let extra: Vec<(&str, String)> = chaos
+        .map(|c| ("KAMPING_CHAOS", c.to_string()))
+        .into_iter()
+        .collect();
+    run_job_full(case, ranks, false, Backend::ShmXproc, &extra)
+}
+
+/// A mixed-topology job: ranks listed in `local` use rings among
+/// themselves; every pair involving an unlisted rank stays on sockets.
+fn run_mixed_job(case: &str, ranks: usize, local: &str) -> Vec<RankExit> {
+    run_job_full(
+        case,
         ranks,
-        std::env::current_exe().expect("test binary path available"),
-    );
-    spec.tcp = tcp;
-    spec.args = vec!["worker_entry".into(), "--exact".into()];
-    spec.env = vec![(CASE_VAR.into(), case.into())];
-    if let Some((k, v)) = extra {
-        spec.env.push((k.into(), v));
-    }
-    launch(&spec).expect("launching the job")
+        false,
+        Backend::ShmXproc,
+        &[("KAMPING_LOCAL_RANKS", local.to_string())],
+    )
 }
 
 fn assert_all_success(case: &str, exits: &[RankExit]) {
@@ -419,6 +465,36 @@ fn case_heartbeat_idle(comm: &RawComm) {
     comm.barrier().unwrap();
 }
 
+/// Acceptance check of the progress-engine rewrite: the number of OS
+/// threads per rank must be *independent of job size* (the old design
+/// spent a reader + writer thread pair per peer). Every rank exchanges a
+/// message with every other rank first, so all connections/rings exist
+/// and every transport thread that will ever run is running; then each
+/// rank counts its own threads and rank 0 reports the job-wide maximum.
+fn case_thread_count(comm: &RawComm) {
+    for peer in 0..comm.size() {
+        if peer != comm.rank() {
+            comm.send(peer, 1, b"x").unwrap();
+        }
+    }
+    for peer in 0..comm.size() {
+        if peer != comm.rank() {
+            comm.recv(peer, 1).unwrap();
+        }
+    }
+    comm.barrier().unwrap();
+    let threads = std::fs::read_dir("/proc/self/task")
+        .expect("procfs thread listing")
+        .count() as u8;
+    let all = comm.allgather(&[threads]).unwrap();
+    if comm.rank() == 0 {
+        let path = std::env::var("KAMPING_THREADS_OUT").expect("parent provides output path");
+        let max = all.iter().copied().max().unwrap();
+        std::fs::write(path, max.to_string()).expect("writing thread count");
+    }
+    comm.barrier().unwrap();
+}
+
 /// Satellite: the end-of-run profile exchange — the snapshot a process
 /// gets back covers *every* rank's counters, not just its own (remote
 /// rows used to read all-zero on the socket backend).
@@ -490,6 +566,7 @@ fn worker_entry() {
         "kill_recovery" => case_kill_recovery(&comm),
         "traced_work" => case_traced_work(&comm),
         "heartbeat_idle" => case_heartbeat_idle(&comm),
+        "thread_count" => case_thread_count(&comm),
         other => panic!("unknown case {other:?}"),
     });
 }
@@ -671,4 +748,182 @@ fn socket_killed_rank_surfaces_and_survivors_recover() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// The same invariants over shm-xproc rings.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ring_fifo_per_source_and_tag() {
+    assert_all_success("fifo", &run_ring_job("fifo", 4));
+}
+
+#[test]
+fn ring_fifo_holds_per_tag_out_of_order_drain() {
+    assert_all_success("fifo_tags", &run_ring_job("fifo_tags", 2));
+}
+
+#[test]
+fn ring_any_source_follows_arrival_stamps() {
+    assert_all_success("any_source", &run_ring_job("any_source", 4));
+}
+
+#[test]
+fn ring_wildcard_drain_keeps_per_source_fifo() {
+    assert_all_success("wildcard_drain", &run_ring_job("wildcard_drain", 4));
+}
+
+#[test]
+fn ring_issend_completes_only_on_match() {
+    assert_all_success("issend", &run_ring_job("issend", 2));
+}
+
+#[test]
+fn ring_issend_to_failing_rank_errors() {
+    assert_all_success("issend_failed_rank", &run_ring_job("issend_failed_rank", 2));
+}
+
+#[test]
+fn ring_probe_and_recv_agree() {
+    assert_all_success("probe", &run_ring_job("probe", 3));
+}
+
+#[test]
+fn ring_collectives_end_to_end() {
+    assert_all_success("collectives", &run_ring_job("collectives", 4));
+}
+
+#[test]
+fn ring_ibarrier_completes_after_all_enter() {
+    assert_all_success("ibarrier", &run_ring_job("ibarrier", 3));
+}
+
+#[test]
+fn ring_ibarrier_detects_dead_member() {
+    assert_all_success(
+        "ibarrier_dead_member",
+        &run_ring_job("ibarrier_dead_member", 3),
+    );
+}
+
+#[test]
+fn ring_chaos_severed_link_times_out() {
+    // Chaos wraps the transport *above* the ring/socket split, so fault
+    // injection applies to ring traffic identically.
+    assert_all_success(
+        "chaos_sever",
+        &run_ring_job_chaos("chaos_sever", 2, Some("11:sever=0->1@0")),
+    );
+}
+
+#[test]
+fn ring_chaos_kill_broadcasts_proc_failed() {
+    assert_all_success(
+        "chaos_kill",
+        &run_ring_job_chaos("chaos_kill", 3, Some("7:kill=2@1")),
+    );
+}
+
+#[test]
+fn ring_collectives_survive_delay_chaos() {
+    assert_all_success(
+        "collectives",
+        &run_ring_job_chaos("collectives", 3, Some("3:delay=30@2")),
+    );
+}
+
+#[test]
+fn ring_revoke_interrupts_blocked_peers() {
+    assert_all_success("revoke", &run_ring_job("revoke", 3));
+}
+
+#[test]
+fn ring_killed_rank_surfaces_and_survivors_recover() {
+    let exits = run_ring_job("kill_recovery", 4);
+    for e in &exits {
+        if e.rank == 2 {
+            assert_eq!(e.status.code(), Some(7));
+        } else {
+            assert!(
+                e.status.success(),
+                "survivor rank {} exited with {}",
+                e.rank,
+                e.status
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mixed topology: rings inside the local set, sockets across it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mixed_backend_collectives_span_rings_and_sockets() {
+    // Ranks 0,1 talk over rings; every pair touching ranks 2,3 uses
+    // sockets. The collectives case sweeps broadcast/allreduce/allgather/
+    // sendrecv over all pairs, so both wires carry traffic in one job.
+    assert_all_success("collectives", &run_mixed_job("collectives", 4, "0,1"));
+}
+
+#[test]
+fn mixed_backend_keeps_per_source_fifo() {
+    assert_all_success("wildcard_drain", &run_mixed_job("wildcard_drain", 4, "0,1"));
+}
+
+// ---------------------------------------------------------------------
+// Thread-count flatness (acceptance criterion of the engine rewrite).
+// ---------------------------------------------------------------------
+
+/// Runs the `thread_count` case and returns the job-wide maximum thread
+/// count per rank after all-pairs traffic.
+fn max_threads(ranks: usize, backend: Backend) -> u32 {
+    let out = std::env::temp_dir().join(format!(
+        "kamping-threads-{}-{ranks}-{}",
+        std::process::id(),
+        backend.transport_name(),
+    ));
+    let exits = run_job_full(
+        "thread_count",
+        ranks,
+        false,
+        backend,
+        &[("KAMPING_THREADS_OUT", out.display().to_string())],
+    );
+    assert_all_success("thread_count", &exits);
+    let n = std::fs::read_to_string(&out)
+        .expect("rank 0 wrote the thread count")
+        .trim()
+        .parse()
+        .expect("numeric thread count");
+    let _ = std::fs::remove_file(&out);
+    n
+}
+
+#[test]
+fn thread_count_per_rank_is_flat_in_job_size() {
+    // The seed design spawned a reader thread per inbound connection and
+    // a writer thread per outbound one: rank 0 of a p-rank job idled at
+    // 2(p-1)+monitors threads. The progress engine pins this to: main +
+    // engine + watchdog (this harness) + one monitor on rank 0, plus one
+    // ring consumer under shm-xproc — independent of p.
+    let socket_small = max_threads(2, Backend::Socket);
+    let socket_large = max_threads(8, Backend::Socket);
+    assert_eq!(
+        socket_small, socket_large,
+        "socket backend thread count must not grow with job size"
+    );
+    assert!(
+        socket_large <= 6,
+        "unexpectedly many threads per rank: {socket_large}"
+    );
+
+    let ring_small = max_threads(2, Backend::ShmXproc);
+    let ring_large = max_threads(8, Backend::ShmXproc);
+    assert_eq!(
+        ring_small, ring_large,
+        "shm-xproc thread count must not grow with job size"
+    );
+    assert!(ring_large <= 7, "unexpectedly many threads: {ring_large}");
 }
