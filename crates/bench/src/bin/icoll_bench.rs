@@ -1,0 +1,337 @@
+//! Compute/communication overlap of the nonblocking collectives, written
+//! to `BENCH_icoll.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p kamping-bench --bin icoll_bench            # measure
+//! cargo run --release -p kamping-bench --bin icoll_bench -- --guard # CI gate
+//! ```
+//!
+//! The question this benchmark answers is the one the `icoll` engine
+//! exists for: when a rank issues a collective and then computes, how much
+//! of the communication disappears behind the compute? Per backend and per
+//! operation it times, on rank 0 over [`ITERS`] iterations (best of
+//! [`REPS`]):
+//!
+//! * **blocking wait** — time inside the blocking twin (`allreduce`,
+//!   `alltoall`) when every iteration is collective-then-compute;
+//! * **overlapped wait** — time inside `issue` + `wait` when the same
+//!   compute runs *between* them, so the schedule progresses (driven by
+//!   peers' deliveries) while this rank spins;
+//! * **overlap efficiency** — `1 - overlapped/blocking`: the fraction of
+//!   the blocking twin's wait the engine hides. 1.0 means the collective
+//!   completed entirely behind the compute; 0 means issue+wait cost as
+//!   much as the blocking call.
+//!
+//! The driver measures the shared-memory backend in-process ([`RANKS`]
+//! rank threads), then relaunches itself through the `kampirun` library
+//! over Unix-domain sockets and shm-xproc rings, and merges the results.
+//!
+//! `--guard` (or `KAMPING_BENCH_GUARD=1`) re-measures and compares
+//! against the *committed* `BENCH_icoll.json` instead of overwriting it:
+//! the run fails if any backend's allreduce overlap efficiency drops
+//! below the committed `overlap_floor`.
+
+use std::time::{Duration, Instant};
+
+use kamping_mpi::net::{launch, Backend, LaunchSpec};
+use kamping_mpi::{OwnedByteOp, RawComm, Universe};
+
+/// Job size: the ISSUE's overlap-guard shape (p = 8).
+const RANKS: usize = 8;
+const ITERS: usize = 32;
+const REPS: usize = 3;
+
+/// Allreduce payload (bytes of u64s) and per-peer alltoall block.
+const REDUCE_BYTES: usize = 64 * 1024;
+const BLOCK_BYTES: usize = 8 * 1024;
+
+/// Per-iteration compute phase. Long enough to cover the collective's
+/// latency at p = 8 on every backend (the socket allreduce runs ~1 ms on
+/// a loaded host), so full overlap is *possible* and the efficiency
+/// number measures the engine, not the workload.
+const SPIN: Duration = Duration::from_micros(1500);
+
+/// The compute phase yields the CPU instead of spinning: with `RANKS`
+/// rank threads per core on a CI-sized machine, a busy loop would measure
+/// scheduler contention (every rank's spin serializes against its peers'),
+/// not the engine. Sleeping models the production shape — one core per
+/// rank, the NIC/peer side progressing while this rank computes — and
+/// makes the measurement reproducible from 1 core up.
+fn compute_phase(d: Duration) {
+    std::thread::sleep(d);
+}
+
+fn byte_sum(a: &mut [u8], b: &[u8]) {
+    for (x, y) in a.chunks_exact_mut(8).zip(b.chunks_exact(8)) {
+        let v = u64::from_le_bytes(x.try_into().unwrap())
+            .wrapping_add(u64::from_le_bytes(y.try_into().unwrap()));
+        x.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn sum_op() -> OwnedByteOp {
+    std::sync::Arc::new(byte_sum)
+}
+
+/// One operation's measurement on one backend (µs per iteration).
+#[derive(Clone, Copy)]
+struct OpResult {
+    blocking_wait_us: f64,
+    overlapped_wait_us: f64,
+}
+
+impl OpResult {
+    fn efficiency(&self) -> f64 {
+        (1.0 - self.overlapped_wait_us / self.blocking_wait_us).clamp(0.0, 1.0)
+    }
+
+    fn json(&self, op: &str) -> String {
+        format!(
+            "{{\"op\": \"{op}\", \"blocking_wait_us\": {:.2}, \"overlapped_wait_us\": {:.2}, \"overlap_efficiency\": {:.3}}}",
+            self.blocking_wait_us,
+            self.overlapped_wait_us,
+            self.efficiency()
+        )
+    }
+}
+
+/// Times `blocking()` vs `issue()`+compute+`wait` over [`ITERS`]
+/// iterations, best (lowest overlapped wait) of [`REPS`].
+fn measure_op(
+    comm: &RawComm,
+    mut blocking: impl FnMut(),
+    mut overlapped: impl FnMut(&mut Duration),
+) -> OpResult {
+    let mut best = OpResult {
+        blocking_wait_us: f64::INFINITY,
+        overlapped_wait_us: f64::INFINITY,
+    };
+    for _ in 0..REPS {
+        // The first rep doubles as warmup; best-of folds it away. The
+        // per-iteration barrier (outside the timed region) pins every
+        // rank to the same iteration, so the timed wait measures the
+        // collective, not accumulated scheduling skew.
+        let mut waited = Duration::ZERO;
+        for _ in 0..ITERS {
+            comm.barrier().unwrap();
+            let t = Instant::now();
+            blocking();
+            waited += t.elapsed();
+            compute_phase(SPIN);
+        }
+        let blocking_us = waited.as_secs_f64() / ITERS as f64 * 1e6;
+
+        let mut waited = Duration::ZERO;
+        for _ in 0..ITERS {
+            comm.barrier().unwrap();
+            overlapped(&mut waited);
+        }
+        let overlapped_us = waited.as_secs_f64() / ITERS as f64 * 1e6;
+        if overlapped_us < best.overlapped_wait_us {
+            best = OpResult {
+                blocking_wait_us: blocking_us,
+                overlapped_wait_us: overlapped_us,
+            };
+        }
+    }
+    best
+}
+
+/// Runs the full suite. Only rank 0's return value is meaningful.
+fn measure(comm: &RawComm) -> Vec<(&'static str, OpResult)> {
+    assert_eq!(
+        comm.size(),
+        RANKS,
+        "icoll_bench runs on exactly {RANKS} ranks"
+    );
+    let p = comm.size();
+
+    let reduce_buf = vec![1u8; REDUCE_BYTES];
+    let allreduce = measure_op(
+        comm,
+        || {
+            let mut buf = reduce_buf.clone();
+            comm.allreduce(&mut buf, &byte_sum, 8).unwrap();
+            std::hint::black_box(buf);
+        },
+        |waited| {
+            let buf = reduce_buf.clone();
+            let t = Instant::now();
+            let mut req = comm.iallreduce(buf, sum_op(), 8).unwrap();
+            let issued = t.elapsed();
+            compute_phase(SPIN);
+            let t = Instant::now();
+            std::hint::black_box(req.wait().unwrap());
+            *waited += issued + t.elapsed();
+        },
+    );
+
+    let a2a_buf = vec![2u8; BLOCK_BYTES * p];
+    let alltoall = measure_op(
+        comm,
+        || {
+            std::hint::black_box(comm.alltoall(&a2a_buf).unwrap());
+        },
+        |waited| {
+            let buf = a2a_buf.clone();
+            let t = Instant::now();
+            let mut req = comm.ialltoall(buf).unwrap();
+            let issued = t.elapsed();
+            compute_phase(SPIN);
+            let t = Instant::now();
+            std::hint::black_box(req.wait().unwrap());
+            *waited += issued + t.elapsed();
+        },
+    );
+
+    vec![("allreduce", allreduce), ("alltoall", alltoall)]
+}
+
+fn serialize(results: &[(&'static str, OpResult)]) -> String {
+    results
+        .iter()
+        .map(|(_, r)| format!("{} {}", r.blocking_wait_us, r.overlapped_wait_us))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn deserialize(text: &str) -> Vec<(&'static str, OpResult)> {
+    let mut vals = text
+        .split_whitespace()
+        .map(|v| v.parse::<f64>().expect("result file is a float list"));
+    ["allreduce", "alltoall"]
+        .into_iter()
+        .map(|op| {
+            (
+                op,
+                OpResult {
+                    blocking_wait_us: vals.next().expect("blocking wait"),
+                    overlapped_wait_us: vals.next().expect("overlapped wait"),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Relaunches this binary as a [`RANKS`]-rank `backend` job and collects
+/// rank 0's measurement through a result file.
+fn measure_via_launch(backend: Backend) -> Vec<(&'static str, OpResult)> {
+    let out = std::env::temp_dir().join(format!(
+        "kamping-icoll-bench-{}-{}.txt",
+        std::process::id(),
+        backend.transport_name()
+    ));
+    let mut spec = LaunchSpec::new(RANKS, std::env::current_exe().expect("own executable path"));
+    spec.backend = backend;
+    spec.env = vec![("KAMPING_ICOLL_BENCH_OUT".into(), out.display().to_string())];
+    let exits = launch(&spec).expect("launching the job");
+    for e in &exits {
+        assert!(
+            e.status.success(),
+            "rank {} exited with {}",
+            e.rank,
+            e.status
+        );
+    }
+    let text = std::fs::read_to_string(&out).expect("reading the result file");
+    let _ = std::fs::remove_file(&out);
+    deserialize(&text)
+}
+
+fn report(name: &str, results: &[(&'static str, OpResult)]) {
+    for (op, r) in results {
+        eprintln!(
+            "{name:>9} {op:>9}: blocking wait {:>8.1} us   overlapped wait {:>8.1} us   efficiency {:.2}",
+            r.blocking_wait_us,
+            r.overlapped_wait_us,
+            r.efficiency()
+        );
+    }
+}
+
+fn backend_json(backend: &str, results: &[(&'static str, OpResult)]) -> String {
+    let ops: Vec<String> = results.iter().map(|(op, r)| r.json(op)).collect();
+    format!(
+        "{{\"backend\": \"{backend}\", \"ops\": [\n      {}\n    ]}}",
+        ops.join(",\n      ")
+    )
+}
+
+/// Pulls a float field out of the committed `BENCH_icoll.json`
+/// (hand-rolled: the schema is ours and flat, no JSON parser needed).
+fn json_float(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    if std::env::var("KAMPING_TRANSPORT").is_ok_and(|v| v == "socket" || v == "shm-xproc") {
+        // Rank body of a cross-process job — launched by the driver below
+        // or by hand via `kampirun --ranks 8 -- icoll_bench`.
+        Universe::run(RANKS, |comm| {
+            let results = measure(&comm);
+            if comm.rank() == 0 {
+                match std::env::var("KAMPING_ICOLL_BENCH_OUT") {
+                    Ok(path) => {
+                        std::fs::write(path, serialize(&results)).expect("writing the result file")
+                    }
+                    Err(_) => report("job", &results),
+                }
+            }
+        });
+        return;
+    }
+
+    let guard = std::env::args().any(|a| a == "--guard")
+        || std::env::var("KAMPING_BENCH_GUARD").is_ok_and(|v| v == "1");
+
+    eprintln!("== compute/communication overlap ({RANKS} ranks, {ITERS} iters, best of {REPS})");
+    let shm = Universe::run(RANKS, |comm| measure(&comm)).remove(0);
+    report("shm", &shm);
+    let socket = measure_via_launch(Backend::Socket);
+    report("socket", &socket);
+    let xproc = measure_via_launch(Backend::ShmXproc);
+    report("shm-xproc", &xproc);
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_icoll.json");
+    if guard {
+        // Compare the fresh run against the committed floor; never
+        // overwrite the baseline from CI.
+        let doc = std::fs::read_to_string(&path).expect("committed BENCH_icoll.json");
+        let floor = json_float(&doc, "overlap_floor").expect("baseline has an overlap_floor");
+        let mut failed = false;
+        for (name, results) in [("shm", &shm), ("socket", &socket), ("shm-xproc", &xproc)] {
+            let eff = results[0].1.efficiency();
+            if eff < floor {
+                eprintln!(
+                    "OVERLAP GUARD: {name} allreduce overlap efficiency {eff:.3} fell below the committed {floor} floor"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("overlap guard ok: all backends above the {floor} efficiency floor");
+        return;
+    }
+
+    // The committed floor the CI overlap-guard enforces: conservatively
+    // below every backend's measured allreduce efficiency so scheduler
+    // noise on shared CI runners doesn't flake the gate.
+    let floor = 0.30;
+    let json = format!(
+        "{{\n  \"bench\": \"icoll\",\n  \"ranks\": {RANKS},\n  \"iters\": {ITERS},\n  \"reps\": {REPS},\n  \"reduce_bytes\": {REDUCE_BYTES},\n  \"alltoall_block_bytes\": {BLOCK_BYTES},\n  \"spin_us\": {},\n  \"overlap_floor\": {floor},\n  \"results\": [\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        SPIN.as_micros(),
+        backend_json("shm", &shm),
+        backend_json("socket", &socket),
+        backend_json("shm-xproc", &xproc)
+    );
+    std::fs::write(&path, json).expect("write BENCH_icoll.json");
+    eprintln!("wrote {}", path.display());
+}

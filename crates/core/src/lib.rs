@@ -61,6 +61,7 @@ pub mod buffers;
 pub mod collectives;
 pub mod communicator;
 pub mod error;
+pub mod icoll;
 pub mod measurements;
 pub mod nonblocking;
 pub mod p2p;
@@ -75,6 +76,7 @@ pub mod utils;
 
 pub use communicator::{run, run_profiled, Communicator};
 pub use error::{KResult, KampingError};
+pub use icoll::CollRequest;
 pub use nonblocking::{BoundedRequestPool, NonBlockingResult, RequestPool};
 pub use params::*;
 pub use resize::{GrowOnly, NoResize, ResizePolicy, ResizeToFit};

@@ -2,113 +2,34 @@
 //!
 //! The NBX sparse all-to-all algorithm (Hoefler et al., reproduced in
 //! `kamping-plugins`) needs a barrier whose completion can be *polled* while
-//! the rank keeps receiving messages. Arrivals live in a universe-level map
-//! keyed by (context id, collective sequence number) — see
-//! [`UniverseState::arrivals`] — so that on multi-process backends a remote
-//! rank's arrival (delivered as a [`crate::transport::ControlMsg::BarrierEnter`]
-//! control frame) can be recorded before this process has created its own
-//! [`BarrierCell`]. `ibarrier` records the rank and broadcasts it, a request
-//! completes once all members arrived, and the cell plus its arrival set are
-//! garbage-collected when the last *local* member has observed completion.
+//! the rank keeps receiving messages. The barrier is the trivial case of the
+//! nonblocking collective engine (see [`crate::icoll`]): a dissemination
+//! schedule of zero-byte envelopes on collective tags. The schedule's own
+//! messages *are* the arrival tracking — earlier revisions kept a bespoke
+//! universe-level arrival registry fed by `BarrierEnter` control frames; all
+//! of that is gone, and `ibarrier` now composes with deadlines, fault
+//! detection, chaos injection and tracing exactly like every i-collective.
 //!
-//! Failure awareness: if a member dies (or returns from its SPMD closure)
-//! without entering the barrier, polls on the barrier report
-//! [`crate::MpiError::ProcFailed`] instead of spinning forever.
+//! Failure awareness comes from the engine's fault scan: if a member dies
+//! (or returns from its SPMD closure) without entering the barrier, polls
+//! report [`crate::MpiError::ProcFailed`] instead of spinning forever. A
+//! member that enters and *then* finishes is fine — its schedule is adopted
+//! by the engine registry and its envelopes were posted eagerly on entry.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::error::{MpiError, MpiResult};
-use crate::profile::Op;
+use crate::error::MpiResult;
 use crate::request::{RawRequest, RequestKind};
-use crate::universe::UniverseState;
 use crate::RawComm;
-
-/// Completion-tracking state of one non-blocking barrier, shared by the
-/// local members of the communicator. Arrival state itself lives in
-/// [`UniverseState::arrivals`].
-pub struct BarrierCell {
-    key: (u64, u32),
-    /// Global ranks of the members.
-    group: Arc<Vec<usize>>,
-    /// How many members run inside this process (all of them on the shm
-    /// backend, exactly one under a socket launch). Governs garbage
-    /// collection: only local observers can be counted.
-    local_members: usize,
-    observed: AtomicUsize,
-}
-
-impl BarrierCell {
-    /// Polls the barrier (crate-internal): `Ok(true)` when all members arrived, `Ok(false)`
-    /// while waiting, `Err(ProcFailed)` if a member died before entering.
-    pub(crate) fn poll(&self, state: &UniverseState) -> MpiResult<bool> {
-        let arrivals = state.arrivals.lock().expect("barrier arrivals poisoned");
-        let arrived = arrivals.get(&self.key);
-        if arrived.is_some_and(|s| s.len() >= self.group.len()) {
-            return Ok(true);
-        }
-        for &g in self.group.iter() {
-            if !arrived.is_some_and(|s| s.contains(&g)) && state.is_gone(g) {
-                return Err(MpiError::ProcFailed { rank: g });
-            }
-        }
-        Ok(false)
-    }
-
-    /// Records that one local member has seen completion; the last local
-    /// observer removes the cell and its arrival set from the registries.
-    pub(crate) fn observe(&self, state: &UniverseState) {
-        if self.observed.fetch_add(1, Ordering::AcqRel) + 1 == self.local_members {
-            state
-                .barriers
-                .lock()
-                .expect("barrier registry poisoned")
-                .remove(&self.key);
-            // All members have arrived by the time anyone observes
-            // completion, so no late BarrierEnter can resurrect this entry.
-            state
-                .arrivals
-                .lock()
-                .expect("barrier arrivals poisoned")
-                .remove(&self.key);
-        }
-    }
-}
 
 impl RawComm {
     /// Enters a non-blocking barrier; the returned request completes once
     /// every rank of the communicator has entered it.
     pub fn ibarrier(&self) -> MpiResult<RawRequest> {
-        let _op = self.record(Op::Ibarrier);
-        if self.state.is_revoked(self.ctx) {
-            return Err(crate::MpiError::Revoked);
-        }
-        let seq = self.next_coll_seq();
-        let key = (self.ctx, seq);
-        let group = Arc::clone(&self.group);
-        let cell = {
-            let local_members = group.iter().filter(|&&g| self.state.is_local(g)).count();
-            let mut reg = self
-                .state
-                .barriers
-                .lock()
-                .expect("barrier registry poisoned");
-            Arc::clone(reg.entry(key).or_insert_with(|| {
-                Arc::new(BarrierCell {
-                    key,
-                    group,
-                    local_members,
-                    observed: AtomicUsize::new(0),
-                })
-            }))
-        };
-        // Records locally, wakes hub waiters, and broadcasts a
-        // BarrierEnter control frame to remote processes.
-        self.state
-            .enter_barrier(self.ctx, seq, self.my_global_rank());
+        let req = self.ibarrier_req()?;
         Ok(RawRequest::new(
-            self.state.clone(),
-            RequestKind::Barrier(cell),
+            Arc::clone(&self.state),
+            RequestKind::Coll(req),
         ))
     }
 }
@@ -180,6 +101,9 @@ mod tests {
 
     #[test]
     fn barrier_registry_is_garbage_collected() {
+        // The engine registry prunes settled schedules on every sweep; this
+        // exercises several outstanding barriers completing out of a single
+        // registry, then a fresh universe reusing the same sequence space.
         Universe::run(4, |comm| {
             let mut reqs: Vec<_> = (0..3).map(|_| comm.ibarrier().unwrap()).collect();
             for r in &mut reqs {

@@ -28,6 +28,9 @@
 //! * Collectives: barrier, bcast, gather(v), scatter(v), allgather(v),
 //!   alltoall(v), an `alltoallw`-style per-peer-datatype variant, reduce,
 //!   allreduce, scan, exscan, and a non-blocking barrier ([`RawComm::ibarrier`]).
+//! * Nonblocking collectives ([`icoll`]): `ibcast`, `ireduce`, `iallreduce`,
+//!   `iallgather(v)`, `ialltoall(v)` as explicit schedules advanced by the
+//!   progress machinery, enabling compute/communication overlap.
 //! * Graph topologies and neighborhood collectives
 //!   ([`RawComm::dist_graph_create_adjacent`], `neighbor_alltoallv`).
 //! * Derived datatypes: a runtime pack/unpack engine ([`dtype::TypeDesc`])
@@ -66,6 +69,7 @@ pub mod dtype;
 pub mod error;
 pub mod fault;
 pub mod ibarrier;
+pub mod icoll;
 pub mod measurements;
 pub mod net;
 pub mod p2p;
@@ -80,6 +84,7 @@ pub mod universe;
 pub use chaos::{ChaosSpec, ChaosTransport};
 pub use comm::RawComm;
 pub use error::{MpiError, MpiResult};
+pub use icoll::{OwnedByteOp, RawCollRequest};
 pub use measurements::{TimerTree, TreeAggregate};
 pub use p2p::Status;
 pub use profile::{Op, ProfileSnapshot};

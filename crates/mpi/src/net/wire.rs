@@ -161,12 +161,6 @@ impl Frame {
                         w.put_u8(2);
                         put_u64(&mut w, *ctx);
                     }
-                    ControlMsg::BarrierEnter { ctx, seq, rank } => {
-                        w.put_u8(3);
-                        put_u64(&mut w, *ctx);
-                        put_u64(&mut w, *seq as u64);
-                        put_u64(&mut w, *rank as u64);
-                    }
                 }
             }
             Frame::Join { rank, data_addr } => {
@@ -227,11 +221,6 @@ impl Frame {
                     },
                     2 => ControlMsg::Revoked {
                         ctx: take_u64(&mut r)?,
-                    },
-                    3 => ControlMsg::BarrierEnter {
-                        ctx: take_u64(&mut r)?,
-                        seq: take_u64(&mut r)? as u32,
-                        rank: take_u64(&mut r)? as usize,
                     },
                     _ => return Err(SerialError::Invalid("unknown control kind")),
                 };
@@ -349,11 +338,6 @@ mod tests {
         roundtrip(Frame::Control(ControlMsg::Failed { rank: 2 }));
         roundtrip(Frame::Control(ControlMsg::Finished { rank: 0 }));
         roundtrip(Frame::Control(ControlMsg::Revoked { ctx: 0xdead }));
-        roundtrip(Frame::Control(ControlMsg::BarrierEnter {
-            ctx: 5,
-            seq: 9,
-            rank: 1,
-        }));
         roundtrip(Frame::Join {
             rank: 2,
             data_addr: "unix:/tmp/data-2.sock".into(),

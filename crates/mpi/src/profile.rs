@@ -50,10 +50,17 @@ pub enum Op {
     CommDup,
     Shrink,
     Agree,
+    Ibcast,
+    Ireduce,
+    Iallreduce,
+    Iallgather,
+    Iallgatherv,
+    Ialltoall,
+    Ialltoallv,
 }
 
 /// Number of distinct [`Op`] variants.
-pub const N_OPS: usize = Op::Agree as usize + 1;
+pub const N_OPS: usize = Op::Ialltoallv as usize + 1;
 
 /// All operations, in discriminant order (for reporting).
 pub const ALL_OPS: [Op; N_OPS] = [
@@ -85,6 +92,13 @@ pub const ALL_OPS: [Op; N_OPS] = [
     Op::CommDup,
     Op::Shrink,
     Op::Agree,
+    Op::Ibcast,
+    Op::Ireduce,
+    Op::Iallreduce,
+    Op::Iallgather,
+    Op::Iallgatherv,
+    Op::Ialltoall,
+    Op::Ialltoallv,
 ];
 
 impl Op {
@@ -119,6 +133,13 @@ impl Op {
             Op::CommDup => "comm_dup",
             Op::Shrink => "shrink",
             Op::Agree => "agree",
+            Op::Ibcast => "ibcast",
+            Op::Ireduce => "ireduce",
+            Op::Iallreduce => "iallreduce",
+            Op::Iallgather => "iallgather",
+            Op::Iallgatherv => "iallgatherv",
+            Op::Ialltoall => "ialltoall",
+            Op::Ialltoallv => "ialltoallv",
         }
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{MpiError, MpiResult};
-use crate::ibarrier::BarrierCell;
+use crate::icoll::RawCollRequest;
 use crate::p2p::Status;
 use crate::transport::{AckCell, MatchKey};
 use crate::universe::{wait_interrupt, UniverseState};
@@ -35,8 +35,9 @@ pub(crate) enum RequestKind {
         me: usize,
         group: Arc<Vec<usize>>,
     },
-    /// Non-blocking barrier: complete when all members arrived.
-    Barrier(Arc<BarrierCell>),
+    /// Non-blocking collective (today only the barrier arrives here):
+    /// complete when the icoll engine settles the schedule.
+    Coll(RawCollRequest),
 }
 
 /// Payload of a completed request.
@@ -52,6 +53,10 @@ pub enum Completion {
 pub struct RawRequest {
     state: Arc<UniverseState>,
     kind: Option<RequestKind>,
+    /// Blocked time accumulated across *all* timed-out wait attempts, so a
+    /// retried [`RawRequest::wait_timeout`] reports the total in
+    /// [`MpiError::Timeout`] instead of restarting the clock each attempt.
+    waited: Duration,
 }
 
 impl RawRequest {
@@ -59,6 +64,7 @@ impl RawRequest {
         Self {
             state,
             kind: Some(kind),
+            waited: Duration::ZERO,
         }
     }
 
@@ -131,13 +137,10 @@ impl RawRequest {
                     }
                 }
             }
-            RequestKind::Barrier(cell) => match cell.poll(&self.state) {
-                Ok(true) => {
-                    cell.observe(&self.state);
-                    Ok(Some(Completion::Done))
-                }
-                Ok(false) => {
-                    self.kind = Some(RequestKind::Barrier(cell));
+            RequestKind::Coll(mut req) => match req.test() {
+                Ok(Some(_)) => Ok(Some(Completion::Done)),
+                Ok(None) => {
+                    self.kind = Some(RequestKind::Coll(req));
                     Ok(None)
                 }
                 Err(e) => Err(e),
@@ -145,9 +148,9 @@ impl RawRequest {
         }
     }
 
-    /// Blocks until the request completes. Never polls: receives block on
-    /// the owning mailbox's condvar, synchronous-send acks and barrier
-    /// arrivals block on the universe [`crate::transport::Hub`].
+    /// Blocks until the request completes. Never polls: receives and
+    /// collectives block on the owning mailbox's condvar, synchronous-send
+    /// acks block on the universe [`crate::transport::Hub`].
     pub fn wait(&mut self) -> MpiResult<(Vec<u8>, Status)> {
         self.wait_deadline(None)
     }
@@ -186,6 +189,10 @@ impl RawRequest {
                     Err(e) => {
                         if e.is_timeout() {
                             self.kind = Some(RequestKind::Recv { key, me, group });
+                            self.waited += start.elapsed();
+                            return Err(MpiError::Timeout {
+                                waited: self.waited,
+                            });
                         }
                         Err(e)
                     }
@@ -210,36 +217,24 @@ impl RawRequest {
                     Some(Err(e)) => Err(e),
                     None => {
                         self.kind = Some(RequestKind::Ssend { ack, dest_global });
+                        self.waited += start.elapsed();
                         Err(MpiError::Timeout {
-                            waited: start.elapsed(),
+                            waited: self.waited,
                         })
                     }
                 }
             }
-            Some(RequestKind::Barrier(cell)) => {
-                let state = Arc::clone(&self.state);
-                let verdict = state.hub.wait_until_deadline(
-                    || match cell.poll(&state) {
-                        Ok(true) => Some(Ok(())),
-                        Ok(false) => None,
-                        Err(e) => Some(Err(e)),
-                    },
-                    deadline,
-                );
-                match verdict {
-                    Some(Ok(())) => {
-                        cell.observe(&state);
-                        Ok((Vec::new(), done_status))
+            Some(RequestKind::Coll(mut req)) => match req.wait_deadline(deadline) {
+                Ok(_) => Ok((Vec::new(), done_status)),
+                Err(e) => {
+                    if e.is_timeout() {
+                        // The inner request accumulates `waited` across
+                        // attempts itself.
+                        self.kind = Some(RequestKind::Coll(req));
                     }
-                    Some(Err(e)) => Err(e),
-                    None => {
-                        self.kind = Some(RequestKind::Barrier(cell));
-                        Err(MpiError::Timeout {
-                            waited: start.elapsed(),
-                        })
-                    }
+                    Err(e)
                 }
-            }
+            },
         }
     }
 
@@ -397,6 +392,37 @@ mod tests {
                 assert!(RawRequest::wait_any(&mut reqs).unwrap().is_none());
             } else {
                 comm.send(0, 0, b"only").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn wait_timeout_accumulates_waited_across_attempts() {
+        use std::time::Duration;
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.irecv(1, 7).unwrap();
+                let budget = Duration::from_millis(40);
+                let crate::MpiError::Timeout { waited: w1 } = req.wait_timeout(budget).unwrap_err()
+                else {
+                    panic!("expected timeout");
+                };
+                let crate::MpiError::Timeout { waited: w2 } = req.wait_timeout(budget).unwrap_err()
+                else {
+                    panic!("expected timeout");
+                };
+                // The second report must include the first attempt's wait:
+                // total-so-far, not per-attempt.
+                assert!(
+                    w2 >= w1 + budget,
+                    "waited must accumulate: w1={w1:?} w2={w2:?}"
+                );
+                comm.send(1, 0, b"go").unwrap();
+                let (payload, _) = req.wait().unwrap();
+                assert_eq!(payload, b"late");
+            } else {
+                comm.recv(0, 0).unwrap();
+                comm.send(0, 7, b"late").unwrap();
             }
         });
     }

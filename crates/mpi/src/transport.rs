@@ -2,7 +2,7 @@
 //!
 //! The substrate talks to the outside world through the [`Transport`]
 //! trait: depositing envelopes at a destination rank, propagating control
-//! events (failure, finish, revocation, barrier arrivals) to every peer,
+//! events (failure, finish, revocation) to every peer,
 //! and flushing traffic at teardown. Two backends implement it:
 //!
 //! * [`ShmTransport`] (this module) — all ranks are threads of one process
@@ -37,7 +37,7 @@
 //! under its mutex and signals the condvar, and failure/revocation events
 //! [`Mailbox::kick`] every mailbox, so waits carry no timeout. The
 //! [`Hub`] plays the same role for events that are not tied to one mailbox
-//! (ssend acknowledgements, non-blocking-barrier arrivals, failure marks).
+//! (ssend acknowledgements, failure marks).
 //!
 //! Matching is FIFO per (source, tag, context): the receiver scans the
 //! sender's lane front-to-back and takes the first envelope that matches,
@@ -51,7 +51,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::error::{MpiError, MpiResult};
-use crate::tag::{source_matches, tag_matches, Tag, ANY_SOURCE};
+use crate::tag::{source_matches, tag_matches, Tag, ANY_SOURCE, COLL_TAG_BASE};
 use crate::trace::{EventKind, TraceCtx};
 
 /// Largest payload (bytes) carried inline in the envelope instead of on the
@@ -237,8 +237,8 @@ pub struct Delivered {
 }
 
 /// Process-wide wakeup channel for events that are not bound to a single
-/// mailbox: ssend acknowledgements, non-blocking-barrier arrivals and
-/// failure/revocation marks. Waiters re-evaluate a readiness predicate on
+/// mailbox: ssend acknowledgements and failure/revocation marks. Waiters
+/// re-evaluate a readiness predicate on
 /// every signal; there is no timeout and no polling.
 #[derive(Debug, Default)]
 pub struct Hub {
@@ -352,6 +352,19 @@ impl std::fmt::Debug for ProgressPoll {
     }
 }
 
+/// Hook invoked after a collective-tagged envelope lands (and on kicks), so
+/// the nonblocking-collective engine can advance this rank's outstanding
+/// schedules from whichever thread performed the delivery — shm sender
+/// threads, the socket epoll engine's routing, the shm-xproc ring consumer,
+/// or a waiting receiver's own progress-poll drain.
+struct CollNotify(Box<dyn Fn() + Send + Sync>);
+
+impl std::fmt::Debug for CollNotify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CollNotify")
+    }
+}
+
 /// Per-rank incoming message store: one lane per (source → this rank) pair.
 #[derive(Debug)]
 pub struct Mailbox {
@@ -372,6 +385,8 @@ pub struct Mailbox {
     /// shm-xproc backend drains its inbound rings here). Returns whether
     /// it moved any bytes.
     progress: OnceLock<ProgressPoll>,
+    /// Optional nonblocking-collective progress hook; see [`CollNotify`].
+    coll_notifier: OnceLock<CollNotify>,
 }
 
 impl Mailbox {
@@ -388,6 +403,7 @@ impl Mailbox {
             hub,
             trace,
             progress: OnceLock::new(),
+            coll_notifier: OnceLock::new(),
         }
     }
 
@@ -397,6 +413,15 @@ impl Mailbox {
     /// re-enter [`Mailbox::post`].
     pub fn set_progress_poll(&self, poll: impl Fn() -> bool + Send + Sync + 'static) {
         let _ = self.progress.set(ProgressPoll(Box::new(poll)));
+    }
+
+    /// Registers the nonblocking-collective progress hook (at most once;
+    /// later calls are ignored). `notify` is invoked *after* the gate bump
+    /// of every collective-tagged deposit and after every [`Mailbox::kick`],
+    /// from the delivering thread, with no mailbox lock held. It may take
+    /// envelopes from this mailbox and re-enter [`Mailbox::post`] on peers.
+    pub(crate) fn set_coll_notifier(&self, notify: impl Fn() + Send + Sync + 'static) {
+        let _ = self.coll_notifier.set(CollNotify(Box::new(notify)));
     }
 
     /// Deposits an envelope and wakes any waiting receiver.
@@ -414,6 +439,7 @@ impl Mailbox {
             });
         }
         let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
+        let tag = envelope.tag;
         {
             let mut q = self.lanes[envelope.src]
                 .queue
@@ -423,16 +449,33 @@ impl Mailbox {
         }
         // Lane lock is released before the gate is taken: senders never hold
         // both, so a receiver may scan lanes while holding the gate.
-        let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
-        *epoch = epoch.wrapping_add(1);
-        self.cond.notify_all();
+        {
+            let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
+            *epoch = epoch.wrapping_add(1);
+            self.cond.notify_all();
+        }
+        // Collective-tagged traffic additionally drives the i-collective
+        // engine from the delivering thread (gate released first: the hook
+        // may re-enter this mailbox or post to peers).
+        if tag >= COLL_TAG_BASE {
+            if let Some(n) = self.coll_notifier.get() {
+                (n.0)();
+            }
+        }
     }
 
     /// Wakes all waiters so they can re-check failure/revocation state.
     pub fn kick(&self) {
-        let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
-        *epoch = epoch.wrapping_add(1);
-        self.cond.notify_all();
+        {
+            let mut epoch = self.gate.lock().expect("mailbox gate poisoned");
+            *epoch = epoch.wrapping_add(1);
+            self.cond.notify_all();
+        }
+        // Failure/revocation marks must also reach schedules nobody is
+        // waiting on (dropped requests adopted by the engine).
+        if let Some(n) = self.coll_notifier.get() {
+            (n.0)();
+        }
     }
 
     /// Takes the first matching envelope from one specific lane.
@@ -552,6 +595,22 @@ impl Mailbox {
         self.wait_matching(interrupt, deadline, |mb| mb.try_peek(key))
     }
 
+    /// Parks on this mailbox until `attempt` yields a value, `interrupt`
+    /// reports an error, or `deadline` passes — the generic wait loop behind
+    /// the take/peek entry points, exposed to the i-collective engine so an
+    /// owner's `wait` can drive its schedules from the same progress-poll +
+    /// condvar machinery (`attempt` steps the state machines; every arrival
+    /// bumps this mailbox's gate, so no wake-up is lost even when a
+    /// delivering thread consumed the envelope itself).
+    pub(crate) fn wait_until<T>(
+        &self,
+        interrupt: &dyn Fn() -> Option<MpiError>,
+        deadline: Option<Instant>,
+        attempt: impl FnMut(&Self) -> Option<T>,
+    ) -> MpiResult<T> {
+        self.wait_matching(interrupt, deadline, attempt)
+    }
+
     fn wait_matching<T>(
         &self,
         interrupt: &dyn Fn() -> Option<MpiError>,
@@ -650,8 +709,10 @@ impl Mailbox {
 
 /// A control event that every rank of the job must learn about. These are
 /// exactly the events the shared-memory backend communicates through
-/// genuinely shared state (failure sets, the barrier registry) and that a
-/// cross-process backend must therefore put on the wire.
+/// genuinely shared state (the failure/finish/revocation sets) and that a
+/// cross-process backend must therefore put on the wire. Non-blocking
+/// barriers need no control event: they ride the data plane as
+/// collective-tagged envelopes like every other i-collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ControlMsg {
     /// `rank` has failed (crashed, panicked, or injected via ULFM).
@@ -668,15 +729,6 @@ pub enum ControlMsg {
     Revoked {
         /// Context id of the revoked communicator.
         ctx: u64,
-    },
-    /// `rank` entered the non-blocking barrier keyed `(ctx, seq)`.
-    BarrierEnter {
-        /// Context id of the communicator the barrier runs on.
-        ctx: u64,
-        /// Collective sequence number of the barrier.
-        seq: u32,
-        /// Global rank that entered.
-        rank: usize,
     },
 }
 

@@ -18,7 +18,7 @@
 //! socket backend each process keeps its own copy synchronized through
 //! [`ControlMsg`] frames applied via the [`ControlSink`] impl below.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
 use crate::error::{MpiError, MpiResult};
-use crate::ibarrier::BarrierCell;
+use crate::icoll::Registry;
 use crate::measurements::TreeAggregate;
 use crate::profile::{ProfileSnapshot, RankCounters};
 use crate::trace::{TraceConfig, TraceCtx, TraceEvent};
@@ -42,7 +42,7 @@ pub(crate) struct UniverseState {
     /// stay zero on multi-process backends; each process reports its own).
     pub counters: Vec<RankCounters>,
     /// Wakeup channel for events not tied to one mailbox: ssend acks,
-    /// non-blocking-barrier arrivals, failure/revocation marks.
+    /// failure/revocation marks.
     pub hub: Arc<Hub>,
     /// Bumped on every failure/finish/revocation mark. Blocking waits cache
     /// their last verdict and re-scan the sets below only when this moves.
@@ -56,13 +56,10 @@ pub(crate) struct UniverseState {
     pub finished: RwLock<HashSet<usize>>,
     /// Context ids of revoked communicators (ULFM).
     pub revoked: RwLock<HashSet<u64>>,
-    /// Registry of in-flight non-blocking barriers, keyed by
-    /// (context id, collective sequence number).
-    pub barriers: Mutex<HashMap<(u64, u32), Arc<BarrierCell>>>,
-    /// Global ranks known to have entered each non-blocking barrier. Kept
-    /// outside the cells so that remote arrivals can be recorded before
-    /// this process itself enters the barrier (and thus creates its cell).
-    pub arrivals: Mutex<HashMap<(u64, u32), HashSet<usize>>>,
+    /// Outstanding nonblocking-collective schedules of locally-hosted
+    /// ranks, advanced by whichever thread delivers a collective-tagged
+    /// envelope (see [`crate::icoll`]).
+    pub icoll: Registry,
     /// Per-universe tracing/measuring context (disabled by default; one
     /// relaxed atomic load per hook when off).
     pub trace: Arc<TraceCtx>,
@@ -109,8 +106,7 @@ impl UniverseState {
             failed: RwLock::new(HashSet::new()),
             finished: RwLock::new(HashSet::new()),
             revoked: RwLock::new(HashSet::new()),
-            barriers: Mutex::new(HashMap::new()),
-            arrivals: Mutex::new(HashMap::new()),
+            icoll: Registry::new(),
             trace,
         }
     }
@@ -120,14 +116,9 @@ impl UniverseState {
         self.transport.mailbox(rank)
     }
 
-    /// True if `rank` runs inside this process.
-    pub fn is_local(&self, rank: usize) -> bool {
-        self.transport.is_local(rank)
-    }
-
     /// Wakes everything that might be waiting on failure state: blocked
-    /// receivers in every local mailbox and hub waiters (ssend/barrier
-    /// waits).
+    /// receivers in every local mailbox (including parked collective
+    /// waiters) and hub waiters (ssend waits).
     fn broadcast_fault(&self) {
         self.fault_epoch.fetch_add(1, Ordering::Release);
         self.transport.kick_local();
@@ -159,18 +150,6 @@ impl UniverseState {
             .expect("revoked set poisoned")
             .insert(ctx);
         self.broadcast_fault();
-    }
-
-    /// Records a barrier arrival in the local view (no re-broadcast).
-    fn apply_barrier_enter(&self, ctx: u64, seq: u32, rank: usize) {
-        self.arrivals
-            .lock()
-            .expect("barrier arrivals poisoned")
-            .entry((ctx, seq))
-            .or_default()
-            .insert(rank);
-        // Peers may be blocked in `wait()` on this barrier.
-        self.hub.notify();
     }
 
     /// Marks `rank` failed, wakes every blocked local receiver, and tells
@@ -219,14 +198,6 @@ impl UniverseState {
             .contains(&ctx)
     }
 
-    /// Records that `rank` entered the barrier keyed `(ctx, seq)` and
-    /// tells all remote ranks.
-    pub fn enter_barrier(&self, ctx: u64, seq: u32, rank: usize) {
-        self.apply_barrier_enter(ctx, seq, rank);
-        self.transport
-            .control(ControlMsg::BarrierEnter { ctx, seq, rank });
-    }
-
     /// Freezes the profiling counters.
     pub fn profile(&self) -> ProfileSnapshot {
         ProfileSnapshot::capture(&self.counters)
@@ -239,7 +210,6 @@ impl ControlSink for UniverseState {
             ControlMsg::Failed { rank } => self.apply_failed(rank),
             ControlMsg::Finished { rank } => self.apply_finished(rank),
             ControlMsg::Revoked { ctx } => self.apply_revoked(ctx),
-            ControlMsg::BarrierEnter { ctx, seq, rank } => self.apply_barrier_enter(ctx, seq, rank),
         }
     }
 }
@@ -603,12 +573,5 @@ mod tests {
         assert!(state.is_gone(1));
         state.apply(ControlMsg::Revoked { ctx: 9 });
         assert!(state.is_revoked(9));
-        state.apply(ControlMsg::BarrierEnter {
-            ctx: 0,
-            seq: 4,
-            rank: 1,
-        });
-        let arrivals = state.arrivals.lock().unwrap();
-        assert!(arrivals.get(&(0, 4)).unwrap().contains(&1));
     }
 }

@@ -94,12 +94,152 @@ fn chaos_kill_surfaces_as_proc_failed() {
                 .recv_timeout(2, 9, Duration::from_secs(10))
                 .unwrap_err();
             assert!(err.is_failure(), "expected ProcFailed, got {err:?}");
+            comm.send(1, 5, b"dead").unwrap();
+        } else {
+            // The barrier now rides the data plane, so a dissemination
+            // envelope posted *to* rank 2 would count against its kill
+            // budget and race the accounting above — hold rank 1 back
+            // until rank 0 has observed the death.
+            comm.recv(0, 5).unwrap();
         }
         // The dead member never enters the barrier; survivors must get a
         // typed failure instead of wedging.
         let mut req = comm.ibarrier().unwrap();
         let err = req.wait_timeout(Duration::from_secs(10)).unwrap_err();
         assert!(err.is_failure(), "expected a failure, got {err:?}");
+    })
+    .unwrap();
+}
+
+fn byte_sum(a: &mut [u8], b: &[u8]) {
+    let x = u64::from_le_bytes(a.try_into().unwrap());
+    let y = u64::from_le_bytes(b.try_into().unwrap());
+    a.copy_from_slice(&(x + y).to_le_bytes());
+}
+
+fn sum_op() -> kamping_mpi::OwnedByteOp {
+    std::sync::Arc::new(byte_sum)
+}
+
+/// A severed link starves an i-collective the same way it starves a
+/// receive: `wait_timeout` must report `Timeout` (the request stays
+/// retryable), never a hang — while the rank with intact inbound traffic
+/// completes normally.
+#[test]
+fn severed_link_times_out_icollectives() {
+    Universe::run_with_chaos(2, ChaosSpec::parse("11:sever=0->1@0").unwrap(), |comm| {
+        let counts = vec![1usize; 2];
+        let displs = vec![0usize, 1];
+        if comm.rank() == 1 {
+            // The reduce partial flows 1→0 (alive); the bcast 0→1 is cut.
+            let mut req = comm
+                .iallreduce(5u64.to_le_bytes().to_vec(), sum_op(), 8)
+                .unwrap();
+            let err = req.wait_timeout(Duration::from_millis(300)).unwrap_err();
+            assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+            let mut req = comm
+                .ialltoallv(vec![7, 8], &counts, &displs, &counts, &displs)
+                .unwrap();
+            let err = req.wait_timeout(Duration::from_millis(300)).unwrap_err();
+            assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+            // Keep rank 0 alive until both timeouts have been observed:
+            // were it to finish first, the fault scan would turn rank 1's
+            // starvation into ProcFailed instead of Timeout. 1→0 is the
+            // intact direction.
+            comm.send(0, 99, b"done").unwrap();
+        } else {
+            let mut req = comm
+                .iallreduce(2u64.to_le_bytes().to_vec(), sum_op(), 8)
+                .unwrap();
+            assert_eq!(req.wait().unwrap(), 7u64.to_le_bytes());
+            let mut req = comm
+                .ialltoallv(vec![3, 4], &counts, &displs, &counts, &displs)
+                .unwrap();
+            assert_eq!(req.wait().unwrap(), vec![3, 7]);
+            comm.recv(1, 99).unwrap();
+        }
+    })
+    .unwrap();
+}
+
+/// A chaos-killed rank mid-`ialltoallv` surfaces as a typed failure on
+/// every survivor: each one directly awaits the dead rank's block.
+#[test]
+fn chaos_kill_fails_ialltoallv_on_survivors() {
+    Universe::run_with_chaos(3, ChaosSpec::parse("13:kill=2@1").unwrap(), |comm| {
+        let p = comm.size();
+        let counts = vec![1usize; p];
+        let displs: Vec<usize> = (0..p).collect();
+        if comm.rank() == 2 {
+            // The first send passes the kill budget; the collective's own
+            // sends trigger the death, so rank 2 dies mid-schedule.
+            comm.send(0, 9, b"first").unwrap();
+            let _ = comm.ialltoallv(vec![9; p], &counts, &displs, &counts, &displs);
+            return;
+        }
+        // Collective posts *to* rank 2 count against its kill budget, so
+        // neither survivor may issue before rank 2's own "first" send has
+        // passed it — sequence both behind that receive.
+        if comm.rank() == 0 {
+            let (payload, _) = comm.recv(2, 9).unwrap();
+            assert_eq!(payload, b"first");
+            comm.send(1, 5, b"go").unwrap();
+        } else {
+            comm.recv(0, 5).unwrap();
+        }
+        let mut req = comm
+            .ialltoallv(
+                vec![comm.rank() as u8; p],
+                &counts,
+                &displs,
+                &counts,
+                &displs,
+            )
+            .unwrap();
+        let err = req.wait_timeout(Duration::from_secs(10)).unwrap_err();
+        assert!(err.is_failure(), "expected a failure, got {err:?}");
+    })
+    .unwrap();
+}
+
+/// The kill seed against `iallreduce`: the survivor directly awaits the
+/// dead rank's reduce partial and must get `ProcFailed`.
+#[test]
+fn chaos_kill_fails_iallreduce_on_survivor() {
+    Universe::run_with_chaos(2, ChaosSpec::parse("13:kill=1@1").unwrap(), |comm| {
+        if comm.rank() == 1 {
+            comm.send(0, 9, b"first").unwrap();
+            // The reduce partial send (1→0) triggers the death.
+            let _ = comm.iallreduce(4u64.to_le_bytes().to_vec(), sum_op(), 8);
+            return;
+        }
+        let (payload, _) = comm.recv(1, 9).unwrap();
+        assert_eq!(payload, b"first");
+        let mut req = comm
+            .iallreduce(1u64.to_le_bytes().to_vec(), sum_op(), 8)
+            .unwrap();
+        let err = req.wait_timeout(Duration::from_secs(10)).unwrap_err();
+        assert!(err.is_failure(), "expected a failure, got {err:?}");
+    })
+    .unwrap();
+}
+
+/// Delay chaos is semantics-preserving, so i-collectives must complete
+/// with the exact blocking-twin results — several outstanding at once,
+/// waited in reverse issue order.
+#[test]
+fn delay_chaos_preserves_icollective_results() {
+    Universe::run_with_chaos(3, ChaosSpec::parse("5:delay=20@2").unwrap(), |comm| {
+        let p = comm.size() as u64;
+        let me = comm.rank() as u64;
+        let mut r1 = comm
+            .iallreduce(me.to_le_bytes().to_vec(), sum_op(), 8)
+            .unwrap();
+        let mut r2 = comm.iallgather(vec![me as u8]).unwrap();
+        let mut r3 = comm.ibarrier().unwrap();
+        r3.wait().unwrap();
+        assert_eq!(r2.wait().unwrap(), (0..p as u8).collect::<Vec<_>>());
+        assert_eq!(r1.wait().unwrap(), (p * (p - 1) / 2).to_le_bytes());
     })
     .unwrap();
 }
@@ -113,15 +253,18 @@ fn deliveries_under_drop(seed: u64) -> usize {
             for i in 0..40u8 {
                 comm.send(0, 7, &[i]).unwrap();
             }
-            // The barrier rides the control plane, which chaos never
-            // touches: its completion proves every surviving data message
-            // is already in rank 0's mailbox.
-            let mut req = comm.ibarrier().unwrap();
-            req.wait().unwrap();
+            // Nothing is exempt from drop chaos any more (the nonblocking
+            // barrier rides the data plane like every collective), so fence
+            // with redundant sentinels: each copy's fate is seed-determined,
+            // and 12 copies at drop=50 leave at least one survivor for the
+            // seeds this test uses. Channel FIFO means a delivered sentinel
+            // proves every surviving data message precedes it.
+            for _ in 0..12 {
+                comm.send(0, 8, b"fence").unwrap();
+            }
             0
         } else {
-            let mut req = comm.ibarrier().unwrap();
-            req.wait().unwrap();
+            comm.recv_timeout(1, 8, Duration::from_secs(10)).unwrap();
             let mut n = 0;
             while comm.recv_timeout(1, 7, Duration::from_millis(100)).is_ok() {
                 n += 1;

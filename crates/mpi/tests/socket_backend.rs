@@ -24,9 +24,11 @@
 //!    own, and MPI does not promise it either);
 //! 3. `issend` completes exactly on match (wire acks), or errors when the
 //!    destination is gone;
-//! 4. collectives, non-blocking barriers, revocation and — satellite of
-//!    this PR — rank-death recovery (a child killed mid-job surfaces as
-//!    `ProcFailed` and the survivors shrink and continue).
+//! 4. collectives (blocking and — this PR — the nonblocking engine:
+//!    equivalence against the blocking twins, chaos seeds surfacing typed
+//!    `Timeout`/`ProcFailed` instead of hangs), non-blocking barriers,
+//!    revocation and rank-death recovery (a child killed mid-job surfaces
+//!    as `ProcFailed` and the survivors shrink and continue).
 
 use std::time::Duration;
 
@@ -333,6 +335,179 @@ fn case_ibarrier_dead_member(comm: &RawComm) {
     assert!(err.is_failure(), "expected a failure, got {err:?}");
 }
 
+/// Byte-level u64 sum for the blocking reduction twins.
+fn byte_sum(a: &mut [u8], b: &[u8]) {
+    let x = u64::from_le_bytes(a.try_into().unwrap());
+    let y = u64::from_le_bytes(b.try_into().unwrap());
+    a.copy_from_slice(&(x + y).to_le_bytes());
+}
+
+/// The same sum as an owned operator for the nonblocking twins.
+fn sum_op() -> kamping_mpi::OwnedByteOp {
+    std::sync::Arc::new(byte_sum)
+}
+
+/// Tentpole acceptance: every i-collective must produce exactly the bytes
+/// of its blocking twin, across the wire. Runs with 5 ranks so the
+/// `ialltoall` small-block path exercises the Bruck schedule (p > 4).
+fn case_icoll(comm: &RawComm) {
+    let p = comm.size();
+    let me = comm.rank();
+
+    // ibcast vs bcast (root 1).
+    let mut expect = if me == 1 {
+        b"root-data".to_vec()
+    } else {
+        vec![0; 9]
+    };
+    comm.bcast(&mut expect, 1).unwrap();
+    let input = if me == 1 {
+        b"root-data".to_vec()
+    } else {
+        Vec::new()
+    };
+    let mut req = comm.ibcast(input, 1).unwrap();
+    assert_eq!(req.wait().unwrap(), expect);
+
+    // iallreduce vs allreduce (u64 sum).
+    let mine = (me as u64 + 3).to_le_bytes().to_vec();
+    let mut expect = mine.clone();
+    comm.allreduce(&mut expect, &byte_sum, 8).unwrap();
+    let mut req = comm.iallreduce(mine, sum_op(), 8).unwrap();
+    assert_eq!(req.wait().unwrap(), expect);
+
+    // ireduce vs reduce (root 2).
+    let mine = (me as u64 * 7).to_le_bytes().to_vec();
+    let mut expect = mine.clone();
+    comm.reduce(&mut expect, &byte_sum, 8, 2).unwrap();
+    let mut req = comm.ireduce(mine, sum_op(), 8, 2).unwrap();
+    let out = req.wait().unwrap();
+    if me == 2 {
+        assert_eq!(out, expect);
+    } else {
+        assert!(out.is_empty());
+    }
+
+    // iallgatherv vs allgatherv (rank r contributes r+1 bytes).
+    let mine = vec![me as u8; me + 1];
+    let counts: Vec<usize> = (0..p).map(|r| r + 1).collect();
+    let expect = comm.allgatherv(&mine, &counts).unwrap();
+    let mut req = comm.iallgatherv(mine, &counts).unwrap();
+    assert_eq!(req.wait().unwrap(), expect);
+
+    // ialltoall vs alltoall (3-byte blocks: Bruck when p > 4).
+    let send: Vec<u8> = (0..p).flat_map(|d| [(me * p + d) as u8; 3]).collect();
+    let expect = comm.alltoall(&send).unwrap();
+    let mut req = comm.ialltoall(send).unwrap();
+    assert_eq!(req.wait().unwrap(), expect);
+
+    // ialltoallv vs alltoallv (send (me + d) % 3 bytes to destination d).
+    let sc: Vec<usize> = (0..p).map(|d| (me + d) % 3).collect();
+    let sd = kamping_mpi::coll::excl_prefix_sum(&sc);
+    let rc: Vec<usize> = (0..p).map(|s| (s + me) % 3).collect();
+    let rd = kamping_mpi::coll::excl_prefix_sum(&rc);
+    let send: Vec<u8> = (0..p)
+        .flat_map(|d| vec![(me * 10 + d) as u8; (me + d) % 3])
+        .collect();
+    let expect = comm.alltoallv(&send, &sc, &sd, &rc, &rd).unwrap();
+    let mut req = comm.ialltoallv(send, &sc, &sd, &rc, &rd).unwrap();
+    assert_eq!(req.wait().unwrap(), expect);
+
+    // Multiple outstanding collectives, waited in reverse issue order:
+    // per-issue schedule tags keep the envelope streams apart.
+    let mut r1 = comm
+        .iallreduce((1u64).to_le_bytes().to_vec(), sum_op(), 8)
+        .unwrap();
+    let mut r2 = comm.iallgather(vec![me as u8]).unwrap();
+    let mut r3 = comm.ibarrier().unwrap();
+    r3.wait().unwrap();
+    assert_eq!(r2.wait().unwrap(), (0..p as u8).collect::<Vec<_>>());
+    assert_eq!(r1.wait().unwrap(), (p as u64).to_le_bytes());
+}
+
+/// Satellite: a severed 0→1 link starves rank 1's i-collectives, which
+/// must surface as typed `Timeout`s — not hangs — while rank 0 (whose
+/// inbound traffic is intact) completes normally.
+fn case_icoll_sever(comm: &RawComm) {
+    let counts = vec![1usize; 2];
+    let displs = vec![0usize, 1];
+    if comm.rank() == 1 {
+        // The reduce partial flows 1→0 (alive); the bcast 0→1 is cut.
+        let mut req = comm
+            .iallreduce(5u64.to_le_bytes().to_vec(), sum_op(), 8)
+            .unwrap();
+        let err = req.wait_timeout(Duration::from_millis(500)).unwrap_err();
+        assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+        // The alltoallv block from rank 0 never arrives.
+        let mut req = comm
+            .ialltoallv(vec![7, 8], &counts, &displs, &counts, &displs)
+            .unwrap();
+        let err = req.wait_timeout(Duration::from_millis(500)).unwrap_err();
+        assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+        // Keep rank 0 alive until both timeouts are observed — its exit
+        // would turn rank 1's starvation into ProcFailed. 1→0 is intact.
+        comm.send(0, 99, b"done").unwrap();
+    } else {
+        let mut req = comm
+            .iallreduce(2u64.to_le_bytes().to_vec(), sum_op(), 8)
+            .unwrap();
+        assert_eq!(req.wait().unwrap(), 7u64.to_le_bytes());
+        let mut req = comm
+            .ialltoallv(vec![3, 4], &counts, &displs, &counts, &displs)
+            .unwrap();
+        assert_eq!(req.wait().unwrap(), vec![3, 7]);
+        comm.recv(1, 99).unwrap();
+    }
+}
+
+/// Satellite: a chaos-killed rank mid-`ialltoallv` must surface as a typed
+/// failure on every survivor (each directly awaits the dead rank's block).
+fn case_icoll_kill(comm: &RawComm) {
+    let p = comm.size();
+    let counts = vec![1usize; p];
+    let displs: Vec<usize> = (0..p).collect();
+    if comm.rank() == 2 {
+        // The first send passes the kill budget; the collective's own
+        // sends trigger the death, so rank 2 dies mid-schedule.
+        comm.send(0, 9, b"first").unwrap();
+        let _ = comm.ialltoallv(vec![9; p], &counts, &displs, &counts, &displs);
+        return;
+    }
+    if comm.rank() == 0 {
+        let (payload, _) = comm.recv(2, 9).unwrap();
+        assert_eq!(payload, b"first");
+    }
+    let mut req = comm
+        .ialltoallv(
+            vec![comm.rank() as u8; p],
+            &counts,
+            &displs,
+            &counts,
+            &displs,
+        )
+        .unwrap();
+    let err = req.wait_timeout(Duration::from_secs(30)).unwrap_err();
+    assert!(err.is_failure(), "expected a failure, got {err:?}");
+}
+
+/// Satellite: the kill seed against `iallreduce` — the survivor directly
+/// awaits the dead rank's reduce partial and must get `ProcFailed`.
+fn case_icoll_kill_reduce(comm: &RawComm) {
+    if comm.rank() == 1 {
+        comm.send(0, 9, b"first").unwrap();
+        // The reduce partial send (1→0) triggers the death.
+        let _ = comm.iallreduce(4u64.to_le_bytes().to_vec(), sum_op(), 8);
+        return;
+    }
+    let (payload, _) = comm.recv(1, 9).unwrap();
+    assert_eq!(payload, b"first");
+    let mut req = comm
+        .iallreduce(1u64.to_le_bytes().to_vec(), sum_op(), 8)
+        .unwrap();
+    let err = req.wait_timeout(Duration::from_secs(30)).unwrap_err();
+    assert!(err.is_failure(), "expected a failure, got {err:?}");
+}
+
 /// Satellite: a severed link (chaos drops the data, no failure mark) must
 /// surface as `Timeout` on the starved receiver — on the socket backend,
 /// where the wait parks on the process-local hub, not a shared one.
@@ -560,6 +735,10 @@ fn worker_entry() {
         "collectives" => case_collectives(&comm),
         "ibarrier" => case_ibarrier(&comm),
         "ibarrier_dead_member" => case_ibarrier_dead_member(&comm),
+        "icoll" => case_icoll(&comm),
+        "icoll_sever" => case_icoll_sever(&comm),
+        "icoll_kill" => case_icoll_kill(&comm),
+        "icoll_kill_reduce" => case_icoll_kill_reduce(&comm),
         "chaos_sever" => case_chaos_sever(&comm),
         "chaos_kill" => case_chaos_kill(&comm),
         "revoke" => case_revoke(&comm),
@@ -633,6 +812,45 @@ fn socket_ibarrier_detects_dead_member() {
     assert_all_success(
         "ibarrier_dead_member",
         &run_job("ibarrier_dead_member", 3, false),
+    );
+}
+
+#[test]
+fn socket_icoll_matches_blocking_twins() {
+    assert_all_success("icoll", &run_job("icoll", 5, false));
+}
+
+#[test]
+fn socket_icoll_survives_delay_chaos() {
+    // Delay chaos is semantics-preserving, so the full equivalence sweep
+    // must pass unchanged under it.
+    assert_all_success(
+        "icoll",
+        &run_job_chaos("icoll", 5, false, Some("5:delay=20@2")),
+    );
+}
+
+#[test]
+fn socket_icoll_severed_link_times_out() {
+    assert_all_success(
+        "icoll_sever",
+        &run_job_chaos("icoll_sever", 2, false, Some("11:sever=0->1@0")),
+    );
+}
+
+#[test]
+fn socket_icoll_killed_rank_fails_alltoallv() {
+    assert_all_success(
+        "icoll_kill",
+        &run_job_chaos("icoll_kill", 3, false, Some("13:kill=2@1")),
+    );
+}
+
+#[test]
+fn socket_icoll_killed_rank_fails_iallreduce() {
+    assert_all_success(
+        "icoll_kill_reduce",
+        &run_job_chaos("icoll_kill_reduce", 2, false, Some("13:kill=1@1")),
     );
 }
 
@@ -804,6 +1022,35 @@ fn ring_ibarrier_detects_dead_member() {
     assert_all_success(
         "ibarrier_dead_member",
         &run_ring_job("ibarrier_dead_member", 3),
+    );
+}
+
+#[test]
+fn ring_icoll_matches_blocking_twins() {
+    assert_all_success("icoll", &run_ring_job("icoll", 5));
+}
+
+#[test]
+fn ring_icoll_severed_link_times_out() {
+    assert_all_success(
+        "icoll_sever",
+        &run_ring_job_chaos("icoll_sever", 2, Some("11:sever=0->1@0")),
+    );
+}
+
+#[test]
+fn ring_icoll_killed_rank_fails_alltoallv() {
+    assert_all_success(
+        "icoll_kill",
+        &run_ring_job_chaos("icoll_kill", 3, Some("13:kill=2@1")),
+    );
+}
+
+#[test]
+fn ring_icoll_killed_rank_fails_iallreduce() {
+    assert_all_success(
+        "icoll_kill_reduce",
+        &run_ring_job_chaos("icoll_kill_reduce", 2, Some("13:kill=1@1")),
     );
 }
 

@@ -197,3 +197,54 @@ fn probe_then_recv_agree_on_wildcards() {
         }
     });
 }
+
+#[test]
+fn icollective_fault_scan_rescans_after_schedule_advances() {
+    // Regression: the engine caches "fault scan found nothing" per fault
+    // epoch. A failure mark applied while a schedule still waits on a
+    // *live* rank must be re-examined when the schedule later advances
+    // onto the dead one — no further mark will arrive to bump the epoch,
+    // so a stale cache turns a prompt ProcFailed into a timeout.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+    let hold = std::sync::Arc::new(AtomicBool::new(false));
+    Universe::run(3, move |comm| {
+        match comm.rank() {
+            2 => {
+                // Die immediately — but keep the thread parked so no
+                // Finished mark bumps the fault epoch later and rescues a
+                // stale scan cache by accident.
+                comm.simulate_failure();
+                while !hold.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            1 => {
+                // Issue while rank 0 is held back: the dissemination
+                // schedule (p = 3) first waits on rank 0's round-0 signal.
+                let mut req = comm.ibarrier().unwrap();
+                assert_eq!(comm.await_failure(), 2);
+                // Force a scan with rank 2 already dead but the schedule
+                // still blocked on live rank 0 — this is what goes stale.
+                assert!(!req.is_complete());
+                // Rank 0's round-0 signal now advances the schedule onto
+                // dead rank 2 with no further fault mark in flight.
+                comm.send(0, 5, b"go").unwrap();
+                let err = req.wait_timeout(Duration::from_secs(10)).unwrap_err();
+                hold.store(true, Ordering::Release);
+                assert!(err.is_failure(), "expected ProcFailed, got {err:?}");
+            }
+            _ => {
+                comm.recv(1, 5).unwrap();
+                // Issue posts the round-0 signal to rank 1 eagerly; the
+                // dropped request is adopted by the engine.
+                let _ = comm.ibarrier().unwrap();
+                // Stay alive until rank 1 has its verdict (finishing would
+                // bump the epoch and mask the bug).
+                while !hold.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    });
+}
