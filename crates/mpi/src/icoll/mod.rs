@@ -42,6 +42,7 @@
 
 mod sm;
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, TryLockError, Weak};
 use std::time::{Duration, Instant};
 
@@ -173,15 +174,31 @@ pub(crate) struct CollCell {
     rank: usize,
     op: Op,
     core: Mutex<CollCore>,
+    /// Set by a delivery thread that lost the `try_lock` race in
+    /// [`CollCell::advance`] after depositing an envelope: the lock holder
+    /// may already have stepped past the matching `try_take`, so it must
+    /// re-step before returning. Without this an *orphaned* schedule (owner
+    /// computing, or gone) strands the envelope — no later event would
+    /// re-step the cell, and peers waiting on its relay sends hang.
+    rerun: AtomicBool,
 }
 
 impl CollCell {
     /// Steps the machine; returns `true` once the cell is settled (done or
     /// failed). `blocking` is only ever passed by the *owner* on its own
     /// cell — delivery threads use `try_lock` so two of them (or a nested
-    /// notifier re-entered through a relay send) skip instead of deadlock;
-    /// the post that made them race bumped the owner's gate, so a parked
-    /// owner re-steps regardless.
+    /// notifier re-entered through a relay send) skip instead of deadlock.
+    ///
+    /// A skipping thread cannot assume the lock holder will observe its
+    /// just-deposited envelope (the holder may be past the `try_take`
+    /// already), so skip-and-rerun guarantees a step *begins* after every
+    /// deposit: the skipper sets [`CollCell::rerun`] and retries the lock
+    /// once; the holder, after releasing, clears the flag and re-steps if
+    /// it was set. Either the skipper's retry wins the lock (it steps
+    /// itself), or the lock is held by a thread whose release — and
+    /// therefore whose post-release flag check — comes after the flag was
+    /// set. A step that begins after a deposit completes always sees the
+    /// envelope: `try_take` and the deposit serialize on the lane mutex.
     pub(crate) fn advance(&self, blocking: bool) -> bool {
         let Some(state) = self.state.upgrade() else {
             return true;
@@ -191,15 +208,47 @@ impl CollCell {
         } else {
             match self.core.try_lock() {
                 Ok(g) => g,
-                Err(TryLockError::WouldBlock) => return false,
+                Err(TryLockError::WouldBlock) => {
+                    self.rerun.store(true, Ordering::Release);
+                    match self.core.try_lock() {
+                        Ok(g) => g,
+                        // Still held: that holder's release is after our
+                        // store, so its exit check will see the flag.
+                        Err(TryLockError::WouldBlock) => return false,
+                        Err(TryLockError::Poisoned(e)) => panic!("coll cell poisoned: {e}"),
+                    }
+                }
                 Err(TryLockError::Poisoned(e)) => panic!("coll cell poisoned: {e}"),
             }
         };
-        let CollCore::Running { sm, clean } = &mut *core else {
+        loop {
+            if self.step_locked(&state, &mut core) {
+                return true;
+            }
+            drop(core);
+            if !self.rerun.swap(false, Ordering::AcqRel) {
+                return false;
+            }
+            // The flag was set while we held the lock: an envelope may have
+            // landed after our step passed its `try_take`. Re-step — unless
+            // another thread holds the lock now; it acquired after the
+            // deposit, so its step observes the envelope.
+            core = match self.core.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::WouldBlock) => return false,
+                Err(TryLockError::Poisoned(e)) => panic!("coll cell poisoned: {e}"),
+            };
+        }
+    }
+
+    /// One non-blocking run of the schedule plus the fault scan, under the
+    /// core lock. Returns `true` when the cell settled (done or failed).
+    fn step_locked(&self, state: &UniverseState, core: &mut CollCore) -> bool {
+        let CollCore::Running { sm, clean } = core else {
             return true;
         };
         let cx = StepCx {
-            state: &state,
+            state,
             group: &self.group,
             ctx: self.ctx,
             rank: self.rank,
@@ -210,7 +259,7 @@ impl CollCell {
                 true
             }
             Ok(None) => {
-                let epoch = state.fault_epoch.load(std::sync::atomic::Ordering::Acquire);
+                let epoch = state.fault_epoch.load(Ordering::Acquire);
                 let mut waiting = Vec::new();
                 sm.waiting_on(&mut waiting);
                 if matches!(clean, Some((e, w)) if *e == epoch && *w == waiting) {
@@ -288,6 +337,21 @@ impl CollCell {
     }
 }
 
+impl Drop for CollCell {
+    fn drop(&mut self) {
+        // The registry's fast-path gate counts live cells (incremented in
+        // `Registry::attach`). Closing it here — the moment the last `Arc`
+        // dies, i.e. when the request is consumed or dropped and any orphan
+        // entry pruned — re-opens the delivery fast path immediately;
+        // waiting for a sweep to notice the dead weak would keep delivery
+        // threads taking both registry locks for every collective-tagged
+        // envelope (including blocking collectives') indefinitely.
+        if let Some(state) = self.state.upgrade() {
+            state.icoll.active.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
 /// Universe-wide table of in-flight collective schedules, advanced by
 /// delivery threads through the mailbox notifier hook.
 pub(crate) struct Registry {
@@ -299,8 +363,10 @@ pub(crate) struct Registry {
     /// keeps the machine alive until it settles.
     orphans: Mutex<Vec<(usize, Arc<CollCell>)>>,
     /// Fast-path gate: delivery threads skip the locks entirely while no
-    /// collective is outstanding anywhere in this process.
-    active: std::sync::atomic::AtomicUsize,
+    /// collective is outstanding anywhere in this process. Counts live
+    /// cells — incremented by [`Registry::attach`], decremented by
+    /// `CollCell::drop` (not by sweeps, which may lag arbitrarily).
+    active: AtomicUsize,
 }
 
 impl Registry {
@@ -308,7 +374,7 @@ impl Registry {
         Self {
             cells: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
-            active: std::sync::atomic::AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
         }
     }
 
@@ -327,8 +393,7 @@ impl Registry {
             .lock()
             .expect("icoll registry poisoned")
             .push((owner_global, Arc::downgrade(cell)));
-        reg.active
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        reg.active.fetch_add(1, Ordering::Release);
     }
 
     /// Adopts a dropped-but-incomplete schedule so delivery threads finish
@@ -345,18 +410,16 @@ impl Registry {
     /// and from the owner's own wait loop. Never holds a registry lock
     /// while stepping — steps may post to peers and re-enter the notifier.
     pub(crate) fn advance_rank(&self, owner: usize) {
-        use std::sync::atomic::Ordering;
         if self.active.load(Ordering::Acquire) == 0 {
             return;
         }
         let todo: Vec<Arc<CollCell>> = {
             let mut cells = self.cells.lock().expect("icoll registry poisoned");
             let mut todo = Vec::new();
+            // Dead weaks are only *pruned* here; the fast-path counter was
+            // already decremented by the cell's own Drop.
             cells.retain(|(r, w)| match w.upgrade() {
-                None => {
-                    self.active.fetch_sub(1, Ordering::Release);
-                    false
-                }
+                None => false,
                 Some(c) => {
                     if *r == owner {
                         todo.push(c);
@@ -548,6 +611,7 @@ impl RawComm {
             rank: self.rank,
             op,
             core: Mutex::new(CollCore::Running { sm, clean: None }),
+            rerun: AtomicBool::new(false),
         });
         Registry::attach(&self.state, self.my_global_rank(), &cell);
         cell.advance(true);
@@ -732,4 +796,30 @@ fn check_reduce_args(cx: &StepCx<'_>, buf: &[u8], elem_size: usize, root: usize)
         });
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn fast_path_gate_closes_when_last_request_drops() {
+        // Regression: `active` was only decremented when a sweep noticed a
+        // dead weak, so after the last request completed and dropped, the
+        // delivery fast path stayed closed until some *later* coll-tagged
+        // delivery or kick happened to sweep — indefinitely, if none came.
+        // Now the cell's Drop closes the gate, so after both ranks have
+        // completed and dropped their requests (ordered by a p2p handshake,
+        // which never enters the collective engine) the counter must read
+        // zero with no further collective traffic.
+        Universe::run(2, |comm| {
+            let mut req = comm.iallgather(vec![comm.rank() as u8]).unwrap();
+            assert_eq!(req.wait().unwrap(), vec![0, 1]);
+            let peer = 1 - comm.rank();
+            comm.send(peer, 9, b"done").unwrap();
+            comm.recv(peer, 9).unwrap();
+            assert_eq!(comm.state.icoll.active.load(Ordering::Acquire), 0);
+        });
+    }
 }

@@ -601,7 +601,10 @@ impl Mailbox {
     /// owner's `wait` can drive its schedules from the same progress-poll +
     /// condvar machinery (`attempt` steps the state machines; every arrival
     /// bumps this mailbox's gate, so no wake-up is lost even when a
-    /// delivering thread consumed the envelope itself).
+    /// delivering thread consumed the envelope itself). `attempt` always
+    /// runs with no mailbox lock held: schedule steps post to peers, and on
+    /// the shm backend the resulting notifier chain can re-enter
+    /// [`Mailbox::post`] on this very mailbox from this very thread.
     pub(crate) fn wait_until<T>(
         &self,
         interrupt: &dyn Fn() -> Option<MpiError>,
@@ -657,10 +660,18 @@ impl Mailbox {
             }
         }
         loop {
-            let mut gate = self.gate.lock().expect("mailbox gate poisoned");
-            // Re-check with the gate held: a deposit bumps the epoch under
-            // this mutex *after* filling its lane, so either the retry sees
-            // the envelope or the wait sees the bumped epoch.
+            // Snapshot the epoch, then run `attempt` with *no* mailbox lock
+            // held. The i-collective attempt steps schedules that post to
+            // peers, and on the shm backend a peer's coll notifier runs
+            // inline in this very thread and can post straight back to this
+            // mailbox — `Mailbox::post` takes the gate, so holding it across
+            // `attempt` self-deadlocks (e.g. a 6-rank dissemination cycle).
+            // No wake-up is lost: a deposit fills its lane *before* bumping
+            // the epoch under the gate, so if `attempt` missed an envelope
+            // its bump is still to come and the wait below sees it. The same
+            // ordering covers `interrupt`: fault marks are applied before
+            // the kick that bumps the epoch.
+            let epoch = *self.gate.lock().expect("mailbox gate poisoned");
             if let Some(hit) = attempt(self) {
                 return Ok(hit);
             }
@@ -674,7 +685,7 @@ impl Mailbox {
                     waited: start.elapsed(),
                 });
             }
-            let epoch = *gate;
+            let mut gate = self.gate.lock().expect("mailbox gate poisoned");
             while *gate == epoch {
                 match deadline {
                     None => gate = self.cond.wait(gate).expect("mailbox gate poisoned"),
@@ -1008,6 +1019,32 @@ mod tests {
             .take_blocking(key, &|| Some(MpiError::ProcFailed { rank: 2 }))
             .unwrap_err();
         assert_eq!(err, MpiError::ProcFailed { rank: 2 });
+    }
+
+    #[test]
+    fn wait_attempt_may_post_back_into_the_mailbox() {
+        // Regression: the wait loop used to run `attempt` while holding
+        // the gate mutex. The i-collective attempt steps schedules whose
+        // posts can circle back into the waiter's own mailbox on the shm
+        // backend (p = 6 dissemination: the waiter's relay reaches rank
+        // +2, whose inline notifier relays to +6 ≡ the waiter) — and
+        // `Mailbox::post` takes the gate, so the thread deadlocked on
+        // itself. `attempt` must run with no mailbox lock held; the epoch
+        // snapshot keeps the wait lossless regardless.
+        let mb = mailbox(1);
+        let calls = std::cell::Cell::new(0u32);
+        let deadline = Instant::now() + std::time::Duration::from_millis(50);
+        let out: MpiResult<()> = mb.wait_until(&|| None, Some(deadline), |mb| {
+            // More posts than the fast-path + burst attempts, so at least
+            // one runs where the old loop held the gate.
+            if calls.get() < 64 {
+                calls.set(calls.get() + 1);
+                mb.post(env(0, 9, 0, b"relay"));
+            }
+            None
+        });
+        assert!(matches!(out, Err(MpiError::Timeout { .. })));
+        assert!(calls.get() >= 6, "attempt ran past the unlocked burst");
     }
 
     /// Deterministic rendezvous used instead of `thread::sleep`: the

@@ -199,6 +199,27 @@ fn probe_then_recv_agree_on_wildcards() {
 }
 
 #[test]
+fn icollective_waits_survive_shm_notifier_cycles() {
+    // Regression: `wait` used to run its schedule-stepping attempt while
+    // holding the owner's mailbox gate. On the shm backend a step's post
+    // delivers inline, and the peer's collective notifier — still on the
+    // waiter's thread — steps the peer's schedule, whose own posts can
+    // circle back at p = 6 (round distances 1, 2, 4: A posts to A+2, which
+    // posts to A+2+4 ≡ A mod 6) and re-enter `Mailbox::post` on the
+    // waiter's mailbox, self-deadlocking on the gate mutex it already held.
+    Universe::run(6, |comm| {
+        for round in 0..8u8 {
+            let mut bar = comm.ibarrier().unwrap();
+            bar.wait().unwrap();
+            let mut gather = comm.iallgather(vec![comm.rank() as u8, round]).unwrap();
+            let got = gather.wait().unwrap();
+            let want: Vec<u8> = (0..comm.size() as u8).flat_map(|r| [r, round]).collect();
+            assert_eq!(got, want, "round {round}");
+        }
+    });
+}
+
+#[test]
 fn icollective_fault_scan_rescans_after_schedule_advances() {
     // Regression: the engine caches "fault scan found nothing" per fault
     // epoch. A failure mark applied while a schedule still waits on a
