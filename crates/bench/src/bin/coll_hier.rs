@@ -1,0 +1,258 @@
+//! Hierarchical-collective benchmark: two-level vs flat vs Rabenseifner
+//! allreduce at p = 64 across a mixed rings/sockets topology, plus the
+//! Fig. 10 BFS exchange-strategy sweep at p = 64–256. Writes
+//! `BENCH_coll_hier.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p kamping-bench --bin coll_hier            # measure
+//! cargo run --release -p kamping-bench --bin coll_hier -- --guard # CI gate
+//! ```
+//!
+//! The driver relaunches itself through the `kampirun` library as a
+//! 64-rank shm-xproc job split into two 32-rank "hosts" with **cyclic
+//! (round-robin) rank placement** — even ranks on one host, odd on the
+//! other, the standard `--map-by node` layout. Ranks inside a host talk
+//! over mmap'd rings, the two hosts over Unix-domain sockets. Under
+//! cyclic placement a locality-blind binomial tree crosses the socket
+//! seam at *every* low level (32 seam messages for the leaf exchanges
+//! alone), while the two-level algorithm crosses it exactly once per
+//! direction — the asymmetry the hierarchy exists to exploit. Rank 0
+//! measures a 64 KiB allreduce under three algorithms (best of [`REPS`],
+//! [`ITERS`] ops per timing):
+//!
+//! * **flat** — binomial-tree reduce + broadcast, locality-blind (every
+//!   tree level crosses the socket seam);
+//! * **hier** — intra-host reduce to each leader, leader exchange across
+//!   the seam, pipelined broadcast back down;
+//! * **rabenseifner** — reduce-scatter + allgather, bandwidth-optimal but
+//!   also locality-blind.
+//!
+//! The BFS sweep reruns the Fig. 10 kernel in-process (shared memory) at
+//! p = 64/128/256 over a GNM graph, comparing the dense `alltoallv`, NBX
+//! sparse, 2D grid and auto-selected exchanges — the "production rank
+//! counts" the paper's §V-A plugins target.
+//!
+//! `--guard` (or `KAMPING_BENCH_GUARD=1`) skips the BFS sweep and fails
+//! if the two-level allreduce is slower than the flat binomial on the
+//! mixed topology — the tentpole's acceptance criterion.
+
+use std::time::Instant;
+
+use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
+use kamping_graphs::gen::gnm;
+use kamping_mpi::net::{launch, Backend, LaunchSpec};
+use kamping_mpi::{CollStrategy, RawComm, Universe};
+
+/// Ranks of the mixed-topology allreduce job (two 32-rank hosts).
+const MIXED_RANKS: usize = 64;
+/// Allreduce payload: 64 KiB, past the Rabenseifner auto threshold.
+const ALLREDUCE_BYTES: usize = 64 * 1024;
+const ITERS: usize = 8;
+const REPS: usize = 3;
+
+/// BFS sweep sizes (in-process shared memory).
+const BFS_SIZES: &[usize] = &[64, 128, 256];
+const BFS_VERTS_PER_RANK: u64 = 512;
+
+fn sum(a: &mut [u8], b: &[u8]) {
+    for (x, y) in a.chunks_exact_mut(8).zip(b.chunks_exact(8)) {
+        let s = u64::from_le_bytes(x.try_into().unwrap())
+            .wrapping_add(u64::from_le_bytes(y.try_into().unwrap()));
+        x.copy_from_slice(&s.to_le_bytes());
+    }
+}
+
+/// Milliseconds per allreduce, best of [`REPS`] timings of [`ITERS`] ops.
+fn time_allreduce(comm: &RawComm, algo: &str) -> f64 {
+    match algo {
+        "flat" => comm.set_coll_strategy(CollStrategy::Flat),
+        "hier" => comm.set_coll_strategy(CollStrategy::Hier),
+        // Rabenseifner is invoked directly; park the dispatch on Flat so
+        // nothing hierarchical sneaks into the comparison.
+        _ => comm.set_coll_strategy(CollStrategy::Flat),
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        // First rep doubles as warmup (topology build, ring/socket setup).
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let mut buf = vec![1u8; ALLREDUCE_BYTES];
+            if algo == "rabenseifner" {
+                comm.allreduce_rabenseifner(&mut buf, &sum, 8).unwrap();
+            } else {
+                comm.allreduce(&mut buf, &sum, 8).unwrap();
+            }
+            std::hint::black_box(&buf);
+        }
+        comm.barrier().unwrap();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3 / ITERS as f64);
+    }
+    best
+}
+
+/// Relaunches this binary as the mixed 64-rank job; returns
+/// (flat_ms, hier_ms, rabenseifner_ms) measured on rank 0.
+fn measure_mixed_allreduce() -> (f64, f64, f64) {
+    let out = std::env::temp_dir().join(format!("kamping-coll-hier-{}.txt", std::process::id()));
+    let mut spec = LaunchSpec::new(
+        MIXED_RANKS,
+        std::env::current_exe().expect("own executable path"),
+    );
+    spec.backend = Backend::ShmXproc;
+    // Cyclic placement: evens on host A, odds on host B (mpirun's
+    // round-robin `--map-by node`). Contiguous blocks would let a
+    // binomial tree cross the seam only once by accident of numbering;
+    // cyclic placement is the honest adversary for locality-blind trees.
+    let evens: Vec<String> = (0..MIXED_RANKS).step_by(2).map(|r| r.to_string()).collect();
+    let odds: Vec<String> = (1..MIXED_RANKS).step_by(2).map(|r| r.to_string()).collect();
+    spec.env = vec![
+        ("KAMPING_COLL_HIER_OUT".into(), out.display().to_string()),
+        (
+            "KAMPING_LOCAL_RANKS".into(),
+            format!("{};{}", evens.join(","), odds.join(",")),
+        ),
+        // Small rings keep 64 processes' shm segments CI-sized.
+        ("KAMPING_RING_KB".into(), "16".into()),
+    ];
+    let exits = launch(&spec).expect("launching the mixed job");
+    for e in &exits {
+        assert!(
+            e.status.success(),
+            "rank {} exited with {}",
+            e.rank,
+            e.status
+        );
+    }
+    let text = std::fs::read_to_string(&out).expect("reading the result file");
+    let _ = std::fs::remove_file(&out);
+    let mut vals = text
+        .split_whitespace()
+        .map(|v| v.parse::<f64>().expect("result file is a float list"));
+    (
+        vals.next().expect("flat ms"),
+        vals.next().expect("hier ms"),
+        vals.next().expect("rabenseifner ms"),
+    )
+}
+
+/// One BFS sweep row: strategy timing and message asymptotics at `p`.
+struct BfsRow {
+    p: usize,
+    strategy: &'static str,
+    time_ms: f64,
+    msgs_per_rank: u64,
+}
+
+fn bfs_sweep() -> Vec<BfsRow> {
+    let mut rows = Vec::new();
+    for &p in BFS_SIZES {
+        let strategies = [
+            ExchangeStrategy::BuiltinAlltoallv,
+            ExchangeStrategy::Sparse,
+            ExchangeStrategy::Grid,
+            ExchangeStrategy::Adaptive,
+        ];
+        let cells = kamping::run(p, |comm| {
+            let n = BFS_VERTS_PER_RANK * p as u64;
+            let g = gnm(&comm, n, 4 * n, 1).expect("gnm");
+            let mut cells = Vec::new();
+            for strategy in strategies {
+                comm.barrier().unwrap();
+                let before = comm.profile();
+                let t = Instant::now();
+                let dist = bfs_with_strategy(&comm, &g, 0, strategy).unwrap();
+                std::hint::black_box(&dist);
+                comm.barrier().unwrap();
+                let elapsed = t.elapsed();
+                let delta = comm.profile().since(&before);
+                if comm.rank() == 0 {
+                    cells.push((
+                        strategy.label(),
+                        elapsed.as_secs_f64() * 1e3,
+                        delta.max_messages_per_rank(),
+                    ));
+                }
+            }
+            cells
+        });
+        for (strategy, time_ms, msgs) in cells.into_iter().flatten() {
+            eprintln!("  bfs p={p:>3} {strategy:>14}: {time_ms:>9.2} ms  {msgs:>8} msgs/rank");
+            rows.push(BfsRow {
+                p,
+                strategy,
+                time_ms,
+                msgs_per_rank: msgs,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    if std::env::var("KAMPING_TRANSPORT").is_ok_and(|v| v == "socket" || v == "shm-xproc") {
+        // Rank body of the mixed job launched by the driver below.
+        Universe::run(MIXED_RANKS, |comm| {
+            let flat = time_allreduce(&comm, "flat");
+            let hier = time_allreduce(&comm, "hier");
+            let raben = time_allreduce(&comm, "rabenseifner");
+            if comm.rank() == 0 {
+                let path = std::env::var("KAMPING_COLL_HIER_OUT").expect("output path");
+                std::fs::write(path, format!("{flat} {hier} {raben}"))
+                    .expect("writing the result file");
+            }
+        });
+        return;
+    }
+
+    let guard = std::env::args().any(|a| a == "--guard")
+        || std::env::var("KAMPING_BENCH_GUARD").is_ok_and(|v| v == "1");
+
+    eprintln!(
+        "== allreduce at p={MIXED_RANKS}, {} KiB, two 32-rank hosts (rings inside, sockets across)",
+        ALLREDUCE_BYTES / 1024
+    );
+    let (flat, hier, raben) = measure_mixed_allreduce();
+    eprintln!("       flat binomial: {flat:>9.3} ms/op");
+    eprintln!(
+        "           two-level: {hier:>9.3} ms/op  ({:.2}x flat)",
+        flat / hier
+    );
+    eprintln!(
+        "        rabenseifner: {raben:>9.3} ms/op  ({:.2}x flat)",
+        flat / raben
+    );
+
+    if guard {
+        if hier > flat {
+            eprintln!(
+                "PERF GUARD: two-level allreduce ({hier:.3} ms) slower than flat binomial \
+                 ({flat:.3} ms) on the mixed topology"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf guard ok: two-level {hier:.3} ms <= flat {flat:.3} ms");
+        return;
+    }
+
+    eprintln!("== BFS exchange sweep, {BFS_VERTS_PER_RANK} vertices/rank, GNM, in-process shm");
+    let rows = bfs_sweep();
+
+    let bfs_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"p\": {}, \"strategy\": \"{}\", \"time_ms\": {:.3}, \"msgs_per_rank\": {}}}",
+                r.p, r.strategy, r.time_ms, r.msgs_per_rank
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"coll_hier\",\n  \"mixed_ranks\": {MIXED_RANKS},\n  \"hosts\": 2,\n  \"allreduce_bytes\": {ALLREDUCE_BYTES},\n  \"iters\": {ITERS},\n  \"reps\": {REPS},\n  \"allreduce_ms\": {{\"flat\": {flat:.3}, \"hier\": {hier:.3}, \"rabenseifner\": {raben:.3}}},\n  \"hier_speedup_over_flat\": {:.3},\n  \"bfs_verts_per_rank\": {BFS_VERTS_PER_RANK},\n  \"bfs\": [\n    {}\n  ]\n}}\n",
+        flat / hier,
+        bfs_json.join(",\n    ")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_coll_hier.json");
+    std::fs::write(&path, json).expect("write BENCH_coll_hier.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -13,6 +13,9 @@
 //!
 //! Run with
 //! `cargo run --release -p kamping-bench --bin fig10_bfs -- [max_p] [verts_per_rank]`.
+//! At `p > 16` (e.g. `max_p` of 64–256) the sweep drops the two
+//! neighborhood-collective curves and compares dense/sparse/grid plus the
+//! strategy-selection layer's automatic choice.
 
 use kamping_bench::ms;
 use kamping_graphs::bfs::{bfs_with_strategy, ExchangeStrategy};
@@ -44,10 +47,24 @@ fn main() {
 
     let mut p = 2;
     while p <= max_p {
+        // At production rank counts the two neighborhood-collective curves
+        // are off the chart (the rebuild one by design — that's its Fig. 10
+        // point), so the large-p sweep compares the scalable exchanges:
+        // dense alltoallv, NBX sparse, 2D grid, and the auto-selected one.
+        let strategies: Vec<ExchangeStrategy> = if p > 16 {
+            vec![
+                ExchangeStrategy::BuiltinAlltoallv,
+                ExchangeStrategy::Sparse,
+                ExchangeStrategy::Grid,
+                ExchangeStrategy::Adaptive,
+            ]
+        } else {
+            ExchangeStrategy::ALL.to_vec()
+        };
         let rows = kamping::run(p, |comm| {
             let mut rows = Vec::new();
             for (name, g) in families(&comm, per_rank * p as u64) {
-                for strategy in ExchangeStrategy::ALL {
+                for &strategy in &strategies {
                     comm.barrier().unwrap();
                     let before = comm.profile();
                     let t = std::time::Instant::now();

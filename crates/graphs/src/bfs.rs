@@ -40,16 +40,22 @@ pub enum ExchangeStrategy {
     Sparse,
     /// Two-dimensional grid all-to-all (kamping-plugins).
     Grid,
+    /// The substrate's strategy-selection layer
+    /// ([`RawComm::alltoallv_strategy`] with `AlltoallAlgo::Auto`): picks
+    /// dense or grid from payload size, locality and communicator size,
+    /// overridable via `KAMPING_ALLTOALL`.
+    Adaptive,
 }
 
 impl ExchangeStrategy {
     /// All strategies, for sweep harnesses.
-    pub const ALL: [ExchangeStrategy; 5] = [
+    pub const ALL: [ExchangeStrategy; 6] = [
         ExchangeStrategy::BuiltinAlltoallv,
         ExchangeStrategy::Neighbor,
         ExchangeStrategy::NeighborRebuild,
         ExchangeStrategy::Sparse,
         ExchangeStrategy::Grid,
+        ExchangeStrategy::Adaptive,
     ];
 
     /// Label used in benchmark output (matches the Fig. 10 legend).
@@ -60,6 +66,7 @@ impl ExchangeStrategy {
             ExchangeStrategy::NeighborRebuild => "mpi_neighbor_rebuild",
             ExchangeStrategy::Sparse => "kamping_sparse",
             ExchangeStrategy::Grid => "kamping_grid",
+            ExchangeStrategy::Adaptive => "kamping_auto",
         }
     }
 }
@@ -118,6 +125,23 @@ impl Exchanger {
                 let flat = with_flattened(buckets, comm.size());
                 let grid = self.grid.as_ref().expect("grid built in new()");
                 Ok(grid.alltoallv(&flat.data, &flat.counts)?.0)
+            }
+            ExchangeStrategy::Adaptive => {
+                let flat = with_flattened(buckets, comm.size());
+                let mut parts: Vec<Vec<u8>> = Vec::with_capacity(comm.size());
+                let mut off = 0usize;
+                for &c in &flat.counts {
+                    parts.push(kamping::types::pod_as_bytes(&flat.data[off..off + c]).to_vec());
+                    off += c;
+                }
+                let by_source = comm
+                    .raw()
+                    .alltoallv_strategy(&parts, kamping_mpi::AlltoallAlgo::Auto)?;
+                let mut out = Vec::new();
+                for bytes in by_source {
+                    out.extend(kamping::types::bytes_to_pods::<VertexId>(&bytes)?);
+                }
+                Ok(out)
             }
             ExchangeStrategy::Neighbor | ExchangeStrategy::NeighborRebuild => {
                 // Messages may only target statically-adjacent ranks.

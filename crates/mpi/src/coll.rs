@@ -24,15 +24,131 @@
 
 use crate::error::{MpiError, MpiResult};
 use crate::profile::Op;
-use crate::tag::{coll_tag, Tag};
+use crate::tag::{coll_tag, Tag, ANY_SOURCE, MAX_USER_TAG};
 use crate::transport::{MatchKey, Payload};
 use crate::universe::wait_interrupt;
-use crate::{ByteOp, RawComm};
+use crate::{ByteOp, RawComm, RawRequest};
+use std::collections::HashSet;
 
 /// Per-peer block size (bytes) below which [`RawComm::alltoall`] switches
 /// to Bruck's log-round algorithm, mirroring real MPI implementations'
 /// small-message strategy.
 pub const BRUCK_THRESHOLD_BYTES: usize = 256;
+
+/// Number of tags in the NBX rotation band of
+/// [`RawComm::sparse_alltoallv`]. Rotating the tag between rounds keeps a
+/// fast rank's next-round message from being matched by a peer still
+/// draining the previous round.
+pub const SPARSE_TAG_ROTATION: Tag = 4096;
+
+/// First tag of the band reserved for NBX sparse exchanges (the top 4096
+/// user tags; applications should stay below this).
+pub const SPARSE_TAG_BASE: Tag = MAX_USER_TAG - (SPARSE_TAG_ROTATION - 1);
+
+/// A message received by [`RawComm::sparse_alltoallv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseMsg {
+    /// Sender's rank.
+    pub source: usize,
+    /// The payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// All-to-all backend selected by [`RawComm::alltoallv_strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlltoallAlgo {
+    /// Decide from `p` and locality: grid for large or multi-host
+    /// communicators, dense otherwise. Sparse is never auto-selected —
+    /// its O(degree) win needs a pattern the dense API can't see.
+    #[default]
+    Auto,
+    /// One envelope per peer ([`RawComm::alltoallv`]).
+    Dense,
+    /// NBX dynamic sparse exchange ([`RawComm::sparse_alltoallv`]).
+    Sparse,
+    /// Two-hop ⌈√p⌉-grid routing ([`RawComm::grid_alltoallv`]).
+    Grid,
+}
+
+impl AlltoallAlgo {
+    /// Parses the `KAMPING_ALLTOALL` values.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "auto" | "" => Some(Self::Auto),
+            "dense" => Some(Self::Dense),
+            "sparse" => Some(Self::Sparse),
+            "grid" => Some(Self::Grid),
+            _ => None,
+        }
+    }
+}
+
+/// Cached ⌈√p⌉-grid decomposition of a communicator: this rank's row and
+/// column sub-communicators plus its grid coordinates. Built (two splits)
+/// on first use by [`RawComm::grid_alltoallv`] and cached on the
+/// communicator; cloning shares the underlying sub-communicator state.
+#[derive(Clone)]
+pub struct GridCache {
+    pub(crate) size: usize,
+    pub(crate) width: usize,
+    pub(crate) my_col: usize,
+    pub(crate) row: RawComm,
+    pub(crate) col: RawComm,
+}
+
+impl GridCache {
+    /// Grid width (⌈√p⌉).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn row_of(&self, rank: usize) -> usize {
+        rank / self.width
+    }
+
+    fn col_of(&self, rank: usize) -> usize {
+        rank % self.width
+    }
+
+    /// Number of ranks in column `col` (the last grid row may be partial).
+    fn col_len(&self, col: usize) -> usize {
+        if col >= self.size {
+            0
+        } else {
+            (self.size - col).div_ceil(self.width)
+        }
+    }
+}
+
+/// One routed grid message block on the wire: header (final destination,
+/// original source, payload byte length; u64 LE each) then the payload.
+fn push_block(wire: &mut Vec<u8>, dest: usize, src: usize, payload: &[u8]) {
+    wire.extend_from_slice(&(dest as u64).to_le_bytes());
+    wire.extend_from_slice(&(src as u64).to_le_bytes());
+    wire.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    wire.extend_from_slice(payload);
+}
+
+/// Iterates the blocks of a routed grid wire buffer.
+fn for_each_block(wire: &[u8], mut f: impl FnMut(usize, usize, &[u8])) -> MpiResult<()> {
+    let mut off = 0;
+    while off < wire.len() {
+        if off + 24 > wire.len() {
+            return Err(MpiError::Internal("grid: truncated block header"));
+        }
+        let dest = u64::from_le_bytes(wire[off..off + 8].try_into().expect("8 bytes")) as usize;
+        let src = u64::from_le_bytes(wire[off + 8..off + 16].try_into().expect("8 bytes")) as usize;
+        let len =
+            u64::from_le_bytes(wire[off + 16..off + 24].try_into().expect("8 bytes")) as usize;
+        off += 24;
+        if off + len > wire.len() {
+            return Err(MpiError::Internal("grid: truncated block payload"));
+        }
+        f(dest, src, &wire[off..off + len]);
+        off += len;
+    }
+    Ok(())
+}
 
 /// Applies `op` elementwise: both buffers are sequences of `elem_size`-byte
 /// elements of equal length.
@@ -160,16 +276,37 @@ impl RawComm {
     }
 
     /// Broadcast: `buf` at `root` is distributed to all ranks, replacing
-    /// their `buf` contents. Binomial tree by default (the `naive` feature
-    /// flips the default to [`RawComm::bcast_naive`]); all envelopes of one
-    /// broadcast alias a single shared allocation.
+    /// their `buf` contents. Strategy-selected (DESIGN.md §11): the flat
+    /// zero-copy binomial tree on a single host, the two-level pipelined
+    /// tree when [`crate::hier::CollStrategy`] resolves to hierarchy; the
+    /// `naive` feature flips the default to [`RawComm::bcast_naive`].
+    ///
+    /// Selection never looks at `buf` — non-root ranks legitimately pass
+    /// empty buffers, so only topology and environment (identical on all
+    /// ranks) may steer the algorithm.
     pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> MpiResult<()> {
         let _op = self.record(Op::Bcast);
-        let tag = coll_tag(self.next_coll_seq());
-        #[cfg(not(feature = "naive"))]
-        return self.bcast_inner(buf, root, tag);
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
         #[cfg(feature = "naive")]
-        return self.bcast_naive_inner(buf, root, tag);
+        {
+            let tag = coll_tag(self.next_coll_seq());
+            return self.bcast_naive_inner(buf, root, tag);
+        }
+        #[cfg(not(feature = "naive"))]
+        {
+            if self.use_hier() {
+                let h = self.hier_topo()?;
+                let tag = coll_tag(self.next_coll_seq());
+                return self.bcast_hier_inner(buf, root, tag, &h);
+            }
+            let tag = coll_tag(self.next_coll_seq());
+            self.bcast_inner(buf, root, tag)
+        }
     }
 
     /// Linear broadcast (root posts one copy per rank): the A/B baseline
@@ -910,11 +1047,32 @@ impl RawComm {
         root: usize,
     ) -> MpiResult<()> {
         let _op = self.record(Op::Reduce);
-        let tag = coll_tag(self.next_coll_seq());
-        #[cfg(not(feature = "naive"))]
-        return self.reduce_inner(buf, op, elem_size, root, tag);
         #[cfg(feature = "naive")]
-        return self.reduce_naive_inner(buf, op, elem_size, root, tag);
+        {
+            let tag = coll_tag(self.next_coll_seq());
+            return self.reduce_naive_inner(buf, op, elem_size, root, tag);
+        }
+        #[cfg(not(feature = "naive"))]
+        {
+            if self.use_hier() {
+                if root >= self.size() {
+                    return Err(MpiError::InvalidRank {
+                        rank: root,
+                        size: self.size(),
+                    });
+                }
+                if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+                    return Err(MpiError::InvalidCounts {
+                        what: "reduce buffer not a multiple of elem_size",
+                    });
+                }
+                let h = self.hier_topo()?;
+                let tag = coll_tag(self.next_coll_seq());
+                return self.reduce_hier_inner(buf, op, elem_size, root, tag, &h);
+            }
+            let tag = coll_tag(self.next_coll_seq());
+            self.reduce_inner(buf, op, elem_size, root, tag)
+        }
     }
 
     /// Linear reduce (root receives and folds every rank's buffer in rank
@@ -1016,9 +1174,46 @@ impl RawComm {
         Ok(())
     }
 
-    /// Reduce-to-all: binomial reduce to rank 0 followed by a broadcast.
+    /// Reduce-to-all. Strategy-selected (DESIGN.md §11): binomial reduce +
+    /// broadcast by default; the two-level algorithm (intra-host reduce,
+    /// leader recursive doubling, intra-host pipelined broadcast) on mixed
+    /// topologies; [`RawComm::allreduce_rabenseifner`] for large payloads
+    /// under `Auto`. The payload-size input to selection is rank-uniform
+    /// by the collective's own contract (all buffers equal length).
     pub fn allreduce(&self, buf: &mut Vec<u8>, op: ByteOp<'_>, elem_size: usize) -> MpiResult<()> {
         let _op = self.record(Op::Allreduce);
+        #[cfg(not(feature = "naive"))]
+        {
+            use crate::hier::{CollStrategy, RABENSEIFNER_MIN_BYTES};
+            match self.coll_strategy() {
+                CollStrategy::Hier => {
+                    if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+                        return Err(MpiError::InvalidCounts {
+                            what: "reduce buffer not a multiple of elem_size",
+                        });
+                    }
+                    let h = self.hier_topo()?;
+                    return self.allreduce_hier(buf, op, elem_size, &h);
+                }
+                CollStrategy::Auto => {
+                    if !self.single_host_view() {
+                        let h = self.hier_topo()?;
+                        if h.has_fanout() {
+                            if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+                                return Err(MpiError::InvalidCounts {
+                                    what: "reduce buffer not a multiple of elem_size",
+                                });
+                            }
+                            return self.allreduce_hier(buf, op, elem_size, &h);
+                        }
+                    }
+                    if buf.len() >= RABENSEIFNER_MIN_BYTES && self.size() >= 4 {
+                        return self.allreduce_rabenseifner_inner(buf, op, elem_size);
+                    }
+                }
+                CollStrategy::Flat => {}
+            }
+        }
         let reduce_tag = coll_tag(self.next_coll_seq());
         let bcast_tag = coll_tag(self.next_coll_seq());
         self.reduce_inner(buf, op, elem_size, 0, reduce_tag)?;
@@ -1038,7 +1233,12 @@ impl RawComm {
         let _op = self.record(Op::Reduce);
         let _op = self.record(Op::Scatterv);
         let p = self.size();
-        if !buf.len().is_multiple_of(p) || !(buf.len() / p).is_multiple_of(elem_size.max(1)) {
+        if elem_size == 0 {
+            return Err(MpiError::InvalidCounts {
+                what: "reduce_scatter_block: elem_size must be nonzero",
+            });
+        }
+        if !buf.len().is_multiple_of(p) || !(buf.len() / p).is_multiple_of(elem_size) {
             return Err(MpiError::InvalidCounts {
                 what: "reduce_scatter_block: buffer not divisible into p element blocks",
             });
@@ -1146,6 +1346,272 @@ impl RawComm {
             self.send_internal(r + 1, tag, std::mem::take(&mut inclusive))?;
         }
         Ok(prefix)
+    }
+
+    // ----- strategy-selectable all-to-all backends (DESIGN.md §11) -----
+
+    /// Dense `alltoallv` over per-destination byte vectors: `parts[d]`
+    /// goes to rank `d`; returns one vector per source rank. Exchanges
+    /// counts first (one small `alltoall`), so callers don't need to know
+    /// receive sizes — the convenience surface the strategy layer and the
+    /// grid phases build on.
+    pub fn alltoallv_parts(&self, parts: &[Vec<u8>]) -> MpiResult<Vec<Vec<u8>>> {
+        let p = self.size();
+        if parts.len() != p {
+            return Err(MpiError::InvalidCounts {
+                what: "alltoallv_parts length != comm size",
+            });
+        }
+        let send_counts: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let count_wire: Vec<u8> = send_counts
+            .iter()
+            .flat_map(|&c| (c as u64).to_le_bytes())
+            .collect();
+        let recv_counts: Vec<usize> = self
+            .alltoall(&count_wire)?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+            .collect();
+        let send: Vec<u8> = parts.concat();
+        let send_displs = excl_prefix_sum(&send_counts);
+        let recv_displs = excl_prefix_sum(&recv_counts);
+        let flat = self.alltoallv(
+            &send,
+            &send_counts,
+            &send_displs,
+            &recv_counts,
+            &recv_displs,
+        )?;
+        Ok(recv_counts
+            .iter()
+            .zip(&recv_displs)
+            .map(|(&c, &d)| flat[d..d + c].to_vec())
+            .collect())
+    }
+
+    /// Personalized all-to-all routed per [`AlltoallAlgo`]: explicit
+    /// algorithm, or `KAMPING_ALLTOALL`, or the auto rule (grid for large
+    /// or multi-host communicators, dense otherwise). Input/output shape
+    /// matches [`RawComm::alltoallv_parts`]. All ranks must resolve the
+    /// same algorithm, which holds because every selection input is
+    /// rank-uniform.
+    pub fn alltoallv_strategy(
+        &self,
+        parts: &[Vec<u8>],
+        algo: AlltoallAlgo,
+    ) -> MpiResult<Vec<Vec<u8>>> {
+        let algo = match algo {
+            AlltoallAlgo::Auto => self.auto_alltoall_algo(),
+            explicit => explicit,
+        };
+        match algo {
+            AlltoallAlgo::Dense => self.alltoallv_parts(parts),
+            AlltoallAlgo::Grid => self.grid_alltoallv(parts),
+            AlltoallAlgo::Sparse => {
+                let p = self.size();
+                if parts.len() != p {
+                    return Err(MpiError::InvalidCounts {
+                        what: "alltoallv_parts length != comm size",
+                    });
+                }
+                let messages: Vec<(usize, Vec<u8>)> = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| !m.is_empty())
+                    .map(|(d, m)| (d, m.clone()))
+                    .collect();
+                let mut out = vec![Vec::new(); p];
+                for msg in self.sparse_alltoallv(&messages)? {
+                    out[msg.source].extend_from_slice(&msg.data);
+                }
+                Ok(out)
+            }
+            AlltoallAlgo::Auto => unreachable!("auto resolved above"),
+        }
+    }
+
+    /// The `Auto` rule for [`RawComm::alltoallv_strategy`]: honour
+    /// `KAMPING_ALLTOALL` if set to a concrete algorithm, else route over
+    /// the grid once per-peer startups dominate — large `p`, or moderate
+    /// `p` spread across hosts (socket startups cost ~µs, not ~ns).
+    fn auto_alltoall_algo(&self) -> AlltoallAlgo {
+        if let Some(a) = std::env::var("KAMPING_ALLTOALL")
+            .ok()
+            .and_then(|v| AlltoallAlgo::parse(&v))
+            .filter(|&a| a != AlltoallAlgo::Auto)
+        {
+            return a;
+        }
+        let p = self.size();
+        if p >= 48 || (p >= 16 && !self.single_host_view()) {
+            AlltoallAlgo::Grid
+        } else {
+            AlltoallAlgo::Dense
+        }
+    }
+
+    /// NBX dynamic sparse data exchange (Hoefler, Siebert and Lumsdaine,
+    /// PPoPP'10): issend every message, probe-receive until own sends
+    /// completed, then a non-blocking barrier certifies global quiescence.
+    /// O(degree) messages per rank — no term linear in `p`. Collective:
+    /// every rank must call it (possibly with no messages).
+    ///
+    /// Each message carries its index in `messages` as an 8-byte sequence
+    /// header; receivers drop duplicate (source, sequence) deliveries, so
+    /// a transport that duplicates envelopes (chaos `dup` faults, retrying
+    /// links) cannot double-deliver. Results are sorted by (source,
+    /// sequence) for determinism.
+    pub fn sparse_alltoallv(&self, messages: &[(usize, Vec<u8>)]) -> MpiResult<Vec<SparseMsg>> {
+        // Per-round tag: rank-synchronized because the exchange is
+        // collective (every rank calls it in the same order).
+        let tag = SPARSE_TAG_BASE + (self.next_operation_seq() % SPARSE_TAG_ROTATION);
+
+        // 1. Post all sends in synchronous mode, sequence-stamped.
+        let mut send_reqs: Vec<RawRequest> = Vec::with_capacity(messages.len());
+        for (seq, (dest, data)) in messages.iter().enumerate() {
+            let mut wire = Vec::with_capacity(8 + data.len());
+            wire.extend_from_slice(&(seq as u64).to_le_bytes());
+            wire.extend_from_slice(data);
+            send_reqs.push(self.issend(*dest, tag, wire)?);
+        }
+
+        let mut received: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+        let mut seen: HashSet<(usize, u64)> = HashSet::new();
+        let mut barrier: Option<RawRequest> = None;
+
+        // 2. Probe/receive until the barrier certifies quiescence.
+        loop {
+            while let Some(status) = self.iprobe(ANY_SOURCE, tag)? {
+                let (wire, st) = self.recv(status.source, tag)?;
+                if wire.len() < 8 {
+                    return Err(MpiError::Internal("sparse: truncated sequence header"));
+                }
+                let seq = u64::from_le_bytes(wire[..8].try_into().expect("8 bytes"));
+                if seen.insert((st.source, seq)) {
+                    received.push((st.source, seq, wire[8..].to_vec()));
+                }
+            }
+            match &mut barrier {
+                None => {
+                    let mut done = true;
+                    for r in &mut send_reqs {
+                        if !r.is_complete() && r.test()?.is_none() {
+                            done = false;
+                        }
+                    }
+                    if done {
+                        barrier = Some(self.ibarrier()?);
+                    }
+                }
+                Some(req) => {
+                    if req.test()?.is_some() {
+                        break;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        // No draining after barrier completion: synchronous-mode semantics
+        // guarantee every message of this round was matched before any
+        // rank entered the barrier, and a drain here could steal messages
+        // of a *subsequent* round from a fast peer.
+
+        received.sort_unstable_by_key(|&(src, seq, _)| (src, seq));
+        Ok(received
+            .into_iter()
+            .map(|(source, _, data)| SparseMsg { source, data })
+            .collect())
+    }
+
+    /// This communicator's grid decomposition, built (two splits — a
+    /// collective) on first use and cached. Cloned out so no `RefCell`
+    /// borrow is held across the collective calls made through it.
+    /// Public so binding layers can pre-build the grid at a predictable
+    /// point instead of inside the first exchange.
+    pub fn grid_cache(&self) -> MpiResult<std::rc::Rc<GridCache>> {
+        if let Some(g) = self.grid.borrow().as_ref() {
+            return Ok(std::rc::Rc::clone(g));
+        }
+        let p = self.size();
+        let width = (p as f64).sqrt().ceil() as usize;
+        let my_row = self.rank() / width;
+        let my_col = self.rank() % width;
+        let row = self.split(my_row as u64, my_col as u64)?;
+        let col = self.split(width as u64 + my_col as u64, my_row as u64)?;
+        let g = std::rc::Rc::new(GridCache {
+            size: p,
+            width,
+            my_col,
+            row,
+            col,
+        });
+        *self.grid.borrow_mut() = Some(std::rc::Rc::clone(&g));
+        Ok(g)
+    }
+
+    /// Grid (two-dimensional) all-to-all, after Kalé, Kumar and
+    /// Varadarajan: ranks form a virtual ⌈√p⌉-wide grid and every message
+    /// travels within the sender's *column* to the destination's row, then
+    /// within that *row* to the destination — O(√p) peers per phase
+    /// instead of p − 1, trading volume (payloads travel twice, plus
+    /// routing headers) for startups. For non-square `p` the last grid row
+    /// is partial; messages whose sender column does not reach the
+    /// destination's row take a third, within-column cleanup hop.
+    ///
+    /// `parts[d]` goes to rank `d`; returns one vector per source rank.
+    pub fn grid_alltoallv(&self, parts: &[Vec<u8>]) -> MpiResult<Vec<Vec<u8>>> {
+        let p = self.size();
+        if parts.len() != p {
+            return Err(MpiError::InvalidCounts {
+                what: "alltoallv_parts length != comm size",
+            });
+        }
+        let g = self.grid_cache()?;
+        let me = self.rank();
+        let exchange = |comm: &RawComm, outgoing: Vec<Vec<u8>>| -> MpiResult<Vec<u8>> {
+            Ok(comm.alltoallv_parts(&outgoing)?.concat())
+        };
+
+        // Phase A: within my column, towards the destination's row (or the
+        // deepest row my column reaches — phase C finishes the job).
+        let mut phase_a: Vec<Vec<u8>> = vec![Vec::new(); g.col.size()];
+        for (dest, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                continue; // nothing to route; receivers infer zero counts
+            }
+            let target_row = g.row_of(dest).min(g.col_len(g.my_col) - 1);
+            push_block(&mut phase_a[target_row], dest, me, part);
+        }
+        let after_a = exchange(&g.col, phase_a)?;
+
+        // Phase B: within my row, towards the destination's column.
+        let mut phase_b: Vec<Vec<u8>> = vec![Vec::new(); g.row.size()];
+        for_each_block(&after_a, |dest, src, payload| {
+            push_block(&mut phase_b[g.col_of(dest)], dest, src, payload);
+        })?;
+        let after_b = exchange(&g.row, phase_b)?;
+
+        // Phase C: within my column, cleanup hop for messages whose sender
+        // column was shorter than the destination's row.
+        let mut phase_c: Vec<Vec<u8>> = vec![Vec::new(); g.col.size()];
+        for_each_block(&after_b, |dest, src, payload| {
+            push_block(&mut phase_c[g.row_of(dest)], dest, src, payload);
+        })?;
+        let after_c = exchange(&g.col, phase_c)?;
+
+        // Collect, grouped by original source.
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        let mut misrouted = false;
+        for_each_block(&after_c, |dest, src, payload| {
+            misrouted |= dest != me || src >= p;
+            if src < p {
+                out[src].extend_from_slice(payload);
+            }
+        })?;
+        if misrouted {
+            return Err(MpiError::Internal("grid: block routed to wrong rank"));
+        }
+        Ok(out)
     }
 }
 
@@ -1404,6 +1870,66 @@ mod tests {
             let got = comm.reduce_scatter_block(&buf, &op, 8).unwrap();
             // Sum over ranks of (r + b) = 6 + 4b; rank r receives block r.
             assert_eq!(decode(&got), vec![6 + 4 * comm.rank() as u64]);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_block_zero_length_contributions() {
+        // Empty buffers are a well-formed degenerate case (zero elements
+        // per rank), never a panic: every rank gets an empty block back.
+        for p in [1, 8] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                let got = comm.reduce_scatter_block(&[], &op, 8).unwrap();
+                assert!(got.is_empty(), "p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_block_indivisible_counts_are_typed_errors() {
+        for p in [1, 8] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                // 12 bytes: not p u64-blocks at p=8 (12 % 8 != 0), and at
+                // p=1 a 12-byte block is not a whole number of u64s.
+                let buf = vec![0u8; 12];
+                let err = comm.reduce_scatter_block(&buf, &op, 8).unwrap_err();
+                assert!(matches!(err, MpiError::InvalidCounts { .. }), "p={p}");
+                // elem_size = 0 must be rejected up front, not divide by it.
+                let err = comm.reduce_scatter_block(&[], &op, 0).unwrap_err();
+                assert!(matches!(err, MpiError::InvalidCounts { .. }), "p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn allgatherv_all_empty_contributions() {
+        // Bruck's rounds must tolerate all-zero counts (wire buffers are
+        // empty but the round structure is unchanged).
+        for p in [1, 8] {
+            Universe::run(p, |comm| {
+                let counts = vec![0usize; comm.size()];
+                let all = comm.allgatherv(&[], &counts).unwrap();
+                assert!(all.is_empty(), "p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn allgatherv_sparse_single_contributor() {
+        // Only one rank contributes bytes; every cyclic run Bruck builds
+        // is empty on one side of the wrap at some round.
+        Universe::run(8, |comm| {
+            let mine = if comm.rank() == 5 {
+                vec![9u8; 3]
+            } else {
+                vec![]
+            };
+            let mut counts = vec![0usize; 8];
+            counts[5] = 3;
+            let all = comm.allgatherv(&mine, &counts).unwrap();
+            assert_eq!(all, vec![9u8; 3]);
         });
     }
 

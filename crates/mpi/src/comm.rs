@@ -10,13 +10,15 @@
 //! requirement we inherit), all members derive the same id without any
 //! central registry.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::coll::GridCache;
 use crate::error::{MpiError, MpiResult};
+use crate::hier::CollStrategy;
 use crate::profile::Op;
-use crate::topo::GraphTopo;
+use crate::topo::{GraphTopo, HierTopo};
 use crate::universe::UniverseState;
 
 /// FNV-1a over a list of words; used to derive child context ids.
@@ -47,6 +49,20 @@ pub struct RawComm {
     pub(crate) coll_seq: Cell<u32>,
     /// Graph topology, if attached.
     pub(crate) topo: Option<Arc<GraphTopo>>,
+    /// Lazily-built host-group view (hierarchical collectives); the build
+    /// is itself a collective, so it runs on first hierarchical dispatch.
+    pub(crate) hier: RefCell<Option<Arc<HierTopo>>>,
+    /// Lazily-built ⌈√p⌉ grid sub-communicators (grid all-to-all backend).
+    /// `Rc` both shares the splits between clones and breaks the layout
+    /// cycle (`GridCache` holds two `RawComm`s); a communicator never
+    /// leaves its rank-thread, so no atomics are needed.
+    pub(crate) grid: RefCell<Option<std::rc::Rc<GridCache>>>,
+    /// Cached/overridden collective strategy (`KAMPING_COLL_STRATEGY`).
+    pub(crate) strategy: Cell<Option<CollStrategy>>,
+    /// Synthetic host-group count (tests/benches; `KAMPING_FAKE_HOSTS`).
+    pub(crate) fake_hosts: Cell<Option<usize>>,
+    /// Cached "every rank shares this host" predicate.
+    pub(crate) single_host: Cell<Option<bool>>,
 }
 
 impl Clone for RawComm {
@@ -59,6 +75,11 @@ impl Clone for RawComm {
             rank: self.rank,
             coll_seq: self.coll_seq.clone(),
             topo: self.topo.clone(),
+            hier: RefCell::new(self.hier.borrow().clone()),
+            grid: RefCell::new(self.grid.borrow().clone()),
+            strategy: self.strategy.clone(),
+            fake_hosts: self.fake_hosts.clone(),
+            single_host: self.single_host.clone(),
         }
     }
 }
@@ -86,6 +107,11 @@ impl RawComm {
             rank,
             coll_seq: Cell::new(0),
             topo: None,
+            hier: RefCell::new(None),
+            grid: RefCell::new(None),
+            strategy: Cell::new(None),
+            fake_hosts: Cell::new(None),
+            single_host: Cell::new(None),
         }
     }
 
@@ -109,6 +135,14 @@ impl RawComm {
             rank,
             coll_seq: Cell::new(0),
             topo,
+            hier: RefCell::new(None),
+            grid: RefCell::new(None),
+            // Strategy and synthetic grouping are inherited: a sub-comm of
+            // a hier-forced comm stays hier-forced (its *groups* are
+            // recomputed from its own membership on first use).
+            strategy: self.strategy.clone(),
+            fake_hosts: Cell::new(None),
+            single_host: Cell::new(None),
         }
     }
 

@@ -1,0 +1,738 @@
+//! Hierarchical and strategy-selected collectives (DESIGN.md §11).
+//!
+//! Flat binomial trees treat every link as equal; on a mixed
+//! intra/inter-host topology that serializes slow inter-host hops along
+//! the critical path. The algorithms here consult the communicator's
+//! host-group view ([`crate::topo::HierTopo`], derived from
+//! [`crate::transport::Transport::locality`]) and build **two-level**
+//! trees: one binomial tree over the group leaders (inter-host), one
+//! binomial tree inside each group (intra-host), merged into a single
+//! parent/children relation so a payload streams through both levels
+//! without a store-and-forward barrier between them.
+//!
+//! Large broadcasts are additionally **pipelined**: the payload is cut
+//! into segments (`KAMPING_BCAST_SEGMENT` bytes, default 64 KiB) relayed
+//! segment-by-segment, so tree depth adds latency once, not once per
+//! byte. The wire is self-describing (the first segment carries a
+//! (total, segment) header), which keeps receivers independent of the
+//! root's environment.
+//!
+//! For large allreduces [`RawComm::allreduce_rabenseifner`] implements
+//! the classic reduce-scatter + allgather composition (Rabenseifner),
+//! whose bandwidth term is 2·(p−1)/p·n instead of the 2·n·log p of
+//! reduce+bcast trees.
+//!
+//! Selection is governed by [`CollStrategy`] (`KAMPING_COLL_STRATEGY`,
+//! or [`RawComm::set_coll_strategy`]): `flat` always takes the PR-1
+//! binomial paths, `hier` always takes the two-level paths, and `auto`
+//! (the default) decides per call from locality and payload size. Every
+//! input to the decision — environment, communicator topology, the
+//! (rank-uniform) buffer length of reduce/allreduce — is identical on
+//! all ranks, so ranks never diverge in algorithm choice.
+
+use crate::coll::combine;
+use crate::error::{MpiError, MpiResult};
+use crate::tag::{coll_tag, Tag};
+use crate::topo::HierTopo;
+use crate::transport::Payload;
+use crate::{ByteOp, RawComm};
+use std::sync::Arc;
+
+/// Default broadcast segment size (bytes) for the pipelined tree.
+pub const DEFAULT_BCAST_SEGMENT: usize = 64 * 1024;
+
+/// Payload size (bytes) from which `auto` prefers the Rabenseifner
+/// allreduce over reduce+bcast.
+pub const RABENSEIFNER_MIN_BYTES: usize = 32 * 1024;
+
+/// Byte length of the self-describing header on a pipelined broadcast's
+/// first segment: total length and segment length, both u64 LE.
+const SEG_HDR: usize = 16;
+
+/// How the rooted collectives (bcast/reduce/allreduce) pick their
+/// algorithm. Must be uniform across the ranks of a communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollStrategy {
+    /// Decide per call: flat trees on a single host, two-level trees on
+    /// mixed topologies, Rabenseifner for large allreduces.
+    #[default]
+    Auto,
+    /// Always the flat binomial paths (the pre-hierarchy behaviour).
+    Flat,
+    /// Always the two-level paths, even on one host (degenerates to a
+    /// flat — but pipelined — tree; useful for tests and benches).
+    Hier,
+}
+
+impl CollStrategy {
+    /// Parses the `KAMPING_COLL_STRATEGY` values.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "auto" | "" => Some(Self::Auto),
+            "flat" => Some(Self::Flat),
+            "hier" => Some(Self::Hier),
+            _ => None,
+        }
+    }
+}
+
+/// Binomial parent/children over an explicit member list, rooted at list
+/// index `root_idx`. Same shape as the flat binomial bcast/reduce, but
+/// over arbitrary rank subsets — the building block of both levels of
+/// the two-level trees. Members are communicator-local ranks; `my_idx`
+/// indexes `members`.
+fn binomial_over(members: &[usize], my_idx: usize, root_idx: usize) -> (Option<usize>, Vec<usize>) {
+    let n = members.len();
+    debug_assert!(my_idx < n && root_idx < n);
+    let rel = (my_idx + n - root_idx) % n;
+    let actual = |r: usize| members[(r + root_idx) % n];
+    let mut mask = 1usize;
+    let parent = if rel == 0 {
+        while mask < n {
+            mask <<= 1;
+        }
+        None
+    } else {
+        while rel & mask == 0 {
+            mask <<= 1;
+        }
+        Some(actual(rel - mask))
+    };
+    let mut children = Vec::new();
+    mask >>= 1;
+    while mask > 0 {
+        if rel + mask < n {
+            children.push(actual(rel + mask));
+        }
+        mask >>= 1;
+    }
+    (parent, children)
+}
+
+impl RawComm {
+    /// The rooted-collective strategy in effect for this communicator:
+    /// an explicit [`RawComm::set_coll_strategy`] override, else
+    /// `KAMPING_COLL_STRATEGY`, else `Auto`. Cached per communicator.
+    pub fn coll_strategy(&self) -> CollStrategy {
+        if let Some(s) = self.strategy.get() {
+            return s;
+        }
+        let s = std::env::var("KAMPING_COLL_STRATEGY")
+            .ok()
+            .and_then(|v| CollStrategy::parse(&v))
+            .unwrap_or_default();
+        self.strategy.set(Some(s));
+        s
+    }
+
+    /// True when the current strategy resolves to the two-level tree paths
+    /// for bcast/reduce. Uses only environment and topology — identical on
+    /// every rank.
+    pub(crate) fn use_hier(&self) -> bool {
+        match self.coll_strategy() {
+            CollStrategy::Flat => false,
+            CollStrategy::Hier => true,
+            CollStrategy::Auto => !self.single_host_view(),
+        }
+    }
+
+    /// Overrides the strategy for this communicator (API counterpart of
+    /// `KAMPING_COLL_STRATEGY`). Must be applied identically on every
+    /// rank *before* the collectives it should govern.
+    pub fn set_coll_strategy(&self, s: CollStrategy) {
+        self.strategy.set(Some(s));
+    }
+
+    /// Forces a synthetic host grouping of `k` contiguous rank blocks,
+    /// ignoring transport locality — lets tests and in-process benches
+    /// exercise the two-level trees without a multi-process launch.
+    /// Must be applied identically on every rank before first use.
+    pub fn set_fake_hosts(&self, k: usize) {
+        self.fake_hosts.set(Some(k));
+        *self.hier.borrow_mut() = None;
+        self.single_host.set(None);
+    }
+
+    pub(crate) fn fake_hosts_setting(&self) -> Option<usize> {
+        self.fake_hosts.get().or_else(|| {
+            std::env::var("KAMPING_FAKE_HOSTS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+    }
+
+    /// True if every rank of this communicator shares the calling
+    /// process's host. Computed from the local locality view only — the
+    /// same-host relation partitions the job, so the predicate is
+    /// identical on every rank — and cached.
+    pub(crate) fn single_host_view(&self) -> bool {
+        if let Some(v) = self.single_host.get() {
+            return v;
+        }
+        let v = if self.fake_hosts_setting().is_some_and(|k| k >= 2) && self.size() > 1 {
+            false
+        } else {
+            let transport = &self.state.transport;
+            (0..self.size()).all(|l| transport.locality(self.group[l]).same_host())
+        };
+        self.single_host.set(Some(v));
+        v
+    }
+
+    /// Broadcast segment size: `KAMPING_BCAST_SEGMENT` (bytes) or the
+    /// default. Only the root's value shapes the wire; receivers follow
+    /// the self-describing header.
+    pub fn bcast_segment(&self) -> usize {
+        std::env::var("KAMPING_BCAST_SEGMENT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&s: &usize| s > 0)
+            .unwrap_or(DEFAULT_BCAST_SEGMENT)
+    }
+
+    /// The merged two-level tree rooted at `root`: group representatives
+    /// (the root for its own group, the leader elsewhere) form a binomial
+    /// tree over groups; every other rank hangs off its representative's
+    /// intra-group binomial tree. A representative's children list puts
+    /// the inter-host children first so remote forwarding starts before
+    /// local fan-out.
+    pub(crate) fn hier_tree(&self, h: &HierTopo, root: usize) -> (Option<usize>, Vec<usize>) {
+        let me = self.rank();
+        let root_g = h.group_of[root];
+        let rep = |g: usize| if g == root_g { root } else { h.leader(g) };
+        let g = h.my_group;
+        let my_rep = rep(g);
+        let members = &h.groups[g];
+        let my_idx = members
+            .iter()
+            .position(|&r| r == me)
+            .expect("rank is in its own group");
+        let rep_idx = members
+            .iter()
+            .position(|&r| r == my_rep)
+            .expect("representative is in the group");
+        let (intra_parent, intra_children) = binomial_over(members, my_idx, rep_idx);
+        if me != my_rep {
+            return (intra_parent, intra_children);
+        }
+        let reps: Vec<usize> = (0..h.groups.len()).map(rep).collect();
+        let (lead_parent, mut children) = binomial_over(&reps, g, root_g);
+        children.extend(intra_children);
+        (lead_parent, children)
+    }
+
+    /// Pipelined broadcast along an explicit (parent, children) relation:
+    /// the root cuts `buf` into `segment`-byte envelopes (the first
+    /// prefixed with a (total, segment) header) and every inner node
+    /// relays each envelope as it arrives. One shared payload allocation
+    /// per segment backs the whole fan-out.
+    pub(crate) fn bcast_pipelined_tree(
+        &self,
+        buf: &mut Vec<u8>,
+        parent: Option<usize>,
+        children: &[usize],
+        segment: usize,
+        tag: Tag,
+    ) -> MpiResult<()> {
+        let Some(parent) = parent else {
+            let total = buf.len();
+            let seg = segment.max(1);
+            let nseg = total.div_ceil(seg).max(1);
+            for i in 0..nseg {
+                let lo = i * seg;
+                let hi = total.min(lo + seg);
+                let mut wire = Vec::with_capacity(if i == 0 { SEG_HDR } else { 0 } + hi - lo);
+                if i == 0 {
+                    wire.extend_from_slice(&(total as u64).to_le_bytes());
+                    wire.extend_from_slice(&(seg as u64).to_le_bytes());
+                }
+                wire.extend_from_slice(&buf[lo..hi]);
+                let payload = Payload::from_vec(wire);
+                for &c in children {
+                    self.send_payload_internal(c, tag, payload.clone())?;
+                }
+            }
+            return Ok(());
+        };
+        let first = self.recv_payload_internal(parent, tag)?;
+        for &c in children {
+            self.send_payload_internal(c, tag, first.clone())?;
+        }
+        let first = first.into_vec();
+        if first.len() < SEG_HDR {
+            return Err(MpiError::Internal("pipelined bcast: truncated header"));
+        }
+        let total = u64::from_le_bytes(first[..8].try_into().expect("8 bytes")) as usize;
+        let seg = (u64::from_le_bytes(first[8..16].try_into().expect("8 bytes")) as usize).max(1);
+        let nseg = total.div_ceil(seg).max(1);
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&first[SEG_HDR..]);
+        for _ in 1..nseg {
+            let payload = self.recv_payload_internal(parent, tag)?;
+            for &c in children {
+                self.send_payload_internal(c, tag, payload.clone())?;
+            }
+            out.extend_from_slice(&payload.into_vec());
+        }
+        if out.len() != total {
+            return Err(MpiError::Internal(
+                "pipelined bcast: reassembled length mismatch",
+            ));
+        }
+        *buf = out;
+        Ok(())
+    }
+
+    /// Two-level pipelined broadcast (dispatched from [`RawComm::bcast`]
+    /// when the strategy selects hierarchy).
+    pub(crate) fn bcast_hier_inner(
+        &self,
+        buf: &mut Vec<u8>,
+        root: usize,
+        tag: Tag,
+        h: &HierTopo,
+    ) -> MpiResult<()> {
+        let (parent, children) = self.hier_tree(h, root);
+        self.bcast_pipelined_tree(buf, parent, &children, self.bcast_segment(), tag)
+    }
+
+    /// Pipelined, segmented broadcast over the *flat* binomial tree with
+    /// an explicit segment size — the A/B point between the zero-copy
+    /// store-and-forward tree and the hierarchy-aware paths.
+    pub fn bcast_segmented(&self, buf: &mut Vec<u8>, root: usize, segment: usize) -> MpiResult<()> {
+        let _op = self.record(crate::profile::Op::Bcast);
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: p,
+            });
+        }
+        let tag = coll_tag(self.next_coll_seq());
+        let members: Vec<usize> = (0..p).collect();
+        let (parent, children) = binomial_over(&members, self.rank(), root);
+        self.bcast_pipelined_tree(buf, parent, &children, segment, tag)
+    }
+
+    /// Tree reduce along an explicit (parent, children) relation: combine
+    /// every child's buffer (in reverse child order, so intra-host
+    /// subtrees — listed last — fold first), then forward to the parent.
+    /// Like the flat binomial reduce, non-root buffers are consumed.
+    pub(crate) fn reduce_tree(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+        parent: Option<usize>,
+        children: &[usize],
+        tag: Tag,
+    ) -> MpiResult<()> {
+        for &c in children.iter().rev() {
+            let part = self.recv_internal(c, tag)?;
+            if part.len() != buf.len() {
+                return Err(MpiError::InvalidCounts {
+                    what: "reduce buffers differ in length",
+                });
+            }
+            combine(buf, &part, op, elem_size);
+        }
+        if let Some(parent) = parent {
+            self.send_internal(parent, tag, std::mem::take(buf))?;
+        }
+        Ok(())
+    }
+
+    /// Two-level reduce (dispatched from [`RawComm::reduce`]).
+    pub(crate) fn reduce_hier_inner(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+        root: usize,
+        tag: Tag,
+        h: &HierTopo,
+    ) -> MpiResult<()> {
+        let (parent, children) = self.hier_tree(h, root);
+        self.reduce_tree(buf, op, elem_size, parent, &children, tag)
+    }
+
+    /// Two-level allreduce: reduce inside each group to its leader, a
+    /// recursive-doubling allreduce across the leaders (one full-payload
+    /// exchange per ⌈log₂ #groups⌉ round — the inter-host critical path),
+    /// then a pipelined broadcast back down inside each group.
+    pub(crate) fn allreduce_hier(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+        h: &Arc<HierTopo>,
+    ) -> MpiResult<()> {
+        let reduce_tag = coll_tag(self.next_coll_seq());
+        let leader_tag = coll_tag(self.next_coll_seq());
+        let bcast_tag = coll_tag(self.next_coll_seq());
+        let members = &h.groups[h.my_group];
+        let my_idx = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("rank is in its own group");
+        let (parent, children) = binomial_over(members, my_idx, 0);
+        self.reduce_tree(buf, op, elem_size, parent, &children, reduce_tag)?;
+        if my_idx == 0 {
+            let leaders = h.leaders();
+            self.allreduce_rd_over(&leaders, h.my_group, buf, op, elem_size, leader_tag)?;
+        }
+        self.bcast_pipelined_tree(buf, parent, &children, self.bcast_segment(), bcast_tag)
+    }
+
+    /// Recursive-doubling allreduce over an explicit member list (used at
+    /// the leader level). Non-power-of-two counts take the standard fold:
+    /// the first `2r` members pair up, odd members park their data with
+    /// the even partner and re-enter at the end.
+    fn allreduce_rd_over(
+        &self,
+        members: &[usize],
+        my_idx: usize,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+        tag: Tag,
+    ) -> MpiResult<()> {
+        let n = members.len();
+        if n <= 1 {
+            return Ok(());
+        }
+        let k = prev_power_of_two(n);
+        let r = n - k;
+        let combine_in = |buf: &mut Vec<u8>, part: Vec<u8>| -> MpiResult<()> {
+            if part.len() != buf.len() {
+                return Err(MpiError::InvalidCounts {
+                    what: "allreduce buffers differ in length",
+                });
+            }
+            combine(buf, &part, op, elem_size);
+            Ok(())
+        };
+        // Fold down: odd members of the first 2r hand off and wait.
+        let new_idx = if my_idx < 2 * r {
+            if my_idx % 2 == 1 {
+                self.send_internal(members[my_idx - 1], tag, buf.clone())?;
+                *buf = self.recv_internal(members[my_idx - 1], tag)?;
+                return Ok(());
+            }
+            combine_in(buf, self.recv_internal(members[my_idx + 1], tag)?)?;
+            my_idx / 2
+        } else {
+            my_idx - r
+        };
+        let to_actual = |j: usize| members[if j < r { 2 * j } else { j + r }];
+        let mut span = 1usize;
+        while span < k {
+            let partner = to_actual(new_idx ^ span);
+            self.send_internal(partner, tag, buf.clone())?;
+            combine_in(buf, self.recv_internal(partner, tag)?)?;
+            span <<= 1;
+        }
+        // Fold up: hand the result back to the parked odd partner.
+        if my_idx < 2 * r {
+            self.send_internal(members[my_idx + 1], tag, buf.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Rabenseifner allreduce: recursive-halving reduce-scatter followed
+    /// by a recursive-doubling allgather. Bandwidth-optimal for large
+    /// payloads — each rank moves ~2·(p−1)/p·n bytes instead of the
+    /// 2·n·log p of tree reduce+bcast. Works for any `p` (non-power-of-two
+    /// sizes fold the first `2r` ranks into pairs first) and any element
+    /// count (chunks split at element granularity; tiny payloads just get
+    /// empty chunks). Requires an associative *and commutative* operator,
+    /// like every reduction here.
+    pub fn allreduce_rabenseifner(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+    ) -> MpiResult<()> {
+        let _op = self.record(crate::profile::Op::Allreduce);
+        self.allreduce_rabenseifner_inner(buf, op, elem_size)
+    }
+
+    pub(crate) fn allreduce_rabenseifner_inner(
+        &self,
+        buf: &mut Vec<u8>,
+        op: ByteOp<'_>,
+        elem_size: usize,
+    ) -> MpiResult<()> {
+        if elem_size == 0 || !buf.len().is_multiple_of(elem_size) {
+            return Err(MpiError::InvalidCounts {
+                what: "allreduce buffer not a multiple of elem_size",
+            });
+        }
+        let p = self.size();
+        let fold_tag = coll_tag(self.next_coll_seq());
+        let rs_tag = coll_tag(self.next_coll_seq());
+        let ag_tag = coll_tag(self.next_coll_seq());
+        if p == 1 {
+            return Ok(());
+        }
+        let me = self.rank();
+        let count = buf.len() / elem_size;
+        let k = prev_power_of_two(p);
+        let r = p - k;
+        // Element range of chunk `j` of `k`: monotone integer split that
+        // tolerates count < k (empty chunks) without special cases.
+        let bound = |j: usize| j * count / k * elem_size;
+        let combine_range = |buf: &mut [u8], lo: usize, hi: usize, part: &[u8]| -> MpiResult<()> {
+            if part.len() != hi - lo {
+                return Err(MpiError::InvalidCounts {
+                    what: "allreduce buffers differ in length",
+                });
+            }
+            combine(&mut buf[lo..hi], part, op, elem_size);
+            Ok(())
+        };
+        // Fold down to a power-of-two group.
+        let new_idx = if me < 2 * r {
+            if me % 2 == 1 {
+                self.send_internal(me - 1, fold_tag, buf.clone())?;
+                *buf = self.recv_internal(me - 1, fold_tag)?;
+                return Ok(());
+            }
+            let part = self.recv_internal(me + 1, fold_tag)?;
+            let len = buf.len();
+            combine_range(buf, 0, len, &part)?;
+            me / 2
+        } else {
+            me - r
+        };
+        let to_actual = |j: usize| if j < r { 2 * j } else { j + r };
+        // Reduce-scatter by recursive halving: my chunk window [clo, chi)
+        // narrows by half each round; I ship the half I'm dropping and
+        // fold incoming data into the half I keep.
+        let mut clo = 0usize;
+        let mut chi = k;
+        let mut span = k >> 1;
+        while span > 0 {
+            let partner = to_actual(new_idx ^ span);
+            let mid = clo + (chi - clo) / 2;
+            let (keep, ship) = if new_idx & span == 0 {
+                ((clo, mid), (mid, chi))
+            } else {
+                ((mid, chi), (clo, mid))
+            };
+            self.send_internal(partner, rs_tag, buf[bound(ship.0)..bound(ship.1)].to_vec())?;
+            let part = self.recv_internal(partner, rs_tag)?;
+            combine_range(buf, bound(keep.0), bound(keep.1), &part)?;
+            (clo, chi) = keep;
+            span >>= 1;
+        }
+        debug_assert_eq!((clo, chi), (new_idx, new_idx + 1));
+        // Allgather by recursive doubling: the owned window doubles each
+        // round, received halves land in their final position.
+        let mut span = 1usize;
+        while span < k {
+            let partner = to_actual(new_idx ^ span);
+            self.send_internal(partner, ag_tag, buf[bound(clo)..bound(chi)].to_vec())?;
+            let part = self.recv_internal(partner, ag_tag)?;
+            let (plo, phi) = if new_idx & span == 0 {
+                (chi, chi + (chi - clo))
+            } else {
+                (clo - (chi - clo), clo)
+            };
+            if part.len() != bound(phi) - bound(plo) {
+                return Err(MpiError::InvalidCounts {
+                    what: "allreduce buffers differ in length",
+                });
+            }
+            buf[bound(plo)..bound(phi)].copy_from_slice(&part);
+            (clo, chi) = (clo.min(plo), chi.max(phi));
+            span <<= 1;
+        }
+        debug_assert_eq!((clo, chi), (0, k));
+        // Fold back up to the parked odd ranks.
+        if me < 2 * r {
+            self.send_internal(me + 1, fold_tag, buf.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Largest power of two ≤ `n` (n ≥ 1).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    fn u64_op() -> impl Fn(&mut [u8], &[u8]) + Sync {
+        |acc: &mut [u8], rhs: &[u8]| {
+            let a = u64::from_le_bytes(acc.try_into().unwrap());
+            let b = u64::from_le_bytes(rhs.try_into().unwrap());
+            acc.copy_from_slice(&(a.wrapping_add(b)).to_le_bytes());
+        }
+    }
+
+    fn encode(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn binomial_over_covers_every_member_once() {
+        for n in 1..=17 {
+            for root in 0..n {
+                let members: Vec<usize> = (100..100 + n).collect();
+                let mut seen_parent = vec![0usize; n];
+                for i in 0..n {
+                    let (parent, children) = binomial_over(&members, i, root);
+                    if i == root {
+                        assert!(parent.is_none());
+                    } else {
+                        assert!(parent.is_some());
+                    }
+                    for c in children {
+                        let ci = members.iter().position(|&m| m == c).unwrap();
+                        seen_parent[ci] += 1;
+                        // Child's computed parent must point back at me.
+                        let (cp, _) = binomial_over(&members, ci, root);
+                        assert_eq!(cp, Some(members[i]), "n={n} root={root}");
+                    }
+                }
+                seen_parent[root] = 1;
+                assert!(seen_parent.iter().all(|&c| c == 1), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_bcast_matches_tree_bcast() {
+        for p in [1, 2, 3, 5, 8, 13] {
+            Universe::run(p, |comm| {
+                for (root, seg) in [(0usize, 1usize), (p - 1, 7), (p / 2, 64), (0, 1 << 20)] {
+                    let want: Vec<u8> = (0..777u32).flat_map(|i| i.to_le_bytes()).collect();
+                    let mut buf = if comm.rank() == root {
+                        want.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast_segmented(&mut buf, root, seg).unwrap();
+                    assert_eq!(buf, want, "p={p} root={root} seg={seg}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn segmented_bcast_empty_payload() {
+        Universe::run(4, |comm| {
+            let mut buf = Vec::new();
+            comm.bcast_segmented(&mut buf, 2, 4096).unwrap();
+            assert!(buf.is_empty());
+        });
+    }
+
+    #[test]
+    fn rabenseifner_matches_flat_allreduce() {
+        for p in [1, 2, 3, 4, 5, 6, 7, 8, 11, 16] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                // Deliberately includes counts smaller than p (empty
+                // chunks) and counts not divisible by p.
+                for count in [1usize, 3, p, 4 * p + 1, 257] {
+                    let vals: Vec<u64> = (0..count as u64)
+                        .map(|i| i * 31 + comm.rank() as u64)
+                        .collect();
+                    let mut rab = encode(&vals);
+                    let mut flat = rab.clone();
+                    comm.allreduce_rabenseifner(&mut rab, &op, 8).unwrap();
+                    comm.allreduce(&mut flat, &op, 8).unwrap();
+                    assert_eq!(rab, flat, "p={p} count={count}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_matches_flat_with_fake_hosts() {
+        for (p, hosts) in [(8, 2), (13, 3), (16, 4), (9, 9), (6, 1)] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                comm.set_fake_hosts(hosts);
+                comm.set_coll_strategy(CollStrategy::Hier);
+                let mut buf = encode(&[comm.rank() as u64, 7, 1 << 40]);
+                comm.allreduce(&mut buf, &op, 8).unwrap();
+                let n = p as u64;
+                assert_eq!(
+                    buf,
+                    encode(&[n * (n - 1) / 2, 7 * n, n << 40]),
+                    "p={p} hosts={hosts}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn hier_bcast_and_reduce_match_flat_with_fake_hosts() {
+        for (p, hosts) in [(8, 2), (13, 4), (5, 5)] {
+            Universe::run(p, |comm| {
+                let op = u64_op();
+                comm.set_fake_hosts(hosts);
+                comm.set_coll_strategy(CollStrategy::Hier);
+                for root in 0..p {
+                    let want: Vec<u8> = (0..257u16).flat_map(|i| i.to_le_bytes()).collect();
+                    let mut buf = if comm.rank() == root {
+                        want.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    comm.bcast(&mut buf, root).unwrap();
+                    assert_eq!(buf, want, "p={p} hosts={hosts} root={root}");
+
+                    let mut acc = encode(&[comm.rank() as u64 + 1]);
+                    comm.reduce(&mut acc, &op, 8, root).unwrap();
+                    if comm.rank() == root {
+                        let n = p as u64;
+                        assert_eq!(acc, encode(&[n * (n + 1) / 2]), "root={root}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn hier_topo_groups_fake_hosts_contiguously() {
+        Universe::run(10, |comm| {
+            comm.set_fake_hosts(3);
+            let h = comm.hier_topo().unwrap();
+            assert_eq!(h.groups.len(), 3);
+            assert_eq!(h.groups[0], vec![0, 1, 2, 3]);
+            assert_eq!(h.groups[1], vec![4, 5, 6, 7]);
+            assert_eq!(h.groups[2], vec![8, 9]);
+            assert_eq!(h.leaders(), vec![0, 4, 8]);
+            assert!(h.has_fanout());
+            assert_eq!(h.my_group, h.group_of[comm.rank()]);
+        });
+    }
+
+    #[test]
+    fn shm_backend_is_one_group() {
+        Universe::run(5, |comm| {
+            let h = comm.hier_topo().unwrap();
+            assert_eq!(h.groups.len(), 1);
+            assert_eq!(h.groups[0], vec![0, 1, 2, 3, 4]);
+            assert!(!h.has_fanout());
+            assert!(comm.single_host_view());
+        });
+    }
+
+    #[test]
+    fn strategy_parse_and_default() {
+        assert_eq!(CollStrategy::parse("auto"), Some(CollStrategy::Auto));
+        assert_eq!(CollStrategy::parse("flat"), Some(CollStrategy::Flat));
+        assert_eq!(CollStrategy::parse("hier"), Some(CollStrategy::Hier));
+        assert_eq!(CollStrategy::parse("bogus"), None);
+    }
+}

@@ -68,6 +68,7 @@ pub mod comm;
 pub mod dtype;
 pub mod error;
 pub mod fault;
+pub mod hier;
 pub mod ibarrier;
 pub mod icoll;
 pub mod measurements;
@@ -82,8 +83,10 @@ pub mod transport;
 pub mod universe;
 
 pub use chaos::{ChaosSpec, ChaosTransport};
+pub use coll::{AlltoallAlgo, SparseMsg};
 pub use comm::RawComm;
 pub use error::{MpiError, MpiResult};
+pub use hier::CollStrategy;
 pub use icoll::{OwnedByteOp, RawCollRequest};
 pub use measurements::{TimerTree, TreeAggregate};
 pub use p2p::Status;

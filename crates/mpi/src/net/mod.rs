@@ -90,9 +90,14 @@ pub struct SocketConfig {
     /// Directory holding the per-rank inbox ring files
     /// (`KAMPING_SHM_DIR`; required for `shm-xproc`).
     pub shm_dir: Option<PathBuf>,
-    /// The co-located rank set (`KAMPING_LOCAL_RANKS`, comma-separated).
-    /// `None` means every rank shares this host. A pair talks over rings
-    /// iff *both* ends are in the set; all other pairs use sockets.
+    /// The co-located rank set (`KAMPING_LOCAL_RANKS`). `None` means every
+    /// rank shares this host. A pair talks over rings iff *both* ends are
+    /// in the set; all other pairs use sockets.
+    ///
+    /// Syntax: comma-separated ranks and/or `a-b` ranges, with `;`
+    /// separating host groups (`"0-3;4-7"` emulates two 4-rank hosts on
+    /// one machine). Each process keeps only the group containing its own
+    /// rank, so both ends of an intra-group pair agree on ring wiring.
     pub local_ranks: Option<Vec<usize>>,
     /// Per-channel ring capacity in bytes (`KAMPING_RING_KB`).
     pub ring_bytes: usize,
@@ -154,19 +159,31 @@ impl SocketConfig {
         let local_ranks = match get("KAMPING_LOCAL_RANKS") {
             None => None,
             Some(list) => {
-                let parsed: Result<Vec<usize>, _> =
-                    list.split(',').map(|s| s.trim().parse()).collect();
-                let parsed = parsed.map_err(|_| {
-                    MpiError::Config(format!(
-                        "KAMPING_LOCAL_RANKS must be a comma-separated rank list, got {list:?}"
-                    ))
-                })?;
-                if let Some(&bad) = parsed.iter().find(|&&r| r >= ranks) {
+                let groups = parse_local_groups(&list).map_err(MpiError::Config)?;
+                if let Some(&bad) = groups.iter().flatten().find(|&&r| r >= ranks) {
                     return Err(MpiError::Config(format!(
                         "KAMPING_LOCAL_RANKS names rank {bad}, but KAMPING_RANKS={ranks}"
                     )));
                 }
-                Some(parsed)
+                // Keep the group containing this rank: a pair is ring-wired
+                // iff both ends kept each other, which holds exactly for
+                // intra-group pairs because groups are disjoint.
+                let mut seen = std::collections::HashSet::new();
+                for g in &groups {
+                    for &r in g {
+                        if !seen.insert(r) {
+                            return Err(MpiError::Config(format!(
+                                "KAMPING_LOCAL_RANKS lists rank {r} in two host groups"
+                            )));
+                        }
+                    }
+                }
+                Some(
+                    groups
+                        .into_iter()
+                        .find(|g| g.contains(&rank))
+                        .unwrap_or_default(),
+                )
             }
         };
         let ring_bytes = match get("KAMPING_RING_KB") {
@@ -195,6 +212,42 @@ impl SocketConfig {
             ring_bytes,
         }))
     }
+}
+
+/// Parses the `KAMPING_LOCAL_RANKS` grammar: `;`-separated host groups,
+/// each a comma-separated mix of ranks and `a-b` ranges.
+fn parse_local_groups(list: &str) -> Result<Vec<Vec<usize>>, String> {
+    let bad = |what: &str| {
+        format!("KAMPING_LOCAL_RANKS must be ranks/ranges like 0,1 or 0-3;4-7: {what}")
+    };
+    let mut groups = Vec::new();
+    for group in list.split(';') {
+        let mut ranks = Vec::new();
+        for item in group.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match item.split_once('-') {
+                None => ranks.push(item.parse().map_err(|_| bad(item))?),
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().map_err(|_| bad(item))?;
+                    let hi: usize = hi.trim().parse().map_err(|_| bad(item))?;
+                    if lo > hi {
+                        return Err(bad(item));
+                    }
+                    ranks.extend(lo..=hi);
+                }
+            }
+        }
+        if !ranks.is_empty() {
+            groups.push(ranks);
+        }
+    }
+    if groups.is_empty() {
+        return Err(bad("empty list"));
+    }
+    Ok(groups)
 }
 
 /// What the rendezvous leaves behind on each side.

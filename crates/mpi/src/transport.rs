@@ -764,6 +764,14 @@ pub enum Locality {
     Remote,
 }
 
+impl Locality {
+    /// True if the rank shares this host (in-process or shared memory) —
+    /// the grouping predicate of the hierarchical collectives.
+    pub fn same_host(self) -> bool {
+        self <= Locality::Host
+    }
+}
+
 /// A message-passing backend: the seam between the rank-facing substrate
 /// (communicators, p2p, collectives, requests) and the machinery that
 /// moves bytes between ranks.

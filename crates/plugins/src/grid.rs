@@ -13,6 +13,12 @@
 //! column does not reach the destination's row take a third, within-column
 //! cleanup hop. All three phases are sub-communicator `alltoallv`s, so the
 //! O(√p) startup bound holds for every p.
+//!
+//! The routing engine itself lives in the substrate
+//! ([`kamping_mpi::RawComm::grid_alltoallv`]) so it can participate in the
+//! strategy-selected all-to-all dispatch
+//! ([`kamping_mpi::RawComm::alltoallv_strategy`]); this plugin is the
+//! typed convenience surface over it.
 
 use kamping::plugin::CommunicatorPlugin;
 use kamping::types::{bytes_to_pods, pod_as_bytes, PodType};
@@ -20,72 +26,29 @@ use kamping::{Communicator, KResult, KampingError};
 
 /// A communicator organized as a virtual 2D grid (√p × √p).
 pub struct GridCommunicator {
+    raw: kamping_mpi::RawComm,
     size: usize,
     /// Grid width (⌈√p⌉).
     width: usize,
-    my_row: usize,
-    my_col: usize,
-    row_comm: Communicator,
-    col_comm: Communicator,
 }
 
 /// The grid all-to-all plugin (extension trait, §III-F).
 pub trait GridAlltoall: CommunicatorPlugin {
-    /// Builds the grid (collective: two communicator splits). Reuse the
-    /// returned object across exchanges — construction costs two splits.
+    /// Builds the grid (collective: two communicator splits, performed
+    /// eagerly and cached on the communicator). Reuse the returned object
+    /// across exchanges.
     fn make_grid(&self) -> KResult<GridCommunicator> {
         let comm = self.comm();
-        let p = comm.size();
-        let width = (p as f64).sqrt().ceil() as usize;
-        let my_row = comm.rank() / width;
-        let my_col = comm.rank() % width;
-        let row_comm = comm.split(my_row as u64, my_col as u64)?;
-        let col_comm = comm.split(width as u64 + my_col as u64, my_row as u64)?;
+        let cache = comm.raw().grid_cache()?;
         Ok(GridCommunicator {
-            size: p,
-            width,
-            my_row,
-            my_col,
-            row_comm,
-            col_comm,
+            size: comm.size(),
+            width: cache.width(),
+            raw: comm.raw().clone(),
         })
     }
 }
 
 impl GridAlltoall for Communicator {}
-
-/// One routed message block on the wire: header (final destination,
-/// original source, payload byte length) followed by the payload.
-fn push_block(wire: &mut Vec<u8>, dest: usize, src: usize, payload: &[u8]) {
-    wire.extend_from_slice(&(dest as u64).to_le_bytes());
-    wire.extend_from_slice(&(src as u64).to_le_bytes());
-    wire.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    wire.extend_from_slice(payload);
-}
-
-/// Iterates the blocks of a routed wire buffer.
-fn for_each_block(wire: &[u8], mut f: impl FnMut(usize, usize, &[u8])) -> KResult<()> {
-    let mut off = 0;
-    while off < wire.len() {
-        if off + 24 > wire.len() {
-            return Err(KampingError::InvalidArgument(
-                "grid: truncated block header",
-            ));
-        }
-        let dest = u64::from_le_bytes(wire[off..off + 8].try_into().expect("8")) as usize;
-        let src = u64::from_le_bytes(wire[off + 8..off + 16].try_into().expect("8")) as usize;
-        let len = u64::from_le_bytes(wire[off + 16..off + 24].try_into().expect("8")) as usize;
-        off += 24;
-        if off + len > wire.len() {
-            return Err(KampingError::InvalidArgument(
-                "grid: truncated block payload",
-            ));
-        }
-        f(dest, src, &wire[off..off + len]);
-        off += len;
-    }
-    Ok(())
-}
 
 impl GridCommunicator {
     /// Number of ranks in the underlying communicator.
@@ -96,33 +59,6 @@ impl GridCommunicator {
     /// Grid width (⌈√p⌉).
     pub fn width(&self) -> usize {
         self.width
-    }
-
-    fn row_of(&self, rank: usize) -> usize {
-        rank / self.width
-    }
-
-    fn col_of(&self, rank: usize) -> usize {
-        rank % self.width
-    }
-
-    /// Number of ranks in column `col`.
-    fn col_len(&self, col: usize) -> usize {
-        // Ranks col, col+w, col+2w, … below `size`.
-        if col >= self.size {
-            0
-        } else {
-            (self.size - col).div_ceil(self.width)
-        }
-    }
-
-    /// Routes one phase: exchanges per-member wire buffers on `comm` and
-    /// returns the concatenation of everything received.
-    fn exchange_phase(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> KResult<Vec<u8>> {
-        debug_assert_eq!(outgoing.len(), comm.size());
-        let counts: Vec<usize> = outgoing.iter().map(Vec::len).collect();
-        let data: Vec<u8> = outgoing.concat();
-        comm.alltoallv_vec(&data, &counts)
     }
 
     /// Personalized all-to-all over the grid: `send_counts[d]` elements of
@@ -144,47 +80,13 @@ impl GridCommunicator {
                 "grid alltoallv: send_counts do not sum to data length",
             ));
         }
-        let me = self.my_row * self.width + self.my_col;
-
-        // --- Phase A: within my column, towards the destination's row.
-        let mut phase_a: Vec<Vec<u8>> = vec![Vec::new(); self.col_comm.size()];
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(self.size);
         let mut offset = 0usize;
-        for (dest, &count) in send_counts.iter().enumerate() {
-            let payload = pod_as_bytes(&data[offset..offset + count]);
+        for &count in send_counts {
+            parts.push(pod_as_bytes(&data[offset..offset + count]).to_vec());
             offset += count;
-            if count == 0 {
-                continue; // nothing to route; receivers infer zero counts
-            }
-            let target_row = self.row_of(dest).min(self.col_len(self.my_col) - 1);
-            push_block(&mut phase_a[target_row], dest, me, payload);
         }
-        let after_a = Self::exchange_phase(&self.col_comm, phase_a)?;
-
-        // --- Phase B: within my row, towards the destination's column.
-        let mut phase_b: Vec<Vec<u8>> = vec![Vec::new(); self.row_comm.size()];
-        for_each_block(&after_a, |dest, src, payload| {
-            let target_col = self.col_of(dest);
-            debug_assert!(target_col < self.row_comm.size());
-            push_block(&mut phase_b[target_col], dest, src, payload);
-        })?;
-        let after_b = Self::exchange_phase(&self.row_comm, phase_b)?;
-
-        // --- Phase C: within my column, cleanup hop for messages whose
-        // sender column was shorter than the destination's row.
-        let mut phase_c: Vec<Vec<u8>> = vec![Vec::new(); self.col_comm.size()];
-        for_each_block(&after_b, |dest, src, payload| {
-            let target_row = self.row_of(dest);
-            debug_assert!(target_row < self.col_comm.size());
-            push_block(&mut phase_c[target_row], dest, src, payload);
-        })?;
-        let after_c = Self::exchange_phase(&self.col_comm, phase_c)?;
-
-        // --- Collect, grouped by original source.
-        let mut by_source: Vec<Vec<u8>> = vec![Vec::new(); self.size];
-        for_each_block(&after_c, |dest, src, payload| {
-            debug_assert_eq!(dest, me);
-            by_source[src].extend_from_slice(payload);
-        })?;
+        let by_source = self.raw.grid_alltoallv(&parts)?;
         let mut out = Vec::new();
         let mut recv_counts = vec![0usize; self.size];
         for (src, bytes) in by_source.iter().enumerate() {
@@ -227,6 +129,32 @@ mod tests {
                 assert_eq!(got, want, "p={p} rank={}", comm.rank());
                 let expected_counts: Vec<usize> = (0..p).map(|s| (s + comm.rank()) % 3).collect();
                 assert_eq!(recv_counts, expected_counts);
+            });
+        }
+    }
+
+    /// Exhaustive equivalence against the dense `alltoallv` for every
+    /// communicator size 2..=17 — pins the cleanup-hop routing on every
+    /// partial-last-row shape (the non-square primes 5, 7, 11, 13, 17 are
+    /// the interesting cases; squares and the rest ride along). Each rank
+    /// sends a distinct, size-varying payload to every destination so a
+    /// misroute cannot alias another rank's data.
+    #[test]
+    fn exhaustive_equivalence_p_2_to_17() {
+        for p in 2..=17usize {
+            kamping::run(p, |comm| {
+                let me = comm.rank();
+                let counts: Vec<usize> = (0..p).map(|d| (me * 5 + d * 3 + 1) % 7).collect();
+                let data: Vec<u64> = (0..p)
+                    .flat_map(|d| (0..counts[d]).map(move |i| ((me * p + d) * 100 + i) as u64))
+                    .collect();
+                let grid = comm.make_grid().unwrap();
+                let (got, recv_counts) = grid.alltoallv(&data, &counts).unwrap();
+                let want = reference(&comm, &data, &counts);
+                assert_eq!(got, want, "p={p} rank={me}");
+                let expected_counts: Vec<usize> =
+                    (0..p).map(|s| (s * 5 + me * 3 + 1) % 7).collect();
+                assert_eq!(recv_counts, expected_counts, "p={p} rank={me}");
             });
         }
     }

@@ -14,23 +14,23 @@
 //!    completes, every message in the system has been matched — stop.
 //!
 //! Cost: O(degree) messages per rank plus a barrier — no term linear in p.
+//!
+//! The NBX engine itself lives in the substrate
+//! ([`kamping_mpi::RawComm::sparse_alltoallv`]) so it can participate in
+//! the strategy-selected all-to-all dispatch
+//! ([`kamping_mpi::RawComm::alltoallv_strategy`]); this plugin is the typed
+//! convenience surface over it, exactly as the paper's plugin wraps its
+//! C++ core.
 
 use std::collections::HashMap;
 
 use kamping::plugin::CommunicatorPlugin;
 use kamping::types::{bytes_to_pods, pod_as_bytes, PodType};
 use kamping::{Communicator, KResult};
-use kamping_mpi::tag::MAX_USER_TAG;
-use kamping_mpi::{RawRequest, ANY_SOURCE};
 
-/// Number of tags in the rotation band.
-const SPARSE_TAG_ROTATION: kamping_mpi::Tag = 4096;
-
-/// First tag of the band reserved by this plugin for NBX traffic (the top
-/// 4096 user tags; applications should stay below [`SPARSE_TAG_BASE`]).
-/// Rotating the tag between rounds keeps a fast rank's next-round message
-/// from being matched by a peer still draining the previous round.
-pub const SPARSE_TAG_BASE: kamping_mpi::Tag = MAX_USER_TAG - (SPARSE_TAG_ROTATION - 1);
+/// First tag of the band reserved for NBX traffic (re-exported from the
+/// substrate; applications should stay below it).
+pub use kamping_mpi::coll::SPARSE_TAG_BASE;
 
 /// A message received by [`SparseAlltoall::sparse_alltoall`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,65 +52,20 @@ pub trait SparseAlltoall: CommunicatorPlugin {
         &self,
         messages: HashMap<usize, Vec<T>>,
     ) -> KResult<Vec<SparseMessage<T>>> {
-        let comm = self.comm();
-        let raw = comm.raw();
-        // Per-round tag: rank-synchronized because sparse_alltoall is
-        // collective (every rank calls it in the same order).
-        let tag = SPARSE_TAG_BASE + (raw.next_operation_seq() % SPARSE_TAG_ROTATION);
-
-        // 1. Post all sends in synchronous mode.
-        let mut send_reqs: Vec<RawRequest> = Vec::with_capacity(messages.len());
-        for (dest, data) in &messages {
-            let wire = pod_as_bytes(data).to_vec();
-            send_reqs.push(raw.issend(*dest, tag, wire)?);
+        let raw = self.comm().raw();
+        let wire: Vec<(usize, Vec<u8>)> = messages
+            .iter()
+            .map(|(dest, data)| (*dest, pod_as_bytes(data).to_vec()))
+            .collect();
+        let received = raw.sparse_alltoallv(&wire)?;
+        let mut out = Vec::with_capacity(received.len());
+        for msg in received {
+            out.push(SparseMessage {
+                source: msg.source,
+                data: bytes_to_pods(&msg.data)?,
+            });
         }
-
-        let mut received: Vec<SparseMessage<T>> = Vec::new();
-        let mut barrier: Option<RawRequest> = None;
-
-        // 2. Probe/receive until the barrier certifies global quiescence.
-        loop {
-            // Drain all currently visible messages.
-            while let Some(status) = raw.iprobe(ANY_SOURCE, tag)? {
-                let (wire, st) = raw.recv(status.source, tag)?;
-                received.push(SparseMessage {
-                    source: st.source,
-                    data: bytes_to_pods(&wire)?,
-                });
-            }
-
-            match &mut barrier {
-                None => {
-                    // All own sends matched? Then join the barrier.
-                    let all_done = {
-                        let mut done = true;
-                        for r in &mut send_reqs {
-                            if !r.is_complete() && r.test()?.is_none() {
-                                done = false;
-                            }
-                        }
-                        done
-                    };
-                    if all_done {
-                        barrier = Some(raw.ibarrier()?);
-                    }
-                }
-                Some(req) => {
-                    if req.test()?.is_some() {
-                        break;
-                    }
-                }
-            }
-            std::thread::yield_now();
-        }
-
-        // No draining after barrier completion: synchronous-mode semantics
-        // guarantee every message of this round was matched before any rank
-        // entered the barrier, and a drain here could steal messages of a
-        // *subsequent* NBX round from a fast peer.
-
-        received.sort_by_key(|m| m.source);
-        Ok(received)
+        Ok(out)
     }
 }
 
@@ -119,7 +74,7 @@ impl SparseAlltoall for Communicator {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kamping_mpi::Op;
+    use kamping_mpi::{ChaosSpec, Op, Universe};
 
     #[test]
     fn ring_pattern_delivers_exactly_neighbors() {
@@ -205,5 +160,52 @@ mod tests {
                 assert_eq!(sources, vec![1, 2, 3, 4, 5]);
             }
         });
+    }
+
+    /// Regression: a transport that duplicates envelopes (chaos `dup`
+    /// faults) must not double-deliver sparse messages. The raw NBX engine
+    /// stamps each message with a per-round sequence number and drops
+    /// duplicate (source, sequence) deliveries; before that fix, every
+    /// duplicated envelope surfaced as a phantom `SparseMessage`.
+    ///
+    /// The pattern sends *two* messages to rank 0 from the last rank (its
+    /// ring neighbour is 0 too), so the test also proves the dedupe keeps
+    /// distinct same-source messages apart from fault duplicates.
+    #[test]
+    fn chaos_dup_does_not_double_deliver() {
+        let p = 6;
+        let spec = ChaosSpec::parse("42:dup=100").unwrap();
+        Universe::run_with_chaos(p, spec, |comm| {
+            for round in 0..3u8 {
+                let right = (comm.rank() + 1) % p;
+                let msgs = vec![
+                    (right, vec![round, comm.rank() as u8]),
+                    (0, vec![0xA0 | comm.rank() as u8]),
+                ];
+                let got = comm.sparse_alltoallv(&msgs).unwrap();
+                if comm.rank() == 0 {
+                    // Ring message from p-1 plus one direct message from
+                    // every rank: p + 1 in total, with BOTH messages from
+                    // rank p-1 present exactly once each.
+                    assert_eq!(got.len(), p + 1, "round {round}");
+                    let from_last: Vec<&Vec<u8>> = got
+                        .iter()
+                        .filter(|m| m.source == p - 1)
+                        .map(|m| &m.data)
+                        .collect();
+                    assert_eq!(
+                        from_last,
+                        vec![&vec![round, (p - 1) as u8], &vec![0xA0 | (p - 1) as u8]],
+                        "round {round}"
+                    );
+                } else {
+                    let left = (comm.rank() + p - 1) % p;
+                    assert_eq!(got.len(), 1, "round {round}");
+                    assert_eq!(got[0].source, left);
+                    assert_eq!(got[0].data, vec![round, left as u8]);
+                }
+            }
+        })
+        .unwrap();
     }
 }

@@ -12,7 +12,7 @@ use kamping_mpi::Universe;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-const SIZES: [usize; 9] = [1, 2, 3, 4, 5, 7, 8, 13, 16];
+const SIZES: [usize; 10] = [1, 2, 3, 4, 5, 7, 8, 13, 16, 64];
 
 fn rank_bytes(seed: u64, rank: usize, len: usize) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64) << 32);
@@ -168,6 +168,89 @@ fn barriers_synchronize_for_all_sizes() {
             assert_eq!(before.load(Ordering::SeqCst), 2 * p, "naive p={p}");
         });
     }
+}
+
+#[test]
+fn hier_strategy_matches_naive_at_p64() {
+    // Force the two-level (node-leader + intra-node) algorithms on a
+    // synthetic 4-host topology and check them against the naive
+    // baselines at a production-ish rank count.
+    use kamping_mpi::CollStrategy;
+    let sum: kamping_mpi::ByteOp<'_> = &|acc, x| {
+        for (a, b) in acc.chunks_exact_mut(8).zip(x.chunks_exact(8)) {
+            let s = u64::from_le_bytes(a.try_into().unwrap())
+                .wrapping_add(u64::from_le_bytes(b.try_into().unwrap()));
+            a.copy_from_slice(&s.to_le_bytes());
+        }
+    };
+    let p = 64;
+    for root in [0usize, 17, 63] {
+        let data = rank_bytes(0xB1 ^ root as u64, 0, 777);
+        let outs = Universe::run(p, |comm| {
+            comm.set_fake_hosts(4);
+            comm.set_coll_strategy(CollStrategy::Hier);
+            // bcast
+            let mut tree = if comm.rank() == root {
+                data.clone()
+            } else {
+                Vec::new()
+            };
+            comm.bcast(&mut tree, root).unwrap();
+            let mut naive = if comm.rank() == root {
+                data.clone()
+            } else {
+                Vec::new()
+            };
+            comm.bcast_naive(&mut naive, root).unwrap();
+            assert_eq!(tree, naive, "bcast root={root} rank={}", comm.rank());
+            // reduce + allreduce
+            let mine: Vec<u8> = (0..9)
+                .flat_map(|e| ((comm.rank() * 1000 + e) as u64).to_le_bytes())
+                .collect();
+            let mut red = mine.clone();
+            comm.reduce(&mut red, sum, 8, root).unwrap();
+            let mut red_naive = mine.clone();
+            comm.reduce_naive(&mut red_naive, sum, 8, root).unwrap();
+            if comm.rank() == root {
+                assert_eq!(red, red_naive, "reduce root={root}");
+            }
+            let mut all = mine.clone();
+            comm.allreduce(&mut all, sum, 8).unwrap();
+            let mut all_naive = red_naive;
+            comm.bcast_naive(&mut all_naive, root).unwrap();
+            assert_eq!(all, all_naive, "allreduce root={root} rank={}", comm.rank());
+            tree
+        });
+        for o in outs {
+            assert_eq!(o, data, "root={root}");
+        }
+    }
+}
+
+#[test]
+fn rabenseifner_auto_kicks_in_and_matches_at_p64() {
+    // A >=32 KiB payload at p=64 on one host takes the Rabenseifner
+    // reduce-scatter + allgather path under Auto; equivalence vs naive.
+    let sum: kamping_mpi::ByteOp<'_> = &|acc, x| {
+        for (a, b) in acc.chunks_exact_mut(8).zip(x.chunks_exact(8)) {
+            let s = u64::from_le_bytes(a.try_into().unwrap())
+                .wrapping_add(u64::from_le_bytes(b.try_into().unwrap()));
+            a.copy_from_slice(&s.to_le_bytes());
+        }
+    };
+    let p = 64;
+    let elems = 8 * 1024; // 64 KiB
+    Universe::run(p, |comm| {
+        let mine: Vec<u8> = (0..elems)
+            .flat_map(|e| ((comm.rank() * 1_000_003 + e) as u64).to_le_bytes())
+            .collect();
+        let mut fast = mine.clone();
+        comm.allreduce(&mut fast, sum, 8).unwrap();
+        let mut naive = mine;
+        comm.reduce_naive(&mut naive, sum, 8, 0).unwrap();
+        comm.bcast_naive(&mut naive, 0).unwrap();
+        assert_eq!(fast, naive, "rank={}", comm.rank());
+    });
 }
 
 #[test]
