@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp]
-//!          [--trace out.json] -- <program> [args...]
+//!          [--trace out.json] [--metrics out.jsonl] [--interval ms]
+//!          [--metrics-tty] [--crash-dir DIR] -- <program> [args...]
 //! ```
 //!
 //! Spawns `N` copies of `<program>` wired together over the cross-process
@@ -21,9 +22,28 @@
 //! With `--trace out.json`, every rank records transport events
 //! (`KAMPING_TRACE` pointed at a scratch directory) and the per-rank
 //! traces are merged, time-sorted, into one Chrome trace-event file that
-//! Perfetto / `chrome://tracing` can load directly.
+//! Perfetto / `chrome://tracing` can load directly. Ranks whose trace
+//! rings overflowed are called out on stderr so a clean-looking merge is
+//! never mistaken for a complete one.
+//!
+//! With `--metrics out.jsonl`, rank 0 polls every rank's metrics registry
+//! over the data plane and appends one merged JSON record per interval
+//! (`--interval`, default 1000 ms): throughput, op latency percentiles,
+//! per-rank blocked-wait ratios, and straggler flags. `--metrics-tty`
+//! tails that stream and renders a one-line dashboard on stderr while the
+//! job runs (it implies metrics collection; without `--metrics` the
+//! records go to a scratch file that is deleted afterwards).
+//!
+//! With `--crash-dir DIR`, every rank arms the flight recorder: on a peer
+//! failure, timeout, or panic, each surviving rank dumps its last trace
+//! events and final metrics snapshot to `DIR/crash-rank<r>.json`. After
+//! the job exits, kampirun folds those into `DIR/post-mortem.json` and
+//! names the first-failing rank and the ops in flight.
 
+use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use kamping_mpi::net::{launch, Backend, LaunchSpec};
 
@@ -31,7 +51,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("kampirun: {err}");
     eprintln!(
         "usage: kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp] \
-         [--trace out.json] -- <program> [args...]"
+         [--trace out.json] [--metrics out.jsonl] [--interval ms] [--metrics-tty] \
+         [--crash-dir DIR] -- <program> [args...]"
     );
     ExitCode::from(2)
 }
@@ -46,12 +67,51 @@ fn parse_backend(v: &str) -> Option<Backend> {
     }
 }
 
+/// Follows the metrics JSONL file while the job runs, rendering each
+/// complete record as a one-line dashboard on stderr. The file may not
+/// exist yet when the thread starts (rank 0 creates it on its first
+/// interval), and the last line may be mid-write — only lines terminated
+/// by `\n` are consumed.
+fn tail_metrics(path: std::path::PathBuf, stop: Arc<AtomicBool>) {
+    let mut offset = 0u64;
+    let mut pending = String::new();
+    loop {
+        let done = stop.load(Ordering::Acquire);
+        if let Ok(mut f) = std::fs::File::open(&path) {
+            use std::io::Seek as _;
+            if f.seek(std::io::SeekFrom::Start(offset)).is_ok() {
+                let mut chunk = String::new();
+                if let Ok(n) = f.read_to_string(&mut chunk) {
+                    offset += n as u64;
+                    pending.push_str(&chunk);
+                    while let Some(at) = pending.find('\n') {
+                        let line: String = pending.drain(..=at).collect();
+                        if let Some(row) = kamping_mpi::metrics::tty_line(line.trim_end()) {
+                            eprintln!("{row}");
+                        }
+                    }
+                }
+            }
+        }
+        // One extra pass after stop so the final partial interval —
+        // flushed by rank 0 during teardown — still makes the dashboard.
+        if done {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut ranks: Option<usize> = None;
     let mut tcp = false;
     let mut backend: Option<Backend> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut interval_ms: Option<u64> = None;
+    let mut metrics_tty = false;
+    let mut crash_dir: Option<std::path::PathBuf> = None;
     let mut program = None;
     let mut prog_args = Vec::new();
 
@@ -75,6 +135,29 @@ fn main() -> ExitCode {
                     return usage("--trace needs an output path argument");
                 };
                 trace_out = Some(path.into());
+            }
+            "--metrics" => {
+                let Some(path) = args.next() else {
+                    return usage("--metrics needs an output path argument");
+                };
+                metrics_out = Some(path.into());
+            }
+            "--interval" => {
+                let Some(ms) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms >= 10)
+                else {
+                    return usage("--interval needs an integer argument >= 10 (milliseconds)");
+                };
+                interval_ms = Some(ms);
+            }
+            "--metrics-tty" => metrics_tty = true,
+            "--crash-dir" => {
+                let Some(path) = args.next() else {
+                    return usage("--crash-dir needs a directory argument");
+                };
+                crash_dir = Some(path.into());
             }
             "--" => {
                 program = args.next();
@@ -121,6 +204,39 @@ fn main() -> ExitCode {
             .push(("KAMPING_TRACE".to_string(), dir.display().to_string()));
     }
 
+    // --metrics-tty without --metrics still needs a file to tail; park the
+    // stream in a scratch path and clean it up afterwards.
+    let metrics_scratch = (metrics_tty && metrics_out.is_none()).then(|| {
+        std::env::temp_dir().join(format!("kampirun-metrics-{}.jsonl", std::process::id()))
+    });
+    let metrics_path = metrics_out.as_ref().or(metrics_scratch.as_ref()).cloned();
+    if let Some(path) = &metrics_path {
+        spec.env
+            .push(("KAMPING_METRICS".to_string(), path.display().to_string()));
+    }
+    if let Some(ms) = interval_ms {
+        spec.env
+            .push(("KAMPING_METRICS_INTERVAL_MS".to_string(), ms.to_string()));
+    }
+    if let Some(dir) = &crash_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("kampirun: creating crash directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        spec.env
+            .push(("KAMPING_CRASH_DIR".to_string(), dir.display().to_string()));
+    }
+
+    let tty = metrics_tty.then(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let path = metrics_path.clone().expect("tty implies a metrics path");
+        let tail = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || tail_metrics(path, stop))
+        };
+        (stop, tail)
+    });
+
     let exits = match launch(&spec) {
         Ok(exits) => exits,
         Err(e) => {
@@ -129,12 +245,65 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some((stop, tail)) = tty {
+        stop.store(true, Ordering::Release);
+        let _ = tail.join();
+    }
+    if let Some(scratch) = &metrics_scratch {
+        let _ = std::fs::remove_file(scratch);
+    }
+
     if let (Some(dir), Some(out)) = (&trace_dir, &trace_out) {
         match kamping_mpi::trace::merge_trace_dir(dir, out) {
-            Ok(n) => eprintln!("kampirun: wrote {n} trace events to {}", out.display()),
+            Ok(report) => {
+                eprintln!(
+                    "kampirun: wrote {} trace events to {}",
+                    report.events,
+                    out.display()
+                );
+                if report.total_dropped() > 0 {
+                    for (rank, dropped) in &report.dropped {
+                        if *dropped > 0 {
+                            eprintln!(
+                                "kampirun: warning: rank {rank} dropped {dropped} trace events \
+                                 (ring overflow) — the merged trace is incomplete"
+                            );
+                        }
+                    }
+                }
+            }
             Err(e) => eprintln!("kampirun: merging traces from {}: {e}", dir.display()),
         }
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    if let Some(dir) = &crash_dir {
+        match kamping_mpi::metrics::collect_crash_reports(dir) {
+            Ok(Some(doc)) => {
+                let out = dir.join("post-mortem.json");
+                if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+                    eprintln!("kampirun: writing {}: {e}", out.display());
+                }
+                let first = kamping_mpi::metrics::scrape_u64(&doc, "first_failed");
+                let failed = kamping_mpi::metrics::scrape_array(&doc, "failed").unwrap_or_default();
+                match first {
+                    Some(r) => eprintln!(
+                        "kampirun: post-mortem: first failing rank {r} (failed: {failed:?}); \
+                         see {}",
+                        out.display()
+                    ),
+                    None => eprintln!(
+                        "kampirun: post-mortem written to {} (no failed rank identified)",
+                        out.display()
+                    ),
+                }
+            }
+            Ok(None) => {} // clean run: the flight recorder stayed quiet
+            Err(e) => eprintln!(
+                "kampirun: collecting crash reports from {}: {e}",
+                dir.display()
+            ),
+        }
     }
 
     let mut code: Option<u8> = None;

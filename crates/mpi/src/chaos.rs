@@ -423,10 +423,24 @@ impl ChaosTransport {
         let _ = self.trace.set(trace);
     }
 
-    /// Records one injected fault as a trace event (no-op when tracing is
-    /// off or no context is bound).
+    /// Records one injected fault as a trace event and a metrics counter
+    /// (no-op when both are off or no context is bound). The counter lands
+    /// on the *victim* rank's registry — the side whose traffic is being
+    /// mangled is the one a dashboard reader will be staring at.
     fn trace_fault(&self, src: usize, dst: usize, fault: &'static str) {
         if let Some(t) = self.trace.get() {
+            if t.metrics().enabled() {
+                use crate::metrics::Counter;
+                let c = match fault {
+                    "drop" => Counter::FaultsDropped,
+                    "dup" => Counter::FaultsDuplicated,
+                    "delay" => Counter::FaultsDelayed,
+                    "reorder" => Counter::FaultsReordered,
+                    "sever" => Counter::FaultsSevered,
+                    _ => Counter::FaultsKilled,
+                };
+                t.metrics().rank(dst).add(c, 1);
+            }
             if t.tracing() {
                 t.record(EventKind::Chaos {
                     src: src as u32,

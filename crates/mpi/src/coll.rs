@@ -300,10 +300,12 @@ impl RawComm {
         #[cfg(not(feature = "naive"))]
         {
             if self.use_hier() {
+                self.note_strategy(crate::metrics::Counter::StrategyHier);
                 let h = self.hier_topo()?;
                 let tag = coll_tag(self.next_coll_seq());
                 return self.bcast_hier_inner(buf, root, tag, &h);
             }
+            self.note_strategy(crate::metrics::Counter::StrategyFlat);
             let tag = coll_tag(self.next_coll_seq());
             self.bcast_inner(buf, root, tag)
         }
@@ -1066,10 +1068,12 @@ impl RawComm {
                         what: "reduce buffer not a multiple of elem_size",
                     });
                 }
+                self.note_strategy(crate::metrics::Counter::StrategyHier);
                 let h = self.hier_topo()?;
                 let tag = coll_tag(self.next_coll_seq());
                 return self.reduce_hier_inner(buf, op, elem_size, root, tag, &h);
             }
+            self.note_strategy(crate::metrics::Counter::StrategyFlat);
             let tag = coll_tag(self.next_coll_seq());
             self.reduce_inner(buf, op, elem_size, root, tag)
         }
@@ -1192,6 +1196,7 @@ impl RawComm {
                             what: "reduce buffer not a multiple of elem_size",
                         });
                     }
+                    self.note_strategy(crate::metrics::Counter::StrategyHier);
                     let h = self.hier_topo()?;
                     return self.allreduce_hier(buf, op, elem_size, &h);
                 }
@@ -1204,6 +1209,7 @@ impl RawComm {
                                     what: "reduce buffer not a multiple of elem_size",
                                 });
                             }
+                            self.note_strategy(crate::metrics::Counter::StrategyHier);
                             return self.allreduce_hier(buf, op, elem_size, &h);
                         }
                     }
@@ -1214,6 +1220,7 @@ impl RawComm {
                 CollStrategy::Flat => {}
             }
         }
+        self.note_strategy(crate::metrics::Counter::StrategyFlat);
         let reduce_tag = coll_tag(self.next_coll_seq());
         let bcast_tag = coll_tag(self.next_coll_seq());
         self.reduce_inner(buf, op, elem_size, 0, reduce_tag)?;

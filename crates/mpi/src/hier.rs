@@ -125,6 +125,18 @@ impl RawComm {
         s
     }
 
+    /// Counts one strategy dispatch in this rank's metrics registry — the
+    /// dashboard's answer to "which tree did my collectives actually take".
+    pub(crate) fn note_strategy(&self, c: crate::metrics::Counter) {
+        if self.state.trace.metrics().enabled() {
+            self.state
+                .trace
+                .metrics()
+                .rank(self.my_global_rank())
+                .add(c, 1);
+        }
+    }
+
     /// True when the current strategy resolves to the two-level tree paths
     /// for bcast/reduce. Uses only environment and topology — identical on
     /// every rank.
@@ -468,6 +480,7 @@ impl RawComm {
                 what: "allreduce buffer not a multiple of elem_size",
             });
         }
+        self.note_strategy(crate::metrics::Counter::StrategyRabenseifner);
         let p = self.size();
         let fold_tag = coll_tag(self.next_coll_seq());
         let rs_tag = coll_tag(self.next_coll_seq());

@@ -244,6 +244,22 @@ impl CollCell {
     /// One non-blocking run of the schedule plus the fault scan, under the
     /// core lock. Returns `true` when the cell settled (done or failed).
     fn step_locked(&self, state: &UniverseState, core: &mut CollCore) -> bool {
+        let metrics_on = state.trace.metrics().enabled();
+        let start_ns = if metrics_on { state.trace.now_ns() } else { 0 };
+        let settled = self.step_locked_inner(state, core);
+        if metrics_on {
+            use crate::metrics::{Counter, Hist};
+            let rm = state.trace.metrics().rank(self.group[self.rank]);
+            rm.add(Counter::CollSteps, 1);
+            rm.observe(
+                Hist::CollStep,
+                state.trace.now_ns().saturating_sub(start_ns),
+            );
+        }
+        settled
+    }
+
+    fn step_locked_inner(&self, state: &UniverseState, core: &mut CollCore) -> bool {
         let CollCore::Running { sm, clean } = core else {
             return true;
         };
@@ -347,6 +363,12 @@ impl Drop for CollCell {
         // threads taking both registry locks for every collective-tagged
         // envelope (including blocking collectives') indefinitely.
         if let Some(state) = self.state.upgrade() {
+            if state.trace.metrics().enabled() {
+                use crate::metrics::{Counter, Gauge};
+                let rm = state.trace.metrics().rank(self.group[self.rank]);
+                rm.add(Counter::CollsCompleted, 1);
+                rm.gauge_sub(Gauge::CollsOutstanding, 1);
+            }
             state.icoll.active.fetch_sub(1, Ordering::Release);
         }
     }
@@ -613,6 +635,12 @@ impl RawComm {
             core: Mutex::new(CollCore::Running { sm, clean: None }),
             rerun: AtomicBool::new(false),
         });
+        if self.state.trace.metrics().enabled() {
+            use crate::metrics::{Counter, Gauge};
+            let rm = self.state.trace.metrics().rank(self.my_global_rank());
+            rm.add(Counter::CollsIssued, 1);
+            rm.gauge_add(Gauge::CollsOutstanding, 1);
+        }
         Registry::attach(&self.state, self.my_global_rank(), &cell);
         cell.advance(true);
         Ok(cell)

@@ -72,6 +72,7 @@ pub mod hier;
 pub mod ibarrier;
 pub mod icoll;
 pub mod measurements;
+pub mod metrics;
 pub mod net;
 pub mod p2p;
 pub mod profile;

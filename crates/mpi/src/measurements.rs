@@ -41,6 +41,12 @@ pub(crate) const AGG_SEQ_BASE: u32 = 0x00F0_0000;
 /// 24-bit constraint.
 pub(crate) const PROFILE_SEQ_BASE: u32 = 0x00E0_0000;
 
+/// Reserved sequence base for the live metrics snapshot protocol (rank 0
+/// pulls registry deltas over `coll_tag(METRICS_SEQ_BASE)` /
+/// `coll_tag(METRICS_SEQ_BASE + 1)`, see `crate::metrics`). Distinct from
+/// the other reserved bases; same 24-bit constraint.
+pub(crate) const METRICS_SEQ_BASE: u32 = 0x00D0_0000;
+
 /// Field / record separators for the schema exchange (control characters,
 /// never valid in phase names).
 const FIELD_SEP: char = '\u{1f}';

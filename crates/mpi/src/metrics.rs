@@ -1,0 +1,1477 @@
+//! Live metrics plane: per-rank lock-free registries, a periodic snapshot
+//! protocol, and the crash-evidence flight recorder.
+//!
+//! Where [`crate::trace`] answers *what happened, in order* (post-hoc, for
+//! Perfetto) and [`crate::profile`] counts calls, this module answers *how
+//! is the universe doing right now*: each rank owns a [`RankMetrics`] slot
+//! of monotonic counters, high-water gauges, and log-bucketed (base-2,
+//! 1 µs – 16 s) latency histograms, all plain relaxed atomics. Every hook
+//! sits behind the same one-load-one-branch gate `TraceCtx` uses, so the
+//! runtime-disabled path stays inside the existing overhead budget and the
+//! `no-trace` feature compiles the hooks out entirely.
+//!
+//! # Snapshot protocol
+//!
+//! Rank 0 periodically pulls every rank's registry and emits one merged
+//! JSONL record per interval (throughput, p50/p99 op latency, per-rank
+//! blocked-wait ratios, straggler flags). In-process (shm) the poller
+//! reads all registries directly; across processes it rides the normal
+//! data plane on a reserved collective-tag pair
+//! ([`crate::measurements::METRICS_SEQ_BASE`]), so no new wire machinery
+//! is needed. Dead or unresponsive ranks are reported as `stale` for the
+//! interval instead of stalling the poll — the property the chaos-kill
+//! soak relies on.
+//!
+//! # Flight recorder
+//!
+//! With `KAMPING_CRASH_DIR` set, tracing + metrics are forced on and every
+//! surviving rank that observes a failure (peer death, timeout, panic)
+//! dumps its last trace events plus a final metrics snapshot to
+//! `crash-rank<R>.json` at teardown. `kampirun` folds those into one
+//! post-mortem naming the first-failing rank and the ops in flight.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::MpiError;
+use crate::profile::{Op, ALL_OPS};
+use crate::tag::coll_tag;
+use crate::trace::TraceConfig;
+use crate::transport::{Envelope, MatchKey, Payload};
+use crate::universe::UniverseState;
+
+/// Histogram buckets: bucket 0 is `< 1 µs`, bucket `i` (1 ≤ i ≤ 24) is
+/// `[2^(i-1), 2^i) µs`, bucket 25 collects everything ≥ 2^24 µs (~16.8 s).
+pub const N_BUCKETS: usize = 26;
+
+/// Monotonic counters, one slot per [`Counter`] variant per rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Data-plane messages sent (mirrors the always-on profile counter;
+    /// filled at snapshot time, not on the hot path).
+    MsgsSent,
+    /// Data-plane payload bytes sent (filled at snapshot time).
+    BytesSent,
+    /// Envelopes deposited into this rank's mailbox.
+    MsgsDelivered,
+    /// Payload bytes deposited into this rank's mailbox.
+    BytesDelivered,
+    /// Substrate operations started (also the latency-sampling base).
+    OpsStarted,
+    /// Nanoseconds parked on the mailbox slow path.
+    BlockedNs,
+    /// Bounded waits that gave up with [`MpiError::Timeout`].
+    Timeouts,
+    /// Chaos faults injected, by kind.
+    FaultsDropped,
+    /// Duplicated envelopes.
+    FaultsDuplicated,
+    /// Delayed envelopes.
+    FaultsDelayed,
+    /// Reordered envelopes.
+    FaultsReordered,
+    /// Envelopes eaten by a severed channel.
+    FaultsSevered,
+    /// Kill faults fired.
+    FaultsKilled,
+    /// Progress-engine wakeups (socket backend).
+    EpollWakeups,
+    /// Ready epoll events serviced.
+    EpollEvents,
+    /// Data-plane frames moved by the progress engine.
+    EpollFrames,
+    /// `writev` batches flushed.
+    WritevCalls,
+    /// Frames coalesced across all `writev` batches.
+    WritevFrames,
+    /// Heartbeat pings sent.
+    PingsSent,
+    /// shm-xproc futex sleeps (producer full-ring + consumer idle).
+    RingFutexSleeps,
+    /// Nanoseconds spent in those futex sleeps.
+    RingFutexSleepNs,
+    /// Nonblocking collectives issued.
+    CollsIssued,
+    /// Nonblocking collectives retired (completed, failed, or abandoned).
+    CollsCompleted,
+    /// Collective state-machine steps taken.
+    CollSteps,
+    /// Rooted collectives dispatched to the flat (single-level) trees.
+    StrategyFlat,
+    /// Rooted collectives dispatched to the two-level hierarchy.
+    StrategyHier,
+    /// Allreduces dispatched to Rabenseifner reduce-scatter+allgather.
+    StrategyRabenseifner,
+}
+
+/// Number of [`Counter`] variants.
+pub const N_COUNTERS: usize = 27;
+
+/// All counters in discriminant order (the wire and JSONL layout).
+pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [
+    Counter::MsgsSent,
+    Counter::BytesSent,
+    Counter::MsgsDelivered,
+    Counter::BytesDelivered,
+    Counter::OpsStarted,
+    Counter::BlockedNs,
+    Counter::Timeouts,
+    Counter::FaultsDropped,
+    Counter::FaultsDuplicated,
+    Counter::FaultsDelayed,
+    Counter::FaultsReordered,
+    Counter::FaultsSevered,
+    Counter::FaultsKilled,
+    Counter::EpollWakeups,
+    Counter::EpollEvents,
+    Counter::EpollFrames,
+    Counter::WritevCalls,
+    Counter::WritevFrames,
+    Counter::PingsSent,
+    Counter::RingFutexSleeps,
+    Counter::RingFutexSleepNs,
+    Counter::CollsIssued,
+    Counter::CollsCompleted,
+    Counter::CollSteps,
+    Counter::StrategyFlat,
+    Counter::StrategyHier,
+    Counter::StrategyRabenseifner,
+];
+
+impl Counter {
+    /// Stable snake_case name (JSONL `totals` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MsgsSent => "msgs_sent",
+            Counter::BytesSent => "bytes_sent",
+            Counter::MsgsDelivered => "msgs_delivered",
+            Counter::BytesDelivered => "bytes_delivered",
+            Counter::OpsStarted => "ops_started",
+            Counter::BlockedNs => "blocked_ns",
+            Counter::Timeouts => "timeouts",
+            Counter::FaultsDropped => "faults_dropped",
+            Counter::FaultsDuplicated => "faults_duplicated",
+            Counter::FaultsDelayed => "faults_delayed",
+            Counter::FaultsReordered => "faults_reordered",
+            Counter::FaultsSevered => "faults_severed",
+            Counter::FaultsKilled => "faults_killed",
+            Counter::EpollWakeups => "epoll_wakeups",
+            Counter::EpollEvents => "epoll_events",
+            Counter::EpollFrames => "epoll_frames",
+            Counter::WritevCalls => "writev_calls",
+            Counter::WritevFrames => "writev_frames",
+            Counter::PingsSent => "pings_sent",
+            Counter::RingFutexSleeps => "ring_futex_sleeps",
+            Counter::RingFutexSleepNs => "ring_futex_sleep_ns",
+            Counter::CollsIssued => "colls_issued",
+            Counter::CollsCompleted => "colls_completed",
+            Counter::CollSteps => "coll_steps",
+            Counter::StrategyFlat => "strategy_flat",
+            Counter::StrategyHier => "strategy_hier",
+            Counter::StrategyRabenseifner => "strategy_raben",
+        }
+    }
+}
+
+/// Gauges. `CollsOutstanding` is a live level (summed across ranks when
+/// merging); the `*Max` gauges are high-water marks (max across ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Nonblocking collectives currently in flight.
+    CollsOutstanding,
+    /// Deepest progress-engine outbound queue observed.
+    OutboundQueueMax,
+    /// Highest shm-xproc ring occupancy (bytes) observed.
+    RingOccupancyMax,
+}
+
+/// Number of [`Gauge`] variants.
+pub const N_GAUGES: usize = 3;
+
+/// All gauges in discriminant order.
+pub const ALL_GAUGES: [Gauge; N_GAUGES] = [
+    Gauge::CollsOutstanding,
+    Gauge::OutboundQueueMax,
+    Gauge::RingOccupancyMax,
+];
+
+impl Gauge {
+    /// Stable snake_case name (JSONL `totals` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::CollsOutstanding => "colls_outstanding",
+            Gauge::OutboundQueueMax => "outbound_queue_max",
+            Gauge::RingOccupancyMax => "ring_occupancy_max",
+        }
+    }
+
+    /// True for high-water gauges (merged with `max`, not `+`).
+    fn is_high_water(self) -> bool {
+        !matches!(self, Gauge::CollsOutstanding)
+    }
+}
+
+/// Latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Substrate op latency (sampled 1-in-64 unless measuring is on).
+    OpLatency,
+    /// Heartbeat ping → pong round trips (socket backend).
+    HeartbeatRtt,
+    /// Nonblocking-collective state-machine step latency.
+    CollStep,
+}
+
+/// Number of [`Hist`] variants.
+pub const N_HISTS: usize = 3;
+
+/// Bucket index for a duration in nanoseconds (see [`N_BUCKETS`]).
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    let us = ns / 1000;
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` in microseconds (used for percentile
+/// reporting; the overflow bucket reports `2^25`).
+pub fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i.min(25)
+}
+
+/// One rank's registry slot. Written only by threads hosting that rank (or
+/// its transport helpers), read by the snapshot poller — all relaxed.
+#[derive(Debug)]
+pub struct RankMetrics {
+    counters: [AtomicU64; N_COUNTERS],
+    gauges: [AtomicU64; N_GAUGES],
+    hists: [[AtomicU64; N_BUCKETS]; N_HISTS],
+    /// `op as usize + 1` while an op scope is open, 0 otherwise — the
+    /// flight recorder's "op in flight at failure time".
+    current_op: AtomicU64,
+    /// Parks seen so far — the sampling base for blocked-wait timing
+    /// (local bookkeeping; never leaves the process).
+    park_seq: AtomicU64,
+    /// `TraceCtx::now_ns` when the in-flight op started, when known
+    /// (only timed scopes pay the clock read); 0 = unknown.
+    current_op_since_ns: AtomicU64,
+}
+
+impl Default for RankMetrics {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            current_op: AtomicU64::new(0),
+            park_seq: AtomicU64::new(0),
+            current_op_since_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl RankMetrics {
+    /// Adds `v` to a counter.
+    #[inline]
+    pub fn add(&self, c: Counter, v: u64) {
+        self.counters[c as usize].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Bumps the park counter and returns its previous value — the
+    /// sampling base for blocked-wait timing.
+    #[inline]
+    pub(crate) fn park_tick(&self) -> u64 {
+        self.park_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Adds `v` and returns the previous value (the sampling base).
+    #[inline]
+    pub fn add_ret(&self, c: Counter, v: u64) -> u64 {
+        self.counters[c as usize].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Reads a counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Raises a high-water gauge to at least `v`.
+    #[inline]
+    pub fn gauge_max(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Bumps a level gauge.
+    #[inline]
+    pub fn gauge_add(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Drops a level gauge (saturating at 0 via wrapping-safe sub on a
+    /// value that is only ever decremented after a matching add).
+    #[inline]
+    pub fn gauge_sub(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].fetch_sub(v, Ordering::Relaxed);
+    }
+
+    /// Records one latency observation (nanoseconds).
+    #[inline]
+    pub fn observe(&self, h: Hist, ns: u64) {
+        self.hists[h as usize][bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks `op` as in flight (flight-recorder breadcrumb).
+    #[inline]
+    pub(crate) fn set_in_flight(&self, op: Op, since_ns: u64) {
+        self.current_op.store(op as u64 + 1, Ordering::Relaxed);
+        self.current_op_since_ns.store(since_ns, Ordering::Relaxed);
+    }
+
+    /// Clears the in-flight breadcrumb.
+    #[inline]
+    pub(crate) fn clear_in_flight(&self) {
+        self.current_op.store(0, Ordering::Relaxed);
+    }
+
+    /// The op currently in flight, with its start (`now_ns` domain, 0 when
+    /// the start was not timed).
+    pub fn in_flight(&self) -> Option<(Op, u64)> {
+        let v = self.current_op.load(Ordering::Relaxed);
+        if v == 0 {
+            return None;
+        }
+        let op = *ALL_OPS.get(v as usize - 1)?;
+        Some((op, self.current_op_since_ns.load(Ordering::Relaxed)))
+    }
+}
+
+/// Per-universe metrics state: the enable gate and one [`RankMetrics`]
+/// slot per global rank. Lives inside [`crate::trace::TraceCtx`] so every
+/// existing instrumentation seam reaches it without new wiring.
+#[derive(Debug)]
+pub struct MetricsCtx {
+    enabled: AtomicBool,
+    ranks: Vec<RankMetrics>,
+}
+
+impl MetricsCtx {
+    /// A registry for `size` global ranks.
+    pub fn new(size: usize, enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            ranks: (0..size).map(|_| RankMetrics::default()).collect(),
+        }
+    }
+
+    /// True when metrics collection is on. Compile-time `false` under the
+    /// `no-trace` feature, one relaxed load otherwise — the same gate
+    /// shape as `TraceCtx::tracing`.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        if cfg!(feature = "no-trace") {
+            return false;
+        }
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips collection.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The slot of global rank `rank`.
+    #[inline]
+    pub fn rank(&self, rank: usize) -> &RankMetrics {
+        &self.ranks[rank]
+    }
+
+    /// Number of rank slots.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: capture / delta / merge / wire
+// ---------------------------------------------------------------------------
+
+/// Frozen copy of one rank's registry (or a delta, or a cross-rank merge —
+/// the same shape serves all three).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values in [`ALL_COUNTERS`] order.
+    pub counters: [u64; N_COUNTERS],
+    /// Gauge values in [`ALL_GAUGES`] order.
+    pub gauges: [u64; N_GAUGES],
+    /// Histogram buckets, `[hist][bucket]`.
+    pub hists: [[u64; N_BUCKETS]; N_HISTS],
+}
+
+/// Wire size of one snapshot: every cell as a little-endian `u64`, the
+/// same fixed-blob scheme as `RankProfile`.
+pub const METRICS_WIRE_BYTES: usize = (N_COUNTERS + N_GAUGES + N_HISTS * N_BUCKETS) * 8;
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self {
+            counters: [0; N_COUNTERS],
+            gauges: [0; N_GAUGES],
+            hists: [[0; N_BUCKETS]; N_HISTS],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Freezes `rm`. `sent` supplies the (messages, bytes) totals from the
+    /// always-on profile counters, so the send path needs no new hooks.
+    pub fn capture(rm: &RankMetrics, sent: (u64, u64)) -> Self {
+        let mut s = Self::default();
+        for i in 0..N_COUNTERS {
+            s.counters[i] = rm.counters[i].load(Ordering::Relaxed);
+        }
+        s.counters[Counter::MsgsSent as usize] = sent.0;
+        s.counters[Counter::BytesSent as usize] = sent.1;
+        for i in 0..N_GAUGES {
+            s.gauges[i] = rm.gauges[i].load(Ordering::Relaxed);
+        }
+        for h in 0..N_HISTS {
+            for b in 0..N_BUCKETS {
+                s.hists[h][b] = rm.hists[h][b].load(Ordering::Relaxed);
+            }
+        }
+        s
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// What happened since `earlier`: counters and histogram buckets
+    /// subtract; gauges keep the latest value (levels and high-waters are
+    /// instantaneous, not cumulative).
+    pub fn delta(&self, earlier: &Self) -> Self {
+        let mut d = self.clone();
+        for i in 0..N_COUNTERS {
+            d.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for h in 0..N_HISTS {
+            for b in 0..N_BUCKETS {
+                d.hists[h][b] = self.hists[h][b].saturating_sub(earlier.hists[h][b]);
+            }
+        }
+        d
+    }
+
+    /// Folds `other` (another rank) into `self`: counters and buckets add;
+    /// level gauges add, high-water gauges take the max.
+    pub fn merge(&mut self, other: &Self) {
+        for i in 0..N_COUNTERS {
+            self.counters[i] = self.counters[i].saturating_add(other.counters[i]);
+        }
+        for (i, g) in ALL_GAUGES.iter().enumerate() {
+            self.gauges[i] = if g.is_high_water() {
+                self.gauges[i].max(other.gauges[i])
+            } else {
+                self.gauges[i].saturating_add(other.gauges[i])
+            };
+        }
+        for h in 0..N_HISTS {
+            for b in 0..N_BUCKETS {
+                self.hists[h][b] = self.hists[h][b].saturating_add(other.hists[h][b]);
+            }
+        }
+    }
+
+    /// Fixed little-endian `u64` blob ([`METRICS_WIRE_BYTES`] long).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(METRICS_WIRE_BYTES);
+        for v in &self.counters {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.gauges {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for h in &self.hists {
+            for v in h {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a [`MetricsSnapshot::to_bytes`] blob; `None` on any size
+    /// mismatch (version skew across processes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != METRICS_WIRE_BYTES {
+            return None;
+        }
+        let word = |i: usize| {
+            let at = i * 8;
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte word"))
+        };
+        let mut s = Self::default();
+        let mut w = 0;
+        for v in &mut s.counters {
+            *v = word(w);
+            w += 1;
+        }
+        for v in &mut s.gauges {
+            *v = word(w);
+            w += 1;
+        }
+        for h in &mut s.hists {
+            for v in h.iter_mut() {
+                *v = word(w);
+                w += 1;
+            }
+        }
+        Some(s)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) of a histogram, reported as the upper
+    /// bucket bound in microseconds; 0 when the histogram is empty.
+    pub fn percentile_us(&self, h: Hist, q: f64) -> u64 {
+        hist_percentile_us(&self.hists[h as usize], q)
+    }
+}
+
+/// `q`-quantile of one bucket array, as the upper bucket bound in µs.
+pub fn hist_percentile_us(buckets: &[u64; N_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return bucket_bound_us(i);
+        }
+    }
+    bucket_bound_us(N_BUCKETS - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Interval records (JSONL)
+// ---------------------------------------------------------------------------
+
+/// Top-level JSONL field order — fixed, and asserted identical across
+/// backends by the telemetry tests.
+pub const JSONL_FIELDS: [&str; 13] = [
+    "seq",
+    "t_unix_ms",
+    "interval_ms",
+    "ranks",
+    "stale",
+    "msgs_per_s",
+    "bytes_per_s",
+    "op_p50_us",
+    "op_p99_us",
+    "blocked_ratio",
+    "blocked_median",
+    "stragglers",
+    "totals",
+];
+
+/// Inputs for one merged interval record.
+pub struct IntervalRecord<'a> {
+    /// Poll sequence number (1-based).
+    pub seq: u64,
+    /// Wall clock at emission, unix milliseconds.
+    pub t_unix_ms: u64,
+    /// Actual elapsed interval, milliseconds (≥ 1).
+    pub interval_ms: u64,
+    /// Universe size.
+    pub ranks: usize,
+    /// Ranks that did not report this interval (dead or unresponsive).
+    pub stale: &'a [usize],
+    /// Cross-rank merge of the per-rank deltas.
+    pub merged: &'a MetricsSnapshot,
+    /// Per-rank blocked-wait ratio for the interval (0..=1, one per rank).
+    pub blocked: &'a [f64],
+    /// Straggler threshold multiplier over the median blocked ratio.
+    pub straggler_factor: f64,
+}
+
+/// Median of `vals` (already assumed small); 0 for empty input.
+fn median(vals: &mut [f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(|a, b| a.total_cmp(b));
+    let n = vals.len();
+    if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+    }
+}
+
+/// Stragglers for the record: non-stale ranks whose blocked ratio exceeds
+/// `factor ×` the non-stale median (and a 1% floor, so an all-idle
+/// interval flags nobody). Returns (median, stragglers).
+pub fn stragglers(blocked: &[f64], stale: &[usize], factor: f64) -> (f64, Vec<usize>) {
+    let mut live: Vec<f64> = blocked
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !stale.contains(r))
+        .map(|(_, &v)| v)
+        .collect();
+    let med = median(&mut live);
+    let threshold = (med * factor).max(0.01);
+    let out = blocked
+        .iter()
+        .enumerate()
+        .filter(|(r, &v)| !stale.contains(r) && v > threshold)
+        .map(|(r, _)| r)
+        .collect();
+    (med, out)
+}
+
+fn json_usize_array(vals: &[usize]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders one merged interval as a single JSON line (no trailing
+/// newline), with the exact field order of [`JSONL_FIELDS`] — hand-built
+/// so the order is deterministic on every backend.
+pub fn format_interval_record(r: &IntervalRecord<'_>) -> String {
+    let interval_ms = r.interval_ms.max(1);
+    let msgs_per_s = r.merged.counter(Counter::MsgsSent) * 1000 / interval_ms;
+    let bytes_per_s = r.merged.counter(Counter::BytesSent) * 1000 / interval_ms;
+    let p50 = r.merged.percentile_us(Hist::OpLatency, 0.50);
+    let p99 = r.merged.percentile_us(Hist::OpLatency, 0.99);
+    let (blocked_median, straggler_ranks) = stragglers(r.blocked, r.stale, r.straggler_factor);
+    let blocked: Vec<String> = r.blocked.iter().map(|v| format!("{v:.4}")).collect();
+    let mut totals = String::from("{");
+    for (i, c) in ALL_COUNTERS.iter().enumerate() {
+        if i > 0 {
+            totals.push(',');
+        }
+        totals.push_str(&format!("\"{}\":{}", c.name(), r.merged.counters[i]));
+    }
+    for (i, g) in ALL_GAUGES.iter().enumerate() {
+        totals.push_str(&format!(",\"{}\":{}", g.name(), r.merged.gauges[i]));
+    }
+    totals.push('}');
+    format!(
+        "{{\"seq\":{},\"t_unix_ms\":{},\"interval_ms\":{},\"ranks\":{},\"stale\":{},\
+         \"msgs_per_s\":{},\"bytes_per_s\":{},\"op_p50_us\":{},\"op_p99_us\":{},\
+         \"blocked_ratio\":[{}],\"blocked_median\":{:.4},\"stragglers\":{},\"totals\":{}}}",
+        r.seq,
+        r.t_unix_ms,
+        interval_ms,
+        r.ranks,
+        json_usize_array(r.stale),
+        msgs_per_s,
+        bytes_per_s,
+        p50,
+        p99,
+        blocked.join(","),
+        blocked_median,
+        json_usize_array(&straggler_ranks),
+        totals,
+    )
+}
+
+/// One human dashboard line for `--metrics-tty`, derived from the scalar
+/// fields of a JSONL record line (field-scraped, no JSON parser).
+pub fn tty_line(record: &str) -> Option<String> {
+    let seq = scrape_u64(record, "seq")?;
+    let msgs = scrape_u64(record, "msgs_per_s")?;
+    let bytes = scrape_u64(record, "bytes_per_s")?;
+    let p50 = scrape_u64(record, "op_p50_us")?;
+    let p99 = scrape_u64(record, "op_p99_us")?;
+    let med = scrape_f64(record, "blocked_median")?;
+    let stale = scrape_array(record, "stale")?;
+    let strag = scrape_array(record, "stragglers")?;
+    let mut line = format!(
+        "[metrics #{seq}] {msgs} msg/s  {:.1} KiB/s  p50 {p50}us  p99 {p99}us  blocked {:.0}%",
+        bytes as f64 / 1024.0,
+        med * 100.0,
+    );
+    if !strag.is_empty() {
+        line.push_str(&format!("  STRAGGLERS {strag:?}"));
+    }
+    if !stale.is_empty() {
+        line.push_str(&format!("  stale {stale:?}"));
+    }
+    Some(line)
+}
+
+/// Extracts the integer after `"key":` in a JSON line.
+pub fn scrape_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the float after `"key":` in a JSON line.
+pub fn scrape_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `[..]` integer array after `"key":` in a JSON line.
+pub fn scrape_array(line: &str, key: &str) -> Option<Vec<usize>> {
+    let pat = format!("\"{key}\":[");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot plane: the poller / responder threads
+// ---------------------------------------------------------------------------
+
+/// Reserved collective-tag pair for the pull protocol (see
+/// [`crate::measurements::METRICS_SEQ_BASE`]).
+fn req_tag() -> crate::tag::Tag {
+    coll_tag(crate::measurements::METRICS_SEQ_BASE)
+}
+
+fn rep_tag() -> crate::tag::Tag {
+    coll_tag(crate::measurements::METRICS_SEQ_BASE + 1)
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Freezes the registry of global rank `r`, folding in the always-on
+/// profile send counters.
+pub(crate) fn capture_rank(state: &UniverseState, r: usize) -> MetricsSnapshot {
+    let prof = state.counters[r].snapshot();
+    MetricsSnapshot::capture(
+        state.trace.metrics().rank(r),
+        (prof.messages_sent, prof.bytes_sent),
+    )
+}
+
+/// Handle to the background snapshot threads; [`MetricsPlane::stop`] joins
+/// them (call before transport teardown).
+pub(crate) struct MetricsPlane {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsPlane {
+    /// Signals the threads and joins them. The poller emits one final
+    /// partial interval on the way out, so even runs shorter than the
+    /// interval produce a record.
+    pub(crate) fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Starts the in-process (shm backend) poller: every registry is in
+    /// this address space, so rank 0's pull is a direct read. Returns
+    /// `None` when metrics are off or no output path is configured.
+    pub(crate) fn start_local(state: &Arc<UniverseState>, cfg: &TraceConfig) -> Option<Self> {
+        if !state.trace.metrics().enabled() {
+            return None;
+        }
+        let out = cfg.metrics_out.clone()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let state = Arc::clone(state);
+        let interval = Duration::from_millis(cfg.metrics_interval_ms);
+        let factor = cfg.straggler_factor;
+        let handle = std::thread::Builder::new()
+            .name("kamping-metrics".into())
+            .spawn(move || {
+                let size = state.size;
+                let mut sink = IntervalSink::new(&out, size, factor);
+                loop {
+                    let stopped = sleep_until(&flag, interval);
+                    let stale: Vec<usize> = (0..size).filter(|&r| state.is_gone(r)).collect();
+                    let snaps: Vec<MetricsSnapshot> =
+                        (0..size).map(|r| capture_rank(&state, r)).collect();
+                    sink.emit(&snaps, &stale);
+                    if stopped {
+                        return;
+                    }
+                }
+            })
+            .ok()?;
+        Some(Self {
+            stop,
+            handles: vec![handle],
+        })
+    }
+
+    /// Starts the cross-process plane for the socket / shm-xproc backends:
+    /// rank 0 runs the poller (requests every live peer's snapshot each
+    /// interval over the reserved tag pair), every other rank runs a
+    /// responder. A peer that does not answer within the reply budget is
+    /// reported stale for that interval — the poll never hangs on a dead
+    /// rank.
+    pub(crate) fn start_socket(
+        state: &Arc<UniverseState>,
+        cfg: &TraceConfig,
+        me: usize,
+    ) -> Option<Self> {
+        if !state.trace.metrics().enabled() {
+            return None;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let state_arc = Arc::clone(state);
+        let handle = if me == 0 {
+            let out = cfg.metrics_out.clone()?;
+            let interval = Duration::from_millis(cfg.metrics_interval_ms);
+            let factor = cfg.straggler_factor;
+            std::thread::Builder::new()
+                .name("kamping-metrics-poll".into())
+                .spawn(move || socket_poller(&state_arc, &flag, &out, interval, factor))
+                .ok()?
+        } else {
+            std::thread::Builder::new()
+                .name("kamping-metrics-resp".into())
+                .spawn(move || socket_responder(&state_arc, &flag, me))
+                .ok()?
+        };
+        Some(Self {
+            stop,
+            handles: vec![handle],
+        })
+    }
+}
+
+/// Sleeps `interval` in short slices; returns true when `stop` was raised.
+fn sleep_until(stop: &AtomicBool, interval: Duration) -> bool {
+    let deadline = Instant::now() + interval;
+    while Instant::now() < deadline {
+        if stop.load(Ordering::Acquire) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10).min(interval));
+    }
+    stop.load(Ordering::Acquire)
+}
+
+/// Per-interval delta bookkeeping + JSONL appender shared by both plane
+/// flavours.
+struct IntervalSink {
+    out: PathBuf,
+    factor: f64,
+    seq: u64,
+    last_emit: Instant,
+    prev: Vec<MetricsSnapshot>,
+}
+
+impl IntervalSink {
+    fn new(out: &Path, size: usize, factor: f64) -> Self {
+        Self {
+            out: out.to_path_buf(),
+            factor,
+            seq: 0,
+            last_emit: Instant::now(),
+            prev: vec![MetricsSnapshot::default(); size],
+        }
+    }
+
+    /// Emits one record from fresh per-rank totals. `stale` ranks keep
+    /// their previous baseline so a later successful pull attributes the
+    /// missed interval's work instead of losing it.
+    fn emit(&mut self, totals: &[MetricsSnapshot], stale: &[usize]) {
+        self.seq += 1;
+        let interval_ms = (self.last_emit.elapsed().as_millis() as u64).max(1);
+        self.last_emit = Instant::now();
+        let interval_ns = interval_ms as f64 * 1e6;
+        let mut merged = MetricsSnapshot::default();
+        let mut blocked = vec![0.0; totals.len()];
+        for (r, total) in totals.iter().enumerate() {
+            if stale.contains(&r) {
+                continue;
+            }
+            let d = total.delta(&self.prev[r]);
+            blocked[r] = (d.counter(Counter::BlockedNs) as f64 / interval_ns).clamp(0.0, 1.0);
+            merged.merge(&d);
+            self.prev[r] = total.clone();
+        }
+        let rec = IntervalRecord {
+            seq: self.seq,
+            t_unix_ms: unix_ms(),
+            interval_ms,
+            ranks: totals.len(),
+            stale,
+            merged: &merged,
+            blocked: &blocked,
+            straggler_factor: self.factor,
+        };
+        let line = format_interval_record(&rec);
+        let _ = append_line(&self.out, &line);
+    }
+}
+
+fn append_line(path: &Path, line: &str) -> io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.flush()
+}
+
+/// Rank 0's cross-process poll loop.
+fn socket_poller(
+    state: &Arc<UniverseState>,
+    stop: &AtomicBool,
+    out: &Path,
+    interval: Duration,
+    factor: f64,
+) {
+    let size = state.size;
+    let mut sink = IntervalSink::new(out, size, factor);
+    // Last known totals per rank; stale ranks report their previous pull.
+    let mut totals = vec![MetricsSnapshot::default(); size];
+    let mut seq: u64 = 0;
+    let no_interrupt = || None;
+    loop {
+        let stopped = sleep_until(stop, interval);
+        seq += 1;
+        let live: Vec<usize> = (1..size).filter(|&r| !state.is_gone(r)).collect();
+        for &r in &live {
+            let mut payload = Vec::with_capacity(8);
+            payload.extend_from_slice(&seq.to_le_bytes());
+            state.transport.post(
+                r,
+                Envelope {
+                    src: 0,
+                    tag: req_tag(),
+                    ctx: 0,
+                    payload: Payload::from_vec(payload),
+                    ack: None,
+                },
+            );
+        }
+        // Reply budget: most of the interval, but never unbounded — a
+        // rank that died between the liveness check and the reply is
+        // simply stale this round.
+        let budget = (interval / 2).clamp(Duration::from_millis(50), Duration::from_millis(500));
+        let deadline = Instant::now() + budget;
+        let mut stale: Vec<usize> = (1..size).filter(|r| !live.contains(r)).collect();
+        for &r in &live {
+            let key = MatchKey {
+                src: r,
+                tag: rep_tag(),
+                ctx: 0,
+            };
+            loop {
+                match state
+                    .mailbox(0)
+                    .take_blocking_deadline(key, &no_interrupt, Some(deadline))
+                {
+                    Ok(d) => {
+                        let bytes = d.payload.as_slice();
+                        if bytes.len() < 8 {
+                            continue;
+                        }
+                        let rep_seq =
+                            u64::from_le_bytes(bytes[..8].try_into().expect("8-byte seq"));
+                        if rep_seq < seq {
+                            // Late answer to an earlier poll; drain it and
+                            // keep waiting for the current one.
+                            continue;
+                        }
+                        match MetricsSnapshot::from_bytes(&bytes[8..]) {
+                            Some(s) => totals[r] = s,
+                            None => stale.push(r),
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        stale.push(r);
+                        break;
+                    }
+                }
+            }
+        }
+        totals[0] = capture_rank(state, 0);
+        stale.sort_unstable();
+        stale.dedup();
+        sink.emit(&totals, &stale);
+        if stopped {
+            return;
+        }
+    }
+}
+
+/// A non-zero rank's reply loop: answer each snapshot request with the
+/// current registry blob, checking the stop flag between bounded waits.
+fn socket_responder(state: &Arc<UniverseState>, stop: &AtomicBool, me: usize) {
+    let key = MatchKey {
+        src: 0,
+        tag: req_tag(),
+        ctx: 0,
+    };
+    let no_interrupt = || None;
+    while !stop.load(Ordering::Acquire) {
+        let deadline = Instant::now() + Duration::from_millis(100);
+        match state
+            .mailbox(me)
+            .take_blocking_deadline(key, &no_interrupt, Some(deadline))
+        {
+            Ok(d) => {
+                let bytes = d.payload.as_slice();
+                if bytes.len() < 8 {
+                    continue;
+                }
+                let snap = capture_rank(state, me);
+                let mut payload = Vec::with_capacity(8 + METRICS_WIRE_BYTES);
+                payload.extend_from_slice(&bytes[..8]);
+                payload.extend_from_slice(&snap.to_bytes());
+                state.transport.post(
+                    0,
+                    Envelope {
+                        src: me,
+                        tag: rep_tag(),
+                        ctx: 0,
+                        payload: Payload::from_vec(payload),
+                        ack: None,
+                    },
+                );
+            }
+            Err(MpiError::Timeout { .. }) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Everything one rank knows at crash time.
+pub(crate) struct CrashInfo {
+    /// This (surviving) global rank.
+    pub rank: usize,
+    /// True when the rank's own closure panicked.
+    pub panicked: bool,
+    /// Global ranks marked failed, sorted.
+    pub failed: Vec<usize>,
+    /// The first failure this process observed, if any.
+    pub first_failed: Option<usize>,
+    /// Ops open at dump time: `(global rank, op name, since_ns)`.
+    pub ops_in_flight: Vec<(usize, &'static str, u64)>,
+    /// Trace events lost to ring overflow.
+    pub dropped_events: u64,
+    /// Final registry totals for this rank.
+    pub totals: MetricsSnapshot,
+    /// Last trace events, already rendered as Chrome JSON objects.
+    pub events: Vec<String>,
+}
+
+/// Writes `crash-rank<R>.json`. Scalar fields come first so the
+/// post-mortem collector can field-scrape the prefix without parsing the
+/// (arbitrary) event bodies.
+pub(crate) fn write_crash_report(dir: &Path, info: &CrashInfo) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut doc = format!(
+        "{{\"rank\":{},\"panicked\":{},\"failed\":{},\"first_failed\":{},\"timeouts\":{},\
+         \"dropped_events\":{},\"ops_in_flight\":[",
+        info.rank,
+        info.panicked,
+        json_usize_array(&info.failed),
+        match info.first_failed {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        },
+        info.totals.counter(Counter::Timeouts),
+        info.dropped_events,
+    );
+    for (i, (rank, op, since)) in info.ops_in_flight.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"rank\":{rank},\"op\":\"{op}\",\"since_ns\":{since}}}"
+        ));
+    }
+    doc.push_str("],\"totals\":{");
+    for (i, c) in ALL_COUNTERS.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("\"{}\":{}", c.name(), info.totals.counters[i]));
+    }
+    for (i, g) in ALL_GAUGES.iter().enumerate() {
+        doc.push_str(&format!(",\"{}\":{}", g.name(), info.totals.gauges[i]));
+    }
+    doc.push_str("},\"events\":[\n");
+    for (i, ev) in info.events.iter().enumerate() {
+        doc.push_str(ev);
+        if i + 1 < info.events.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("]}\n");
+    let path = dir.join(format!("crash-rank{}.json", info.rank));
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
+/// How many trailing trace events each crash report keeps.
+pub(crate) const CRASH_EVENT_TAIL: usize = 256;
+
+/// Writes one crash report per rank in `report_ranks` (the surviving
+/// ranks this process hosts), sharing one already-rendered event tail.
+/// In-flight ops are gathered from every registry visible in this
+/// process — on the shm backend that includes the frozen registries of
+/// dead ranks, which is usually where the interesting op sits.
+pub(crate) fn dump_crash_reports(
+    state: &UniverseState,
+    dir: &Path,
+    panicked: &[usize],
+    events: &[String],
+    dropped_events: u64,
+    report_ranks: &[usize],
+) {
+    let mut failed: Vec<usize> = state
+        .failed
+        .read()
+        .expect("failed set poisoned")
+        .iter()
+        .copied()
+        .collect();
+    failed.sort_unstable();
+    let first_failed = state.first_failed.get().copied();
+    let metrics = state.trace.metrics();
+    let ops_in_flight: Vec<(usize, &'static str, u64)> = (0..metrics.size())
+        .filter_map(|r| {
+            metrics
+                .rank(r)
+                .in_flight()
+                .map(|(op, since)| (r, op.name(), since))
+        })
+        .collect();
+    for &r in report_ranks {
+        let info = CrashInfo {
+            rank: r,
+            panicked: panicked.contains(&r),
+            failed: failed.clone(),
+            first_failed,
+            ops_in_flight: ops_in_flight.clone(),
+            dropped_events,
+            totals: capture_rank(state, r),
+            events: events.to_vec(),
+        };
+        if let Err(e) = write_crash_report(dir, &info) {
+            eprintln!("kamping: failed to write crash report for rank {r}: {e}");
+        }
+    }
+}
+
+/// Folds every `crash-rank*.json` in `dir` into one post-mortem document:
+/// the first-failing rank (consensus across reports), the union of failed
+/// and panicked ranks, and all ops in flight. Returns `None` when no
+/// crash reports exist.
+pub fn collect_crash_reports(dir: &Path) -> io::Result<Option<String>> {
+    let mut reports: Vec<(usize, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(rank) = name
+            .strip_prefix("crash-rank")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        reports.push((rank, std::fs::read_to_string(&path)?));
+    }
+    if reports.is_empty() {
+        return Ok(None);
+    }
+    reports.sort_by_key(|(r, _)| *r);
+    let mut failed: Vec<usize> = Vec::new();
+    let mut panicked: Vec<usize> = Vec::new();
+    let mut first_votes: Vec<usize> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    let mut timeouts = 0u64;
+    for (rank, body) in &reports {
+        // Scalar fields precede the event bodies; scrape only the prefix.
+        let head = &body[..body.find("\"events\"").unwrap_or(body.len())];
+        if let Some(f) = scrape_array(head, "failed") {
+            failed.extend(f);
+        }
+        if head.contains("\"panicked\":true") {
+            panicked.push(*rank);
+        }
+        if let Some(v) = scrape_u64(head, "first_failed") {
+            first_votes.push(v as usize);
+        }
+        timeouts += scrape_u64(head, "timeouts").unwrap_or(0);
+        if let Some(at) = head.find("\"ops_in_flight\":[") {
+            let rest = &head[at + "\"ops_in_flight\":[".len()..];
+            if let Some(end) = rest.find(']') {
+                let body = rest[..end].trim();
+                if !body.is_empty() {
+                    ops.push(body.to_string());
+                }
+            }
+        }
+    }
+    failed.sort_unstable();
+    failed.dedup();
+    // Consensus first-failing rank: the most frequent vote, smallest on a
+    // tie; fall back to the smallest failed rank when nobody voted.
+    let first_failed = {
+        let mut best: Option<(usize, usize)> = None;
+        for &v in &first_votes {
+            let count = first_votes.iter().filter(|&&x| x == v).count();
+            let better = match best {
+                None => true,
+                Some((bc, bv)) => count > bc || (count == bc && v < bv),
+            };
+            if better {
+                best = Some((count, v));
+            }
+        }
+        best.map(|(_, v)| v).or_else(|| failed.first().copied())
+    };
+    let reporters: Vec<usize> = reports.iter().map(|(r, _)| *r).collect();
+    let doc = format!(
+        "{{\"reports\":{},\"reporters\":{},\"first_failed\":{},\"failed\":{},\
+         \"panicked\":{},\"timeouts\":{},\"ops_in_flight\":[{}]}}",
+        reports.len(),
+        json_usize_array(&reporters),
+        match first_failed {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        },
+        json_usize_array(&failed),
+        json_usize_array(&panicked),
+        timeouts,
+        ops.join(","),
+    );
+    Ok(Some(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(999), 0); // < 1 µs
+        assert_eq!(bucket_of(1_000), 1); // [1, 2) µs
+        assert_eq!(bucket_of(1_999), 1);
+        assert_eq!(bucket_of(2_000), 2); // [2, 4) µs
+        assert_eq!(bucket_of(16_000_000_000), 24); // 16 s: last finite bucket
+        assert_eq!(bucket_of(17_000_000_000), 25); // > 2^24 µs -> overflow
+        assert_eq!(bucket_of(u64::MAX), 25);
+    }
+
+    #[test]
+    fn bucket_of_one_ms() {
+        // 1 ms = 1000 µs, 2^9 = 512 ≤ 1000 < 1024 = 2^10 → bucket 10.
+        assert_eq!(bucket_of(1_000_000), 10);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets() {
+        let mut b = [0u64; N_BUCKETS];
+        b[1] = 50; // [1,2) µs
+        b[5] = 49; // [16,32) µs
+        b[10] = 1; // [512,1024) µs
+        assert_eq!(hist_percentile_us(&b, 0.50), 2);
+        assert_eq!(hist_percentile_us(&b, 0.99), 32);
+        assert_eq!(hist_percentile_us(&b, 1.0), 1024);
+        assert_eq!(hist_percentile_us(&[0; N_BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_samples() {
+        // Satellite invariant: merging per-rank bucket arrays must equal
+        // bucketing the concatenation of the raw samples.
+        let rank_a = [1_100u64, 3_000, 900, 64_000, 1_000_000];
+        let rank_b = [2_500u64, 2_500, 17_000, 5_000_000_000];
+        let bucketize = |samples: &[u64]| {
+            let mut b = [0u64; N_BUCKETS];
+            for &s in samples {
+                b[bucket_of(s)] += 1;
+            }
+            b
+        };
+        let mut merged = MetricsSnapshot::default();
+        let mut a = MetricsSnapshot::default();
+        a.hists[Hist::OpLatency as usize] = bucketize(&rank_a);
+        let mut b = MetricsSnapshot::default();
+        b.hists[Hist::OpLatency as usize] = bucketize(&rank_b);
+        merged.merge(&a);
+        merged.merge(&b);
+        let concat: Vec<u64> = rank_a.iter().chain(rank_b.iter()).copied().collect();
+        assert_eq!(merged.hists[Hist::OpLatency as usize], bucketize(&concat));
+    }
+
+    #[test]
+    fn snapshot_wire_round_trip() {
+        let rm = RankMetrics::default();
+        rm.add(Counter::MsgsDelivered, 7);
+        rm.add(Counter::BlockedNs, 12345);
+        rm.gauge_max(Gauge::OutboundQueueMax, 42);
+        rm.observe(Hist::OpLatency, 3_000);
+        rm.observe(Hist::HeartbeatRtt, 900_000);
+        let snap = MetricsSnapshot::capture(&rm, (11, 222));
+        assert_eq!(snap.counter(Counter::MsgsSent), 11);
+        assert_eq!(snap.counter(Counter::BytesSent), 222);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), METRICS_WIRE_BYTES);
+        assert_eq!(MetricsSnapshot::from_bytes(&bytes), Some(snap));
+        assert_eq!(MetricsSnapshot::from_bytes(&bytes[1..]), None);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let rm = RankMetrics::default();
+        rm.add(Counter::MsgsDelivered, 10);
+        rm.gauge_max(Gauge::RingOccupancyMax, 100);
+        let first = MetricsSnapshot::capture(&rm, (0, 0));
+        rm.add(Counter::MsgsDelivered, 5);
+        rm.gauge_max(Gauge::RingOccupancyMax, 50); // high-water stays 100
+        let second = MetricsSnapshot::capture(&rm, (0, 0));
+        let d = second.delta(&first);
+        assert_eq!(d.counter(Counter::MsgsDelivered), 5);
+        assert_eq!(d.gauges[Gauge::RingOccupancyMax as usize], 100);
+    }
+
+    #[test]
+    fn merge_gauge_semantics() {
+        let mut a = MetricsSnapshot::default();
+        a.gauges[Gauge::CollsOutstanding as usize] = 2;
+        a.gauges[Gauge::OutboundQueueMax as usize] = 10;
+        let mut b = MetricsSnapshot::default();
+        b.gauges[Gauge::CollsOutstanding as usize] = 3;
+        b.gauges[Gauge::OutboundQueueMax as usize] = 7;
+        a.merge(&b);
+        assert_eq!(a.gauges[Gauge::CollsOutstanding as usize], 5, "levels add");
+        assert_eq!(
+            a.gauges[Gauge::OutboundQueueMax as usize],
+            10,
+            "high-waters take max"
+        );
+    }
+
+    #[test]
+    fn record_field_order_is_fixed() {
+        let merged = MetricsSnapshot::default();
+        let rec = IntervalRecord {
+            seq: 3,
+            t_unix_ms: 1000,
+            interval_ms: 250,
+            ranks: 2,
+            stale: &[1],
+            merged: &merged,
+            blocked: &[0.25, 0.0],
+            straggler_factor: 2.0,
+        };
+        let line = format_interval_record(&rec);
+        let mut last = 0;
+        for key in JSONL_FIELDS {
+            let at = line
+                .find(&format!("\"{key}\":"))
+                .unwrap_or_else(|| panic!("missing field {key}"));
+            assert!(at > last || last == 0, "field {key} out of order");
+            last = at;
+        }
+        assert_eq!(scrape_array(&line, "stale"), Some(vec![1]));
+        assert_eq!(scrape_u64(&line, "seq"), Some(3));
+    }
+
+    #[test]
+    fn stragglers_flag_outliers_only() {
+        // Ranks 0..3 mildly blocked, rank 3 way over 2x median.
+        let blocked = [0.10, 0.12, 0.11, 0.60];
+        let (med, s) = stragglers(&blocked, &[], 2.0);
+        assert!((med - 0.115).abs() < 1e-9);
+        assert_eq!(s, vec![3]);
+        // Stale ranks are excluded from both median and flags.
+        let (_, s) = stragglers(&blocked, &[3], 2.0);
+        assert!(s.is_empty());
+        // All idle: the 1% floor keeps noise from flagging anyone.
+        let (_, s) = stragglers(&[0.0, 0.001, 0.0], &[], 2.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tty_line_scrapes_record() {
+        let merged = MetricsSnapshot::default();
+        let rec = IntervalRecord {
+            seq: 1,
+            t_unix_ms: 0,
+            interval_ms: 1000,
+            ranks: 2,
+            stale: &[],
+            merged: &merged,
+            blocked: &[0.0, 0.0],
+            straggler_factor: 2.0,
+        };
+        let line = format_interval_record(&rec);
+        let tty = tty_line(&line).expect("scrapes");
+        assert!(tty.contains("#1"), "{tty}");
+        assert!(!tty.contains("STRAGGLERS"));
+    }
+
+    #[test]
+    fn crash_report_round_trip() {
+        let dir = std::env::temp_dir().join(format!("kamping-crash-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut totals = MetricsSnapshot::default();
+        totals.counters[Counter::Timeouts as usize] = 2;
+        let info = CrashInfo {
+            rank: 1,
+            panicked: false,
+            failed: vec![3],
+            first_failed: Some(3),
+            ops_in_flight: vec![(1, "recv", 500)],
+            dropped_events: 0,
+            totals,
+            events: vec!["{\"ts\":1.000,\"name\":\"x\"}".into()],
+        };
+        write_crash_report(&dir, &info).unwrap();
+        let post = collect_crash_reports(&dir).unwrap().expect("has reports");
+        assert!(post.contains("\"first_failed\":3"), "{post}");
+        assert!(post.contains("\"failed\":[3]"), "{post}");
+        assert!(post.contains("\"timeouts\":2"), "{post}");
+        assert!(post.contains("\"op\":\"recv\""), "{post}");
+        assert!(collect_crash_reports(&dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

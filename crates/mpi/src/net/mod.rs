@@ -532,6 +532,11 @@ where
         RendezvousHandle::Client(s) => client_conn = Some(s),
     }
 
+    // Live metrics plane: rank 0 polls, everyone else answers. Runs over
+    // the data plane on a reserved tag pair, so it needs nothing beyond
+    // the transport that is already up.
+    let plane = crate::metrics::MetricsPlane::start_socket(&state, &trace_cfg, cfg.rank);
+
     let comm = RawComm::world(Arc::clone(&state), cfg.rank);
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm.clone())));
     if outcome.is_err() {
@@ -546,6 +551,12 @@ where
     } else {
         state.profile()
     };
+    // Join the metrics threads while the mesh is still up: the poller
+    // emits its final (partial) interval here, and the responder must not
+    // outlive the transport it posts replies on.
+    if let Some(plane) = plane {
+        plane.stop();
+    }
     // Broadcast Finished on the data plane: it travels FIFO *behind* any
     // still-buffered envelopes, so peers never see the finish overtake
     // data they are owed. Chaos delay queues sit *above* that FIFO, so
@@ -559,10 +570,48 @@ where
         let _ = write_frame(&mut s, &Frame::Bye { rank: cfg.rank });
     }
 
-    if trace.tracing() {
-        if let Some(out) = &trace_cfg.out {
-            if let Err(e) = crate::trace::write_process_trace(&trace, out, Some(cfg.rank)) {
-                eprintln!("kamping: rank {}: writing trace: {e}", cfg.rank);
+    // Flight recorder + trace export share one `take_events` drain. A
+    // panicking rank still writes its own report (the process survives
+    // long enough to tell the story); a SIGKILLed one cannot, which is
+    // exactly what the survivors' reports are for.
+    let panicked: Vec<usize> = if outcome.is_err() {
+        vec![cfg.rank]
+    } else {
+        Vec::new()
+    };
+    let crashed = outcome.is_err()
+        || !state.failed.read().expect("failed set poisoned").is_empty()
+        || trace
+            .metrics()
+            .rank(cfg.rank)
+            .get(crate::metrics::Counter::Timeouts)
+            > 0;
+    let want_trace = trace.tracing() && trace_cfg.out.is_some();
+    let want_crash = trace_cfg.crash_dir.is_some() && crashed;
+    if want_trace || want_crash {
+        let events = trace.take_events();
+        if let (Some(dir), true) = (&trace_cfg.crash_dir, want_crash) {
+            let tail = crate::trace::render_event_tail(
+                &events,
+                crate::metrics::CRASH_EVENT_TAIL,
+                trace.epoch_unix_ns(),
+            );
+            crate::metrics::dump_crash_reports(
+                &state,
+                dir,
+                &panicked,
+                &tail,
+                trace.dropped_events(),
+                &[cfg.rank],
+            );
+        }
+        if want_trace {
+            if let Some(out) = &trace_cfg.out {
+                if let Err(e) =
+                    crate::trace::write_process_trace_events(&trace, &events, out, Some(cfg.rank))
+                {
+                    eprintln!("kamping: rank {}: writing trace: {e}", cfg.rank);
+                }
             }
         }
     }

@@ -97,6 +97,16 @@ pub(crate) trait EngineHooks: Send + Sync {
     /// One progress-loop wakeup finished: `events` ready fds, `frames`
     /// fully read or written, `busy` time spent handling (not sleeping).
     fn on_wakeup(&self, events: usize, frames: usize, busy: Duration);
+    /// One `write_out` pass finished: `calls` successful `writev`
+    /// syscalls flushed `frames` complete frames (batch-size telemetry).
+    fn on_writev(&self, calls: usize, frames: usize) {
+        let _ = (calls, frames);
+    }
+    /// An `enqueue` left `depth` frames queued for a peer (high-water
+    /// telemetry; called outside the queue lock).
+    fn on_queue_depth(&self, depth: usize) {
+        let _ = depth;
+    }
 }
 
 /// Sender-visible state of one outbound peer link.
@@ -130,6 +140,7 @@ struct EngineShared {
 /// Handle owned by the transport; the loop itself runs on its own thread.
 pub(crate) struct Engine {
     sh: Arc<EngineShared>,
+    hooks: Arc<dyn EngineHooks>,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -163,7 +174,7 @@ impl Engine {
         epoll.add(listener.raw_fd(), TOKEN_LISTENER, true, false)?;
         let state = LoopState {
             sh: Arc::clone(&sh),
-            hooks,
+            hooks: Arc::clone(&hooks),
             my_rank,
             size,
             addrs,
@@ -181,6 +192,7 @@ impl Engine {
             .spawn(move || state.run())?;
         Ok(Self {
             sh,
+            hooks,
             thread: Mutex::new(Some(thread)),
         })
     }
@@ -188,12 +200,14 @@ impl Engine {
     /// Queues one frame for `dest` and rings the progress thread. Never
     /// blocks on the wire. Returns false if the peer is already gone.
     pub fn enqueue(&self, dest: usize, frame: OutFrame) -> bool {
+        let depth;
         {
             let mut o = self.sh.peers[dest].lock().expect("outbound poisoned");
             if matches!(o.state, OutState::Gone) {
                 return false;
             }
             o.queue.push_back(frame);
+            depth = o.queue.len();
             if !o.dirty {
                 o.dirty = true;
                 self.sh
@@ -203,6 +217,7 @@ impl Engine {
                     .push(dest);
             }
         }
+        self.hooks.on_queue_depth(depth);
         self.sh.kick.ring();
         true
     }
@@ -585,6 +600,7 @@ impl LoopState {
     /// keeping `EPOLLOUT` interest only while blocked.
     fn write_out(&mut self, token: u64) {
         let mut wrote = 0usize;
+        let mut calls = 0usize;
         let mut dead = false;
         {
             let epoll = &self.epoll;
@@ -607,6 +623,7 @@ impl LoopState {
                         break 'drain;
                     }
                     Ok(mut n) => {
+                        calls += 1;
                         o.last_write = Instant::now();
                         while n > 0 {
                             let front_remaining =
@@ -640,6 +657,9 @@ impl LoopState {
             }
         }
         self.frames_this_iter += wrote;
+        if calls > 0 {
+            self.hooks.on_writev(calls, wrote);
+        }
         if dead {
             self.kill_out(token);
         }

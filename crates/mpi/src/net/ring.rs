@@ -274,6 +274,15 @@ impl RingTx {
     /// (the consumer may then observe a torn frame tail, but abort means
     /// the channel is dead: shutdown or a failed peer).
     ///
+    /// Bytes currently in the ring (unconsumed). A producer-side sample;
+    /// the consumer may drain concurrently, so this is a lower bound on
+    /// the space the next write will find.
+    pub fn occupancy(&self) -> usize {
+        let head = self.head().load(Ordering::Acquire);
+        let tail = self.tail().load(Ordering::Relaxed);
+        tail.wrapping_sub(head) as usize
+    }
+
     /// `wait_hint` is invoked around each futex sleep with the slice spent
     /// parked, for trace attribution.
     pub fn write(

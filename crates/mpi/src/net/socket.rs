@@ -148,6 +148,11 @@ struct Shared {
     /// Event ring of this universe; control-plane frames are recorded here
     /// (and *only* here — they never touch the profiling counters).
     trace: Arc<TraceCtx>,
+    /// `TraceCtx::now_ns` of the last heartbeat ping sent to each peer;
+    /// 0 = none outstanding. A `Pong` arrival closes the loop into the
+    /// heartbeat-RTT histogram. Overlapping pings overwrite (the engine
+    /// pings far slower than any RTT, so the skew is negligible).
+    last_ping_ns: Vec<AtomicU64>,
     /// The socket progress engine (set once, right after construction —
     /// the engine's hooks point back at this struct).
     engine: OnceLock<Engine>,
@@ -229,6 +234,7 @@ impl Shared {
             Frame::Ack { .. } => self.trace_control(dest, "ack"),
             Frame::Control(_) => self.trace_control(dest, "control"),
             Frame::Ping => self.trace_control(dest, "ping"),
+            Frame::Pong => self.trace_control(dest, "pong"),
             _ => self.trace_control(dest, "rendezvous"),
         }
         if let Some(ring) = &self.rings[dest] {
@@ -265,6 +271,12 @@ impl Shared {
                     .contains(&dest)
         };
         let wait_hint = |parked: Duration| {
+            if self.trace.metrics().enabled() {
+                use crate::metrics::Counter;
+                let rm = self.trace.metrics().rank(self.my_rank);
+                rm.add(Counter::RingFutexSleeps, 1);
+                rm.add(Counter::RingFutexSleepNs, parked.as_nanos() as u64);
+            }
             if self.trace.tracing() {
                 self.trace.record(EventKind::RingWait {
                     rank: self.my_rank as u32,
@@ -275,6 +287,12 @@ impl Shared {
             }
         };
         let tx = ring.lock().expect("ring producer poisoned");
+        if self.trace.metrics().enabled() {
+            self.trace.metrics().rank(self.my_rank).gauge_max(
+                crate::metrics::Gauge::RingOccupancyMax,
+                tx.occupancy() as u64,
+            );
+        }
         match frame {
             Frame::Data {
                 src,
@@ -344,7 +362,25 @@ impl Shared {
             }
             Frame::Ack { ack_id } => self.complete_ack_locally(ack_id),
             Frame::Control(msg) => self.deliver_control(msg),
-            Frame::Ping => {} // heartbeat; liveness only
+            Frame::Ping => {
+                // Echo so the pinger can close its RTT loop. Enqueue-only
+                // on the socket path (never blocks the progress thread).
+                if src < self.size {
+                    self.send_frame(src, Frame::Pong);
+                }
+            }
+            Frame::Pong => {
+                if src < self.size && self.trace.metrics().enabled() {
+                    let sent = self.last_ping_ns[src].swap(0, Ordering::Relaxed);
+                    if sent != 0 {
+                        let rtt = self.trace.now_ns().saturating_sub(sent);
+                        self.trace
+                            .metrics()
+                            .rank(self.my_rank)
+                            .observe(crate::metrics::Hist::HeartbeatRtt, rtt);
+                    }
+                }
+            }
             _ => {
                 // Rendezvous-plane frame on the data plane: tolerated as a
                 // no-op (the engine already dropped truly unidentifiable
@@ -415,10 +451,24 @@ impl EngineHooks for Shared {
     }
 
     fn on_control_sent(&self, peer: usize, kind: &'static str) {
+        if kind == "ping" && peer < self.size && self.trace.metrics().enabled() {
+            self.last_ping_ns[peer].store(self.trace.now_ns(), Ordering::Relaxed);
+            self.trace
+                .metrics()
+                .rank(self.my_rank)
+                .add(crate::metrics::Counter::PingsSent, 1);
+        }
         self.trace_control(peer, kind);
     }
 
     fn on_wakeup(&self, events: usize, frames: usize, busy: Duration) {
+        if self.trace.metrics().enabled() {
+            use crate::metrics::Counter;
+            let rm = self.trace.metrics().rank(self.my_rank);
+            rm.add(Counter::EpollWakeups, 1);
+            rm.add(Counter::EpollEvents, events as u64);
+            rm.add(Counter::EpollFrames, frames as u64);
+        }
         if self.trace.tracing() {
             self.trace.record(EventKind::Progress {
                 rank: self.my_rank as u32,
@@ -426,6 +476,24 @@ impl EngineHooks for Shared {
                 frames: frames as u32,
                 dur_ns: busy.as_nanos() as u64,
             });
+        }
+    }
+
+    fn on_writev(&self, calls: usize, frames: usize) {
+        if self.trace.metrics().enabled() {
+            use crate::metrics::Counter;
+            let rm = self.trace.metrics().rank(self.my_rank);
+            rm.add(Counter::WritevCalls, calls as u64);
+            rm.add(Counter::WritevFrames, frames as u64);
+        }
+    }
+
+    fn on_queue_depth(&self, depth: usize) {
+        if self.trace.metrics().enabled() {
+            self.trace
+                .metrics()
+                .rank(self.my_rank)
+                .gauge_max(crate::metrics::Gauge::OutboundQueueMax, depth as u64);
         }
     }
 }
@@ -499,6 +567,7 @@ impl SocketTransport {
             acks: Mutex::new(HashMap::new()),
             next_ack_id: AtomicU64::new(1),
             down: AtomicBool::new(false),
+            last_ping_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
             engine: OnceLock::new(),
         });
         let engine = Engine::start(
@@ -597,12 +666,19 @@ fn ring_consumer(shared: Arc<Shared>, inbox: Arc<Inbox>) {
         idle_passes = 0;
         let start = std::time::Instant::now();
         inbox.park(snapshot, CONSUMER_PARK_SLICE);
+        let parked = start.elapsed();
+        if shared.trace.metrics().enabled() {
+            use crate::metrics::Counter;
+            let rm = shared.trace.metrics().rank(shared.my_rank);
+            rm.add(Counter::RingFutexSleeps, 1);
+            rm.add(Counter::RingFutexSleepNs, parked.as_nanos() as u64);
+        }
         if shared.trace.tracing() {
             shared.trace.record(EventKind::RingWait {
                 rank: shared.my_rank as u32,
                 peer: u32::MAX,
                 role: "recv",
-                dur_ns: start.elapsed().as_nanos() as u64,
+                dur_ns: parked.as_nanos() as u64,
             });
         }
     }

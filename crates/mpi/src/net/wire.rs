@@ -44,6 +44,7 @@ const KIND_JOIN: u8 = 5;
 const KIND_TABLE: u8 = 6;
 const KIND_BYE: u8 = 7;
 const KIND_PING: u8 = 8;
+const KIND_PONG: u8 = 9;
 
 /// One unit of the socket backend's wire protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +99,11 @@ pub enum Frame {
     /// purpose is to make a dead peer's socket *fail the write* within one
     /// heartbeat interval instead of staying silently wedged.
     Ping,
+    /// Echo of a received `Ping`, sent on the receiver's own outbound
+    /// link. Closes the round trip the metrics plane records as
+    /// heartbeat RTT. Carries nothing: the pinger keeps the send
+    /// timestamp per peer.
+    Pong,
 }
 
 fn put_u64(w: &mut Writer, v: u64) {
@@ -182,6 +188,9 @@ impl Frame {
             Frame::Ping => {
                 w.put_u8(KIND_PING);
             }
+            Frame::Pong => {
+                w.put_u8(KIND_PONG);
+            }
         }
         w.into_bytes()
     }
@@ -239,6 +248,7 @@ impl Frame {
                 rank: take_u64(&mut r)? as usize,
             },
             KIND_PING => Frame::Ping,
+            KIND_PONG => Frame::Pong,
             _ => return Err(SerialError::Invalid("unknown frame kind")),
         };
         r.finish()?;

@@ -174,7 +174,7 @@ impl RankCounters {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> RankProfile {
+    pub(crate) fn snapshot(&self) -> RankProfile {
         RankProfile {
             op_calls: std::array::from_fn(|i| self.op_calls[i].load(Ordering::Relaxed)),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),

@@ -47,6 +47,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::error::{MpiError, MpiResult};
+use crate::metrics::{Counter, Hist, MetricsCtx};
 use crate::profile::{Op, ALL_OPS, N_OPS};
 use crate::tag::Tag;
 
@@ -222,7 +224,7 @@ pub enum EventKind {
 }
 
 /// Env-derived activation switches (see module docs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceConfig {
     /// Record lifecycle events into the ring.
     pub tracing: bool,
@@ -231,30 +233,135 @@ pub struct TraceConfig {
     /// Where to write the trace at teardown (`KAMPING_TRACE` value when it
     /// names a path; `None` for flag-only activation).
     pub out: Option<PathBuf>,
+    /// Collect live metrics (counters/gauges/histograms).
+    pub metrics: bool,
+    /// Where rank 0 appends the merged JSONL interval records
+    /// (`KAMPING_METRICS` value when it names a path).
+    pub metrics_out: Option<PathBuf>,
+    /// Snapshot poll interval (`KAMPING_METRICS_INTERVAL_MS`, default 1 s).
+    pub metrics_interval_ms: u64,
+    /// Straggler threshold multiplier over the interval's median
+    /// blocked-wait ratio (`KAMPING_STRAGGLER_FACTOR`, default 2.0).
+    pub straggler_factor: f64,
+    /// Flight-recorder output directory (`KAMPING_CRASH_DIR`). Setting it
+    /// forces tracing, measuring, and metrics on: crash evidence needs the
+    /// rings populated.
+    pub crash_dir: Option<PathBuf>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            tracing: false,
+            measuring: false,
+            out: None,
+            metrics: false,
+            metrics_out: None,
+            metrics_interval_ms: 1000,
+            straggler_factor: 2.0,
+            crash_dir: None,
+        }
+    }
+}
+
+/// `""`/`0`/`false` → off, `1`/`true` → on, anything else is not a switch
+/// (either a path or a config error, depending on the variable).
+fn parse_switch(v: &str) -> Option<bool> {
+    match v {
+        "" | "0" | "false" => Some(false),
+        "1" | "true" => Some(true),
+        _ => None,
+    }
 }
 
 impl TraceConfig {
-    /// Reads `KAMPING_TRACE` / `KAMPING_MEASURE`. A `KAMPING_TRACE` value
-    /// other than `0`/empty enables tracing *and* measuring; values other
-    /// than `1`/`true` are treated as the output path (a directory gets
-    /// one JSONL file per rank, anything else a Chrome JSON file).
-    pub fn from_env() -> Self {
+    /// Reads the `KAMPING_TRACE` / `KAMPING_MEASURE` / `KAMPING_METRICS` /
+    /// `KAMPING_CRASH_DIR` family from the environment. Malformed values
+    /// surface as [`MpiError::Config`] (naming the variable), matching the
+    /// rest of the env parsing — they are never silently treated as off.
+    pub fn from_env() -> MpiResult<Self> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`TraceConfig::from_env`] over an arbitrary lookup (testable without
+    /// process-global env mutation).
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> MpiResult<Self> {
         let mut cfg = Self::default();
-        if let Ok(v) = std::env::var("KAMPING_TRACE") {
-            if !v.is_empty() && v != "0" {
-                cfg.tracing = true;
-                cfg.measuring = true;
-                if v != "1" && v != "true" {
+        if let Some(v) = get("KAMPING_TRACE") {
+            match parse_switch(&v) {
+                Some(on) => {
+                    cfg.tracing = on;
+                    cfg.measuring = on;
+                }
+                None if v.trim().is_empty() => {
+                    return Err(MpiError::Config(format!(
+                        "KAMPING_TRACE must be 0/false, 1/true, or an output path (got {v:?})"
+                    )));
+                }
+                None => {
+                    cfg.tracing = true;
+                    cfg.measuring = true;
                     cfg.out = Some(PathBuf::from(v));
                 }
             }
         }
-        if let Ok(v) = std::env::var("KAMPING_MEASURE") {
-            if !v.is_empty() && v != "0" {
-                cfg.measuring = true;
+        if let Some(v) = get("KAMPING_MEASURE") {
+            match parse_switch(&v) {
+                Some(on) => cfg.measuring |= on,
+                None => {
+                    return Err(MpiError::Config(format!(
+                        "KAMPING_MEASURE must be 0, 1, true, or false (got {v:?})"
+                    )));
+                }
             }
         }
-        cfg
+        if let Some(v) = get("KAMPING_METRICS") {
+            match parse_switch(&v) {
+                Some(on) => cfg.metrics = on,
+                None if v.trim().is_empty() => {
+                    return Err(MpiError::Config(format!(
+                        "KAMPING_METRICS must be 0/false, 1/true, or an output path (got {v:?})"
+                    )));
+                }
+                None => {
+                    cfg.metrics = true;
+                    cfg.metrics_out = Some(PathBuf::from(v));
+                }
+            }
+        }
+        if let Some(v) = get("KAMPING_METRICS_INTERVAL_MS") {
+            cfg.metrics_interval_ms = v
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&ms: &u64| ms >= 10)
+                .ok_or_else(|| {
+                    MpiError::Config(format!(
+                        "KAMPING_METRICS_INTERVAL_MS must be an integer >= 10 (got {v:?})"
+                    ))
+                })?;
+        }
+        if let Some(v) = get("KAMPING_STRAGGLER_FACTOR") {
+            cfg.straggler_factor = v
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&f: &f64| f.is_finite() && f > 0.0)
+                .ok_or_else(|| {
+                    MpiError::Config(format!(
+                        "KAMPING_STRAGGLER_FACTOR must be a positive number (got {v:?})"
+                    ))
+                })?;
+        }
+        if let Some(v) = get("KAMPING_CRASH_DIR") {
+            if !v.trim().is_empty() {
+                cfg.crash_dir = Some(PathBuf::from(v));
+                cfg.tracing = true;
+                cfg.measuring = true;
+                cfg.metrics = true;
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -304,6 +411,61 @@ impl RankOpTimings {
 }
 
 /// Per-universe trace state: enable flags, the monotonic epoch, the event
+/// Timestamp source for the instrumentation clock: the raw TSC, converted
+/// to nanoseconds with a fixed-point multiplier calibrated once per
+/// process against the OS monotonic clock. `Instant::now` costs ~30 ns on
+/// a VM where the vDSO path is degraded; `rdtsc` is ~2× cheaper, and the
+/// measuring path reads the clock up to six times per blocking op — this
+/// is most of the gap between the +36% measure overhead the observability
+/// bench used to report and the current number. Requires an invariant TSC
+/// (`constant_tsc`/`nonstop_tsc`, universal on the hardware this targets);
+/// when calibration fails, [`TraceCtx::now_ns`] falls back to `Instant`.
+#[cfg(target_arch = "x86_64")]
+mod tscclock {
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    /// `ns = (Δtsc × mult) >> SHIFT`.
+    pub(super) const SHIFT: u32 = 24;
+
+    static CAL: OnceLock<Option<u64>> = OnceLock::new();
+
+    #[inline]
+    pub(super) fn read() -> u64 {
+        // SAFETY: `rdtsc` is part of the x86_64 baseline ISA.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// The process-wide multiplier, if calibration has run and succeeded.
+    #[inline]
+    pub(super) fn mult() -> Option<u64> {
+        CAL.get().copied().flatten()
+    }
+
+    /// Calibrates once per process: a ~2 ms spin bounded by the OS clock
+    /// on both ends, giving a relative error well under 0.1% — drift of
+    /// microseconds over a minutes-long run, far below the wall-clock
+    /// skew that already bounds cross-process trace alignment. Called
+    /// from [`super::TraceCtx::new`] only when instrumentation is on, so
+    /// fully-disabled universes never pay the spin.
+    pub(super) fn calibrate() {
+        CAL.get_or_init(|| {
+            let t0 = Instant::now();
+            let c0 = read();
+            while t0.elapsed() < Duration::from_millis(2) {
+                std::hint::spin_loop();
+            }
+            let c1 = read();
+            let dt = t0.elapsed().as_nanos();
+            let dc = c1.wrapping_sub(c0) as u128;
+            if dc == 0 {
+                return None;
+            }
+            u64::try_from((dt << SHIFT) / dc).ok().filter(|&m| m > 0)
+        });
+    }
+}
+
 /// ring and the per-rank op timing cells. Cheap when disabled; every hook
 /// checks one relaxed atomic first.
 #[derive(Debug)]
@@ -311,6 +473,9 @@ pub struct TraceCtx {
     tracing: AtomicBool,
     measuring: AtomicBool,
     epoch: Instant,
+    /// Raw TSC at `epoch` (x86_64 fast clock base).
+    #[cfg(target_arch = "x86_64")]
+    tsc_epoch: u64,
     /// Wall-clock nanoseconds (unix) at `epoch`; anchors cross-process
     /// trace merging.
     epoch_unix_ns: u64,
@@ -318,12 +483,24 @@ pub struct TraceCtx {
     dropped: AtomicU64,
     /// Op timing cells, one per global rank.
     timings: Vec<RankOpTimings>,
+    /// Live metrics registry (same enable-gate discipline; see
+    /// [`crate::metrics`]). Embedded here so every seam that already holds
+    /// the trace context reaches the metrics plane without new wiring.
+    metrics: MetricsCtx,
 }
 
 impl TraceCtx {
     /// A context for `size` ranks with the given activation switches.
     pub fn new(size: usize, cfg: &TraceConfig) -> Self {
+        // Calibrate the fast clock before capturing the epoch pair, so the
+        // one-time spin never lands between the two base readings.
+        #[cfg(target_arch = "x86_64")]
+        if cfg.tracing || cfg.measuring || cfg.metrics {
+            tscclock::calibrate();
+        }
         let epoch = Instant::now();
+        #[cfg(target_arch = "x86_64")]
+        let tsc_epoch = tscclock::read();
         let epoch_unix_ns = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -332,10 +509,13 @@ impl TraceCtx {
             tracing: AtomicBool::new(cfg.tracing),
             measuring: AtomicBool::new(cfg.measuring || cfg.tracing),
             epoch,
+            #[cfg(target_arch = "x86_64")]
+            tsc_epoch,
             epoch_unix_ns,
             shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
             dropped: AtomicU64::new(0),
             timings: (0..size).map(|_| RankOpTimings::default()).collect(),
+            metrics: MetricsCtx::new(size, cfg.metrics),
         }
     }
 
@@ -379,9 +559,24 @@ impl TraceCtx {
         self.measuring.store(on, Ordering::Relaxed);
     }
 
-    /// Nanoseconds since this context's monotonic epoch.
+    /// The live metrics registry (gate included; see
+    /// [`MetricsCtx::enabled`]).
+    #[inline]
+    pub fn metrics(&self) -> &MetricsCtx {
+        &self.metrics
+    }
+
+    /// Nanoseconds since this context's monotonic epoch. Served from the
+    /// calibrated TSC when available (see [`tscclock`]), from the OS
+    /// monotonic clock otherwise — including on contexts whose switches
+    /// were flipped on only after construction.
     #[inline]
     pub fn now_ns(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(mult) = tscclock::mult() {
+            let dc = tscclock::read().wrapping_sub(self.tsc_epoch);
+            return ((dc as u128 * mult as u128) >> tscclock::SHIFT) as u64;
+        }
         self.epoch.elapsed().as_nanos() as u64
     }
 
@@ -428,19 +623,40 @@ impl TraceCtx {
     }
 
     /// Starts an op scope for `rank`. Inert (no clock read) unless
-    /// measuring is on.
+    /// measuring or metrics are on.
+    ///
+    /// A measured scope reads the clock exactly once on entry and once on
+    /// drop (the single `now_ns` is reused by the timings, the trace span,
+    /// and the metrics histogram). A metrics-only scope pays only the
+    /// counter bumps: op latency is sampled 1-in-64, so the clock reads
+    /// amortize to a fraction of a nanosecond per op.
     pub(crate) fn op_scope(&self, op: Op, rank: usize) -> OpScope<'_> {
-        if !self.measuring() {
+        let measuring = self.measuring();
+        let metrics_on = self.metrics.enabled();
+        if !measuring && !metrics_on {
             return OpScope { inner: None };
+        }
+        let mut timed = measuring;
+        if metrics_on {
+            let prev = self.metrics.rank(rank).add_ret(Counter::OpsStarted, 1);
+            if !measuring && prev & 63 == 0 {
+                timed = true;
+            }
+        }
+        let start_ns = if timed { self.now_ns() } else { 0 };
+        if metrics_on {
+            self.metrics.rank(rank).set_in_flight(op, start_ns);
         }
         OpScope {
             inner: Some(OpScopeInner {
                 ctx: self,
                 op,
                 rank,
-                start: Instant::now(),
-                start_ns: self.now_ns(),
-                wait_at_start: thread_wait_ns(),
+                start_ns,
+                wait_at_start: if measuring { thread_wait_ns() } else { 0 },
+                timed,
+                measuring,
+                metrics_on,
             }),
         }
     }
@@ -454,9 +670,45 @@ impl TraceCtx {
             inner: Some(WaitSpanInner {
                 ctx: self,
                 rank,
-                start: Instant::now(),
                 start_ns: self.now_ns(),
             }),
+        }
+    }
+
+    /// Accumulates parked time into `rank`'s blocked-wait metrics counter.
+    /// A no-op unless metrics are on *and* the calling thread hosts
+    /// `rank` — helper threads (snapshot responders, progress engines)
+    /// parking on a mailbox must not count as that rank being blocked.
+    ///
+    /// Only 1 park in [`PARK_SAMPLE`] pays the two clock reads; the
+    /// measured duration is scaled back up on drop. `BlockedNs` is a
+    /// statistical estimate feeding an interval *ratio* — with thousands
+    /// of parks per interval the sampling error vanishes, while the
+    /// common park costs one relaxed `fetch_add`. That is what keeps the
+    /// metrics-on ping-pong inside its overhead gate on a machine where
+    /// every blocking receive parks.
+    pub(crate) fn metrics_block_guard(&self, rank: usize) -> MetricsBlockGuard<'_> {
+        if !self.metrics.enabled() || thread_rank() != rank as u32 {
+            return MetricsBlockGuard { inner: None };
+        }
+        if !self
+            .metrics
+            .rank(rank)
+            .park_tick()
+            .is_multiple_of(PARK_SAMPLE)
+        {
+            return MetricsBlockGuard { inner: None };
+        }
+        MetricsBlockGuard {
+            inner: Some((self, rank, self.now_ns())),
+        }
+    }
+
+    /// Counts one timed-out bounded wait for `rank` (same thread-identity
+    /// rule as [`TraceCtx::metrics_block_guard`]).
+    pub(crate) fn metrics_timeout(&self, rank: usize) {
+        if self.metrics.enabled() && thread_rank() == rank as u32 {
+            self.metrics.rank(rank).add(Counter::Timeouts, 1);
         }
     }
 }
@@ -465,9 +717,12 @@ struct OpScopeInner<'a> {
     ctx: &'a TraceCtx,
     op: Op,
     rank: usize,
-    start: Instant,
     start_ns: u64,
     wait_at_start: u64,
+    /// Clock was read at start; read it again at drop.
+    timed: bool,
+    measuring: bool,
+    metrics_on: bool,
 }
 
 /// RAII guard timing one substrate operation; on drop it attributes the
@@ -480,19 +735,32 @@ pub struct OpScope<'a> {
 impl Drop for OpScope<'_> {
     fn drop(&mut self) {
         let Some(i) = self.inner.take() else { return };
-        let dur_ns = i.start.elapsed().as_nanos() as u64;
-        let wait_ns = thread_wait_ns().saturating_sub(i.wait_at_start);
-        i.ctx.timings[i.rank].record(i.op, dur_ns, wait_ns.min(dur_ns));
-        if i.ctx.tracing() {
-            i.ctx.record_at(
-                i.start_ns,
-                EventKind::OpSpan {
-                    rank: i.rank as u32,
-                    op: i.op,
-                    dur_ns,
-                    wait_ns: wait_ns.min(dur_ns),
-                },
-            );
+        let dur_ns = if i.timed {
+            i.ctx.now_ns().saturating_sub(i.start_ns)
+        } else {
+            0
+        };
+        if i.metrics_on {
+            let rm = i.ctx.metrics.rank(i.rank);
+            rm.clear_in_flight();
+            if i.timed {
+                rm.observe(Hist::OpLatency, dur_ns);
+            }
+        }
+        if i.measuring {
+            let wait_ns = thread_wait_ns().saturating_sub(i.wait_at_start);
+            i.ctx.timings[i.rank].record(i.op, dur_ns, wait_ns.min(dur_ns));
+            if i.ctx.tracing() {
+                i.ctx.record_at(
+                    i.start_ns,
+                    EventKind::OpSpan {
+                        rank: i.rank as u32,
+                        op: i.op,
+                        dur_ns,
+                        wait_ns: wait_ns.min(dur_ns),
+                    },
+                );
+            }
         }
     }
 }
@@ -500,13 +768,12 @@ impl Drop for OpScope<'_> {
 struct WaitSpanInner<'a> {
     ctx: &'a TraceCtx,
     rank: u32,
-    start: Instant,
     start_ns: u64,
 }
 
 /// RAII guard around a blocking wait (mailbox/hub slow path); on drop it
 /// adds the parked time to the thread's wait accumulator and, when
-/// tracing, emits an [`EventKind::Wait`].
+/// tracing, emits an [`EventKind::Wait`]. One clock read per side.
 pub struct WaitSpan<'a> {
     inner: Option<WaitSpanInner<'a>>,
 }
@@ -514,7 +781,7 @@ pub struct WaitSpan<'a> {
 impl Drop for WaitSpan<'_> {
     fn drop(&mut self) {
         let Some(i) = self.inner.take() else { return };
-        let dur_ns = i.start.elapsed().as_nanos() as u64;
+        let dur_ns = i.ctx.now_ns().saturating_sub(i.start_ns);
         THREAD_WAIT_NS.with(|w| w.set(w.get().saturating_add(dur_ns)));
         if i.ctx.tracing() {
             i.ctx.record_at(
@@ -525,6 +792,28 @@ impl Drop for WaitSpan<'_> {
                 },
             );
         }
+    }
+}
+
+/// 1-in-N park sampling rate for blocked-wait timing (power of two).
+const PARK_SAMPLE: u64 = 8;
+
+/// RAII guard for the metrics blocked-wait counter (see
+/// [`TraceCtx::metrics_block_guard`]).
+pub(crate) struct MetricsBlockGuard<'a> {
+    inner: Option<(&'a TraceCtx, usize, u64)>,
+}
+
+impl Drop for MetricsBlockGuard<'_> {
+    fn drop(&mut self) {
+        let Some((ctx, rank, start_ns)) = self.inner.take() else {
+            return;
+        };
+        let dur = ctx.now_ns().saturating_sub(start_ns);
+        // Scale the sampled park back to an estimate of total parked time.
+        ctx.metrics
+            .rank(rank)
+            .add(Counter::BlockedNs, dur.saturating_mul(PARK_SAMPLE));
     }
 }
 
@@ -612,6 +901,20 @@ fn chrome_event(ev: &TraceEvent, base_unix_ns: u64) -> String {
     }
 }
 
+/// Renders the last `tail` events as individual Chrome JSON object
+/// strings — the flight-recorder format embedded in crash reports.
+pub(crate) fn render_event_tail(
+    events: &[TraceEvent],
+    tail: usize,
+    base_unix_ns: u64,
+) -> Vec<String> {
+    let start = events.len().saturating_sub(tail);
+    events[start..]
+        .iter()
+        .map(|ev| chrome_event(ev, base_unix_ns))
+        .collect()
+}
+
 /// Renders `events` as one Chrome trace JSON document (run-relative
 /// timestamps — the single-process export).
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
@@ -627,11 +930,38 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Per-rank bookkeeping carried in the trace metadata line (a Chrome
+/// `"ph":"M"` event, so Perfetto tolerates it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankTraceMeta {
+    /// Global rank the file belongs to.
+    pub rank: usize,
+    /// Events lost to ring overflow in that process.
+    pub dropped_events: u64,
+}
+
+fn rank_meta_line(meta: &RankTraceMeta) -> String {
+    format!(
+        r#"{{"ph":"M","name":"kamping_rank_meta","ts":0,"pid":{},"args":{{"rank":{},"dropped_events":{}}}}}"#,
+        meta.rank, meta.rank, meta.dropped_events
+    )
+}
+
 /// Writes `events` as JSONL (one Chrome event object per line, timestamps
 /// shifted to absolute wall-clock µs) — the per-rank format merged by
-/// [`merge_trace_dir`].
-pub fn write_trace_jsonl(path: &Path, events: &[TraceEvent], epoch_unix_ns: u64) -> io::Result<()> {
+/// [`merge_trace_dir`]. `meta` (when present) becomes the file's first
+/// line, carrying the rank's dropped-event count into the merge.
+pub fn write_trace_jsonl(
+    path: &Path,
+    events: &[TraceEvent],
+    epoch_unix_ns: u64,
+    meta: Option<RankTraceMeta>,
+) -> io::Result<()> {
     let mut out = String::new();
+    if let Some(meta) = meta {
+        out.push_str(&rank_meta_line(&meta));
+        out.push('\n');
+    }
     for ev in events {
         out.push_str(&chrome_event(ev, epoch_unix_ns));
         out.push('\n');
@@ -649,11 +979,34 @@ fn line_ts(line: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// What [`merge_trace_dir`] produced: the merged event count plus the
+/// per-rank dropped-event counts scraped from the rank metadata lines —
+/// previously those counts were silently discarded, so a clipped trace
+/// looked complete.
+#[derive(Debug, Clone, Default)]
+pub struct MergeReport {
+    /// Events written to the merged document.
+    pub events: usize,
+    /// `(rank, dropped_events)` rows, sorted by rank, for every rank file
+    /// that carried a metadata line.
+    pub dropped: Vec<(usize, u64)>,
+}
+
+impl MergeReport {
+    /// Total events lost across all ranks.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().map(|(_, d)| d).sum()
+    }
+}
+
 /// Merges every `*.jsonl` per-rank trace in `dir` into one Chrome trace
-/// JSON file at `out`, sorted by timestamp. Returns the merged event
-/// count. Used by `kampirun --trace` and the multi-process tests.
-pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
+/// JSON file at `out`, sorted by timestamp. Rank metadata lines are
+/// folded into one leading merged-metadata event (and the returned
+/// [`MergeReport`]) instead of being interleaved with the sort. Used by
+/// `kampirun --trace` and the multi-process tests.
+pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<MergeReport> {
     let mut lines: Vec<(f64, String)> = Vec::new();
+    let mut dropped: Vec<(usize, u64)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.extension().is_none_or(|e| e != "jsonl") {
@@ -661,6 +1014,15 @@ pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
         }
         for line in std::fs::read_to_string(&path)?.lines() {
             if line.trim().is_empty() {
+                continue;
+            }
+            if line.contains("\"kamping_rank_meta\"") {
+                if let (Some(rank), Some(d)) = (
+                    crate::metrics::scrape_u64(line, "rank"),
+                    crate::metrics::scrape_u64(line, "dropped_events"),
+                ) {
+                    dropped.push((rank as usize, d));
+                }
                 continue;
             }
             let ts = line_ts(line).ok_or_else(|| {
@@ -673,7 +1035,21 @@ pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
         }
     }
     lines.sort_by(|a, b| a.0.total_cmp(&b.0));
+    dropped.sort_unstable();
     let mut doc = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    if !dropped.is_empty() {
+        let per_rank: Vec<String> = dropped.iter().map(|(r, d)| format!("[{r},{d}]")).collect();
+        let total: u64 = dropped.iter().map(|(_, d)| d).sum();
+        doc.push_str(&format!(
+            r#"{{"ph":"M","name":"kamping_dropped_events","ts":0,"args":{{"total":{},"per_rank":[{}]}}}}"#,
+            total,
+            per_rank.join(",")
+        ));
+        if !lines.is_empty() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
     for (i, (_, line)) in lines.iter().enumerate() {
         doc.push_str(line);
         if i + 1 < lines.len() {
@@ -683,7 +1059,10 @@ pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
     }
     doc.push_str("]}\n");
     std::fs::write(out, doc)?;
-    Ok(lines.len())
+    Ok(MergeReport {
+        events: lines.len(),
+        dropped,
+    })
 }
 
 /// Writes this process's trace to the `KAMPING_TRACE` destination:
@@ -691,18 +1070,24 @@ pub fn merge_trace_dir(dir: &Path, out: &Path) -> io::Result<usize> {
 /// input), any other path gets a self-contained Chrome JSON file (with
 /// `-rank<R>` inserted before the extension on multi-process backends so
 /// ranks don't clobber each other).
-pub(crate) fn write_process_trace(
+/// The caller drains the ring with `take_events` first — the flight
+/// recorder and this export share one drain.
+pub(crate) fn write_process_trace_events(
     ctx: &TraceCtx,
+    events: &[TraceEvent],
     out: &Path,
     rank: Option<usize>,
 ) -> io::Result<()> {
-    let events = ctx.take_events();
     if out.is_dir() {
         let name = match rank {
             Some(r) => format!("trace-rank{r}.jsonl"),
             None => "trace.jsonl".to_string(),
         };
-        return write_trace_jsonl(&out.join(name), &events, ctx.epoch_unix_ns());
+        let meta = RankTraceMeta {
+            rank: rank.unwrap_or(0),
+            dropped_events: ctx.dropped_events(),
+        };
+        return write_trace_jsonl(&out.join(name), events, ctx.epoch_unix_ns(), Some(meta));
     }
     let path = match rank {
         Some(r) => {
@@ -712,7 +1097,7 @@ pub(crate) fn write_process_trace(
         }
         None => out.to_path_buf(),
     };
-    std::fs::write(path, chrome_trace_json(&events))
+    std::fs::write(path, chrome_trace_json(events))
 }
 
 #[cfg(test)]
@@ -752,7 +1137,7 @@ mod tests {
             &TraceConfig {
                 tracing: true,
                 measuring: true,
-                out: None,
+                ..TraceConfig::default()
             },
         );
         ctx.record(EventKind::Post {
@@ -777,7 +1162,7 @@ mod tests {
             &TraceConfig {
                 tracing: false,
                 measuring: true,
-                out: None,
+                ..TraceConfig::default()
             },
         );
         let before = thread_wait_ns();
@@ -802,7 +1187,7 @@ mod tests {
             &TraceConfig {
                 tracing: true,
                 measuring: true,
-                out: None,
+                ..TraceConfig::default()
             },
         );
         // All from one thread = one shard; overflow it.
@@ -830,16 +1215,111 @@ mod tests {
     fn merge_sorts_across_rank_files() {
         let dir = std::env::temp_dir().join(format!("kamping-trace-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        write_trace_jsonl(&dir.join("trace-rank0.jsonl"), &[ev(3000), ev(5000)], 0).unwrap();
-        write_trace_jsonl(&dir.join("trace-rank1.jsonl"), &[ev(4000)], 0).unwrap();
+        write_trace_jsonl(
+            &dir.join("trace-rank0.jsonl"),
+            &[ev(3000), ev(5000)],
+            0,
+            Some(RankTraceMeta {
+                rank: 0,
+                dropped_events: 0,
+            }),
+        )
+        .unwrap();
+        write_trace_jsonl(
+            &dir.join("trace-rank1.jsonl"),
+            &[ev(4000)],
+            0,
+            Some(RankTraceMeta {
+                rank: 1,
+                dropped_events: 7,
+            }),
+        )
+        .unwrap();
         let out = dir.join("merged.json");
-        let n = merge_trace_dir(&dir, &out).unwrap();
-        assert_eq!(n, 3);
+        let report = merge_trace_dir(&dir, &out).unwrap();
+        assert_eq!(report.events, 3, "meta lines are not events");
+        assert_eq!(report.dropped, vec![(0, 0), (1, 7)]);
+        assert_eq!(report.total_dropped(), 7);
         let doc = std::fs::read_to_string(&out).unwrap();
         let pos3 = doc.find("\"ts\":3.000").unwrap();
         let pos4 = doc.find("\"ts\":4.000").unwrap();
         let pos5 = doc.find("\"ts\":5.000").unwrap();
         assert!(pos3 < pos4 && pos4 < pos5, "merged events sorted by ts");
+        let meta = doc.find("kamping_dropped_events").unwrap();
+        assert!(meta < pos3, "merged metadata leads the document");
+        assert!(doc.contains("\"total\":7"), "{doc}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn lookup<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn config_env_switches() {
+        let cfg = TraceConfig::from_lookup(lookup(&[("KAMPING_TRACE", "1")])).unwrap();
+        assert!(cfg.tracing && cfg.measuring && cfg.out.is_none());
+        let cfg = TraceConfig::from_lookup(lookup(&[("KAMPING_TRACE", "/tmp/t.json")])).unwrap();
+        assert_eq!(cfg.out.as_deref(), Some(Path::new("/tmp/t.json")));
+        let cfg = TraceConfig::from_lookup(lookup(&[("KAMPING_MEASURE", "false")])).unwrap();
+        assert!(!cfg.measuring, "false now means off, not a silent enable");
+        let cfg = TraceConfig::from_lookup(lookup(&[("KAMPING_METRICS", "/tmp/m.jsonl")])).unwrap();
+        assert!(cfg.metrics);
+        assert_eq!(cfg.metrics_out.as_deref(), Some(Path::new("/tmp/m.jsonl")));
+        let cfg = TraceConfig::from_lookup(lookup(&[("KAMPING_CRASH_DIR", "/tmp/crash")])).unwrap();
+        assert!(
+            cfg.tracing && cfg.measuring && cfg.metrics,
+            "crash dir forces evidence collection on"
+        );
+    }
+
+    #[test]
+    fn config_bad_values_are_typed_errors() {
+        for (var, val) in [
+            ("KAMPING_MEASURE", "yes"),
+            ("KAMPING_TRACE", "   "),
+            ("KAMPING_METRICS", " "),
+            ("KAMPING_METRICS_INTERVAL_MS", "fast"),
+            ("KAMPING_METRICS_INTERVAL_MS", "5"),
+            ("KAMPING_STRAGGLER_FACTOR", "-1"),
+            ("KAMPING_STRAGGLER_FACTOR", "NaNx"),
+        ] {
+            let err = TraceConfig::from_lookup(lookup(&[(var, val)]))
+                .expect_err(&format!("{var}={val:?} must be rejected"));
+            match err {
+                MpiError::Config(msg) => {
+                    assert!(msg.contains(var), "error names the variable: {msg}")
+                }
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_only_scope_counts_without_measuring() {
+        let ctx = TraceCtx::new(
+            2,
+            &TraceConfig {
+                metrics: true,
+                ..TraceConfig::default()
+            },
+        );
+        assert!(!ctx.measuring());
+        assert!(ctx.metrics().enabled());
+        for _ in 0..65 {
+            drop(ctx.op_scope(Op::Send, 1));
+        }
+        let snap = crate::metrics::MetricsSnapshot::capture(ctx.metrics().rank(1), (0, 0));
+        assert_eq!(snap.counter(Counter::OpsStarted), 65);
+        // 1-in-64 sampling: ops 0 and 64 were timed.
+        let hist_total: u64 = snap.hists[Hist::OpLatency as usize].iter().sum();
+        assert_eq!(hist_total, 2);
+        // Timings stay untouched (measuring off).
+        assert_eq!(ctx.timings(1).snapshot()[Op::Send as usize].1, 0);
     }
 }

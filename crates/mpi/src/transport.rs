@@ -438,6 +438,14 @@ impl Mailbox {
                 bytes: envelope.payload.len() as u64,
             });
         }
+        if self.trace.metrics().enabled() {
+            let rm = self.trace.metrics().rank(self.owner);
+            rm.add(crate::metrics::Counter::MsgsDelivered, 1);
+            rm.add(
+                crate::metrics::Counter::BytesDelivered,
+                envelope.payload.len() as u64,
+            );
+        }
         let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
         let tag = envelope.tag;
         {
@@ -659,6 +667,12 @@ impl Mailbox {
                 return Ok(hit);
             }
         }
+        // From here on the thread actually parks. The metrics guard charges
+        // the parked time to the owner's blocked-wait counter — only the
+        // condvar section, and only when this thread hosts the owner, so
+        // the live blocked-ratio stays meaningful without a clock read on
+        // the burst path (measuring-mode wait spans still cover the burst).
+        let _blocked = self.trace.metrics_block_guard(self.owner);
         loop {
             // Snapshot the epoch, then run `attempt` with *no* mailbox lock
             // held. The i-collective attempt steps schedules that post to
@@ -681,6 +695,7 @@ impl Mailbox {
             // The deadline is checked after one final match/interrupt pass,
             // so an envelope racing the deadline is still delivered.
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.trace.metrics_timeout(self.owner);
                 return Err(MpiError::Timeout {
                     waited: start.elapsed(),
                 });

@@ -21,7 +21,7 @@
 use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::chaos::{ChaosSpec, ChaosTransport};
 use crate::comm::RawComm;
@@ -49,6 +49,10 @@ pub(crate) struct UniverseState {
     pub fault_epoch: AtomicU64,
     /// Global ranks that have failed (ULFM).
     pub failed: RwLock<HashSet<usize>>,
+    /// The first failure this process observed — what the flight recorder
+    /// names in its crash report (local observation order; the post-mortem
+    /// collector takes the consensus across processes).
+    pub first_failed: OnceLock<usize>,
     /// Global ranks whose SPMD closure has returned. A finished rank will
     /// never communicate again, so peers blocked on it must be interrupted
     /// (in real MPI, completing `MPI_Finalize` with matching operations
@@ -104,6 +108,7 @@ impl UniverseState {
             hub,
             fault_epoch: AtomicU64::new(0),
             failed: RwLock::new(HashSet::new()),
+            first_failed: OnceLock::new(),
             finished: RwLock::new(HashSet::new()),
             revoked: RwLock::new(HashSet::new()),
             icoll: Registry::new(),
@@ -127,6 +132,7 @@ impl UniverseState {
 
     /// Applies a failure mark to the local view (no re-broadcast).
     fn apply_failed(&self, rank: usize) {
+        let _ = self.first_failed.set(rank);
         self.failed
             .write()
             .expect("failed set poisoned")
@@ -283,7 +289,7 @@ impl Universe {
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        Self::run_dispatch(size, TraceConfig::from_env(), f)
+        Self::run_dispatch(size, TraceConfig::from_env()?, f)
             .map(|(values, profile, _)| (values, profile))
     }
 
@@ -321,7 +327,7 @@ impl Universe {
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        let mut cfg = TraceConfig::from_env();
+        let mut cfg = TraceConfig::from_env()?;
         cfg.tracing = true;
         cfg.measuring = true;
         let agg: Mutex<Option<TreeAggregate>> = Mutex::new(None);
@@ -358,7 +364,7 @@ impl Universe {
         R: Send,
         F: Fn(RawComm) -> R + Sync,
     {
-        Self::run_threads_profiled(size, Some(spec), TraceConfig::from_env(), f)
+        Self::run_threads_profiled(size, Some(spec), TraceConfig::from_env()?, f)
             .map(|(values, _, _)| values)
     }
 
@@ -380,6 +386,7 @@ impl Universe {
         }
         let trace = Arc::new(TraceCtx::new(size, &trace_cfg));
         let state = UniverseState::new_shm(size, chaos, Arc::clone(&trace));
+        let plane = crate::metrics::MetricsPlane::start_local(&state, &trace_cfg);
         let f = &f;
 
         let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
@@ -409,17 +416,63 @@ impl Universe {
                 .collect()
         });
 
+        // Emit the final (possibly partial) metrics interval while the
+        // transport is still up, then join the snapshot thread.
+        if let Some(plane) = plane {
+            plane.stop();
+        }
+
         // All ranks have finished: flush and tear down the transport. For
         // plain shm this is a no-op; a chaos wrapper joins its delivery
         // thread and releases any held-back envelopes here.
         state.transport.shutdown();
 
-        // KAMPING_TRACE named a destination: all ranks share this process,
-        // so one self-contained Chrome trace file covers the whole job.
-        if trace.tracing() {
-            if let Some(out) = &trace_cfg.out {
-                if let Err(e) = crate::trace::write_process_trace(&trace, out, None) {
-                    eprintln!("kamping: failed to write trace to {}: {e}", out.display());
+        let panicked: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_err())
+            .map(|(r, _)| r)
+            .collect();
+
+        // Flight recorder + trace export share one `take_events` drain.
+        let crashed = !panicked.is_empty()
+            || !state.failed.read().expect("failed set poisoned").is_empty()
+            || (0..size).any(|r| {
+                trace
+                    .metrics()
+                    .rank(r)
+                    .get(crate::metrics::Counter::Timeouts)
+                    > 0
+            });
+        let want_trace = trace.tracing() && trace_cfg.out.is_some();
+        let want_crash = trace_cfg.crash_dir.is_some() && crashed;
+        if want_trace || want_crash {
+            let events = trace.take_events();
+            if let (Some(dir), true) = (&trace_cfg.crash_dir, want_crash) {
+                let tail = crate::trace::render_event_tail(
+                    &events,
+                    crate::metrics::CRASH_EVENT_TAIL,
+                    trace.epoch_unix_ns(),
+                );
+                let survivors: Vec<usize> = (0..size).filter(|r| !state.is_failed(*r)).collect();
+                crate::metrics::dump_crash_reports(
+                    &state,
+                    dir,
+                    &panicked,
+                    &tail,
+                    trace.dropped_events(),
+                    &survivors,
+                );
+            }
+            // KAMPING_TRACE named a destination: all ranks share this
+            // process, so one self-contained trace covers the whole job.
+            if want_trace {
+                if let Some(out) = &trace_cfg.out {
+                    if let Err(e) =
+                        crate::trace::write_process_trace_events(&trace, &events, out, None)
+                    {
+                        eprintln!("kamping: failed to write trace to {}: {e}", out.display());
+                    }
                 }
             }
         }

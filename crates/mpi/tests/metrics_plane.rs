@@ -1,0 +1,306 @@
+//! Cross-process tests of the live metrics plane and flight recorder.
+//!
+//! Same harness as `socket_backend.rs`: each test launches N copies of
+//! this test binary (filtered to [`metrics_worker_entry`]) over the
+//! cross-process transport, with `KAMPING_METRICS` pointed at a scratch
+//! JSONL file. The parent then reads the merged interval stream rank 0
+//! wrote and asserts on it — the same artifact `kampirun --metrics`
+//! produces.
+//!
+//! Covered invariants:
+//!
+//! 1. a chaos-style abrupt rank death mid-job shows up as a `stale` entry
+//!    in subsequent interval records, the poller never hangs on the dead
+//!    rank, and the surviving ranks keep reporting (seq keeps rising);
+//! 2. the JSONL field order is exactly [`JSONL_FIELDS`] on both the
+//!    socket and shm-xproc backends — consumers may scrape by position;
+//! 3. with `KAMPING_CRASH_DIR` armed, survivors of a rank death each dump
+//!    a flight-recorder report and the folded post-mortem names the
+//!    killed rank as first-failing.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use kamping_mpi::metrics::{collect_crash_reports, scrape_array, scrape_u64, JSONL_FIELDS};
+use kamping_mpi::net::{launch, Backend, LaunchSpec, RankExit};
+use kamping_mpi::{RawComm, Universe};
+
+const CASE_VAR: &str = "KAMPING_METRICS_TEST_CASE";
+
+/// Launches `ranks` copies of this test binary running `case` over
+/// `backend` with the given extra environment.
+fn run_job(case: &str, ranks: usize, backend: Backend, extra: &[(&str, String)]) -> Vec<RankExit> {
+    let mut spec = LaunchSpec::new(
+        ranks,
+        std::env::current_exe().expect("test binary path available"),
+    );
+    spec.backend = backend;
+    spec.args = vec!["metrics_worker_entry".into(), "--exact".into()];
+    spec.env = vec![(CASE_VAR.into(), case.into())];
+    for (k, v) in extra {
+        spec.env.push(((*k).into(), v.clone()));
+    }
+    launch(&spec).expect("launching the job")
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "kamping-metrics-test-{}-{name}",
+        std::process::id()
+    ))
+}
+
+fn read_records(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading metrics JSONL {}: {e}", path.display()))
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Asserts one record's top-level keys appear in exactly the
+/// [`JSONL_FIELDS`] order. Inner `totals` keys cannot collide with the
+/// top-level names, so plain substring positions suffice.
+fn assert_field_order(record: &str) {
+    let mut last = 0usize;
+    for field in JSONL_FIELDS {
+        let needle = format!("\"{field}\":");
+        let at = record
+            .find(&needle)
+            .unwrap_or_else(|| panic!("field {field:?} missing from record {record}"));
+        assert!(
+            at >= last,
+            "field {field:?} out of order in record {record}"
+        );
+        last = at;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Case bodies, executed inside the child processes.
+// ---------------------------------------------------------------------
+
+/// A two-rank ping-pong where rank 0 alone decides when to stop (after
+/// `dur`) and signals it in the ping's first byte. Bounding both sides by
+/// their *own* clocks instead would deadlock under CPU starvation: the
+/// ranks can disagree on the final round, leaving rank 0 in a `recv` that
+/// rank 1 — already past its loop — will never answer.
+fn ping_pong_driven(comm: &RawComm, dur: Duration, pause: Duration) {
+    let start = Instant::now();
+    if comm.rank() == 0 {
+        loop {
+            let done = start.elapsed() >= dur;
+            comm.send(1, 5, &[done as u8; 64]).unwrap();
+            comm.recv(1, 6).unwrap();
+            if done {
+                return;
+            }
+            std::thread::sleep(pause);
+        }
+    }
+    loop {
+        let (ping, _) = comm.recv(0, 5).unwrap();
+        comm.send(0, 6, &[2u8; 64]).unwrap();
+        if ping[0] == 1 {
+            return;
+        }
+    }
+}
+
+/// Rank 2 dies abruptly ~250 ms in (no unwinding, no goodbye); ranks 0
+/// and 1 keep a steady ping-pong going for ~1.2 s so the poller observes
+/// throughput before, during, and after the death.
+fn case_metrics_kill(comm: &RawComm) {
+    if comm.rank() == 2 {
+        comm.send(0, 3, b"up").unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        std::process::exit(7);
+    }
+    if comm.rank() == 0 {
+        comm.recv(2, 3).unwrap();
+    }
+    ping_pong_driven(comm, Duration::from_millis(1200), Duration::from_millis(5));
+}
+
+/// A clean 2-rank ping-pong long enough for several 100 ms intervals.
+fn case_metrics_clean(comm: &RawComm) {
+    ping_pong_driven(comm, Duration::from_millis(450), Duration::from_millis(2));
+    comm.barrier().unwrap();
+}
+
+/// The child-side entry point: a no-op under plain `cargo test`, the rank
+/// body when launched by the tests below.
+#[test]
+fn metrics_worker_entry() {
+    let Ok(case) = std::env::var(CASE_VAR) else {
+        return;
+    };
+    // A deadlocked child must not hang CI: die loudly instead.
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(120));
+        eprintln!("metrics_worker_entry: watchdog fired, aborting rank");
+        std::process::exit(86);
+    });
+    Universe::run(1, |comm| match case.as_str() {
+        "metrics_kill" => case_metrics_kill(&comm),
+        "metrics_clean" => case_metrics_clean(&comm),
+        other => panic!("unknown case {other:?}"),
+    });
+}
+
+// ---------------------------------------------------------------------
+// Parent-side tests.
+// ---------------------------------------------------------------------
+
+/// A killed rank turns stale in the interval stream without stalling it:
+/// records keep coming (survivors keep reporting), the dead rank appears
+/// in `stale`, and no record ever blocks the poller past its budget.
+#[test]
+fn socket_killed_rank_goes_stale_and_stream_continues() {
+    let out = scratch_path("kill.jsonl");
+    let _ = std::fs::remove_file(&out);
+    let exits = run_job(
+        "metrics_kill",
+        3,
+        Backend::Socket,
+        &[
+            ("KAMPING_METRICS", out.display().to_string()),
+            ("KAMPING_METRICS_INTERVAL_MS", "100".to_string()),
+        ],
+    );
+    for e in &exits {
+        match e.rank {
+            2 => assert_eq!(
+                e.status.code(),
+                Some(7),
+                "rank 2 must die with its own code"
+            ),
+            r => assert!(e.status.success(), "rank {r} exited with {}", e.status),
+        }
+    }
+
+    let records = read_records(&out);
+    assert!(
+        records.len() >= 4,
+        "expected several 100ms intervals over a ~1.2s job, got {}",
+        records.len()
+    );
+    let mut prev_seq = 0;
+    let mut first_stale_seq = None;
+    for rec in &records {
+        assert_field_order(rec);
+        let seq = scrape_u64(rec, "seq").expect("seq field");
+        assert!(seq > prev_seq, "seq must be strictly increasing");
+        prev_seq = seq;
+        let stale = scrape_array(rec, "stale").expect("stale field");
+        if stale.contains(&2) {
+            first_stale_seq.get_or_insert(seq);
+        }
+        assert!(
+            !stale.contains(&0) && !stale.contains(&1),
+            "survivors must never be reported stale, got {rec}"
+        );
+    }
+    let first_stale = first_stale_seq.expect("rank 2's death never showed up as stale");
+    assert!(
+        prev_seq > first_stale,
+        "stream must keep flowing after the death (stale from #{first_stale}, last #{prev_seq})"
+    );
+    // Early records — before the 250 ms kill — must show all ranks live.
+    let stale0 = scrape_array(&records[0], "stale").expect("stale field");
+    assert!(
+        stale0.is_empty(),
+        "first interval should predate the kill, got {}",
+        records[0]
+    );
+    let _ = std::fs::remove_file(&out);
+}
+
+/// The JSONL schema is positional: every record on every backend carries
+/// the exact [`JSONL_FIELDS`] order, and a clean run moves real traffic.
+#[test]
+fn interval_records_have_identical_field_order_across_backends() {
+    for (backend, name) in [(Backend::Socket, "socket"), (Backend::ShmXproc, "ring")] {
+        let out = scratch_path(&format!("clean-{name}.jsonl"));
+        let _ = std::fs::remove_file(&out);
+        let exits = run_job(
+            "metrics_clean",
+            2,
+            backend,
+            &[
+                ("KAMPING_METRICS", out.display().to_string()),
+                ("KAMPING_METRICS_INTERVAL_MS", "100".to_string()),
+            ],
+        );
+        for e in &exits {
+            assert!(
+                e.status.success(),
+                "{name}: rank {} exited with {}",
+                e.rank,
+                e.status
+            );
+        }
+        let records = read_records(&out);
+        assert!(!records.is_empty(), "{name}: no interval records written");
+        for rec in &records {
+            assert_field_order(rec);
+            assert!(
+                scrape_array(rec, "stale").expect("stale field").is_empty(),
+                "{name}: clean run reported a stale rank: {rec}"
+            );
+        }
+        let moved_traffic = records
+            .iter()
+            .any(|r| scrape_u64(r, "msgs_per_s").expect("msgs_per_s field") > 0);
+        assert!(moved_traffic, "{name}: no interval saw any traffic");
+        let _ = std::fs::remove_file(&out);
+    }
+}
+
+/// Flight recorder drill: with `KAMPING_CRASH_DIR` armed, each survivor
+/// of the killed rank dumps a crash report, and the folded post-mortem
+/// names rank 2 as the first-failing rank.
+#[test]
+fn crash_dir_post_mortem_names_killed_rank() {
+    let dir = scratch_path("crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating crash dir");
+    let exits = run_job(
+        "metrics_kill",
+        3,
+        Backend::Socket,
+        &[("KAMPING_CRASH_DIR", dir.display().to_string())],
+    );
+    for e in &exits {
+        match e.rank {
+            2 => assert_eq!(
+                e.status.code(),
+                Some(7),
+                "rank 2 must die with its own code"
+            ),
+            r => assert!(e.status.success(), "rank {r} exited with {}", e.status),
+        }
+    }
+
+    for r in [0usize, 1] {
+        assert!(
+            dir.join(format!("crash-rank{r}.json")).is_file(),
+            "surviving rank {r} wrote no crash report"
+        );
+    }
+    let doc = collect_crash_reports(&dir)
+        .expect("reading crash reports")
+        .expect("no crash reports collected");
+    assert_eq!(
+        scrape_u64(&doc, "first_failed"),
+        Some(2),
+        "post-mortem must name the killed rank: {doc}"
+    );
+    assert!(
+        scrape_array(&doc, "failed")
+            .expect("failed field")
+            .contains(&2),
+        "failed set must contain the killed rank: {doc}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
