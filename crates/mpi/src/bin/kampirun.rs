@@ -1,7 +1,8 @@
 //! `kampirun` — the `mpirun` of the socket backend.
 //!
 //! ```text
-//! kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp]
+//! kampirun --ranks N [--elastic M] [--join-delay-ms D]
+//!          [--backend auto|socket|shm-xproc] [--tcp]
 //!          [--trace out.json] [--metrics out.jsonl] [--interval ms]
 //!          [--metrics-tty] [--crash-dir DIR] -- <program> [args...]
 //! ```
@@ -10,6 +11,13 @@
 //! transport and waits for all of them. The exit code is 0 if every rank
 //! exited 0, otherwise the first failing rank's code (or 1 for a signal
 //! death).
+//!
+//! With `--elastic M`, the universe has capacity for `M` *late joiners*
+//! beyond the launch ranks: `M` extra copies of `<program>` start without
+//! a rank and knock on the rendezvous; rank 0 admits each one with a
+//! fresh global rank and a new membership epoch, which survivors observe
+//! via `RawComm::grow` / `await_membership_change`. `--join-delay-ms D`
+//! staggers the knocks (joiner `i` waits `(i+1)*D` ms).
 //!
 //! `--backend` picks the wire between ranks: `socket` is Unix-domain
 //! sockets (TCP loopback with `--tcp`); `shm-xproc` is shared-memory SPSC
@@ -50,7 +58,8 @@ use kamping_mpi::net::{launch, Backend, LaunchSpec};
 fn usage(err: &str) -> ExitCode {
     eprintln!("kampirun: {err}");
     eprintln!(
-        "usage: kampirun --ranks N [--backend auto|socket|shm-xproc] [--tcp] \
+        "usage: kampirun --ranks N [--elastic M] [--join-delay-ms D] \
+         [--backend auto|socket|shm-xproc] [--tcp] \
          [--trace out.json] [--metrics out.jsonl] [--interval ms] [--metrics-tty] \
          [--crash-dir DIR] -- <program> [args...]"
     );
@@ -105,6 +114,8 @@ fn tail_metrics(path: std::path::PathBuf, stop: Arc<AtomicBool>) {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut ranks: Option<usize> = None;
+    let mut elastic = 0usize;
+    let mut join_delay_ms = 0u64;
     let mut tcp = false;
     let mut backend: Option<Backend> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
@@ -122,6 +133,18 @@ fn main() -> ExitCode {
                     return usage("--ranks needs an integer argument");
                 };
                 ranks = Some(n);
+            }
+            "--elastic" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage("--elastic needs an integer argument");
+                };
+                elastic = n;
+            }
+            "--join-delay-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage("--join-delay-ms needs an integer argument (milliseconds)");
+                };
+                join_delay_ms = ms;
             }
             "--tcp" => tcp = true,
             "--backend" => {
@@ -189,6 +212,8 @@ fn main() -> ExitCode {
     spec.tcp = tcp;
     spec.backend = backend;
     spec.args = prog_args;
+    spec.elastic = elastic;
+    spec.join_delay_ms = join_delay_ms;
 
     // Each rank writes its own JSONL trace into a scratch directory;
     // merged into a single Chrome trace after the job exits.

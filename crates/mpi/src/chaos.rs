@@ -87,8 +87,10 @@ pub struct ChaosSpec {
     pub reorder_pct: u8,
     /// Directional link cut, if any.
     pub sever: Option<Sever>,
-    /// Injected rank death, if any.
-    pub kill: Option<Kill>,
+    /// Injected rank deaths — the `kill=` directive repeats, so one
+    /// schedule can take several ranks down at distinct budget points
+    /// (elastic soaks kill → rebalance → re-admit → kill again).
+    pub kills: Vec<Kill>,
 }
 
 impl ChaosSpec {
@@ -103,7 +105,7 @@ impl ChaosSpec {
             delay: Duration::from_millis(1),
             reorder_pct: 0,
             sever: None,
-            kill: None,
+            kills: Vec::new(),
         }
     }
 
@@ -114,6 +116,7 @@ impl ChaosSpec {
     /// * `delay=<pct>@<ms>` — delay `<pct>` of messages by `<ms>` ms
     /// * `sever=<src>-><dest>@<n>` — cut the link after `n` messages
     /// * `kill=<rank>@<n>` — kill the rank after `n` touching messages
+    ///   (repeatable: each occurrence adds an independent victim)
     ///
     /// An empty spec (`"7:"`) is the identity schedule. Errors are typed
     /// ([`MpiError::Config`]), never panics.
@@ -172,7 +175,7 @@ impl ChaosSpec {
                     let (r, n) = value
                         .split_once('@')
                         .ok_or_else(|| bad(format!("kill wants <rank>@<n>, got {value:?}")))?;
-                    spec.kill = Some(Kill {
+                    spec.kills.push(Kill {
                         rank: rank(r)?,
                         after: count(n)?,
                     });
@@ -360,10 +363,10 @@ pub struct ChaosTransport {
     size: usize,
     /// Per-(src → dest) message counters; the determinism anchor.
     chan_seq: Vec<AtomicU64>,
-    /// Messages seen touching the kill victim.
-    touches: AtomicU64,
-    /// Whether the kill has fired (the victim's traffic is cut).
-    killed: AtomicBool,
+    /// Messages seen touching each kill victim (parallel to `spec.kills`).
+    touches: Vec<AtomicU64>,
+    /// Whether each kill has fired (the victim's traffic is cut).
+    killed: Vec<AtomicBool>,
     /// Held-back envelope per channel (reorder fault).
     holdback: Vec<Mutex<Option<Envelope>>>,
     /// Where an injected `Failed` mark is applied locally.
@@ -401,13 +404,15 @@ impl ChaosTransport {
                 .spawn(move || d.run(&inner))
                 .expect("spawning chaos delivery thread")
         });
+        let touches = spec.kills.iter().map(|_| AtomicU64::new(0)).collect();
+        let killed = spec.kills.iter().map(|_| AtomicBool::new(false)).collect();
         Self {
             inner,
             spec,
             size,
             chan_seq: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
-            touches: AtomicU64::new(0),
-            killed: AtomicBool::new(false),
+            touches,
+            killed,
             holdback: (0..size * size).map(|_| Mutex::new(None)).collect(),
             sink: Mutex::new(None),
             delayer,
@@ -476,40 +481,43 @@ impl ChaosTransport {
         (h % 100) as u8
     }
 
-    /// True once the kill victim's traffic is cut. Counts this message
-    /// against the kill budget and fires the death when it is exhausted.
+    /// True once any kill victim on this message's channel has its traffic
+    /// cut. Counts the message against every matching victim's budget and
+    /// fires each death when its budget is exhausted.
     fn kill_cuts(&self, src: usize, dest: usize) -> bool {
-        let Some(kill) = self.spec.kill else {
-            return false;
-        };
-        if src != kill.rank && dest != kill.rank {
-            return false;
-        }
-        if self.killed.load(Ordering::Acquire) {
-            return true;
-        }
-        let n = self.touches.fetch_add(1, Ordering::AcqRel);
-        if n < kill.after {
-            return false;
-        }
-        if !self.killed.swap(true, Ordering::AcqRel) {
-            self.stats.kills.fetch_add(1, Ordering::Relaxed);
-            // Mirror UniverseState::mark_failed: apply locally through the
-            // sink (which kicks mailboxes and the hub), broadcast to remote
-            // ranks over the real backend.
-            let sink = self
-                .sink
-                .lock()
-                .expect("chaos sink poisoned")
-                .as_ref()
-                .and_then(Weak::upgrade);
-            if let Some(sink) = sink {
-                sink.apply(ControlMsg::Failed { rank: kill.rank });
+        let mut cut = false;
+        for (i, kill) in self.spec.kills.iter().enumerate() {
+            if src != kill.rank && dest != kill.rank {
+                continue;
             }
-            self.inner.control(ControlMsg::Failed { rank: kill.rank });
-            self.inner.kick_local();
+            if self.killed[i].load(Ordering::Acquire) {
+                cut = true;
+                continue;
+            }
+            let n = self.touches[i].fetch_add(1, Ordering::AcqRel);
+            if n < kill.after {
+                continue;
+            }
+            if !self.killed[i].swap(true, Ordering::AcqRel) {
+                self.stats.kills.fetch_add(1, Ordering::Relaxed);
+                // Mirror UniverseState::mark_failed: apply locally through
+                // the sink (which kicks mailboxes and the hub), broadcast
+                // to remote ranks over the real backend.
+                let sink = self
+                    .sink
+                    .lock()
+                    .expect("chaos sink poisoned")
+                    .as_ref()
+                    .and_then(Weak::upgrade);
+                if let Some(sink) = sink {
+                    sink.apply(ControlMsg::Failed { rank: kill.rank });
+                }
+                self.inner.control(ControlMsg::Failed { rank: kill.rank });
+                self.inner.kick_local();
+            }
+            cut = true;
         }
-        true
+        cut
     }
 
     /// Delivers one envelope, routing through the delay queue when the
@@ -724,8 +732,14 @@ mod tests {
                 after: 2
             })
         );
-        assert_eq!(s.kill, Some(Kill { rank: 3, after: 9 }));
+        assert_eq!(s.kills, vec![Kill { rank: 3, after: 9 }]);
         assert_eq!(ChaosSpec::parse("9:").unwrap(), ChaosSpec::new(9));
+        // The kill directive repeats: each occurrence is its own victim.
+        let multi = ChaosSpec::parse("7:kill=1@4,kill=2@9").unwrap();
+        assert_eq!(
+            multi.kills,
+            vec![Kill { rank: 1, after: 4 }, Kill { rank: 2, after: 9 }]
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::topo::{GraphTopo, HierTopo};
 use crate::universe::UniverseState;
 
 /// FNV-1a over a list of words; used to derive child context ids.
-fn fnv1a(words: &[u64]) -> u64 {
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &w in words {
         for b in w.to_le_bytes() {
@@ -45,6 +45,11 @@ pub struct RawComm {
     pub(crate) inverse: Arc<HashMap<usize, usize>>,
     /// This handle's local rank.
     pub(crate) rank: usize,
+    /// Membership epoch this communicator was derived under (0 = launch
+    /// membership; bumped by every [`RawComm::grow`] admission). Derived
+    /// communicators (`dup`, `split`, `shrink`, …) inherit their parent's
+    /// epoch: they are views onto the same membership generation.
+    pub(crate) epoch: u64,
     /// Collective sequence number (tags internal collective traffic).
     pub(crate) coll_seq: Cell<u32>,
     /// Graph topology, if attached.
@@ -73,6 +78,7 @@ impl Clone for RawComm {
             group: Arc::clone(&self.group),
             inverse: Arc::clone(&self.inverse),
             rank: self.rank,
+            epoch: self.epoch,
             coll_seq: self.coll_seq.clone(),
             topo: self.topo.clone(),
             hier: RefCell::new(self.hier.borrow().clone()),
@@ -95,9 +101,12 @@ impl std::fmt::Debug for RawComm {
 }
 
 impl RawComm {
-    /// Builds the world communicator handle of `rank`.
+    /// Builds the world communicator handle of `rank`. The world group is
+    /// the *launch membership* — on an elastic universe this is the initial
+    /// ranks only, not the full capacity; ranks admitted later enter via
+    /// [`RawComm::from_grow`] instead.
     pub(crate) fn world(state: Arc<UniverseState>, rank: usize) -> Self {
-        let group: Arc<Vec<usize>> = Arc::new((0..state.size).collect());
+        let group: Arc<Vec<usize>> = Arc::new(state.launch_members.clone());
         let inverse = Arc::new(group.iter().enumerate().map(|(l, &g)| (g, l)).collect());
         Self {
             state,
@@ -105,6 +114,41 @@ impl RawComm {
             group,
             inverse,
             rank,
+            epoch: 0,
+            coll_seq: Cell::new(0),
+            topo: None,
+            hier: RefCell::new(None),
+            grid: RefCell::new(None),
+            strategy: Cell::new(None),
+            fake_hosts: Cell::new(None),
+            single_host: Cell::new(None),
+        }
+    }
+
+    /// Builds the communicator of membership epoch `epoch` directly from a
+    /// grow event, without a parent handle — how a freshly-admitted rank
+    /// obtains its first communicator. Survivors arrive at the *same*
+    /// context via [`RawComm::grow`], which derives it from
+    /// [`grow_ctx`]: the id depends only on the epoch, so both sides agree
+    /// without sharing any communicator history.
+    pub(crate) fn from_grow(
+        state: Arc<UniverseState>,
+        epoch: u64,
+        members: Vec<usize>,
+        my_global: usize,
+    ) -> Self {
+        let rank = members
+            .iter()
+            .position(|&g| g == my_global)
+            .expect("a grown communicator must contain the building rank");
+        let inverse = Arc::new(members.iter().enumerate().map(|(l, &g)| (g, l)).collect());
+        Self {
+            state,
+            ctx: grow_ctx(epoch),
+            group: Arc::new(members),
+            inverse,
+            rank,
+            epoch,
             coll_seq: Cell::new(0),
             topo: None,
             hier: RefCell::new(None),
@@ -133,6 +177,7 @@ impl RawComm {
             group: Arc::new(members),
             inverse,
             rank,
+            epoch: self.epoch,
             coll_seq: Cell::new(0),
             topo,
             hier: RefCell::new(None),
@@ -273,6 +318,18 @@ pub(crate) enum ContextKind {
     Split = 2,
     Graph = 3,
     Shrink = 4,
+    Grow = 5,
+}
+
+/// Salt distinguishing grow contexts from every child-context family.
+const GROW_CTX_SALT: u64 = 0x656c_6173_7469_6321; // "elastic!"
+
+/// Context id of the epoch-`epoch` grown communicator. Unlike
+/// [`RawComm::child_ctx`] this is *history-free*: it hashes only the epoch,
+/// so a joining process (which has no parent communicator) and the
+/// survivors (which grow from arbitrary ancestors) derive the same id.
+pub(crate) fn grow_ctx(epoch: u64) -> u64 {
+    fnv1a(&[GROW_CTX_SALT, epoch, ContextKind::Grow as u64])
 }
 
 #[cfg(test)]

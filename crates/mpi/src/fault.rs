@@ -11,6 +11,8 @@
 //! stops participating (returns from the SPMD closure). A rank that panics
 //! is marked failed automatically by the universe.
 
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::comm::ContextKind;
@@ -19,6 +21,17 @@ use crate::profile::Op;
 use crate::tag::coll_tag;
 use crate::transport::{MatchKey, Payload};
 use crate::RawComm;
+
+/// What a blocking membership wait observed first (see
+/// [`RawComm::await_membership_change_timeout`]): elastic services watch
+/// for both directions of churn with one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// A member failed; carries the lowest failed local rank.
+    Failure(usize),
+    /// The universe grew; carries the new membership epoch.
+    Grow(u64),
+}
 
 impl RawComm {
     /// Marks this rank as failed and wakes all peers. The caller should
@@ -101,18 +114,180 @@ impl RawComm {
     /// the survivors.
     pub fn shrink(&self) -> MpiResult<RawComm> {
         let _op = self.record(Op::Shrink);
-        let seq = self.next_coll_seq();
         let survivors = self.survivors();
         let globals: Vec<usize> = survivors.iter().map(|&l| self.group[l]).collect();
         if !globals.contains(&self.my_global_rank()) {
             return Err(MpiError::Internal("a failed rank cannot shrink"));
         }
-        let ctx = self.child_ctx(seq, 0, ContextKind::Shrink as u64);
+        // The shrunk context is a pure function of (parent context,
+        // survivor set) — deliberately NOT of a collective sequence
+        // number. Ranks can observe overlapping failures in different
+        // batches: one shrinks at {A}, gets `ProcFailed` from the
+        // convergence barrier when B dies mid-shrink, and retries; another
+        // jumps straight to {A, B}. Retrying callers must land in the
+        // *same* context as first-time callers with the same survivor
+        // view, or the barrier would wait on contexts nobody else enters.
+        let mut words: Vec<u64> = vec![self.ctx, ContextKind::Shrink as u64];
+        words.extend(globals.iter().map(|&g| g as u64));
+        let ctx = crate::comm::fnv1a(&words);
         let shrunk = self.derive(ctx, globals, self.my_global_rank(), None);
         // Synchronize the survivors on the new context so that nobody races
         // ahead with operations before everybody agrees the shrink happened.
         shrunk.barrier()?;
         Ok(shrunk)
+    }
+
+    /// The membership epoch this communicator was built under: 0 for the
+    /// launch membership, and each admission ([`RawComm::grow`]) bumps it.
+    /// Derived communicators (`dup`/`split`/`shrink`) inherit the epoch.
+    pub fn membership_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The latest membership epoch this *process* has observed — ahead of
+    /// [`RawComm::membership_epoch`] when admissions happened that this
+    /// communicator has not grown into yet.
+    pub fn latest_membership_epoch(&self) -> u64 {
+        self.state.membership_epoch.load(Ordering::Acquire)
+    }
+
+    /// Builds the communicator of the next membership epoch after this
+    /// one (`grow` — the inverse of [`RawComm::shrink`]). Collective over
+    /// the grown membership: every surviving member calls `grow()` while
+    /// the admitted rank enters through the same context from its side,
+    /// and all of them synchronize on an admission barrier. Steps exactly
+    /// one epoch; a process that lagged several admissions calls it
+    /// repeatedly to replay them in order.
+    ///
+    /// Errors with [`MpiError::Internal`] when no newer epoch exists (use
+    /// [`RawComm::await_grow_timeout`] to block for one). A member failing
+    /// *during* the admission barrier does not fail the grow: the grown
+    /// communicator is returned with the failure already marked, and the
+    /// caller handles it through the normal path ([`RawComm::first_failed`]
+    /// → [`RawComm::shrink`]).
+    pub fn grow(&self) -> MpiResult<RawComm> {
+        let _op = self.record(Op::Grow);
+        let event = self
+            .state
+            .next_grow_after(self.epoch)
+            .ok_or(MpiError::Internal(
+                "no grow event beyond this communicator's epoch",
+            ))?;
+        if !event.members.contains(&self.my_global_rank()) {
+            return Err(MpiError::Internal(
+                "a rank outside the grown membership cannot grow",
+            ));
+        }
+        let grown = RawComm::from_grow(
+            Arc::clone(&self.state),
+            event.epoch,
+            event.members,
+            self.my_global_rank(),
+        );
+        // Admission barrier: nobody proceeds on the new epoch until the
+        // joiners and every survivor have arrived at the same context. A
+        // member dying *during* admission must not make the epoch
+        // unenterable — every future grow() call would step into this
+        // same event and fail its barrier forever — so failure-class
+        // errors are tolerated: the grown communicator is returned with
+        // the corpse already marked, and the caller's normal failure path
+        // (first_failed → shrink) removes it.
+        match grown.barrier() {
+            Ok(()) => {}
+            Err(e) if e.is_failure() => {}
+            Err(e) => return Err(e),
+        }
+        Ok(grown)
+    }
+
+    /// Blocks until the universe has grown past this communicator's epoch,
+    /// or gives up after `timeout` with [`MpiError::Timeout`]. Returns the
+    /// newest observed epoch; follow with [`RawComm::grow`] to step into
+    /// it.
+    pub fn await_grow_timeout(&self, timeout: Duration) -> MpiResult<u64> {
+        let start = Instant::now();
+        self.state
+            .hub
+            .wait_until_deadline(
+                || {
+                    let e = self.state.membership_epoch.load(Ordering::Acquire);
+                    (e > self.epoch).then_some(e)
+                },
+                Some(start + timeout),
+            )
+            .ok_or(MpiError::Timeout {
+                waited: start.elapsed(),
+            })
+    }
+
+    /// Blocks until membership churns in *either* direction — a member
+    /// failure or an admission past this communicator's epoch — giving up
+    /// after `timeout` with [`MpiError::Timeout`]. Failures win ties, so
+    /// recovery (revoke/shrink) runs before the service grows again.
+    pub fn await_membership_change_timeout(
+        &self,
+        timeout: Duration,
+    ) -> MpiResult<MembershipChange> {
+        let start = Instant::now();
+        self.state
+            .hub
+            .wait_until_deadline(
+                || {
+                    if let Some(l) = self.first_failed() {
+                        return Some(MembershipChange::Failure(l));
+                    }
+                    let e = self.state.membership_epoch.load(Ordering::Acquire);
+                    (e > self.epoch).then_some(MembershipChange::Grow(e))
+                },
+                Some(start + timeout),
+            )
+            .ok_or(MpiError::Timeout {
+                waited: start.elapsed(),
+            })
+    }
+
+    /// Admits `n` parked ranks into the universe (`MPI_Comm_spawn` +
+    /// merge rolled into one): creates the next grow event and steps this
+    /// handle into it via [`RawComm::grow`]. Call it from exactly one
+    /// member; the others observe the admission and call
+    /// [`RawComm::grow`] themselves.
+    ///
+    /// Only the shm backend parks ranks ([`crate::Universe::run_elastic`]);
+    /// on the socket backend joining processes are admitted by the
+    /// rendezvous monitor instead (`kampirun --elastic`), and this errors
+    /// with [`MpiError::Config`].
+    pub fn spawn_merge(&self, n: usize) -> MpiResult<RawComm> {
+        if n == 0 {
+            return Err(MpiError::Config(
+                "spawn_merge needs at least one joiner".into(),
+            ));
+        }
+        let joiners: Vec<usize> = {
+            let mut parked = self.state.parked.lock().expect("parked pool poisoned");
+            if parked.len() < n {
+                return Err(MpiError::Config(format!(
+                    "spawn_merge({n}): only {} parked rank(s) available — park ranks with \
+                     Universe::run_elastic (shm); on the socket backend the rendezvous \
+                     monitor admits joiners (kampirun --elastic)",
+                    parked.len()
+                )));
+            }
+            parked.drain(..n).collect()
+        };
+        // Keep the termination accounting ahead of the event publication
+        // so the job cannot close while an admitted rank is waking up.
+        self.state.active_unfinished.fetch_add(n, Ordering::AcqRel);
+        let epoch = self.state.membership_epoch.load(Ordering::Acquire) + 1;
+        let mut members: Vec<usize> = self
+            .state
+            .current_members()
+            .into_iter()
+            .filter(|&r| !self.state.is_gone(r))
+            .collect();
+        members.extend(joiners.iter().copied());
+        members.sort_unstable();
+        self.state.mark_grow(epoch, joiners, members);
+        self.grow()
     }
 
     /// Fault-tolerant agreement (`MPI_Comm_agree`): returns the logical AND

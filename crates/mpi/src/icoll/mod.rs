@@ -285,7 +285,17 @@ impl CollCell {
                     *core = CollCore::Failed(MpiError::Revoked);
                     return true;
                 }
-                if !waiting.iter().any(|&l| state.is_gone(self.group[l])) {
+                // Two ways a fault dooms an incomplete schedule: a rank we
+                // directly await is gone (failed *or* finished — it will
+                // never post), or any group member has *failed*. The latter
+                // catches transitive stalls: the schedule may be waiting on
+                // a live rank whose own step awaits the dead one, so the
+                // dead rank never shows up in our `waiting_on`. A member
+                // that finished cleanly is exempt unless directly awaited —
+                // its `Bye` proves it posted everything first.
+                let doomed = waiting.iter().any(|&l| state.is_gone(self.group[l]))
+                    || self.group.iter().any(|&g| state.is_failed(g));
+                if !doomed {
                     *clean = Some((epoch, waiting));
                     return false;
                 }
@@ -306,11 +316,24 @@ impl CollCell {
                     Ok(None) => {
                         waiting.clear();
                         sm.waiting_on(&mut waiting);
-                        match waiting.iter().find(|&&l| state.is_gone(self.group[l])) {
-                            Some(&l) => {
-                                *core = CollCore::Failed(MpiError::ProcFailed {
-                                    rank: self.group[l],
-                                });
+                        // Attribute the failure to an actually *failed*
+                        // member first: a directly awaited rank that merely
+                        // finished may only be collateral (it left after the
+                        // real fault wedged the schedule).
+                        let culprit = self
+                            .group
+                            .iter()
+                            .copied()
+                            .find(|&g| state.is_failed(g))
+                            .or_else(|| {
+                                waiting
+                                    .iter()
+                                    .map(|&l| self.group[l])
+                                    .find(|&g| state.is_gone(g))
+                            });
+                        match culprit {
+                            Some(rank) => {
+                                *core = CollCore::Failed(MpiError::ProcFailed { rank });
                                 true
                             }
                             None => {

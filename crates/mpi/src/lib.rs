@@ -38,6 +38,10 @@
 //!   `create_struct`.
 //! * User-level failure mitigation (ULFM) core: failure injection,
 //!   [`RawComm::revoke`], [`RawComm::shrink`], [`RawComm::agree`].
+//! * Elastic universes: dynamic rank admission as typed epoch transitions
+//!   ([`Universe::run_elastic`], [`RawComm::grow`], [`RawComm::spawn_merge`])
+//!   plus a consistent-hash shard map ([`elastic::ShardMap`]) for services
+//!   that rebalance across membership changes.
 //! * A PMPI-analog profiling interface ([`profile`]) counting calls,
 //!   messages and bytes — used by the test suite to assert that the binding
 //!   layer issues exactly the expected calls, and by the benchmark harness
@@ -66,6 +70,7 @@ pub mod chaos;
 pub mod coll;
 pub mod comm;
 pub mod dtype;
+pub mod elastic;
 pub mod error;
 pub mod fault;
 pub mod hier;
@@ -86,7 +91,9 @@ pub mod universe;
 pub use chaos::{ChaosSpec, ChaosTransport};
 pub use coll::{AlltoallAlgo, SparseMsg};
 pub use comm::RawComm;
+pub use elastic::{ShardMap, ShardMove};
 pub use error::{MpiError, MpiResult};
+pub use fault::MembershipChange;
 pub use hier::CollStrategy;
 pub use icoll::{OwnedByteOp, RawCollRequest};
 pub use measurements::{TimerTree, TreeAggregate};

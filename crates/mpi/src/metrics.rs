@@ -964,7 +964,15 @@ fn socket_poller(
     loop {
         let stopped = sleep_until(stop, interval);
         seq += 1;
-        let live: Vec<usize> = (1..size).filter(|&r| !state.is_gone(r)).collect();
+        // Membership, not slot range: on an elastic universe `size` is the
+        // capacity, and never-admitted slots must not be polled (or they
+        // would eat the reply budget every interval).
+        let members = state.current_members();
+        let live: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&r| r != 0 && !state.is_gone(r))
+            .collect();
         for &r in &live {
             let mut payload = Vec::with_capacity(8);
             payload.extend_from_slice(&seq.to_le_bytes());
@@ -984,7 +992,11 @@ fn socket_poller(
         // simply stale this round.
         let budget = (interval / 2).clamp(Duration::from_millis(50), Duration::from_millis(500));
         let deadline = Instant::now() + budget;
-        let mut stale: Vec<usize> = (1..size).filter(|r| !live.contains(r)).collect();
+        let mut stale: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&r| r != 0 && !live.contains(&r))
+            .collect();
         for &r in &live {
             let key = MatchKey {
                 src: r,

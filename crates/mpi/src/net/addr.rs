@@ -182,6 +182,17 @@ impl Stream {
         }
     }
 
+    /// Bounds blocking reads: `Some(d)` makes a blocked `read` fail with
+    /// `WouldBlock`/`TimedOut` after `d`, `None` restores indefinite
+    /// blocking. A joiner's rendezvous handshake uses this so a severed
+    /// monitor connection surfaces as a typed timeout, not a silent hang.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
     /// Switches the stream between blocking and nonblocking I/O.
     pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
         match self {

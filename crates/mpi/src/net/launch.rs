@@ -59,6 +59,14 @@ pub struct LaunchSpec {
     pub args: Vec<String>,
     /// Extra environment variables set for every rank.
     pub env: Vec<(String, String)>,
+    /// Number of *late joiner* processes on top of `ranks`
+    /// (`kampirun --elastic N`): the universe capacity becomes
+    /// `ranks + elastic`, the extra processes start with `KAMPING_JOIN=1`
+    /// and no rank — rank 0's monitor assigns fresh ranks at admission.
+    pub elastic: usize,
+    /// Stagger between joiner admissions: joiner `i` sleeps
+    /// `(i + 1) * join_delay_ms` before its handshake.
+    pub join_delay_ms: u64,
 }
 
 impl LaunchSpec {
@@ -71,6 +79,8 @@ impl LaunchSpec {
             program: program.into(),
             args: Vec::new(),
             env: Vec::new(),
+            elastic: 0,
+            join_delay_ms: 0,
         }
     }
 }
@@ -110,6 +120,13 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
             "a job needs at least one rank",
         ));
     }
+    let capacity = spec.ranks + spec.elastic;
+    if spec.elastic > 0 && capacity > 64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("elastic universes are capped at 64 global ranks, got {capacity}"),
+        ));
+    }
     let dir = std::env::temp_dir().join(format!(
         "kampirun-{}-{}",
         std::process::id(),
@@ -138,15 +155,30 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
         }
     };
 
-    let mut children: Vec<Child> = Vec::with_capacity(spec.ranks);
-    for rank in 0..spec.ranks {
+    let mut children: Vec<Child> = Vec::with_capacity(capacity);
+    // Launch ranks first, then the joiners: slot `ranks + i` is where
+    // joiner `i` will land *if* admissions happen in spawn order, which
+    // the staggered join delay makes overwhelmingly likely — but the
+    // monitor's arrival order is authoritative, so the `RankExit` labels
+    // for joiners are best-effort.
+    for slot in 0..capacity {
+        let joiner = slot >= spec.ranks;
         let mut cmd = Command::new(&spec.program);
         cmd.args(&spec.args)
             .env("KAMPING_TRANSPORT", spec.backend.transport_name())
-            .env("KAMPING_RANK", rank.to_string())
             .env("KAMPING_RANKS", spec.ranks.to_string())
             .env("KAMPING_RENDEZVOUS", rendezvous.to_string())
             .stdin(Stdio::null());
+        if joiner {
+            let delay = spec.join_delay_ms * ((slot - spec.ranks) as u64 + 1);
+            cmd.env("KAMPING_JOIN", "1")
+                .env("KAMPING_JOIN_DELAY_MS", delay.to_string());
+        } else {
+            cmd.env("KAMPING_RANK", slot.to_string());
+        }
+        if spec.elastic > 0 {
+            cmd.env("KAMPING_MAX_RANKS", capacity.to_string());
+        }
         if let Some(d) = &shm_dir {
             cmd.env("KAMPING_SHM_DIR", d);
         }
@@ -166,13 +198,13 @@ pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
                 }
                 return Err(io::Error::new(
                     e.kind(),
-                    format!("spawning rank {rank} ({}): {e}", spec.program.display()),
+                    format!("spawning rank {slot} ({}): {e}", spec.program.display()),
                 ));
             }
         }
     }
 
-    let mut exits = Vec::with_capacity(spec.ranks);
+    let mut exits = Vec::with_capacity(capacity);
     for (rank, mut child) in children.into_iter().enumerate() {
         let status = child.wait()?;
         exits.push(RankExit { rank, status });

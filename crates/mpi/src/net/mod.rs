@@ -101,6 +101,16 @@ pub struct SocketConfig {
     pub local_ranks: Option<Vec<usize>>,
     /// Per-channel ring capacity in bytes (`KAMPING_RING_KB`).
     pub ring_bytes: usize,
+    /// Universe capacity (`KAMPING_MAX_RANKS`, default `ranks`): the
+    /// number of global-rank slots, of which `ranks` are filled at launch
+    /// and the rest by late joiners. Elastic capacity is capped at 64.
+    pub max_ranks: usize,
+    /// This process is a late joiner (`KAMPING_JOIN=1`): it carries no
+    /// `KAMPING_RANK` — rank 0's rendezvous monitor assigns one.
+    pub join: bool,
+    /// Joiner-only: sleep this long before the join handshake
+    /// (`KAMPING_JOIN_DELAY_MS`), so a launcher can stagger admissions.
+    pub join_delay: Duration,
 }
 
 impl SocketConfig {
@@ -136,9 +146,17 @@ impl SocketConfig {
                 ))
             })
         };
-        let rank: usize = require("KAMPING_RANK")?
-            .parse()
-            .map_err(|_| MpiError::Config("KAMPING_RANK must be an integer".into()))?;
+        let join = matches!(get("KAMPING_JOIN").as_deref(), Some("1") | Some("true"));
+        // A joiner has no rank yet — rank 0 assigns one at admission. The
+        // placeholder is deliberately out of range so accidental use as a
+        // real rank fails loudly.
+        let rank: usize = if join {
+            usize::MAX
+        } else {
+            require("KAMPING_RANK")?
+                .parse()
+                .map_err(|_| MpiError::Config("KAMPING_RANK must be an integer".into()))?
+        };
         let ranks: usize = require("KAMPING_RANKS")?
             .parse()
             .map_err(|_| MpiError::Config("KAMPING_RANKS must be an integer".into()))?;
@@ -147,11 +165,33 @@ impl SocketConfig {
                 "KAMPING_RENDEZVOUS must be unix:<path> or tcp:<host:port>: {e}"
             ))
         })?;
-        if rank >= ranks {
+        if !join && rank >= ranks {
             return Err(MpiError::Config(format!(
                 "KAMPING_RANK={rank} out of range for KAMPING_RANKS={ranks}"
             )));
         }
+        let max_ranks: usize = match get("KAMPING_MAX_RANKS") {
+            None => ranks,
+            Some(v) => v
+                .parse()
+                .map_err(|_| MpiError::Config("KAMPING_MAX_RANKS must be an integer".into()))?,
+        };
+        if max_ranks < ranks {
+            return Err(MpiError::Config(format!(
+                "KAMPING_MAX_RANKS={max_ranks} is below KAMPING_RANKS={ranks}"
+            )));
+        }
+        if max_ranks > ranks && max_ranks > 64 {
+            return Err(MpiError::Config(format!(
+                "KAMPING_MAX_RANKS={max_ranks}: elastic universes are capped at 64 global ranks"
+            )));
+        }
+        let join_delay = match get("KAMPING_JOIN_DELAY_MS") {
+            None => Duration::ZERO,
+            Some(v) => Duration::from_millis(v.parse().map_err(|_| {
+                MpiError::Config("KAMPING_JOIN_DELAY_MS must be an integer".into())
+            })?),
+        };
         let shm_dir = match backend {
             Backend::ShmXproc => Some(PathBuf::from(require("KAMPING_SHM_DIR")?)),
             Backend::Socket => None,
@@ -210,6 +250,9 @@ impl SocketConfig {
             shm_dir,
             local_ranks,
             ring_bytes,
+            max_ranks,
+            join,
+            join_delay,
         }))
     }
 }
@@ -252,8 +295,10 @@ fn parse_local_groups(list: &str) -> Result<Vec<Vec<usize>>, String> {
 
 /// What the rendezvous leaves behind on each side.
 enum RendezvousHandle {
-    /// Rank 0: one open connection per other rank, to be monitored.
-    Server(Vec<(usize, Stream)>),
+    /// Rank 0: one open connection per other rank, to be monitored, plus
+    /// the still-bound rendezvous listener — on an elastic universe the
+    /// monitor keeps accepting late `JoinElastic` handshakes from it.
+    Server(Vec<(usize, Stream)>, Listener),
     /// Other ranks: the open connection to rank 0, for the `Bye` notice.
     Client(Stream),
 }
@@ -294,7 +339,7 @@ fn rendezvous(cfg: &SocketConfig, data_addr: &Addr) -> io::Result<(Vec<Addr>, Re
                 },
             )?;
         }
-        Ok((table, RendezvousHandle::Server(conns)))
+        Ok((table, RendezvousHandle::Server(conns, listener)))
     } else {
         let mut s = Stream::connect_retry(&cfg.rendezvous, RENDEZVOUS_TIMEOUT)?;
         write_frame(
@@ -331,10 +376,23 @@ fn rendezvous(cfg: &SocketConfig, data_addr: &Addr) -> io::Result<(Vec<Addr>, Re
 /// thread count linear in job size). A `Bye` means a clean exit; EOF
 /// without one means the process died, so the rank is marked failed
 /// (which also broadcasts `Failed` to every surviving rank over the data
-/// plane). The thread retires once every rank has checked out, and the
-/// 500 ms poll timeout doubles as a liveness check on the universe.
-fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
-    if conns.is_empty() {
+/// plane). The 500 ms poll timeout doubles as a liveness check on the
+/// universe.
+///
+/// On an elastic universe (`listener` is `Some`) the same thread is also
+/// the admission authority: it keeps accepting rendezvous connections,
+/// answers `JoinElastic` handshakes with freshly assigned ranks
+/// ([`admit_joiner`]) and keeps running as long as the universe lives.
+/// Otherwise it retires once every rank has checked out, exactly as
+/// before elastic universes existed.
+fn spawn_monitor(
+    conns: Vec<(usize, Stream)>,
+    listener: Option<Listener>,
+    table: Vec<Option<Addr>>,
+    state: &Arc<UniverseState>,
+    socket: Weak<SocketTransport>,
+) {
+    if conns.is_empty() && listener.is_none() {
         return;
     }
     let weak: Weak<UniverseState> = Arc::downgrade(state);
@@ -342,7 +400,14 @@ fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
         .name("kamping-monitor".into())
         .spawn(move || {
             let mut conns = conns;
-            while !conns.is_empty() {
+            let mut table = table;
+            // Fresh ranks are monotonic and never reused: the next one is
+            // just past the highest slot ever occupied.
+            let mut next_rank = table.iter().rposition(Option::is_some).map_or(0, |i| i + 1);
+            loop {
+                if conns.is_empty() && listener.is_none() {
+                    return;
+                }
                 let mut fds: Vec<sys::PollFd> = conns
                     .iter()
                     .map(|(_, s)| sys::PollFd {
@@ -351,6 +416,13 @@ fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
                         revents: 0,
                     })
                     .collect();
+                if let Some(l) = &listener {
+                    fds.push(sys::PollFd {
+                        fd: l.raw_fd(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    });
+                }
                 let ready =
                     sys::poll_fds(&mut fds, Some(Duration::from_millis(500))).unwrap_or_default();
                 let Some(state) = weak.upgrade() else {
@@ -359,9 +431,27 @@ fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
                 if ready == 0 {
                     continue;
                 }
+                // The fds built this round cover exactly these conns; a
+                // joiner admitted below is appended past `n` and polled
+                // from the next round on.
+                let n = conns.len();
+                if let Some(l) = &listener {
+                    if fds[n].revents != 0 {
+                        if let Ok(s) = l.accept() {
+                            admit_joiner(
+                                s,
+                                &state,
+                                &socket,
+                                &mut table,
+                                &mut next_rank,
+                                &mut conns,
+                            );
+                        }
+                    }
+                }
                 // Reverse order so swap_remove never disturbs an
                 // unvisited index.
-                for i in (0..conns.len()).rev() {
+                for i in (0..n).rev() {
                     if fds[i].revents == 0 {
                         continue;
                     }
@@ -383,6 +473,86 @@ fn spawn_monitor(conns: Vec<(usize, Stream)>, state: &Arc<UniverseState>) {
             }
         })
         .expect("spawning monitor thread");
+}
+
+/// One elastic admission, run on the monitor thread. Assigns the next
+/// fresh global rank, answers with `Admit` (epoch + membership + address
+/// table), waits — bounded — for the joiner's ready `Join` (sent only
+/// once its transport and, under shm-xproc, its inbox ring are up), then
+/// makes the admission visible: `Grow` broadcast to every active rank,
+/// local grow application, and the joiner's rendezvous connection joins
+/// the failure plane.
+///
+/// Every early return leaves the universe exactly as it was — a handshake
+/// that dies mid-way burns the assigned rank number (ranks are never
+/// reused) but is never announced, so no survivor ever learns of it.
+fn admit_joiner(
+    mut s: Stream,
+    state: &Arc<UniverseState>,
+    socket: &Weak<SocketTransport>,
+    table: &mut [Option<Addr>],
+    next_rank: &mut usize,
+    conns: &mut Vec<(usize, Stream)>,
+) {
+    // Bound every read: a connection severed mid-handshake (chaos does
+    // this on purpose) must not wedge the failure monitor.
+    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(Frame::JoinElastic { data_addr }) = read_frame(&mut s) else {
+        return;
+    };
+    let Ok(addr) = Addr::parse(&data_addr) else {
+        return;
+    };
+    if *next_rank >= table.len() {
+        return; // capacity full: drop — the joiner gets a typed timeout
+    }
+    let rank = *next_rank;
+    *next_rank += 1;
+    let epoch = state.membership_epoch.load(Ordering::Acquire) + 1;
+    let mut members: Vec<usize> = state
+        .current_members()
+        .into_iter()
+        .filter(|&m| !state.is_gone(m))
+        .collect();
+    members.push(rank);
+    members.sort_unstable();
+    table[rank] = Some(addr.clone());
+    let addrs: Vec<String> = members
+        .iter()
+        .map(|&m| {
+            table[m]
+                .as_ref()
+                .expect("member has an address")
+                .to_string()
+        })
+        .collect();
+    if write_frame(
+        &mut s,
+        &Frame::Admit {
+            rank,
+            epoch,
+            members: members.clone(),
+            addrs,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    let _ = s.set_read_timeout(Some(RENDEZVOUS_TIMEOUT));
+    match read_frame(&mut s) {
+        Ok(Frame::Join { rank: r, .. }) if r == rank => {}
+        _ => return,
+    }
+    let _ = s.set_read_timeout(None);
+    // Reachability before visibility: every survivor installs the
+    // joiner's address with the `Grow` frame that tells it the epoch
+    // moved, and rank 0 installs it first of all.
+    if let Some(sock) = socket.upgrade() {
+        sock.announce_join(epoch, rank, &addr, &members);
+    }
+    state.apply_grow(epoch, vec![rank], members);
+    conns.push((rank, s));
 }
 
 /// Guards against a second socket universe in the same process.
@@ -418,45 +588,67 @@ where
         SOCKET_UNIVERSE_ACTIVE.store(false, Ordering::Release);
         Err(MpiError::Config(what))
     };
+    let fail_err = |e: MpiError| {
+        SOCKET_UNIVERSE_ACTIVE.store(false, Ordering::Release);
+        Err(e)
+    };
+
+    // `size` everywhere below is the universe *capacity*: equal to the
+    // launch rank count unless `KAMPING_MAX_RANKS` reserves slots for
+    // late joiners.
+    let capacity = cfg.max_ranks.max(cfg.ranks);
+    let elastic = capacity > cfg.ranks;
+    let who = if cfg.join {
+        "joiner".to_string()
+    } else {
+        format!("rank {}", cfg.rank)
+    };
+
+    // A launcher staggers admissions by telling each joiner how long to
+    // hold back before knocking.
+    if cfg.join && !cfg.join_delay.is_zero() {
+        std::thread::sleep(cfg.join_delay);
+    }
 
     // Bind the data listener before joining the rendezvous, so the
     // address we publish is already accepting (the OS queues connections
-    // until the accept loop starts).
+    // until the accept loop starts). Joiners have no rank yet; their
+    // listener is named by pid instead.
     let preferred = match &cfg.rendezvous {
-        Addr::Unix(p) => Addr::Unix(p.with_file_name(format!("data-{}.sock", cfg.rank))),
+        Addr::Unix(p) => {
+            let name = if cfg.join {
+                format!("data-j{}.sock", std::process::id())
+            } else {
+                format!("data-{}.sock", cfg.rank)
+            };
+            Addr::Unix(p.with_file_name(name))
+        }
         Addr::Tcp(_) => Addr::Tcp("127.0.0.1:0".into()),
     };
     let listener = match Listener::bind(&preferred) {
         Ok(l) => l,
-        Err(e) => {
-            return fail(format!(
-                "rank {}: binding data listener at {preferred}: {e}",
-                cfg.rank
-            ))
-        }
+        Err(e) => return fail(format!("{who}: binding data listener at {preferred}: {e}")),
     };
     let data_addr = match listener.local_addr() {
         Ok(a) => a,
-        Err(e) => {
-            return fail(format!(
-                "rank {}: data listener has no address: {e}",
-                cfg.rank
-            ))
-        }
+        Err(e) => return fail(format!("{who}: data listener has no address: {e}")),
     };
 
-    // shm-xproc: create our own inbox ring file *before* joining the
-    // rendezvous. The rendezvous is a barrier — rank 0 answers `Table`
-    // only after every rank joined — so once any rank holds the table,
-    // every co-located inbox is guaranteed to exist and peers can map it
-    // without polling the filesystem.
-    let xproc = match cfg.backend {
+    // shm-xproc, launch ranks only: create our own inbox ring file
+    // *before* joining the rendezvous. The rendezvous is a barrier —
+    // rank 0 answers `Table` only after every rank joined — so once any
+    // rank holds the table, every co-located inbox is guaranteed to exist
+    // and peers can map it without polling the filesystem. (A joiner
+    // creates its inbox mid-handshake, once it learns its rank; see
+    // below.) Inboxes carry one lane per *capacity* slot so future
+    // joiners can produce into them.
+    let mut xproc = match cfg.backend {
         Backend::Socket => None,
+        Backend::ShmXproc if cfg.join => None, // created after `Admit`
         Backend::ShmXproc => {
             let Some(dir) = cfg.shm_dir.clone() else {
                 return fail(format!(
-                    "rank {}: shm-xproc backend needs shm_dir (KAMPING_SHM_DIR)",
-                    cfg.rank
+                    "{who}: shm-xproc backend needs shm_dir (KAMPING_SHM_DIR)"
                 ));
             };
             let local: Vec<usize> = match &cfg.local_ranks {
@@ -464,14 +656,14 @@ where
                 Some(set) => set.clone(),
             };
             if local.contains(&cfg.rank) && local.len() >= 2 {
-                match ring::Inbox::create(&dir, cfg.rank, cfg.ranks, cfg.ring_bytes) {
+                match ring::Inbox::create(&dir, cfg.rank, capacity, cfg.ring_bytes) {
                     Ok(inbox) => Some(socket::XprocSetup {
                         inbox,
                         dir,
                         local,
                         ring_bytes: cfg.ring_bytes,
                     }),
-                    Err(e) => return fail(format!("rank {}: creating shm inbox: {e}", cfg.rank)),
+                    Err(e) => return fail(format!("{who}: creating shm inbox: {e}")),
                 }
             } else {
                 None // this rank is alone on its "host": plain sockets
@@ -479,25 +671,139 @@ where
         }
     };
 
-    let (addrs, rdv) = match rendezvous(cfg, &data_addr) {
-        Ok(r) => r,
-        Err(e) => return fail(format!("rank {}: rendezvous failed: {e}", cfg.rank)),
-    };
+    // Rendezvous (launch ranks) or the elastic join handshake (joiners).
+    // Both end with: my rank, my membership epoch with its member list,
+    // a capacity-slot address table, and the persistent rendezvous
+    // connection(s).
+    let my_rank: usize;
+    let my_epoch: u64;
+    let my_members: Vec<usize>;
+    let table: Vec<Option<Addr>>;
+    let rdv: RendezvousHandle;
+    if cfg.join {
+        // connect_retry only gives up when its deadline is spent, so any
+        // error here — including a rendezvous endpoint a chaos schedule
+        // severed — is a bounded, typed timeout rather than a hang.
+        let mut s = match Stream::connect_retry(&cfg.rendezvous, RENDEZVOUS_TIMEOUT) {
+            Ok(s) => s,
+            Err(_) => {
+                return fail_err(MpiError::Timeout {
+                    waited: RENDEZVOUS_TIMEOUT,
+                })
+            }
+        };
+        let _ = s.set_read_timeout(Some(RENDEZVOUS_TIMEOUT));
+        if let Err(e) = write_frame(
+            &mut s,
+            &Frame::JoinElastic {
+                data_addr: data_addr.to_string(),
+            },
+        ) {
+            return fail(format!("{who}: join handshake: {e}"));
+        }
+        let admit = match read_frame(&mut s) {
+            Ok(f) => f,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The monitor never answered within the deadline: severed
+                // rendezvous, capacity full, or a dead rank 0. All are
+                // "the job did not admit us in time".
+                return fail_err(MpiError::Timeout {
+                    waited: RENDEZVOUS_TIMEOUT,
+                });
+            }
+            Err(e) => return fail(format!("{who}: join handshake: {e}")),
+        };
+        let Frame::Admit {
+            rank,
+            epoch,
+            members,
+            addrs,
+        } = admit
+        else {
+            return fail(format!("{who}: expected Admit, got {admit:?}"));
+        };
+        if rank >= capacity
+            || members.len() != addrs.len()
+            || !members.contains(&rank)
+            || members.iter().any(|&m| m >= capacity)
+        {
+            return fail(format!("{who}: malformed admission (rank {rank})"));
+        }
+        let _ = s.set_read_timeout(None);
+        let mut t: Vec<Option<Addr>> = vec![None; capacity];
+        for (&m, a) in members.iter().zip(&addrs) {
+            match Addr::parse(a) {
+                Ok(a) => t[m] = Some(a),
+                Err(e) => return fail(format!("{who}: bad address in admission table: {e}")),
+            }
+        }
+        // The inbox must exist before the ready `Join` below: survivors
+        // decide "is this joiner co-located?" by the presence of its ring
+        // file at announcement time.
+        if cfg.backend == Backend::ShmXproc {
+            let Some(dir) = cfg.shm_dir.clone() else {
+                return fail(format!(
+                    "{who}: shm-xproc backend needs shm_dir (KAMPING_SHM_DIR)"
+                ));
+            };
+            let local: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&m| m == rank || ring::inbox_path(&dir, m).exists())
+                .collect();
+            if local.len() >= 2 {
+                match ring::Inbox::create(&dir, rank, capacity, cfg.ring_bytes) {
+                    Ok(inbox) => {
+                        xproc = Some(socket::XprocSetup {
+                            inbox,
+                            dir,
+                            local,
+                            ring_bytes: cfg.ring_bytes,
+                        })
+                    }
+                    Err(e) => return fail(format!("{who}: creating shm inbox: {e}")),
+                }
+            }
+        }
+        my_rank = rank;
+        my_epoch = epoch;
+        my_members = members;
+        table = t;
+        rdv = RendezvousHandle::Client(s);
+    } else {
+        let (addrs, handle) = match rendezvous(cfg, &data_addr) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{who}: rendezvous failed: {e}")),
+        };
+        let mut t: Vec<Option<Addr>> = addrs.into_iter().map(Some).collect();
+        t.resize(capacity, None);
+        my_rank = cfg.rank;
+        my_epoch = 0;
+        my_members = (0..cfg.ranks).collect();
+        table = t;
+        rdv = handle;
+    }
 
-    let trace = Arc::new(TraceCtx::new(cfg.ranks, &trace_cfg));
-    crate::trace::set_thread_rank(cfg.rank);
+    let trace = Arc::new(TraceCtx::new(capacity, &trace_cfg));
+    crate::trace::set_thread_rank(my_rank);
     let hub = Arc::new(Hub::new());
+    let monitor_table = table.clone();
     let socket = match SocketTransport::new(
-        cfg.rank,
-        cfg.ranks,
+        my_rank,
+        capacity,
         Arc::clone(&hub),
-        addrs,
+        table,
         listener,
         Arc::clone(&trace),
         xproc,
     ) {
         Ok(t) => Arc::new(t),
-        Err(e) => return fail(format!("rank {}: starting transport: {e}", cfg.rank)),
+        Err(e) => return fail(format!("{who}: starting transport: {e}")),
     };
     let chaos_active = chaos.is_some();
     let (transport, chaos_layer) = match chaos {
@@ -505,7 +811,7 @@ where
         Some(spec) => {
             let layer = Arc::new(ChaosTransport::new(
                 Arc::clone(&socket) as Arc<dyn Transport>,
-                cfg.ranks,
+                capacity,
                 spec,
             ));
             layer.bind_trace(Arc::clone(&trace));
@@ -513,7 +819,8 @@ where
         }
     };
     let state = Arc::new(UniverseState::with_transport(
-        cfg.ranks,
+        capacity,
+        my_members.clone(),
         transport,
         hub,
         Arc::clone(&trace),
@@ -528,19 +835,57 @@ where
 
     let mut client_conn = None;
     match rdv {
-        RendezvousHandle::Server(conns) => spawn_monitor(conns, &state),
+        RendezvousHandle::Server(conns, rdv_listener) => spawn_monitor(
+            conns,
+            elastic.then_some(rdv_listener),
+            monitor_table,
+            &state,
+            Arc::downgrade(&socket),
+        ),
         RendezvousHandle::Client(s) => client_conn = Some(s),
+    }
+
+    // Joiner ready notice: the transport (and inbox ring) is up, so the
+    // monitor may now announce the admission. Sent on the rendezvous
+    // connection, which then becomes the regular failure plane / `Bye`
+    // channel.
+    if cfg.join {
+        let ready = Frame::Join {
+            rank: my_rank,
+            data_addr: data_addr.to_string(),
+        };
+        match &mut client_conn {
+            Some(s) => {
+                if let Err(e) = write_frame(s, &ready) {
+                    return fail(format!("{who}: sending ready notice: {e}"));
+                }
+            }
+            None => unreachable!("a joiner always holds the rendezvous connection"),
+        }
     }
 
     // Live metrics plane: rank 0 polls, everyone else answers. Runs over
     // the data plane on a reserved tag pair, so it needs nothing beyond
     // the transport that is already up.
-    let plane = crate::metrics::MetricsPlane::start_socket(&state, &trace_cfg, cfg.rank);
+    let plane = crate::metrics::MetricsPlane::start_socket(&state, &trace_cfg, my_rank);
 
-    let comm = RawComm::world(Arc::clone(&state), cfg.rank);
+    let comm = if cfg.join {
+        // The admission epoch and everything it implies (member list,
+        // grown context id) came from rank 0; recording it locally lets
+        // this process's own `grow`/`await_membership_change` start from
+        // the right epoch. The admission barrier synchronizes with every
+        // survivor's `grow()` call; a failure racing the admission is
+        // tolerated here and resurfaces on the closure's first operation.
+        state.apply_grow(my_epoch, vec![my_rank], my_members.clone());
+        let grown = RawComm::from_grow(Arc::clone(&state), my_epoch, my_members.clone(), my_rank);
+        let _ = grown.barrier();
+        grown
+    } else {
+        RawComm::world(Arc::clone(&state), my_rank)
+    };
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm.clone())));
     if outcome.is_err() {
-        state.mark_failed(cfg.rank);
+        state.mark_failed(my_rank);
     }
     // Exchange frozen per-rank counters while the mesh is still up, so the
     // snapshot this process returns covers *every* rank, not just its own
@@ -562,12 +907,12 @@ where
     // data they are owed. Chaos delay queues sit *above* that FIFO, so
     // they must drain first.
     state.transport.quiesce();
-    state.mark_finished(cfg.rank);
+    state.mark_finished(my_rank);
     // Flush and join the progress engine (and ring consumer) before
     // announcing the clean exit, so `Finished` is on the wire first.
     state.transport.shutdown();
     if let Some(mut s) = client_conn {
-        let _ = write_frame(&mut s, &Frame::Bye { rank: cfg.rank });
+        let _ = write_frame(&mut s, &Frame::Bye { rank: my_rank });
     }
 
     // Flight recorder + trace export share one `take_events` drain. A
@@ -575,7 +920,7 @@ where
     // long enough to tell the story); a SIGKILLed one cannot, which is
     // exactly what the survivors' reports are for.
     let panicked: Vec<usize> = if outcome.is_err() {
-        vec![cfg.rank]
+        vec![my_rank]
     } else {
         Vec::new()
     };
@@ -583,7 +928,7 @@ where
         || !state.failed.read().expect("failed set poisoned").is_empty()
         || trace
             .metrics()
-            .rank(cfg.rank)
+            .rank(my_rank)
             .get(crate::metrics::Counter::Timeouts)
             > 0;
     let want_trace = trace.tracing() && trace_cfg.out.is_some();
@@ -602,15 +947,15 @@ where
                 &panicked,
                 &tail,
                 trace.dropped_events(),
-                &[cfg.rank],
+                &[my_rank],
             );
         }
         if want_trace {
             if let Some(out) = &trace_cfg.out {
                 if let Err(e) =
-                    crate::trace::write_process_trace_events(&trace, &events, out, Some(cfg.rank))
+                    crate::trace::write_process_trace_events(&trace, &events, out, Some(my_rank))
                 {
-                    eprintln!("kamping: rank {}: writing trace: {e}", cfg.rank);
+                    eprintln!("kamping: rank {my_rank}: writing trace: {e}");
                 }
             }
         }

@@ -135,6 +135,16 @@ struct EngineShared {
     peers: Vec<Mutex<Outbound>>,
     dirty: Mutex<Vec<usize>>,
     down: AtomicBool,
+    /// Data-plane address per rank slot. `None` for elastic slots whose
+    /// joiner has not been admitted yet; [`Engine::set_addr`] fills the
+    /// slot when the admission broadcast arrives.
+    addrs: Mutex<Vec<Option<Addr>>>,
+}
+
+impl EngineShared {
+    fn addr_of(&self, rank: usize) -> Option<Addr> {
+        self.addrs.lock().expect("addr table poisoned")[rank].clone()
+    }
 }
 
 /// Handle owned by the transport; the loop itself runs on its own thread.
@@ -146,10 +156,12 @@ pub(crate) struct Engine {
 
 impl Engine {
     /// Spawns the progress thread for `my_rank`, owning `listener` (whose
-    /// address is `addrs[my_rank]`).
+    /// address is `addrs[my_rank]`). `None` address slots belong to
+    /// not-yet-admitted elastic ranks; they are filled later through
+    /// [`Engine::set_addr`].
     pub fn start(
         my_rank: usize,
-        addrs: Vec<Addr>,
+        addrs: Vec<Option<Addr>>,
         listener: Listener,
         hooks: Arc<dyn EngineHooks>,
     ) -> io::Result<Self> {
@@ -167,6 +179,7 @@ impl Engine {
                 .collect(),
             dirty: Mutex::new(Vec::new()),
             down: AtomicBool::new(false),
+            addrs: Mutex::new(addrs),
         });
         let epoll = Epoll::new()?;
         listener.set_nonblocking(true)?;
@@ -177,7 +190,6 @@ impl Engine {
             hooks: Arc::clone(&hooks),
             my_rank,
             size,
-            addrs,
             epoll,
             listener,
             conns: HashMap::new(),
@@ -195,6 +207,17 @@ impl Engine {
             hooks,
             thread: Mutex::new(Some(thread)),
         })
+    }
+
+    /// Installs the data-plane address of a freshly-admitted rank. A slot
+    /// is written at most once (ranks are never reused); installing over
+    /// an existing address is ignored, so replayed admission broadcasts
+    /// are harmless.
+    pub fn set_addr(&self, rank: usize, addr: Addr) {
+        let mut addrs = self.sh.addrs.lock().expect("addr table poisoned");
+        if rank < addrs.len() && addrs[rank].is_none() {
+            addrs[rank] = Some(addr);
+        }
     }
 
     /// Queues one frame for `dest` and rings the progress thread. Never
@@ -279,7 +302,6 @@ struct LoopState {
     hooks: Arc<dyn EngineHooks>,
     my_rank: usize,
     size: usize,
-    addrs: Vec<Addr>,
     epoll: Epoll,
     listener: Listener,
     /// Token → connection. Tokens are never reused, so a stale readiness
@@ -492,9 +514,19 @@ impl LoopState {
     }
 
     /// One blocking-but-instant connect attempt; failure schedules a retry
-    /// on the poller clock until `deadline`, then gives the peer up.
+    /// on the poller clock until `deadline`, then gives the peer up. An
+    /// elastic slot whose address is not installed yet counts as a
+    /// connect failure — the admission broadcast may still be in flight,
+    /// so the retry window covers the race.
     fn begin_connect(&mut self, rank: usize, backoff: Duration, deadline: Instant) {
-        match Stream::connect(&self.addrs[rank]) {
+        let attempt = match self.sh.addr_of(rank) {
+            Some(addr) => Stream::connect(&addr),
+            None => Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "peer address not yet admitted",
+            )),
+        };
+        match attempt {
             Ok(stream) => self.finish_connect(rank, stream),
             Err(_) if Instant::now() < deadline => {
                 self.retries[rank] = Some(Retry {
@@ -788,9 +820,9 @@ impl LoopState {
         // Peers still mid-retry get exactly one last attempt, then drop.
         for rank in 0..self.size {
             if self.retries[rank].take().is_some() {
-                match Stream::connect(&self.addrs[rank]) {
-                    Ok(stream) => self.finish_connect(rank, stream),
-                    Err(_) => self.give_up(rank),
+                match self.sh.addr_of(rank).map(|a| Stream::connect(&a)) {
+                    Some(Ok(stream)) => self.finish_connect(rank, stream),
+                    _ => self.give_up(rank),
                 }
             }
         }
@@ -857,10 +889,13 @@ mod tests {
         )
     }
 
-    fn pair() -> (Vec<Addr>, Listener, Listener) {
+    fn pair() -> (Vec<Option<Addr>>, Listener, Listener) {
         let l0 = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
         let l1 = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
-        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let addrs = vec![
+            Some(l0.local_addr().unwrap()),
+            Some(l1.local_addr().unwrap()),
+        ];
         (addrs, l0, l1)
     }
 
@@ -908,7 +943,7 @@ mod tests {
             let probe = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
             probe.local_addr().unwrap()
         };
-        let addrs = vec![l0.local_addr().unwrap(), dead];
+        let addrs = vec![Some(l0.local_addr().unwrap()), Some(dead)];
         let (hooks, _f, gone, _c) = recorder();
         let e = Engine::start(0, addrs, l0, hooks).unwrap();
         assert!(e.enqueue(

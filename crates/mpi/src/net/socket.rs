@@ -53,12 +53,13 @@ use std::time::Duration;
 
 use crate::trace::{EventKind, TraceCtx};
 use crate::transport::{
-    AckCell, ControlMsg, ControlSink, Envelope, Hub, Locality, Mailbox, Payload, Transport,
+    members_to_mask, AckCell, ControlMsg, ControlSink, Envelope, Hub, Locality, Mailbox, Payload,
+    Transport,
 };
 
 use super::addr::{Addr, Listener};
 use super::progress::{Engine, EngineHooks, OutFrame};
-use super::ring::{Inbox, RingTx};
+use super::ring::{inbox_path, Inbox, RingTx};
 use super::wire::{data_frame_header, encode_prefixed, Frame, MAX_FRAME};
 
 /// How often a parked ring consumer re-checks the shutdown flag.
@@ -128,11 +129,25 @@ struct Shared {
     /// point for incoming envelopes, remote and loopback alike).
     mailbox: Mailbox,
     /// Outbound ring per destination, for peers co-located with this rank
-    /// (`None` = socket path). The mutex serializes producers: the main
-    /// thread and the chaos delivery thread can both post.
-    rings: Vec<Option<Mutex<RingTx>>>,
+    /// (unset = socket path). The mutex serializes producers: the main
+    /// thread and the chaos delivery thread can both post. Slots are
+    /// `OnceLock` because elastic joiners are installed after construction.
+    rings: Vec<OnceLock<Mutex<RingTx>>>,
     /// Inbound-ring drain state (`None` on the pure-socket path).
     rx: Option<Mutex<RingRx>>,
+    /// Sources whose inbound-ring channel must be added on the next drain.
+    /// Written by `install_peer` (which may run *inside* a drain, via
+    /// `route_frame`) — a separate lock avoids re-entering the `rx` mutex.
+    pending_chans: Mutex<Vec<usize>>,
+    /// Ranks this process knows to exist: the launch membership plus every
+    /// admitted joiner. `size` is the *capacity* of the universe; slots
+    /// outside this set were never occupied and must not be contacted.
+    active: Mutex<HashSet<usize>>,
+    /// shm-xproc ring directory (`None` on the pure-socket path); used to
+    /// open rings to late joiners and to unlink departed ranks' inboxes.
+    xproc_dir: Option<std::path::PathBuf>,
+    /// Per-channel ring capacity for lazily opened joiner rings.
+    ring_bytes: usize,
     sink: Mutex<SinkState>,
     /// Ranks whose `Finished` control frame has been applied: EOF from
     /// them is a clean close, not a failure.
@@ -172,12 +187,14 @@ impl Shared {
                     .lock()
                     .expect("finished set poisoned")
                     .insert(rank);
+                self.unlink_ring_file(rank);
             }
             ControlMsg::Failed { rank } => {
                 self.failed_seen
                     .lock()
                     .expect("failed set poisoned")
                     .insert(rank);
+                self.unlink_ring_file(rank);
             }
             _ => {}
         }
@@ -196,11 +213,68 @@ impl Shared {
         }
     }
 
+    /// A departed rank's inbox ring file serves nobody: ranks are never
+    /// reused, so unlink it the moment `Failed`/`Finished` is applied
+    /// (mapped ring memory stays valid for any producer mid-write; the
+    /// unlink only drops the directory entry). Keeps `KAMPING_SHM_DIR`
+    /// from accumulating dead ring files across kill → shrink → grow
+    /// cycles in long-running elastic jobs.
+    fn unlink_ring_file(&self, rank: usize) {
+        if rank == self.my_rank {
+            return;
+        }
+        if let Some(dir) = &self.xproc_dir {
+            let _ = std::fs::remove_file(inbox_path(dir, rank));
+        }
+    }
+
+    /// Makes a late-admitted joiner reachable: records its data address
+    /// with the engine, adds it to the active set and — when this process
+    /// is on the xproc path and the joiner's inbox ring exists here (i.e.
+    /// it is co-located) — opens the outbound ring and schedules its
+    /// inbound channel for the next drain. Idempotent; ranks are never
+    /// reused so a second install for the same rank is a no-op.
+    fn install_peer(&self, rank: usize, addr: &Addr) {
+        if rank >= self.size || rank == self.my_rank {
+            return;
+        }
+        self.engine().set_addr(rank, addr.clone());
+        if !self
+            .active
+            .lock()
+            .expect("active set poisoned")
+            .insert(rank)
+        {
+            return;
+        }
+        if let Some(dir) = &self.xproc_dir {
+            let path = inbox_path(dir, rank);
+            if path.exists() {
+                if let Ok(tx) = RingTx::open(dir, rank, self.my_rank, self.size, self.ring_bytes) {
+                    let _ = self.rings[rank].set(Mutex::new(tx));
+                }
+                self.pending_chans
+                    .lock()
+                    .expect("pending chans poisoned")
+                    .push(rank);
+            }
+        }
+    }
+
     /// A data channel to/from `rank` broke. Outside of shutdown, and
     /// unless the rank already announced a clean finish, that is evidence
     /// of its death.
     fn peer_lost(&self, rank: usize) {
         if self.down.load(Ordering::Acquire) {
+            return;
+        }
+        // Capacity slots that never joined cannot die.
+        if !self
+            .active
+            .lock()
+            .expect("active set poisoned")
+            .contains(&rank)
+        {
             return;
         }
         if self
@@ -235,9 +309,10 @@ impl Shared {
             Frame::Control(_) => self.trace_control(dest, "control"),
             Frame::Ping => self.trace_control(dest, "ping"),
             Frame::Pong => self.trace_control(dest, "pong"),
+            Frame::Grow { .. } => self.trace_control(dest, "grow"),
             _ => self.trace_control(dest, "rendezvous"),
         }
-        if let Some(ring) = &self.rings[dest] {
+        if let Some(ring) = self.rings[dest].get() {
             return self.ring_send(dest, ring, &frame);
         }
         let ack_id = match &frame {
@@ -369,6 +444,26 @@ impl Shared {
                     self.send_frame(src, Frame::Pong);
                 }
             }
+            Frame::Grow {
+                epoch,
+                joiner,
+                addr,
+                members,
+            } => {
+                // A joiner was admitted: make it reachable *before* the
+                // epoch event is visible, so the first operation on the
+                // grown communicator can already route to it.
+                if joiner < self.size && members.iter().all(|&m| m < 64) {
+                    if let Ok(a) = Addr::parse(&addr) {
+                        self.install_peer(joiner, &a);
+                    }
+                    self.deliver_control(ControlMsg::Grow {
+                        epoch,
+                        joiner,
+                        members: members_to_mask(&members),
+                    });
+                }
+            }
             Frame::Pong => {
                 if src < self.size && self.trace.metrics().enabled() {
                     let sent = self.last_ping_ns[src].swap(0, Ordering::Relaxed);
@@ -395,6 +490,14 @@ impl Shared {
     /// through it) and routing them exactly like socket arrivals. Returns
     /// whether any bytes moved.
     fn drain_rx(&self, rx: &mut RingRx) -> bool {
+        {
+            let mut pend = self.pending_chans.lock().expect("pending chans poisoned");
+            for src in pend.drain(..) {
+                if !rx.chans.iter().any(|(s, _)| *s == src) {
+                    rx.chans.push((src, Vec::new()));
+                }
+            }
+        }
         let RingRx { inbox, chans } = rx;
         let mut progressed = false;
         for (src, buf) in chans.iter_mut() {
@@ -514,25 +617,47 @@ impl SocketTransport {
     /// engine on `listener` (already bound; its address is
     /// `addrs[my_rank]`) and, given an [`XprocSetup`], opens ring channels
     /// to every co-located peer and starts the ring consumer.
+    ///
+    /// `size` is the universe *capacity*: `addrs` holds one slot per
+    /// capacity rank, `Some` for ranks present at launch (or listed in the
+    /// admission table a joiner received) and `None` for slots that may be
+    /// filled later by [`SocketTransport::install_peer`]. The active set
+    /// starts as exactly the `Some` slots.
     pub(crate) fn new(
         my_rank: usize,
         size: usize,
         hub: Arc<Hub>,
-        addrs: Vec<Addr>,
+        addrs: Vec<Option<Addr>>,
         listener: Listener,
         trace: Arc<TraceCtx>,
         xproc: Option<XprocSetup>,
     ) -> io::Result<Self> {
-        let mut rings: Vec<Option<Mutex<RingTx>>> = (0..size).map(|_| None).collect();
+        let active: HashSet<usize> = (0..size).filter(|&r| addrs[r].is_some()).collect();
+        let rings: Vec<OnceLock<Mutex<RingTx>>> = (0..size).map(|_| OnceLock::new()).collect();
+        let mut xproc_dir = None;
+        let mut ring_bytes = 0;
         if let Some(setup) = &xproc {
             debug_assert!(setup.local.contains(&my_rank));
             for &peer in &setup.local {
                 if peer == my_rank {
                     continue;
                 }
-                let tx = RingTx::open(&setup.dir, peer, my_rank, size, setup.ring_bytes)?;
-                rings[peer] = Some(Mutex::new(tx));
+                match RingTx::open(&setup.dir, peer, my_rank, size, setup.ring_bytes) {
+                    Ok(tx) => {
+                        let _ = rings[peer].set(Mutex::new(tx));
+                    }
+                    // The peer's inbox existed when the co-location
+                    // snapshot was taken but has been unlinked since:
+                    // the peer died or departed (rings are only removed
+                    // on Failed/Bye, and ranks are never reused), so
+                    // skip the channel — its death arrives over the
+                    // control plane like any other failure.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
             }
+            xproc_dir = Some(setup.dir.clone());
+            ring_bytes = setup.ring_bytes;
         }
         let (inbox, rx) = match xproc {
             None => (None, None),
@@ -561,6 +686,10 @@ impl SocketTransport {
             trace,
             rings,
             rx,
+            pending_chans: Mutex::new(Vec::new()),
+            active: Mutex::new(active),
+            xproc_dir,
+            ring_bytes,
             sink: Mutex::new(SinkState::Pending(Vec::new())),
             finished_seen: Mutex::new(HashSet::new()),
             failed_seen: Mutex::new(HashSet::new()),
@@ -625,6 +754,42 @@ impl SocketTransport {
             for msg in pending {
                 s.apply(msg);
             }
+        }
+    }
+
+    /// Rank 0's half of an admission: installs the joiner locally, then
+    /// broadcasts `Grow` over the data plane to every *other* active rank.
+    /// The caller applies the grow event to its own universe state (the
+    /// broadcast deliberately skips self — `deliver_control` would race
+    /// the monitor's own bookkeeping otherwise).
+    pub(crate) fn announce_join(&self, epoch: u64, joiner: usize, addr: &Addr, members: &[usize]) {
+        self.shared.install_peer(joiner, addr);
+        let finished = self
+            .shared
+            .finished_seen
+            .lock()
+            .expect("finished set poisoned")
+            .clone();
+        let mut targets: Vec<usize> = self
+            .shared
+            .active
+            .lock()
+            .expect("active set poisoned")
+            .iter()
+            .copied()
+            .filter(|&d| d != self.shared.my_rank && d != joiner && !finished.contains(&d))
+            .collect();
+        targets.sort_unstable();
+        for dest in targets {
+            self.shared.send_frame(
+                dest,
+                Frame::Grow {
+                    epoch,
+                    joiner,
+                    addr: addr.to_string(),
+                    members: members.to_vec(),
+                },
+            );
         }
     }
 }
@@ -737,7 +902,7 @@ impl Transport for SocketTransport {
     fn locality(&self, rank: usize) -> Locality {
         if rank == self.shared.my_rank {
             Locality::Process
-        } else if self.shared.rings[rank].is_some() {
+        } else if self.shared.rings[rank].get().is_some() {
             Locality::Host
         } else {
             Locality::Remote
@@ -751,10 +916,20 @@ impl Transport for SocketTransport {
             .lock()
             .expect("finished set poisoned")
             .clone();
-        for dest in 0..self.shared.size {
-            if dest == self.shared.my_rank || finished.contains(&dest) {
-                continue;
-            }
+        // Only ranks that actually joined: contacting an empty capacity
+        // slot would wait out the connect retry and then mark a process
+        // that never existed as failed.
+        let mut targets: Vec<usize> = self
+            .shared
+            .active
+            .lock()
+            .expect("active set poisoned")
+            .iter()
+            .copied()
+            .filter(|&d| d != self.shared.my_rank && !finished.contains(&d))
+            .collect();
+        targets.sort_unstable();
+        for dest in targets {
             self.shared.send_frame(dest, Frame::Control(msg));
         }
     }
@@ -775,6 +950,12 @@ impl Transport for SocketTransport {
         }
         if let Some(h) = self.consumer.lock().expect("consumer poisoned").take() {
             let _ = h.join();
+        }
+        // Drop our own inbox's directory entry: peers that saw `Finished`
+        // already unlinked it (ranks are never reused), this covers runs
+        // where nobody else was co-located. Mapped producers are unharmed.
+        if let Some(dir) = &self.shared.xproc_dir {
+            let _ = std::fs::remove_file(inbox_path(dir, self.shared.my_rank));
         }
         // Peers that still send to this finished rank get their frames
         // dropped (socket) or their ring writes aborted, mirroring shm

@@ -19,6 +19,9 @@
 //! | 6    | `Table`    | rendezvous  | rank 0 → rank                     |
 //! | 7    | `Bye`      | rendezvous  | clean-exit notice to the monitor  |
 //! | 8    | `Ping`     | data        | heartbeat from an idle writer     |
+//! | 10   | `JoinElastic` | rendezvous | late joiner → rank 0 (no rank yet) |
+//! | 11   | `Admit`    | rendezvous  | rank 0 → joiner (rank + epoch + table) |
+//! | 12   | `Grow`     | data        | epoched membership update to survivors |
 //!
 //! `Data.ack_id` is 0 for standard-mode sends; synchronous-mode sends carry
 //! the sender's ack-registry key, and the receiver returns it in an `Ack`
@@ -45,6 +48,9 @@ const KIND_TABLE: u8 = 6;
 const KIND_BYE: u8 = 7;
 const KIND_PING: u8 = 8;
 const KIND_PONG: u8 = 9;
+const KIND_JOIN_ELASTIC: u8 = 10;
+const KIND_ADMIT: u8 = 11;
+const KIND_GROW: u8 = 12;
 
 /// One unit of the socket backend's wire protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +110,39 @@ pub enum Frame {
     /// heartbeat RTT. Carries nothing: the pinger keeps the send
     /// timestamp per peer.
     Pong,
+    /// Rendezvous: a late-arriving process asks to join the running job.
+    /// Unlike `Join` it carries no rank — rank 0 assigns a fresh one.
+    JoinElastic {
+        /// String form of the joiner's data-plane [`super::Addr`].
+        data_addr: String,
+    },
+    /// Rendezvous: rank 0 admits a late joiner, assigning its fresh global
+    /// rank and the membership epoch its admission creates. `members` and
+    /// `addrs` are aligned: the current member set (joiner included) and
+    /// each member's data-plane address.
+    Admit {
+        /// The joiner's freshly assigned global rank (never reused).
+        rank: usize,
+        /// The membership epoch created by this admission.
+        epoch: u64,
+        /// Global ranks of every member at this epoch, joiner included.
+        members: Vec<usize>,
+        /// Data-plane addresses aligned with `members`.
+        addrs: Vec<String>,
+    },
+    /// Data plane: an epoched membership update broadcast by rank 0 when a
+    /// joiner is admitted. Carries the joiner's address so survivors can
+    /// wire up the new peer before any traffic flows to it.
+    Grow {
+        /// The membership epoch created by this admission.
+        epoch: u64,
+        /// The admitted rank.
+        joiner: usize,
+        /// String form of the joiner's data-plane address.
+        addr: String,
+        /// Global ranks of every member at this epoch, joiner included.
+        members: Vec<usize>,
+    },
 }
 
 fn put_u64(w: &mut Writer, v: u64) {
@@ -167,6 +206,16 @@ impl Frame {
                         w.put_u8(2);
                         put_u64(&mut w, *ctx);
                     }
+                    ControlMsg::Grow {
+                        epoch,
+                        joiner,
+                        members,
+                    } => {
+                        w.put_u8(3);
+                        put_u64(&mut w, *epoch);
+                        put_u64(&mut w, *joiner as u64);
+                        put_u64(&mut w, *members);
+                    }
                 }
             }
             Frame::Join { rank, data_addr } => {
@@ -190,6 +239,43 @@ impl Frame {
             }
             Frame::Pong => {
                 w.put_u8(KIND_PONG);
+            }
+            Frame::JoinElastic { data_addr } => {
+                w.put_u8(KIND_JOIN_ELASTIC);
+                put_str(&mut w, data_addr);
+            }
+            Frame::Admit {
+                rank,
+                epoch,
+                members,
+                addrs,
+            } => {
+                w.put_u8(KIND_ADMIT);
+                put_u64(&mut w, *rank as u64);
+                put_u64(&mut w, *epoch);
+                w.put_len(members.len());
+                for m in members {
+                    put_u64(&mut w, *m as u64);
+                }
+                w.put_len(addrs.len());
+                for a in addrs {
+                    put_str(&mut w, a);
+                }
+            }
+            Frame::Grow {
+                epoch,
+                joiner,
+                addr,
+                members,
+            } => {
+                w.put_u8(KIND_GROW);
+                put_u64(&mut w, *epoch);
+                put_u64(&mut w, *joiner as u64);
+                put_str(&mut w, addr);
+                w.put_len(members.len());
+                for m in members {
+                    put_u64(&mut w, *m as u64);
+                }
             }
         }
         w.into_bytes()
@@ -231,6 +317,11 @@ impl Frame {
                     2 => ControlMsg::Revoked {
                         ctx: take_u64(&mut r)?,
                     },
+                    3 => ControlMsg::Grow {
+                        epoch: take_u64(&mut r)?,
+                        joiner: take_u64(&mut r)? as usize,
+                        members: take_u64(&mut r)?,
+                    },
                     _ => return Err(SerialError::Invalid("unknown control kind")),
                 };
                 Frame::Control(msg)
@@ -249,6 +340,40 @@ impl Frame {
             },
             KIND_PING => Frame::Ping,
             KIND_PONG => Frame::Pong,
+            KIND_JOIN_ELASTIC => Frame::JoinElastic {
+                data_addr: take_str(&mut r)?,
+            },
+            KIND_ADMIT => {
+                let rank = take_u64(&mut r)? as usize;
+                let epoch = take_u64(&mut r)?;
+                let n = r.take_len(8)?;
+                let members = (0..n)
+                    .map(|_| take_u64(&mut r).map(|v| v as usize))
+                    .collect::<Result<_, _>>()?;
+                let n = r.take_len(1)?;
+                let addrs = (0..n).map(|_| take_str(&mut r)).collect::<Result<_, _>>()?;
+                Frame::Admit {
+                    rank,
+                    epoch,
+                    members,
+                    addrs,
+                }
+            }
+            KIND_GROW => {
+                let epoch = take_u64(&mut r)?;
+                let joiner = take_u64(&mut r)? as usize;
+                let addr = take_str(&mut r)?;
+                let n = r.take_len(8)?;
+                let members = (0..n)
+                    .map(|_| take_u64(&mut r).map(|v| v as usize))
+                    .collect::<Result<_, _>>()?;
+                Frame::Grow {
+                    epoch,
+                    joiner,
+                    addr,
+                    members,
+                }
+            }
             _ => return Err(SerialError::Invalid("unknown frame kind")),
         };
         r.finish()?;
@@ -357,6 +482,31 @@ mod tests {
         });
         roundtrip(Frame::Bye { rank: 1 });
         roundtrip(Frame::Ping);
+        roundtrip(Frame::Control(ControlMsg::Grow {
+            epoch: 3,
+            joiner: 4,
+            members: 0b10111,
+        }));
+        roundtrip(Frame::JoinElastic {
+            data_addr: "unix:/tmp/data-join.sock".into(),
+        });
+        roundtrip(Frame::Admit {
+            rank: 4,
+            epoch: 2,
+            members: vec![0, 1, 3, 4],
+            addrs: vec![
+                "unix:/a".into(),
+                "unix:/b".into(),
+                "unix:/c".into(),
+                "unix:/d".into(),
+            ],
+        });
+        roundtrip(Frame::Grow {
+            epoch: 2,
+            joiner: 4,
+            addr: "tcp:127.0.0.1:9999".into(),
+            members: vec![0, 1, 3, 4],
+        });
     }
 
     #[test]

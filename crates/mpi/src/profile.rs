@@ -57,10 +57,11 @@ pub enum Op {
     Iallgatherv,
     Ialltoall,
     Ialltoallv,
+    Grow,
 }
 
 /// Number of distinct [`Op`] variants.
-pub const N_OPS: usize = Op::Ialltoallv as usize + 1;
+pub const N_OPS: usize = Op::Grow as usize + 1;
 
 /// All operations, in discriminant order (for reporting).
 pub const ALL_OPS: [Op; N_OPS] = [
@@ -99,6 +100,7 @@ pub const ALL_OPS: [Op; N_OPS] = [
     Op::Iallgatherv,
     Op::Ialltoall,
     Op::Ialltoallv,
+    Op::Grow,
 ];
 
 impl Op {
@@ -140,6 +142,7 @@ impl Op {
             Op::Iallgatherv => "iallgatherv",
             Op::Ialltoall => "ialltoall",
             Op::Ialltoallv => "ialltoallv",
+            Op::Grow => "grow",
         }
     }
 }

@@ -756,6 +756,36 @@ pub enum ControlMsg {
         /// Context id of the revoked communicator.
         ctx: u64,
     },
+    /// A late joiner was admitted: membership epoch `epoch` now holds the
+    /// ranks in the `members` bitmask (bit `r` set ⇔ global rank `r` is a
+    /// member), with `joiner` the freshly assigned rank. The bitmask keeps
+    /// this enum `Copy`; it caps elastic universes at 64 global ranks,
+    /// which the config layer enforces.
+    Grow {
+        /// The membership epoch this admission creates (monotonic, from 1).
+        epoch: u64,
+        /// The admitted rank (fresh — never a reused slot).
+        joiner: usize,
+        /// Member bitmask at this epoch, joiner's bit included.
+        members: u64,
+    },
+}
+
+/// Expands a member bitmask (bit `r` ⇔ global rank `r`) into the sorted
+/// rank list communicators are derived from.
+pub fn members_from_mask(mask: u64) -> Vec<usize> {
+    (0..64).filter(|r| mask & (1 << r) != 0).collect()
+}
+
+/// Packs a member list into the bitmask [`ControlMsg::Grow`] carries.
+///
+/// # Panics
+/// Panics if any rank is ≥ 64 (the config layer rejects such universes).
+pub fn members_to_mask(members: &[usize]) -> u64 {
+    members.iter().fold(0u64, |m, &r| {
+        assert!(r < 64, "elastic universes are capped at 64 global ranks");
+        m | (1 << r)
+    })
 }
 
 /// Where incoming *remote* control events are applied. Implemented by the

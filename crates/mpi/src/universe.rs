@@ -20,7 +20,7 @@
 
 use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::chaos::{ChaosSpec, ChaosTransport};
@@ -30,12 +30,50 @@ use crate::icoll::Registry;
 use crate::measurements::TreeAggregate;
 use crate::profile::{ProfileSnapshot, RankCounters};
 use crate::trace::{TraceConfig, TraceCtx, TraceEvent};
-use crate::transport::{ControlMsg, ControlSink, Hub, Mailbox, ShmTransport, Transport};
+use crate::transport::{
+    members_from_mask, ControlMsg, ControlSink, Hub, Mailbox, ShmTransport, Transport,
+};
+
+/// One membership-growth admission: at `epoch`, `joiners` were added and
+/// the full membership became `members` (global ranks, ascending — local
+/// ranks of the grown communicator renumber densely by position).
+#[derive(Debug, Clone)]
+pub(crate) struct GrowEvent {
+    /// Membership epoch this event established (strictly increasing).
+    pub epoch: u64,
+    /// Global ranks admitted by this event.
+    pub joiners: Vec<usize>,
+    /// Complete membership after the event.
+    pub members: Vec<usize>,
+}
 
 /// Shared state of one MPI job, as seen by one process.
 pub(crate) struct UniverseState {
-    /// Number of ranks in the world.
+    /// Number of rank slots in the universe. On a fixed-size job this is
+    /// the world size; on an elastic job it is the *capacity* — mailboxes,
+    /// counters and transport lanes are sized for it up front, and ranks
+    /// beyond the launch membership stay dormant until admitted.
     pub size: usize,
+    /// Global ranks alive at launch, ascending — the group of the world
+    /// communicator this process hands to its SPMD closure(s). Normally
+    /// `0..size`; smaller on elastic jobs; the admission-time membership
+    /// on a late-joining socket process.
+    pub launch_members: Vec<usize>,
+    /// Current membership (latest epoch's view).
+    pub members: RwLock<Vec<usize>>,
+    /// Latest membership epoch (0 = launch; each admission bumps it).
+    pub membership_epoch: AtomicU64,
+    /// Every grow event seen, ascending by epoch — kept whole so that a
+    /// survivor lagging several admissions behind can replay them one
+    /// typed epoch transition at a time.
+    pub grow_log: RwLock<Vec<GrowEvent>>,
+    /// Ranks parked awaiting admission ([`Universe::run_elastic`], shm).
+    pub parked: Mutex<Vec<usize>>,
+    /// Admitted-but-unfinished rank count (shm elastic termination): when
+    /// it reaches zero, `closing` is raised and parked ranks give up.
+    pub active_unfinished: AtomicUsize,
+    /// Raised when the job is over; never-admitted parked ranks exit.
+    pub closing: AtomicBool,
     /// The backend moving envelopes and control events between ranks.
     pub transport: Arc<dyn Transport>,
     /// One profiling counter block per global rank (remote ranks' blocks
@@ -73,7 +111,14 @@ impl UniverseState {
     /// In-process universe over the shared-memory backend, with an optional
     /// chaos wrapper around it. The chaos layer's control sink (where an
     /// injected rank death is applied) is bound to the returned state.
-    fn new_shm(size: usize, chaos: Option<ChaosSpec>, trace: Arc<TraceCtx>) -> Arc<Self> {
+    /// `initial` of the `size` rank slots are live at launch (they differ
+    /// only on elastic universes; fixed jobs pass `initial == size`).
+    fn new_shm(
+        size: usize,
+        initial: usize,
+        chaos: Option<ChaosSpec>,
+        trace: Arc<TraceCtx>,
+    ) -> Arc<Self> {
         let hub = Arc::new(Hub::new());
         hub.bind_trace(Arc::clone(&trace));
         let shm: Arc<dyn Transport> = Arc::new(ShmTransport::new(size, &hub, &trace));
@@ -85,7 +130,13 @@ impl UniverseState {
                 (Arc::clone(&layer) as Arc<dyn Transport>, Some(layer))
             }
         };
-        let state = Arc::new(Self::with_transport(size, transport, hub, trace));
+        let state = Arc::new(Self::with_transport(
+            size,
+            (0..initial).collect(),
+            transport,
+            hub,
+            trace,
+        ));
         if let Some(layer) = chaos_layer {
             let sink: Arc<dyn ControlSink> = Arc::clone(&state) as Arc<dyn ControlSink>;
             layer.bind_sink(Arc::downgrade(&sink));
@@ -94,8 +145,11 @@ impl UniverseState {
     }
 
     /// Universe over an externally-constructed backend (the socket path).
+    /// `size` is the slot capacity; `launch_members` the globals alive from
+    /// this process's point of view at construction.
     pub(crate) fn with_transport(
         size: usize,
+        launch_members: Vec<usize>,
         transport: Arc<dyn Transport>,
         hub: Arc<Hub>,
         trace: Arc<TraceCtx>,
@@ -103,6 +157,13 @@ impl UniverseState {
         hub.bind_trace(Arc::clone(&trace));
         Self {
             size,
+            members: RwLock::new(launch_members.clone()),
+            launch_members,
+            membership_epoch: AtomicU64::new(0),
+            grow_log: RwLock::new(Vec::new()),
+            parked: Mutex::new(Vec::new()),
+            active_unfinished: AtomicUsize::new(0),
+            closing: AtomicBool::new(false),
             transport,
             counters: (0..size).map(|_| RankCounters::default()).collect(),
             hub,
@@ -190,6 +251,61 @@ impl UniverseState {
                 .contains(&rank)
     }
 
+    /// Applies a grow event to the local view (no re-broadcast).
+    /// Idempotent by epoch: the same admission may reach a process both
+    /// through the rendezvous monitor and a control frame.
+    pub(crate) fn apply_grow(&self, epoch: u64, joiners: Vec<usize>, members: Vec<usize>) {
+        {
+            let mut log = self.grow_log.write().expect("grow log poisoned");
+            if log.iter().any(|e| e.epoch == epoch) {
+                return;
+            }
+            log.push(GrowEvent {
+                epoch,
+                joiners,
+                members: members.clone(),
+            });
+            log.sort_by_key(|e| e.epoch);
+            // Only the newest epoch defines the current membership; a
+            // stale event replayed late must not roll it back.
+            if epoch >= self.membership_epoch.load(Ordering::Acquire) {
+                *self.members.write().expect("members poisoned") = members;
+            }
+            self.membership_epoch.fetch_max(epoch, Ordering::AcqRel);
+        }
+        self.broadcast_fault();
+    }
+
+    /// Applies a grow event locally and tells all remote ranks. (On the
+    /// socket backend the rendezvous monitor broadcasts a richer frame
+    /// carrying the joiner's address instead; this path serves the shm
+    /// backend, where `control` is a local no-op beyond chaos bookkeeping.)
+    pub(crate) fn mark_grow(&self, epoch: u64, joiners: Vec<usize>, members: Vec<usize>) {
+        let mask = crate::transport::members_to_mask(&members);
+        let joiner = joiners.first().copied().unwrap_or(0);
+        self.apply_grow(epoch, joiners, members);
+        self.transport.control(ControlMsg::Grow {
+            epoch,
+            joiner,
+            members: mask,
+        });
+    }
+
+    /// The membership of the latest epoch this process has observed.
+    pub fn current_members(&self) -> Vec<usize> {
+        self.members.read().expect("members poisoned").clone()
+    }
+
+    /// The grow event of the lowest epoch strictly above `epoch`, if any.
+    pub(crate) fn next_grow_after(&self, epoch: u64) -> Option<GrowEvent> {
+        self.grow_log
+            .read()
+            .expect("grow log poisoned")
+            .iter()
+            .find(|e| e.epoch > epoch)
+            .cloned()
+    }
+
     /// Marks the communicator context revoked on all ranks.
     pub fn mark_revoked(&self, ctx: u64) {
         self.apply_revoked(ctx);
@@ -216,6 +332,11 @@ impl ControlSink for UniverseState {
             ControlMsg::Failed { rank } => self.apply_failed(rank),
             ControlMsg::Finished { rank } => self.apply_finished(rank),
             ControlMsg::Revoked { ctx } => self.apply_revoked(ctx),
+            ControlMsg::Grow {
+                epoch,
+                joiner,
+                members,
+            } => self.apply_grow(epoch, vec![joiner], members_from_mask(members)),
         }
     }
 }
@@ -368,6 +489,152 @@ impl Universe {
             .map(|(values, _, _)| values)
     }
 
+    /// Runs `f` as an *elastic* SPMD job: `initial` ranks start immediately
+    /// and up to `capacity - initial` more can be admitted mid-run. On the
+    /// shm backend the extra ranks are parked threads that a member admits
+    /// with [`RawComm::spawn_merge`]; under a `kampirun --elastic` launch
+    /// the extra ranks are late-started processes admitted by the
+    /// rendezvous monitor, and each admitted process runs `f` once on an
+    /// already-grown communicator. Existing members observe an admission
+    /// as a typed epoch transition through [`RawComm::grow`].
+    ///
+    /// Returns `(global_rank, result)` pairs in rank order for every rank
+    /// whose closure ran — parked ranks that were never admitted return
+    /// nothing. Membership is capped at 64 global ranks (the control-plane
+    /// frames carry membership as a bitmask).
+    pub fn run_elastic<R, F>(initial: usize, capacity: usize, f: F) -> MpiResult<Vec<(usize, R)>>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        if crate::net::SocketConfig::from_env()?.is_some() {
+            // One rank per process under kampirun; joiners are separate
+            // processes, so the initial/capacity split is the launcher's
+            // business (`--ranks` / `--elastic`), not ours.
+            let wrapped = |comm: RawComm| (comm.my_global_rank(), f(comm));
+            return Self::try_run(initial.max(1), wrapped);
+        }
+        Self::run_elastic_threads(initial, capacity, f)
+    }
+
+    /// The shm elastic path: `capacity` rank threads, of which the last
+    /// `capacity - initial` park until admitted or until the job closes.
+    fn run_elastic_threads<R, F>(
+        initial: usize,
+        capacity: usize,
+        f: F,
+    ) -> MpiResult<Vec<(usize, R)>>
+    where
+        R: Send,
+        F: Fn(RawComm) -> R + Sync,
+    {
+        if initial == 0 {
+            return Err(MpiError::Config(
+                "an elastic universe needs at least one initial rank".into(),
+            ));
+        }
+        if capacity < initial {
+            return Err(MpiError::Config(
+                "elastic capacity must be at least the initial rank count".into(),
+            ));
+        }
+        if capacity > 64 {
+            return Err(MpiError::Config(
+                "elastic universes are capped at 64 global ranks".into(),
+            ));
+        }
+        let trace_cfg = TraceConfig::from_env()?;
+        let chaos = ChaosSpec::from_env()?;
+        let trace = Arc::new(TraceCtx::new(capacity, &trace_cfg));
+        let state = UniverseState::new_shm(capacity, initial, chaos, Arc::clone(&trace));
+        *state.parked.lock().expect("parked pool poisoned") = (initial..capacity).collect();
+        state.active_unfinished.store(initial, Ordering::Release);
+        let plane = crate::metrics::MetricsPlane::start_local(&state, &trace_cfg);
+        let f = &f;
+
+        let results: Vec<(usize, std::thread::Result<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..capacity)
+                .map(|rank| {
+                    let state = Arc::clone(&state);
+                    scope.spawn(move || {
+                        crate::trace::set_thread_rank(rank);
+                        let comm = if rank < initial {
+                            RawComm::world(state.clone(), rank)
+                        } else {
+                            // Park until a member admits this rank via
+                            // spawn_merge, or until the job closes with
+                            // this rank never admitted.
+                            let admitted = state.hub.wait_until(|| {
+                                let hit = state
+                                    .grow_log
+                                    .read()
+                                    .expect("grow log poisoned")
+                                    .iter()
+                                    .find(|e| e.joiners.contains(&rank))
+                                    .map(|e| (e.epoch, e.members.clone()));
+                                match hit {
+                                    Some(ev) => Some(Some(ev)),
+                                    None if state.closing.load(Ordering::Acquire) => Some(None),
+                                    None => None,
+                                }
+                            });
+                            let (epoch, members) = admitted?;
+                            let comm = RawComm::from_grow(state.clone(), epoch, members, rank);
+                            // Admission barrier: rendezvous with the
+                            // survivors' grow() on the new context. A
+                            // failure racing the admission surfaces again
+                            // on the closure's own first operation.
+                            let _ = comm.barrier();
+                            comm
+                        };
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        if outcome.is_err() {
+                            state.mark_failed(rank);
+                        }
+                        state.transport.quiesce();
+                        state.mark_finished(rank);
+                        if state.active_unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            state.closing.store(true, Ordering::Release);
+                            state.hub.notify();
+                        }
+                        Some(outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .filter_map(|(rank, h)| {
+                    h.join()
+                        .expect("rank thread itself never panics")
+                        .map(|r| (rank, r))
+                })
+                .collect()
+        });
+
+        if let Some(plane) = plane {
+            plane.stop();
+        }
+        state.transport.shutdown();
+
+        let mut values = Vec::with_capacity(results.len());
+        let mut first_panic = None;
+        for (rank, r) in results {
+            match r {
+                Ok(v) => values.push((rank, v)),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        Ok(values)
+    }
+
     /// The shared-memory path: spawn `size` rank threads and join them.
     fn run_threads_profiled<R, F>(
         size: usize,
@@ -385,7 +652,7 @@ impl Universe {
             ));
         }
         let trace = Arc::new(TraceCtx::new(size, &trace_cfg));
-        let state = UniverseState::new_shm(size, chaos, Arc::clone(&trace));
+        let state = UniverseState::new_shm(size, size, chaos, Arc::clone(&trace));
         let plane = crate::metrics::MetricsPlane::start_local(&state, &trace_cfg);
         let f = &f;
 
@@ -598,7 +865,7 @@ mod tests {
 
     #[test]
     fn fault_epoch_moves_on_marks() {
-        let state = UniverseState::new_shm(2, None, TraceCtx::disabled(2));
+        let state = UniverseState::new_shm(2, 2, None, TraceCtx::disabled(2));
         let e0 = state.fault_epoch.load(Ordering::Acquire);
         state.mark_failed(1);
         let e1 = state.fault_epoch.load(Ordering::Acquire);
@@ -609,7 +876,7 @@ mod tests {
 
     #[test]
     fn wait_interrupt_caches_clean_verdict_per_epoch() {
-        let state = UniverseState::new_shm(2, None, TraceCtx::disabled(2));
+        let state = UniverseState::new_shm(2, 2, None, TraceCtx::disabled(2));
         let check = wait_interrupt(&state, 1, 0);
         assert!(check().is_none());
         assert!(check().is_none());
@@ -619,7 +886,7 @@ mod tests {
 
     #[test]
     fn control_sink_applies_remote_events() {
-        let state = UniverseState::new_shm(3, None, TraceCtx::disabled(3));
+        let state = UniverseState::new_shm(3, 3, None, TraceCtx::disabled(3));
         state.apply(ControlMsg::Failed { rank: 2 });
         assert!(state.is_failed(2));
         state.apply(ControlMsg::Finished { rank: 1 });

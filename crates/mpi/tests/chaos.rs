@@ -224,6 +224,44 @@ fn chaos_kill_fails_iallreduce_on_survivor() {
     .unwrap();
 }
 
+/// A *transitively* stalled survivor gets the typed failure too. In the
+/// binomial allreduce on 3 ranks, rank 1's schedule only ever waits on
+/// rank 0 (its bcast parent) — never on rank 2 — while rank 0 itself
+/// awaits the dead rank's reduce partial. The fault scan's waited-on
+/// check alone cannot see that, so without the any-member-failed doom
+/// check rank 1 would fall through to a generic `Timeout`; it must get
+/// `ProcFailed` for the rank that actually died.
+#[test]
+fn chaos_kill_fails_transitively_stalled_icollective() {
+    Universe::run_with_chaos(3, ChaosSpec::parse("13:kill=2@1").unwrap(), |comm| {
+        if comm.rank() == 2 {
+            comm.send(0, 9, b"first").unwrap();
+            // The reduce partial send (2→0) triggers the death, so the
+            // partial never reaches rank 0 and the whole tree stalls.
+            let _ = comm.iallreduce(4u64.to_le_bytes().to_vec(), sum_op(), 8);
+            return;
+        }
+        // Sequence survivors behind rank 2's budget-passing send (see
+        // `chaos_kill_fails_ialltoallv_on_survivors` for why).
+        if comm.rank() == 0 {
+            let (payload, _) = comm.recv(2, 9).unwrap();
+            assert_eq!(payload, b"first");
+            comm.send(1, 5, b"go").unwrap();
+        } else {
+            comm.recv(0, 5).unwrap();
+        }
+        let mut req = comm
+            .iallreduce(1u64.to_le_bytes().to_vec(), sum_op(), 8)
+            .unwrap();
+        let err = req.wait_timeout(Duration::from_secs(10)).unwrap_err();
+        assert!(
+            matches!(err, MpiError::ProcFailed { rank: 2 }),
+            "expected ProcFailed {{ rank: 2 }}, got {err:?}"
+        );
+    })
+    .unwrap();
+}
+
 /// Delay chaos is semantics-preserving, so i-collectives must complete
 /// with the exact blocking-twin results — several outstanding at once,
 /// waited in reverse issue order.
